@@ -1,0 +1,42 @@
+/// \file ablation_tau_normalizer.cc
+/// \brief Extra ablation (not a paper table): NormL2 vs Softmax for mapping
+/// raw tau increments onto the simplex.
+///
+/// Section 5.2 argues for Norml2 over Softmax analytically: softmax's
+/// exponential makes knot positions hypersensitive to small input changes and
+/// tends to concentrate mass on a few increments instead of partitioning
+/// [0, tmax]. This bench measures that design choice on fasttext-l2 with the
+/// SelNet-ct model (isolating the tau head from partitioning effects).
+
+#include "bench/bench_common.h"
+#include "core/selnet_ct.h"
+#include "util/table.h"
+
+int main() {
+  using namespace selnet;
+  bench::PrintBanner("Ablation: tau simplex map, NormL2 vs Softmax");
+  util::ScaleConfig scale = util::GetScaleConfig();
+  eval::PreparedData data =
+      eval::PrepareData(eval::SettingByName("fasttext-l2"), scale);
+  eval::TrainContext ctx;
+  ctx.db = &data.db;
+  ctx.workload = &data.workload;
+  ctx.epochs = scale.epochs;
+
+  util::AsciiTable table({"tau map", "MSE(valid)", "MSE(test)", "MAE(test)",
+                          "MAPE(test)"});
+  for (bool softmax : {false, true}) {
+    core::SelNetConfig cfg =
+        core::SelNetConfig::FromScale(scale, data.db.dim(), data.workload.tmax);
+    cfg.softmax_tau = softmax;
+    core::SelNetCt model(cfg);
+    eval::ModelScores s = eval::TrainAndScore(&model, data);
+    table.AddRow({softmax ? "Softmax" : "NormL2 (paper)",
+                  util::AsciiTable::Num(s.valid.mse, 1),
+                  util::AsciiTable::Num(s.test.mse, 1),
+                  util::AsciiTable::Num(s.test.mae, 2),
+                  util::AsciiTable::Num(s.test.mape, 3)});
+  }
+  table.Print("Ablation | tau simplex map (SelNet-ct, fasttext-l2)");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+namespace selnet::bench {
+
+void PrintBanner(const std::string& experiment) {
+  util::ScaleConfig scale = util::GetScaleConfig();
+  std::printf(
+      "==============================================================\n"
+      "SelNet reproduction | %s\n"
+      "scale=%s  n=%zu  dim=%zu  queries=%zu  w=%zu  epochs=%zu\n"
+      "(paper-scale data is simulated; compare relative ordering and\n"
+      " ratios, not absolute magnitudes — see EXPERIMENTS.md)\n"
+      "==============================================================\n",
+      experiment.c_str(), scale.name().c_str(), scale.n, scale.dim,
+      scale.num_queries, scale.w, scale.epochs);
+  std::fflush(stdout);
+}
+
+std::vector<eval::ModelScores> RunAccuracyTable(const std::string& setting_name,
+                                                bool beta_thresholds) {
+  util::ScaleConfig scale = util::GetScaleConfig();
+  eval::PreparedData data =
+      eval::PrepareData(eval::SettingByName(setting_name), scale, beta_thresholds);
+  std::vector<eval::ModelScores> rows;
+  for (eval::ModelKind kind : eval::PaperModels()) {
+    if (!eval::ModelSupports(kind, data.db.metric())) continue;
+    auto model = eval::MakeModel(kind, data);
+    rows.push_back(eval::TrainAndScore(model.get(), data));
+  }
+  return rows;
+}
+
+}  // namespace selnet::bench

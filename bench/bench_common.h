@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/suite.h"
+
+/// \file bench_common.h
+/// \brief Shared driver code for the per-table/figure bench binaries.
+///
+/// Every binary in bench/ regenerates one table or figure of the paper at the
+/// scale selected by SELNET_SCALE (see util/env.h); the printed header records
+/// the active scale so outputs are self-describing.
+
+namespace selnet::bench {
+
+/// \brief Print the experiment banner (scale, dataset sizes).
+void PrintBanner(const std::string& experiment);
+
+/// \brief Train every Tables-1-4 model on one setting and print the table.
+///
+/// \param setting_name "fasttext-cos" | "fasttext-l2" | "face-cos" | "YouTube-cos"
+/// \param beta_thresholds Section 7.9 Beta(3, 2.5) threshold workload
+/// \return one ModelScores row per trained model
+std::vector<eval::ModelScores> RunAccuracyTable(const std::string& setting_name,
+                                                bool beta_thresholds = false);
+
+}  // namespace selnet::bench

@@ -1,0 +1,35 @@
+/// \file table10_partition_methods.cc
+/// \brief Table 10: cover tree (CT) vs random (RP) vs k-means (KM)
+/// partitioning on fasttext-l2 with K=3.
+///
+/// Shape to reproduce: CT slightly better than RP; KM worst (imbalanced
+/// partitions).
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace selnet;
+  bench::PrintBanner("Table 10: partitioning methods (fasttext-l2, K=3)");
+  util::ScaleConfig scale = util::GetScaleConfig();
+  eval::PreparedData data =
+      eval::PrepareData(eval::SettingByName("fasttext-l2"), scale);
+
+  util::AsciiTable table({"Method", "MSE(test)", "MAE(test)", "MAPE(test)"});
+  const idx::PartitionMethod kMethods[] = {idx::PartitionMethod::kCoverTree,
+                                           idx::PartitionMethod::kRandom,
+                                           idx::PartitionMethod::kKMeans};
+  for (idx::PartitionMethod method : kMethods) {
+    eval::ModelOptions opts;
+    opts.partitions = 3;
+    opts.partition_method = method;
+    auto model = eval::MakeModel(eval::ModelKind::kSelNet, data, opts);
+    eval::ModelScores s = eval::TrainAndScore(model.get(), data);
+    table.AddRow({std::string(idx::PartitionMethodName(method)) + " (3)",
+                  util::AsciiTable::Num(s.test.mse, 1),
+                  util::AsciiTable::Num(s.test.mae, 2),
+                  util::AsciiTable::Num(s.test.mape, 3)});
+  }
+  table.Print("Table 10 | errors vs partitioning method, fasttext-l2");
+  return 0;
+}

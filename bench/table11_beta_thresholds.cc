@@ -1,0 +1,17 @@
+/// \file table11_beta_thresholds.cc
+/// \brief Table 11: accuracy on fasttext-cos with thresholds drawn from
+/// Beta(3, 2.5) instead of the geometric-selectivity ladder (Section 7.9).
+///
+/// Shape to reproduce: every model degrades relative to Tables 1 (wider
+/// selectivity range), SelNet remains best by a clear margin.
+
+#include "bench/bench_common.h"
+
+int main() {
+  selnet::bench::PrintBanner(
+      "Table 11: fasttext-cos, Beta(3, 2.5) thresholds");
+  auto rows =
+      selnet::bench::RunAccuracyTable("fasttext-cos", /*beta_thresholds=*/true);
+  selnet::eval::PrintAccuracyTable("Table 11 | fasttext-cos + Beta(3,2.5)", rows);
+  return 0;
+}

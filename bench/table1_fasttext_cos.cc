@@ -1,0 +1,15 @@
+/// \file table1_fasttext_cos.cc
+/// \brief Table 1: accuracy of all models on fasttext-cos.
+///
+/// Paper reference (relative ordering to reproduce): SelNet best on every
+/// metric among all ten models; UMNN/RMI the strongest baselines on MSE;
+/// consistent models are LSH, KDE, DLN, UMNN, SelNet.
+
+#include "bench/bench_common.h"
+
+int main() {
+  selnet::bench::PrintBanner("Table 1: accuracy on fasttext-cos");
+  auto rows = selnet::bench::RunAccuracyTable("fasttext-cos");
+  selnet::eval::PrintAccuracyTable("Table 1 | fasttext-cos", rows);
+  return 0;
+}

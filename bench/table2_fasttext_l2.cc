@@ -1,0 +1,13 @@
+/// \file table2_fasttext_l2.cc
+/// \brief Table 2: accuracy of all models on fasttext-l2.
+///
+/// LSH is omitted (SimHash is cosine-only), matching the paper's Table 2.
+
+#include "bench/bench_common.h"
+
+int main() {
+  selnet::bench::PrintBanner("Table 2: accuracy on fasttext-l2");
+  auto rows = selnet::bench::RunAccuracyTable("fasttext-l2");
+  selnet::eval::PrintAccuracyTable("Table 2 | fasttext-l2", rows);
+  return 0;
+}

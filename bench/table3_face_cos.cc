@@ -1,0 +1,11 @@
+/// \file table3_face_cos.cc
+/// \brief Table 3: accuracy of all models on face-cos.
+
+#include "bench/bench_common.h"
+
+int main() {
+  selnet::bench::PrintBanner("Table 3: accuracy on face-cos");
+  auto rows = selnet::bench::RunAccuracyTable("face-cos");
+  selnet::eval::PrintAccuracyTable("Table 3 | face-cos", rows);
+  return 0;
+}

@@ -1,0 +1,11 @@
+/// \file table4_youtube_cos.cc
+/// \brief Table 4: accuracy of all models on YouTube-cos.
+
+#include "bench/bench_common.h"
+
+int main() {
+  selnet::bench::PrintBanner("Table 4: accuracy on YouTube-cos");
+  auto rows = selnet::bench::RunAccuracyTable("YouTube-cos");
+  selnet::eval::PrintAccuracyTable("Table 4 | YouTube-cos", rows);
+  return 0;
+}

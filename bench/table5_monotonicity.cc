@@ -1,0 +1,41 @@
+/// \file table5_monotonicity.cc
+/// \brief Table 5: empirical monotonicity (%) on face-cos.
+///
+/// Shape to reproduce: models with guaranteed consistency (LSH, KDE,
+/// LightGBM-m, DLN, UMNN, SelNet) score exactly 100%; DNN/MoE/RMI/LightGBM
+/// fall below 100%.
+
+#include "bench/bench_common.h"
+#include "eval/monotonicity.h"
+#include "util/table.h"
+
+int main() {
+  using namespace selnet;
+  bench::PrintBanner("Table 5: empirical monotonicity on face-cos");
+  util::ScaleConfig scale = util::GetScaleConfig();
+  eval::PreparedData data =
+      eval::PrepareData(eval::SettingByName("face-cos"), scale);
+
+  // The paper averages over 200 queries x 100 thresholds; scale down in
+  // proportion to the workload.
+  size_t num_queries = std::min<size_t>(scale.num_queries / 2, 100);
+  size_t num_thresholds = 40;
+
+  util::AsciiTable table({"Model", "Monotonicity (%)", "Guaranteed"});
+  for (eval::ModelKind kind : eval::PaperModels()) {
+    if (!eval::ModelSupports(kind, data.db.metric())) continue;
+    auto model = eval::MakeModel(kind, data);
+    eval::TrainContext ctx;
+    ctx.db = &data.db;
+    ctx.workload = &data.workload;
+    ctx.epochs = scale.epochs;
+    model->Fit(ctx);
+    double mono = eval::EmpiricalMonotonicity(model.get(), data.workload.queries,
+                                              num_queries, data.workload.tmax,
+                                              num_thresholds, /*seed=*/17);
+    table.AddRow({model->Name(), util::AsciiTable::Num(mono, 2),
+                  model->IsConsistent() ? "yes *" : "no"});
+  }
+  table.Print("Table 5 | empirical monotonicity, face-cos");
+  return 0;
+}

@@ -1,0 +1,37 @@
+/// \file table6_ablation.cc
+/// \brief Table 6: ablation — SelNet vs SelNet-ct vs SelNet-ad-ct on all
+/// four settings.
+///
+/// Shape to reproduce: SelNet <= SelNet-ct << SelNet-ad-ct on every error
+/// metric (partitioning helps; query-dependent knots help a lot).
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace selnet;
+  bench::PrintBanner("Table 6: ablation study");
+  util::ScaleConfig scale = util::GetScaleConfig();
+
+  util::AsciiTable table({"Dataset", "Model", "MSE(valid)", "MSE(test)",
+                          "MAE(valid)", "MAE(test)", "MAPE(valid)",
+                          "MAPE(test)"});
+  const eval::ModelKind kAblations[] = {eval::ModelKind::kSelNet,
+                                        eval::ModelKind::kSelNetCt,
+                                        eval::ModelKind::kSelNetAdCt};
+  for (const auto& setting : eval::PaperSettings()) {
+    eval::PreparedData data = eval::PrepareData(setting, scale);
+    for (eval::ModelKind kind : kAblations) {
+      auto model = eval::MakeModel(kind, data);
+      eval::ModelScores s = eval::TrainAndScore(model.get(), data);
+      table.AddRow({setting.name, s.name, util::AsciiTable::Num(s.valid.mse, 1),
+                    util::AsciiTable::Num(s.test.mse, 1),
+                    util::AsciiTable::Num(s.valid.mae, 2),
+                    util::AsciiTable::Num(s.test.mae, 2),
+                    util::AsciiTable::Num(s.valid.mape, 3),
+                    util::AsciiTable::Num(s.test.mape, 3)});
+    }
+  }
+  table.Print("Table 6 | ablation study (SelNet / SelNet-ct / SelNet-ad-ct)");
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// \file table7_estimation_time.cc
+/// \brief Table 7: average per-query estimation time (milliseconds).
+///
+/// Shape to reproduce: DNN fastest; SelNet-ct/-ad-ct faster than SelNet
+/// (the partitioned model evaluates K local models); sampling-based LSH/KDE
+/// slowest (they scan/sample the data at query time).
+///
+/// Training quality barely affects latency, so models are trained with a
+/// reduced epoch budget here.
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace selnet;
+  bench::PrintBanner("Table 7: estimation time (ms)");
+  util::ScaleConfig scale = util::GetScaleConfig();
+  scale.epochs = std::max<size_t>(2, scale.epochs / 4);
+
+  std::vector<eval::ModelKind> kinds = eval::PaperModels();
+  kinds.push_back(eval::ModelKind::kSelNetCt);
+  kinds.push_back(eval::ModelKind::kSelNetAdCt);
+
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> cells(kinds.size());
+  std::vector<std::string> header = {"Model"};
+  for (const auto& setting : eval::PaperSettings()) {
+    header.push_back(setting.name);
+    eval::PreparedData data = eval::PrepareData(setting, scale);
+    for (size_t m = 0; m < kinds.size(); ++m) {
+      if (!eval::ModelSupports(kinds[m], data.db.metric())) {
+        cells[m].push_back("-");
+        continue;
+      }
+      auto model = eval::MakeModel(kinds[m], data);
+      eval::TrainContext ctx;
+      ctx.db = &data.db;
+      ctx.workload = &data.workload;
+      ctx.epochs = scale.epochs;
+      model->Fit(ctx);
+      double ms = eval::MeasureEstimateMs(model.get(), data, /*max_queries=*/150);
+      cells[m].push_back(util::AsciiTable::Num(ms, 3));
+    }
+  }
+  util::AsciiTable table(header);
+  for (size_t m = 0; m < kinds.size(); ++m) {
+    std::vector<std::string> row = {eval::ModelKindName(kinds[m])};
+    for (auto& c : cells[m]) row.push_back(c);
+    table.AddRow(row);
+  }
+  table.Print("Table 7 | average estimation time (ms/query)");
+  return 0;
+}

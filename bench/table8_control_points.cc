@@ -1,0 +1,40 @@
+/// \file table8_control_points.cc
+/// \brief Table 8: errors vs number of control points L on fasttext-l2.
+///
+/// The paper sweeps L in {10, 50, 90, 130} with 50 the sweet spot: too few
+/// knots underfit the curve, too many make learning harder. The sweep here is
+/// proportional to the scaled default L (see util/env.h).
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace selnet;
+  bench::PrintBanner("Table 8: errors vs number of control points (fasttext-l2)");
+  util::ScaleConfig scale = util::GetScaleConfig();
+  eval::PreparedData data =
+      eval::PrepareData(eval::SettingByName("fasttext-l2"), scale);
+
+  size_t base = scale.control_points;  // plays the role of the paper's L=50
+  std::vector<size_t> sweep = {std::max<size_t>(2, base / 4), base,
+                               base + base / 2 + base / 4, base * 5 / 2};
+
+  util::AsciiTable table({"L", "MSE(valid)", "MAE(valid)", "MAPE(valid)",
+                          "MSE(test)", "MAE(test)", "MAPE(test)"});
+  for (size_t l : sweep) {
+    eval::ModelOptions opts;
+    opts.control_points = l;
+    auto model = eval::MakeModel(eval::ModelKind::kSelNet, data, opts);
+    eval::ModelScores s = eval::TrainAndScore(model.get(), data);
+    table.AddRow({std::to_string(l), util::AsciiTable::Num(s.valid.mse, 1),
+                  util::AsciiTable::Num(s.valid.mae, 2),
+                  util::AsciiTable::Num(s.valid.mape, 3),
+                  util::AsciiTable::Num(s.test.mse, 1),
+                  util::AsciiTable::Num(s.test.mae, 2),
+                  util::AsciiTable::Num(s.test.mape, 3)});
+  }
+  table.Print("Table 8 | errors vs control points L, fasttext-l2");
+  std::printf("(paper sweep {10,50,90,130} maps to {%zu,%zu,%zu,%zu} at this scale)\n",
+              sweep[0], sweep[1], sweep[2], sweep[3]);
+  return 0;
+}

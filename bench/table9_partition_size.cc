@@ -1,0 +1,37 @@
+/// \file table9_partition_size.cc
+/// \brief Table 9: errors and estimation time vs partition count K on
+/// fasttext-l2 (K=1 is SelNet-ct).
+///
+/// Shape to reproduce: errors drop from K=1 to K=3 and then flatten, while
+/// estimation time grows roughly linearly in K.
+
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace selnet;
+  bench::PrintBanner("Table 9: errors vs partition size (fasttext-l2)");
+  util::ScaleConfig scale = util::GetScaleConfig();
+  eval::PreparedData data =
+      eval::PrepareData(eval::SettingByName("fasttext-l2"), scale);
+
+  util::AsciiTable table({"K", "MSE(test)", "MAE(test)", "MAPE(test)",
+                          "Est. time (ms)"});
+  for (size_t k : {size_t{1}, size_t{3}, size_t{6}, size_t{9}}) {
+    std::unique_ptr<eval::Estimator> model;
+    if (k == 1) {
+      model = eval::MakeModel(eval::ModelKind::kSelNetCt, data);
+    } else {
+      eval::ModelOptions opts;
+      opts.partitions = k;
+      model = eval::MakeModel(eval::ModelKind::kSelNet, data, opts);
+    }
+    eval::ModelScores s = eval::TrainAndScore(model.get(), data);
+    table.AddRow({std::to_string(k), util::AsciiTable::Num(s.test.mse, 1),
+                  util::AsciiTable::Num(s.test.mae, 2),
+                  util::AsciiTable::Num(s.test.mape, 3),
+                  util::AsciiTable::Num(s.estimate_ms, 3)});
+  }
+  table.Print("Table 9 | errors & estimation time vs partitions K, fasttext-l2");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace selnet::ag {
+
+double MaxGradError(const std::vector<Var>& params,
+                    const std::function<Var()>& loss_fn, double eps,
+                    double /*tol*/) {
+  // Analytic pass.
+  ZeroGrad(params);
+  Var loss = loss_fn();
+  Backward(loss);
+  std::vector<tensor::Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const auto& p : params) analytic.push_back(p->grad);
+
+  double max_err = 0.0;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Var p = params[pi];
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float orig = p->value.data()[i];
+      p->value.data()[i] = orig + static_cast<float>(eps);
+      double lp = loss_fn()->value(0, 0);
+      p->value.data()[i] = orig - static_cast<float>(eps);
+      double lm = loss_fn()->value(0, 0);
+      p->value.data()[i] = orig;
+      double numeric = (lp - lm) / (2.0 * eps);
+      double a = analytic[pi].data()[i];
+      double err = std::fabs(a - numeric) / std::max(1.0, std::fabs(numeric));
+      max_err = std::max(max_err, err);
+    }
+  }
+  return max_err;
+}
+
+}  // namespace selnet::ag

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/var.h"
+
+/// \file gradcheck.h
+/// \brief Numerical gradient verification used by the autograd test suite.
+
+namespace selnet::ag {
+
+/// \brief Compare analytic gradients against central finite differences.
+///
+/// \param params leaves to perturb (must have requires_grad)
+/// \param loss_fn rebuilds the scalar loss graph from current param values
+/// \param eps finite-difference step
+/// \param tol max allowed |analytic - numeric| / max(1, |numeric|)
+/// \return maximum relative error observed across all parameter entries
+double MaxGradError(const std::vector<Var>& params,
+                    const std::function<Var()>& loss_fn, double eps = 1e-3,
+                    double tol = 5e-2);
+
+}  // namespace selnet::ag

@@ -1,0 +1,144 @@
+#pragma once
+
+#include "autograd/var.h"
+
+/// \file ops.h
+/// \brief Differentiable operations over `Var`.
+///
+/// Besides the standard NN vocabulary, this implements the paper-specific
+/// pieces of SelNet's Figure 1 exactly:
+///  * `NormL2Rows` — the Norml2 normalized-square map onto the simplex used to
+///    generate threshold increments (Section 5.2),
+///  * `CumsumRows` — the prefix-sum matrix `M_psum` applied to increments,
+///  * `GroupedLinear` — model M's per-control-point decoder heads,
+///  * `PiecewiseLinearGather` — the Σ* operator evaluating the learned
+///    piece-wise linear function at threshold t (Equation 1),
+///  * `HuberLogLoss` — Huber(delta=1.345) on log-space residuals (Section 5.1),
+/// plus `TopKSoftmaxRows` (MoE gating) and `MulColBroadcast` (UMNN's
+/// Clenshaw–Curtis weighting).
+
+namespace selnet::ag {
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+/// \brief Matrix product a(BxK) * b(KxN).
+Var MatMul(const Var& a, const Var& b);
+
+/// \brief Elementwise sum (same shape).
+Var Add(const Var& a, const Var& b);
+
+/// \brief Add a 1xC bias row to every row of m.
+Var AddRowBroadcast(const Var& m, const Var& row);
+
+/// \brief Elementwise difference (same shape).
+Var Sub(const Var& a, const Var& b);
+
+/// \brief Elementwise (Hadamard) product (same shape).
+Var Mul(const Var& a, const Var& b);
+
+/// \brief Multiply row r of m(BxC) by col(Bx1)[r].
+Var MulColBroadcast(const Var& m, const Var& col);
+
+/// \brief Scalar scaling.
+Var Scale(const Var& a, float s);
+
+/// \brief Add a scalar constant to every entry.
+Var AddScalar(const Var& a, float s);
+
+// ---------------------------------------------------------------------------
+// Elementwise nonlinearities
+// ---------------------------------------------------------------------------
+
+Var Relu(const Var& a);
+Var LeakyRelu(const Var& a, float slope = 0.01f);
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Exp(const Var& a);
+/// \brief Natural log; inputs must be strictly positive.
+Var Log(const Var& a);
+/// \brief Numerically stable log(1 + exp(a)).
+Var Softplus(const Var& a);
+Var Square(const Var& a);
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+/// \brief Horizontal concatenation [a | b] (equal row counts).
+Var ConcatCols(const Var& a, const Var& b);
+
+/// \brief Copy of columns [begin, end).
+Var SliceCols(const Var& a, size_t begin, size_t end);
+
+/// \brief Reshape preserving total size (row-major order).
+Var Reshape(const Var& a, size_t rows, size_t cols);
+
+/// \brief Broadcast a 1xC row to n rows; gradients column-sum back into it.
+Var RepeatRows(const Var& row, size_t n);
+
+// ---------------------------------------------------------------------------
+// Reductions & row-wise structure
+// ---------------------------------------------------------------------------
+
+/// \brief Sum of all entries (1x1).
+Var SumAll(const Var& a);
+
+/// \brief Mean of all entries (1x1).
+Var MeanAll(const Var& a);
+
+/// \brief Row-wise sums (Bx1).
+Var RowSums(const Var& a);
+
+/// \brief Row-wise inclusive prefix sums (the M_psum operator).
+Var CumsumRows(const Var& a);
+
+/// \brief Row-wise softmax.
+Var SoftmaxRows(const Var& a);
+
+/// \brief Row-wise sparse softmax: softmax restricted to each row's top-k
+/// logits, other entries exactly zero (MoE gating).
+Var TopKSoftmaxRows(const Var& a, size_t k);
+
+/// \brief The paper's Norml2 map (Section 5.2), applied per row:
+/// out_j = (a_j^2 + eps/d) / (sum_k a_k^2 + eps). Rows land on the simplex
+/// with strictly positive entries, so cumsum yields strictly increasing taus.
+Var NormL2Rows(const Var& a, float eps = 1e-4f);
+
+// ---------------------------------------------------------------------------
+// Paper-specific composite ops
+// ---------------------------------------------------------------------------
+
+/// \brief Model M decoder: x(B x G*H), w(G x H), b(1 x G) ->
+/// out(B x G) with out[i,g] = dot(w[g], x[i, g*H:(g+1)*H]) + b[g].
+Var GroupedLinear(const Var& x, const Var& w, const Var& b);
+
+/// \brief Evaluate the continuous piece-wise linear function per row.
+///
+/// \param tau Bx(L+2) non-decreasing knots (tau_0 <= ... <= tau_{L+1})
+/// \param p   Bx(L+2) knot values
+/// \param t   Bx1 constant query thresholds
+/// \return    Bx1 interpolated values; t below tau_0 clamps to p_0, above
+///            tau_{L+1} clamps to p_{L+1} (gradients flow to the active knots).
+Var PiecewiseLinearGather(const Var& tau, const Var& p, const Var& t);
+
+// ---------------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------------
+
+/// \brief Mean Huber loss on log residuals r = log(y+eps) - log(yhat+eps).
+///
+/// \param yhat Bx1 non-negative predictions (graph)
+/// \param y    Bx1 non-negative ground truth (constant)
+Var HuberLogLoss(const Var& yhat, const Var& y, float delta = 1.345f,
+                 float eps = 1.0f);
+
+/// \brief Mean Huber loss directly on (pred - target); used by baselines that
+/// regress log-selectivity directly.
+Var HuberLoss(const Var& pred, const Var& target, float delta = 1.345f);
+
+/// \brief Mean squared error (pred - target)^2.
+Var MseLoss(const Var& pred, const Var& target);
+
+}  // namespace selnet::ag

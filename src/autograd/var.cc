@@ -1,0 +1,97 @@
+#include "autograd/var.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace selnet::ag {
+
+Var Constant(tensor::Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  node->op = "const";
+  return node;
+}
+
+Var Param(tensor::Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->EnsureGrad();
+  node->op = "param";
+  return node;
+}
+
+Var MakeNode(tensor::Matrix value, std::vector<Var> parents,
+             std::function<void(Node*)> backward, const char* op) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  for (const auto& p : parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  node->parents = std::move(parents);
+  if (node->requires_grad) node->backward = std::move(backward);
+  node->op = op;
+  return node;
+}
+
+namespace {
+
+// Iterative post-order DFS producing a reverse-topological evaluation order.
+void TopoSort(const Var& root, std::vector<Node*>* order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) {
+    stack.push_back({root.get(), 0});
+    visited.insert(root.get());
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  SEL_CHECK_MSG(root->requires_grad, "Backward on a constant graph");
+  std::vector<Node*> order;  // post-order: parents before children
+  TopoSort(root, &order);
+  // Zero interior gradients (parameter grads persist across micro-batches and
+  // are managed by ZeroGrad), then seed the root with ones.
+  for (Node* n : order) {
+    n->EnsureGrad();
+    if (n->backward) n->grad.Fill(0.0f);  // interior node
+  }
+  root->EnsureGrad();
+  root->grad.Fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward) n->backward(n);
+  }
+}
+
+void ZeroGrad(const std::vector<Var>& params) {
+  for (const auto& p : params) {
+    p->EnsureGrad();
+    p->grad.Fill(0.0f);
+  }
+}
+
+}  // namespace selnet::ag

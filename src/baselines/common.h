@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cmath>
+
+#include "eval/estimator.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+
+/// \file common.h
+/// \brief Shared plumbing for the learned baselines.
+///
+/// DNN, MoE and RMI "cannot directly handle the threshold t" (Appendix B.2):
+/// t is lifted into an m-dimensional embedding ReLU(w t) and concatenated with
+/// x. All ordinary regressors are trained on log(y + eps) with the same Huber
+/// loss as SelNet and predict exp(output) - eps clamped at zero.
+
+namespace selnet::bl {
+
+/// \brief Learned non-linear threshold embedding t -> ReLU(w t + b).
+class ThresholdEmbed : public nn::Module {
+ public:
+  ThresholdEmbed() = default;
+  ThresholdEmbed(size_t embed_dim, util::Rng* rng)
+      : lin_(1, embed_dim, rng, /*he_init=*/true) {}
+
+  ag::Var Forward(const ag::Var& t) const { return ag::Relu(lin_.Forward(t)); }
+
+  std::vector<ag::Var> Params() const override { return lin_.Params(); }
+
+ private:
+  nn::Linear lin_;
+};
+
+/// \brief log(y + eps) targets for direct log-space regression.
+inline tensor::Matrix LogTargets(const tensor::Matrix& y, float eps = 1.0f) {
+  tensor::Matrix out = y;
+  out.Apply([eps](float v) { return std::log(std::max(v, 0.0f) + eps); });
+  return out;
+}
+
+/// \brief Invert LogTargets: exp(pred) - eps, clamped non-negative.
+inline tensor::Matrix ExpPredictions(const tensor::Matrix& log_pred,
+                                     float eps = 1.0f) {
+  tensor::Matrix out = log_pred;
+  out.Apply([eps](float v) {
+    return std::max(0.0f, std::exp(std::min(v, 30.0f)) - eps);
+  });
+  return out;
+}
+
+}  // namespace selnet::bl

@@ -1,0 +1,322 @@
+#include "baselines/deep_regressors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "nn/optimizer.h"
+#include "util/check.h"
+
+namespace selnet::bl {
+
+DeepConfig DeepConfig::FromScale(const util::ScaleConfig& scale, size_t dim) {
+  DeepConfig cfg;
+  cfg.input_dim = dim;
+  switch (scale.scale) {
+    case util::Scale::kSmoke:
+      cfg.hidden = {64, 64};
+      cfg.expert_hidden = {48};
+      cfg.num_experts = 4;
+      cfg.num_leaves = 2;
+      break;
+    case util::Scale::kDefault:
+      break;
+    case util::Scale::kLarge:
+      cfg.hidden = {384, 384, 192};
+      cfg.expert_hidden = {128, 128};
+      cfg.num_experts = 12;
+      cfg.top_k = 3;
+      cfg.num_leaves = 6;
+      break;
+  }
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Shared trainer
+// ---------------------------------------------------------------------------
+
+void DeepRegressor::Fit(const eval::TrainContext& ctx) {
+  SEL_CHECK(ctx.workload != nullptr);
+  const auto& wl = *ctx.workload;
+  SEL_CHECK(!wl.train.empty());
+  nn::Adam opt(Params(), cfg_.lr);
+  util::Rng shuffle_rng(ctx.seed ^ 0xdeadbeefull);
+  std::vector<size_t> order(wl.train.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  double best_mae = std::numeric_limits<double>::max();
+  std::vector<tensor::Matrix> best;
+  for (size_t epoch = 0; epoch < ctx.epochs; ++epoch) {
+    shuffle_rng.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size(); begin += cfg_.batch_size) {
+      size_t end = std::min(begin + cfg_.batch_size, order.size());
+      std::vector<size_t> idx(order.begin() + begin, order.begin() + end);
+      data::Batch batch = data::MaterializeBatch(wl.queries, wl.train, idx);
+      ag::Var x = ag::Constant(batch.x);
+      ag::Var t = ag::Constant(batch.t);
+      ag::Var pred = Forward(x, t);
+      ag::Var loss = LossFor(pred, batch);
+      opt.ZeroGrad();
+      ag::Backward(loss);
+      opt.ClipGrad(5.0f);
+      opt.Step();
+    }
+    double mae = wl.valid.empty() ? 0.0 : EvalMae(wl, wl.valid);
+    if (wl.valid.empty() || mae < best_mae) {
+      best_mae = mae;
+      best = nn::SnapshotParams(Params());
+    }
+  }
+  if (!best.empty()) nn::RestoreParams(Params(), best);
+}
+
+ag::Var DeepRegressor::LossFor(const ag::Var& pred,
+                               const data::Batch& batch) const {
+  ag::Var target = ag::Constant(LogTargets(batch.y, cfg_.log_eps));
+  return ag::HuberLoss(pred, target, cfg_.huber_delta);
+}
+
+tensor::Matrix DeepRegressor::ToSelectivity(const tensor::Matrix& raw) const {
+  return ExpPredictions(raw, cfg_.log_eps);
+}
+
+tensor::Matrix DeepRegressor::Predict(const tensor::Matrix& x,
+                                      const tensor::Matrix& t) {
+  SEL_CHECK_EQ(x.rows(), t.rows());
+  tensor::Matrix raw(x.rows(), 1);
+  constexpr size_t kChunk = 1024;
+  for (size_t begin = 0; begin < x.rows(); begin += kChunk) {
+    size_t end = std::min(begin + kChunk, x.rows());
+    ag::Var xb = ag::Constant(x.RowSlice(begin, end));
+    ag::Var tb = ag::Constant(t.RowSlice(begin, end));
+    ag::Var pred = Forward(xb, tb);
+    for (size_t r = begin; r < end; ++r) {
+      raw(r, 0) = pred->value(r - begin, 0);
+    }
+  }
+  return ToSelectivity(raw);
+}
+
+double DeepRegressor::EvalMae(const data::Workload& wl,
+                              const std::vector<data::QuerySample>& samples) {
+  data::Batch batch = data::MaterializeAll(wl.queries, samples);
+  tensor::Matrix yhat = Predict(batch.x, batch.t);
+  double total = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    total += std::fabs(static_cast<double>(yhat(i, 0)) - batch.y(i, 0));
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+// ---------------------------------------------------------------------------
+// DNN
+// ---------------------------------------------------------------------------
+
+DnnRegressor::DnnRegressor(const DeepConfig& cfg, uint64_t seed)
+    : DeepRegressor(cfg), rng_(seed) {
+  SEL_CHECK_GT(cfg.input_dim, 0u);
+  t_embed_ = ThresholdEmbed(cfg.t_embed, &rng_);
+  std::vector<size_t> dims;
+  dims.push_back(cfg.input_dim + cfg.t_embed);
+  for (size_t h : cfg.hidden) dims.push_back(h);
+  dims.push_back(1);
+  body_ = nn::Mlp(dims, &rng_);
+}
+
+ag::Var DnnRegressor::Forward(const ag::Var& x, const ag::Var& t) const {
+  return body_.Forward(ag::ConcatCols(x, t_embed_.Forward(t)));
+}
+
+std::vector<ag::Var> DnnRegressor::Params() const {
+  std::vector<ag::Var> out = t_embed_.Params();
+  for (const auto& p : body_.Params()) out.push_back(p);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MoE
+// ---------------------------------------------------------------------------
+
+MoeRegressor::MoeRegressor(const DeepConfig& cfg, uint64_t seed)
+    : DeepRegressor(cfg), rng_(seed) {
+  SEL_CHECK_GT(cfg.input_dim, 0u);
+  SEL_CHECK(cfg.top_k >= 1 && cfg.top_k <= cfg.num_experts);
+  t_embed_ = ThresholdEmbed(cfg.t_embed, &rng_);
+  size_t in = cfg.input_dim + cfg.t_embed;
+  gate_ = nn::Mlp({in, 64, cfg.num_experts}, &rng_);
+  experts_.reserve(cfg.num_experts);
+  for (size_t e = 0; e < cfg.num_experts; ++e) {
+    std::vector<size_t> dims;
+    dims.push_back(in);
+    for (size_t h : cfg.expert_hidden) dims.push_back(h);
+    dims.push_back(1);
+    experts_.emplace_back(dims, &rng_);
+  }
+}
+
+ag::Var MoeRegressor::Forward(const ag::Var& x, const ag::Var& t) const {
+  ag::Var input = ag::ConcatCols(x, t_embed_.Forward(t));
+  ag::Var gates = ag::TopKSoftmaxRows(gate_.Forward(input), cfg_.top_k);
+  // All experts are evaluated densely (E is small); the sparse gate zeroes
+  // the non-top-k contributions exactly.
+  ag::Var outs;  // B x E
+  for (size_t e = 0; e < experts_.size(); ++e) {
+    ag::Var o = experts_[e].Forward(input);
+    outs = outs ? ag::ConcatCols(outs, o) : o;
+  }
+  return ag::RowSums(ag::Mul(gates, outs));
+}
+
+std::vector<ag::Var> MoeRegressor::Params() const {
+  std::vector<ag::Var> out = t_embed_.Params();
+  for (const auto& p : gate_.Params()) out.push_back(p);
+  for (const auto& e : experts_) {
+    for (const auto& p : e.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RMI
+// ---------------------------------------------------------------------------
+
+RmiRegressor::RmiRegressor(const DeepConfig& cfg, uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  SEL_CHECK_GT(cfg.input_dim, 0u);
+  SEL_CHECK_GE(cfg.num_leaves, 1u);
+  root_embed_ = ThresholdEmbed(cfg.t_embed, &rng_);
+  size_t in = cfg.input_dim + cfg.t_embed;
+  std::vector<size_t> dims;
+  dims.push_back(in);
+  for (size_t h : cfg.hidden) dims.push_back(h);
+  dims.push_back(1);
+  root_ = nn::Mlp(dims, &rng_);
+  std::vector<size_t> leaf_dims;
+  leaf_dims.push_back(in);
+  for (size_t h : cfg.expert_hidden) leaf_dims.push_back(h);
+  leaf_dims.push_back(1);
+  for (size_t m = 0; m < cfg.num_leaves; ++m) {
+    leaf_embeds_.emplace_back(cfg.t_embed, &rng_);
+    leaves_.emplace_back(leaf_dims, &rng_);
+  }
+}
+
+ag::Var RmiRegressor::StageForward(const ThresholdEmbed& embed,
+                                   const nn::Mlp& body, const ag::Var& x,
+                                   const ag::Var& t) const {
+  return body.Forward(ag::ConcatCols(x, embed.Forward(t)));
+}
+
+size_t RmiRegressor::RouteOf(float root_pred) const {
+  size_t leaf = 0;
+  while (leaf < route_bounds_.size() && root_pred > route_bounds_[leaf]) ++leaf;
+  return leaf;
+}
+
+void RmiRegressor::Fit(const eval::TrainContext& ctx) {
+  SEL_CHECK(ctx.workload != nullptr);
+  const auto& wl = *ctx.workload;
+  SEL_CHECK(!wl.train.empty());
+  size_t root_epochs = std::max<size_t>(
+      1, static_cast<size_t>(ctx.epochs * cfg_.root_epoch_frac));
+  size_t leaf_epochs = std::max<size_t>(1, ctx.epochs - root_epochs);
+  util::Rng shuffle_rng(ctx.seed ^ 0xabcdull);
+
+  auto train_stage = [&](const ThresholdEmbed& embed, const nn::Mlp& body,
+                         std::vector<ag::Var> params,
+                         const std::vector<size_t>& pool, size_t epochs) {
+    if (pool.empty()) return;
+    nn::Adam opt(std::move(params), cfg_.lr);
+    std::vector<size_t> order = pool;
+    for (size_t epoch = 0; epoch < epochs; ++epoch) {
+      shuffle_rng.Shuffle(&order);
+      for (size_t begin = 0; begin < order.size(); begin += cfg_.batch_size) {
+        size_t end = std::min(begin + cfg_.batch_size, order.size());
+        std::vector<size_t> idx(order.begin() + begin, order.begin() + end);
+        data::Batch batch = data::MaterializeBatch(wl.queries, wl.train, idx);
+        ag::Var x = ag::Constant(batch.x);
+        ag::Var t = ag::Constant(batch.t);
+        ag::Var target = ag::Constant(LogTargets(batch.y, cfg_.log_eps));
+        ag::Var pred = StageForward(embed, body, x, t);
+        ag::Var loss = ag::HuberLoss(pred, target, cfg_.huber_delta);
+        opt.ZeroGrad();
+        ag::Backward(loss);
+        opt.ClipGrad(5.0f);
+        opt.Step();
+      }
+    }
+  };
+
+  // Stage 1: the root on all samples.
+  std::vector<size_t> all(wl.train.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+  std::vector<ag::Var> root_params = root_embed_.Params();
+  for (const auto& p : root_.Params()) root_params.push_back(p);
+  train_stage(root_embed_, root_, root_params, all, root_epochs);
+
+  // Route samples by the quantiles of the root predictions.
+  data::Batch full = data::MaterializeAll(wl.queries, wl.train);
+  ag::Var root_pred = StageForward(root_embed_, root_, ag::Constant(full.x),
+                                   ag::Constant(full.t));
+  std::vector<float> preds(wl.train.size());
+  for (size_t i = 0; i < preds.size(); ++i) preds[i] = root_pred->value(i, 0);
+  std::vector<float> sorted = preds;
+  std::sort(sorted.begin(), sorted.end());
+  route_bounds_.clear();
+  for (size_t m = 1; m < cfg_.num_leaves; ++m) {
+    route_bounds_.push_back(sorted[m * sorted.size() / cfg_.num_leaves]);
+  }
+  std::vector<std::vector<size_t>> pools(cfg_.num_leaves);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    pools[RouteOf(preds[i])].push_back(i);
+  }
+
+  // Stage 2: each leaf on its routed pool.
+  for (size_t m = 0; m < cfg_.num_leaves; ++m) {
+    std::vector<ag::Var> leaf_params = leaf_embeds_[m].Params();
+    for (const auto& p : leaves_[m].Params()) leaf_params.push_back(p);
+    train_stage(leaf_embeds_[m], leaves_[m], leaf_params, pools[m], leaf_epochs);
+  }
+}
+
+tensor::Matrix RmiRegressor::Predict(const tensor::Matrix& x,
+                                     const tensor::Matrix& t) {
+  SEL_CHECK_EQ(x.rows(), t.rows());
+  ag::Var root_pred = StageForward(root_embed_, root_, ag::Constant(x),
+                                   ag::Constant(t));
+  // Group rows by routed leaf, evaluate each leaf once per group.
+  std::vector<std::vector<size_t>> groups(cfg_.num_leaves);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    groups[RouteOf(root_pred->value(r, 0))].push_back(r);
+  }
+  tensor::Matrix log_pred(x.rows(), 1);
+  for (size_t m = 0; m < cfg_.num_leaves; ++m) {
+    if (groups[m].empty()) continue;
+    tensor::Matrix xs(groups[m].size(), x.cols()), ts(groups[m].size(), 1);
+    for (size_t i = 0; i < groups[m].size(); ++i) {
+      size_t r = groups[m][i];
+      std::copy(x.row(r), x.row(r) + x.cols(), xs.row(i));
+      ts(i, 0) = t(r, 0);
+    }
+    ag::Var pred = StageForward(leaf_embeds_[m], leaves_[m], ag::Constant(xs),
+                                ag::Constant(ts));
+    for (size_t i = 0; i < groups[m].size(); ++i) {
+      log_pred(groups[m][i], 0) = pred->value(i, 0);
+    }
+  }
+  return ExpPredictions(log_pred, cfg_.log_eps);
+}
+
+std::vector<ag::Var> RmiRegressor::Params() const {
+  std::vector<ag::Var> out = root_embed_.Params();
+  for (const auto& p : root_.Params()) out.push_back(p);
+  for (size_t m = 0; m < leaves_.size(); ++m) {
+    for (const auto& p : leaf_embeds_[m].Params()) out.push_back(p);
+    for (const auto& p : leaves_[m].Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace selnet::bl

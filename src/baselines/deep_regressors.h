@@ -1,0 +1,130 @@
+#pragma once
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "util/env.h"
+
+/// \file deep_regressors.h
+/// \brief Ordinary deep-learning regressors: DNN, MoE, RMI (Section 7.1).
+///
+/// These relax the consistency constraint and regress log-selectivity from
+/// [x; ReLU(w t)] directly (Appendix B.2). All three share the training loop
+/// (Adam + Huber loss on log targets + best-on-validation snapshots); they
+/// differ in the forward graph:
+///  * DNN — a plain FFN;
+///  * MoE — sparsely gated mixture of experts (top-k softmax gating);
+///  * RMI — a two-stage recursive model index: the root routes each sample to
+///    a leaf expert by the quantile of its own prediction, leaves are trained
+///    stage-wise on their routed subsets.
+
+namespace selnet::bl {
+
+/// \brief Common hyper-parameters of the deep regressors.
+struct DeepConfig {
+  size_t input_dim = 0;       ///< d (required).
+  size_t t_embed = 16;        ///< Threshold embedding width m.
+  std::vector<size_t> hidden = {192, 192, 96};
+  float lr = 1e-3f;
+  size_t batch_size = 256;
+  float huber_delta = 1.345f;
+  float log_eps = 1.0f;
+  // MoE:
+  size_t num_experts = 8;
+  size_t top_k = 2;
+  std::vector<size_t> expert_hidden = {96, 96};
+  // RMI:
+  size_t num_leaves = 4;
+  double root_epoch_frac = 0.4;  ///< Fraction of the epoch budget for stage 1.
+
+  static DeepConfig FromScale(const util::ScaleConfig& scale, size_t dim);
+};
+
+/// \brief Shared trainer: subclasses provide the forward graph.
+class DeepRegressor : public eval::Estimator, public nn::Module {
+ public:
+  explicit DeepRegressor(const DeepConfig& cfg) : cfg_(cfg) {}
+
+  void Fit(const eval::TrainContext& ctx) override;
+  tensor::Matrix Predict(const tensor::Matrix& x,
+                         const tensor::Matrix& t) override;
+  bool IsConsistent() const override { return false; }
+
+ protected:
+  /// \brief Build the prediction graph (B x 1); by default the output is
+  /// interpreted as log-selectivity (see LossFor / ToSelectivity).
+  virtual ag::Var Forward(const ag::Var& x, const ag::Var& t) const = 0;
+
+  /// \brief Training loss for a batch; default Huber on log targets.
+  virtual ag::Var LossFor(const ag::Var& pred, const data::Batch& batch) const;
+
+  /// \brief Map raw network output to a selectivity; default exp(out)-eps.
+  virtual tensor::Matrix ToSelectivity(const tensor::Matrix& raw) const;
+
+  /// \brief MAE of real-space predictions on a sample set.
+  double EvalMae(const data::Workload& wl,
+                 const std::vector<data::QuerySample>& samples);
+
+  DeepConfig cfg_;
+};
+
+/// \brief Vanilla feed-forward regressor.
+class DnnRegressor : public DeepRegressor {
+ public:
+  DnnRegressor(const DeepConfig& cfg, uint64_t seed);
+  std::string Name() const override { return "DNN"; }
+  std::vector<ag::Var> Params() const override;
+
+ protected:
+  ag::Var Forward(const ag::Var& x, const ag::Var& t) const override;
+
+ private:
+  util::Rng rng_;
+  ThresholdEmbed t_embed_;
+  nn::Mlp body_;
+};
+
+/// \brief Sparsely-gated mixture of experts (Shazeer et al.).
+class MoeRegressor : public DeepRegressor {
+ public:
+  MoeRegressor(const DeepConfig& cfg, uint64_t seed);
+  std::string Name() const override { return "MoE"; }
+  std::vector<ag::Var> Params() const override;
+
+ protected:
+  ag::Var Forward(const ag::Var& x, const ag::Var& t) const override;
+
+ private:
+  util::Rng rng_;
+  ThresholdEmbed t_embed_;
+  nn::Mlp gate_;
+  std::vector<nn::Mlp> experts_;
+};
+
+/// \brief Two-stage recursive model index regressor (Kraska et al.).
+class RmiRegressor : public eval::Estimator, public nn::Module {
+ public:
+  RmiRegressor(const DeepConfig& cfg, uint64_t seed);
+  std::string Name() const override { return "RMI"; }
+  bool IsConsistent() const override { return false; }
+
+  void Fit(const eval::TrainContext& ctx) override;
+  tensor::Matrix Predict(const tensor::Matrix& x,
+                         const tensor::Matrix& t) override;
+  std::vector<ag::Var> Params() const override;
+
+ private:
+  ag::Var StageForward(const ThresholdEmbed& embed, const nn::Mlp& body,
+                       const ag::Var& x, const ag::Var& t) const;
+  size_t RouteOf(float root_pred) const;
+
+  DeepConfig cfg_;
+  util::Rng rng_;
+  ThresholdEmbed root_embed_;
+  nn::Mlp root_;
+  std::vector<ThresholdEmbed> leaf_embeds_;
+  std::vector<nn::Mlp> leaves_;
+  std::vector<float> route_bounds_;  ///< num_leaves-1 quantile boundaries.
+};
+
+}  // namespace selnet::bl

@@ -1,0 +1,222 @@
+#include "baselines/dln.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace selnet::bl {
+
+namespace {
+
+// Multilinear interpolation over the 2^m unit hypercube vertices.
+// z: B x m in [0,1]; theta: 1 x 2^m vertex values. out[b] =
+// sum_v theta_v * prod_i (v_i ? z_i : 1 - z_i).
+ag::Var MultilinearInterp(const ag::Var& z, const ag::Var& theta) {
+  size_t m = z->cols();
+  size_t verts = theta->cols();
+  SEL_CHECK_EQ(verts, size_t{1} << m);
+  SEL_CHECK_EQ(theta->rows(), 1u);
+  size_t rows = z->rows();
+  tensor::Matrix out(rows, 1);
+  for (size_t b = 0; b < rows; ++b) {
+    const float* zb = z->value.row(b);
+    double acc = 0.0;
+    for (size_t v = 0; v < verts; ++v) {
+      double w = 1.0;
+      for (size_t i = 0; i < m; ++i) {
+        w *= (v >> i & 1u) ? zb[i] : (1.0 - zb[i]);
+      }
+      acc += w * theta->value(0, v);
+    }
+    out(b, 0) = static_cast<float>(acc);
+  }
+  return ag::MakeNode(
+      std::move(out), {z, theta},
+      [m, verts](ag::Node* self) {
+        ag::Node* z = self->parents[0].get();
+        ag::Node* theta = self->parents[1].get();
+        for (size_t b = 0; b < self->rows(); ++b) {
+          float g = self->grad(b, 0);
+          if (g == 0.0f) continue;
+          const float* zb = z->value.row(b);
+          for (size_t v = 0; v < verts; ++v) {
+            double w = 1.0;
+            for (size_t i = 0; i < m; ++i) {
+              w *= (v >> i & 1u) ? zb[i] : (1.0 - zb[i]);
+            }
+            if (theta->requires_grad) {
+              theta->grad(0, v) += static_cast<float>(g * w);
+            }
+            if (z->requires_grad) {
+              float tv = theta->value(0, v);
+              for (size_t i = 0; i < m; ++i) {
+                double wpartial = 1.0;
+                for (size_t j = 0; j < m; ++j) {
+                  if (j == i) continue;
+                  wpartial *= (v >> j & 1u) ? zb[j] : (1.0 - zb[j]);
+                }
+                float sign = (v >> i & 1u) ? 1.0f : -1.0f;
+                z->grad(b, i) += static_cast<float>(g * tv * sign * wpartial);
+              }
+            }
+          }
+        }
+      },
+      "multilinear_interp");
+}
+
+// Subset-sum ("zeta") matrix: Z[u][v] = 1 iff u's bits are a subset of v's.
+// theta = relu(raw) * Z yields vertex values monotone in every lattice input.
+tensor::Matrix ZetaMatrix(size_t m) {
+  size_t verts = size_t{1} << m;
+  tensor::Matrix z(verts, verts);
+  for (size_t u = 0; u < verts; ++u) {
+    for (size_t v = 0; v < verts; ++v) {
+      if ((u & v) == u) z(u, v) = 1.0f;
+    }
+  }
+  return z;
+}
+
+}  // namespace
+
+DlnEstimator::DlnEstimator(const DlnConfig& cfg, uint64_t seed)
+    : DeepRegressor([&] {
+        DeepConfig base;
+        base.input_dim = cfg.input_dim;
+        base.lr = cfg.lr;
+        base.batch_size = cfg.batch_size;
+        base.huber_delta = cfg.huber_delta;
+        base.log_eps = cfg.log_eps;
+        return base;
+      }()),
+      dln_cfg_(cfg),
+      rng_(seed) {
+  SEL_CHECK_GT(cfg.input_dim, 0u);
+  size_t features = cfg.input_dim + 1;  // [x; t]
+  size_t k = cfg.calib_keypoints;
+  for (size_t f = 0; f < features; ++f) {
+    calib_values_.push_back(
+        ag::Param(tensor::Matrix::Uniform(1, k, &rng_, -0.1f, 0.1f)));
+  }
+  embed_w_free_ = ag::Param(nn::XavierUniform(cfg.input_dim, cfg.embed_dim, &rng_));
+  embed_w_t_ = ag::Param(tensor::Matrix::Uniform(1, cfg.embed_dim, &rng_, 0.2f, 0.8f));
+  embed_b_ = ag::Param(tensor::Matrix(1, cfg.embed_dim));
+  for (size_t l = 0; l < cfg.num_lattices; ++l) {
+    lattice_raw_.push_back(
+        ag::Param(tensor::Matrix::Uniform(1, 4, &rng_, 0.0f, 0.5f)));
+    lattice_dims_.emplace_back(l % cfg.embed_dim, (l + 1) % cfg.embed_dim);
+  }
+  out_scale_raw_ = ag::Param(tensor::Matrix::Full(1, 1, 1.0f));
+  out_bias_ = ag::Param(tensor::Matrix(1, 1));
+}
+
+void DlnEstimator::Fit(const eval::TrainContext& ctx) {
+  // Keypoints span each feature's empirical range on the training split;
+  // they are equally spaced and fixed — exactly the restriction Section 6.2
+  // analyzes (only the calibrator *values* are learnable).
+  const auto& wl = *ctx.workload;
+  data::Batch all = data::MaterializeAll(wl.queries, wl.train);
+  size_t features = dln_cfg_.input_dim + 1;
+  size_t k = dln_cfg_.calib_keypoints;
+  calib_keypoints_.assign(features, std::vector<float>(k));
+  for (size_t f = 0; f < features; ++f) {
+    float lo = std::numeric_limits<float>::max();
+    float hi = std::numeric_limits<float>::lowest();
+    for (size_t i = 0; i < all.x.rows(); ++i) {
+      float v = (f < dln_cfg_.input_dim) ? all.x(i, f) : all.t(i, 0);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi <= lo) hi = lo + 1e-3f;
+    for (size_t j = 0; j < k; ++j) {
+      calib_keypoints_[f][j] =
+          lo + (hi - lo) * static_cast<float>(j) / static_cast<float>(k - 1);
+    }
+  }
+  ranges_ready_ = true;
+  DeepRegressor::Fit(ctx);
+}
+
+ag::Var DlnEstimator::Calibrate(const ag::Var& features) const {
+  size_t batch = features->rows();
+  size_t nf = calib_values_.size();
+  size_t k = dln_cfg_.calib_keypoints;
+  ag::Var out;
+  for (size_t f = 0; f < nf; ++f) {
+    // Fixed keypoints (constant tau), learnable values (p). The t feature's
+    // values go through cumsum(ReLU) so its calibrator is monotone.
+    tensor::Matrix tau_b(batch, k);
+    for (size_t b = 0; b < batch; ++b) {
+      std::copy(calib_keypoints_[f].begin(), calib_keypoints_[f].end(),
+                tau_b.row(b));
+    }
+    ag::Var p_row = (f + 1 == nf)
+                        ? ag::CumsumRows(ag::Relu(calib_values_[f]))
+                        : calib_values_[f];
+    ag::Var p = ag::RepeatRows(p_row, batch);
+    ag::Var v = ag::SliceCols(features, f, f + 1);
+    ag::Var c = ag::PiecewiseLinearGather(ag::Constant(std::move(tau_b)), p, v);
+    out = out ? ag::ConcatCols(out, c) : c;
+  }
+  return out;
+}
+
+ag::Var DlnEstimator::Forward(const ag::Var& x, const ag::Var& t) const {
+  SEL_CHECK_MSG(ranges_ready_, "DLN Forward before Fit computed keypoints");
+  ag::Var features = ag::ConcatCols(x, t);
+  ag::Var calib = Calibrate(features);  // B x (d+1)
+  size_t d = dln_cfg_.input_dim;
+  ag::Var cx = ag::SliceCols(calib, 0, d);
+  ag::Var ct = ag::SliceCols(calib, d, d + 1);
+  // Monotone linear embedding: free weights for x, non-negative for t.
+  ag::Var embed = ag::Add(ag::MatMul(cx, embed_w_free_),
+                          ag::MatMul(ct, ag::Softplus(embed_w_t_)));
+  embed = ag::Sigmoid(ag::AddRowBroadcast(embed, embed_b_));  // [0,1]^E
+  // Lattice ensemble over dim pairs.
+  static const tensor::Matrix kZeta2 = ZetaMatrix(2);
+  ag::Var acc;
+  for (size_t l = 0; l < lattice_raw_.size(); ++l) {
+    auto [d0, d1] = lattice_dims_[l];
+    ag::Var z = ag::ConcatCols(ag::SliceCols(embed, d0, d0 + 1),
+                               ag::SliceCols(embed, d1, d1 + 1));
+    ag::Var theta = ag::MatMul(ag::Relu(lattice_raw_[l]), ag::Constant(kZeta2));
+    ag::Var o = MultilinearInterp(z, theta);
+    acc = acc ? ag::Add(acc, o) : o;
+  }
+  acc = ag::Scale(acc, 1.0f / static_cast<float>(lattice_raw_.size()));
+  // Non-negative output scale keeps the t path monotone.
+  ag::Var scaled = ag::MatMul(acc, ag::Softplus(out_scale_raw_));
+  return ag::AddRowBroadcast(scaled, out_bias_);
+}
+
+tensor::Matrix DlnEstimator::Predict(const tensor::Matrix& x,
+                                     const tensor::Matrix& t) {
+  return DeepRegressor::Predict(x, t);
+}
+
+std::vector<ag::Var> DlnEstimator::Params() const {
+  std::vector<ag::Var> out = calib_values_;
+  out.push_back(embed_w_free_);
+  out.push_back(embed_w_t_);
+  out.push_back(embed_b_);
+  for (const auto& p : lattice_raw_) out.push_back(p);
+  out.push_back(out_scale_raw_);
+  out.push_back(out_bias_);
+  return out;
+}
+
+core::PiecewiseLinear SimplifiedDlnFit(const std::vector<float>& ts,
+                                       const std::vector<float>& ys,
+                                       size_t knots) {
+  return core::PiecewiseLinear::FitEquallySpaced(ts, ys, knots);
+}
+
+core::PiecewiseLinear SelNetStyleFit(const std::vector<float>& ts,
+                                     const std::vector<float>& ys, size_t knots) {
+  return core::PiecewiseLinear::FitAdaptive(ts, ys, knots);
+}
+
+}  // namespace selnet::bl

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <vector>
+
+#include "baselines/deep_regressors.h"
+#include "core/pwl.h"
+
+/// \file dln.h
+/// \brief Deep Lattice Network baseline (You et al., NIPS'17) and the
+/// simplified DLN of the paper's Section 6.2.
+///
+/// Pipeline (a faithful shallow DLN): per-feature calibrators (1-D PWL with
+/// fixed equally-spaced keypoints — the inflexibility Section 6.2 critiques) →
+/// a monotone linear embedding (non-negative weights on the t path, sigmoid
+/// squash to [0,1]) → an ensemble of 2-D multilinear lattices whose vertex
+/// parameters are subset-sums of non-negative increments (monotone in every
+/// input) → a non-negative output scale + bias. Every stage is monotone along
+/// any path from t, so the model is consistent.
+
+namespace selnet::bl {
+
+/// \brief DLN hyper-parameters.
+struct DlnConfig {
+  size_t input_dim = 0;     ///< d (required).
+  size_t calib_keypoints = 8;
+  size_t embed_dim = 6;     ///< Monotone linear embedding width.
+  size_t num_lattices = 6;  ///< 2-D lattices over embedding dim pairs.
+  float lr = 3e-3f;
+  size_t batch_size = 256;
+  float huber_delta = 1.345f;
+  float log_eps = 1.0f;
+};
+
+/// \brief Deep lattice network estimator (consistent).
+class DlnEstimator : public DeepRegressor {
+ public:
+  DlnEstimator(const DlnConfig& cfg, uint64_t seed);
+
+  std::string Name() const override { return "DLN"; }
+  bool IsConsistent() const override { return true; }
+
+  void Fit(const eval::TrainContext& ctx) override;
+  tensor::Matrix Predict(const tensor::Matrix& x,
+                         const tensor::Matrix& t) override;
+  std::vector<ag::Var> Params() const override;
+
+ protected:
+  ag::Var Forward(const ag::Var& x, const ag::Var& t) const override;
+
+ private:
+  ag::Var Calibrate(const ag::Var& features) const;
+
+  DlnConfig dln_cfg_;
+  util::Rng rng_;
+  /// Per-feature calibrator outputs at the fixed keypoints; the t feature's
+  /// calibrator is reparameterized monotone (cumsum of ReLU increments).
+  std::vector<ag::Var> calib_values_;
+  std::vector<std::vector<float>> calib_keypoints_;  ///< Fixed per feature.
+  ag::Var embed_w_free_;  ///< (D-1) x E weights for x features.
+  ag::Var embed_w_t_;     ///< 1 x E raw weights for t (softplus -> >= 0).
+  ag::Var embed_b_;       ///< 1 x E bias.
+  std::vector<ag::Var> lattice_raw_;  ///< Per lattice: 1 x 4 raw increments.
+  std::vector<std::pair<size_t, size_t>> lattice_dims_;
+  ag::Var out_scale_raw_;  ///< 1 x 1 (softplus -> >= 0).
+  ag::Var out_bias_;       ///< 1 x 1.
+  bool ranges_ready_ = false;
+};
+
+/// \brief Section 6.2 / Figure 3: the two analytic 1-D fits compared there.
+///
+/// `SimplifiedDlnFit` is the best function in the simplified DLN family
+/// (equally spaced calibrator keypoints; the lattice degenerates to an affine
+/// map), `SelNetStyleFit` the best in SelNet's family (freely placed knots).
+/// Both return the least-squares piece-wise linear fit with `knots` knots.
+core::PiecewiseLinear SimplifiedDlnFit(const std::vector<float>& ts,
+                                       const std::vector<float>& ys,
+                                       size_t knots);
+core::PiecewiseLinear SelNetStyleFit(const std::vector<float>& ts,
+                                     const std::vector<float>& ys, size_t knots);
+
+}  // namespace selnet::bl

@@ -1,0 +1,216 @@
+#include "baselines/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/common.h"
+#include "util/check.h"
+
+namespace selnet::bl {
+
+namespace {
+
+// Quantile bin edges for one feature column; at most num_bins-1 edges.
+std::vector<float> QuantileEdges(std::vector<float> values, size_t num_bins) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  std::vector<float> edges;
+  if (values.size() <= num_bins) {
+    // Few distinct values: one edge between each pair.
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      edges.push_back(0.5f * (values[i] + values[i + 1]));
+    }
+    return edges;
+  }
+  for (size_t b = 1; b < num_bins; ++b) {
+    size_t idx = b * values.size() / num_bins;
+    edges.push_back(values[std::min(idx, values.size() - 1)]);
+  }
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+inline uint16_t BinOf(float v, const std::vector<float>& edges) {
+  return static_cast<uint16_t>(
+      std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+}
+
+}  // namespace
+
+float GbdtEstimator::Tree::Eval(const float* features) const {
+  int idx = 0;
+  while (nodes[idx].feature >= 0) {
+    const Node& n = nodes[idx];
+    idx = (features[n.feature] <= n.threshold) ? n.left : n.right;
+  }
+  return nodes[idx].value;
+}
+
+void GbdtEstimator::BuildTree(const std::vector<std::vector<uint16_t>>& bins,
+                              const std::vector<std::vector<float>>& edges,
+                              const std::vector<float>& residual,
+                              std::vector<uint32_t> samples, size_t depth,
+                              float lo, float hi, Tree* tree, int* node_index) {
+  int self = *node_index;
+  SEL_CHECK_EQ(static_cast<size_t>(self), tree->nodes.size());
+  tree->nodes.emplace_back();
+  ++*node_index;
+
+  double sum = 0.0;
+  for (uint32_t s : samples) sum += residual[s];
+  double mean = sum / std::max<size_t>(1, samples.size());
+  float leaf_value =
+      std::clamp(static_cast<float>(mean), lo, hi) * cfg_.learning_rate;
+
+  const size_t t_feature = num_features_ - 1;
+  bool can_split = depth < cfg_.max_depth && samples.size() >= 2 * cfg_.min_leaf;
+  int best_feature = -1;
+  size_t best_bin = 0;
+  double best_gain = 1e-7;  // require strictly positive gain
+  double best_lmean = 0.0, best_rmean = 0.0;
+
+  if (can_split) {
+    double total_sum = sum;
+    size_t total_n = samples.size();
+    for (size_t f = 0; f < num_features_; ++f) {
+      size_t nbins = edges[f].size() + 1;
+      if (nbins < 2) continue;
+      // Histogram of residual sums/counts per bin.
+      std::vector<double> hsum(nbins, 0.0);
+      std::vector<size_t> hcnt(nbins, 0);
+      for (uint32_t s : samples) {
+        uint16_t b = bins[f][s];
+        hsum[b] += residual[s];
+        ++hcnt[b];
+      }
+      double lsum = 0.0;
+      size_t lcnt = 0;
+      for (size_t b = 0; b + 1 < nbins; ++b) {
+        lsum += hsum[b];
+        lcnt += hcnt[b];
+        size_t rcnt = total_n - lcnt;
+        if (lcnt < cfg_.min_leaf || rcnt < cfg_.min_leaf) continue;
+        double rsum = total_sum - lsum;
+        // SSE reduction for mean-fitting: sum_l^2/n_l + sum_r^2/n_r - S^2/n.
+        double gain = lsum * lsum / static_cast<double>(lcnt) +
+                      rsum * rsum / static_cast<double>(rcnt) -
+                      total_sum * total_sum / static_cast<double>(total_n);
+        if (gain <= best_gain) continue;
+        double lmean = lsum / static_cast<double>(lcnt);
+        double rmean = rsum / static_cast<double>(rcnt);
+        if (cfg_.monotone_t && f == t_feature && lmean > rmean) {
+          continue;  // would violate monotonicity in t
+        }
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_bin = b;
+        best_lmean = lmean;
+        best_rmean = rmean;
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    tree->nodes[self].value = leaf_value;
+    return;
+  }
+
+  // Children bounds: only a monotone split on t tightens them.
+  float llo = lo, lhi = hi, rlo = lo, rhi = hi;
+  if (cfg_.monotone_t && best_feature == static_cast<int>(t_feature)) {
+    float mid = static_cast<float>(0.5 * (best_lmean + best_rmean));
+    lhi = std::min(lhi, mid);
+    rlo = std::max(rlo, mid);
+  }
+
+  std::vector<uint32_t> left, right;
+  left.reserve(samples.size());
+  right.reserve(samples.size());
+  for (uint32_t s : samples) {
+    if (bins[best_feature][s] <= best_bin) {
+      left.push_back(s);
+    } else {
+      right.push_back(s);
+    }
+  }
+  samples.clear();
+  samples.shrink_to_fit();
+
+  tree->nodes[self].feature = best_feature;
+  tree->nodes[self].threshold = edges[best_feature][best_bin];
+  tree->nodes[self].left = *node_index;
+  BuildTree(bins, edges, residual, std::move(left), depth + 1, llo, lhi, tree,
+            node_index);
+  tree->nodes[self].right = *node_index;
+  BuildTree(bins, edges, residual, std::move(right), depth + 1, rlo, rhi, tree,
+            node_index);
+}
+
+void GbdtEstimator::Fit(const eval::TrainContext& ctx) {
+  SEL_CHECK(ctx.workload != nullptr);
+  const auto& wl = *ctx.workload;
+  SEL_CHECK(!wl.train.empty());
+  data::Batch all = data::MaterializeAll(wl.queries, wl.train);
+  size_t n = all.x.rows(), d = all.x.cols();
+  num_features_ = d + 1;
+
+  // Feature matrix [x; t] stored column-wise for histogram building.
+  std::vector<std::vector<float>> columns(num_features_, std::vector<float>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < d; ++f) columns[f][i] = all.x(i, f);
+    columns[d][i] = all.t(i, 0);
+  }
+  std::vector<std::vector<float>> edges(num_features_);
+  std::vector<std::vector<uint16_t>> bins(num_features_,
+                                          std::vector<uint16_t>(n));
+  for (size_t f = 0; f < num_features_; ++f) {
+    edges[f] = QuantileEdges(columns[f], cfg_.num_bins);
+    for (size_t i = 0; i < n; ++i) bins[f][i] = BinOf(columns[f][i], edges[f]);
+  }
+
+  tensor::Matrix target = LogTargets(all.y, cfg_.log_eps);
+  double mean = target.Sum() / static_cast<double>(n);
+  base_score_ = static_cast<float>(mean);
+
+  std::vector<float> pred(n, base_score_);
+  std::vector<float> residual(n);
+  std::vector<uint32_t> root_samples(n);
+  for (size_t i = 0; i < n; ++i) root_samples[i] = static_cast<uint32_t>(i);
+
+  trees_.clear();
+  trees_.reserve(cfg_.num_trees);
+  constexpr float kInf = std::numeric_limits<float>::max();
+  for (size_t m = 0; m < cfg_.num_trees; ++m) {
+    for (size_t i = 0; i < n; ++i) residual[i] = target(i, 0) - pred[i];
+    Tree tree;
+    int node_index = 0;
+    BuildTree(bins, edges, residual, root_samples, 0, -kInf, kInf, &tree,
+              &node_index);
+    // Update predictions with this tree.
+    std::vector<float> features(num_features_);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t f = 0; f < d; ++f) features[f] = all.x(i, f);
+      features[d] = all.t(i, 0);
+      pred[i] += tree.Eval(features.data());
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+tensor::Matrix GbdtEstimator::Predict(const tensor::Matrix& x,
+                                      const tensor::Matrix& t) {
+  SEL_CHECK_EQ(x.rows(), t.rows());
+  tensor::Matrix log_pred(x.rows(), 1);
+  std::vector<float> features(num_features_);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t f = 0; f + 1 < num_features_; ++f) features[f] = x(r, f);
+    features[num_features_ - 1] = t(r, 0);
+    float acc = base_score_;
+    for (const auto& tree : trees_) acc += tree.Eval(features.data());
+    log_pred(r, 0) = acc;
+  }
+  return ExpPredictions(log_pred, cfg_.log_eps);
+}
+
+}  // namespace selnet::bl

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/estimator.h"
+
+/// \file gbdt.h
+/// \brief Histogram gradient-boosted regression trees — the LightGBM /
+/// LightGBM-m stand-ins of Tables 1-4.
+///
+/// Squared-error boosting on log(y+eps) targets over features [x; t].
+/// The monotone variant enforces non-decreasing output in the t feature the
+/// way LightGBM does: a split on t is rejected if the left child's mean
+/// exceeds the right's, and children inherit clamped value bounds
+/// (left.hi = right.lo = midpoint), so every tree — and hence the boosted sum
+/// and its exp transform — is monotone in t.
+
+namespace selnet::bl {
+
+/// \brief Boosting configuration.
+struct GbdtConfig {
+  size_t num_trees = 80;
+  size_t max_depth = 5;
+  size_t num_bins = 32;     ///< Quantile histogram bins per feature.
+  size_t min_leaf = 8;      ///< Minimum samples per leaf.
+  float learning_rate = 0.1f;
+  bool monotone_t = false;  ///< Enforce monotonicity in the t feature.
+  float log_eps = 1.0f;
+  uint64_t seed = 59;
+};
+
+/// \brief Gradient-boosted trees estimator.
+class GbdtEstimator : public eval::Estimator {
+ public:
+  explicit GbdtEstimator(GbdtConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string Name() const override {
+    return cfg_.monotone_t ? "LightGBM-m" : "LightGBM";
+  }
+  bool IsConsistent() const override { return cfg_.monotone_t; }
+
+  void Fit(const eval::TrainContext& ctx) override;
+
+  tensor::Matrix Predict(const tensor::Matrix& x,
+                         const tensor::Matrix& t) override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 = leaf.
+    float threshold = 0.0f; ///< Go left iff value <= threshold.
+    int left = -1;
+    int right = -1;
+    float value = 0.0f;     ///< Leaf output (already scaled by learning rate).
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    float Eval(const float* features) const;
+  };
+
+  void BuildTree(const std::vector<std::vector<uint16_t>>& bins,
+                 const std::vector<std::vector<float>>& edges,
+                 const std::vector<float>& residual,
+                 std::vector<uint32_t> samples, size_t depth, float lo, float hi,
+                 Tree* tree, int* node_index);
+
+  GbdtConfig cfg_;
+  std::vector<Tree> trees_;
+  float base_score_ = 0.0f;
+  size_t num_features_ = 0;
+};
+
+}  // namespace selnet::bl

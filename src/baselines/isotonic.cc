@@ -1,0 +1,49 @@
+#include "baselines/isotonic.h"
+
+#include "util/check.h"
+
+namespace selnet::bl {
+
+std::vector<double> PavaIsotonic(const std::vector<double>& y,
+                                 const std::vector<double>& w) {
+  size_t n = y.size();
+  if (n == 0) return {};
+  SEL_CHECK(w.empty() || w.size() == n);
+  // Stack of blocks (mean, weight, count); merge while the tail violates.
+  struct Block {
+    double mean;
+    double weight;
+    size_t count;
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double wi = w.empty() ? 1.0 : w[i];
+    blocks.push_back({y[i], wi, 1});
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].mean > blocks.back().mean) {
+      Block top = blocks.back();
+      blocks.pop_back();
+      Block& prev = blocks.back();
+      double tw = prev.weight + top.weight;
+      prev.mean = (prev.mean * prev.weight + top.mean * top.weight) / tw;
+      prev.weight = tw;
+      prev.count += top.count;
+    }
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  for (const auto& b : blocks) {
+    for (size_t i = 0; i < b.count; ++i) out.push_back(b.mean);
+  }
+  return out;
+}
+
+bool IsNonDecreasing(const std::vector<double>& y, double tol) {
+  for (size_t i = 1; i < y.size(); ++i) {
+    if (y[i] < y[i - 1] - tol) return false;
+  }
+  return true;
+}
+
+}  // namespace selnet::bl

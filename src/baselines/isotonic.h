@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+/// \file isotonic.h
+/// \brief Isotonic regression via Pool-Adjacent-Violators (PAVA).
+///
+/// Referenced by the paper's related-work discussion as the classic free-form
+/// monotone fit; used here as a testing utility (projecting arbitrary curves
+/// onto the monotone cone) and in the density example for post-hoc smoothing.
+
+namespace selnet::bl {
+
+/// \brief Weighted L2 isotonic (non-decreasing) fit of `y`.
+///
+/// \param y values in x-order
+/// \param w optional positive weights (empty = uniform)
+/// \return fitted non-decreasing sequence of the same length
+std::vector<double> PavaIsotonic(const std::vector<double>& y,
+                                 const std::vector<double>& w = {});
+
+/// \brief True iff `y` is non-decreasing.
+bool IsNonDecreasing(const std::vector<double>& y, double tol = 0.0);
+
+}  // namespace selnet::bl

@@ -1,0 +1,87 @@
+#include "baselines/kde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace selnet::bl {
+
+namespace {
+// Standard normal CDF via erfc.
+inline double NormalCdf(double z) { return 0.5 * std::erfc(-z * (1.0 / std::sqrt(2.0))); }
+}  // namespace
+
+void KdeEstimator::Fit(const eval::TrainContext& ctx) {
+  SEL_CHECK(ctx.db != nullptr && ctx.workload != nullptr);
+  const data::Database& db = *ctx.db;
+  metric_ = db.metric();
+  util::Rng rng(cfg_.seed ^ ctx.seed);
+
+  // Draw the sample set.
+  std::vector<size_t> live = db.LiveIds();
+  size_t m = std::min(cfg_.num_samples, live.size());
+  std::vector<size_t> picks = rng.SampleWithoutReplacement(live.size(), m);
+  samples_ = tensor::Matrix(m, db.dim());
+  for (size_t i = 0; i < m; ++i) {
+    const float* src = db.vector(live[picks[i]]);
+    std::copy(src, src + db.dim(), samples_.row(i));
+  }
+  scale_ = static_cast<float>(db.size()) / static_cast<float>(m);
+
+  // Adaptive base bandwidth: distance to the k-th NN within the sample set.
+  base_h_.assign(m, 0.0f);
+  size_t k = std::min(cfg_.knn_k, m > 1 ? m - 1 : size_t{1});
+  std::vector<float> dists(m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      dists[j] = (i == j) ? std::numeric_limits<float>::max()
+                          : data::Distance(samples_.row(i), samples_.row(j),
+                                           samples_.cols(), metric_);
+    }
+    std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
+    base_h_[i] = std::max(dists[k - 1], 1e-6f);
+  }
+
+  // Select the global multiplier on the validation split (fall back to train
+  // if the workload has no validation data).
+  const auto& wl = *ctx.workload;
+  const auto& tune = wl.valid.empty() ? wl.train : wl.valid;
+  double best_err = std::numeric_limits<double>::max();
+  for (float factor : cfg_.bandwidth_grid) {
+    double err = 0.0;
+    for (const auto& s : tune) {
+      double est = EstimateOne(wl.queries.row(s.query_id), s.t, factor);
+      double r = std::log(est + 1.0) - std::log(static_cast<double>(s.y) + 1.0);
+      err += r * r;
+    }
+    if (err < best_err) {
+      best_err = err;
+      factor_ = factor;
+    }
+  }
+}
+
+double KdeEstimator::EstimateOne(const float* x, float t, float factor) const {
+  double acc = 0.0;
+  for (size_t j = 0; j < samples_.rows(); ++j) {
+    float d = data::Distance(x, samples_.row(j), samples_.cols(), metric_);
+    double h = static_cast<double>(base_h_[j]) * factor;
+    acc += NormalCdf((static_cast<double>(t) - d) / h);
+  }
+  return acc * scale_;
+}
+
+tensor::Matrix KdeEstimator::Predict(const tensor::Matrix& x,
+                                     const tensor::Matrix& t) {
+  SEL_CHECK_EQ(x.rows(), t.rows());
+  tensor::Matrix out(x.rows(), 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out(r, 0) = static_cast<float>(EstimateOne(x.row(r), t(r, 0), factor_));
+  }
+  return out;
+}
+
+}  // namespace selnet::bl

@@ -1,0 +1,102 @@
+#include "baselines/lsh_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/blas.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace selnet::bl {
+
+uint32_t LshEstimator::Signature(const float* vec) const {
+  uint32_t sig = 0;
+  for (size_t b = 0; b < cfg_.signature_bits; ++b) {
+    float dot = tensor::Dot(hyperplanes_.row(b), vec, hyperplanes_.cols());
+    if (dot >= 0.0f) sig |= (1u << b);
+  }
+  return sig;
+}
+
+void LshEstimator::Fit(const eval::TrainContext& ctx) {
+  SEL_CHECK(ctx.db != nullptr);
+  SEL_CHECK_MSG(ctx.db->metric() == data::Metric::kCosine,
+                "LSH baseline supports cosine distance only (SimHash)");
+  SEL_CHECK_LE(cfg_.signature_bits, 32u);
+  metric_ = ctx.db->metric();
+  util::Rng rng(cfg_.seed ^ ctx.seed);
+  hyperplanes_ =
+      tensor::Matrix::Gaussian(cfg_.signature_bits, ctx.db->dim(), &rng);
+  vectors_ = ctx.db->DenseView();
+  signatures_.resize(vectors_.rows());
+  for (size_t i = 0; i < vectors_.rows(); ++i) {
+    signatures_[i] = Signature(vectors_.row(i));
+  }
+}
+
+double LshEstimator::EstimateOne(const float* x, float t) const {
+  uint32_t qsig = Signature(x);
+  // The sample is a deterministic function of the query (not of t): repeated
+  // calls with growing t reuse identical samples, so the indicator hits — and
+  // therefore the estimate — are monotone in t (consistency guarantee).
+  util::Rng sample_rng((cfg_.seed * 1000003ull) ^ qsig);
+  util::Rng* rng = &sample_rng;
+  size_t b = cfg_.signature_bits;
+  // Stratify object indices by Hamming distance to the query signature.
+  std::vector<std::vector<uint32_t>> strata(b + 1);
+  for (size_t i = 0; i < signatures_.size(); ++i) {
+    uint32_t h = static_cast<uint32_t>(__builtin_popcount(signatures_[i] ^ qsig));
+    strata[h].push_back(static_cast<uint32_t>(i));
+  }
+  // Allocation weights: geometric decay in Hamming distance (low-Hamming
+  // strata are where matches concentrate), scaled by stratum mass.
+  std::vector<double> want(b + 1, 0.0);
+  double total_w = 0.0;
+  for (size_t h = 0; h <= b; ++h) {
+    if (strata[h].empty()) continue;
+    want[h] = std::pow(cfg_.allocation_decay, static_cast<double>(h)) *
+              std::sqrt(static_cast<double>(strata[h].size()));
+    total_w += want[h];
+  }
+  if (total_w <= 0.0) return 0.0;
+  double estimate = 0.0;
+  for (size_t h = 0; h <= b; ++h) {
+    if (strata[h].empty()) continue;
+    size_t budget = static_cast<size_t>(
+        std::ceil(static_cast<double>(cfg_.sample_budget) * want[h] / total_w));
+    budget = std::clamp<size_t>(budget, 1, strata[h].size());
+    size_t hits = 0;
+    if (budget == strata[h].size()) {
+      for (uint32_t idx : strata[h]) {
+        if (data::Distance(x, vectors_.row(idx), vectors_.cols(), metric_) <= t) {
+          ++hits;
+        }
+      }
+      estimate += static_cast<double>(hits);
+    } else {
+      std::vector<size_t> picks =
+          rng->SampleWithoutReplacement(strata[h].size(), budget);
+      for (size_t p : picks) {
+        uint32_t idx = strata[h][p];
+        if (data::Distance(x, vectors_.row(idx), vectors_.cols(), metric_) <= t) {
+          ++hits;
+        }
+      }
+      estimate += static_cast<double>(strata[h].size()) *
+                  static_cast<double>(hits) / static_cast<double>(budget);
+    }
+  }
+  return estimate;
+}
+
+tensor::Matrix LshEstimator::Predict(const tensor::Matrix& x,
+                                     const tensor::Matrix& t) {
+  SEL_CHECK_EQ(x.rows(), t.rows());
+  tensor::Matrix out(x.rows(), 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    out(r, 0) = static_cast<float>(EstimateOne(x.row(r), t(r, 0)));
+  }
+  return out;
+}
+
+}  // namespace selnet::bl

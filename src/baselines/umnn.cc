@@ -1,0 +1,98 @@
+#include "baselines/umnn.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace selnet::bl {
+
+void ClenshawCurtisRule(size_t n, std::vector<double>* nodes,
+                        std::vector<double>* weights) {
+  SEL_CHECK_GE(n, 2u);
+  SEL_CHECK_EQ(n % 2, 0u);  // even N keeps the closed-form weights simple
+  nodes->resize(n + 1);
+  weights->resize(n + 1);
+  const double pi = std::acos(-1.0);
+  for (size_t j = 0; j <= n; ++j) {
+    (*nodes)[j] = std::cos(static_cast<double>(j) * pi / static_cast<double>(n));
+    // w_j = (c_j / n) * (1 - sum_{k=1}^{n/2} b_k / (4k^2 - 1) * cos(2 k j pi / n))
+    double sum = 0.0;
+    for (size_t k = 1; k <= n / 2; ++k) {
+      double bk = (k == n / 2) ? 1.0 : 2.0;
+      sum += bk / (4.0 * static_cast<double>(k) * k - 1.0) *
+             std::cos(2.0 * static_cast<double>(k) * j * pi / n);
+    }
+    double cj = (j == 0 || j == n) ? 1.0 : 2.0;
+    (*weights)[j] = cj / static_cast<double>(n) * (1.0 - sum);
+  }
+}
+
+UmnnEstimator::UmnnEstimator(const UmnnConfig& cfg, uint64_t seed)
+    : DeepRegressor([&] {
+        DeepConfig base;
+        base.input_dim = cfg.input_dim;
+        base.lr = cfg.lr;
+        base.batch_size = cfg.batch_size;
+        base.huber_delta = cfg.huber_delta;
+        base.log_eps = cfg.log_eps;
+        return base;
+      }()),
+      umnn_cfg_(cfg),
+      rng_(seed) {
+  SEL_CHECK_GT(cfg.input_dim, 0u);
+  integrand_ = nn::Mlp({cfg.input_dim + 1, cfg.hidden, cfg.hidden, 1}, &rng_,
+                       nn::Activation::kRelu, nn::Activation::kSoftplus);
+  bias_net_ = nn::Mlp({cfg.input_dim, cfg.hidden / 2, 1}, &rng_,
+                      nn::Activation::kRelu, nn::Activation::kSoftplus);
+  ClenshawCurtisRule(cfg.quad_points, &nodes_, &weights_);
+}
+
+ag::Var UmnnEstimator::Forward(const ag::Var& x, const ag::Var& t) const {
+  size_t batch = x->rows();
+  size_t d = x->cols();
+  size_t q = nodes_.size();
+  // Stack (x_b, s_{b,j}) rows, b-major, so Reshape below recovers B x Q.
+  tensor::Matrix stacked(batch * q, d + 1);
+  for (size_t b = 0; b < batch; ++b) {
+    double tb = t->value(b, 0);
+    const float* xb = x->value.row(b);
+    for (size_t j = 0; j < q; ++j) {
+      float* row = stacked.row(b * q + j);
+      std::copy(xb, xb + d, row);
+      row[d] = static_cast<float>(tb * (nodes_[j] + 1.0) * 0.5);  // [0, t]
+    }
+  }
+  ag::Var g = integrand_.Forward(ag::Constant(std::move(stacked)));
+  ag::Var grid = ag::Reshape(g, batch, q);  // B x Q positive integrand values
+  // Row-constant quadrature weights; the t/2 interval scaling is applied as a
+  // per-row factor.
+  tensor::Matrix w(1, q);
+  for (size_t j = 0; j < q; ++j) w(0, j) = static_cast<float>(weights_[j]);
+  ag::Var weighted = ag::Mul(grid, ag::RepeatRows(ag::Constant(std::move(w)), batch));
+  tensor::Matrix half_t = t->value;
+  half_t.Apply([](float v) { return 0.5f * v; });
+  ag::Var integral =
+      ag::MulColBroadcast(ag::RowSums(weighted), ag::Constant(std::move(half_t)));
+  ag::Var bias = bias_net_.Forward(x);  // >= 0 via Softplus
+  return ag::Add(integral, bias);
+}
+
+ag::Var UmnnEstimator::LossFor(const ag::Var& pred,
+                               const data::Batch& batch) const {
+  return ag::HuberLogLoss(pred, ag::Constant(batch.y), cfg_.huber_delta,
+                          cfg_.log_eps);
+}
+
+tensor::Matrix UmnnEstimator::ToSelectivity(const tensor::Matrix& raw) const {
+  tensor::Matrix out = raw;
+  out.Apply([](float v) { return std::max(v, 0.0f); });
+  return out;
+}
+
+std::vector<ag::Var> UmnnEstimator::Params() const {
+  std::vector<ag::Var> out = integrand_.Params();
+  for (const auto& p : bias_net_.Params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace selnet::bl

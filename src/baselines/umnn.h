@@ -1,0 +1,62 @@
+#pragma once
+
+#include "baselines/deep_regressors.h"
+
+/// \file umnn.h
+/// \brief Unconstrained Monotonic Neural Network baseline (Wehenkel & Louppe,
+/// NeurIPS'19) via Clenshaw–Curtis quadrature (Section 6.3).
+///
+/// The model is fhat(x, t) = ∫_0^t g(x, s) ds + b(x) where the integrand net
+/// g outputs through Softplus (strictly positive, hence fhat strictly
+/// increasing in t) and the bias net b is Softplus-clamped so predictions stay
+/// non-negative selectivities. The integral is approximated with an N-point
+/// Clenshaw–Curtis rule whose nodes are *the same for every query* — the
+/// inflexibility relative to SelNet's query-dependent knots that Section 6.3
+/// points out.
+
+namespace selnet::bl {
+
+/// \brief UMNN hyper-parameters.
+struct UmnnConfig {
+  size_t input_dim = 0;       ///< d (required).
+  size_t hidden = 128;        ///< Integrand net hidden width.
+  size_t quad_points = 16;    ///< Clenshaw–Curtis N (N+1 nodes).
+  float lr = 1e-3f;
+  size_t batch_size = 128;
+  float huber_delta = 1.345f;
+  float log_eps = 1.0f;
+};
+
+/// \brief Clenshaw–Curtis nodes x_j = cos(j pi / N) and weights on [-1, 1].
+/// Exposed for the quadrature accuracy tests.
+void ClenshawCurtisRule(size_t n, std::vector<double>* nodes,
+                        std::vector<double>* weights);
+
+/// \brief UMNN estimator (consistent by construction).
+class UmnnEstimator : public DeepRegressor {
+ public:
+  UmnnEstimator(const UmnnConfig& cfg, uint64_t seed);
+
+  std::string Name() const override { return "UMNN"; }
+  bool IsConsistent() const override { return true; }
+
+  std::vector<ag::Var> Params() const override;
+
+ protected:
+  ag::Var Forward(const ag::Var& x, const ag::Var& t) const override;
+
+  /// \brief The network outputs selectivities directly (non-negative), so the
+  /// loss is Huber-log on the raw output and no exp transform is applied.
+  ag::Var LossFor(const ag::Var& pred, const data::Batch& batch) const override;
+  tensor::Matrix ToSelectivity(const tensor::Matrix& raw) const override;
+
+ private:
+  UmnnConfig umnn_cfg_;
+  util::Rng rng_;
+  nn::Mlp integrand_;  ///< (d+1) -> hidden -> hidden -> 1, Softplus output.
+  nn::Mlp bias_net_;   ///< d -> hidden -> 1, Softplus output.
+  std::vector<double> nodes_;
+  std::vector<double> weights_;
+};
+
+}  // namespace selnet::bl

@@ -1,0 +1,50 @@
+#include "core/control_heads.h"
+
+#include "nn/init.h"
+#include "util/check.h"
+
+namespace selnet::core {
+
+ControlHeads::ControlHeads(const HeadsConfig& cfg, util::Rng* rng) : cfg_(cfg) {
+  SEL_CHECK_GT(cfg.input_dim, 0u);
+  SEL_CHECK_GE(cfg.num_control, 1u);
+  size_t l = cfg.num_control;
+  tau_net_ = nn::Mlp({cfg.input_dim, cfg.tau_hidden, cfg.tau_hidden, l + 1}, rng);
+  p_net_ = nn::Mlp({cfg.input_dim, cfg.p_hidden, cfg.p_hidden, cfg.p_hidden,
+                    (l + 2) * cfg.embed_h},
+                   rng);
+  pw_ = ag::Param(nn::XavierUniform(l + 2, cfg.embed_h, rng));
+  pb_ = ag::Param(tensor::Matrix(1, l + 2, 0.01f));
+}
+
+ControlHeads::Out ControlHeads::Forward(const ag::Var& input) const {
+  size_t batch = input->rows();
+  ag::Var tau_in = input;
+  if (!cfg_.query_dependent_tau) {
+    // Ablation: constant input makes the knot layout query-independent.
+    tau_in = ag::Constant(tensor::Matrix::Ones(batch, cfg_.input_dim));
+  }
+  ag::Var tau_raw = tau_net_.Forward(tau_in);                // B x (L+1)
+  // Either simplex map keeps increments positive, so monotonicity holds for
+  // both; they differ in how evenly they partition [0, tmax] (Section 5.2).
+  ag::Var incr = cfg_.softmax_tau ? ag::SoftmaxRows(tau_raw)
+                                  : ag::NormL2Rows(tau_raw);
+  ag::Var cum = ag::CumsumRows(ag::Scale(incr, cfg_.tmax));  // tau_1..tau_{L+1}
+  ag::Var zero = ag::Constant(tensor::Matrix(batch, 1));
+  ag::Var tau = ag::ConcatCols(zero, cum);                   // B x (L+2)
+
+  ag::Var h = p_net_.Forward(input);                         // B x (L+2)*H
+  ag::Var k = ag::Relu(ag::GroupedLinear(h, pw_, pb_));      // increments >= 0
+  ag::Var p = ag::CumsumRows(k);                             // monotone values
+  return {tau, p};
+}
+
+std::vector<ag::Var> ControlHeads::Params() const {
+  std::vector<ag::Var> out = tau_net_.Params();
+  for (const auto& v : p_net_.Params()) out.push_back(v);
+  out.push_back(pw_);
+  out.push_back(pb_);
+  return out;
+}
+
+}  // namespace selnet::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "nn/mlp.h"
+
+/// \file control_heads.h
+/// \brief Query-dependent control point generation (Section 5.2, Figure 1).
+///
+/// Two heads consume the AE-enhanced input [x; z_x]:
+///  * tau head: an FFN emits L+1 raw increments; `NormL2Rows` maps them onto
+///    the simplex (strictly positive), scaling by tmax and prefix-summing
+///    yields strictly increasing knots tau_1..tau_{L+1} with tau_{L+1}=tmax;
+///    a zero column is prepended for tau_0.
+///  * p head ("model M"): a wide FFN emits L+2 embeddings h_i of width H; per
+///    position linear heads (`GroupedLinear`) + ReLU give non-negative
+///    increments k_i; prefix sums give the monotone knot values p_i.
+/// Monotonicity in t therefore holds by construction (Lemma 1).
+
+namespace selnet::core {
+
+/// \brief Shape/behaviour parameters of one pair of control-point heads.
+struct HeadsConfig {
+  size_t input_dim = 0;     ///< dim([x; z_x]).
+  size_t num_control = 16;  ///< L; the function has L+2 knots.
+  size_t tau_hidden = 96;   ///< tau FFN hidden width (2 hidden layers).
+  size_t p_hidden = 128;    ///< p FFN hidden width (4 hidden layers).
+  size_t embed_h = 24;      ///< Embedding width H per control point (paper: 100).
+  float tmax = 1.0f;        ///< Domain upper end.
+  /// SelNet-ad-ct ablation: when false the tau FFN sees a constant vector, so
+  /// knot positions are shared across queries (Section 7.4).
+  bool query_dependent_tau = true;
+  /// Ablation of the Section 5.2 design choice: replace NormL2 with a row
+  /// softmax when mapping raw tau increments onto the simplex. The paper
+  /// argues softmax's exponential amplifies small input changes and
+  /// highlights single entries instead of partitioning the range; this flag
+  /// lets the claim be measured (bench/ablation_tau_normalizer).
+  bool softmax_tau = false;
+};
+
+/// \brief The (tau, p) generator for one partition's local model.
+class ControlHeads : public nn::Module {
+ public:
+  ControlHeads() = default;
+  ControlHeads(const HeadsConfig& cfg, util::Rng* rng);
+
+  struct Out {
+    ag::Var tau;  ///< B x (L+2), non-decreasing rows, tau_0=0, tau_{L+1}=tmax.
+    ag::Var p;    ///< B x (L+2), non-decreasing, non-negative rows.
+  };
+
+  /// \brief Generate control points for a batch of enhanced inputs.
+  Out Forward(const ag::Var& input) const;
+
+  std::vector<ag::Var> Params() const override;
+
+  const HeadsConfig& config() const { return cfg_; }
+
+ private:
+  HeadsConfig cfg_;
+  nn::Mlp tau_net_;
+  nn::Mlp p_net_;
+  ag::Var pw_;  ///< GroupedLinear weights (L+2) x H.
+  ag::Var pb_;  ///< GroupedLinear bias 1 x (L+2).
+};
+
+}  // namespace selnet::core

@@ -1,0 +1,149 @@
+#include "core/model_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace selnet::core {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'E', 'L', 'M'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+// The config is serialized field by field (not memcpy'd) so padding and
+// future field insertions stay controlled by the version number.
+bool WriteConfig(std::FILE* f, const SelNetConfig& cfg) {
+  return WriteScalar<uint64_t>(f, cfg.input_dim) &&
+         WriteScalar<uint64_t>(f, cfg.latent_dim) &&
+         WriteScalar<uint64_t>(f, cfg.ae_hidden) &&
+         WriteScalar<uint64_t>(f, cfg.num_control) &&
+         WriteScalar<uint64_t>(f, cfg.tau_hidden) &&
+         WriteScalar<uint64_t>(f, cfg.p_hidden) &&
+         WriteScalar<uint64_t>(f, cfg.embed_h) &&
+         WriteScalar<float>(f, cfg.tmax) &&
+         WriteScalar<float>(f, cfg.lambda_ae) &&
+         WriteScalar<float>(f, cfg.huber_delta) &&
+         WriteScalar<float>(f, cfg.log_eps) &&
+         WriteScalar<float>(f, cfg.lr) &&
+         WriteScalar<uint64_t>(f, cfg.batch_size) &&
+         WriteScalar<uint8_t>(f, cfg.query_dependent_tau ? 1 : 0) &&
+         WriteScalar<uint8_t>(f, cfg.softmax_tau ? 1 : 0);
+}
+
+bool ReadConfig(std::FILE* f, SelNetConfig* cfg) {
+  uint64_t u = 0;
+  uint8_t b = 0;
+  if (!ReadScalar(f, &u)) return false;
+  cfg->input_dim = u;
+  if (!ReadScalar(f, &u)) return false;
+  cfg->latent_dim = u;
+  if (!ReadScalar(f, &u)) return false;
+  cfg->ae_hidden = u;
+  if (!ReadScalar(f, &u)) return false;
+  cfg->num_control = u;
+  if (!ReadScalar(f, &u)) return false;
+  cfg->tau_hidden = u;
+  if (!ReadScalar(f, &u)) return false;
+  cfg->p_hidden = u;
+  if (!ReadScalar(f, &u)) return false;
+  cfg->embed_h = u;
+  if (!ReadScalar(f, &cfg->tmax)) return false;
+  if (!ReadScalar(f, &cfg->lambda_ae)) return false;
+  if (!ReadScalar(f, &cfg->huber_delta)) return false;
+  if (!ReadScalar(f, &cfg->log_eps)) return false;
+  if (!ReadScalar(f, &cfg->lr)) return false;
+  if (!ReadScalar(f, &u)) return false;
+  cfg->batch_size = u;
+  if (!ReadScalar(f, &b)) return false;
+  cfg->query_dependent_tau = (b != 0);
+  if (!ReadScalar(f, &b)) return false;
+  cfg->softmax_tau = (b != 0);
+  return true;
+}
+
+}  // namespace
+
+Status SaveModel(const SelNetCt& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
+      !WriteScalar(f.get(), kVersion) || !WriteConfig(f.get(), model.config())) {
+    return Status::IOError("short write: " + path);
+  }
+  std::vector<ag::Var> params = model.Params();
+  if (!WriteScalar<uint64_t>(f.get(), params.size())) {
+    return Status::IOError("short write: " + path);
+  }
+  for (const auto& p : params) {
+    if (!WriteScalar<uint64_t>(f.get(), p->value.rows()) ||
+        !WriteScalar<uint64_t>(f.get(), p->value.cols())) {
+      return Status::IOError("short write: " + path);
+    }
+    size_t n = p->value.size();
+    if (n > 0 && std::fwrite(p->value.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IOError("short write: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SelNetCt>> LoadModel(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  char magic[4];
+  uint32_t version = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Invalid("bad magic in " + path);
+  }
+  if (!ReadScalar(f.get(), &version) || version != kVersion) {
+    return Status::Invalid("unsupported model version in " + path);
+  }
+  SelNetConfig cfg;
+  if (!ReadConfig(f.get(), &cfg)) {
+    return Status::IOError("truncated config in " + path);
+  }
+  auto model = std::make_unique<SelNetCt>(cfg);
+  std::vector<ag::Var> params = model->Params();
+  uint64_t count = 0;
+  if (!ReadScalar(f.get(), &count) || count != params.size()) {
+    return Status::Invalid("parameter count mismatch in " + path);
+  }
+  for (const auto& p : params) {
+    uint64_t rows = 0, cols = 0;
+    if (!ReadScalar(f.get(), &rows) || !ReadScalar(f.get(), &cols)) {
+      return Status::IOError("truncated file: " + path);
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::Invalid("shape mismatch in " + path);
+    }
+    size_t n = p->value.size();
+    if (n > 0 && std::fread(p->value.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IOError("truncated file: " + path);
+    }
+  }
+  return model;
+}
+
+}  // namespace selnet::core

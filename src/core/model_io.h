@@ -1,0 +1,26 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/selnet_ct.h"
+#include "util/status.h"
+
+/// \file model_io.h
+/// \brief Whole-model persistence for SelNet-ct: hyper-parameters + weights
+/// in one self-describing file, so a trained estimator can be shipped and
+/// served without the training workload.
+///
+/// Format: magic "SELM", u32 version, the SelNetConfig fields in declaration
+/// order, then the parameter matrices in Params() order (u64 rows, u64 cols,
+/// float data each).
+
+namespace selnet::core {
+
+/// \brief Write `model` (config + parameters) to `path`.
+util::Status SaveModel(const SelNetCt& model, const std::string& path);
+
+/// \brief Reconstruct a model from `path`; ready for Predict immediately.
+util::Result<std::unique_ptr<SelNetCt>> LoadModel(const std::string& path);
+
+}  // namespace selnet::core

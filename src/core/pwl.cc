@@ -1,0 +1,196 @@
+#include "core/pwl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace selnet::core {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<float> tau, std::vector<float> p)
+    : tau_(std::move(tau)), p_(std::move(p)) {
+  SEL_CHECK_GE(tau_.size(), 2u);
+  SEL_CHECK_EQ(tau_.size(), p_.size());
+}
+
+float PiecewiseLinear::operator()(float t) const {
+  if (t <= tau_.front()) return p_.front();
+  if (t >= tau_.back()) return p_.back();
+  auto hi = std::upper_bound(tau_.begin(), tau_.end(), t);
+  size_t i = static_cast<size_t>(hi - tau_.begin());
+  i = std::clamp<size_t>(i, 1, tau_.size() - 1);
+  float a = tau_[i - 1], b = tau_[i];
+  if (b - a <= 1e-12f) return p_[i - 1];
+  float w = (t - a) / (b - a);
+  return p_[i - 1] + w * (p_[i] - p_[i - 1]);
+}
+
+bool PiecewiseLinear::HasMonotoneValues() const {
+  for (size_t i = 1; i < p_.size(); ++i) {
+    if (p_[i] < p_[i - 1]) return false;
+  }
+  return true;
+}
+
+bool PiecewiseLinear::HasSortedKnots() const {
+  for (size_t i = 1; i < tau_.size(); ++i) {
+    if (tau_[i] < tau_[i - 1]) return false;
+  }
+  return true;
+}
+
+bool PiecewiseLinear::IsMonotonic(size_t steps) const {
+  float lo = tau_.front(), hi = tau_.back();
+  float prev = (*this)(lo);
+  for (size_t s = 1; s <= steps; ++s) {
+    float t = lo + (hi - lo) * static_cast<float>(s) / static_cast<float>(steps);
+    float v = (*this)(t);
+    if (v < prev - 1e-4f) return false;
+    prev = v;
+  }
+  return true;
+}
+
+namespace {
+
+// Hat-basis least squares for knot values given fixed knot positions:
+// minimize sum_i (sum_j phi_j(t_i) p_j - y_i)^2 with a tiny ridge term.
+std::vector<float> SolveKnotValues(const std::vector<float>& ts,
+                                   const std::vector<float>& ys,
+                                   const std::vector<float>& knots) {
+  size_t k = knots.size();
+  std::vector<double> ata(k * k, 0.0);
+  std::vector<double> aty(k, 0.0);
+  for (size_t i = 0; i < ts.size(); ++i) {
+    float t = std::clamp(ts[i], knots.front(), knots.back());
+    auto hi = std::upper_bound(knots.begin(), knots.end(), t);
+    size_t seg = std::clamp<size_t>(static_cast<size_t>(hi - knots.begin()), 1, k - 1);
+    float a = knots[seg - 1], b = knots[seg];
+    float w = (b - a <= 1e-12f) ? 0.0f : (t - a) / (b - a);
+    // Row has two non-zeros: (seg-1, 1-w) and (seg, w).
+    double c0 = 1.0 - w, c1 = w;
+    ata[(seg - 1) * k + (seg - 1)] += c0 * c0;
+    ata[(seg - 1) * k + seg] += c0 * c1;
+    ata[seg * k + (seg - 1)] += c1 * c0;
+    ata[seg * k + seg] += c1 * c1;
+    aty[seg - 1] += c0 * ys[i];
+    aty[seg] += c1 * ys[i];
+  }
+  for (size_t j = 0; j < k; ++j) ata[j * k + j] += 1e-6;
+  // Gaussian elimination with partial pivoting (k is small).
+  std::vector<double> m = ata;
+  std::vector<double> rhs = aty;
+  for (size_t col = 0; col < k; ++col) {
+    size_t piv = col;
+    for (size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(m[r * k + col]) > std::fabs(m[piv * k + col])) piv = r;
+    }
+    if (piv != col) {
+      for (size_t c = 0; c < k; ++c) std::swap(m[col * k + c], m[piv * k + c]);
+      std::swap(rhs[col], rhs[piv]);
+    }
+    double d = m[col * k + col];
+    if (std::fabs(d) < 1e-12) continue;
+    for (size_t r = col + 1; r < k; ++r) {
+      double f = m[r * k + col] / d;
+      if (f == 0.0) continue;
+      for (size_t c = col; c < k; ++c) m[r * k + c] -= f * m[col * k + c];
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  std::vector<float> p(k, 0.0f);
+  for (size_t col = k; col-- > 0;) {
+    double acc = rhs[col];
+    for (size_t c = col + 1; c < k; ++c) acc -= m[col * k + c] * p[c];
+    double d = m[col * k + col];
+    p[col] = (std::fabs(d) < 1e-12) ? 0.0f : static_cast<float>(acc / d);
+  }
+  return p;
+}
+
+// Sort samples by t.
+void SortSamples(std::vector<float>* ts, std::vector<float>* ys) {
+  std::vector<size_t> order(ts->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return (*ts)[a] < (*ts)[b]; });
+  std::vector<float> ts2(ts->size()), ys2(ys->size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    ts2[i] = (*ts)[order[i]];
+    ys2[i] = (*ys)[order[i]];
+  }
+  *ts = std::move(ts2);
+  *ys = std::move(ys2);
+}
+
+}  // namespace
+
+PiecewiseLinear PiecewiseLinear::FitEquallySpaced(const std::vector<float>& ts_in,
+                                                  const std::vector<float>& ys_in,
+                                                  size_t num_knots) {
+  SEL_CHECK_GE(num_knots, 2u);
+  SEL_CHECK(!ts_in.empty());
+  std::vector<float> ts = ts_in, ys = ys_in;
+  SortSamples(&ts, &ys);
+  std::vector<float> knots(num_knots);
+  float lo = ts.front(), hi = ts.back();
+  for (size_t j = 0; j < num_knots; ++j) {
+    knots[j] = lo + (hi - lo) * static_cast<float>(j) /
+                        static_cast<float>(num_knots - 1);
+  }
+  return PiecewiseLinear(knots, SolveKnotValues(ts, ys, knots));
+}
+
+PiecewiseLinear PiecewiseLinear::FitAdaptive(const std::vector<float>& ts_in,
+                                             const std::vector<float>& ys_in,
+                                             size_t num_knots) {
+  SEL_CHECK_GE(num_knots, 2u);
+  SEL_CHECK_GE(ts_in.size(), 2u);
+  std::vector<float> ts = ts_in, ys = ys_in;
+  SortSamples(&ts, &ys);
+  // Knot density proportional to |f''|^(1/3) — the asymptotically optimal
+  // allocation for piece-wise linear approximation — estimated from slope
+  // changes between consecutive samples, plus a small uniform mass in t so
+  // flat stretches still receive knots. This mirrors the behaviour SelNet's
+  // learned tau head exhibits in Figure 4: more knots where the selectivity
+  // curve bends, without starving the flat head of the curve.
+  size_t m = ts.size();
+  std::vector<double> slope(m, 0.0);
+  for (size_t i = 1; i < m; ++i) {
+    double dt = std::max(static_cast<double>(ts[i]) - ts[i - 1], 1e-9);
+    slope[i] = (static_cast<double>(ys[i]) - ys[i - 1]) / dt;
+  }
+  double span_t = std::max(static_cast<double>(ts.back()) - ts.front(), 1e-9);
+  std::vector<double> arc(m, 0.0);
+  double curv_total = 0.0;
+  for (size_t i = 2; i < m; ++i) {
+    curv_total += std::cbrt(std::fabs(slope[i] - slope[i - 1]));
+  }
+  double uniform_rate = 0.15 * std::max(curv_total, 1.0) / span_t;
+  for (size_t i = 1; i < m; ++i) {
+    double curv = (i >= 2) ? std::cbrt(std::fabs(slope[i] - slope[i - 1])) : 0.0;
+    double dt = std::max(static_cast<double>(ts[i]) - ts[i - 1], 0.0);
+    arc[i] = arc[i - 1] + curv + uniform_rate * dt + 1e-12;
+  }
+  double total = arc.back();
+  std::vector<float> knots;
+  knots.reserve(num_knots);
+  knots.push_back(ts.front());
+  for (size_t j = 1; j + 1 < num_knots; ++j) {
+    double target = total * static_cast<double>(j) / static_cast<double>(num_knots - 1);
+    auto it = std::lower_bound(arc.begin(), arc.end(), target);
+    size_t idx = std::min<size_t>(static_cast<size_t>(it - arc.begin()),
+                                  ts.size() - 1);
+    knots.push_back(ts[idx]);
+  }
+  knots.push_back(ts.back());
+  // Deduplicate while preserving order (coincident knots break interpolation).
+  for (size_t j = 1; j < knots.size(); ++j) {
+    if (knots[j] <= knots[j - 1]) {
+      knots[j] = knots[j - 1] + 1e-6f;
+    }
+  }
+  return PiecewiseLinear(knots, SolveKnotValues(ts, ys, knots));
+}
+
+}  // namespace selnet::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file pwl.h
+/// \brief The continuous piece-wise linear function family of Equation (1).
+///
+/// A `PiecewiseLinear` is the plain (non-differentiable) evaluation object:
+/// knots (tau_i, p_i) with tau_0 = 0 and tau_{L+1} = tmax, evaluated by linear
+/// interpolation. Lemma 1 — monotone p implies a monotone estimator — is an
+/// executable property here (`IsMonotonic`), tested over random instances.
+
+namespace selnet::core {
+
+/// \brief A continuous piece-wise linear function on [tau.front(), tau.back()].
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// \param tau non-decreasing knot positions (size >= 2)
+  /// \param p knot values (same size)
+  PiecewiseLinear(std::vector<float> tau, std::vector<float> p);
+
+  /// \brief Interpolated value; clamps outside [tau_0, tau_last].
+  float operator()(float t) const;
+
+  /// \brief True iff knot values are non-decreasing (Lemma 1 hypothesis).
+  bool HasMonotoneValues() const;
+
+  /// \brief True iff knot positions are non-decreasing (well-formedness).
+  bool HasSortedKnots() const;
+
+  /// \brief Empirically verify monotonicity on a dense grid of `steps` points.
+  bool IsMonotonic(size_t steps = 256) const;
+
+  size_t num_knots() const { return tau_.size(); }
+  const std::vector<float>& tau() const { return tau_; }
+  const std::vector<float>& p() const { return p_; }
+
+  /// \brief Least-squares-ish fit to samples (ts, ys) with `num_knots` knots
+  /// placed adaptively (greedy curvature-based placement then coordinate
+  /// descent on p). Used by Figure 3's comparison and as a non-learned
+  /// reference fit.
+  static PiecewiseLinear FitAdaptive(const std::vector<float>& ts,
+                                     const std::vector<float>& ys,
+                                     size_t num_knots);
+
+  /// \brief Fit with equally spaced knots (the DLN calibrator's restriction).
+  static PiecewiseLinear FitEquallySpaced(const std::vector<float>& ts,
+                                          const std::vector<float>& ys,
+                                          size_t num_knots);
+
+ private:
+  std::vector<float> tau_;
+  std::vector<float> p_;
+};
+
+}  // namespace selnet::core

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <vector>
+
+#include "core/control_heads.h"
+#include "core/selnet_ct.h"
+#include "eval/estimator.h"
+#include "index/partitioner.h"
+#include "nn/autoencoder.h"
+
+/// \file selnet_partitioned.h
+/// \brief The full SelNet: data partitioning + local models (Section 5.3).
+///
+/// The database is split into K balanced clusters (cover tree regions merged
+/// greedily); each cluster gets its own control-point heads while the AE and
+/// the enhanced input [x; z_x] are shared. The global estimate is
+/// fhat*(x,t) = sum_i fc(x,t)[i] * fhat_i(x,t), where the indicator fc zeroes
+/// clusters whose ball regions cannot intersect the query ball. Training
+/// pretrains local models for T epochs on per-partition labels, then trains
+/// jointly with J = Jest(global) + beta * sum_i Jest(local_i) + lambda * J_AE.
+
+namespace selnet::core {
+
+/// \brief Configuration of the partitioned model.
+struct PartitionedConfig {
+  SelNetConfig base;            ///< Shared net/loss settings.
+  idx::PartitionSpec partition; ///< K, method, cover-tree ratio.
+  float beta = 0.1f;            ///< Local-loss weight in the joint phase.
+  double pretrain_frac = 0.3;   ///< T = pretrain_frac * epochs (paper: 300/1500).
+};
+
+/// \brief SelNet with data partitioning (the paper's headline model).
+class SelNetPartitioned : public eval::Estimator, public nn::Module,
+                          public IncrementalModel {
+ public:
+  explicit SelNetPartitioned(const PartitionedConfig& cfg);
+
+  std::string Name() const override { return "SelNet"; }
+  bool IsConsistent() const override { return true; }
+
+  void Fit(const eval::TrainContext& ctx) override;
+
+  tensor::Matrix Predict(const tensor::Matrix& x,
+                         const tensor::Matrix& t) override;
+
+  /// \brief Incremental learning after updates (Section 5.4): recomputes
+  /// local labels against the current database and continues training until
+  /// validation MAE stops improving for `patience` epochs.
+  size_t IncrementalFit(const eval::TrainContext& ctx, size_t patience = 3,
+                        size_t max_epochs = 50);
+
+  /// \brief Route a newly inserted database object to a partition.
+  void AssignNewObject(size_t id, const float* vec);
+
+  std::vector<ag::Var> Params() const override;
+
+  size_t num_partitions() const { return heads_.size(); }
+  const idx::Partitioning& partitioning() const { return part_; }
+
+  // IncrementalModel:
+  double CurrentValidationMae(const eval::TrainContext& ctx) override {
+    return ValidationMae(ctx);
+  }
+  size_t RunIncrementalFit(const eval::TrainContext& ctx, size_t patience,
+                           size_t max_epochs) override {
+    return IncrementalFit(ctx, patience, max_epochs);
+  }
+  void OnInsert(size_t id, const float* vec) override {
+    AssignNewObject(id, vec);
+  }
+
+ private:
+  struct LocalBatch {
+    data::Batch base;                      ///< x, t, global y.
+    std::vector<tensor::Matrix> local_y;   ///< K of (B x 1).
+    std::vector<tensor::Matrix> mask;      ///< K of (B x 1), the fc indicator.
+  };
+
+  void BuildStructure(const eval::TrainContext& ctx);
+  void ComputeLocalLabels(const eval::TrainContext& ctx);
+  LocalBatch MakeBatch(const eval::TrainContext& ctx,
+                       const std::vector<size_t>& idx) const;
+  double TrainBatch(const LocalBatch& batch, bool joint, nn::Optimizer* opt);
+  double RunEpoch(const eval::TrainContext& ctx, bool joint, nn::Optimizer* opt,
+                  std::vector<size_t>* order, util::Rng* rng);
+  double ValidationMae(const eval::TrainContext& ctx);
+
+  PartitionedConfig cfg_;
+  util::Rng rng_;
+  nn::Autoencoder ae_;
+  std::vector<ControlHeads> heads_;
+  idx::Partitioning part_;
+  /// Database ids per cluster (kept current across updates).
+  std::vector<std::vector<size_t>> cluster_ids_;
+  const data::Database* db_ = nullptr;
+  bool structure_built_ = false;
+  bool ae_pretrained_ = false;
+  /// Per-train-sample local labels and fc masks, aligned with workload.train.
+  std::vector<std::vector<float>> local_y_;
+  std::vector<std::vector<float>> mask_;
+};
+
+}  // namespace selnet::core

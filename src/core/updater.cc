@@ -1,0 +1,61 @@
+#include "core/updater.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace selnet::core {
+
+UpdateManager::UpdateManager(data::Database* db, data::Workload* workload,
+                             IncrementalModel* model, eval::TrainContext ctx,
+                             UpdatePolicy policy)
+    : db_(db), workload_(workload), model_(model), ctx_(ctx), policy_(policy) {
+  SEL_CHECK(db != nullptr && workload != nullptr && model != nullptr);
+  ctx_.db = db_;
+  ctx_.workload = workload_;
+  baseline_mae_ = model_->CurrentValidationMae(ctx_);
+}
+
+void UpdateManager::PatchAllSplits(const float* vec, int delta) {
+  data::PatchLabels(workload_->queries, workload_->metric, vec, delta,
+                    &workload_->train);
+  data::PatchLabels(workload_->queries, workload_->metric, vec, delta,
+                    &workload_->valid);
+  data::PatchLabels(workload_->queries, workload_->metric, vec, delta,
+                    &workload_->test);
+}
+
+UpdateResult UpdateManager::Apply(const UpdateOp& op) {
+  UpdateResult result;
+  if (op.is_insert) {
+    for (const auto& vec : op.vectors) {
+      size_t id = db_->Insert(vec);
+      PatchAllSplits(vec.data(), +1);
+      model_->OnInsert(id, vec.data());
+    }
+  } else {
+    for (size_t id : op.ids) {
+      // Copy before delete: patching needs the vector after removal too.
+      std::vector<float> vec(db_->vector(id), db_->vector(id) + db_->dim());
+      db_->Delete(id);
+      PatchAllSplits(vec.data(), -1);
+      model_->OnDelete(id);
+    }
+  }
+  result.mae_before = model_->CurrentValidationMae(ctx_);
+  double drift = result.mae_before - baseline_mae_;
+  double threshold = policy_.mae_drift_fraction * std::max(baseline_mae_, 1e-9);
+  if (drift > threshold) {
+    result.epochs =
+        model_->RunIncrementalFit(ctx_, policy_.patience, policy_.max_epochs);
+    result.retrained = true;
+    baseline_mae_ = model_->CurrentValidationMae(ctx_);
+    util::LogDebug("update: retrained %zu epochs, MAE %.2f -> %.2f",
+                   result.epochs, result.mae_before, baseline_mae_);
+  }
+  result.mae_after = model_->CurrentValidationMae(ctx_);
+  return result;
+}
+
+}  // namespace selnet::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <vector>
+
+#include "data/database.h"
+#include "data/workload.h"
+#include "eval/estimator.h"
+
+/// \file updater.h
+/// \brief Dealing with updates (Section 5.4).
+///
+/// On each insert/delete batch the manager patches all workload labels (an
+/// O(#samples) distance test per record), then re-checks validation MAE. If
+/// the drift from the MAE recorded at the last (re)training exceeds delta_U,
+/// the model is incrementally re-trained from its current parameters until
+/// validation MAE stops improving for `patience` consecutive epochs — never
+/// from scratch, so catastrophic forgetting is avoided by continuing over the
+/// full (updated) training data.
+
+namespace selnet::core {
+
+/// \brief Capabilities the update manager needs from a model.
+class IncrementalModel {
+ public:
+  virtual ~IncrementalModel() = default;
+
+  /// \brief Validation MAE against current labels.
+  virtual double CurrentValidationMae(const eval::TrainContext& ctx) = 0;
+
+  /// \brief Continue training (not from scratch); returns epochs run.
+  virtual size_t RunIncrementalFit(const eval::TrainContext& ctx,
+                                   size_t patience, size_t max_epochs) = 0;
+
+  /// \brief Called when a new object enters the database.
+  virtual void OnInsert(size_t id, const float* vec) {
+    (void)id;
+    (void)vec;
+  }
+
+  /// \brief Called when an object leaves the database.
+  virtual void OnDelete(size_t id) { (void)id; }
+};
+
+/// \brief Update-policy knobs.
+struct UpdatePolicy {
+  /// Relative validation-MAE drift that triggers retraining (delta_U).
+  double mae_drift_fraction = 0.10;
+  size_t patience = 3;
+  size_t max_epochs = 30;
+};
+
+/// \brief One update operation: a batch of inserts or deletes.
+struct UpdateOp {
+  bool is_insert = true;
+  /// For inserts: the new vectors. For deletes: ignored.
+  std::vector<std::vector<float>> vectors;
+  /// For deletes: database ids. For inserts: ignored.
+  std::vector<size_t> ids;
+};
+
+/// \brief Outcome of applying one operation.
+struct UpdateResult {
+  bool retrained = false;
+  size_t epochs = 0;
+  double mae_before = 0.0;  ///< Validation MAE right after label patching.
+  double mae_after = 0.0;   ///< After optional retraining.
+};
+
+/// \brief Drives the Section 5.4 update loop over a database + workload +
+/// model triple. The manager owns none of them.
+class UpdateManager {
+ public:
+  UpdateManager(data::Database* db, data::Workload* workload,
+                IncrementalModel* model, eval::TrainContext ctx,
+                UpdatePolicy policy);
+
+  /// \brief Apply one insert/delete batch, patch labels, maybe retrain.
+  UpdateResult Apply(const UpdateOp& op);
+
+  /// \brief MAE recorded at the last (re)training (the drift baseline).
+  double baseline_mae() const { return baseline_mae_; }
+
+ private:
+  void PatchAllSplits(const float* vec, int delta);
+
+  data::Database* db_;
+  data::Workload* workload_;
+  IncrementalModel* model_;
+  eval::TrainContext ctx_;
+  UpdatePolicy policy_;
+  double baseline_mae_ = 0.0;
+};
+
+}  // namespace selnet::core

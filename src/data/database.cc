@@ -1,0 +1,73 @@
+#include "data/database.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace selnet::data {
+
+Database::Database(tensor::Matrix vectors, Metric metric)
+    : vectors_(std::move(vectors)),
+      alive_(vectors_.rows(), uint8_t{1}),
+      live_count_(vectors_.rows()),
+      dim_(vectors_.cols()),
+      metric_(metric) {}
+
+size_t Database::Insert(const std::vector<float>& v) {
+  SEL_CHECK_EQ(v.size(), dim_);
+  size_t rows = vectors_.rows();
+  tensor::Matrix grown(rows + 1, dim_);
+  std::copy(vectors_.data(), vectors_.data() + vectors_.size(), grown.data());
+  std::copy(v.begin(), v.end(), grown.row(rows));
+  vectors_ = std::move(grown);
+  alive_.push_back(1);
+  ++live_count_;
+  return rows;
+}
+
+void Database::Delete(size_t id) {
+  SEL_CHECK_LT(id, alive_.size());
+  SEL_CHECK_MSG(alive_[id] != 0, "double delete");
+  alive_[id] = 0;
+  --live_count_;
+}
+
+std::vector<size_t> Database::LiveIds() const {
+  std::vector<size_t> out;
+  out.reserve(live_count_);
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+tensor::Matrix Database::DenseView() const {
+  tensor::Matrix out(live_count_, dim_);
+  size_t r = 0;
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (!alive_[i]) continue;
+    std::copy(vectors_.row(i), vectors_.row(i) + dim_, out.row(r++));
+  }
+  return out;
+}
+
+size_t Database::ExactSelectivity(const float* query, float t) const {
+  size_t count = 0;
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (!alive_[i]) continue;
+    if (Distance(query, vectors_.row(i), dim_, metric_) <= t) ++count;
+  }
+  return count;
+}
+
+std::vector<float> Database::DistancesFrom(const float* query) const {
+  std::vector<float> out;
+  out.reserve(live_count_);
+  for (size_t i = 0; i < alive_.size(); ++i) {
+    if (!alive_[i]) continue;
+    out.push_back(Distance(query, vectors_.row(i), dim_, metric_));
+  }
+  return out;
+}
+
+}  // namespace selnet::data

@@ -1,0 +1,57 @@
+#include "data/distance.h"
+
+#include <cmath>
+
+#include "tensor/blas.h"
+#include "util/check.h"
+
+namespace selnet::data {
+
+float Distance(const float* a, const float* b, size_t d, Metric metric) {
+  switch (metric) {
+    case Metric::kEuclidean:
+      return std::sqrt(tensor::SquaredL2(a, b, d));
+    case Metric::kCosine: {
+      float dot = 0.0f, na = 0.0f, nb = 0.0f;
+      for (size_t i = 0; i < d; ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+      }
+      float denom = std::sqrt(na) * std::sqrt(nb);
+      if (denom <= 1e-20f) return 1.0f;
+      float sim = dot / denom;
+      sim = std::fmax(-1.0f, std::fmin(1.0f, sim));
+      return 1.0f - sim;
+    }
+  }
+  return 0.0f;
+}
+
+float RowDistance(const tensor::Matrix& a, size_t ra, const tensor::Matrix& b,
+                  size_t rb, Metric metric) {
+  SEL_DCHECK_EQ(a.cols(), b.cols());
+  return Distance(a.row(ra), b.row(rb), a.cols(), metric);
+}
+
+void NormalizeRows(tensor::Matrix* m) {
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* row = m->row(r);
+    float norm = std::sqrt(tensor::Dot(row, row, m->cols()));
+    if (norm <= 1e-20f) continue;
+    float inv = 1.0f / norm;
+    for (size_t c = 0; c < m->cols(); ++c) row[c] *= inv;
+  }
+}
+
+float CosineToEuclideanThreshold(float t_cos) {
+  return std::sqrt(std::fmax(0.0f, 2.0f * t_cos));
+}
+
+float EuclideanToCosineThreshold(float t_l2) { return 0.5f * t_l2 * t_l2; }
+
+const char* MetricName(Metric metric) {
+  return metric == Metric::kEuclidean ? "l2" : "cos";
+}
+
+}  // namespace selnet::data

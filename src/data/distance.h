@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/matrix.h"
+
+/// \file distance.h
+/// \brief Distance functions used by the estimators and the exact scans.
+///
+/// The paper evaluates Euclidean (l2) distance and cosine distance, and uses
+/// the unit-vector identity cos(u,v) = 1 - ||u-v||^2 / 2 to carry metric-space
+/// machinery (cover tree, KDE) over to the cosine setting.
+
+namespace selnet::data {
+
+/// \brief Supported distance functions.
+enum class Metric {
+  /// Euclidean distance ||a-b||_2. A proper metric.
+  kEuclidean,
+  /// Cosine distance 1 - cos_sim(a, b), in [0, 2]. On unit vectors this is a
+  /// monotone transform of Euclidean distance, so triangle-inequality
+  /// machinery applies after normalization.
+  kCosine,
+};
+
+/// \brief Distance between two d-dimensional float spans under `metric`.
+float Distance(const float* a, const float* b, size_t d, Metric metric);
+
+/// \brief Distance between rows of two matrices.
+float RowDistance(const tensor::Matrix& a, size_t ra, const tensor::Matrix& b,
+                  size_t rb, Metric metric);
+
+/// \brief Project every row of `m` onto the unit sphere (zero rows unchanged).
+void NormalizeRows(tensor::Matrix* m);
+
+/// \brief Convert a cosine-distance threshold to the equivalent Euclidean
+/// threshold on unit vectors: ||u-v|| = sqrt(2 * t_cos).
+float CosineToEuclideanThreshold(float t_cos);
+
+/// \brief Inverse of CosineToEuclideanThreshold.
+float EuclideanToCosineThreshold(float t_l2);
+
+/// \brief Metric name for table output ("l2" / "cos").
+const char* MetricName(Metric metric);
+
+}  // namespace selnet::data

@@ -1,0 +1,139 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "data/distance.h"
+#include "util/check.h"
+
+namespace selnet::data {
+
+namespace {
+
+struct Mixture {
+  tensor::Matrix centers;        // k x dim
+  std::vector<float> stds;       // k
+  std::vector<double> cum_mass;  // k, cumulative sampling weights
+  std::vector<float> axis_scale; // dim, anisotropy
+};
+
+// The mixture shape (centers, spreads, weights) is derived only from
+// spec.seed so that update streams can draw fresh points from the same
+// distribution later.
+Mixture BuildMixture(const SyntheticSpec& spec) {
+  SEL_CHECK_GT(spec.num_clusters, 0u);
+  util::Rng rng(spec.seed);
+  Mixture mix;
+  mix.centers = tensor::Matrix::Gaussian(spec.num_clusters, spec.dim, &rng,
+                                         spec.center_std);
+  mix.stds.resize(spec.num_clusters);
+  for (auto& s : mix.stds) {
+    s = static_cast<float>(rng.Uniform(spec.cluster_std_min, spec.cluster_std_max));
+  }
+  mix.axis_scale.assign(spec.dim, 1.0f);
+  if (spec.anisotropy > 1.0f) {
+    for (auto& a : mix.axis_scale) {
+      a = static_cast<float>(
+          std::exp(rng.Uniform(-std::log(spec.anisotropy), std::log(spec.anisotropy))));
+    }
+  }
+  // Zipf-skewed cluster masses: w_r = r^{-s}.
+  mix.cum_mass.resize(spec.num_clusters);
+  double total = 0.0;
+  for (size_t r = 0; r < spec.num_clusters; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -spec.zipf_s);
+    mix.cum_mass[r] = total;
+  }
+  for (auto& m : mix.cum_mass) m /= total;
+  return mix;
+}
+
+size_t SampleCluster(const Mixture& mix, util::Rng* rng) {
+  double u = rng->Uniform();
+  auto it = std::lower_bound(mix.cum_mass.begin(), mix.cum_mass.end(), u);
+  size_t k = static_cast<size_t>(it - mix.cum_mass.begin());
+  return std::min(k, mix.cum_mass.size() - 1);
+}
+
+tensor::Matrix Sample(const SyntheticSpec& spec, const Mixture& mix, size_t count,
+                      util::Rng* rng) {
+  tensor::Matrix out(count, spec.dim);
+  for (size_t i = 0; i < count; ++i) {
+    size_t k = SampleCluster(mix, rng);
+    float* row = out.row(i);
+    const float* center = mix.centers.row(k);
+    for (size_t c = 0; c < spec.dim; ++c) {
+      row[c] = center[c] + static_cast<float>(rng->Normal(0.0, mix.stds[k])) *
+                               mix.axis_scale[c];
+    }
+  }
+  if (spec.normalize) NormalizeRows(&out);
+  return out;
+}
+
+}  // namespace
+
+SyntheticSpec SpecFor(Corpus corpus, const util::ScaleConfig& cfg) {
+  SyntheticSpec spec;
+  spec.n = cfg.n;
+  spec.dim = cfg.dim;
+  switch (corpus) {
+    case Corpus::kFasttextLike:
+      // Word embeddings: moderately many clusters, skewed sizes, anisotropic,
+      // NOT normalized (the paper evaluates both cos and l2 on it).
+      spec.num_clusters = 40;
+      spec.zipf_s = 1.0;
+      spec.cluster_std_min = 0.08f;
+      spec.cluster_std_max = 0.45f;
+      spec.anisotropy = 2.0f;
+      spec.normalize = false;
+      spec.seed = 11;
+      break;
+    case Corpus::kFaceLike:
+      // FaceNet-style: many tight identity clusters on the unit sphere.
+      spec.num_clusters = 96;
+      spec.zipf_s = 0.4;
+      spec.cluster_std_min = 0.04f;
+      spec.cluster_std_max = 0.15f;
+      spec.anisotropy = 1.0f;
+      spec.normalize = true;
+      spec.seed = 13;
+      break;
+    case Corpus::kYoutubeLike:
+      // Wide, normalized, higher intrinsic dimension, fewer broad clusters.
+      spec.dim = cfg.dim * 2;
+      spec.num_clusters = 12;
+      spec.zipf_s = 0.6;
+      spec.cluster_std_min = 0.25f;
+      spec.cluster_std_max = 0.6f;
+      spec.anisotropy = 1.5f;
+      spec.normalize = true;
+      spec.seed = 17;
+      break;
+  }
+  return spec;
+}
+
+tensor::Matrix GenerateMixture(const SyntheticSpec& spec) {
+  Mixture mix = BuildMixture(spec);
+  util::Rng rng(spec.seed * 6364136223846793005ull + 1442695040888963407ull);
+  return Sample(spec, mix, spec.n, &rng);
+}
+
+tensor::Matrix DrawFromSameMixture(const SyntheticSpec& spec, size_t count,
+                                   uint64_t stream_seed) {
+  Mixture mix = BuildMixture(spec);
+  util::Rng rng(stream_seed ^ 0xabcdef1234567890ull);
+  return Sample(spec, mix, count, &rng);
+}
+
+const char* CorpusName(Corpus corpus) {
+  switch (corpus) {
+    case Corpus::kFasttextLike: return "fasttext";
+    case Corpus::kFaceLike: return "face";
+    case Corpus::kYoutubeLike: return "YouTube";
+  }
+  return "unknown";
+}
+
+}  // namespace selnet::data

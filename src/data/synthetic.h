@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+/// \file synthetic.h
+/// \brief Synthetic embedding corpora standing in for the paper's datasets.
+///
+/// The paper evaluates on fasttext (1M x 300, unnormalized), face (2M x 128
+/// FaceNet embeddings, normalized) and YouTube (0.35M x 1770, normalized).
+/// None are available offline, so each is simulated by a Gaussian mixture
+/// whose structure matches the property that drives the estimator's
+/// behaviour: clustered mass with heavy-tailed cluster sizes produces the
+/// flat-steep-saturating selectivity curves of Figure 4. See DESIGN.md §4 for
+/// the substitution rationale.
+
+namespace selnet::data {
+
+/// \brief Parameters of a Gaussian-mixture corpus.
+struct SyntheticSpec {
+  size_t n = 8000;
+  size_t dim = 24;
+  size_t num_clusters = 32;
+  /// Cluster size skew: sizes proportional to rank^{-zipf_s}.
+  double zipf_s = 0.8;
+  /// Per-cluster stddev drawn uniformly from this range.
+  float cluster_std_min = 0.05f;
+  float cluster_std_max = 0.25f;
+  /// Spread of cluster centers (stddev of center coordinates).
+  float center_std = 1.0f;
+  /// Per-dimension anisotropic scaling in [1/a, a]; 1 = isotropic.
+  float anisotropy = 1.0f;
+  /// Project rows to the unit sphere after generation.
+  bool normalize = false;
+  uint64_t seed = 7;
+};
+
+/// \brief The three corpora of the evaluation section.
+enum class Corpus { kFasttextLike, kFaceLike, kYoutubeLike };
+
+/// \brief Spec presets matching DESIGN.md §4, scaled by `cfg`.
+SyntheticSpec SpecFor(Corpus corpus, const util::ScaleConfig& cfg);
+
+/// \brief Draw a corpus from its mixture spec.
+tensor::Matrix GenerateMixture(const SyntheticSpec& spec);
+
+/// \brief Draw `count` fresh objects from the same mixture (for inserts).
+tensor::Matrix DrawFromSameMixture(const SyntheticSpec& spec, size_t count,
+                                   uint64_t stream_seed);
+
+/// \brief Corpus name for table output.
+const char* CorpusName(Corpus corpus);
+
+}  // namespace selnet::data

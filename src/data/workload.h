@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/database.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+/// \file workload.h
+/// \brief Query workload generation and label maintenance.
+///
+/// Follows the paper's protocol (Appendix B.1, after Mattig et al.): queries
+/// are sampled from the database; per query a geometric ladder of w target
+/// selectivities in [1, |D|/100] is converted into distance thresholds via the
+/// query's exact distance profile; the resulting (query, t, y) triples are
+/// split 80:10:10 *by query object* so test queries are never seen in
+/// training. Section 7.9's variant samples thresholds from Beta(3, 2.5)
+/// instead.
+
+namespace selnet::data {
+
+/// \brief One labelled training/evaluation point.
+struct QuerySample {
+  uint32_t query_id = 0;  ///< Row into Workload::queries.
+  float t = 0.0f;         ///< Distance threshold.
+  float y = 0.0f;         ///< Exact selectivity (label); patched on updates.
+};
+
+/// \brief A generated workload with its query matrix and split samples.
+struct Workload {
+  tensor::Matrix queries;  ///< Q x d query objects.
+  std::vector<QuerySample> train;
+  std::vector<QuerySample> valid;
+  std::vector<QuerySample> test;
+  float tmax = 1.0f;  ///< PWL domain upper end (covers all thresholds).
+  Metric metric = Metric::kEuclidean;
+  size_t w = 0;  ///< Thresholds per query.
+};
+
+/// \brief Workload generation parameters.
+struct WorkloadSpec {
+  size_t num_queries = 280;
+  size_t w = 16;                   ///< Thresholds per query.
+  double max_sel_fraction = 0.01;  ///< Ladder top = n * fraction (paper: 1%).
+  uint64_t seed = 23;
+};
+
+/// \brief Geometric-selectivity workload (the paper's default protocol).
+Workload GenerateWorkload(const Database& db, const WorkloadSpec& spec);
+
+/// \brief Section 7.9 variant: thresholds drawn from Beta(alpha, beta) over a
+/// global range instead of per-query selectivity targets.
+Workload GenerateBetaWorkload(const Database& db, const WorkloadSpec& spec,
+                              double alpha = 3.0, double beta = 2.5);
+
+/// \brief Patch labels after inserting (`delta`=+1) or deleting (`delta`=-1)
+/// the object `vec`; every sample whose query ball contains it is adjusted.
+void PatchLabels(const tensor::Matrix& queries, Metric metric, const float* vec,
+                 int delta, std::vector<QuerySample>* samples);
+
+/// \brief Recompute all labels exactly against the current database state.
+void RelabelExact(const Database& db, const tensor::Matrix& queries,
+                  std::vector<QuerySample>* samples);
+
+/// \brief Dense (X, t, y) matrices for a set of samples.
+struct Batch {
+  tensor::Matrix x;  ///< B x d
+  tensor::Matrix t;  ///< B x 1
+  tensor::Matrix y;  ///< B x 1
+};
+
+/// \brief Materialize the samples at `indices` into dense matrices.
+Batch MaterializeBatch(const tensor::Matrix& queries,
+                       const std::vector<QuerySample>& samples,
+                       const std::vector<size_t>& indices);
+
+/// \brief Materialize all `samples` in order.
+Batch MaterializeAll(const tensor::Matrix& queries,
+                     const std::vector<QuerySample>& samples);
+
+}  // namespace selnet::data

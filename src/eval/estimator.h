@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "data/database.h"
+#include "data/workload.h"
+#include "tensor/matrix.h"
+
+/// \file estimator.h
+/// \brief Common interface all selectivity estimators implement.
+///
+/// Every model from the evaluation section — SelNet and its ablations plus the
+/// nine baselines — is an `Estimator`, so the bench harness can train and
+/// score them uniformly.
+
+namespace selnet::eval {
+
+/// \brief Everything a model may use during fitting.
+struct TrainContext {
+  const data::Database* db = nullptr;   ///< The indexed database D.
+  const data::Workload* workload = nullptr;  ///< Train/valid splits + tmax.
+  size_t epochs = 36;                   ///< Epoch budget for neural models.
+  uint64_t seed = 1;                    ///< Model-init randomness.
+};
+
+/// \brief A trained selectivity estimator fhat(x, t).
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// \brief Display name matching the paper's tables (e.g. "SelNet", "KDE").
+  virtual std::string Name() const = 0;
+
+  /// \brief True iff the model guarantees monotonicity in t by construction
+  /// (the rows marked with * in Tables 1-4).
+  virtual bool IsConsistent() const = 0;
+
+  /// \brief Train on ctx.workload->train (validation data may be used for
+  /// model selection, never test).
+  virtual void Fit(const TrainContext& ctx) = 0;
+
+  /// \brief Estimate selectivities for query rows x (B x d) at thresholds t
+  /// (B x 1); returns B x 1 non-negative estimates.
+  virtual tensor::Matrix Predict(const tensor::Matrix& x,
+                                 const tensor::Matrix& t) = 0;
+};
+
+}  // namespace selnet::eval

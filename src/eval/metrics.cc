@@ -1,0 +1,26 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace selnet::eval {
+
+Errors ComputeErrors(const tensor::Matrix& yhat, const tensor::Matrix& y) {
+  SEL_CHECK(yhat.SameShape(y));
+  SEL_CHECK_GT(yhat.size(), 0u);
+  Errors e;
+  size_t n = yhat.size();
+  for (size_t i = 0; i < n; ++i) {
+    double d = static_cast<double>(yhat.data()[i]) - y.data()[i];
+    e.mse += d * d;
+    e.mae += std::fabs(d);
+    e.mape += std::fabs(d) / std::max<double>(y.data()[i], 1.0);
+  }
+  e.mse /= static_cast<double>(n);
+  e.mae /= static_cast<double>(n);
+  e.mape /= static_cast<double>(n);
+  return e;
+}
+
+}  // namespace selnet::eval

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "tensor/matrix.h"
+
+/// \file metrics.h
+/// \brief Error metrics of the evaluation section (Appendix B.3).
+
+namespace selnet::eval {
+
+/// \brief MSE / MAE / MAPE triple.
+struct Errors {
+  double mse = 0.0;
+  double mae = 0.0;
+  double mape = 0.0;
+};
+
+/// \brief Compute all three metrics between estimates and ground truth.
+///
+/// MAPE divides by max(y, 1) so freshly-deleted zero-selectivity labels do not
+/// blow up the ratio (labels are >= 1 under the generation protocol).
+Errors ComputeErrors(const tensor::Matrix& yhat, const tensor::Matrix& y);
+
+}  // namespace selnet::eval

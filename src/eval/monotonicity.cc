@@ -1,0 +1,47 @@
+#include "eval/monotonicity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace selnet::eval {
+
+double EmpiricalMonotonicity(Estimator* model, const tensor::Matrix& queries,
+                             size_t num_queries, float tmax,
+                             size_t num_thresholds, uint64_t seed) {
+  SEL_CHECK(model != nullptr);
+  SEL_CHECK_GE(num_thresholds, 2u);
+  util::Rng rng(seed);
+  num_queries = std::min(num_queries, queries.rows());
+  std::vector<size_t> picks =
+      rng.SampleWithoutReplacement(queries.rows(), num_queries);
+
+  double total_score = 0.0;
+  for (size_t qi : picks) {
+    // Sorted thresholds; predictions must then be non-decreasing.
+    std::vector<float> ts(num_thresholds);
+    for (auto& t : ts) t = static_cast<float>(rng.Uniform(0.0, tmax));
+    std::sort(ts.begin(), ts.end());
+    tensor::Matrix x(num_thresholds, queries.cols());
+    tensor::Matrix t(num_thresholds, 1);
+    for (size_t i = 0; i < num_thresholds; ++i) {
+      std::copy(queries.row(qi), queries.row(qi) + queries.cols(), x.row(i));
+      t(i, 0) = ts[i];
+    }
+    tensor::Matrix yhat = model->Predict(x, t);
+    size_t ok = 0, pairs = 0;
+    for (size_t i = 0; i < num_thresholds; ++i) {
+      for (size_t j = i + 1; j < num_thresholds; ++j) {
+        ++pairs;
+        // ts[i] <= ts[j]; the pair is consistent iff yhat_i <= yhat_j (tol).
+        if (yhat(i, 0) <= yhat(j, 0) + 1e-3f) ++ok;
+      }
+    }
+    total_score += 100.0 * static_cast<double>(ok) / static_cast<double>(pairs);
+  }
+  return total_score / static_cast<double>(num_queries);
+}
+
+}  // namespace selnet::eval

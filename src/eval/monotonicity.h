@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "eval/estimator.h"
+
+/// \file monotonicity.h
+/// \brief Empirical monotonicity measure (Section 7.3, after Daniels &
+/// Velikova): per query, sample thresholds, count ordered prediction pairs.
+
+namespace selnet::eval {
+
+/// \brief Percentage (0-100) of threshold pairs whose estimates respect
+/// monotonicity, averaged over `num_queries` random query objects.
+///
+/// For each query, `num_thresholds` thresholds are sampled uniformly from
+/// [0, tmax]; all C(num_thresholds, 2) ordered pairs are checked with a small
+/// tolerance. 100.0 means no violations.
+double EmpiricalMonotonicity(Estimator* model, const tensor::Matrix& queries,
+                             size_t num_queries, float tmax,
+                             size_t num_thresholds, uint64_t seed);
+
+}  // namespace selnet::eval

@@ -1,0 +1,228 @@
+#include "eval/suite.h"
+
+#include <algorithm>
+
+#include "baselines/dln.h"
+#include "baselines/deep_regressors.h"
+#include "baselines/gbdt.h"
+#include "baselines/kde.h"
+#include "baselines/lsh_sampling.h"
+#include "baselines/umnn.h"
+#include "core/selnet_ct.h"
+#include "core/selnet_partitioned.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace selnet::eval {
+
+std::vector<DatasetSetting> PaperSettings() {
+  return {
+      {data::Corpus::kFasttextLike, data::Metric::kCosine, "fasttext-cos"},
+      {data::Corpus::kFasttextLike, data::Metric::kEuclidean, "fasttext-l2"},
+      {data::Corpus::kFaceLike, data::Metric::kCosine, "face-cos"},
+      {data::Corpus::kYoutubeLike, data::Metric::kCosine, "YouTube-cos"},
+  };
+}
+
+DatasetSetting SettingByName(const std::string& name) {
+  for (const auto& s : PaperSettings()) {
+    if (name == s.name) return s;
+  }
+  SEL_CHECK_MSG(false, "unknown dataset setting");
+  return {};
+}
+
+PreparedData PrepareData(const DatasetSetting& setting,
+                         const util::ScaleConfig& scale, bool beta_thresholds) {
+  data::SyntheticSpec spec = data::SpecFor(setting.corpus, scale);
+  tensor::Matrix vectors = data::GenerateMixture(spec);
+  PreparedData out{data::Database(std::move(vectors), setting.metric),
+                   data::Workload{}, scale, setting};
+  data::WorkloadSpec wspec;
+  wspec.num_queries = scale.num_queries;
+  wspec.w = scale.w;
+  // The paper caps the selectivity ladder at |D|/100 with |D| ~ 10^6 (top
+  // selectivity ~10^4). At the scaled-down |D| here, 1% would collapse the
+  // label range to well under two orders of magnitude, so the cap is raised
+  // to keep the ladder's dynamic range comparable (see EXPERIMENTS.md).
+  wspec.max_sel_fraction = 0.05;
+  wspec.seed = 23 + static_cast<uint64_t>(setting.corpus) * 101 +
+               (setting.metric == data::Metric::kCosine ? 0 : 1);
+  util::Stopwatch timer;
+  out.workload = beta_thresholds
+                     ? data::GenerateBetaWorkload(out.db, wspec)
+                     : data::GenerateWorkload(out.db, wspec);
+  util::LogInfo("prepared %s: n=%zu dim=%zu train=%zu (%.1fs)", setting.name,
+                out.db.size(), out.db.dim(), out.workload.train.size(),
+                timer.ElapsedSeconds());
+  return out;
+}
+
+std::vector<ModelKind> PaperModels() {
+  return {ModelKind::kLsh,  ModelKind::kKde, ModelKind::kLightGbm,
+          ModelKind::kLightGbmM, ModelKind::kDnn, ModelKind::kMoe,
+          ModelKind::kRmi,  ModelKind::kDln, ModelKind::kUmnn,
+          ModelKind::kSelNet};
+}
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLsh: return "LSH";
+    case ModelKind::kKde: return "KDE";
+    case ModelKind::kLightGbm: return "LightGBM";
+    case ModelKind::kLightGbmM: return "LightGBM-m";
+    case ModelKind::kDnn: return "DNN";
+    case ModelKind::kMoe: return "MoE";
+    case ModelKind::kRmi: return "RMI";
+    case ModelKind::kDln: return "DLN";
+    case ModelKind::kUmnn: return "UMNN";
+    case ModelKind::kSelNet: return "SelNet";
+    case ModelKind::kSelNetCt: return "SelNet-ct";
+    case ModelKind::kSelNetAdCt: return "SelNet-ad-ct";
+  }
+  return "?";
+}
+
+bool ModelSupports(ModelKind kind, data::Metric metric) {
+  if (kind == ModelKind::kLsh) return metric == data::Metric::kCosine;
+  return true;
+}
+
+std::unique_ptr<Estimator> MakeModel(ModelKind kind, const PreparedData& data,
+                                     const ModelOptions& opts) {
+  size_t dim = data.db.dim();
+  float tmax = data.workload.tmax;
+  const util::ScaleConfig& scale = data.scale;
+  uint64_t seed = 1000 + static_cast<uint64_t>(kind) * 77;
+  switch (kind) {
+    case ModelKind::kLsh: {
+      // The paper fixes 2000 samples against |D| ~ 10^6 (~0.2% of the data).
+      // Keep the budget a small fraction of the scaled-down database rather
+      // than an absolute count, so the samplers stay in the same regime.
+      bl::LshConfig cfg;
+      cfg.sample_budget = std::max<size_t>(100, data.db.size() / 40);
+      return std::make_unique<bl::LshEstimator>(cfg);
+    }
+    case ModelKind::kKde: {
+      bl::KdeConfig cfg;
+      cfg.num_samples = std::max<size_t>(100, data.db.size() / 40);
+      return std::make_unique<bl::KdeEstimator>(cfg);
+    }
+    case ModelKind::kLightGbm: {
+      bl::GbdtConfig cfg;
+      return std::make_unique<bl::GbdtEstimator>(cfg);
+    }
+    case ModelKind::kLightGbmM: {
+      bl::GbdtConfig cfg;
+      cfg.monotone_t = true;
+      return std::make_unique<bl::GbdtEstimator>(cfg);
+    }
+    case ModelKind::kDnn:
+      return std::make_unique<bl::DnnRegressor>(
+          bl::DeepConfig::FromScale(scale, dim), seed);
+    case ModelKind::kMoe:
+      return std::make_unique<bl::MoeRegressor>(
+          bl::DeepConfig::FromScale(scale, dim), seed);
+    case ModelKind::kRmi:
+      return std::make_unique<bl::RmiRegressor>(
+          bl::DeepConfig::FromScale(scale, dim), seed);
+    case ModelKind::kDln: {
+      bl::DlnConfig cfg;
+      cfg.input_dim = dim;
+      return std::make_unique<bl::DlnEstimator>(cfg, seed);
+    }
+    case ModelKind::kUmnn: {
+      bl::UmnnConfig cfg;
+      cfg.input_dim = dim;
+      if (scale.scale == util::Scale::kSmoke) cfg.hidden = 48;
+      return std::make_unique<bl::UmnnEstimator>(cfg, seed);
+    }
+    case ModelKind::kSelNetCt: {
+      core::SelNetConfig cfg = core::SelNetConfig::FromScale(scale, dim, tmax);
+      if (opts.control_points > 0) cfg.num_control = opts.control_points;
+      return std::make_unique<core::SelNetCt>(cfg);
+    }
+    case ModelKind::kSelNetAdCt: {
+      core::SelNetConfig cfg = core::SelNetConfig::FromScale(scale, dim, tmax);
+      if (opts.control_points > 0) cfg.num_control = opts.control_points;
+      cfg.query_dependent_tau = false;
+      return std::make_unique<core::SelNetCt>(cfg);
+    }
+    case ModelKind::kSelNet: {
+      core::PartitionedConfig cfg;
+      cfg.base = core::SelNetConfig::FromScale(scale, dim, tmax);
+      if (opts.control_points > 0) cfg.base.num_control = opts.control_points;
+      cfg.partition.k = opts.partitions > 0 ? opts.partitions : scale.partitions;
+      cfg.partition.method = opts.partition_method;
+      return std::make_unique<core::SelNetPartitioned>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+ModelScores TrainAndScore(Estimator* model, const PreparedData& data) {
+  SEL_CHECK(model != nullptr);
+  ModelScores scores;
+  scores.name = model->Name();
+  scores.consistent = model->IsConsistent();
+
+  TrainContext ctx;
+  ctx.db = &data.db;
+  ctx.workload = &data.workload;
+  ctx.epochs = data.scale.epochs;
+  ctx.seed = 7;
+  util::Stopwatch timer;
+  model->Fit(ctx);
+  scores.train_seconds = timer.ElapsedSeconds();
+
+  const auto& wl = data.workload;
+  data::Batch vb = data::MaterializeAll(wl.queries, wl.valid);
+  data::Batch tb = data::MaterializeAll(wl.queries, wl.test);
+  scores.valid = ComputeErrors(model->Predict(vb.x, vb.t), vb.y);
+  scores.test = ComputeErrors(model->Predict(tb.x, tb.t), tb.y);
+  scores.estimate_ms = MeasureEstimateMs(model, data);
+  util::LogInfo("%-12s %-12s test MSE %.1f MAE %.2f MAPE %.3f (train %.1fs)",
+                scores.name.c_str(), data.setting.name, scores.test.mse,
+                scores.test.mae, scores.test.mape, scores.train_seconds);
+  return scores;
+}
+
+double MeasureEstimateMs(Estimator* model, const PreparedData& data,
+                         size_t max_queries) {
+  const auto& wl = data.workload;
+  const auto& samples = wl.test.empty() ? wl.valid : wl.test;
+  size_t n = std::min(max_queries, samples.size());
+  if (n == 0) return 0.0;
+  // Single-row predictions: the paper reports per-query estimation latency.
+  tensor::Matrix x(1, wl.queries.cols()), t(1, 1);
+  util::Stopwatch timer;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& s = samples[i];
+    std::copy(wl.queries.row(s.query_id),
+              wl.queries.row(s.query_id) + wl.queries.cols(), x.row(0));
+    t(0, 0) = s.t;
+    tensor::Matrix out = model->Predict(x, t);
+    (void)out;
+  }
+  return timer.ElapsedMillis() / static_cast<double>(n);
+}
+
+void PrintAccuracyTable(const std::string& title,
+                        const std::vector<ModelScores>& rows) {
+  util::AsciiTable table({"Model", "MSE(valid)", "MSE(test)", "MAE(valid)",
+                          "MAE(test)", "MAPE(valid)", "MAPE(test)"});
+  for (const auto& r : rows) {
+    std::string name = r.name + (r.consistent ? " *" : "");
+    table.AddRow({name, util::AsciiTable::Num(r.valid.mse, 1),
+                  util::AsciiTable::Num(r.test.mse, 1),
+                  util::AsciiTable::Num(r.valid.mae, 2),
+                  util::AsciiTable::Num(r.test.mae, 2),
+                  util::AsciiTable::Num(r.valid.mape, 3),
+                  util::AsciiTable::Num(r.test.mape, 3)});
+  }
+  table.Print(title);
+  std::printf("(* = consistency guaranteed by construction)\n");
+}
+
+}  // namespace selnet::eval

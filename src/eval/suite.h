@@ -1,0 +1,108 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "eval/estimator.h"
+#include "eval/metrics.h"
+#include "index/partitioner.h"
+#include "util/env.h"
+#include "util/table.h"
+
+/// \file suite.h
+/// \brief The shared experiment harness driving every table/figure bench.
+///
+/// Encapsulates dataset preparation (synthetic corpus + workload + ground
+/// truth), the model registry covering every row of Tables 1-4, training,
+/// scoring (MSE/MAE/MAPE on valid and test) and the per-query estimation-time
+/// measurement of Table 7.
+
+namespace selnet::eval {
+
+/// \brief One corpus+distance setting of the evaluation section.
+struct DatasetSetting {
+  data::Corpus corpus = data::Corpus::kFasttextLike;
+  data::Metric metric = data::Metric::kCosine;
+  const char* name = "fasttext-cos";
+};
+
+/// \brief The four settings of Tables 1-4, in paper order.
+std::vector<DatasetSetting> PaperSettings();
+
+/// \brief fasttext-cos / fasttext-l2 / face-cos / YouTube-cos lookup.
+DatasetSetting SettingByName(const std::string& name);
+
+/// \brief Database + workload pair ready for model training.
+struct PreparedData {
+  data::Database db;
+  data::Workload workload;
+  util::ScaleConfig scale;
+  DatasetSetting setting;
+};
+
+/// \brief Generate the corpus, labels and splits for a setting.
+///
+/// \param beta_thresholds Section 7.9: Beta(3, 2.5) threshold sampling.
+PreparedData PrepareData(const DatasetSetting& setting,
+                         const util::ScaleConfig& scale,
+                         bool beta_thresholds = false);
+
+/// \brief Every model row of the accuracy tables.
+enum class ModelKind {
+  kLsh,
+  kKde,
+  kLightGbm,
+  kLightGbmM,
+  kDnn,
+  kMoe,
+  kRmi,
+  kDln,
+  kUmnn,
+  kSelNet,
+  kSelNetCt,
+  kSelNetAdCt,
+};
+
+/// \brief All models of Tables 1-4, in paper row order (without ablations).
+std::vector<ModelKind> PaperModels();
+
+const char* ModelKindName(ModelKind kind);
+
+/// \brief Per-experiment overrides of model defaults (hyper-parameter sweeps).
+struct ModelOptions {
+  size_t control_points = 0;  ///< 0 = scale default (Table 8 sweeps this).
+  size_t partitions = 0;      ///< 0 = scale default (Table 9 sweeps this).
+  idx::PartitionMethod partition_method = idx::PartitionMethod::kCoverTree;
+};
+
+/// \brief True iff the model can run on this metric (LSH is cosine-only).
+bool ModelSupports(ModelKind kind, data::Metric metric);
+
+/// \brief Construct an untrained model for the prepared data.
+std::unique_ptr<Estimator> MakeModel(ModelKind kind, const PreparedData& data,
+                                     const ModelOptions& opts = {});
+
+/// \brief One table row: accuracy on valid/test plus estimation time.
+struct ModelScores {
+  std::string name;
+  bool consistent = false;
+  Errors valid;
+  Errors test;
+  double train_seconds = 0.0;
+  double estimate_ms = 0.0;  ///< Average per-query estimation time.
+};
+
+/// \brief Train `model` on `data` and score it.
+ModelScores TrainAndScore(Estimator* model, const PreparedData& data);
+
+/// \brief Measure average single-query estimation latency (Table 7).
+double MeasureEstimateMs(Estimator* model, const PreparedData& data,
+                         size_t max_queries = 200);
+
+/// \brief Render Tables 1-4 style output (one row per model).
+void PrintAccuracyTable(const std::string& title,
+                        const std::vector<ModelScores>& rows);
+
+}  // namespace selnet::eval

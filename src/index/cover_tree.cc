@@ -1,0 +1,258 @@
+#include "index/cover_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <limits>
+
+#include "util/check.h"
+
+namespace selnet::idx {
+
+using util::Status;
+
+CoverTree::CoverTree(size_t dim, data::Metric metric, float base)
+    : dim_(dim), metric_(metric), base_(base) {
+  SEL_CHECK_GT(base, 1.0f);
+}
+
+float CoverTree::CovDist(int level) const {
+  return std::pow(base_, static_cast<float>(level));
+}
+
+void CoverTree::Insert(const float* point, size_t id) {
+  auto node = std::make_unique<Node>();
+  node->point.assign(point, point + dim_);
+  node->id = id;
+  if (!root_) {
+    node->level = 0;
+    root_ = std::move(node);
+    size_ = 1;
+    return;
+  }
+  float d = Dist(root_->point.data(), point);
+  // Raise the root level until its covering radius reaches the new point.
+  // Children keep satisfying the covering invariant (covdist grows).
+  while (d > CovDist(root_->level)) ++root_->level;
+  InsertAt(root_.get(), std::move(node), d);
+  ++size_;
+}
+
+void CoverTree::InsertAt(Node* parent, std::unique_ptr<Node> x, float dist_px) {
+  parent->max_dist = std::max(parent->max_dist, dist_px);
+  for (auto& child : parent->children) {
+    float d = Dist(child->point.data(), x->point.data());
+    if (d <= CovDist(child->level)) {
+      InsertAt(child.get(), std::move(x), d);
+      return;
+    }
+  }
+  x->level = parent->level - 1;
+  parent->children.push_back(std::move(x));
+}
+
+CoverTree CoverTree::Build(const tensor::Matrix& points, data::Metric metric,
+                           float base) {
+  CoverTree tree(points.cols(), metric, base);
+  for (size_t r = 0; r < points.rows(); ++r) tree.Insert(points.row(r), r);
+  return tree;
+}
+
+void CoverTree::CollectSubtree(const Node* node, std::vector<size_t>* out) const {
+  out->push_back(node->id);
+  for (const auto& c : node->children) CollectSubtree(c.get(), out);
+}
+
+void CoverTree::RangeCollect(const Node* node, const float* query, float t,
+                             std::vector<size_t>* out, size_t* count_only) const {
+  float d = Dist(node->point.data(), query);
+  if (d - node->max_dist > t) return;  // whole subtree outside the ball
+  if (d + node->max_dist <= t) {
+    // Whole subtree inside the ball: bulk accept.
+    if (count_only != nullptr) {
+      std::vector<size_t> tmp;
+      CollectSubtree(node, &tmp);
+      *count_only += tmp.size();
+    } else {
+      CollectSubtree(node, out);
+    }
+    return;
+  }
+  if (d <= t) {
+    if (count_only != nullptr) {
+      ++*count_only;
+    } else {
+      out->push_back(node->id);
+    }
+  }
+  for (const auto& c : node->children) RangeCollect(c.get(), query, t, out, count_only);
+}
+
+size_t CoverTree::RangeCount(const float* query, float t) const {
+  if (!root_) return 0;
+  size_t count = 0;
+  RangeCollect(root_.get(), query, t, nullptr, &count);
+  return count;
+}
+
+std::vector<size_t> CoverTree::RangeQuery(const float* query, float t) const {
+  std::vector<size_t> out;
+  if (root_) RangeCollect(root_.get(), query, t, &out, nullptr);
+  return out;
+}
+
+size_t CoverTree::Nearest(const float* query) const {
+  SEL_CHECK(root_ != nullptr);
+  size_t best_id = root_->id;
+  float best = Dist(root_->point.data(), query);
+  // Best-first search with the max_dist lower bound for pruning.
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    float d = Dist(node->point.data(), query);
+    if (d < best) {
+      best = d;
+      best_id = node->id;
+    }
+    for (const auto& c : node->children) {
+      float dc = Dist(c->point.data(), query);
+      if (dc - c->max_dist < best) {
+        if (dc < best) {
+          best = dc;
+          best_id = c->id;
+        }
+        stack.push_back(c.get());
+      }
+    }
+  }
+  return best_id;
+}
+
+std::vector<Region> CoverTree::PartitionByRatio(double ratio) const {
+  std::vector<Region> regions;
+  if (!root_) return regions;
+  size_t min_region = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(ratio * static_cast<double>(size_))));
+
+  // Count subtree sizes once.
+  std::function<size_t(const Node*)> subtree_size = [&](const Node* n) -> size_t {
+    size_t s = 1;
+    for (const auto& c : n->children) s += subtree_size(c.get());
+    return s;
+  };
+
+  struct Pending {
+    const Node* node;
+  };
+  std::deque<Pending> queue;
+  queue.push_back({root_.get()});
+  // Points of expanded interior nodes, re-attached to the nearest region below.
+  std::vector<const Node*> orphans;
+
+  while (!queue.empty()) {
+    const Node* node = queue.front().node;
+    queue.pop_front();
+    size_t sz = subtree_size(node);
+    if (sz < min_region || node->children.empty()) {
+      Region region;
+      region.center = node->point;
+      std::vector<size_t> ids;
+      CollectSubtree(node, &ids);
+      region.members = std::move(ids);
+      regions.push_back(std::move(region));
+    } else {
+      orphans.push_back(node);
+      for (const auto& c : node->children) queue.push_back({c.get()});
+    }
+  }
+  // Attach each expanded node's own point to the nearest region center.
+  for (const Node* orphan : orphans) {
+    size_t best = 0;
+    float best_d = std::numeric_limits<float>::max();
+    for (size_t i = 0; i < regions.size(); ++i) {
+      float d = Dist(regions[i].center.data(), orphan->point.data());
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    regions[best].members.push_back(orphan->id);
+  }
+  // Exact radii from member lists: requires access to the member vectors,
+  // which callers own; radius here is w.r.t. stored node points, so compute
+  // while we still can (members of a region are ids into the indexed matrix —
+  // we only stored points in nodes). Walk the tree once to map id -> point.
+  std::vector<const Node*> flat;
+  std::function<void(const Node*)> walk = [&](const Node* n) {
+    flat.push_back(n);
+    for (const auto& c : n->children) walk(c.get());
+  };
+  walk(root_.get());
+  std::vector<const float*> by_id(size_, nullptr);
+  for (const Node* n : flat) {
+    if (n->id < size_) by_id[n->id] = n->point.data();
+  }
+  for (auto& region : regions) {
+    float r = 0.0f;
+    for (size_t id : region.members) {
+      if (id < by_id.size() && by_id[id] != nullptr) {
+        r = std::max(r, Dist(region.center.data(), by_id[id]));
+      }
+    }
+    region.radius = r;
+  }
+  return regions;
+}
+
+util::Status CoverTree::ValidateNode(const Node* node) const {
+  constexpr float kEps = 1e-4f;
+  for (const auto& c : node->children) {
+    if (c->level >= node->level) {
+      return Status::Internal("leveling invariant violated");
+    }
+    float d = Dist(node->point.data(), c->point.data());
+    if (d > CovDist(node->level) + kEps) {
+      return Status::Internal("covering invariant violated");
+    }
+    if (d > node->max_dist + kEps) {
+      return Status::Internal("max_dist bound violated (child)");
+    }
+    SEL_RETURN_NOT_OK(ValidateNode(c.get()));
+  }
+  return Status::OK();
+}
+
+util::Status CoverTree::ValidateInvariants() const {
+  if (!root_) return Status::OK();
+  SEL_RETURN_NOT_OK(ValidateNode(root_.get()));
+  // max_dist must bound every descendant, not just direct children.
+  std::function<Status(const Node*)> check_desc = [&](const Node* n) -> Status {
+    std::vector<size_t> ids;
+    std::vector<const Node*> stack = {n};
+    float max_d = 0.0f;
+    while (!stack.empty()) {
+      const Node* cur = stack.back();
+      stack.pop_back();
+      max_d = std::max(max_d, Dist(n->point.data(), cur->point.data()));
+      for (const auto& c : cur->children) stack.push_back(c.get());
+    }
+    if (max_d > n->max_dist + 1e-3f) {
+      return Status::Internal("max_dist bound violated (descendant)");
+    }
+    for (const auto& c : n->children) SEL_RETURN_NOT_OK(check_desc(c.get()));
+    return Status::OK();
+  };
+  return check_desc(root_.get());
+}
+
+size_t CoverTree::HeightOf(const Node* node) const {
+  size_t h = 0;
+  for (const auto& c : node->children) h = std::max(h, 1 + HeightOf(c.get()));
+  return h;
+}
+
+size_t CoverTree::Height() const { return root_ ? HeightOf(root_.get()) : 0; }
+
+}  // namespace selnet::idx

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/distance.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+/// \file cover_tree.h
+/// \brief Simplified cover tree (Izbicki & Shelton, ICML 2015).
+///
+/// SelNet uses the cover tree twice: (i) to partition the database into
+/// balanced ball regions for the partitioned global model (Section 5.3), and
+/// (ii) conceptually, to reason about which regions a query ball (x, t) can
+/// intersect. The tree here is the "simplified" variant: every node carries a
+/// point; children are within `covdist(level)` of their parent; the covering
+/// invariant `d(parent, child) <= 1.3^level` and the leveling invariant
+/// `child.level < parent.level` are maintained on insert and checked by the
+/// test-suite's `ValidateInvariants`.
+
+namespace selnet::idx {
+
+/// \brief Ball region exported by the partitioner: center + radius + members.
+struct Region {
+  std::vector<float> center;
+  float radius = 0.0f;
+  std::vector<size_t> members;  ///< Object ids inside the region.
+};
+
+/// \brief Simplified cover tree over a point set.
+class CoverTree {
+ public:
+  /// \param base expansion constant (paper implementations use 1.3 or 2.0)
+  explicit CoverTree(size_t dim, data::Metric metric, float base = 1.3f);
+
+  /// \brief Insert a point with external id; O(c^6 log n) expected.
+  void Insert(const float* point, size_t id);
+
+  /// \brief Build from all rows of `points` (ids = row numbers).
+  static CoverTree Build(const tensor::Matrix& points, data::Metric metric,
+                         float base = 1.3f);
+
+  size_t size() const { return size_; }
+  size_t dim() const { return dim_; }
+
+  /// \brief Count points within distance `t` of `query` (exact).
+  size_t RangeCount(const float* query, float t) const;
+
+  /// \brief Ids of points within distance `t` of `query` (exact).
+  std::vector<size_t> RangeQuery(const float* query, float t) const;
+
+  /// \brief Nearest-neighbor id (exact); size() must be > 0.
+  size_t Nearest(const float* query) const;
+
+  /// \brief Partition the indexed points into ball regions by expanding nodes
+  /// top-down until a subtree holds fewer than `min_region_size` points
+  /// (SelNet's partition ratio r: stop when |node| < r * |D|).
+  std::vector<Region> PartitionByRatio(double ratio) const;
+
+  /// \brief Verify covering/leveling invariants; Status::Internal on failure.
+  util::Status ValidateInvariants() const;
+
+  /// \brief Height of the tree (levels between root and deepest leaf).
+  size_t Height() const;
+
+ private:
+  struct Node {
+    std::vector<float> point;
+    size_t id = 0;
+    int level = 0;
+    float max_dist = 0.0f;  ///< Upper bound on distance to any descendant.
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  float Dist(const float* a, const float* b) const {
+    return data::Distance(a, b, dim_, metric_);
+  }
+  float CovDist(int level) const;
+  void InsertAt(Node* parent, std::unique_ptr<Node> x, float dist_px);
+  void CollectSubtree(const Node* node, std::vector<size_t>* out) const;
+  void RangeCollect(const Node* node, const float* query, float t,
+                    std::vector<size_t>* out, size_t* count_only) const;
+  util::Status ValidateNode(const Node* node) const;
+  size_t HeightOf(const Node* node) const;
+
+  std::unique_ptr<Node> root_;
+  size_t dim_;
+  data::Metric metric_;
+  float base_;
+  size_t size_ = 0;
+};
+
+}  // namespace selnet::idx

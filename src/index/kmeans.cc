@@ -1,0 +1,88 @@
+#include "index/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/blas.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace selnet::idx {
+
+KMeansResult KMeans(const tensor::Matrix& data, size_t k, size_t max_iters,
+                    uint64_t seed) {
+  size_t n = data.rows(), dim = data.cols();
+  SEL_CHECK(k >= 1 && k <= n);
+  util::Rng rng(seed);
+
+  // k-means++ seeding.
+  tensor::Matrix centroids(k, dim);
+  std::vector<double> min_sq(n, std::numeric_limits<double>::max());
+  size_t first = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+  std::copy(data.row(first), data.row(first) + dim, centroids.row(0));
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = tensor::SquaredL2(data.row(i), centroids.row(c - 1), dim);
+      min_sq[i] = std::min(min_sq[i], d);
+      total += min_sq[i];
+    }
+    double target = rng.Uniform(0.0, total);
+    size_t pick = n - 1;
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += min_sq[i];
+      if (acc >= target) {
+        pick = i;
+        break;
+      }
+    }
+    std::copy(data.row(pick), data.row(pick) + dim, centroids.row(c));
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  std::vector<size_t> counts(k, 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      float best_d = std::numeric_limits<float>::max();
+      for (size_t c = 0; c < k; ++c) {
+        float d = tensor::SquaredL2(data.row(i), centroids.row(c), dim);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+      inertia += best_d;
+    }
+    result.inertia = inertia;
+    if (!changed && iter > 0) break;
+    // Recompute centroids; empty clusters keep their previous centroid.
+    centroids.Fill(0.0f);
+    std::fill(counts.begin(), counts.end(), size_t{0});
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = result.assignment[i];
+      ++counts[c];
+      const float* src = data.row(i);
+      float* dst = centroids.row(c);
+      for (size_t j = 0; j < dim; ++j) dst[j] += src[j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      float inv = 1.0f / static_cast<float>(counts[c]);
+      float* dst = centroids.row(c);
+      for (size_t j = 0; j < dim; ++j) dst[j] *= inv;
+    }
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace selnet::idx

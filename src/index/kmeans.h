@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+/// \file kmeans.h
+/// \brief Lloyd's k-means with k-means++ seeding (Table 10's KM partitioner).
+
+namespace selnet::idx {
+
+/// \brief Clustering output: centroids plus a per-row assignment.
+struct KMeansResult {
+  tensor::Matrix centroids;        ///< k x dim.
+  std::vector<size_t> assignment;  ///< Row -> cluster id.
+  double inertia = 0.0;            ///< Sum of squared distances to centroids.
+};
+
+/// \brief Run k-means (squared-Euclidean objective).
+///
+/// \param data n x dim points
+/// \param k number of clusters (1 <= k <= n)
+/// \param max_iters Lloyd iteration cap
+/// \param seed k-means++ seeding randomness
+KMeansResult KMeans(const tensor::Matrix& data, size_t k, size_t max_iters,
+                    uint64_t seed);
+
+}  // namespace selnet::idx

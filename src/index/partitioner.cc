@@ -1,0 +1,214 @@
+#include "index/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "index/kmeans.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace selnet::idx {
+
+namespace {
+
+// Normalize a query into `buf` for cosine workloads (geometry is Euclidean
+// over unit vectors).
+const float* EuclideanView(const float* query, size_t dim, data::Metric metric,
+                           std::vector<float>* buf) {
+  if (metric != data::Metric::kCosine) return query;
+  buf->assign(query, query + dim);
+  float norm = 0.0f;
+  for (float v : *buf) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm > 1e-20f) {
+    for (float& v : *buf) v /= norm;
+  }
+  return buf->data();
+}
+
+}  // namespace
+
+std::vector<uint8_t> Partitioning::Intersects(const float* query, float t) const {
+  std::vector<uint8_t> out(cluster_regions.size(), uint8_t{0});
+  size_t dim = regions.empty() ? 0 : regions[0].center.size();
+  std::vector<float> buf;
+  const float* q = EuclideanView(query, dim, metric, &buf);
+  // Convert the threshold into the Euclidean-equivalent space where the
+  // triangle inequality holds.
+  float te = (metric == data::Metric::kCosine) ? data::CosineToEuclideanThreshold(t)
+                                               : t;
+  for (size_t c = 0; c < cluster_regions.size(); ++c) {
+    for (size_t ri : cluster_regions[c]) {
+      const Region& region = regions[ri];
+      float d = data::Distance(q, region.center.data(), dim,
+                               data::Metric::kEuclidean);
+      if (d <= te + region.radius) {
+        out[c] = 1;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+size_t Partitioning::AssignObject(const float* vec) {
+  SEL_CHECK(!regions.empty());
+  size_t dim = regions[0].center.size();
+  std::vector<float> buf;
+  const float* v = EuclideanView(vec, dim, metric, &buf);
+  size_t best_region = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (size_t ri = 0; ri < regions.size(); ++ri) {
+    float d = data::Distance(v, regions[ri].center.data(), dim,
+                             data::Metric::kEuclidean);
+    if (d < best_d) {
+      best_d = d;
+      best_region = ri;
+    }
+  }
+  regions[best_region].radius = std::max(regions[best_region].radius, best_d);
+  for (size_t c = 0; c < cluster_regions.size(); ++c) {
+    for (size_t ri : cluster_regions[c]) {
+      if (ri == best_region) return c;
+    }
+  }
+  SEL_CHECK_MSG(false, "region not owned by any cluster");
+  return 0;
+}
+
+std::vector<size_t> GreedyBalancedMerge(const std::vector<Region>& regions,
+                                        size_t k) {
+  SEL_CHECK_GE(k, 1u);
+  std::vector<size_t> order(regions.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return regions[a].members.size() > regions[b].members.size();
+  });
+  std::vector<size_t> cluster_of(regions.size(), 0);
+  std::vector<size_t> load(k, 0);
+  for (size_t ri : order) {
+    size_t best = 0;
+    for (size_t c = 1; c < k; ++c) {
+      if (load[c] < load[best]) best = c;
+    }
+    cluster_of[ri] = best;
+    load[best] += regions[ri].members.size();
+  }
+  return cluster_of;
+}
+
+namespace {
+
+// Compute exact radius of each region from its member rows.
+void FinalizeRadii(const tensor::Matrix& data, data::Metric metric,
+                   std::vector<Region>* regions) {
+  for (auto& region : *regions) {
+    float r = 0.0f;
+    for (size_t id : region.members) {
+      r = std::max(r, data::Distance(region.center.data(), data.row(id),
+                                     data.cols(), metric));
+    }
+    region.radius = r;
+  }
+}
+
+std::vector<Region> SplitRandom(const tensor::Matrix& data, size_t k,
+                                uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Region> regions(k);
+  size_t dim = data.cols();
+  for (size_t i = 0; i < data.rows(); ++i) {
+    size_t c = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(k) - 1));
+    regions[c].members.push_back(i);
+  }
+  // Centers = member centroids.
+  for (auto& region : regions) {
+    region.center.assign(dim, 0.0f);
+    if (region.members.empty()) continue;
+    for (size_t id : region.members) {
+      const float* row = data.row(id);
+      for (size_t j = 0; j < dim; ++j) region.center[j] += row[j];
+    }
+    float inv = 1.0f / static_cast<float>(region.members.size());
+    for (size_t j = 0; j < dim; ++j) region.center[j] *= inv;
+  }
+  return regions;
+}
+
+std::vector<Region> SplitKMeans(const tensor::Matrix& data, size_t k,
+                                uint64_t seed) {
+  KMeansResult km = KMeans(data, k, /*max_iters=*/25, seed);
+  std::vector<Region> regions(k);
+  size_t dim = data.cols();
+  for (size_t c = 0; c < k; ++c) {
+    regions[c].center.assign(km.centroids.row(c), km.centroids.row(c) + dim);
+  }
+  for (size_t i = 0; i < data.rows(); ++i) {
+    regions[km.assignment[i]].members.push_back(i);
+  }
+  // Drop empty clusters.
+  std::vector<Region> out;
+  for (auto& r : regions) {
+    if (!r.members.empty()) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+Partitioning BuildPartitioning(const tensor::Matrix& data, data::Metric metric,
+                               const PartitionSpec& spec) {
+  Partitioning part;
+  part.metric = metric;
+  // All region geometry is Euclidean; cosine workloads are mapped onto the
+  // unit sphere first (cos distance is scale-invariant, so this is exact).
+  const tensor::Matrix* geo = &data;
+  tensor::Matrix normalized;
+  if (metric == data::Metric::kCosine) {
+    normalized = data;
+    data::NormalizeRows(&normalized);
+    geo = &normalized;
+  }
+  switch (spec.method) {
+    case PartitionMethod::kCoverTree: {
+      CoverTree tree = CoverTree::Build(*geo, data::Metric::kEuclidean);
+      part.regions = tree.PartitionByRatio(spec.ratio);
+      break;
+    }
+    case PartitionMethod::kRandom:
+      // Random split straight into K regions; fc degenerates to mostly-ones
+      // because the regions are not geometrically compact (Section 5.3).
+      part.regions = SplitRandom(*geo, spec.k, spec.seed);
+      break;
+    case PartitionMethod::kKMeans:
+      part.regions = SplitKMeans(*geo, spec.k, spec.seed);
+      break;
+  }
+  FinalizeRadii(*geo, data::Metric::kEuclidean, &part.regions);
+
+  size_t k = std::min(spec.k, part.regions.size());
+  std::vector<size_t> cluster_of = GreedyBalancedMerge(part.regions, k);
+  part.cluster_regions.assign(k, {});
+  part.cluster_members.assign(k, {});
+  for (size_t ri = 0; ri < part.regions.size(); ++ri) {
+    size_t c = cluster_of[ri];
+    part.cluster_regions[c].push_back(ri);
+    for (size_t id : part.regions[ri].members) {
+      part.cluster_members[c].push_back(id);
+    }
+  }
+  return part;
+}
+
+const char* PartitionMethodName(PartitionMethod method) {
+  switch (method) {
+    case PartitionMethod::kCoverTree: return "CT";
+    case PartitionMethod::kRandom: return "RP";
+    case PartitionMethod::kKMeans: return "KM";
+  }
+  return "?";
+}
+
+}  // namespace selnet::idx

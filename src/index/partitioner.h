@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/distance.h"
+#include "index/cover_tree.h"
+#include "tensor/matrix.h"
+
+/// \file partitioner.h
+/// \brief Database partitioning for the partitioned SelNet (Section 5.3).
+///
+/// Pipeline: (1) split D into K' ball regions — by cover tree with ratio r,
+/// random assignment, or k-means (Table 10 compares the three); (2) greedily
+/// merge regions into K balanced clusters (largest-region-first into the
+/// currently-smallest cluster); (3) expose the indicator fc(x, t) that flags
+/// clusters whose regions can intersect the query ball.
+
+namespace selnet::idx {
+
+/// \brief Region-splitting strategies (Table 10: CT / RP / KM).
+enum class PartitionMethod { kCoverTree, kRandom, kKMeans };
+
+/// \brief K balanced clusters of ball regions over a dataset.
+///
+/// Cosine workloads are handled through the unit-vector equivalence
+/// cos(u,v) = 1 - ||u-v||^2/2 (Section 5.3): region geometry (centers, radii,
+/// intersection tests) lives in Euclidean space over normalized vectors, where
+/// the triangle inequality the indicator relies on actually holds.
+struct Partitioning {
+  /// Raw ball regions (before merging). Geometry is Euclidean; for cosine
+  /// workloads it refers to the normalized copies of the data.
+  std::vector<Region> regions;
+  /// Region indices per final cluster (size K).
+  std::vector<std::vector<size_t>> cluster_regions;
+  /// Object ids per final cluster (disjoint union covers the dataset).
+  std::vector<std::vector<size_t>> cluster_members;
+  /// The workload's metric (thresholds arrive in this metric).
+  data::Metric metric = data::Metric::kEuclidean;
+
+  size_t num_clusters() const { return cluster_members.size(); }
+
+  /// \brief fc(x, t): 1 for clusters with any region whose ball intersects
+  /// the query ball: d(x, center) <= t + radius, evaluated in the Euclidean
+  /// (-equivalent) space. `t` is given in the workload metric.
+  std::vector<uint8_t> Intersects(const float* query, float t) const;
+
+  /// \brief Route a new object to the nearest region (by center distance);
+  /// grows that region's radius if needed so the fc indicator stays sound.
+  /// Returns the index of the cluster owning that region.
+  size_t AssignObject(const float* vec);
+};
+
+/// \brief Partitioning parameters.
+struct PartitionSpec {
+  PartitionMethod method = PartitionMethod::kCoverTree;
+  size_t k = 3;        ///< Final cluster count K.
+  double ratio = 0.05; ///< Cover-tree stop ratio r (region < r * |D|).
+  uint64_t seed = 31;
+};
+
+/// \brief Build a partitioning of `data`.
+Partitioning BuildPartitioning(const tensor::Matrix& data, data::Metric metric,
+                               const PartitionSpec& spec);
+
+/// \brief Greedy size-balanced merge of regions into k clusters (exposed for
+/// testing): returns cluster index per region.
+std::vector<size_t> GreedyBalancedMerge(const std::vector<Region>& regions,
+                                        size_t k);
+
+const char* PartitionMethodName(PartitionMethod method);
+
+}  // namespace selnet::idx

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/linear.h"
+
+/// \file mlp.h
+/// \brief Multi-layer perceptron (the paper's FFN building block).
+
+namespace selnet::nn {
+
+/// \brief Hidden-layer activation choice.
+enum class Activation { kRelu, kTanh, kSigmoid, kSoftplus, kNone };
+
+/// \brief Feed-forward network: Linear + activation per hidden layer, linear
+/// output layer (no activation unless `output_activation` is set).
+class Mlp : public Module {
+ public:
+  Mlp() = default;
+
+  /// \param dims layer widths, e.g. {in, 512, 512, out}
+  Mlp(const std::vector<size_t>& dims, util::Rng* rng,
+      Activation hidden = Activation::kRelu,
+      Activation output_activation = Activation::kNone);
+
+  ag::Var Forward(const ag::Var& x) const;
+
+  std::vector<ag::Var> Params() const override;
+
+  size_t in_dim() const { return layers_.front().in_dim(); }
+  size_t out_dim() const { return layers_.back().out_dim(); }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_ = Activation::kRelu;
+  Activation output_ = Activation::kNone;
+};
+
+/// \brief Apply an Activation to a Var (kNone is identity).
+ag::Var Activate(const ag::Var& x, Activation act);
+
+}  // namespace selnet::nn

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/var.h"
+
+/// \file module.h
+/// \brief Base interface for trainable components.
+
+namespace selnet::nn {
+
+/// \brief A trainable component exposing its parameter leaves.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// \brief All trainable parameter leaves, in a stable order (serialization
+  /// and optimizers rely on the ordering).
+  virtual std::vector<ag::Var> Params() const = 0;
+
+  /// \brief Total number of scalar parameters.
+  size_t NumParams() const {
+    size_t n = 0;
+    for (const auto& p : Params()) n += p->value.size();
+    return n;
+  }
+};
+
+/// \brief Copy current parameter values (for best-on-validation snapshots).
+inline std::vector<tensor::Matrix> SnapshotParams(
+    const std::vector<ag::Var>& params) {
+  std::vector<tensor::Matrix> snap;
+  snap.reserve(params.size());
+  for (const auto& p : params) snap.push_back(p->value);
+  return snap;
+}
+
+/// \brief Restore values captured by SnapshotParams (same order/shapes).
+inline void RestoreParams(const std::vector<ag::Var>& params,
+                          const std::vector<tensor::Matrix>& snap) {
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snap[i];
+}
+
+}  // namespace selnet::nn

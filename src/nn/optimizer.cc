@@ -1,0 +1,86 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace selnet::nn {
+
+void Optimizer::ClipGrad(float clip) {
+  for (auto& p : params_) {
+    p->EnsureGrad();
+    float* g = p->grad.data();
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      g[i] = std::clamp(g[i], -clip, clip);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<ag::Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    p->EnsureGrad();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    if (momentum_ > 0.0f) {
+      float* v = velocity_[i].data();
+      for (size_t j = 0; j < p->value.size(); ++j) {
+        v[j] = momentum_ * v[j] + g[j];
+        w[j] -= lr_ * v[j];
+      }
+    } else {
+      for (size_t j = 0; j < p->value.size(); ++j) w[j] -= lr_ * g[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    p->EnsureGrad();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      float mh = m[j] / bc1;
+      float vh = v[j] / bc2;
+      float upd = mh / (std::sqrt(vh) + eps_);
+      if (weight_decay_ > 0.0f) upd += weight_decay_ * w[j];
+      w[j] -= lr_ * upd;
+    }
+  }
+}
+
+}  // namespace selnet::nn

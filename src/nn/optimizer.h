@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "autograd/var.h"
+#include "tensor/matrix.h"
+
+/// \file optimizer.h
+/// \brief First-order optimizers over parameter Vars.
+
+namespace selnet::nn {
+
+/// \brief Optimizer interface: consumes accumulated gradients, updates values.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// \brief Apply one update using the gradients currently stored on params.
+  virtual void Step() = 0;
+
+  /// \brief Zero all parameter gradients.
+  void ZeroGrad() { ag::ZeroGrad(params_); }
+
+  /// \brief Clip gradient entries to [-clip, clip]; call before Step.
+  void ClipGrad(float clip);
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<ag::Var> params_;
+  float lr_ = 1e-3f;
+};
+
+/// \brief Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Var> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<tensor::Matrix> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba) with bias correction; optional decoupled weight
+/// decay makes it AdamW.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+};
+
+}  // namespace selnet::nn

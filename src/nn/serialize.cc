@@ -1,0 +1,81 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace selnet::nn {
+
+using util::Status;
+
+namespace {
+constexpr char kMagic[4] = {'S', 'E', 'L', 'N'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Status SaveParams(const std::vector<ag::Var>& params, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) {
+    return Status::IOError("short write: " + path);
+  }
+  uint32_t version = kVersion;
+  uint64_t count = params.size();
+  std::fwrite(&version, sizeof(version), 1, f.get());
+  std::fwrite(&count, sizeof(count), 1, f.get());
+  for (const auto& p : params) {
+    uint64_t rows = p->value.rows(), cols = p->value.cols();
+    std::fwrite(&rows, sizeof(rows), 1, f.get());
+    std::fwrite(&cols, sizeof(cols), 1, f.get());
+    size_t n = p->value.size();
+    if (n > 0 && std::fwrite(p->value.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IOError("short write: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadParams(const std::string& path, const std::vector<ag::Var>& params) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Invalid("bad magic in " + path);
+  }
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      version != kVersion) {
+    return Status::Invalid("unsupported version in " + path);
+  }
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1 ||
+      count != params.size()) {
+    return Status::Invalid("parameter count mismatch in " + path);
+  }
+  for (const auto& p : params) {
+    uint64_t rows = 0, cols = 0;
+    if (std::fread(&rows, sizeof(rows), 1, f.get()) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f.get()) != 1) {
+      return Status::IOError("truncated file: " + path);
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::Invalid("shape mismatch in " + path);
+    }
+    size_t n = p->value.size();
+    if (n > 0 && std::fread(p->value.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IOError("truncated file: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace selnet::nn

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autograd/var.h"
+#include "util/status.h"
+
+/// \file serialize.h
+/// \brief Binary (de)serialization of parameter lists.
+///
+/// Format: magic "SELN", u32 version, u64 count, then per matrix
+/// u64 rows, u64 cols, rows*cols little-endian floats. Model classes persist
+/// their `Params()` vectors in declaration order.
+
+namespace selnet::nn {
+
+/// \brief Write `params` values to `path`.
+util::Status SaveParams(const std::vector<ag::Var>& params,
+                        const std::string& path);
+
+/// \brief Read values from `path` into `params` (shapes must match exactly).
+util::Status LoadParams(const std::string& path,
+                        const std::vector<ag::Var>& params);
+
+}  // namespace selnet::nn

@@ -1,0 +1,185 @@
+#include "tensor/blas.h"
+
+namespace selnet::tensor {
+
+namespace {
+
+// C(m x n) += alpha * A(m x k) * B(k x n), row-major, saxpy (i-k-j) order.
+void GemmNN(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+  size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    float* c_row = out->row(i);
+    const float* a_row = a.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      float av = alpha * a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b.row(p);
+      for (size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// C(m x n) += alpha * A^T(m x k) * B(k x n) where A is (k x m).
+void GemmTN(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+  size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* a_row = a.row(p);
+    const float* b_row = b.row(p);
+    for (size_t i = 0; i < m; ++i) {
+      float av = alpha * a_row[i];
+      if (av == 0.0f) continue;
+      float* c_row = out->row(i);
+      for (size_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+// C(m x n) += alpha * A(m x k) * B^T(k x n) where B is (n x k): dot products.
+void GemmNT(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+  size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.row(i);
+    float* c_row = out->row(i);
+    for (size_t j = 0; j < n; ++j) {
+      c_row[j] += alpha * Dot(a_row, b.row(j), k);
+    }
+  }
+}
+
+// C(m x n) += alpha * A^T(m x k) * B^T(k x n); rare, done via explicit copy.
+void GemmTT(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+  Matrix at = a.Transposed();
+  Matrix bt = b.Transposed();
+  GemmNN(at, bt, alpha, out);
+}
+
+}  // namespace
+
+float Dot(const float* a, const float* b, size_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return s0 + s1 + s2 + s3;
+}
+
+float SquaredL2(const float* a, const float* b, size_t n) {
+  float s0 = 0.0f, s1 = 0.0f;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float d0 = a[i] - b[i];
+    float d1 = a[i + 1] - b[i + 1];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+  }
+  if (i < n) {
+    float d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return s0 + s1;
+}
+
+void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
+          float alpha, float beta, Matrix* out) {
+  size_t m = trans_a ? a.cols() : a.rows();
+  size_t ka = trans_a ? a.rows() : a.cols();
+  size_t kb = trans_b ? b.cols() : b.rows();
+  size_t n = trans_b ? b.rows() : b.cols();
+  SEL_CHECK_EQ(ka, kb);
+  SEL_CHECK_EQ(out->rows(), m);
+  SEL_CHECK_EQ(out->cols(), n);
+  if (beta == 0.0f) {
+    out->Fill(0.0f);
+  } else if (beta != 1.0f) {
+    for (size_t i = 0; i < out->size(); ++i) out->data()[i] *= beta;
+  }
+  if (!trans_a && !trans_b) {
+    GemmNN(a, b, alpha, out);
+  } else if (trans_a && !trans_b) {
+    GemmTN(a, b, alpha, out);
+  } else if (!trans_a && trans_b) {
+    GemmNT(a, b, alpha, out);
+  } else {
+    GemmTT(a, b, alpha, out);
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  Gemm(a, false, b, false, 1.0f, 0.0f, &out);
+  return out;
+}
+
+void Axpy(float alpha, const Matrix& x, Matrix* y) {
+  SEL_CHECK(x.SameShape(*y));
+  const float* xd = x.data();
+  float* yd = y->data();
+  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  SEL_CHECK(a.SameShape(b));
+  Matrix out = a;
+  Axpy(1.0f, b, &out);
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  SEL_CHECK(a.SameShape(b));
+  Matrix out = a;
+  Axpy(-1.0f, b, &out);
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  SEL_CHECK(a.SameShape(b));
+  Matrix out = a;
+  float* od = out.data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < out.size(); ++i) od[i] *= bd[i];
+  return out;
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  Matrix out = a;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  return out;
+}
+
+void AddRowVectorInPlace(Matrix* m, const Matrix& row_vec) {
+  SEL_CHECK_EQ(row_vec.rows(), 1u);
+  SEL_CHECK_EQ(row_vec.cols(), m->cols());
+  const float* v = row_vec.data();
+  for (size_t r = 0; r < m->rows(); ++r) {
+    float* row = m->row(r);
+    for (size_t c = 0; c < m->cols(); ++c) row[c] += v[c];
+  }
+}
+
+Matrix ColSums(const Matrix& m) {
+  Matrix out(1, m.cols());
+  float* o = out.data();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.row(r);
+    for (size_t c = 0; c < m.cols(); ++c) o[c] += row[c];
+  }
+  return out;
+}
+
+Matrix RowSums(const Matrix& m) {
+  Matrix out(m.rows(), 1);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.row(r);
+    float s = 0.0f;
+    for (size_t c = 0; c < m.cols(); ++c) s += row[c];
+    out(r, 0) = s;
+  }
+  return out;
+}
+
+}  // namespace selnet::tensor

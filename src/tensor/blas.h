@@ -1,0 +1,53 @@
+#pragma once
+
+#include "tensor/matrix.h"
+
+/// \file blas.h
+/// \brief Hot numeric kernels over Matrix: GEMM variants, axpy, reductions.
+///
+/// These are the only loops that matter for training throughput; they are
+/// written i-k-j (saxpy order) so the inner loop is a contiguous FMA stream
+/// that GCC vectorizes with AVX2.
+
+namespace selnet::tensor {
+
+/// \brief out = alpha * A(^T?) * B(^T?) + beta * out.
+///
+/// `out` must be pre-shaped to the product shape; `beta == 0` overwrites.
+void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
+          float alpha, float beta, Matrix* out);
+
+/// \brief C = A * B convenience wrapper.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// \brief y += alpha * x (same shape).
+void Axpy(float alpha, const Matrix& x, Matrix* y);
+
+/// \brief out = a + b (same shape).
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// \brief out = a - b (same shape).
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// \brief out = a ⊙ b elementwise (same shape).
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// \brief out = a * scalar.
+Matrix Scale(const Matrix& a, float s);
+
+/// \brief Add a 1xC row vector to every row of `m` in place.
+void AddRowVectorInPlace(Matrix* m, const Matrix& row_vec);
+
+/// \brief Column-wise sums of `m` as a 1xC matrix.
+Matrix ColSums(const Matrix& m);
+
+/// \brief Row-wise sums of `m` as an Rx1 matrix.
+Matrix RowSums(const Matrix& m);
+
+/// \brief Dot product of two equally-sized float spans.
+float Dot(const float* a, const float* b, size_t n);
+
+/// \brief Squared Euclidean distance between two float spans.
+float SquaredL2(const float* a, const float* b, size_t n);
+
+}  // namespace selnet::tensor

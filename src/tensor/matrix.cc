@@ -1,0 +1,117 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace selnet::tensor {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  SEL_CHECK_EQ(data_.size(), rows_ * cols_);
+}
+
+Matrix Matrix::Eye(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Uniform(size_t rows, size_t cols, util::Rng* rng, float lo, float hi) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng->Uniform(lo, hi));
+  return m;
+}
+
+Matrix Matrix::Gaussian(size_t rows, size_t cols, util::Rng* rng, float stddev) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = static_cast<float>(rng->Normal(0.0, stddev));
+  return m;
+}
+
+void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::Apply(const std::function<float(float)>& fn) {
+  for (auto& v : data_) v = fn(v);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* src = row(r);
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::RowSlice(size_t begin, size_t end) const {
+  SEL_CHECK(begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  std::copy(row(begin), row(begin) + (end - begin) * cols_, out.data());
+  return out;
+}
+
+Matrix Matrix::ColSlice(size_t begin, size_t end) const {
+  SEL_CHECK(begin <= end && end <= cols_);
+  Matrix out(rows_, end - begin);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::copy(row(r) + begin, row(r) + end, out.row(r));
+  }
+  return out;
+}
+
+Matrix Matrix::Reshaped(size_t rows, size_t cols) const {
+  SEL_CHECK_EQ(rows * cols, data_.size());
+  Matrix out = *this;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  return out;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+float Matrix::Max() const {
+  SEL_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Matrix::Min() const {
+  SEL_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+bool Matrix::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream out;
+  out << "Matrix(" << rows_ << "x" << cols_ << ")\n";
+  size_t rr = std::min<size_t>(rows_, static_cast<size_t>(max_rows));
+  size_t cc = std::min<size_t>(cols_, static_cast<size_t>(max_cols));
+  for (size_t r = 0; r < rr; ++r) {
+    out << "  [";
+    for (size_t c = 0; c < cc; ++c) {
+      out << (c > 0 ? ", " : "") << (*this)(r, c);
+    }
+    if (cc < cols_) out << ", ...";
+    out << "]\n";
+  }
+  if (rr < rows_) out << "  ...\n";
+  return out.str();
+}
+
+}  // namespace selnet::tensor

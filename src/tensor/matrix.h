@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+/// \file matrix.h
+/// \brief Dense row-major float matrix — the value type of the autograd tape.
+///
+/// Vectors are represented as 1xN or Nx1 matrices. All neural network math in
+/// the library flows through this type, so the hot kernels (see blas.h) are
+/// written to auto-vectorize under -O3 -march=native.
+
+namespace selnet::tensor {
+
+/// \brief Dense row-major float matrix.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// \brief Build from a flat row-major buffer (size must be rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<float> data);
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols, 0.0f); }
+  static Matrix Ones(size_t rows, size_t cols) { return Matrix(rows, cols, 1.0f); }
+  static Matrix Full(size_t rows, size_t cols, float v) { return Matrix(rows, cols, v); }
+  /// \brief Identity matrix of size n.
+  static Matrix Eye(size_t n);
+  /// \brief i.i.d. U(lo, hi) entries.
+  static Matrix Uniform(size_t rows, size_t cols, util::Rng* rng, float lo = -1.0f,
+                        float hi = 1.0f);
+  /// \brief i.i.d. N(0, stddev^2) entries.
+  static Matrix Gaussian(size_t rows, size_t cols, util::Rng* rng,
+                         float stddev = 1.0f);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(size_t r, size_t c) {
+    SEL_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(size_t r, size_t c) const {
+    SEL_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(size_t r) { return data_.data() + r * cols_; }
+  const float* row(size_t r) const { return data_.data() + r * cols_; }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// \brief Reset every entry to `v`.
+  void Fill(float v);
+  /// \brief Elementwise in-place transform.
+  void Apply(const std::function<float(float)>& fn);
+  /// \brief Transposed copy.
+  Matrix Transposed() const;
+  /// \brief Copy of rows [begin, end).
+  Matrix RowSlice(size_t begin, size_t end) const;
+  /// \brief Copy of columns [begin, end).
+  Matrix ColSlice(size_t begin, size_t end) const;
+  /// \brief Reshape view-copy; total size must be preserved.
+  Matrix Reshaped(size_t rows, size_t cols) const;
+
+  /// \brief Sum of all entries.
+  double Sum() const;
+  /// \brief Max entry (requires non-empty).
+  float Max() const;
+  /// \brief Min entry (requires non-empty).
+  float Min() const;
+  /// \brief Frobenius norm.
+  double Norm() const;
+
+  /// \brief True iff all entries are finite.
+  bool AllFinite() const;
+
+  /// \brief Debug rendering (small matrices only).
+  std::string ToString(int max_rows = 8, int max_cols = 10) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace selnet::tensor

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file check.h
+/// \brief CHECK macros for programmer-error invariants (abort on violation).
+///
+/// `SEL_CHECK` is always on; `SEL_DCHECK` compiles out in NDEBUG builds and is
+/// used on hot paths. These mirror the Arrow DCHECK conventions.
+
+#define SEL_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SEL_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SEL_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SEL_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SEL_CHECK_EQ(a, b) SEL_CHECK((a) == (b))
+#define SEL_CHECK_NE(a, b) SEL_CHECK((a) != (b))
+#define SEL_CHECK_LT(a, b) SEL_CHECK((a) < (b))
+#define SEL_CHECK_LE(a, b) SEL_CHECK((a) <= (b))
+#define SEL_CHECK_GT(a, b) SEL_CHECK((a) > (b))
+#define SEL_CHECK_GE(a, b) SEL_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SEL_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#define SEL_DCHECK_EQ(a, b) SEL_DCHECK((a) == (b))
+#define SEL_DCHECK_LT(a, b) SEL_DCHECK((a) < (b))
+#define SEL_DCHECK_LE(a, b) SEL_DCHECK((a) <= (b))
+#else
+#define SEL_DCHECK(cond) SEL_CHECK(cond)
+#define SEL_DCHECK_EQ(a, b) SEL_CHECK_EQ(a, b)
+#define SEL_DCHECK_LT(a, b) SEL_CHECK_LT(a, b)
+#define SEL_DCHECK_LE(a, b) SEL_CHECK_LE(a, b)
+#endif

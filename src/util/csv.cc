@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace selnet::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  SEL_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';  // double the quote
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << Escape(row[i]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "w"), &std::fclose);
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  std::string content = ToString();
+  if (std::fwrite(content.data(), 1, content.size(), f.get()) != content.size()) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace selnet::util

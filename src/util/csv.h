@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file csv.h
+/// \brief Minimal CSV writing with RFC-4180 quoting.
+///
+/// Bench binaries print ASCII tables for humans; CSV export (enabled by
+/// SELNET_CSV_DIR) makes the same rows consumable by plotting scripts.
+
+namespace selnet::util {
+
+/// \brief Accumulates rows and writes them out as a CSV file.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// \brief Append one row (must match header arity).
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Serialize to a string with proper quoting.
+  std::string ToString() const;
+
+  /// \brief Write to `path`; parent directory must exist.
+  Status WriteFile(const std::string& path) const;
+
+  /// \brief Quote a field per RFC 4180 (only when needed).
+  static std::string Escape(const std::string& field);
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace selnet::util

@@ -1,0 +1,61 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace selnet::util {
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return def;
+  return std::strtoll(v, nullptr, 10);
+}
+
+std::string EnvString(const char* name, const std::string& def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return def;
+  return v;
+}
+
+std::string ScaleConfig::name() const {
+  switch (scale) {
+    case Scale::kSmoke: return "smoke";
+    case Scale::kDefault: return "default";
+    case Scale::kLarge: return "large";
+  }
+  return "unknown";
+}
+
+ScaleConfig GetScaleConfig() {
+  ScaleConfig cfg;
+  std::string s = EnvString("SELNET_SCALE", "default");
+  if (s == "smoke") {
+    cfg.scale = Scale::kSmoke;
+    cfg.n = 1500;
+    cfg.dim = 12;
+    cfg.num_queries = 60;
+    cfg.w = 8;
+    cfg.epochs = 8;
+    cfg.control_points = 8;
+    cfg.partitions = 2;
+  } else if (s == "large") {
+    cfg.scale = Scale::kLarge;
+    cfg.n = 40000;
+    cfg.dim = 48;
+    cfg.num_queries = 1000;
+    cfg.w = 24;
+    cfg.epochs = 120;
+    cfg.control_points = 32;
+    cfg.partitions = 3;
+  } else {
+    cfg.scale = Scale::kDefault;
+  }
+  cfg.n = static_cast<size_t>(EnvInt("SELNET_N", static_cast<int64_t>(cfg.n)));
+  cfg.dim = static_cast<size_t>(EnvInt("SELNET_DIM", static_cast<int64_t>(cfg.dim)));
+  cfg.num_queries = static_cast<size_t>(
+      EnvInt("SELNET_QUERIES", static_cast<int64_t>(cfg.num_queries)));
+  cfg.epochs =
+      static_cast<size_t>(EnvInt("SELNET_EPOCHS", static_cast<int64_t>(cfg.epochs)));
+  return cfg;
+}
+
+}  // namespace selnet::util

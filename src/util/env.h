@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file env.h
+/// \brief Experiment scaling knobs read from the environment.
+///
+/// The paper trains on million-vector corpora with 0.25M queries for 1500
+/// epochs on a server; this repository must regenerate every table on a small
+/// CPU box. `SELNET_SCALE` selects a preset: `smoke` (seconds; used by ctest
+/// fixtures), `default` (minutes; used by `bench/*` with no arguments), and
+/// `large` (closer to paper scale). Individual knobs can be overridden with
+/// SELNET_N, SELNET_DIM, SELNET_QUERIES, SELNET_EPOCHS.
+
+namespace selnet::util {
+
+/// \brief Preset workload scales.
+enum class Scale { kSmoke, kDefault, kLarge };
+
+/// \brief Resolved experiment scale parameters.
+struct ScaleConfig {
+  Scale scale = Scale::kDefault;
+  /// Database size per synthetic corpus.
+  size_t n = 6000;
+  /// Embedding dimensionality (fasttext/face-like corpora; YouTube uses 2x).
+  size_t dim = 24;
+  /// Number of query objects (each paired with `w` thresholds).
+  size_t num_queries = 240;
+  /// Thresholds per query (the paper's w; geometric selectivity ladder).
+  size_t w = 16;
+  /// Training epochs for neural models.
+  size_t epochs = 30;
+  /// Control points L for SelNet.
+  size_t control_points = 16;
+  /// Default number of data partitions K.
+  size_t partitions = 3;
+
+  std::string name() const;
+};
+
+/// \brief Read SELNET_SCALE (+ overrides) from the environment.
+ScaleConfig GetScaleConfig();
+
+/// \brief Integer env var with default.
+int64_t EnvInt(const char* name, int64_t def);
+
+/// \brief String env var with default.
+std::string EnvString(const char* name, const std::string& def);
+
+}  // namespace selnet::util

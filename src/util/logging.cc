@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace selnet::util {
+
+namespace {
+LogLevel g_level = [] {
+  const char* env = std::getenv("SELNET_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  int v = std::atoi(env);
+  if (v <= 0) return LogLevel::kQuiet;
+  if (v == 1) return LogLevel::kInfo;
+  return LogLevel::kDebug;
+}();
+
+void VLog(const char* tag, const char* fmt, va_list args) {
+  std::fprintf(stderr, "[selnet:%s] ", tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fprintf(stderr, "\n");
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogInfo(const char* fmt, ...) {
+  if (static_cast<int>(g_level) < static_cast<int>(LogLevel::kInfo)) return;
+  va_list args;
+  va_start(args, fmt);
+  VLog("info", fmt, args);
+  va_end(args);
+}
+
+void LogDebug(const char* fmt, ...) {
+  if (static_cast<int>(g_level) < static_cast<int>(LogLevel::kDebug)) return;
+  va_list args;
+  va_start(args, fmt);
+  VLog("debug", fmt, args);
+  va_end(args);
+}
+
+}  // namespace selnet::util

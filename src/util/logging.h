@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+/// \file logging.h
+/// \brief Tiny leveled logger (stderr). Controlled by SELNET_LOG_LEVEL env:
+/// 0=quiet, 1=info (default), 2=debug.
+
+namespace selnet::util {
+
+enum class LogLevel : int { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+/// \brief Current process-wide log level (read once from the environment).
+LogLevel GetLogLevel();
+
+/// \brief Override the level programmatically (tests, benches).
+void SetLogLevel(LogLevel level);
+
+/// \brief printf-style log at info level.
+void LogInfo(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// \brief printf-style log at debug level.
+void LogDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace selnet::util

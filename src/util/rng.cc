@@ -1,0 +1,21 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace selnet::util {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  SEL_CHECK_LE(k, n);
+  // Partial Fisher-Yates: O(n) memory but only k swaps.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i),
+                                              static_cast<int64_t>(n - 1)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace selnet::util

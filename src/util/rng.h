@@ -1,0 +1,79 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+/// \file rng.h
+/// \brief Deterministic random number generation.
+///
+/// Every stochastic component in the library takes an explicit seed so that
+/// experiments are reproducible run-to-run. `Rng` wraps std::mt19937_64 with
+/// the handful of draws the library needs.
+
+namespace selnet::util {
+
+/// \brief Seeded pseudo-random generator used throughout the library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    SEL_DCHECK_LE(lo, hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// \brief Standard normal draw scaled by `stddev` around `mean`.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// \brief Gamma(shape, scale) draw; used for Beta sampling.
+  double Gamma(double shape, double scale = 1.0) {
+    std::gamma_distribution<double> dist(shape, scale);
+    return dist(engine_);
+  }
+
+  /// \brief Beta(alpha, beta) draw via two Gamma draws.
+  double Beta(double alpha, double beta) {
+    double x = Gamma(alpha);
+    double y = Gamma(beta);
+    double s = x + y;
+    if (s <= 0.0) return 0.5;
+    return x / s;
+  }
+
+  /// \brief Bernoulli draw with success probability `p`.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// \brief Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// \brief Sample `k` distinct indices from [0, n) without replacement.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// \brief Fork a child generator with a decorrelated seed stream.
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace selnet::util

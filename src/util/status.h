@@ -1,0 +1,109 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// \brief Arrow/RocksDB-style error propagation for recoverable failures.
+///
+/// Public APIs that can fail for reasons other than programmer error return
+/// `Status` (or `Result<T>` when they produce a value). Programmer errors are
+/// handled with `SEL_CHECK`/`SEL_DCHECK` from check.h instead.
+
+namespace selnet::util {
+
+/// \brief Coarse error taxonomy, modeled after arrow::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Lightweight status object: an `Ok` singleton or a code + message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief Human-readable rendering, e.g. "InvalidArgument: bad shape".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A value or an error, Arrow-style.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : repr_(std::move(value)) {}  // NOLINT
+  /*implicit*/ Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief Access the value; callers must check ok() first (checked in debug).
+  const T& ValueOrDie() const& { return std::get<T>(repr_); }
+  T& ValueOrDie() & { return std::get<T>(repr_); }
+  T&& ValueOrDie() && { return std::move(std::get<T>(repr_)); }
+
+  /// \brief Move the value out; callers must check ok() first.
+  T MoveValueUnsafe() { return std::move(std::get<T>(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace selnet::util
+
+/// \brief Propagate a non-OK Status out of the enclosing function.
+#define SEL_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::selnet::util::Status _st = (expr);        \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// \brief Bind `lhs` to the value of a Result-returning expression or return.
+#define SEL_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto _res_##__LINE__ = (expr);                 \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).ValueOrDie();

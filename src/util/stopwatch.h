@@ -1,0 +1,30 @@
+#pragma once
+
+#include <chrono>
+
+/// \file stopwatch.h
+/// \brief Wall-clock timer for the estimation-time experiments.
+
+namespace selnet::util {
+
+/// \brief Steady-clock stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace selnet::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// \brief ASCII table rendering for bench harness output.
+///
+/// Every experiment binary prints its results in the same row/column layout
+/// the paper's tables use; this helper keeps the formatting consistent.
+
+namespace selnet::util {
+
+/// \brief Simple column-aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// \brief Append one row; must match the header arity.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Render with column alignment and a separator under the header.
+  std::string ToString() const;
+
+  /// \brief Convenience: render and print to stdout with a title line.
+  void Print(const std::string& title) const;
+
+  /// \brief Format a double with `digits` significant decimals.
+  static std::string Num(double v, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace selnet::util

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// \brief Minimal fixed-size thread pool plus a blocking ParallelFor helper.
+///
+/// Used for embarrassingly parallel work: exact selectivity scans, workload
+/// label generation, and batched model evaluation. The pool is intentionally
+/// simple — tasks may not spawn nested tasks into the same pool.
+
+namespace selnet::util {
+
+/// \brief Fixed-size worker pool executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueue a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// \brief Block until every queued and running task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Process-wide shared pool (lazily constructed).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers: task available / stop
+  std::condition_variable done_cv_;   // signals Wait(): all work drained
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief Run `fn(i)` for i in [begin, end) across the global pool.
+///
+/// Blocks until all iterations complete. Falls back to a serial loop for
+/// small ranges or when called from within a pool worker.
+void ParallelFor(size_t begin, size_t end, const std::function<void(size_t)>& fn,
+                 size_t grain = 64);
+
+}  // namespace selnet::util

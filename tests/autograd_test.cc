@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "util/rng.h"
+
+namespace selnet::ag {
+namespace {
+
+using tensor::Matrix;
+
+constexpr double kTol = 2e-2;
+
+Matrix RandomMatrix(size_t r, size_t c, uint64_t seed, float lo = -1.0f,
+                    float hi = 1.0f) {
+  util::Rng rng(seed);
+  return Matrix::Uniform(r, c, &rng, lo, hi);
+}
+
+TEST(BackwardTest, SeedsRootWithOnes) {
+  Var p = Param(Matrix::Full(1, 1, 3.0f));
+  Var y = Square(p);  // y = 9, dy/dp = 6
+  Backward(y);
+  EXPECT_NEAR(p->grad(0, 0), 6.0f, 1e-4f);
+}
+
+TEST(BackwardTest, DiamondGraphAccumulates) {
+  // y = a*a + a*a via two separate Mul nodes sharing the leaf.
+  Var a = Param(Matrix::Full(1, 1, 2.0f));
+  Var left = Mul(a, a);
+  Var right = Mul(a, a);
+  Var y = Add(left, right);  // y = 2a^2, dy/da = 4a = 8
+  Backward(y);
+  EXPECT_NEAR(a->grad(0, 0), 8.0f, 1e-4f);
+}
+
+TEST(BackwardTest, GradAccumulatesAcrossCalls) {
+  Var p = Param(Matrix::Full(1, 1, 1.0f));
+  Backward(Square(p));
+  Backward(Square(p));
+  EXPECT_NEAR(p->grad(0, 0), 4.0f, 1e-4f);  // 2 + 2
+  ZeroGrad({p});
+  EXPECT_FLOAT_EQ(p->grad(0, 0), 0.0f);
+}
+
+TEST(BackwardTest, ConstantsGetNoGradient) {
+  Var c = Constant(Matrix::Full(1, 1, 5.0f));
+  Var p = Param(Matrix::Full(1, 1, 2.0f));
+  Var y = Mul(c, p);
+  Backward(y);
+  EXPECT_FALSE(c->requires_grad);
+  EXPECT_NEAR(p->grad(0, 0), 5.0f, 1e-4f);
+}
+
+// Parameterized gradient checks over seeds for each op family.
+class GradCheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GradCheck, MatMulChain) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(3, 4, s));
+  Var b = Param(RandomMatrix(4, 2, s + 1));
+  auto loss = [&] { return MeanAll(Square(MatMul(a, b))); };
+  EXPECT_LT(MaxGradError({a, b}, loss), kTol);
+}
+
+TEST_P(GradCheck, AddSubMulScale) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(2, 5, s));
+  Var b = Param(RandomMatrix(2, 5, s + 1));
+  auto loss = [&] {
+    return MeanAll(Square(Scale(Sub(Mul(a, b), Add(a, b)), 0.7f)));
+  };
+  EXPECT_LT(MaxGradError({a, b}, loss), kTol);
+}
+
+TEST_P(GradCheck, RowBroadcastAndColBroadcast) {
+  uint64_t s = GetParam();
+  Var m = Param(RandomMatrix(4, 3, s));
+  Var row = Param(RandomMatrix(1, 3, s + 1));
+  Var col = Param(RandomMatrix(4, 1, s + 2));
+  auto loss = [&] {
+    return MeanAll(Square(MulColBroadcast(AddRowBroadcast(m, row), col)));
+  };
+  EXPECT_LT(MaxGradError({m, row, col}, loss), kTol);
+}
+
+TEST_P(GradCheck, Nonlinearities) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(3, 3, s, -2.0f, 2.0f));
+  auto loss = [&] {
+    Var h = Add(Sigmoid(a), Add(Tanh(a), Softplus(a)));
+    return MeanAll(Square(h));
+  };
+  EXPECT_LT(MaxGradError({a}, loss), kTol);
+}
+
+TEST_P(GradCheck, LeakyReluAndExp) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(2, 4, s, -1.5f, 1.5f));
+  auto loss = [&] { return MeanAll(Mul(LeakyRelu(a, 0.1f), Exp(Scale(a, 0.3f)))); };
+  EXPECT_LT(MaxGradError({a}, loss), kTol);
+}
+
+TEST_P(GradCheck, LogOfPositive) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(2, 3, s, 0.5f, 2.0f));
+  auto loss = [&] { return MeanAll(Square(Log(a))); };
+  EXPECT_LT(MaxGradError({a}, loss), kTol);
+}
+
+TEST_P(GradCheck, ConcatSliceReshape) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(3, 2, s));
+  Var b = Param(RandomMatrix(3, 4, s + 1));
+  auto loss = [&] {
+    Var cat = ConcatCols(a, b);            // 3x6
+    Var mid = SliceCols(cat, 1, 5);        // 3x4
+    Var rs = Reshape(mid, 4, 3);           // 4x3
+    return MeanAll(Square(rs));
+  };
+  EXPECT_LT(MaxGradError({a, b}, loss), kTol);
+}
+
+TEST_P(GradCheck, RepeatRows) {
+  uint64_t s = GetParam();
+  Var row = Param(RandomMatrix(1, 5, s));
+  Var m = Param(RandomMatrix(6, 5, s + 1));
+  auto loss = [&] { return MeanAll(Square(Mul(RepeatRows(row, 6), m))); };
+  EXPECT_LT(MaxGradError({row, m}, loss), kTol);
+}
+
+TEST_P(GradCheck, Reductions) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(3, 4, s));
+  auto loss = [&] {
+    return Add(MeanAll(Square(RowSums(a))), Scale(SumAll(Mul(a, a)), 0.01f));
+  };
+  EXPECT_LT(MaxGradError({a}, loss), kTol);
+}
+
+TEST_P(GradCheck, CumsumRows) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(2, 6, s));
+  auto loss = [&] { return MeanAll(Square(CumsumRows(a))); };
+  EXPECT_LT(MaxGradError({a}, loss), kTol);
+}
+
+TEST_P(GradCheck, SoftmaxRows) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(3, 5, s));
+  Var w = Constant(RandomMatrix(3, 5, s + 9));
+  auto loss = [&] { return MeanAll(Square(Mul(SoftmaxRows(a), w))); };
+  EXPECT_LT(MaxGradError({a}, loss), kTol);
+}
+
+TEST_P(GradCheck, NormL2Rows) {
+  uint64_t s = GetParam();
+  Var a = Param(RandomMatrix(3, 4, s, -1.5f, 1.5f));
+  Var w = Constant(RandomMatrix(3, 4, s + 9));
+  auto loss = [&] { return MeanAll(Square(Mul(NormL2Rows(a), w))); };
+  EXPECT_LT(MaxGradError({a}, loss), kTol);
+}
+
+TEST_P(GradCheck, GroupedLinear) {
+  uint64_t s = GetParam();
+  size_t groups = 4, h = 3, batch = 5;
+  Var x = Param(RandomMatrix(batch, groups * h, s));
+  Var w = Param(RandomMatrix(groups, h, s + 1));
+  Var b = Param(RandomMatrix(1, groups, s + 2));
+  auto loss = [&] { return MeanAll(Square(GroupedLinear(x, w, b))); };
+  EXPECT_LT(MaxGradError({x, w, b}, loss), kTol);
+}
+
+TEST_P(GradCheck, PiecewiseLinearGatherInterior) {
+  uint64_t s = GetParam();
+  size_t batch = 4, knots = 6;
+  // Strictly increasing taus away from the query thresholds so the finite
+  // difference perturbation (1e-3) cannot cross a segment boundary.
+  Matrix tau_init(batch, knots);
+  for (size_t r = 0; r < batch; ++r) {
+    for (size_t k = 0; k < knots; ++k) {
+      tau_init(r, k) = static_cast<float>(k) * 0.5f;
+    }
+  }
+  Var tau = Param(tau_init);
+  Var p = Param(RandomMatrix(batch, knots, s, 0.0f, 2.0f));
+  Matrix ts(batch, 1);
+  util::Rng rng(s + 5);
+  for (size_t r = 0; r < batch; ++r) {
+    ts(r, 0) = static_cast<float>(rng.Uniform(0.2, 2.2));  // interior, off-knot
+  }
+  Var t = Constant(ts);
+  auto loss = [&] { return MeanAll(Square(PiecewiseLinearGather(tau, p, t))); };
+  EXPECT_LT(MaxGradError({tau, p}, loss), kTol);
+}
+
+TEST_P(GradCheck, TopKSoftmax) {
+  uint64_t s = GetParam();
+  // Separated logits so the finite-difference step cannot flip the top-k set.
+  Matrix init(2, 6);
+  util::Rng rng(s);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 6; ++c) {
+      init(r, c) = static_cast<float>(c) * 0.8f +
+                   static_cast<float>(rng.Uniform(0.0, 0.1));
+    }
+  }
+  Var a = Param(init);
+  Var w = Constant(RandomMatrix(2, 6, s + 9));
+  auto loss = [&] { return MeanAll(Square(Mul(TopKSoftmaxRows(a, 2), w))); };
+  EXPECT_LT(MaxGradError({a}, loss), kTol);
+}
+
+TEST_P(GradCheck, Losses) {
+  uint64_t s = GetParam();
+  Var pred = Param(RandomMatrix(5, 1, s, 0.5f, 10.0f));
+  Var target = Constant(RandomMatrix(5, 1, s + 1, 0.5f, 10.0f));
+  auto huber_log = [&] { return HuberLogLoss(pred, target, 1.345f, 1.0f); };
+  EXPECT_LT(MaxGradError({pred}, huber_log), kTol);
+
+  Var pred2 = Param(RandomMatrix(4, 3, s + 2));
+  Var target2 = Constant(RandomMatrix(4, 3, s + 3));
+  auto huber = [&] { return HuberLoss(pred2, target2, 1.0f); };
+  EXPECT_LT(MaxGradError({pred2}, huber), kTol);
+  auto mse = [&] { return MseLoss(pred2, target2); };
+  EXPECT_LT(MaxGradError({pred2}, mse), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradCheck, ::testing::Values(11u, 22u, 33u));
+
+TEST(OpsTest, NormL2RowsIsSimplex) {
+  Var a = Param(RandomMatrix(4, 7, 42));
+  Var out = NormL2Rows(a);
+  for (size_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < 7; ++c) {
+      float v = out->value(r, c);
+      EXPECT_GT(v, 0.0f);  // strictly positive thanks to the eps/d pad
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, TopKSoftmaxSparsityAndNormalization) {
+  Var a = Constant(RandomMatrix(5, 8, 7));
+  Var out = TopKSoftmaxRows(a, 3);
+  for (size_t r = 0; r < 5; ++r) {
+    size_t nonzero = 0;
+    float sum = 0.0f;
+    for (size_t c = 0; c < 8; ++c) {
+      float v = out->value(r, c);
+      if (v > 0.0f) ++nonzero;
+      sum += v;
+    }
+    EXPECT_EQ(nonzero, 3u);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, PwlGatherClampsOutsideDomain) {
+  Matrix tau(1, 3), p(1, 3), t(1, 1);
+  tau(0, 0) = 0.0f;
+  tau(0, 1) = 1.0f;
+  tau(0, 2) = 2.0f;
+  p(0, 0) = 5.0f;
+  p(0, 1) = 7.0f;
+  p(0, 2) = 11.0f;
+  t(0, 0) = -1.0f;
+  Var below = PiecewiseLinearGather(Constant(tau), Constant(p), Constant(t));
+  EXPECT_FLOAT_EQ(below->value(0, 0), 5.0f);
+  t(0, 0) = 99.0f;
+  Var above = PiecewiseLinearGather(Constant(tau), Constant(p), Constant(t));
+  EXPECT_FLOAT_EQ(above->value(0, 0), 11.0f);
+  t(0, 0) = 1.5f;
+  Var mid = PiecewiseLinearGather(Constant(tau), Constant(p), Constant(t));
+  EXPECT_FLOAT_EQ(mid->value(0, 0), 9.0f);
+}
+
+TEST(OpsTest, CumsumRowsValues) {
+  Matrix m(1, 4);
+  for (int i = 0; i < 4; ++i) m(0, i) = static_cast<float>(i + 1);
+  Var out = CumsumRows(Constant(m));
+  EXPECT_FLOAT_EQ(out->value(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out->value(0, 3), 10.0f);
+}
+
+TEST(OpsTest, SoftplusIsStableForLargeInputs) {
+  Matrix m(1, 2);
+  m(0, 0) = 100.0f;
+  m(0, 1) = -100.0f;
+  Var out = Softplus(Constant(m));
+  EXPECT_NEAR(out->value(0, 0), 100.0f, 1e-3f);
+  EXPECT_NEAR(out->value(0, 1), 0.0f, 1e-3f);
+  EXPECT_TRUE(out->value.AllFinite());
+}
+
+TEST(OpsTest, HuberLogLossValue) {
+  // yhat == y gives zero loss.
+  Matrix y(2, 1);
+  y(0, 0) = 10.0f;
+  y(1, 0) = 100.0f;
+  Var loss = HuberLogLoss(Constant(y), Constant(y));
+  EXPECT_NEAR(loss->value(0, 0), 0.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace selnet::ag

@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "baselines/deep_regressors.h"
+#include "baselines/dln.h"
+#include "baselines/gbdt.h"
+#include "baselines/isotonic.h"
+#include "baselines/kde.h"
+#include "baselines/lsh_sampling.h"
+#include "baselines/umnn.h"
+#include "data/synthetic.h"
+
+namespace selnet::bl {
+namespace {
+
+using tensor::Matrix;
+
+// Shared fixture: small dataset + workload; parameterized over metric.
+class BaselineFixture {
+ public:
+  explicit BaselineFixture(data::Metric metric, size_t n = 800, size_t dim = 8) {
+    data::SyntheticSpec spec;
+    spec.n = n;
+    spec.dim = dim;
+    spec.num_clusters = 5;
+    spec.normalize = (metric == data::Metric::kCosine);
+    db = std::make_unique<data::Database>(data::GenerateMixture(spec), metric);
+    data::WorkloadSpec wspec;
+    wspec.num_queries = 36;
+    wspec.w = 8;
+    // At n=800 the paper's n/100 ladder cap degenerates to labels in [1, 8];
+    // widen it so the workload spans two orders of magnitude.
+    wspec.max_sel_fraction = 0.25;
+    wl = data::GenerateWorkload(*db, wspec);
+    ctx.db = db.get();
+    ctx.workload = &wl;
+    ctx.epochs = 40;
+  }
+
+  double ConstantPredictorMae() const {
+    double log_sum = 0.0;
+    for (const auto& s : wl.test) log_sum += std::log(s.y + 1.0);
+    double c = std::exp(log_sum / static_cast<double>(wl.test.size())) - 1.0;
+    double mae = 0.0;
+    for (const auto& s : wl.test) mae += std::fabs(s.y - c);
+    return mae / static_cast<double>(wl.test.size());
+  }
+
+  double TestMae(eval::Estimator* model) const {
+    data::Batch b = data::MaterializeAll(wl.queries, wl.test);
+    Matrix yhat = model->Predict(b.x, b.t);
+    double mae = 0.0;
+    for (size_t i = 0; i < b.y.size(); ++i) {
+      mae += std::fabs(static_cast<double>(yhat(i, 0)) - b.y(i, 0));
+    }
+    return mae / static_cast<double>(b.y.size());
+  }
+
+  bool MonotoneOnGrid(eval::Estimator* model, size_t query, size_t grid = 48,
+                      float tol = 1e-3f) const {
+    Matrix x(grid, wl.queries.cols()), t(grid, 1);
+    for (size_t i = 0; i < grid; ++i) {
+      std::copy(wl.queries.row(query), wl.queries.row(query) + wl.queries.cols(),
+                x.row(i));
+      t(i, 0) = wl.tmax * static_cast<float>(i) / static_cast<float>(grid - 1);
+    }
+    Matrix yhat = model->Predict(x, t);
+    for (size_t i = 1; i < grid; ++i) {
+      if (yhat(i, 0) < yhat(i - 1, 0) - tol) return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<data::Database> db;
+  data::Workload wl;
+  eval::TrainContext ctx;
+};
+
+// ---------------------------------------------------------------------------
+// KDE
+// ---------------------------------------------------------------------------
+
+TEST(KdeTest, BeatsConstantAndIsMonotone) {
+  BaselineFixture fx(data::Metric::kEuclidean);
+  KdeConfig cfg;
+  cfg.num_samples = 400;
+  KdeEstimator kde(cfg);
+  kde.Fit(fx.ctx);
+  EXPECT_LT(fx.TestMae(&kde), fx.ConstantPredictorMae());
+  for (size_t q = 0; q < 5; ++q) EXPECT_TRUE(fx.MonotoneOnGrid(&kde, q));
+}
+
+TEST(KdeTest, FullSampleApproachesExactAtLargeThreshold) {
+  BaselineFixture fx(data::Metric::kEuclidean, 300);
+  KdeConfig cfg;
+  cfg.num_samples = 300;  // the whole database
+  KdeEstimator kde(cfg);
+  kde.Fit(fx.ctx);
+  // At a threshold much larger than the data diameter the estimate must
+  // approach n (Phi saturates at 1 for every sample).
+  Matrix x(1, 8), t(1, 1);
+  std::copy(fx.wl.queries.row(0), fx.wl.queries.row(0) + 8, x.row(0));
+  t(0, 0) = 100.0f;
+  Matrix yhat = kde.Predict(x, t);
+  EXPECT_NEAR(yhat(0, 0), 300.0f, 3.0f);
+}
+
+TEST(KdeTest, WorksOnCosine) {
+  BaselineFixture fx(data::Metric::kCosine);
+  KdeConfig cfg;
+  cfg.num_samples = 300;
+  KdeEstimator kde(cfg);
+  kde.Fit(fx.ctx);
+  EXPECT_LT(fx.TestMae(&kde), fx.ConstantPredictorMae());
+}
+
+// ---------------------------------------------------------------------------
+// LSH
+// ---------------------------------------------------------------------------
+
+TEST(LshTest, SignatureIsDeterministicAndScaleInvariant) {
+  BaselineFixture fx(data::Metric::kCosine);
+  LshEstimator lsh;
+  lsh.Fit(fx.ctx);
+  const float* q = fx.wl.queries.row(0);
+  EXPECT_EQ(lsh.Signature(q), lsh.Signature(q));
+  std::vector<float> scaled(q, q + 8);
+  for (auto& v : scaled) v *= 3.0f;  // SimHash depends on direction only
+  EXPECT_EQ(lsh.Signature(q), lsh.Signature(scaled.data()));
+}
+
+TEST(LshTest, FullBudgetIsExact) {
+  BaselineFixture fx(data::Metric::kCosine, 300);
+  LshConfig cfg;
+  cfg.sample_budget = 100000;  // >= every stratum: estimator becomes a scan
+  LshEstimator lsh(cfg);
+  lsh.Fit(fx.ctx);
+  for (size_t i = 0; i < 20; ++i) {
+    const auto& s = fx.wl.test[i];
+    Matrix x(1, 8), t(1, 1);
+    std::copy(fx.wl.queries.row(s.query_id), fx.wl.queries.row(s.query_id) + 8,
+              x.row(0));
+    t(0, 0) = s.t;
+    Matrix yhat = lsh.Predict(x, t);
+    EXPECT_NEAR(yhat(0, 0), s.y, 1e-3f);
+  }
+}
+
+TEST(LshTest, ConsistentAcrossThresholds) {
+  BaselineFixture fx(data::Metric::kCosine);
+  LshConfig cfg;
+  cfg.sample_budget = 500;
+  LshEstimator lsh(cfg);
+  lsh.Fit(fx.ctx);
+  for (size_t q = 0; q < 5; ++q) EXPECT_TRUE(fx.MonotoneOnGrid(&lsh, q));
+}
+
+TEST(LshTest, ReasonableAccuracyWithSmallBudget) {
+  BaselineFixture fx(data::Metric::kCosine);
+  LshConfig cfg;
+  cfg.sample_budget = 400;
+  LshEstimator lsh(cfg);
+  lsh.Fit(fx.ctx);
+  EXPECT_LT(fx.TestMae(&lsh), fx.ConstantPredictorMae());
+}
+
+// ---------------------------------------------------------------------------
+// GBDT
+// ---------------------------------------------------------------------------
+
+TEST(GbdtTest, FitsWorkload) {
+  BaselineFixture fx(data::Metric::kEuclidean);
+  GbdtConfig cfg;
+  cfg.num_trees = 60;
+  GbdtEstimator gbdt(cfg);
+  gbdt.Fit(fx.ctx);
+  EXPECT_EQ(gbdt.num_trees(), 60u);
+  EXPECT_LT(fx.TestMae(&gbdt), fx.ConstantPredictorMae());
+}
+
+TEST(GbdtTest, MonotoneVariantIsConsistent) {
+  BaselineFixture fx(data::Metric::kEuclidean);
+  GbdtConfig cfg;
+  cfg.num_trees = 60;
+  cfg.monotone_t = true;
+  GbdtEstimator gbdt(cfg);
+  EXPECT_TRUE(gbdt.IsConsistent());
+  gbdt.Fit(fx.ctx);
+  for (size_t q = 0; q < 8; ++q) {
+    EXPECT_TRUE(fx.MonotoneOnGrid(&gbdt, q, 64)) << "query " << q;
+  }
+}
+
+TEST(GbdtTest, UnconstrainedVariantNotMarkedConsistent) {
+  GbdtEstimator gbdt;
+  EXPECT_FALSE(gbdt.IsConsistent());
+  EXPECT_EQ(gbdt.Name(), "LightGBM");
+  GbdtConfig mono;
+  mono.monotone_t = true;
+  EXPECT_EQ(GbdtEstimator(mono).Name(), "LightGBM-m");
+}
+
+// ---------------------------------------------------------------------------
+// Deep regressors
+// ---------------------------------------------------------------------------
+
+class DeepRegressorParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeepRegressorParam, BeatsConstantPredictor) {
+  BaselineFixture fx(data::Metric::kEuclidean);
+  DeepConfig cfg;
+  cfg.input_dim = 8;
+  cfg.hidden = {48, 48};
+  cfg.expert_hidden = {32};
+  cfg.num_experts = 4;
+  cfg.top_k = 2;
+  cfg.num_leaves = 2;
+  cfg.batch_size = 64;
+  std::unique_ptr<eval::Estimator> model;
+  switch (GetParam()) {
+    case 0: model = std::make_unique<DnnRegressor>(cfg, 5); break;
+    case 1: model = std::make_unique<MoeRegressor>(cfg, 6); break;
+    default: model = std::make_unique<RmiRegressor>(cfg, 7); break;
+  }
+  fx.ctx.epochs = 40;
+  model->Fit(fx.ctx);
+  EXPECT_LT(fx.TestMae(model.get()), fx.ConstantPredictorMae());
+  EXPECT_FALSE(model->IsConsistent());
+}
+
+INSTANTIATE_TEST_SUITE_P(DnnMoeRmi, DeepRegressorParam,
+                         ::testing::Values(0, 1, 2));
+
+TEST(DeepRegressorTest, PredictionsNonNegative) {
+  BaselineFixture fx(data::Metric::kEuclidean);
+  DeepConfig cfg;
+  cfg.input_dim = 8;
+  cfg.hidden = {32};
+  DnnRegressor dnn(cfg, 9);
+  fx.ctx.epochs = 3;
+  dnn.Fit(fx.ctx);
+  data::Batch b = data::MaterializeAll(fx.wl.queries, fx.wl.test);
+  Matrix yhat = dnn.Predict(b.x, b.t);
+  for (size_t i = 0; i < yhat.size(); ++i) EXPECT_GE(yhat.data()[i], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// DLN
+// ---------------------------------------------------------------------------
+
+TEST(DlnTest, ConsistentByConstruction) {
+  BaselineFixture fx(data::Metric::kEuclidean);
+  DlnConfig cfg;
+  cfg.input_dim = 8;
+  DlnEstimator dln(cfg, 11);
+  EXPECT_TRUE(dln.IsConsistent());
+  fx.ctx.epochs = 8;
+  dln.Fit(fx.ctx);
+  for (size_t q = 0; q < 8; ++q) {
+    EXPECT_TRUE(fx.MonotoneOnGrid(&dln, q, 64)) << "query " << q;
+  }
+}
+
+TEST(DlnTest, LearnsSomething) {
+  BaselineFixture fx(data::Metric::kEuclidean);
+  DlnConfig cfg;
+  cfg.input_dim = 8;
+  DlnEstimator dln(cfg, 12);
+  fx.ctx.epochs = 10;
+  dln.Fit(fx.ctx);
+  EXPECT_LT(fx.TestMae(&dln), fx.ConstantPredictorMae() * 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// UMNN
+// ---------------------------------------------------------------------------
+
+TEST(UmnnTest, ClenshawCurtisWeightsSumToTwo) {
+  for (size_t n : {4u, 8u, 16u, 32u}) {
+    std::vector<double> nodes, weights;
+    ClenshawCurtisRule(n, &nodes, &weights);
+    double sum = 0.0;
+    for (double w : weights) sum += w;
+    EXPECT_NEAR(sum, 2.0, 1e-9) << "n=" << n;  // integral of 1 over [-1,1]
+  }
+}
+
+TEST(UmnnTest, QuadratureIntegratesSmoothFunctions) {
+  std::vector<double> nodes, weights;
+  ClenshawCurtisRule(16, &nodes, &weights);
+  // f(x) = x^2 over [-1,1] -> 2/3.
+  double q1 = 0.0;
+  for (size_t j = 0; j < nodes.size(); ++j) q1 += weights[j] * nodes[j] * nodes[j];
+  EXPECT_NEAR(q1, 2.0 / 3.0, 1e-8);
+  // f(x) = exp(x) over [-1,1] -> e - 1/e.
+  double q2 = 0.0;
+  for (size_t j = 0; j < nodes.size(); ++j) q2 += weights[j] * std::exp(nodes[j]);
+  EXPECT_NEAR(q2, std::exp(1.0) - std::exp(-1.0), 1e-8);
+  // f(x) = cos(3x) over [-1,1] -> 2 sin(3)/3.
+  double q3 = 0.0;
+  for (size_t j = 0; j < nodes.size(); ++j) q3 += weights[j] * std::cos(3 * nodes[j]);
+  EXPECT_NEAR(q3, 2.0 * std::sin(3.0) / 3.0, 1e-6);
+}
+
+TEST(UmnnTest, ConsistentAndLearns) {
+  BaselineFixture fx(data::Metric::kEuclidean);
+  UmnnConfig cfg;
+  cfg.input_dim = 8;
+  cfg.hidden = 32;
+  cfg.quad_points = 8;
+  UmnnEstimator umnn(cfg, 13);
+  EXPECT_TRUE(umnn.IsConsistent());
+  fx.ctx.epochs = 8;
+  umnn.Fit(fx.ctx);
+  for (size_t q = 0; q < 6; ++q) {
+    EXPECT_TRUE(fx.MonotoneOnGrid(&umnn, q, 48)) << "query " << q;
+  }
+  EXPECT_LT(fx.TestMae(&umnn), fx.ConstantPredictorMae() * 1.5);
+}
+
+TEST(UmnnTest, ZeroThresholdGivesBiasOnly) {
+  BaselineFixture fx(data::Metric::kEuclidean);
+  UmnnConfig cfg;
+  cfg.input_dim = 8;
+  cfg.hidden = 16;
+  cfg.quad_points = 8;
+  UmnnEstimator umnn(cfg, 14);
+  fx.ctx.epochs = 1;
+  umnn.Fit(fx.ctx);
+  // f(x, 0) = 0-length integral + bias >= 0; must be finite and non-negative.
+  Matrix x(1, 8), t(1, 1);
+  std::copy(fx.wl.queries.row(0), fx.wl.queries.row(0) + 8, x.row(0));
+  t(0, 0) = 0.0f;
+  Matrix yhat = umnn.Predict(x, t);
+  EXPECT_GE(yhat(0, 0), 0.0f);
+  EXPECT_TRUE(yhat.AllFinite());
+}
+
+// ---------------------------------------------------------------------------
+// Isotonic (PAVA)
+// ---------------------------------------------------------------------------
+
+TEST(IsotonicTest, OutputIsMonotone) {
+  util::Rng rng(15);
+  std::vector<double> y(50);
+  for (auto& v : y) v = rng.Normal();
+  auto fit = PavaIsotonic(y);
+  EXPECT_TRUE(IsNonDecreasing(fit, 1e-12));
+}
+
+TEST(IsotonicTest, IdempotentOnMonotoneInput) {
+  std::vector<double> y = {1, 2, 2, 3, 5, 8};
+  auto fit = PavaIsotonic(y);
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_DOUBLE_EQ(fit[i], y[i]);
+}
+
+TEST(IsotonicTest, PreservesMean) {
+  util::Rng rng(16);
+  std::vector<double> y(40);
+  for (auto& v : y) v = rng.Uniform(-5, 5);
+  auto fit = PavaIsotonic(y);
+  double sy = 0, sf = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    sy += y[i];
+    sf += fit[i];
+  }
+  EXPECT_NEAR(sy, sf, 1e-9);
+}
+
+TEST(IsotonicTest, SimpleViolatorPooling) {
+  std::vector<double> y = {3.0, 1.0};
+  auto fit = PavaIsotonic(y);
+  EXPECT_DOUBLE_EQ(fit[0], 2.0);
+  EXPECT_DOUBLE_EQ(fit[1], 2.0);
+}
+
+TEST(IsotonicTest, WeightedPooling) {
+  std::vector<double> y = {3.0, 1.0};
+  std::vector<double> w = {1.0, 3.0};
+  auto fit = PavaIsotonic(y, w);
+  EXPECT_DOUBLE_EQ(fit[0], 1.5);  // (3*1 + 1*3) / 4
+  EXPECT_DOUBLE_EQ(fit[1], 1.5);
+}
+
+TEST(IsotonicTest, MatchesBruteForceProjection) {
+  // For tiny inputs, compare with an exhaustive projected-gradient solve.
+  std::vector<double> y = {2.0, 0.0, 1.0};
+  auto fit = PavaIsotonic(y);
+  // Optimal: pool {2,0} -> 1,1 then {1,1,1}: actually {1,1,1} has SSE 2.0;
+  // alternative {1,1,1}. Verify by checking SSE against a few candidates.
+  auto sse = [&](const std::vector<double>& f) {
+    double s = 0;
+    for (size_t i = 0; i < y.size(); ++i) s += (f[i] - y[i]) * (f[i] - y[i]);
+    return s;
+  };
+  EXPECT_TRUE(IsNonDecreasing(fit, 1e-12));
+  EXPECT_LE(sse(fit), sse({1.0, 1.0, 1.0}) + 1e-9);
+  EXPECT_LE(sse(fit), sse({0.5, 0.5, 1.0}) + 1e-9);
+}
+
+}  // namespace
+}  // namespace selnet::bl

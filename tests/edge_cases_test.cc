@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "autograd/gradcheck.h"
+#include "baselines/gbdt.h"
+#include "core/control_heads.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "index/cover_tree.h"
+
+namespace selnet {
+namespace {
+
+using tensor::Matrix;
+
+// ---------------------------------------------------------------------------
+// Cover tree under degenerate inputs
+// ---------------------------------------------------------------------------
+
+TEST(CoverTreeEdge, DuplicatePointsAreAllRetrievable) {
+  Matrix pts(40, 3);
+  for (size_t r = 0; r < 40; ++r) {
+    // Ten copies each of four distinct points.
+    float base = static_cast<float>(r % 4);
+    for (size_t c = 0; c < 3; ++c) pts(r, c) = base;
+  }
+  idx::CoverTree tree = idx::CoverTree::Build(pts, data::Metric::kEuclidean);
+  EXPECT_EQ(tree.size(), 40u);
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+  float origin[3] = {0.0f, 0.0f, 0.0f};
+  EXPECT_EQ(tree.RangeCount(origin, 0.01f), 10u);   // the ten zero-copies
+  EXPECT_EQ(tree.RangeCount(origin, 100.0f), 40u);  // everything
+}
+
+TEST(CoverTreeEdge, ZeroRadiusRangeHitsExactMatches) {
+  util::Rng rng(1);
+  Matrix pts = Matrix::Gaussian(100, 4, &rng);
+  idx::CoverTree tree = idx::CoverTree::Build(pts, data::Metric::kEuclidean);
+  EXPECT_EQ(tree.RangeCount(pts.row(17), 0.0f), 1u);
+}
+
+TEST(CoverTreeEdge, PartitionRatioAboveOneYieldsSingleRegion) {
+  // The stop rule ("do not expand nodes smaller than r|D|", Section 5.3)
+  // keeps the root intact once r|D| exceeds the tree size.
+  util::Rng rng(2);
+  Matrix pts = Matrix::Gaussian(50, 3, &rng);
+  idx::CoverTree tree = idx::CoverTree::Build(pts, data::Metric::kEuclidean);
+  auto regions = tree.PartitionByRatio(1.5);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0].members.size(), 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Autograd edge cases
+// ---------------------------------------------------------------------------
+
+TEST(AutogradEdge, PwlGatherZeroWidthSegmentsAreSafe) {
+  // All knots coincide: the function is a step; gradients must not be NaN.
+  Matrix tau(1, 4, 0.5f), p(1, 4), t(1, 1);
+  for (int i = 0; i < 4; ++i) p(0, i) = static_cast<float>(i);
+  t(0, 0) = 0.5f;
+  ag::Var vtau = ag::Param(tau);
+  ag::Var vp = ag::Param(p);
+  ag::Var out = ag::PiecewiseLinearGather(vtau, vp, ag::Constant(t));
+  EXPECT_TRUE(out->value.AllFinite());
+  ag::Backward(ag::SumAll(out));
+  EXPECT_TRUE(vtau->grad.AllFinite());
+  EXPECT_TRUE(vp->grad.AllFinite());
+}
+
+TEST(AutogradEdge, HuberLogLossAtZeroPrediction) {
+  Matrix yhat(1, 1, 0.0f), y(1, 1, 100.0f);
+  ag::Var vy = ag::Param(yhat);
+  ag::Var loss = ag::HuberLogLoss(vy, ag::Constant(y));
+  EXPECT_TRUE(loss->value.AllFinite());
+  ag::Backward(loss);
+  EXPECT_TRUE(vy->grad.AllFinite());
+  EXPECT_LT(vy->grad(0, 0), 0.0f);  // pushes the prediction upward
+}
+
+TEST(AutogradEdge, NormL2ZeroRowIsUniform) {
+  Matrix zero(1, 5);
+  ag::Var out = ag::NormL2Rows(ag::Constant(zero));
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_NEAR(out->value(0, c), 0.2f, 1e-6f);  // eps/d over eps
+  }
+}
+
+TEST(AutogradEdge, TopKEqualsSoftmaxWhenKIsFull) {
+  util::Rng rng(3);
+  Matrix logits = Matrix::Gaussian(3, 4, &rng);
+  ag::Var a = ag::Constant(logits);
+  ag::Var full = ag::TopKSoftmaxRows(a, 4);
+  ag::Var soft = ag::SoftmaxRows(a);
+  for (size_t i = 0; i < full->value.size(); ++i) {
+    EXPECT_NEAR(full->value.data()[i], soft->value.data()[i], 1e-5f);
+  }
+}
+
+TEST(AutogradEdge, CumsumSingleColumnIsIdentity) {
+  Matrix m(3, 1);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  ag::Var out = ag::CumsumRows(ag::Constant(m));
+  for (size_t r = 0; r < 3; ++r) EXPECT_FLOAT_EQ(out->value(r, 0), m(r, 0));
+}
+
+// End-to-end gradient check through the entire SelNet head stack:
+// input -> tau head (NormL2 + cumsum) + model M (grouped linear + ReLU +
+// cumsum) -> PWL gather -> Huber-log loss.
+TEST(AutogradEdge, FullControlHeadGradientCheck) {
+  util::Rng rng(4);
+  core::HeadsConfig hc;
+  hc.input_dim = 5;
+  hc.num_control = 4;
+  hc.tau_hidden = 6;
+  hc.p_hidden = 8;
+  hc.embed_h = 3;
+  hc.tmax = 2.0f;
+  core::ControlHeads heads(hc, &rng);
+  Matrix x = Matrix::Gaussian(3, 5, &rng);
+  Matrix t(3, 1);
+  for (size_t r = 0; r < 3; ++r) {
+    t(r, 0) = static_cast<float>(rng.Uniform(0.1, 1.9));
+  }
+  Matrix y(3, 1);
+  for (size_t r = 0; r < 3; ++r) {
+    y(r, 0) = static_cast<float>(rng.Uniform(1.0, 50.0));
+  }
+  auto loss_fn = [&] {
+    auto out = heads.Forward(ag::Constant(x));
+    ag::Var yhat = ag::PiecewiseLinearGather(out.tau, out.p, ag::Constant(t));
+    return ag::HuberLogLoss(yhat, ag::Constant(y));
+  };
+  // Finite differences can cross PWL segment boundaries, so the tolerance is
+  // looser than for smooth ops; the check still catches sign/scale bugs.
+  EXPECT_LT(ag::MaxGradError(heads.Params(), loss_fn, 5e-4), 0.08);
+}
+
+TEST(AutogradEdge, SoftmaxTauHeadsStayMonotone) {
+  // The Section 5.2 ablation (softmax simplex map) must preserve the
+  // structural guarantees: tau pinned at 0 / tmax, strictly increasing.
+  util::Rng rng(21);
+  core::HeadsConfig hc;
+  hc.input_dim = 5;
+  hc.num_control = 6;
+  hc.tau_hidden = 12;
+  hc.p_hidden = 16;
+  hc.embed_h = 4;
+  hc.tmax = 3.0f;
+  hc.softmax_tau = true;
+  core::ControlHeads heads(hc, &rng);
+  auto out = heads.Forward(ag::Constant(Matrix::Gaussian(6, 5, &rng)));
+  for (size_t r = 0; r < 6; ++r) {
+    EXPECT_FLOAT_EQ(out.tau->value(r, 0), 0.0f);
+    EXPECT_NEAR(out.tau->value(r, out.tau->cols() - 1), 3.0f, 1e-4f);
+    for (size_t c = 1; c < out.tau->cols(); ++c) {
+      EXPECT_GT(out.tau->value(r, c), out.tau->value(r, c - 1));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GBDT known-answer behaviour
+// ---------------------------------------------------------------------------
+
+TEST(GbdtEdge, LearnsAStepFunctionInT) {
+  // Labels depend only on t via a step at t=0.5; x is pure noise. A handful
+  // of trees must recover the step almost exactly.
+  data::SyntheticSpec spec;
+  spec.n = 400;
+  spec.dim = 4;
+  data::Database db(data::GenerateMixture(spec), data::Metric::kEuclidean);
+  data::Workload wl;
+  wl.metric = data::Metric::kEuclidean;
+  util::Rng rng(5);
+  wl.queries = Matrix::Gaussian(40, 4, &rng);
+  wl.tmax = 1.0f;
+  for (uint32_t q = 0; q < 40; ++q) {
+    for (int j = 0; j < 8; ++j) {
+      data::QuerySample s;
+      s.query_id = q;
+      s.t = static_cast<float>(rng.Uniform(0.0, 1.0));
+      s.y = s.t < 0.5f ? 10.0f : 1000.0f;
+      if (q < 32) {
+        wl.train.push_back(s);
+      } else {
+        wl.valid.push_back(s);
+      }
+    }
+  }
+  wl.test = wl.valid;
+  eval::TrainContext ctx;
+  ctx.db = &db;
+  ctx.workload = &wl;
+  bl::GbdtConfig cfg;
+  cfg.num_trees = 40;
+  bl::GbdtEstimator gbdt(cfg);
+  gbdt.Fit(ctx);
+  data::Batch b = data::MaterializeAll(wl.queries, wl.test);
+  Matrix yhat = gbdt.Predict(b.x, b.t);
+  for (size_t i = 0; i < wl.test.size(); ++i) {
+    float expect = wl.test[i].t < 0.5f ? 10.0f : 1000.0f;
+    EXPECT_NEAR(yhat(i, 0), expect, expect * 0.25f) << "t=" << wl.test[i].t;
+  }
+}
+
+TEST(GbdtEdge, ConstantLabelsYieldConstantPrediction) {
+  data::SyntheticSpec spec;
+  spec.n = 100;
+  spec.dim = 3;
+  data::Database db(data::GenerateMixture(spec), data::Metric::kEuclidean);
+  data::Workload wl;
+  util::Rng rng(6);
+  wl.queries = Matrix::Gaussian(10, 3, &rng);
+  wl.tmax = 1.0f;
+  for (uint32_t q = 0; q < 10; ++q) {
+    data::QuerySample s;
+    s.query_id = q;
+    s.t = static_cast<float>(rng.Uniform(0.0, 1.0));
+    s.y = 42.0f;
+    wl.train.push_back(s);
+  }
+  eval::TrainContext ctx;
+  ctx.db = &db;
+  ctx.workload = &wl;
+  bl::GbdtEstimator gbdt;
+  gbdt.Fit(ctx);
+  data::Batch b = data::MaterializeAll(wl.queries, wl.train);
+  Matrix yhat = gbdt.Predict(b.x, b.t);
+  for (size_t i = 0; i < yhat.size(); ++i) {
+    EXPECT_NEAR(yhat.data()[i], 42.0f, 1.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cosine workloads end to end
+// ---------------------------------------------------------------------------
+
+TEST(CosineWorkloadEdge, LabelsExactAndThresholdsInCosRange) {
+  data::SyntheticSpec spec;
+  spec.n = 500;
+  spec.dim = 8;
+  spec.normalize = true;
+  data::Database db(data::GenerateMixture(spec), data::Metric::kCosine);
+  data::WorkloadSpec wspec;
+  wspec.num_queries = 15;
+  wspec.w = 6;
+  wspec.max_sel_fraction = 0.2;
+  data::Workload wl = data::GenerateWorkload(db, wspec);
+  for (const auto& s : wl.train) {
+    EXPECT_GE(s.t, 0.0f);
+    EXPECT_LE(s.t, 2.0f);  // cosine distance range
+    size_t exact = db.ExactSelectivity(wl.queries.row(s.query_id), s.t);
+    EXPECT_EQ(static_cast<size_t>(s.y), exact);
+  }
+}
+
+TEST(DatabaseEdge, IdsStableAcrossDeleteThenInsert) {
+  Matrix m = Matrix::Ones(3, 2);
+  data::Database db(std::move(m), data::Metric::kEuclidean);
+  db.Delete(1);
+  size_t id = db.Insert({9.0f, 9.0f});
+  EXPECT_EQ(id, 3u);         // appended, never reuses slots
+  EXPECT_FALSE(db.alive(1)); // tombstone preserved
+  EXPECT_EQ(db.size(), 3u);
+}
+
+}  // namespace
+}  // namespace selnet

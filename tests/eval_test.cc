@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "eval/monotonicity.h"
+
+namespace selnet::eval {
+namespace {
+
+using tensor::Matrix;
+
+TEST(MetricsTest, PerfectPredictionIsZeroError) {
+  Matrix y(3, 1);
+  y(0, 0) = 1;
+  y(1, 0) = 10;
+  y(2, 0) = 100;
+  Errors e = ComputeErrors(y, y);
+  EXPECT_DOUBLE_EQ(e.mse, 0.0);
+  EXPECT_DOUBLE_EQ(e.mae, 0.0);
+  EXPECT_DOUBLE_EQ(e.mape, 0.0);
+}
+
+TEST(MetricsTest, KnownValues) {
+  Matrix y(2, 1), yhat(2, 1);
+  y(0, 0) = 10.0f;
+  y(1, 0) = 20.0f;
+  yhat(0, 0) = 12.0f;  // err 2
+  yhat(1, 0) = 16.0f;  // err -4
+  Errors e = ComputeErrors(yhat, y);
+  EXPECT_NEAR(e.mse, (4.0 + 16.0) / 2.0, 1e-9);
+  EXPECT_NEAR(e.mae, (2.0 + 4.0) / 2.0, 1e-9);
+  EXPECT_NEAR(e.mape, (0.2 + 0.2) / 2.0, 1e-9);
+}
+
+TEST(MetricsTest, MapeGuardsZeroLabels) {
+  Matrix y(1, 1), yhat(1, 1);
+  y(0, 0) = 0.0f;
+  yhat(0, 0) = 5.0f;
+  Errors e = ComputeErrors(yhat, y);
+  EXPECT_NEAR(e.mape, 5.0, 1e-9);  // divided by max(y, 1) = 1
+}
+
+// Synthetic estimators for the monotonicity measure.
+class MonotoneStub : public Estimator {
+ public:
+  std::string Name() const override { return "stub-mono"; }
+  bool IsConsistent() const override { return true; }
+  void Fit(const TrainContext&) override {}
+  Matrix Predict(const Matrix& x, const Matrix& t) override {
+    Matrix out(x.rows(), 1);
+    for (size_t r = 0; r < x.rows(); ++r) out(r, 0) = 3.0f * t(r, 0);
+    return out;
+  }
+};
+
+class ZigzagStub : public Estimator {
+ public:
+  std::string Name() const override { return "stub-zigzag"; }
+  bool IsConsistent() const override { return false; }
+  void Fit(const TrainContext&) override {}
+  Matrix Predict(const Matrix& x, const Matrix& t) override {
+    Matrix out(x.rows(), 1);
+    for (size_t r = 0; r < x.rows(); ++r) {
+      out(r, 0) = std::sin(20.0f * t(r, 0));  // wildly non-monotone
+    }
+    return out;
+  }
+};
+
+TEST(MonotonicityTest, PerfectForMonotoneEstimator) {
+  util::Rng rng(1);
+  Matrix queries = Matrix::Gaussian(10, 4, &rng);
+  MonotoneStub stub;
+  double score = EmpiricalMonotonicity(&stub, queries, 5, 1.0f, 30, 7);
+  EXPECT_DOUBLE_EQ(score, 100.0);
+}
+
+TEST(MonotonicityTest, LowForZigzagEstimator) {
+  util::Rng rng(2);
+  Matrix queries = Matrix::Gaussian(10, 4, &rng);
+  ZigzagStub stub;
+  double score = EmpiricalMonotonicity(&stub, queries, 5, 1.0f, 30, 7);
+  EXPECT_LT(score, 90.0);
+  EXPECT_GT(score, 0.0);
+}
+
+}  // namespace
+}  // namespace selnet::eval

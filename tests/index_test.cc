@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "data/synthetic.h"
+#include "index/cover_tree.h"
+#include "index/kmeans.h"
+#include "index/partitioner.h"
+#include "tensor/blas.h"
+
+namespace selnet::idx {
+namespace {
+
+using data::Metric;
+using tensor::Matrix;
+
+Matrix RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  return Matrix::Gaussian(n, dim, &rng);
+}
+
+struct TreeCase {
+  size_t n;
+  size_t dim;
+  uint64_t seed;
+};
+
+class CoverTreeProperty : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(CoverTreeProperty, InvariantsHoldAfterBuild) {
+  TreeCase c = GetParam();
+  Matrix pts = RandomPoints(c.n, c.dim, c.seed);
+  CoverTree tree = CoverTree::Build(pts, Metric::kEuclidean);
+  EXPECT_EQ(tree.size(), c.n);
+  EXPECT_TRUE(tree.ValidateInvariants().ok());
+}
+
+TEST_P(CoverTreeProperty, RangeCountMatchesBruteForce) {
+  TreeCase c = GetParam();
+  Matrix pts = RandomPoints(c.n, c.dim, c.seed);
+  CoverTree tree = CoverTree::Build(pts, Metric::kEuclidean);
+  util::Rng rng(c.seed + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix q = Matrix::Gaussian(1, c.dim, &rng);
+    float t = static_cast<float>(rng.Uniform(0.1, 2.5));
+    size_t brute = 0;
+    for (size_t i = 0; i < pts.rows(); ++i) {
+      if (data::Distance(q.row(0), pts.row(i), c.dim, Metric::kEuclidean) <= t) {
+        ++brute;
+      }
+    }
+    EXPECT_EQ(tree.RangeCount(q.row(0), t), brute) << "trial " << trial;
+    EXPECT_EQ(tree.RangeQuery(q.row(0), t).size(), brute);
+  }
+}
+
+TEST_P(CoverTreeProperty, NearestMatchesBruteForce) {
+  TreeCase c = GetParam();
+  Matrix pts = RandomPoints(c.n, c.dim, c.seed);
+  CoverTree tree = CoverTree::Build(pts, Metric::kEuclidean);
+  util::Rng rng(c.seed + 2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix q = Matrix::Gaussian(1, c.dim, &rng);
+    float best = std::numeric_limits<float>::max();
+    for (size_t i = 0; i < pts.rows(); ++i) {
+      best = std::min(best, data::Distance(q.row(0), pts.row(i), c.dim,
+                                           Metric::kEuclidean));
+    }
+    size_t got = tree.Nearest(q.row(0));
+    float got_d = data::Distance(q.row(0), pts.row(got), c.dim,
+                                 Metric::kEuclidean);
+    EXPECT_NEAR(got_d, best, 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CoverTreeProperty,
+                         ::testing::Values(TreeCase{50, 3, 1},
+                                           TreeCase{300, 8, 2},
+                                           TreeCase{1000, 4, 3},
+                                           TreeCase{200, 16, 4},
+                                           TreeCase{1, 5, 5},
+                                           TreeCase{2, 2, 6}));
+
+TEST(CoverTreeTest, RangeQueryIdsAreCorrectSet) {
+  Matrix pts = RandomPoints(200, 4, 9);
+  CoverTree tree = CoverTree::Build(pts, Metric::kEuclidean);
+  Matrix q = RandomPoints(1, 4, 10);
+  float t = 1.5f;
+  std::set<size_t> expect;
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    if (data::Distance(q.row(0), pts.row(i), 4, Metric::kEuclidean) <= t) {
+      expect.insert(i);
+    }
+  }
+  auto ids = tree.RangeQuery(q.row(0), t);
+  std::set<size_t> got(ids.begin(), ids.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(CoverTreeTest, PartitionCoversAllPointsDisjointly) {
+  Matrix pts = RandomPoints(500, 5, 11);
+  CoverTree tree = CoverTree::Build(pts, Metric::kEuclidean);
+  std::vector<Region> regions = tree.PartitionByRatio(0.1);
+  EXPECT_GT(regions.size(), 1u);
+  std::set<size_t> seen;
+  for (const auto& r : regions) {
+    for (size_t id : r.members) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), 500u);
+}
+
+TEST(CoverTreeTest, RegionRadiiBoundMembers) {
+  Matrix pts = RandomPoints(300, 4, 12);
+  CoverTree tree = CoverTree::Build(pts, Metric::kEuclidean);
+  std::vector<Region> regions = tree.PartitionByRatio(0.15);
+  for (const auto& r : regions) {
+    for (size_t id : r.members) {
+      float d = data::Distance(r.center.data(), pts.row(id), 4,
+                               Metric::kEuclidean);
+      EXPECT_LE(d, r.radius + 1e-4f);
+    }
+  }
+}
+
+TEST(KMeansTest, AssignsEveryPointToNearestCentroid) {
+  Matrix pts = RandomPoints(200, 3, 13);
+  KMeansResult km = KMeans(pts, 4, 20, 7);
+  EXPECT_EQ(km.assignment.size(), 200u);
+  for (size_t i = 0; i < pts.rows(); ++i) {
+    float assigned = tensor::SquaredL2(pts.row(i),
+                                       km.centroids.row(km.assignment[i]), 3);
+    for (size_t c = 0; c < 4; ++c) {
+      float d = tensor::SquaredL2(pts.row(i), km.centroids.row(c), 3);
+      EXPECT_GE(d + 1e-4f, assigned);
+    }
+  }
+}
+
+TEST(KMeansTest, SeparatedClustersRecovered) {
+  // Two blobs far apart: k-means must split them perfectly.
+  util::Rng rng(14);
+  Matrix pts(100, 2);
+  for (size_t i = 0; i < 50; ++i) {
+    pts(i, 0) = static_cast<float>(rng.Normal(0.0, 0.1));
+    pts(i, 1) = static_cast<float>(rng.Normal(0.0, 0.1));
+  }
+  for (size_t i = 50; i < 100; ++i) {
+    pts(i, 0) = static_cast<float>(rng.Normal(10.0, 0.1));
+    pts(i, 1) = static_cast<float>(rng.Normal(10.0, 0.1));
+  }
+  KMeansResult km = KMeans(pts, 2, 30, 3);
+  std::set<size_t> first_half;
+  for (size_t i = 0; i < 50; ++i) first_half.insert(km.assignment[i]);
+  std::set<size_t> second_half;
+  for (size_t i = 50; i < 100; ++i) second_half.insert(km.assignment[i]);
+  EXPECT_EQ(first_half.size(), 1u);
+  EXPECT_EQ(second_half.size(), 1u);
+  EXPECT_NE(*first_half.begin(), *second_half.begin());
+}
+
+TEST(GreedyMergeTest, BalancesClusterLoads) {
+  std::vector<Region> regions(10);
+  for (size_t i = 0; i < 10; ++i) {
+    regions[i].members.resize(10 * (i + 1));  // sizes 10..100
+  }
+  std::vector<size_t> cluster_of = GreedyBalancedMerge(regions, 3);
+  std::vector<size_t> load(3, 0);
+  for (size_t i = 0; i < 10; ++i) load[cluster_of[i]] += regions[i].members.size();
+  size_t total = 10 + 20 + 30 + 40 + 50 + 60 + 70 + 80 + 90 + 100;
+  size_t ideal = total / 3;
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(static_cast<double>(load[c]), static_cast<double>(ideal),
+                static_cast<double>(ideal) * 0.35);
+  }
+}
+
+class PartitioningProperty
+    : public ::testing::TestWithParam<std::tuple<PartitionMethod, Metric>> {};
+
+TEST_P(PartitioningProperty, CoversDataAndIndicatorIsSound) {
+  auto [method, metric] = GetParam();
+  data::SyntheticSpec spec;
+  spec.n = 600;
+  spec.dim = 6;
+  spec.num_clusters = 6;
+  spec.normalize = (metric == Metric::kCosine);
+  Matrix pts = data::GenerateMixture(spec);
+  PartitionSpec pspec;
+  pspec.method = method;
+  pspec.k = 3;
+  pspec.ratio = 0.1;
+  Partitioning part = BuildPartitioning(pts, metric, pspec);
+
+  // Coverage: members of all clusters partition [0, n).
+  std::set<size_t> seen;
+  for (const auto& cluster : part.cluster_members) {
+    for (size_t id : cluster) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(seen.size(), 600u);
+  EXPECT_LE(part.num_clusters(), 3u);
+
+  // Soundness of fc: any cluster containing a point within the ball must be
+  // flagged (no false negatives; false positives are allowed).
+  util::Rng rng(15);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t qi = static_cast<size_t>(rng.UniformInt(0, 599));
+    float t = static_cast<float>(metric == Metric::kCosine
+                                     ? rng.Uniform(0.005, 0.3)
+                                     : rng.Uniform(0.1, 1.0));
+    std::vector<uint8_t> fc = part.Intersects(pts.row(qi), t);
+    for (size_t c = 0; c < part.num_clusters(); ++c) {
+      size_t inside = 0;
+      for (size_t id : part.cluster_members[c]) {
+        if (data::Distance(pts.row(qi), pts.row(id), 6, metric) <= t) ++inside;
+      }
+      if (inside > 0) {
+        EXPECT_EQ(fc[c], 1) << "false negative in cluster " << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndMetrics, PartitioningProperty,
+    ::testing::Combine(::testing::Values(PartitionMethod::kCoverTree,
+                                         PartitionMethod::kRandom,
+                                         PartitionMethod::kKMeans),
+                       ::testing::Values(Metric::kEuclidean, Metric::kCosine)));
+
+TEST(PartitioningTest, AssignObjectRoutesToExistingCluster) {
+  Matrix pts = RandomPoints(300, 4, 16);
+  PartitionSpec pspec;
+  pspec.k = 3;
+  Partitioning part = BuildPartitioning(pts, Metric::kEuclidean, pspec);
+  util::Rng rng(17);
+  Matrix nv = Matrix::Gaussian(1, 4, &rng);
+  size_t c = part.AssignObject(nv.row(0));
+  EXPECT_LT(c, part.num_clusters());
+  // After assignment the indicator must flag that cluster for a tiny ball
+  // around the new object (its region radius was grown to reach it).
+  std::vector<uint8_t> fc = part.Intersects(nv.row(0), 1e-5f);
+  EXPECT_EQ(fc[c], 1);
+}
+
+TEST(PartitioningTest, MethodNames) {
+  EXPECT_STREQ(PartitionMethodName(PartitionMethod::kCoverTree), "CT");
+  EXPECT_STREQ(PartitionMethodName(PartitionMethod::kRandom), "RP");
+  EXPECT_STREQ(PartitionMethodName(PartitionMethod::kKMeans), "KM");
+}
+
+}  // namespace
+}  // namespace selnet::idx

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/selnet_partitioned.h"
+#include "eval/monotonicity.h"
+#include "eval/suite.h"
+
+namespace selnet::eval {
+namespace {
+
+// End-to-end: the bench harness pipeline at smoke scale.
+class SuiteIntegration : public ::testing::Test {
+ protected:
+  static util::ScaleConfig SmokeScale() {
+    util::ScaleConfig cfg;
+    cfg.scale = util::Scale::kSmoke;
+    cfg.n = 1200;
+    cfg.dim = 10;
+    cfg.num_queries = 40;
+    cfg.w = 6;
+    cfg.epochs = 6;
+    cfg.control_points = 8;
+    cfg.partitions = 2;
+    return cfg;
+  }
+};
+
+TEST_F(SuiteIntegration, PaperSettingsEnumeratesFourRows) {
+  auto settings = PaperSettings();
+  ASSERT_EQ(settings.size(), 4u);
+  EXPECT_STREQ(settings[0].name, "fasttext-cos");
+  EXPECT_STREQ(settings[1].name, "fasttext-l2");
+  EXPECT_STREQ(settings[2].name, "face-cos");
+  EXPECT_STREQ(settings[3].name, "YouTube-cos");
+  EXPECT_EQ(SettingByName("face-cos").corpus, data::Corpus::kFaceLike);
+}
+
+TEST_F(SuiteIntegration, LshOnlySupportsCosine) {
+  EXPECT_TRUE(ModelSupports(ModelKind::kLsh, data::Metric::kCosine));
+  EXPECT_FALSE(ModelSupports(ModelKind::kLsh, data::Metric::kEuclidean));
+  EXPECT_TRUE(ModelSupports(ModelKind::kKde, data::Metric::kEuclidean));
+}
+
+TEST_F(SuiteIntegration, PaperModelsCoverAllTableRows) {
+  auto models = PaperModels();
+  EXPECT_EQ(models.size(), 10u);
+  EXPECT_EQ(models.front(), ModelKind::kLsh);
+  EXPECT_EQ(models.back(), ModelKind::kSelNet);
+}
+
+TEST_F(SuiteIntegration, EndToEndTrainScoreAndConsistency) {
+  PreparedData data = PrepareData(SettingByName("fasttext-l2"), SmokeScale());
+  EXPECT_EQ(data.db.size(), 1200u);
+  EXPECT_FALSE(data.workload.train.empty());
+
+  // SelNet-ct end to end.
+  auto selnet = MakeModel(ModelKind::kSelNetCt, data);
+  ModelScores scores = TrainAndScore(selnet.get(), data);
+  EXPECT_TRUE(scores.consistent);
+  EXPECT_GT(scores.test.mse, 0.0);
+  EXPECT_TRUE(std::isfinite(scores.test.mse));
+  EXPECT_TRUE(std::isfinite(scores.test.mae));
+  EXPECT_GT(scores.estimate_ms, 0.0);
+
+  double mono = EmpiricalMonotonicity(selnet.get(), data.workload.queries, 10,
+                                      data.workload.tmax, 24, 3);
+  EXPECT_DOUBLE_EQ(mono, 100.0);
+
+  // A non-consistent baseline trains and scores through the same path.
+  auto gbdt = MakeModel(ModelKind::kLightGbm, data);
+  ModelScores gb_scores = TrainAndScore(gbdt.get(), data);
+  EXPECT_FALSE(gb_scores.consistent);
+  EXPECT_TRUE(std::isfinite(gb_scores.test.mse));
+}
+
+TEST_F(SuiteIntegration, BetaWorkloadPath) {
+  PreparedData data =
+      PrepareData(SettingByName("fasttext-cos"), SmokeScale(), true);
+  EXPECT_FALSE(data.workload.train.empty());
+  auto kde = MakeModel(ModelKind::kKde, data);
+  ModelScores scores = TrainAndScore(kde.get(), data);
+  EXPECT_TRUE(std::isfinite(scores.test.mape));
+}
+
+TEST_F(SuiteIntegration, ModelOptionsOverrideHyperparameters) {
+  PreparedData data = PrepareData(SettingByName("fasttext-l2"), SmokeScale());
+  ModelOptions opts;
+  opts.partitions = 2;
+  opts.partition_method = idx::PartitionMethod::kKMeans;
+  auto model = MakeModel(ModelKind::kSelNet, data, opts);
+  EXPECT_EQ(model->Name(), "SelNet");
+  TrainContext ctx;
+  ctx.db = &data.db;
+  ctx.workload = &data.workload;
+  ctx.epochs = 4;
+  model->Fit(ctx);
+  auto* partitioned = dynamic_cast<core::SelNetPartitioned*>(model.get());
+  ASSERT_NE(partitioned, nullptr);
+  EXPECT_LE(partitioned->num_partitions(), 2u);
+}
+
+}  // namespace
+}  // namespace selnet::eval

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/autoencoder.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "tensor/blas.h"
+
+namespace selnet::nn {
+namespace {
+
+using tensor::Matrix;
+
+TEST(LinearTest, ShapesAndForward) {
+  util::Rng rng(1);
+  Linear lin(4, 3, &rng);
+  EXPECT_EQ(lin.in_dim(), 4u);
+  EXPECT_EQ(lin.out_dim(), 3u);
+  ag::Var x = ag::Constant(Matrix::Ones(5, 4));
+  ag::Var y = lin.Forward(x);
+  EXPECT_EQ(y->rows(), 5u);
+  EXPECT_EQ(y->cols(), 3u);
+}
+
+TEST(LinearTest, BiasIsApplied) {
+  util::Rng rng(2);
+  Linear lin(2, 2, &rng);
+  lin.weight()->value.Fill(0.0f);
+  lin.bias()->value(0, 0) = 3.0f;
+  lin.bias()->value(0, 1) = -1.0f;
+  ag::Var y = lin.Forward(ag::Constant(Matrix::Ones(1, 2)));
+  EXPECT_FLOAT_EQ(y->value(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y->value(0, 1), -1.0f);
+}
+
+TEST(MlpTest, ParamCountMatchesArchitecture) {
+  util::Rng rng(3);
+  Mlp mlp({10, 20, 5}, &rng);
+  // (10*20 + 20) + (20*5 + 5) = 220 + 105.
+  EXPECT_EQ(mlp.NumParams(), 325u);
+  EXPECT_EQ(mlp.Params().size(), 4u);
+}
+
+TEST(MlpTest, OutputActivationApplies) {
+  util::Rng rng(4);
+  Mlp mlp({3, 8, 2}, &rng, Activation::kRelu, Activation::kSoftplus);
+  ag::Var y = mlp.Forward(ag::Constant(Matrix::Gaussian(10, 3, &rng)));
+  for (size_t i = 0; i < y->value.size(); ++i) {
+    EXPECT_GT(y->value.data()[i], 0.0f);  // softplus is strictly positive
+  }
+}
+
+// Optimizers must drive a convex quadratic to its minimum.
+class OptimizerConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerConvergence, MinimizesQuadratic) {
+  // minimize ||p - c||^2 for fixed c.
+  util::Rng rng(5);
+  Matrix target = Matrix::Uniform(3, 3, &rng, -2.0f, 2.0f);
+  ag::Var p = ag::Param(Matrix::Zeros(3, 3));
+  std::unique_ptr<Optimizer> opt;
+  switch (GetParam()) {
+    case 0: opt = std::make_unique<Sgd>(std::vector<ag::Var>{p}, 0.1f); break;
+    case 1: opt = std::make_unique<Sgd>(std::vector<ag::Var>{p}, 0.05f, 0.9f); break;
+    default: opt = std::make_unique<Adam>(std::vector<ag::Var>{p}, 0.1f); break;
+  }
+  for (int i = 0; i < 300; ++i) {
+    opt->ZeroGrad();
+    ag::Var loss = ag::MseLoss(p, ag::Constant(target));
+    ag::Backward(loss);
+    opt->Step();
+  }
+  for (size_t i = 0; i < target.size(); ++i) {
+    EXPECT_NEAR(p->value.data()[i], target.data()[i], 0.05f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SgdMomentumAdam, OptimizerConvergence,
+                         ::testing::Values(0, 1, 2));
+
+TEST(OptimizerTest, ClipGradBoundsEntries) {
+  ag::Var p = ag::Param(Matrix::Full(1, 1, 100.0f));
+  Adam opt({p}, 0.1f);
+  opt.ZeroGrad();
+  ag::Var loss = ag::MseLoss(p, ag::Constant(Matrix::Zeros(1, 1)));
+  ag::Backward(loss);
+  EXPECT_GT(p->grad(0, 0), 5.0f);
+  opt.ClipGrad(5.0f);
+  EXPECT_FLOAT_EQ(p->grad(0, 0), 5.0f);
+}
+
+TEST(OptimizerTest, AdamWeightDecayShrinksWeights) {
+  ag::Var p = ag::Param(Matrix::Full(1, 1, 1.0f));
+  Adam opt({p}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int i = 0; i < 50; ++i) {
+    opt.ZeroGrad();  // zero gradient; only decay acts
+    opt.Step();
+  }
+  EXPECT_LT(p->value(0, 0), 1.0f);
+}
+
+TEST(AutoencoderTest, PretrainReducesReconstructionLoss) {
+  util::Rng rng(6);
+  // Data on a 2-D linear subspace of R^6: easily compressible.
+  Matrix basis = Matrix::Gaussian(2, 6, &rng);
+  Matrix coef = Matrix::Gaussian(200, 2, &rng);
+  Matrix data = tensor::MatMul(coef, basis);
+  Autoencoder ae(6, 16, 2, &rng);
+  double before = ae.ReconstructionLoss(ag::Constant(data))->value(0, 0);
+  ae.Pretrain(data, /*epochs=*/30, /*batch_size=*/32, 3e-3f, &rng);
+  double after = ae.ReconstructionLoss(ag::Constant(data))->value(0, 0);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(AutoencoderTest, EncodeShape) {
+  util::Rng rng(7);
+  Autoencoder ae(5, 8, 3, &rng);
+  ag::Var z = ae.Encode(ag::Constant(Matrix::Ones(4, 5)));
+  EXPECT_EQ(z->rows(), 4u);
+  EXPECT_EQ(z->cols(), 3u);
+  EXPECT_EQ(ae.latent_dim(), 3u);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  util::Rng rng(8);
+  Mlp a({4, 6, 2}, &rng);
+  Mlp b({4, 6, 2}, &rng);  // different init
+  std::string path = ::testing::TempDir() + "/params.bin";
+  ASSERT_TRUE(SaveParams(a.Params(), path).ok());
+  ASSERT_TRUE(LoadParams(path, b.Params()).ok());
+  auto pa = a.Params(), pb = b.Params();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (size_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i]->value.data()[j], pb[i]->value.data()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  util::Rng rng(9);
+  Mlp a({4, 6, 2}, &rng);
+  Mlp b({4, 7, 2}, &rng);
+  std::string path = ::testing::TempDir() + "/params2.bin";
+  ASSERT_TRUE(SaveParams(a.Params(), path).ok());
+  util::Status st = LoadParams(path, b.Params());
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  util::Rng rng(10);
+  Mlp a({2, 2}, &rng);
+  util::Status st = LoadParams("/nonexistent/dir/params.bin", a.Params());
+  EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+}
+
+TEST(ModuleTest, SnapshotRestoreRoundTrip) {
+  util::Rng rng(11);
+  Mlp mlp({3, 4, 1}, &rng);
+  auto snap = SnapshotParams(mlp.Params());
+  float orig = mlp.Params()[0]->value(0, 0);
+  mlp.Params()[0]->value.Fill(99.0f);
+  RestoreParams(mlp.Params(), snap);
+  EXPECT_FLOAT_EQ(mlp.Params()[0]->value(0, 0), orig);
+}
+
+}  // namespace
+}  // namespace selnet::nn

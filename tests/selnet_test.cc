@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/control_heads.h"
+#include "core/selnet_ct.h"
+#include "core/selnet_partitioned.h"
+#include "data/synthetic.h"
+#include "nn/serialize.h"
+
+namespace selnet::core {
+namespace {
+
+using tensor::Matrix;
+
+// Small shared fixture: a clustered dataset with an exact workload.
+class SelNetFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticSpec spec;
+    spec.n = 900;
+    spec.dim = 8;
+    spec.num_clusters = 5;
+    db_ = std::make_unique<data::Database>(data::GenerateMixture(spec),
+                                           data::Metric::kEuclidean);
+    data::WorkloadSpec wspec;
+    wspec.num_queries = 40;
+    wspec.w = 8;
+    wspec.max_sel_fraction = 0.25;  // labels span [1, 225] at n=900
+    wl_ = data::GenerateWorkload(*db_, wspec);
+    ctx_.db = db_.get();
+    ctx_.workload = &wl_;
+    ctx_.epochs = 60;
+  }
+
+  SelNetConfig SmallConfig() const {
+    SelNetConfig cfg;
+    cfg.input_dim = 8;
+    cfg.tmax = wl_.tmax;
+    cfg.num_control = 8;
+    cfg.latent_dim = 4;
+    cfg.ae_hidden = 24;
+    cfg.tau_hidden = 32;
+    cfg.p_hidden = 48;
+    cfg.embed_h = 8;
+    cfg.ae_pretrain_epochs = 3;
+    cfg.batch_size = 64;
+    return cfg;
+  }
+
+  double ConstantPredictorMae() const {
+    // MAE of the best constant-in-log predictor (geometric mean of labels):
+    // the baseline any trained model must beat.
+    double log_sum = 0.0;
+    for (const auto& s : wl_.test) log_sum += std::log(s.y + 1.0);
+    double c = std::exp(log_sum / static_cast<double>(wl_.test.size())) - 1.0;
+    double mae = 0.0;
+    for (const auto& s : wl_.test) mae += std::fabs(s.y - c);
+    return mae / static_cast<double>(wl_.test.size());
+  }
+
+  std::unique_ptr<data::Database> db_;
+  data::Workload wl_;
+  eval::TrainContext ctx_;
+};
+
+TEST(ControlHeadsTest, TauEndsPinnedAndStrictlyIncreasing) {
+  util::Rng rng(1);
+  HeadsConfig hc;
+  hc.input_dim = 6;
+  hc.num_control = 10;
+  hc.tmax = 2.0f;
+  hc.tau_hidden = 16;
+  hc.p_hidden = 24;
+  hc.embed_h = 4;
+  ControlHeads heads(hc, &rng);
+  ag::Var input = ag::Constant(Matrix::Gaussian(5, 6, &rng));
+  auto out = heads.Forward(input);
+  ASSERT_EQ(out.tau->cols(), 12u);  // L + 2
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_FLOAT_EQ(out.tau->value(r, 0), 0.0f);
+    EXPECT_NEAR(out.tau->value(r, 11), 2.0f, 1e-4f);
+    for (size_t c = 1; c < 12; ++c) {
+      EXPECT_GT(out.tau->value(r, c), out.tau->value(r, c - 1));
+    }
+  }
+}
+
+TEST(ControlHeadsTest, PIsNonNegativeAndMonotone) {
+  util::Rng rng(2);
+  HeadsConfig hc;
+  hc.input_dim = 6;
+  hc.num_control = 10;
+  hc.tmax = 2.0f;
+  hc.tau_hidden = 16;
+  hc.p_hidden = 24;
+  hc.embed_h = 4;
+  ControlHeads heads(hc, &rng);
+  ag::Var input = ag::Constant(Matrix::Gaussian(7, 6, &rng));
+  auto out = heads.Forward(input);
+  for (size_t r = 0; r < 7; ++r) {
+    EXPECT_GE(out.p->value(r, 0), 0.0f);
+    for (size_t c = 1; c < out.p->cols(); ++c) {
+      EXPECT_GE(out.p->value(r, c), out.p->value(r, c - 1));
+    }
+  }
+}
+
+TEST(ControlHeadsTest, AdCtTausIgnoreQuery) {
+  util::Rng rng(3);
+  HeadsConfig hc;
+  hc.input_dim = 6;
+  hc.num_control = 6;
+  hc.tmax = 1.0f;
+  hc.tau_hidden = 16;
+  hc.p_hidden = 24;
+  hc.embed_h = 4;
+  hc.query_dependent_tau = false;
+  ControlHeads heads(hc, &rng);
+  ag::Var input = ag::Constant(Matrix::Gaussian(4, 6, &rng));
+  auto out = heads.Forward(input);
+  for (size_t r = 1; r < 4; ++r) {
+    for (size_t c = 0; c < out.tau->cols(); ++c) {
+      EXPECT_FLOAT_EQ(out.tau->value(r, c), out.tau->value(0, c));
+    }
+  }
+}
+
+TEST_F(SelNetFixture, CtLearnsBetterThanConstantPredictor) {
+  SelNetCt model(SmallConfig());
+  model.Fit(ctx_);
+  double mae = model.ValidationMae(wl_.queries, wl_.test);
+  EXPECT_LT(mae, ConstantPredictorMae());
+}
+
+TEST_F(SelNetFixture, CtIsConsistentOnDenseThresholdGrids) {
+  SelNetCt model(SmallConfig());
+  model.Fit(ctx_);
+  util::Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    size_t qi = static_cast<size_t>(rng.UniformInt(0, wl_.queries.rows() - 1));
+    size_t grid = 64;
+    Matrix x(grid, 8), t(grid, 1);
+    for (size_t i = 0; i < grid; ++i) {
+      std::copy(wl_.queries.row(qi), wl_.queries.row(qi) + 8, x.row(i));
+      t(i, 0) = wl_.tmax * static_cast<float>(i) / static_cast<float>(grid - 1);
+    }
+    Matrix yhat = model.Predict(x, t);
+    for (size_t i = 1; i < grid; ++i) {
+      EXPECT_GE(yhat(i, 0) + 1e-3f, yhat(i - 1, 0))
+          << "violation at step " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST_F(SelNetFixture, PredictionsAreNonNegative) {
+  SelNetCt model(SmallConfig());
+  model.Fit(ctx_);
+  data::Batch b = data::MaterializeAll(wl_.queries, wl_.test);
+  Matrix yhat = model.Predict(b.x, b.t);
+  for (size_t i = 0; i < yhat.size(); ++i) EXPECT_GE(yhat.data()[i], 0.0f);
+}
+
+TEST_F(SelNetFixture, ControlPointsDifferAcrossQueriesForCt) {
+  SelNetCt model(SmallConfig());
+  model.Fit(ctx_);
+  std::vector<float> tau_a, p_a, tau_b, p_b;
+  model.ControlPoints(wl_.queries.row(0), &tau_a, &p_a);
+  model.ControlPoints(wl_.queries.row(1), &tau_b, &p_b);
+  ASSERT_EQ(tau_a.size(), tau_b.size());
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < tau_a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(tau_a[i] - tau_b[i]));
+  }
+  EXPECT_GT(max_diff, 1e-6f);  // query-dependent knot placement
+}
+
+TEST_F(SelNetFixture, AdCtControlPointsAreShared) {
+  SelNetConfig cfg = SmallConfig();
+  cfg.query_dependent_tau = false;
+  SelNetCt model(cfg);
+  model.Fit(ctx_);
+  std::vector<float> tau_a, p_a, tau_b, p_b;
+  model.ControlPoints(wl_.queries.row(0), &tau_a, &p_a);
+  model.ControlPoints(wl_.queries.row(1), &tau_b, &p_b);
+  for (size_t i = 0; i < tau_a.size(); ++i) {
+    EXPECT_NEAR(tau_a[i], tau_b[i], 1e-5f);
+  }
+}
+
+TEST_F(SelNetFixture, ParamsSerializeRoundTrip) {
+  SelNetCt a(SmallConfig());
+  SelNetCt b(SmallConfig());
+  a.Fit(ctx_);
+  std::string path = ::testing::TempDir() + "/selnet.bin";
+  ASSERT_TRUE(nn::SaveParams(a.Params(), path).ok());
+  ASSERT_TRUE(nn::LoadParams(path, b.Params()).ok());
+  data::Batch batch = data::MaterializeAll(wl_.queries, wl_.test);
+  Matrix ya = a.Predict(batch.x, batch.t);
+  Matrix yb = b.Predict(batch.x, batch.t);
+  for (size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya.data()[i], yb.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SelNetFixture, IncrementalFitDoesNotDegradeValidation) {
+  SelNetCt model(SmallConfig());
+  model.Fit(ctx_);
+  double before = model.ValidationMae(wl_.queries, wl_.valid);
+  size_t epochs = model.IncrementalFit(ctx_, /*patience=*/2, /*max_epochs=*/6);
+  double after = model.ValidationMae(wl_.queries, wl_.valid);
+  EXPECT_GT(epochs, 0u);
+  EXPECT_LE(after, before + 1e-6);  // best-snapshot restore guarantees this
+}
+
+TEST_F(SelNetFixture, PartitionedCoversLocalLabelSum) {
+  // Exact local selectivities must sum to the global label — the identity of
+  // Observation 1 that the partitioned model's training relies on.
+  PartitionedConfig cfg;
+  cfg.base = SmallConfig();
+  cfg.partition.k = 3;
+  SelNetPartitioned model(cfg);
+  model.Fit(ctx_);
+  const auto& part = model.partitioning();
+  for (size_t i = 0; i < std::min<size_t>(wl_.test.size(), 40); ++i) {
+    const auto& s = wl_.test[i];
+    size_t total = 0;
+    std::vector<size_t> live = db_->LiveIds();
+    for (size_t c = 0; c < part.num_clusters(); ++c) {
+      for (size_t row : part.cluster_members[c]) {
+        float d = data::Distance(wl_.queries.row(s.query_id),
+                                 db_->vector(live[row]), 8,
+                                 data::Metric::kEuclidean);
+        if (d <= s.t) ++total;
+      }
+    }
+    EXPECT_EQ(total, static_cast<size_t>(s.y));
+  }
+}
+
+TEST_F(SelNetFixture, PartitionedIsConsistent) {
+  PartitionedConfig cfg;
+  cfg.base = SmallConfig();
+  cfg.partition.k = 2;
+  SelNetPartitioned model(cfg);
+  model.Fit(ctx_);
+  size_t grid = 48;
+  Matrix x(grid, 8), t(grid, 1);
+  for (size_t i = 0; i < grid; ++i) {
+    std::copy(wl_.queries.row(3), wl_.queries.row(3) + 8, x.row(i));
+    t(i, 0) = wl_.tmax * static_cast<float>(i) / static_cast<float>(grid - 1);
+  }
+  Matrix yhat = model.Predict(x, t);
+  for (size_t i = 1; i < grid; ++i) {
+    EXPECT_GE(yhat(i, 0) + 1e-3f, yhat(i - 1, 0));
+  }
+}
+
+TEST_F(SelNetFixture, PartitionedBeatsConstantPredictor) {
+  PartitionedConfig cfg;
+  cfg.base = SmallConfig();
+  cfg.partition.k = 3;
+  SelNetPartitioned model(cfg);
+  model.Fit(ctx_);
+  data::Batch b = data::MaterializeAll(wl_.queries, wl_.test);
+  Matrix yhat = model.Predict(b.x, b.t);
+  double mae = 0.0;
+  for (size_t i = 0; i < b.y.size(); ++i) {
+    mae += std::fabs(static_cast<double>(yhat(i, 0)) - b.y(i, 0));
+  }
+  mae /= static_cast<double>(b.y.size());
+  EXPECT_LT(mae, ConstantPredictorMae());
+}
+
+TEST_F(SelNetFixture, PartitionedMaskZeroesFarClusters) {
+  PartitionedConfig cfg;
+  cfg.base = SmallConfig();
+  cfg.partition.k = 3;
+  SelNetPartitioned model(cfg);
+  model.Fit(ctx_);
+  // With a tiny threshold, at least one cluster should usually be excluded.
+  const auto& part = model.partitioning();
+  size_t excluded = 0, total = 0;
+  for (size_t q = 0; q < 10; ++q) {
+    std::vector<uint8_t> fc = part.Intersects(wl_.queries.row(q), 1e-4f);
+    for (uint8_t m : fc) {
+      ++total;
+      if (m == 0) ++excluded;
+    }
+  }
+  EXPECT_GT(excluded, 0u);
+  EXPECT_LT(excluded, total);  // the home cluster is always flagged
+}
+
+}  // namespace
+}  // namespace selnet::core

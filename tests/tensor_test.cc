@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/blas.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace selnet::tensor {
+namespace {
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void ExpectNear(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.SameShape(b));
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  m(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 7.0f);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.5f);
+}
+
+TEST(MatrixTest, EyeAndTranspose) {
+  Matrix eye = Matrix::Eye(3);
+  ExpectNear(eye, eye.Transposed());
+  util::Rng rng(1);
+  Matrix m = Matrix::Gaussian(4, 7, &rng);
+  Matrix mtt = m.Transposed().Transposed();
+  ExpectNear(m, mtt);
+}
+
+TEST(MatrixTest, RowAndColSlices) {
+  Matrix m(3, 4);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) m(r, c) = static_cast<float>(r * 10 + c);
+  }
+  Matrix rows = m.RowSlice(1, 3);
+  EXPECT_EQ(rows.rows(), 2u);
+  EXPECT_FLOAT_EQ(rows(0, 0), 10.0f);
+  Matrix cols = m.ColSlice(2, 4);
+  EXPECT_EQ(cols.cols(), 2u);
+  EXPECT_FLOAT_EQ(cols(2, 1), 23.0f);
+}
+
+TEST(MatrixTest, ReshapedPreservesRowMajorOrder) {
+  Matrix m(2, 3);
+  for (size_t i = 0; i < 6; ++i) m.data()[i] = static_cast<float>(i);
+  Matrix r = m.Reshaped(3, 2);
+  EXPECT_FLOAT_EQ(r(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(r(2, 0), 4.0f);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = -2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.Sum(), 6.0);
+  EXPECT_FLOAT_EQ(m.Max(), 4.0f);
+  EXPECT_FLOAT_EQ(m.Min(), -2.0f);
+  EXPECT_NEAR(m.Norm(), std::sqrt(1.0 + 4 + 9 + 16), 1e-6);
+}
+
+TEST(MatrixTest, AllFiniteDetectsNan) {
+  Matrix m(2, 2, 1.0f);
+  EXPECT_TRUE(m.AllFinite());
+  m(1, 1) = std::nanf("");
+  EXPECT_FALSE(m.AllFinite());
+}
+
+struct GemmCase {
+  size_t m, k, n;
+  bool ta, tb;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  GemmCase c = GetParam();
+  util::Rng rng(c.m * 100 + c.k * 10 + c.n + (c.ta ? 1000 : 0) + (c.tb ? 2000 : 0));
+  Matrix a = c.ta ? Matrix::Gaussian(c.k, c.m, &rng) : Matrix::Gaussian(c.m, c.k, &rng);
+  Matrix b = c.tb ? Matrix::Gaussian(c.n, c.k, &rng) : Matrix::Gaussian(c.k, c.n, &rng);
+  Matrix out(c.m, c.n);
+  Gemm(a, c.ta, b, c.tb, 1.0f, 0.0f, &out);
+  Matrix expect = NaiveMatMul(c.ta ? a.Transposed() : a, c.tb ? b.Transposed() : b);
+  ExpectNear(out, expect, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, GemmTest,
+    ::testing::Values(GemmCase{3, 4, 5, false, false},
+                      GemmCase{3, 4, 5, true, false},
+                      GemmCase{3, 4, 5, false, true},
+                      GemmCase{3, 4, 5, true, true},
+                      GemmCase{1, 1, 1, false, false},
+                      GemmCase{17, 31, 7, false, false},
+                      GemmCase{17, 31, 7, true, false},
+                      GemmCase{8, 1, 9, false, true},
+                      GemmCase{1, 64, 1, false, false}));
+
+TEST(GemmTest, BetaAccumulates) {
+  util::Rng rng(9);
+  Matrix a = Matrix::Gaussian(3, 3, &rng);
+  Matrix b = Matrix::Gaussian(3, 3, &rng);
+  Matrix out = Matrix::Ones(3, 3);
+  Gemm(a, false, b, false, 1.0f, 1.0f, &out);
+  Matrix expect = Add(NaiveMatMul(a, b), Matrix::Ones(3, 3));
+  ExpectNear(out, expect, 1e-3f);
+}
+
+TEST(GemmTest, AlphaScales) {
+  util::Rng rng(10);
+  Matrix a = Matrix::Gaussian(2, 4, &rng);
+  Matrix b = Matrix::Gaussian(4, 2, &rng);
+  Matrix out(2, 2);
+  Gemm(a, false, b, false, 2.5f, 0.0f, &out);
+  ExpectNear(out, Scale(NaiveMatMul(a, b), 2.5f), 1e-3f);
+}
+
+TEST(BlasTest, ElementwiseOps) {
+  Matrix a(1, 3);
+  Matrix b(1, 3);
+  for (int i = 0; i < 3; ++i) {
+    a(0, i) = static_cast<float>(i + 1);
+    b(0, i) = static_cast<float>(2 * i);
+  }
+  Matrix sum = Add(a, b);
+  Matrix diff = Sub(a, b);
+  Matrix prod = Hadamard(a, b);
+  EXPECT_FLOAT_EQ(sum(0, 2), 7.0f);
+  EXPECT_FLOAT_EQ(diff(0, 2), -1.0f);
+  EXPECT_FLOAT_EQ(prod(0, 1), 4.0f);
+}
+
+TEST(BlasTest, AxpyAndRowBroadcast) {
+  Matrix y = Matrix::Ones(2, 2);
+  Matrix x = Matrix::Full(2, 2, 2.0f);
+  Axpy(0.5f, x, &y);
+  EXPECT_FLOAT_EQ(y(0, 0), 2.0f);
+  Matrix row(1, 2);
+  row(0, 0) = 10.0f;
+  row(0, 1) = 20.0f;
+  AddRowVectorInPlace(&y, row);
+  EXPECT_FLOAT_EQ(y(1, 1), 22.0f);
+}
+
+TEST(BlasTest, ColAndRowSums) {
+  Matrix m(2, 3);
+  for (size_t i = 0; i < 6; ++i) m.data()[i] = static_cast<float>(i);
+  Matrix cs = ColSums(m);
+  EXPECT_FLOAT_EQ(cs(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(cs(0, 2), 7.0f);
+  Matrix rs = RowSums(m);
+  EXPECT_FLOAT_EQ(rs(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(rs(1, 0), 12.0f);
+}
+
+TEST(BlasTest, DotAndSquaredL2) {
+  std::vector<float> a = {1, 2, 3, 4, 5};
+  std::vector<float> b = {5, 4, 3, 2, 1};
+  EXPECT_FLOAT_EQ(Dot(a.data(), b.data(), 5), 35.0f);
+  EXPECT_FLOAT_EQ(SquaredL2(a.data(), b.data(), 5), 16 + 4 + 0 + 4 + 16);
+}
+
+}  // namespace
+}  // namespace selnet::tensor

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/selnet_ct.h"
+#include "core/updater.h"
+#include "data/synthetic.h"
+
+namespace selnet::core {
+namespace {
+
+class UpdaterFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_.n = 700;
+    spec_.dim = 6;
+    spec_.num_clusters = 4;
+    db_ = std::make_unique<data::Database>(data::GenerateMixture(spec_),
+                                           data::Metric::kEuclidean);
+    data::WorkloadSpec wspec;
+    wspec.num_queries = 30;
+    wspec.w = 6;
+    wspec.max_sel_fraction = 0.2;
+    wl_ = data::GenerateWorkload(*db_, wspec);
+    ctx_.db = db_.get();
+    ctx_.workload = &wl_;
+    ctx_.epochs = 6;
+
+    SelNetConfig cfg;
+    cfg.input_dim = 6;
+    cfg.tmax = wl_.tmax;
+    cfg.num_control = 6;
+    cfg.latent_dim = 3;
+    cfg.ae_hidden = 16;
+    cfg.tau_hidden = 24;
+    cfg.p_hidden = 32;
+    cfg.embed_h = 6;
+    cfg.ae_pretrain_epochs = 2;
+    model_ = std::make_unique<SelNetCt>(cfg);
+    model_->Fit(ctx_);
+  }
+
+  data::SyntheticSpec spec_;
+  std::unique_ptr<data::Database> db_;
+  data::Workload wl_;
+  eval::TrainContext ctx_;
+  std::unique_ptr<SelNetCt> model_;
+};
+
+TEST_F(UpdaterFixture, InsertKeepsLabelsExact) {
+  UpdatePolicy policy;
+  policy.mae_drift_fraction = 1e9;  // never retrain; isolate label patching
+  UpdateManager mgr(db_.get(), &wl_, model_.get(), ctx_, policy);
+
+  UpdateOp op;
+  op.is_insert = true;
+  tensor::Matrix fresh = data::DrawFromSameMixture(spec_, 5, 123);
+  for (size_t i = 0; i < 5; ++i) {
+    op.vectors.emplace_back(fresh.row(i), fresh.row(i) + 6);
+  }
+  UpdateResult res = mgr.Apply(op);
+  EXPECT_FALSE(res.retrained);
+  EXPECT_EQ(db_->size(), 705u);
+
+  std::vector<data::QuerySample> relabeled = wl_.train;
+  data::RelabelExact(*db_, wl_.queries, &relabeled);
+  for (size_t i = 0; i < relabeled.size(); ++i) {
+    EXPECT_FLOAT_EQ(wl_.train[i].y, relabeled[i].y);
+  }
+}
+
+TEST_F(UpdaterFixture, DeleteKeepsLabelsExact) {
+  UpdatePolicy policy;
+  policy.mae_drift_fraction = 1e9;
+  UpdateManager mgr(db_.get(), &wl_, model_.get(), ctx_, policy);
+  UpdateOp op;
+  op.is_insert = false;
+  auto live = db_->LiveIds();
+  op.ids = {live[3], live[17], live[101]};
+  mgr.Apply(op);
+  EXPECT_EQ(db_->size(), 697u);
+  std::vector<data::QuerySample> relabeled = wl_.test;
+  data::RelabelExact(*db_, wl_.queries, &relabeled);
+  for (size_t i = 0; i < relabeled.size(); ++i) {
+    EXPECT_FLOAT_EQ(wl_.test[i].y, relabeled[i].y);
+  }
+}
+
+TEST_F(UpdaterFixture, SmallDriftDoesNotRetrain) {
+  UpdatePolicy policy;
+  policy.mae_drift_fraction = 100.0;  // effectively never
+  UpdateManager mgr(db_.get(), &wl_, model_.get(), ctx_, policy);
+  UpdateOp op;
+  op.is_insert = true;
+  tensor::Matrix fresh = data::DrawFromSameMixture(spec_, 1, 5);
+  op.vectors.emplace_back(fresh.row(0), fresh.row(0) + 6);
+  UpdateResult res = mgr.Apply(op);
+  EXPECT_FALSE(res.retrained);
+  EXPECT_EQ(res.epochs, 0u);
+}
+
+TEST_F(UpdaterFixture, MassiveUpdateTriggersRetraining) {
+  UpdatePolicy policy;
+  policy.mae_drift_fraction = 0.05;
+  policy.max_epochs = 4;
+  policy.patience = 1;
+  UpdateManager mgr(db_.get(), &wl_, model_.get(), ctx_, policy);
+  // Insert many duplicates of one query point: its ball counts explode, so
+  // validation MAE drifts far beyond 5%.
+  UpdateOp op;
+  op.is_insert = true;
+  const float* q = wl_.queries.row(wl_.valid.front().query_id);
+  for (int i = 0; i < 150; ++i) {
+    op.vectors.emplace_back(q, q + 6);
+  }
+  UpdateResult res = mgr.Apply(op);
+  EXPECT_TRUE(res.retrained);
+  EXPECT_GT(res.epochs, 0u);
+  // Incremental learning must not end worse than the drifted state.
+  EXPECT_LE(res.mae_after, res.mae_before * 1.05 + 1e-6);
+}
+
+}  // namespace
+}  // namespace selnet::core

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace selnet::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Invalid("bad shape");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad shape");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Status ReturnsEarly(bool fail) {
+  SEL_RETURN_NOT_OK(fail ? Status::Invalid("nope") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(ReturnsEarly(false).ok());
+  EXPECT_FALSE(ReturnsEarly(true).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, BetaInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.Beta(3.0, 2.5);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+    sum += v;
+  }
+  // Mean of Beta(3, 2.5) = 3 / 5.5 ~ 0.545.
+  EXPECT_NEAR(sum / 2000.0, 3.0 / 5.5, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementUnique) {
+  Rng rng(4);
+  auto picks = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(picks.size(), 20u);
+  std::set<size_t> uniq(picks.begin(), picks.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (size_t p : picks) EXPECT_LT(p, 50u);
+}
+
+TEST(RngTest, SampleAllIsPermutation) {
+  Rng rng(5);
+  auto picks = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> uniq(picks.begin(), picks.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, 1000, [&](size_t i) { hits[i].fetch_add(1); }, 16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyAndTinyRanges) {
+  std::atomic<int> count{0};
+  ParallelFor(5, 5, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  ParallelFor(0, 3, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  AsciiTable table({"Model", "MSE"});
+  table.AddRow({"SelNet", "4.95"});
+  table.AddRow({"KDE", "64.13"});
+  std::string s = table.ToString();
+  EXPECT_NE(s.find("Model"), std::string::npos);
+  EXPECT_NE(s.find("SelNet"), std::string::npos);
+  EXPECT_NE(s.find("64.13"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsDigits) {
+  EXPECT_EQ(AsciiTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::Num(2.0, 0), "2");
+}
+
+TEST(EnvTest, DefaultScaleIsSane) {
+  ScaleConfig cfg = GetScaleConfig();
+  EXPECT_GT(cfg.n, 0u);
+  EXPECT_GT(cfg.dim, 0u);
+  EXPECT_GE(cfg.w, 2u);
+  EXPECT_GT(cfg.epochs, 0u);
+}
+
+TEST(EnvTest, EnvIntFallsBack) {
+  EXPECT_EQ(EnvInt("SELNET_THIS_VAR_DOES_NOT_EXIST", 123), 123);
+}
+
+}  // namespace
+}  // namespace selnet::util
