@@ -1,0 +1,173 @@
+/// \file serve_throughput.cc
+/// \brief Serving throughput: batched scheduler vs one-request-at-a-time.
+///
+/// Three configurations over the same request stream:
+///   unbatched — blocking single-row Predict per request (the baseline a
+///               naive integration would ship);
+///   batched   — the BatchScheduler coalescing concurrent requests into
+///               wide Predict calls;
+///   batched+cache — same, with the sharded LRU in front, on a skewed
+///               (hot-spot) request mix.
+///
+/// Acceptance shape: batched QPS >= 2x unbatched QPS. Single-row prediction
+/// pays the full autograd graph construction per call; a 64-row batch pays
+/// it once, so the speedup is mostly amortized fixed cost plus wider GEMMs.
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/selnet_ct.h"
+#include "data/synthetic.h"
+#include "data/workload.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace selnet;
+
+namespace {
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;
+  double avg_batch = 0.0;
+};
+
+/// Drive `total_requests` through the server from `num_clients` threads.
+/// Each client keeps `pipeline` requests in flight — a selectivity service
+/// embedded in a query optimizer scores many candidate predicates at once.
+/// `zipf_hot` > 0 sends that fraction of requests to one hot query subset.
+RunResult DriveLoad(serve::SelNetServer* server, const data::Workload& wl,
+                    size_t total_requests, size_t num_clients, size_t pipeline,
+                    double zipf_hot) {
+  server->stats().Reset();
+  server->cache().Clear();
+  std::atomic<size_t> remaining{total_requests};
+  util::Stopwatch watch;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(7 + c);
+      std::vector<std::future<float>> in_flight;
+      in_flight.reserve(pipeline);
+      for (;;) {
+        size_t batch = 0;
+        while (batch < pipeline) {
+          size_t prev = remaining.fetch_sub(1);
+          if (prev == 0 || prev > total_requests) {  // Underflow guard.
+            remaining.store(0);
+            break;
+          }
+          size_t qi;
+          if (zipf_hot > 0 && rng.Uniform() < zipf_hot) {
+            qi = size_t(rng.UniformInt(0, 7));  // Hot subset: 8 queries.
+          } else {
+            qi = size_t(rng.UniformInt(0, int64_t(wl.queries.rows()) - 1));
+          }
+          // Thresholds on a coarse grid so the hot set actually repeats.
+          float t = wl.tmax * float(rng.UniformInt(1, 16)) / 16.0f;
+          in_flight.push_back(server->EstimateAsync(wl.queries.row(qi), t));
+          ++batch;
+        }
+        for (auto& f : in_flight) f.get();
+        in_flight.clear();
+        if (batch < pipeline) return;
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  server->Drain();
+  double seconds = watch.ElapsedSeconds();
+
+  serve::StatsSnapshot s = server->stats().Snapshot();
+  RunResult r;
+  r.qps = double(total_requests) / seconds;
+  r.p50_ms = s.latency_p50_ms;
+  r.p99_ms = s.latency_p99_ms;
+  r.hit_rate = s.cache_hit_rate;
+  r.avg_batch = s.avg_batch_size;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Serving throughput: batched vs unbatched");
+
+  data::SyntheticSpec spec;
+  spec.n = 4000;
+  spec.dim = 16;
+  spec.num_clusters = 8;
+  data::Database db(data::GenerateMixture(spec), data::Metric::kEuclidean);
+  data::WorkloadSpec wspec;
+  wspec.num_queries = 160;
+  wspec.w = 8;
+  wspec.max_sel_fraction = 0.1;
+  data::Workload wl = data::GenerateWorkload(db, wspec);
+
+  core::SelNetConfig cfg;
+  cfg.input_dim = db.dim();
+  cfg.tmax = wl.tmax;
+  cfg.num_control = 12;
+  eval::TrainContext ctx;
+  ctx.db = &db;
+  ctx.workload = &wl;
+  ctx.epochs = 4;  // Latency does not depend on training quality.
+  auto model = std::make_shared<core::SelNetCt>(cfg);
+  model->Fit(ctx);
+
+  const size_t kRequests = 20000;
+  const size_t kClients = 8;
+  const size_t kPipeline = 64;
+
+  auto make_server = [&](bool batching, bool cache) {
+    serve::ServerConfig scfg;
+    scfg.dim = db.dim();
+    scfg.enable_batching = batching;
+    scfg.enable_cache = cache;
+    scfg.scheduler.max_batch = 128;
+    scfg.scheduler.max_delay_ms = 0.3;
+    auto server = std::make_unique<serve::SelNetServer>(scfg);
+    server->Publish(model);
+    return server;
+  };
+
+  // One-request-at-a-time baseline: a single client, pipeline depth 1, no
+  // batching, no cache — every request is one full single-row Predict.
+  auto unbatched = make_server(false, false);
+  RunResult base = DriveLoad(unbatched.get(), wl, kRequests / 4, 1, 1, 0.0);
+
+  auto batched = make_server(true, false);
+  RunResult bat = DriveLoad(batched.get(), wl, kRequests, kClients, kPipeline,
+                            0.0);
+
+  auto cached = make_server(true, true);
+  RunResult cac = DriveLoad(cached.get(), wl, kRequests, kClients, kPipeline,
+                            0.8);
+
+  util::AsciiTable table({"config", "QPS", "p50 ms", "p99 ms", "hit rate",
+                          "avg batch"});
+  auto add = [&](const char* name, const RunResult& r) {
+    table.AddRow({name, util::AsciiTable::Num(r.qps, 0),
+                  util::AsciiTable::Num(r.p50_ms, 3),
+                  util::AsciiTable::Num(r.p99_ms, 3),
+                  util::AsciiTable::Num(r.hit_rate, 3),
+                  util::AsciiTable::Num(r.avg_batch, 1)});
+  };
+  add("unbatched (1 client)", base);
+  add("batched (8 clients)", bat);
+  add("batched+cache (hot mix)", cac);
+  table.Print("serve_throughput");
+
+  double speedup = base.qps > 0 ? bat.qps / base.qps : 0.0;
+  std::printf("\nbatched vs unbatched speedup: %.2fx (acceptance: >= 2x) %s\n",
+              speedup, speedup >= 2.0 ? "OK" : "BELOW TARGET");
+  return speedup >= 2.0 ? 0 : 1;
+}

@@ -15,11 +15,13 @@ using tensor::Matrix;
 namespace {
 
 // Elementwise-op helper: out = fn(a); backward dA += g ⊙ dfn(a, out).
-Var ElementwiseOp(const Var& a, const char* name,
-                  const std::function<float(float)>& fn,
-                  const std::function<float(float, float)>& dfn) {
+// Templated (not std::function) so the per-element forward loop inlines and
+// vectorizes — activations sit on the serving hot path.
+template <typename Fn, typename Dfn>
+Var ElementwiseOp(const Var& a, const char* name, Fn fn, Dfn dfn) {
   Matrix out = a->value;
-  out.Apply(fn);
+  float* od = out.data();
+  for (size_t i = 0; i < out.size(); ++i) od[i] = fn(od[i]);
   return MakeNode(std::move(out), {a},
                   [dfn](Node* self) {
                     Node* a = self->parents[0].get();
@@ -162,7 +164,8 @@ Var Scale(const Var& a, float s) {
 
 Var AddScalar(const Var& a, float s) {
   Matrix out = a->value;
-  out.Apply([s](float v) { return v + s; });
+  float* od = out.data();
+  for (size_t i = 0; i < out.size(); ++i) od[i] += s;
   return MakeNode(std::move(out), {a},
                   [](Node* self) {
                     Node* a = self->parents[0].get();

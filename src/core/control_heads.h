@@ -1,5 +1,8 @@
 #pragma once
 
+#include <atomic>
+#include <memory>
+
 #include "nn/mlp.h"
 
 /// \file control_heads.h
@@ -42,6 +45,11 @@ class ControlHeads : public nn::Module {
   ControlHeads() = default;
   ControlHeads(const HeadsConfig& cfg, util::Rng* rng);
 
+  // Movable (the fold cache is dropped, not moved — it is rebuilt lazily);
+  // the atomic generation counter makes the defaults undeletable.
+  ControlHeads(ControlHeads&& other) noexcept;
+  ControlHeads& operator=(ControlHeads&& other) noexcept;
+
   struct Out {
     ag::Var tau;  ///< B x (L+2), non-decreasing rows, tau_0=0, tau_{L+1}=tmax.
     ag::Var p;    ///< B x (L+2), non-decreasing, non-negative rows.
@@ -50,16 +58,56 @@ class ControlHeads : public nn::Module {
   /// \brief Generate control points for a batch of enhanced inputs.
   Out Forward(const ag::Var& input) const;
 
+  /// \brief Inference-only forward with the p-head tail fused.
+  ///
+  /// The p FFN's output layer (p_hidden -> (L+2)*H) is linear and feeds
+  /// straight into the linear per-position GroupedLinear heads, so at
+  /// inference the pair collapses exactly into one p_hidden x (L+2) affine
+  /// map. The folded matrix is cached (it costs one pass over the big weight
+  /// matrix to build) and rebuilt lazily after InvalidateInferenceCache(),
+  /// which must be called whenever the underlying parameters change — the
+  /// training loop and model loading do this. Numerically the fold
+  /// reassociates the sum over the hidden/embed axes, so results differ from
+  /// Forward() by normal float rounding; within this method results are
+  /// independent of batch size. Not usable for training (no gradient flows
+  /// to the unfused parameters).
+  Out ForwardInference(const ag::Var& input) const;
+
+  /// \brief Drop the cached folded tail; the next ForwardInference rebuilds
+  /// it from the current parameter values. Thread-safe.
+  void InvalidateInferenceCache() const;
+
   std::vector<ag::Var> Params() const override;
 
   const HeadsConfig& config() const { return cfg_; }
 
  private:
+  /// Fused (p_net output layer . GroupedLinear) affine map for inference.
+  struct FoldedTail {
+    tensor::Matrix wf;  ///< p_hidden x (L+2).
+    tensor::Matrix bf;  ///< 1 x (L+2).
+  };
+
+  std::shared_ptr<const FoldedTail> GetFoldedTail() const;
+
+  /// Shared tau-head path (simplex map, scale, cumsum, zero knot) used by
+  /// both Forward and ForwardInference so the two cannot drift.
+  ag::Var ForwardTau(const ag::Var& input) const;
+
   HeadsConfig cfg_;
   nn::Mlp tau_net_;
   nn::Mlp p_net_;
   ag::Var pw_;  ///< GroupedLinear weights (L+2) x H.
   ag::Var pb_;  ///< GroupedLinear bias 1 x (L+2).
+
+  /// Accessed via std::atomic_load/atomic_store: concurrent ForwardInference
+  /// calls may race to build the cache (the build is a pure function of the
+  /// parameters, so duplicate builds are harmless). `fold_gen_` guards
+  /// against the lost-invalidation race: a build that started before an
+  /// InvalidateInferenceCache() observes the generation bump and does not
+  /// publish its now-stale fold.
+  mutable std::shared_ptr<const FoldedTail> fold_cache_;
+  mutable std::atomic<uint64_t> fold_gen_{0};
 };
 
 }  // namespace selnet::core

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "nn/serialize.h"
+
 namespace selnet::core {
 
 using util::Result;
@@ -51,35 +53,38 @@ bool WriteConfig(std::FILE* f, const SelNetConfig& cfg) {
          WriteScalar<uint8_t>(f, cfg.softmax_tau ? 1 : 0);
 }
 
-bool ReadConfig(std::FILE* f, SelNetConfig* cfg) {
+// Returns nullptr on success, else the name of the field whose read failed —
+// surfaced in the LoadModel error Status so truncated/corrupt files are
+// diagnosable.
+const char* ReadConfig(std::FILE* f, SelNetConfig* cfg) {
   uint64_t u = 0;
   uint8_t b = 0;
-  if (!ReadScalar(f, &u)) return false;
+  if (!ReadScalar(f, &u)) return "input_dim";
   cfg->input_dim = u;
-  if (!ReadScalar(f, &u)) return false;
+  if (!ReadScalar(f, &u)) return "latent_dim";
   cfg->latent_dim = u;
-  if (!ReadScalar(f, &u)) return false;
+  if (!ReadScalar(f, &u)) return "ae_hidden";
   cfg->ae_hidden = u;
-  if (!ReadScalar(f, &u)) return false;
+  if (!ReadScalar(f, &u)) return "num_control";
   cfg->num_control = u;
-  if (!ReadScalar(f, &u)) return false;
+  if (!ReadScalar(f, &u)) return "tau_hidden";
   cfg->tau_hidden = u;
-  if (!ReadScalar(f, &u)) return false;
+  if (!ReadScalar(f, &u)) return "p_hidden";
   cfg->p_hidden = u;
-  if (!ReadScalar(f, &u)) return false;
+  if (!ReadScalar(f, &u)) return "embed_h";
   cfg->embed_h = u;
-  if (!ReadScalar(f, &cfg->tmax)) return false;
-  if (!ReadScalar(f, &cfg->lambda_ae)) return false;
-  if (!ReadScalar(f, &cfg->huber_delta)) return false;
-  if (!ReadScalar(f, &cfg->log_eps)) return false;
-  if (!ReadScalar(f, &cfg->lr)) return false;
-  if (!ReadScalar(f, &u)) return false;
+  if (!ReadScalar(f, &cfg->tmax)) return "tmax";
+  if (!ReadScalar(f, &cfg->lambda_ae)) return "lambda_ae";
+  if (!ReadScalar(f, &cfg->huber_delta)) return "huber_delta";
+  if (!ReadScalar(f, &cfg->log_eps)) return "log_eps";
+  if (!ReadScalar(f, &cfg->lr)) return "lr";
+  if (!ReadScalar(f, &u)) return "batch_size";
   cfg->batch_size = u;
-  if (!ReadScalar(f, &b)) return false;
+  if (!ReadScalar(f, &b)) return "query_dependent_tau";
   cfg->query_dependent_tau = (b != 0);
-  if (!ReadScalar(f, &b)) return false;
+  if (!ReadScalar(f, &b)) return "softmax_tau";
   cfg->softmax_tau = (b != 0);
-  return true;
+  return nullptr;
 }
 
 }  // namespace
@@ -115,34 +120,28 @@ Result<std::unique_ptr<SelNetCt>> LoadModel(const std::string& path) {
   uint32_t version = 0;
   if (std::fread(magic, 1, 4, f.get()) != 4 ||
       std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::Invalid("bad magic in " + path);
+    return Status::Invalid("model file '" + path +
+                           "': bad magic (not a SaveModel file)");
   }
-  if (!ReadScalar(f.get(), &version) || version != kVersion) {
-    return Status::Invalid("unsupported model version in " + path);
+  if (!ReadScalar(f.get(), &version)) {
+    return Status::IOError("model file '" + path +
+                           "': truncated before version field");
+  }
+  if (version != kVersion) {
+    return Status::Invalid("model file '" + path + "': unsupported version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kVersion) + ")");
   }
   SelNetConfig cfg;
-  if (!ReadConfig(f.get(), &cfg)) {
-    return Status::IOError("truncated config in " + path);
+  if (const char* field = ReadConfig(f.get(), &cfg)) {
+    return Status::IOError("model file '" + path +
+                           "': truncated config (failed reading field '" +
+                           field + "')");
   }
   auto model = std::make_unique<SelNetCt>(cfg);
-  std::vector<ag::Var> params = model->Params();
-  uint64_t count = 0;
-  if (!ReadScalar(f.get(), &count) || count != params.size()) {
-    return Status::Invalid("parameter count mismatch in " + path);
-  }
-  for (const auto& p : params) {
-    uint64_t rows = 0, cols = 0;
-    if (!ReadScalar(f.get(), &rows) || !ReadScalar(f.get(), &cols)) {
-      return Status::IOError("truncated file: " + path);
-    }
-    if (rows != p->value.rows() || cols != p->value.cols()) {
-      return Status::Invalid("shape mismatch in " + path);
-    }
-    size_t n = p->value.size();
-    if (n > 0 && std::fread(p->value.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IOError("truncated file: " + path);
-    }
-  }
+  SEL_RETURN_NOT_OK(
+      nn::ReadParamsPayload(f.get(), model->Params(), "model file", path));
+  model->InvalidateInferenceCache();  // Params were overwritten wholesale.
   return model;
 }
 

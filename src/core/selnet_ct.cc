@@ -77,6 +77,7 @@ double SelNetCt::TrainBatch(const data::Batch& batch, nn::Optimizer* opt) {
   ag::Backward(total);
   opt->ClipGrad(5.0f);
   opt->Step();
+  heads_.InvalidateInferenceCache();  // Weights moved; folded tail is stale.
   return total->value(0, 0);
 }
 
@@ -136,7 +137,10 @@ void SelNetCt::Fit(const eval::TrainContext& ctx) {
     util::LogDebug("%s epoch %zu loss %.5f val-mae %.2f", Name().c_str(), epoch,
                    loss, mae);
   }
-  if (!best.empty()) nn::RestoreParams(Params(), best);
+  if (!best.empty()) {
+    nn::RestoreParams(Params(), best);
+    heads_.InvalidateInferenceCache();  // Fold built from last-epoch weights.
+  }
 }
 
 size_t SelNetCt::IncrementalFit(const eval::TrainContext& ctx, size_t patience,
@@ -161,6 +165,7 @@ size_t SelNetCt::IncrementalFit(const eval::TrainContext& ctx, size_t patience,
     }
   }
   nn::RestoreParams(Params(), best);
+  heads_.InvalidateInferenceCache();  // Fold built from last-epoch weights.
   return epochs;
 }
 
@@ -174,7 +179,7 @@ tensor::Matrix SelNetCt::Predict(const tensor::Matrix& x,
     ag::Var xb = ag::Constant(x.RowSlice(begin, end));
     ag::Var tb = ag::Constant(t.RowSlice(begin, end));
     ag::Var input = ag::ConcatCols(xb, ae_.Encode(xb));
-    ControlHeads::Out heads = heads_.Forward(input);
+    ControlHeads::Out heads = heads_.ForwardInference(input);
     ag::Var yhat = ag::PiecewiseLinearGather(heads.tau, heads.p, tb);
     for (size_t r = begin; r < end; ++r) out(r, 0) = yhat->value(r - begin, 0);
   }
@@ -187,7 +192,7 @@ void SelNetCt::ControlPoints(const float* query, std::vector<float>* tau,
   std::copy(query, query + cfg_.input_dim, x.row(0));
   ag::Var xb = ag::Constant(std::move(x));
   ag::Var input = ag::ConcatCols(xb, ae_.Encode(xb));
-  ControlHeads::Out heads = heads_.Forward(input);
+  ControlHeads::Out heads = heads_.ForwardInference(input);
   size_t knots = heads.tau->cols();
   tau->assign(heads.tau->value.row(0), heads.tau->value.row(0) + knots);
   p->assign(heads.p->value.row(0), heads.p->value.row(0) + knots);

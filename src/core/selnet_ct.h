@@ -72,6 +72,11 @@ class SelNetCt : public eval::Estimator, public nn::Module,
 
   std::vector<ag::Var> Params() const override;
 
+  /// \brief Must be called after mutating parameter values outside the
+  /// training loop (e.g. loading weights from disk) so the cached inference
+  /// fusion is rebuilt. The training loop invalidates automatically.
+  void InvalidateInferenceCache() const { heads_.InvalidateInferenceCache(); }
+
   const SelNetConfig& config() const { return cfg_; }
 
   /// \brief Mean absolute error on a sample set (used for model selection

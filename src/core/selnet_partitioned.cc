@@ -141,6 +141,8 @@ double SelNetPartitioned::TrainBatch(const LocalBatch& batch, bool joint,
   ag::Backward(total);
   opt->ClipGrad(5.0f);
   opt->Step();
+  // Weights moved; every local head's folded tail is stale.
+  for (auto& h : heads_) h.InvalidateInferenceCache();
   return total->value(0, 0);
 }
 
@@ -205,7 +207,11 @@ void SelNetPartitioned::Fit(const eval::TrainContext& ctx) {
                      loss, mae);
     }
   }
-  if (!best.empty()) nn::RestoreParams(Params(), best);
+  if (!best.empty()) {
+    nn::RestoreParams(Params(), best);
+    // Folds were built from last-epoch weights.
+    for (auto& h : heads_) h.InvalidateInferenceCache();
+  }
 }
 
 size_t SelNetPartitioned::IncrementalFit(const eval::TrainContext& ctx,
@@ -232,6 +238,8 @@ size_t SelNetPartitioned::IncrementalFit(const eval::TrainContext& ctx,
     }
   }
   nn::RestoreParams(Params(), best);
+  // Folds were built from last-epoch weights.
+  for (auto& h : heads_) h.InvalidateInferenceCache();
   return epochs;
 }
 
@@ -262,7 +270,7 @@ tensor::Matrix SelNetPartitioned::Predict(const tensor::Matrix& x,
     }
     ag::Var global;
     for (size_t c = 0; c < k; ++c) {
-      ControlHeads::Out heads = heads_[c].Forward(input);
+      ControlHeads::Out heads = heads_[c].ForwardInference(input);
       ag::Var yhat = ag::PiecewiseLinearGather(heads.tau, heads.p, tb);
       ag::Var masked = ag::MulColBroadcast(yhat, ag::Constant(masks[c]));
       global = global ? ag::Add(global, masked) : masked;

@@ -40,6 +40,15 @@ ag::Var Mlp::Forward(const ag::Var& x) const {
   return h;
 }
 
+ag::Var Mlp::ForwardHidden(const ag::Var& x) const {
+  SEL_CHECK(!layers_.empty());
+  ag::Var h = x;
+  for (size_t i = 0; i + 1 < layers_.size(); ++i) {
+    h = Activate(layers_[i].Forward(h), hidden_);
+  }
+  return h;
+}
+
 std::vector<ag::Var> Mlp::Params() const {
   std::vector<ag::Var> out;
   out.reserve(layers_.size() * 2);

@@ -25,6 +25,17 @@ class Mlp : public Module {
 
   ag::Var Forward(const ag::Var& x) const;
 
+  /// \brief Forward through every layer but the last: the activated input the
+  /// output layer would see. Lets callers fuse the (linear) output layer with
+  /// downstream linear ops at inference time.
+  ag::Var ForwardHidden(const ag::Var& x) const;
+
+  /// \brief The final (output) layer.
+  const Linear& output_layer() const { return layers_.back(); }
+
+  /// \brief Activation applied after the output layer (kNone = linear).
+  Activation output_activation() const { return output_; }
+
   std::vector<ag::Var> Params() const override;
 
   size_t in_dim() const { return layers_.front().in_dim(); }

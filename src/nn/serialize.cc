@@ -49,30 +49,55 @@ Status LoadParams(const std::string& path, const std::vector<ag::Var>& params) {
   char magic[4];
   if (std::fread(magic, 1, 4, f.get()) != 4 ||
       std::memcmp(magic, kMagic, 4) != 0) {
-    return Status::Invalid("bad magic in " + path);
+    return Status::Invalid("params file '" + path +
+                           "': bad magic (not a SaveParams file)");
   }
   uint32_t version = 0;
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1) {
+    return Status::IOError("params file '" + path +
+                           "': truncated before version field");
+  }
+  if (version != kVersion) {
+    return Status::Invalid("params file '" + path + "': unsupported version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kVersion) + ")");
+  }
+  return ReadParamsPayload(f.get(), params, "params file", path);
+}
+
+Status ReadParamsPayload(std::FILE* f, const std::vector<ag::Var>& params,
+                         const char* file_kind, const std::string& path) {
+  std::string where = std::string(file_kind) + " '" + path + "'";
   uint64_t count = 0;
-  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
-      version != kVersion) {
-    return Status::Invalid("unsupported version in " + path);
+  if (std::fread(&count, sizeof(count), 1, f) != 1) {
+    return Status::IOError(where + ": truncated before parameter count");
   }
-  if (std::fread(&count, sizeof(count), 1, f.get()) != 1 ||
-      count != params.size()) {
-    return Status::Invalid("parameter count mismatch in " + path);
+  if (count != params.size()) {
+    return Status::Invalid(where + ": parameter count mismatch (file has " +
+                           std::to_string(count) + ", model expects " +
+                           std::to_string(params.size()) + ")");
   }
-  for (const auto& p : params) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    const auto& p = params[i];
     uint64_t rows = 0, cols = 0;
-    if (std::fread(&rows, sizeof(rows), 1, f.get()) != 1 ||
-        std::fread(&cols, sizeof(cols), 1, f.get()) != 1) {
-      return Status::IOError("truncated file: " + path);
+    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f) != 1) {
+      return Status::IOError(where + ": truncated header of parameter " +
+                             std::to_string(i) + "/" +
+                             std::to_string(params.size()));
     }
     if (rows != p->value.rows() || cols != p->value.cols()) {
-      return Status::Invalid("shape mismatch in " + path);
+      return Status::Invalid(
+          where + ": shape mismatch for parameter " + std::to_string(i) +
+          " (file has " + std::to_string(rows) + "x" + std::to_string(cols) +
+          ", model expects " + std::to_string(p->value.rows()) + "x" +
+          std::to_string(p->value.cols()) + ")");
     }
     size_t n = p->value.size();
-    if (n > 0 && std::fread(p->value.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IOError("truncated file: " + path);
+    if (n > 0 && std::fread(p->value.data(), sizeof(float), n, f) != n) {
+      return Status::IOError(where + ": truncated data of parameter " +
+                             std::to_string(i) + " (expected " +
+                             std::to_string(n) + " floats)");
     }
   }
   return Status::OK();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -22,5 +23,15 @@ util::Status SaveParams(const std::vector<ag::Var>& params,
 /// \brief Read values from `path` into `params` (shapes must match exactly).
 util::Status LoadParams(const std::string& path,
                         const std::vector<ag::Var>& params);
+
+/// \brief Read a count-prefixed parameter payload (u64 count, then per
+/// parameter u64 rows, u64 cols, float data) from an open file into
+/// `params`, validating count and shapes. Shared by LoadParams and
+/// core::LoadModel; `file_kind` ("params file", "model file") prefixes the
+/// error messages, which name `path`, the failing parameter index, and the
+/// expected-vs-found shapes.
+util::Status ReadParamsPayload(std::FILE* f,
+                               const std::vector<ag::Var>& params,
+                               const char* file_kind, const std::string& path);
 
 }  // namespace selnet::nn

@@ -1,0 +1,144 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+
+namespace selnet::serve {
+
+BatchScheduler::BatchScheduler(const SchedulerConfig& cfg, BatchFn batch_fn,
+                               CompletionFn on_complete)
+    : cfg_(cfg),
+      batch_fn_(std::move(batch_fn)),
+      on_complete_(std::move(on_complete)),
+      pool_(cfg.pool != nullptr ? cfg.pool : &util::ThreadPool::Global()) {
+  SEL_CHECK(cfg_.dim > 0);
+  SEL_CHECK(cfg_.max_batch > 0);
+  SEL_CHECK(batch_fn_ != nullptr);
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() { Shutdown(); }
+
+std::future<float> BatchScheduler::Submit(const float* x, float t,
+                                          uint64_t tag) {
+  Request req;
+  req.x.assign(x, x + cfg_.dim);
+  req.t = t;
+  req.tag = tag;
+  req.enqueued = std::chrono::steady_clock::now();
+  std::future<float> result = req.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) {
+    req.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("BatchScheduler is shut down")));
+    return result;
+  }
+  pending_.push_back(std::move(req));
+  if (pending_.size() >= cfg_.max_batch) {
+    DispatchLocked(&lock);
+  } else if (pending_.size() == 1) {
+    // Only the empty->non-empty transition needs to arm the flusher's delay
+    // timer; waking it per request would cost a futex wake on the hot path.
+    work_cv_.notify_one();
+  }
+  return result;
+}
+
+void BatchScheduler::DispatchLocked(std::unique_lock<std::mutex>* lock) {
+  if (pending_.empty()) return;
+  std::vector<Request> batch;
+  batch.swap(pending_);
+  ++in_flight_batches_;
+  lock->unlock();
+  // Wrapped in shared_ptr because std::function requires a copyable callable
+  // and Request holds a move-only promise.
+  auto shared_batch = std::make_shared<std::vector<Request>>(std::move(batch));
+  pool_->Submit([this, shared_batch] { RunBatch(std::move(*shared_batch)); });
+  lock->lock();
+}
+
+void BatchScheduler::RunBatch(std::vector<Request> batch) {
+  tensor::Matrix x(batch.size(), cfg_.dim);
+  tensor::Matrix t(batch.size(), 1);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::copy(batch[i].x.begin(), batch[i].x.end(), x.row(i));
+    t(i, 0) = batch[i].t;
+  }
+  try {
+    tensor::Matrix y = batch_fn_(x, t);
+    SEL_CHECK_EQ(y.rows(), batch.size());
+    auto done = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (on_complete_) {
+        double latency_ms =
+            std::chrono::duration<double, std::milli>(done -
+                                                      batch[i].enqueued)
+                .count();
+        on_complete_(batch[i].tag, y(i, 0), latency_ms);
+      }
+      batch[i].promise.set_value(y(i, 0));
+    }
+  } catch (...) {
+    std::exception_ptr err = std::current_exception();
+    for (auto& req : batch) req.promise.set_exception(err);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_batches_;
+    // Notify under the lock: once the count hits zero with the lock free, a
+    // waiter in Drain()/Shutdown() may return and destroy this object, so an
+    // unlocked notify could touch a destroyed condition_variable.
+    drain_cv_.notify_all();
+  }
+}
+
+void BatchScheduler::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto delay = std::chrono::duration<double, std::milli>(cfg_.max_delay_ms);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (stop_ && pending_.empty()) return;
+    // Oldest request sets the deadline; flush when it expires or the batch
+    // fills (Submit dispatches full batches itself, so waking with an empty
+    // queue just loops back to waiting).
+    auto deadline = pending_.front().enqueued +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(delay);
+    work_cv_.wait_until(lock, deadline, [this, deadline] {
+      return stop_ || pending_.empty() ||
+             std::chrono::steady_clock::now() >= deadline;
+    });
+    if (!pending_.empty()) DispatchLocked(&lock);
+    if (stop_ && pending_.empty()) return;
+  }
+}
+
+void BatchScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!pending_.empty()) DispatchLocked(&lock);
+  drain_cv_.wait(lock, [this] {
+    return pending_.empty() && in_flight_batches_ == 0;
+  });
+}
+
+void BatchScheduler::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_ && !flusher_.joinable()) return;
+    stop_ = true;
+    if (!pending_.empty()) DispatchLocked(&lock);
+  }
+  work_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] {
+    return pending_.empty() && in_flight_batches_ == 0;
+  });
+}
+
+}  // namespace selnet::serve

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/thread_pool.h"
+
+/// \file batch_scheduler.h
+/// \brief Request coalescing: many single (x, t) estimates -> few batched
+/// Predict calls.
+///
+/// Single-row SelNet prediction pays the full autograd-graph construction
+/// cost per call; batching B rows through one forward pass amortizes it and
+/// lets the GEMM kernels run at full width. The scheduler buffers incoming
+/// requests and flushes a batch when either `max_batch` requests are pending
+/// or the oldest pending request has waited `max_delay`. Flushed batches are
+/// dispatched to a util::ThreadPool via SubmitWithResult, so multiple batches
+/// can be in flight while the flusher keeps accepting requests.
+///
+/// The batch function is grabbed per flush, which is what makes hot-swap
+/// work: the server installs a function that resolves the current registry
+/// snapshot at flush time, so a republished model takes effect at the next
+/// batch boundary without failing in-flight requests.
+
+namespace selnet::serve {
+
+/// \brief Batching policy.
+struct SchedulerConfig {
+  size_t dim = 0;            ///< Query dimensionality (required).
+  size_t max_batch = 64;     ///< Flush when this many requests are pending.
+  double max_delay_ms = 0.2; ///< Flush when the oldest request is this old.
+  util::ThreadPool* pool = nullptr;  ///< Execution pool; null = Global().
+};
+
+/// \brief Coalesces single estimate requests into batched Predict calls.
+class BatchScheduler {
+ public:
+  /// Evaluates a B x dim query matrix and B x 1 thresholds into B x 1
+  /// estimates. Must be safe to call concurrently from pool workers.
+  using BatchFn =
+      std::function<tensor::Matrix(const tensor::Matrix& x,
+                                   const tensor::Matrix& t)>;
+  /// Observer invoked once per request after its batch completes, with the
+  /// request's tag, computed estimate, and queue+compute latency in
+  /// milliseconds (used for stats; cache fill happens inside the batch fn
+  /// where the model version is known).
+  using CompletionFn =
+      std::function<void(uint64_t tag, float value, double latency_ms)>;
+
+  BatchScheduler(const SchedulerConfig& cfg, BatchFn batch_fn,
+                 CompletionFn on_complete = nullptr);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// \brief Enqueue one request; the future resolves when its batch runs.
+  /// `x` must point at `dim` floats (copied before returning). `tag` is
+  /// passed through to the completion observer.
+  std::future<float> Submit(const float* x, float t, uint64_t tag = 0);
+
+  /// \brief Block until every request submitted so far has been answered.
+  void Drain();
+
+  /// \brief Stop accepting work and drain; called by the destructor.
+  void Shutdown();
+
+  const SchedulerConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    std::vector<float> x;
+    float t = 0.0f;
+    uint64_t tag = 0;
+    std::promise<float> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void FlusherLoop();
+  /// Moves `pending_` out and dispatches it to the pool. Caller holds mu_.
+  void DispatchLocked(std::unique_lock<std::mutex>* lock);
+  /// Runs one batch on a pool worker.
+  void RunBatch(std::vector<Request> batch);
+
+  SchedulerConfig cfg_;
+  BatchFn batch_fn_;
+  CompletionFn on_complete_;
+  util::ThreadPool* pool_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Wakes the flusher.
+  std::condition_variable drain_cv_;  ///< Wakes Drain()/Shutdown().
+  std::vector<Request> pending_;
+  size_t in_flight_batches_ = 0;
+  bool stop_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace selnet::serve

@@ -1,0 +1,97 @@
+#include "serve/estimate_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace selnet::serve {
+
+EstimateCache::EstimateCache(const CacheConfig& cfg) : cfg_(cfg) {
+  SEL_CHECK(cfg_.capacity > 0);
+  size_t shards = std::max<size_t>(1, std::min(cfg_.shards, cfg_.capacity));
+  per_shard_capacity_ = (cfg_.capacity + shards - 1) / shards;
+  shards_ = std::vector<Shard>(shards);
+}
+
+namespace {
+
+// FNV-1a over 64-bit words; inputs are quantized to integers first so that
+// bit-identical floats (and floats within one quantum) map to the same key.
+inline uint64_t FnvMix(uint64_t h, uint64_t word) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (i * 8)) & 0xffULL;
+    h *= kPrime;
+  }
+  return h;
+}
+
+inline int64_t Quantize(float v, float quantum) {
+  return static_cast<int64_t>(std::llround(double(v) / double(quantum)));
+}
+
+}  // namespace
+
+uint64_t EstimateCache::MakeKey(uint64_t model_version, const float* x,
+                                size_t dim, float t) const {
+  constexpr uint64_t kOffset = 14695981039346656037ULL;
+  uint64_t h = FnvMix(kOffset, model_version);
+  h = FnvMix(h, static_cast<uint64_t>(dim));
+  for (size_t i = 0; i < dim; ++i) {
+    h = FnvMix(h, static_cast<uint64_t>(Quantize(x[i], cfg_.query_quantum)));
+  }
+  h = FnvMix(h, static_cast<uint64_t>(Quantize(t, cfg_.threshold_quantum)));
+  return h;
+}
+
+bool EstimateCache::Lookup(uint64_t key, float* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *value = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void EstimateCache::Insert(uint64_t key, float value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index[key] = shard.lru.begin();
+}
+
+void EstimateCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t EstimateCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace selnet::serve

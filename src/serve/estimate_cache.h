@@ -1,0 +1,82 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+/// \file estimate_cache.h
+/// \brief Sharded LRU cache for selectivity estimates.
+///
+/// Keys are built by quantizing the query vector and threshold to a fixed
+/// grid and hashing them together with the model version, so (a) numerically
+/// identical repeat queries hit, (b) near-identical queries within one
+/// quantum collapse to one entry, and (c) entries computed by a superseded
+/// model version can never be returned after a hot-swap — stale entries
+/// simply age out of the LRU.
+///
+/// Sharding: the key's low bits pick one of `shards` independent LRU maps,
+/// each with its own mutex, so concurrent clients rarely contend.
+
+namespace selnet::serve {
+
+/// \brief Cache sizing and quantization knobs.
+struct CacheConfig {
+  size_t capacity = 1 << 16;  ///< Total entries across all shards.
+  size_t shards = 16;         ///< Power of two recommended.
+  /// Quantization grid for query coordinates and thresholds. Estimates for
+  /// inputs closer than one quantum are considered interchangeable.
+  float query_quantum = 1e-5f;
+  float threshold_quantum = 1e-5f;
+};
+
+/// \brief Thread-safe sharded LRU mapping quantized (version, x, t) -> value.
+class EstimateCache {
+ public:
+  explicit EstimateCache(const CacheConfig& cfg = CacheConfig());
+
+  /// \brief Hash a (model version, query, threshold) triple into a cache key.
+  uint64_t MakeKey(uint64_t model_version, const float* x, size_t dim,
+                   float t) const;
+
+  /// \brief Look up a key; on hit copies the value and refreshes recency.
+  bool Lookup(uint64_t key, float* value);
+
+  /// \brief Insert or overwrite; evicts the shard's LRU entry when full.
+  void Insert(uint64_t key, float value);
+
+  /// \brief Drop every entry (stats counters are kept).
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Most-recent entries at the front; pairs of (key, value).
+    std::list<std::pair<uint64_t, float>> lru;
+    std::unordered_map<uint64_t,
+                       std::list<std::pair<uint64_t, float>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(uint64_t key) { return shards_[key % shards_.size()]; }
+
+  CacheConfig cfg_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace selnet::serve

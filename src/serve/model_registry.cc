@@ -1,0 +1,66 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+#include "core/model_io.h"
+
+namespace selnet::serve {
+
+using util::Result;
+using util::Status;
+
+uint64_t ModelRegistry::Publish(const std::string& name,
+                                std::shared_ptr<core::SelNetCt> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ModelHandle& slot = models_[name];
+  slot.model = std::move(model);
+  slot.version = next_version_++;
+  slot.name = name;
+  return slot.version;
+}
+
+Result<uint64_t> ModelRegistry::PublishFromFile(const std::string& name,
+                                                const std::string& path) {
+  Result<std::unique_ptr<core::SelNetCt>> loaded = core::LoadModel(path);
+  if (!loaded.ok()) return loaded.status();
+  return Publish(name,
+                 std::shared_ptr<core::SelNetCt>(loaded.MoveValueUnsafe()));
+}
+
+Result<ModelHandle> ModelRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    return Status::NotFound("no model published under '" + name + "'");
+  }
+  return it->second;  // shared_ptr copy: snapshot outlives any republish.
+}
+
+Status ModelRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.erase(name) == 0) {
+    return Status::NotFound("no model published under '" + name + "'");
+  }
+  return Status::OK();
+}
+
+uint64_t ModelRegistry::VersionOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? 0 : it->second.version;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, handle] : models_) names.push_back(name);
+  return names;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace selnet::serve

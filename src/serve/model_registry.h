@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/selnet_ct.h"
+#include "util/status.h"
+
+/// \file model_registry.h
+/// \brief Named, versioned snapshots of trained estimators with atomic
+/// hot-swap.
+///
+/// Serving threads call Get() and receive a shared_ptr snapshot; the updater
+/// path (core::UpdateManager retraining, or an offline training job writing a
+/// SaveModel file) calls Publish() with a replacement. Publication is one
+/// pointer swap under a mutex — in-flight queries keep the old snapshot alive
+/// through their shared_ptr until the last one drains, so a republish can
+/// never fail a query. Snapshots must be treated as immutable after
+/// Publish(): concurrent Predict is safe, concurrent Fit is not.
+
+namespace selnet::serve {
+
+/// \brief One published snapshot: the model plus its registry version.
+struct ModelHandle {
+  std::shared_ptr<core::SelNetCt> model;
+  uint64_t version = 0;  ///< Globally unique, monotonically increasing.
+  std::string name;
+
+  explicit operator bool() const { return model != nullptr; }
+};
+
+/// \brief Thread-safe name -> versioned model snapshot map.
+class ModelRegistry {
+ public:
+  /// \brief Publish (or replace) the snapshot under `name`; returns the
+  /// version assigned to it. The registry takes shared ownership; the caller
+  /// must not mutate the model afterwards.
+  uint64_t Publish(const std::string& name,
+                   std::shared_ptr<core::SelNetCt> model);
+
+  /// \brief Load a core::SaveModel file and publish it under `name`.
+  util::Result<uint64_t> PublishFromFile(const std::string& name,
+                                         const std::string& path);
+
+  /// \brief Current snapshot for `name`, or NotFound.
+  util::Result<ModelHandle> Get(const std::string& name) const;
+
+  /// \brief Remove `name`; in-flight handles stay valid. NotFound if absent.
+  util::Status Remove(const std::string& name);
+
+  /// \brief Version currently published under `name` (0 if absent).
+  uint64_t VersionOf(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ModelHandle> models_;
+  uint64_t next_version_ = 1;
+};
+
+}  // namespace selnet::serve

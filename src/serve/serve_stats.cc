@@ -1,0 +1,100 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+
+namespace selnet::serve {
+
+ServeStats::ServeStats(size_t reservoir_size)
+    : latencies_ms_(std::max<size_t>(1, reservoir_size), 0.0),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ServeStats::RecordBatch(size_t batch_size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordLatencyMs(double ms) {
+  std::lock_guard<std::mutex> lock(lat_mu_);
+  latencies_ms_[lat_next_] = ms;
+  lat_next_ = (lat_next_ + 1) % latencies_ms_.size();
+  ++lat_count_;
+}
+
+void ServeStats::Reset() {
+  requests_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  batched_requests_.store(0, std::memory_order_relaxed);
+  swaps_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(lat_mu_);
+  lat_next_ = 0;
+  lat_count_ = 0;
+  start_ = std::chrono::steady_clock::now();
+}
+
+namespace {
+
+double PercentileOf(std::vector<double>* sorted_inout, double p) {
+  if (sorted_inout->empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * (sorted_inout->size() - 1) + 0.5);
+  std::nth_element(sorted_inout->begin(), sorted_inout->begin() + idx,
+                   sorted_inout->end());
+  return (*sorted_inout)[idx];
+}
+
+}  // namespace
+
+StatsSnapshot ServeStats::Snapshot() const {
+  StatsSnapshot s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.swaps = swaps_.load(std::memory_order_relaxed);
+
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(lat_mu_);
+    s.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    size_t filled = std::min<uint64_t>(lat_count_, latencies_ms_.size());
+    samples.assign(latencies_ms_.begin(), latencies_ms_.begin() + filled);
+  }
+  if (s.elapsed_seconds > 0) s.qps = double(s.requests) / s.elapsed_seconds;
+  uint64_t lookups = s.cache_hits + s.cache_misses;
+  if (lookups > 0) s.cache_hit_rate = double(s.cache_hits) / double(lookups);
+  if (s.batches > 0) {
+    s.avg_batch_size = double(s.batched_requests) / double(s.batches);
+  }
+  if (!samples.empty()) {
+    double sum = 0.0;
+    for (double v : samples) sum += v;
+    s.latency_mean_ms = sum / samples.size();
+    s.latency_p50_ms = PercentileOf(&samples, 0.50);
+    s.latency_p99_ms = PercentileOf(&samples, 0.99);
+  }
+  return s;
+}
+
+std::string ServeStats::Report(const std::string& title) const {
+  StatsSnapshot s = Snapshot();
+  util::AsciiTable table({"metric", "value"});
+  table.AddRow({"requests", std::to_string(s.requests)});
+  table.AddRow({"qps", util::AsciiTable::Num(s.qps, 1)});
+  table.AddRow({"latency p50 (ms)", util::AsciiTable::Num(s.latency_p50_ms, 4)});
+  table.AddRow({"latency p99 (ms)", util::AsciiTable::Num(s.latency_p99_ms, 4)});
+  table.AddRow({"latency mean (ms)",
+                util::AsciiTable::Num(s.latency_mean_ms, 4)});
+  table.AddRow({"cache hit rate", util::AsciiTable::Num(s.cache_hit_rate, 4)});
+  table.AddRow({"batches", std::to_string(s.batches)});
+  table.AddRow({"avg batch size", util::AsciiTable::Num(s.avg_batch_size, 2)});
+  table.AddRow({"model swaps", std::to_string(s.swaps)});
+  return title + "\n" + table.ToString();
+}
+
+}  // namespace selnet::serve

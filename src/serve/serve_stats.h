@@ -1,0 +1,79 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file serve_stats.h
+/// \brief Serving-side observability: request counters, latency percentiles,
+/// cache hit rate and batching efficiency.
+///
+/// All recording paths are lock-light (atomics plus one short critical
+/// section for the latency reservoir) so stats collection never becomes the
+/// serving bottleneck. Rendering reuses util::AsciiTable for the same look as
+/// the bench harness output.
+
+namespace selnet::serve {
+
+/// \brief Point-in-time view of the serving counters.
+struct StatsSnapshot {
+  uint64_t requests = 0;        ///< Estimates answered (cache hits included).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t batches = 0;         ///< Batched Predict calls issued.
+  uint64_t batched_requests = 0;  ///< Requests answered through batches.
+  uint64_t swaps = 0;           ///< Model hot-swaps observed.
+  double elapsed_seconds = 0.0;
+  double qps = 0.0;
+  double cache_hit_rate = 0.0;  ///< hits / (hits + misses); 0 when unused.
+  double avg_batch_size = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+};
+
+/// \brief Thread-safe accumulator for serving metrics.
+class ServeStats {
+ public:
+  /// \param reservoir_size how many most-recent latency samples to keep for
+  /// percentile estimation (ring buffer; older samples are overwritten).
+  explicit ServeStats(size_t reservoir_size = 1 << 14);
+
+  void RecordRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordSwap() { swaps_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordBatch(size_t batch_size);
+  void RecordLatencyMs(double ms);
+
+  /// \brief Reset every counter and restart the elapsed-time clock.
+  void Reset();
+
+  StatsSnapshot Snapshot() const;
+
+  /// \brief Render the snapshot as an AsciiTable block.
+  std::string Report(const std::string& title = "serving stats") const;
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<uint64_t> swaps_{0};
+
+  mutable std::mutex lat_mu_;
+  std::vector<double> latencies_ms_;  ///< Ring buffer of recent samples.
+  size_t lat_next_ = 0;               ///< Next write slot.
+  uint64_t lat_count_ = 0;            ///< Total samples ever recorded.
+
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace selnet::serve

@@ -1,0 +1,173 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace selnet::serve {
+
+using util::Result;
+using util::Status;
+
+SelNetServer::SelNetServer(const ServerConfig& cfg)
+    : cfg_(cfg), cache_(cfg.cache) {
+  SEL_CHECK(cfg_.dim > 0);
+  if (cfg_.enable_batching) {
+    SchedulerConfig sched_cfg = cfg_.scheduler;
+    sched_cfg.dim = cfg_.dim;
+    scheduler_ = std::make_unique<BatchScheduler>(
+        sched_cfg,
+        [this](const tensor::Matrix& x, const tensor::Matrix& t) {
+          return PredictOnCurrent(x, t);
+        },
+        [this](uint64_t /*tag*/, float /*value*/, double latency_ms) {
+          stats_.RecordLatencyMs(latency_ms);
+        });
+  }
+}
+
+SelNetServer::~SelNetServer() {
+  if (scheduler_) scheduler_->Shutdown();
+}
+
+uint64_t SelNetServer::Publish(std::shared_ptr<core::SelNetCt> model) {
+  uint64_t version = registry_.Publish(cfg_.model_name, std::move(model));
+  stats_.RecordSwap();
+  return version;
+}
+
+Result<uint64_t> SelNetServer::PublishFromFile(const std::string& path) {
+  Result<uint64_t> version = registry_.PublishFromFile(cfg_.model_name, path);
+  if (version.ok()) stats_.RecordSwap();
+  return version;
+}
+
+tensor::Matrix SelNetServer::PredictOnCurrent(const tensor::Matrix& x,
+                                              const tensor::Matrix& t) {
+  Result<ModelHandle> handle = registry_.Get(cfg_.model_name);
+  if (!handle.ok()) {
+    throw std::runtime_error("SelNetServer: " + handle.status().ToString());
+  }
+  const ModelHandle& h = handle.ValueOrDie();
+  tensor::Matrix y = h.model->Predict(x, t);
+  stats_.RecordBatch(x.rows());
+  if (cfg_.enable_cache) {
+    for (size_t i = 0; i < x.rows(); ++i) {
+      uint64_t key = cache_.MakeKey(h.version, x.row(i), cfg_.dim, t(i, 0));
+      cache_.Insert(key, y(i, 0));
+    }
+  }
+  return y;
+}
+
+std::future<float> SelNetServer::EstimateAsync(const float* x, float t) {
+  stats_.RecordRequest();
+  if (cfg_.enable_cache) {
+    uint64_t version = registry_.VersionOf(cfg_.model_name);
+    if (version != 0) {
+      uint64_t key = cache_.MakeKey(version, x, cfg_.dim, t);
+      float cached = 0.0f;
+      if (cache_.Lookup(key, &cached)) {
+        stats_.RecordCacheHit();
+        std::promise<float> ready;
+        ready.set_value(cached);
+        return ready.get_future();
+      }
+      stats_.RecordCacheMiss();
+    }
+  }
+  if (scheduler_) return scheduler_->Submit(x, t);
+
+  // Unbatched path: one-row Predict inline (the throughput baseline).
+  std::promise<float> result;
+  std::future<float> future = result.get_future();
+  util::Stopwatch watch;
+  try {
+    tensor::Matrix xm(1, cfg_.dim);
+    std::copy(x, x + cfg_.dim, xm.row(0));
+    tensor::Matrix tm(1, 1);
+    tm(0, 0) = t;
+    tensor::Matrix y = PredictOnCurrent(xm, tm);
+    stats_.RecordLatencyMs(watch.ElapsedMillis());
+    result.set_value(y(0, 0));
+  } catch (...) {
+    result.set_exception(std::current_exception());
+  }
+  return future;
+}
+
+Result<float> SelNetServer::Estimate(const float* x, float t) {
+  if (registry_.VersionOf(cfg_.model_name) == 0) {
+    return Status::NotFound("no model published under '" + cfg_.model_name +
+                            "'");
+  }
+  try {
+    return EstimateAsync(x, t).get();
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+}
+
+Result<std::vector<float>> SelNetServer::EstimateSweep(
+    const float* x, const std::vector<float>& ts) {
+  // The whole sweep is pinned to ONE registry snapshot: answering thresholds
+  // from different versions across a concurrent republish could interleave
+  // two (individually monotone) estimators into a non-monotone result, and
+  // the header promises callers a non-decreasing column.
+  Result<ModelHandle> handle = registry_.Get(cfg_.model_name);
+  if (!handle.ok()) return handle.status();
+  const ModelHandle& h = handle.ValueOrDie();
+
+  std::vector<float> estimates(ts.size(), 0.0f);
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    stats_.RecordRequest();
+    if (cfg_.enable_cache) {
+      uint64_t key = cache_.MakeKey(h.version, x, cfg_.dim, ts[i]);
+      if (cache_.Lookup(key, &estimates[i])) {
+        stats_.RecordCacheHit();
+        continue;
+      }
+      stats_.RecordCacheMiss();
+    }
+    missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    util::Stopwatch watch;
+    tensor::Matrix xm(missing.size(), cfg_.dim);
+    tensor::Matrix tm(missing.size(), 1);
+    for (size_t r = 0; r < missing.size(); ++r) {
+      std::copy(x, x + cfg_.dim, xm.row(r));
+      tm(r, 0) = ts[missing[r]];
+    }
+    tensor::Matrix y = h.model->Predict(xm, tm);
+    stats_.RecordBatch(missing.size());
+    double per_request_ms = watch.ElapsedMillis() / double(missing.size());
+    for (size_t r = 0; r < missing.size(); ++r) {
+      estimates[missing[r]] = y(r, 0);
+      if (cfg_.enable_cache) {
+        uint64_t key =
+            cache_.MakeKey(h.version, x, cfg_.dim, tm(r, 0));
+        cache_.Insert(key, y(r, 0));
+      }
+      stats_.RecordLatencyMs(per_request_ms);
+    }
+  }
+  // The pinned estimator is monotone, but cache hits may have been computed
+  // from a quantized-neighbor query (within one cache quantum), which can
+  // dent the column by a hair. Repair with a running max so the documented
+  // non-decreasing guarantee holds unconditionally.
+  for (size_t i = 1; i < estimates.size(); ++i) {
+    estimates[i] = std::max(estimates[i], estimates[i - 1]);
+  }
+  return estimates;
+}
+
+void SelNetServer::Drain() {
+  if (scheduler_) scheduler_->Drain();
+}
+
+}  // namespace selnet::serve

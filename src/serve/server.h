@@ -1,0 +1,101 @@
+#pragma once
+
+#include <future>
+#include <memory>
+#include <string>
+
+#include "serve/batch_scheduler.h"
+#include "serve/estimate_cache.h"
+#include "serve/model_registry.h"
+#include "serve/serve_stats.h"
+#include "util/status.h"
+
+/// \file server.h
+/// \brief SelNetServer: the serving facade tying registry, scheduler, cache
+/// and stats into one estimate endpoint.
+///
+/// Request path:
+///   Estimate(x, t)
+///     -> cache lookup on (current model version, quantized x, t)  [hit: done]
+///     -> BatchScheduler::Submit                                   [miss]
+///     -> batched Predict on the snapshot resolved at flush time
+///     -> completion hook fills the cache, future resolves.
+///
+/// Hot-swap: Publish() installs a new snapshot in the registry. Batches
+/// resolve the snapshot when they flush, so in-flight requests finish on
+/// whichever version they were batched against and nothing fails mid-swap.
+/// Cache keys embed the version, so a swap implicitly invalidates — stale
+/// entries stop matching and age out of the LRU.
+///
+/// Consistency dividend (the paper's monotonicity guarantee): because the
+/// served estimator is monotone in t, cached estimates at nearby thresholds
+/// bound each other, and threshold-sweep clients can reuse one batch row per
+/// (x, t) pair without risking non-monotone artifacts across the sweep.
+
+namespace selnet::serve {
+
+/// \brief Serving configuration.
+struct ServerConfig {
+  size_t dim = 0;                    ///< Query dimensionality (required).
+  std::string model_name = "default";  ///< Registry slot served by default.
+  SchedulerConfig scheduler;         ///< scheduler.dim is overwritten by dim.
+  CacheConfig cache;
+  bool enable_cache = true;
+  bool enable_batching = true;  ///< false = direct per-request Predict
+                                ///  (the bench baseline).
+};
+
+/// \brief A servable selectivity-estimation endpoint.
+class SelNetServer {
+ public:
+  explicit SelNetServer(const ServerConfig& cfg);
+  ~SelNetServer();
+
+  SelNetServer(const SelNetServer&) = delete;
+  SelNetServer& operator=(const SelNetServer&) = delete;
+
+  /// \brief Publish a trained model under the configured name; returns the
+  /// assigned version. The caller must not mutate the model afterwards.
+  uint64_t Publish(std::shared_ptr<core::SelNetCt> model);
+
+  /// \brief Load a core::SaveModel file and publish it.
+  util::Result<uint64_t> PublishFromFile(const std::string& path);
+
+  /// \brief Asynchronous estimate for one (x, t). `x` must hold dim floats.
+  /// The future throws if no model is published or serving fails.
+  std::future<float> EstimateAsync(const float* x, float t);
+
+  /// \brief Blocking estimate; NotFound when no model is published.
+  util::Result<float> Estimate(const float* x, float t);
+
+  /// \brief Monotone threshold sweep: estimates for one query at each of
+  /// `ts` (which must be sorted ascending for the guarantee to be
+  /// meaningful). The whole sweep is answered against a single pinned model
+  /// snapshot — even across a concurrent republish — so the consistency
+  /// guarantee makes the results non-decreasing, which callers may rely on.
+  util::Result<std::vector<float>> EstimateSweep(const float* x,
+                                                 const std::vector<float>& ts);
+
+  /// \brief Block until every accepted request has been answered.
+  void Drain();
+
+  ModelRegistry& registry() { return registry_; }
+  EstimateCache& cache() { return cache_; }
+  ServeStats& stats() { return stats_; }
+  const ServerConfig& config() const { return cfg_; }
+
+  std::string StatsReport() const { return stats_.Report(); }
+
+ private:
+  /// Resolve the served snapshot and run one batched Predict on it.
+  tensor::Matrix PredictOnCurrent(const tensor::Matrix& x,
+                                  const tensor::Matrix& t);
+
+  ServerConfig cfg_;
+  ModelRegistry registry_;
+  EstimateCache cache_;
+  ServeStats stats_;
+  std::unique_ptr<BatchScheduler> scheduler_;  ///< Null when batching is off.
+};
+
+}  // namespace selnet::serve

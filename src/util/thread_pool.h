@@ -3,9 +3,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 /// \file thread_pool.h
@@ -29,6 +33,22 @@ class ThreadPool {
 
   /// \brief Enqueue a task; returns immediately.
   void Submit(std::function<void()> task);
+
+  /// \brief Enqueue a callable and get a future for its result.
+  ///
+  /// Exceptions thrown by `fn` propagate through the future. Do not block on
+  /// the future from inside a pool worker — the pool does not support nested
+  /// waits (same restriction as Wait()).
+  template <typename F>
+  auto SubmitWithResult(F&& fn)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Submit([task]() { (*task)(); });
+    return result;
+  }
 
   /// \brief Block until every queued and running task has finished.
   void Wait();

@@ -1,0 +1,481 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/model_io.h"
+#include "data/synthetic.h"
+#include "serve/batch_scheduler.h"
+#include "serve/estimate_cache.h"
+#include "serve/model_registry.h"
+#include "serve/serve_stats.h"
+#include "serve/server.h"
+
+namespace selnet::serve {
+namespace {
+
+using tensor::Matrix;
+
+// ------------------------------------------------------------------ cache ---
+
+TEST(EstimateCacheTest, MissThenHit) {
+  EstimateCache cache;
+  float x[3] = {0.1f, 0.2f, 0.3f};
+  uint64_t key = cache.MakeKey(1, x, 3, 0.5f);
+  float v = 0.0f;
+  EXPECT_FALSE(cache.Lookup(key, &v));
+  cache.Insert(key, 42.0f);
+  ASSERT_TRUE(cache.Lookup(key, &v));
+  EXPECT_FLOAT_EQ(v, 42.0f);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EstimateCacheTest, QuantizationCollapsesNearbyInputs) {
+  CacheConfig cfg;
+  cfg.query_quantum = 1e-3f;
+  cfg.threshold_quantum = 1e-3f;
+  EstimateCache cache(cfg);
+  float a[2] = {0.5f, 0.5f};
+  float b[2] = {0.5f + 1e-5f, 0.5f};  // Within one quantum of a.
+  float c[2] = {0.6f, 0.5f};          // Far from a.
+  EXPECT_EQ(cache.MakeKey(1, a, 2, 0.3f), cache.MakeKey(1, b, 2, 0.3f));
+  EXPECT_NE(cache.MakeKey(1, a, 2, 0.3f), cache.MakeKey(1, c, 2, 0.3f));
+}
+
+TEST(EstimateCacheTest, ModelVersionChangesKey) {
+  EstimateCache cache;
+  float x[2] = {0.5f, 0.5f};
+  EXPECT_NE(cache.MakeKey(1, x, 2, 0.3f), cache.MakeKey(2, x, 2, 0.3f));
+}
+
+TEST(EstimateCacheTest, EvictsLeastRecentlyUsed) {
+  CacheConfig cfg;
+  cfg.capacity = 4;
+  cfg.shards = 1;  // One shard so global LRU order is deterministic.
+  EstimateCache cache(cfg);
+  float x[1];
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 4; ++i) {
+    x[0] = float(i);
+    keys.push_back(cache.MakeKey(1, x, 1, 0.0f));
+    cache.Insert(keys.back(), float(i));
+  }
+  // Touch key 0 so key 1 is now the LRU entry.
+  float v = 0.0f;
+  ASSERT_TRUE(cache.Lookup(keys[0], &v));
+  x[0] = 99.0f;
+  cache.Insert(cache.MakeKey(1, x, 1, 0.0f), 99.0f);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_TRUE(cache.Lookup(keys[0], &v));
+  EXPECT_FALSE(cache.Lookup(keys[1], &v));  // Evicted.
+  EXPECT_TRUE(cache.Lookup(keys[2], &v));
+  EXPECT_TRUE(cache.Lookup(keys[3], &v));
+}
+
+TEST(EstimateCacheTest, ClearDropsEntries) {
+  EstimateCache cache;
+  float x[1] = {1.0f};
+  uint64_t key = cache.MakeKey(1, x, 1, 0.0f);
+  cache.Insert(key, 5.0f);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  float v = 0.0f;
+  EXPECT_FALSE(cache.Lookup(key, &v));
+}
+
+TEST(EstimateCacheTest, ConcurrentInsertLookupIsSafe) {
+  CacheConfig cfg;
+  cfg.capacity = 256;
+  EstimateCache cache(cfg);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      float x[1];
+      for (int i = 0; i < 2000; ++i) {
+        x[0] = float((t * 131 + i) % 512);
+        uint64_t key = cache.MakeKey(1, x, 1, 0.0f);
+        float v = 0.0f;
+        if (!cache.Lookup(key, &v)) cache.Insert(key, x[0]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), 256u);
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+// --------------------------------------------------------------- registry ---
+
+TEST(ModelRegistryTest, GetUnknownNameIsNotFound) {
+  ModelRegistry registry;
+  auto handle = registry.Get("nope");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(registry.VersionOf("nope"), 0u);
+}
+
+TEST(ModelRegistryTest, PublishAssignsIncreasingVersions) {
+  ModelRegistry registry;
+  core::SelNetConfig cfg;
+  cfg.input_dim = 4;
+  cfg.tmax = 1.0f;
+  uint64_t v1 = registry.Publish("a", std::make_shared<core::SelNetCt>(cfg));
+  uint64_t v2 = registry.Publish("a", std::make_shared<core::SelNetCt>(cfg));
+  uint64_t v3 = registry.Publish("b", std::make_shared<core::SelNetCt>(cfg));
+  EXPECT_LT(v1, v2);
+  EXPECT_LT(v2, v3);
+  EXPECT_EQ(registry.VersionOf("a"), v2);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.Remove("b").ok());
+  EXPECT_FALSE(registry.Remove("b").ok());
+}
+
+TEST(ModelRegistryTest, OldHandleSurvivesRepublish) {
+  ModelRegistry registry;
+  core::SelNetConfig cfg;
+  cfg.input_dim = 4;
+  cfg.tmax = 1.0f;
+  registry.Publish("m", std::make_shared<core::SelNetCt>(cfg));
+  auto old_handle = registry.Get("m");
+  ASSERT_TRUE(old_handle.ok());
+  registry.Publish("m", std::make_shared<core::SelNetCt>(cfg));
+  // The old snapshot is still usable even though it was replaced.
+  Matrix x(1, 4), t(1, 1);
+  t(0, 0) = 0.5f;
+  Matrix y = old_handle.ValueOrDie().model->Predict(x, t);
+  EXPECT_TRUE(y.AllFinite());
+  EXPECT_NE(old_handle.ValueOrDie().version, registry.VersionOf("m"));
+}
+
+TEST(ModelRegistryTest, PublishFromMissingFileFails) {
+  ModelRegistry registry;
+  auto result = registry.PublishFromFile("m", "/nonexistent/model.selm");
+  ASSERT_FALSE(result.ok());
+  // Satellite: the failing path must appear in the error message.
+  EXPECT_NE(result.status().message().find("/nonexistent/model.selm"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- scheduler ---
+
+// Deterministic stand-in for Predict: y_i = sum(x_i) + 10 * t_i.
+Matrix FakePredict(const Matrix& x, const Matrix& t) {
+  Matrix y(x.rows(), 1);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    float sum = 0.0f;
+    for (size_t j = 0; j < x.cols(); ++j) sum += x(i, j);
+    y(i, 0) = sum + 10.0f * t(i, 0);
+  }
+  return y;
+}
+
+TEST(BatchSchedulerTest, AnswersMatchUnbatchedComputation) {
+  SchedulerConfig cfg;
+  cfg.dim = 3;
+  cfg.max_batch = 8;
+  cfg.max_delay_ms = 1.0;
+  BatchScheduler scheduler(cfg, FakePredict);
+  std::vector<std::future<float>> futures;
+  for (int i = 0; i < 50; ++i) {
+    float x[3] = {float(i), float(i) * 0.5f, -float(i)};
+    futures.push_back(scheduler.Submit(x, float(i) * 0.01f));
+  }
+  for (int i = 0; i < 50; ++i) {
+    float expected = float(i) + float(i) * 0.5f - float(i) +
+                     10.0f * float(i) * 0.01f;
+    EXPECT_FLOAT_EQ(futures[i].get(), expected) << "request " << i;
+  }
+}
+
+TEST(BatchSchedulerTest, CoalescesRequestsIntoFewerBatches) {
+  SchedulerConfig cfg;
+  cfg.dim = 2;
+  cfg.max_batch = 16;
+  cfg.max_delay_ms = 50.0;  // Large delay: batches close on max_batch.
+  std::atomic<size_t> batches{0};
+  BatchScheduler scheduler(cfg, [&](const Matrix& x, const Matrix& t) {
+    batches.fetch_add(1);
+    return FakePredict(x, t);
+  });
+  std::vector<std::future<float>> futures;
+  for (int i = 0; i < 64; ++i) {
+    float x[2] = {float(i), 0.0f};
+    futures.push_back(scheduler.Submit(x, 0.0f));
+  }
+  scheduler.Drain();
+  for (auto& f : futures) f.get();
+  // 64 requests with max_batch 16 need at least 4 batches but far fewer
+  // than 64 — the point of coalescing.
+  EXPECT_GE(batches.load(), 4u);
+  EXPECT_LE(batches.load(), 16u);
+}
+
+TEST(BatchSchedulerTest, MaxDelayFlushesPartialBatch) {
+  SchedulerConfig cfg;
+  cfg.dim = 1;
+  cfg.max_batch = 1000;  // Never filled; only the delay can flush.
+  cfg.max_delay_ms = 2.0;
+  BatchScheduler scheduler(cfg, FakePredict);
+  float x[1] = {1.5f};
+  std::future<float> f = scheduler.Submit(x, 0.0f);
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(2)), std::future_status::ready);
+  EXPECT_FLOAT_EQ(f.get(), 1.5f);
+}
+
+TEST(BatchSchedulerTest, CompletionHookSeesEveryRequest) {
+  SchedulerConfig cfg;
+  cfg.dim = 1;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 1.0;
+  std::atomic<uint64_t> tag_sum{0};
+  std::atomic<size_t> completions{0};
+  BatchScheduler scheduler(
+      cfg, FakePredict,
+      [&](uint64_t tag, float /*value*/, double latency_ms) {
+        tag_sum.fetch_add(tag);
+        completions.fetch_add(1);
+        EXPECT_GE(latency_ms, 0.0);
+      });
+  std::vector<std::future<float>> futures;
+  uint64_t expected_sum = 0;
+  for (uint64_t i = 1; i <= 20; ++i) {
+    float x[1] = {0.0f};
+    futures.push_back(scheduler.Submit(x, 0.0f, i));
+    expected_sum += i;
+  }
+  scheduler.Drain();
+  EXPECT_EQ(completions.load(), 20u);
+  EXPECT_EQ(tag_sum.load(), expected_sum);
+}
+
+TEST(BatchSchedulerTest, BatchFnExceptionPropagatesToFutures) {
+  SchedulerConfig cfg;
+  cfg.dim = 1;
+  cfg.max_batch = 2;
+  cfg.max_delay_ms = 1.0;
+  BatchScheduler scheduler(cfg, [](const Matrix&, const Matrix&) -> Matrix {
+    throw std::runtime_error("model exploded");
+  });
+  float x[1] = {0.0f};
+  std::future<float> f = scheduler.Submit(x, 0.0f);
+  scheduler.Drain();
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(BatchSchedulerTest, SubmitAfterShutdownFailsFuture) {
+  SchedulerConfig cfg;
+  cfg.dim = 1;
+  BatchScheduler scheduler(cfg, FakePredict);
+  scheduler.Shutdown();
+  float x[1] = {0.0f};
+  std::future<float> f = scheduler.Submit(x, 0.0f);
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+// ------------------------------------------------------------------ stats ---
+
+TEST(ServeStatsTest, SnapshotAggregatesCounters) {
+  ServeStats stats(64);
+  for (int i = 0; i < 10; ++i) stats.RecordRequest();
+  stats.RecordCacheHit();
+  stats.RecordCacheMiss();
+  stats.RecordCacheMiss();
+  stats.RecordBatch(8);
+  stats.RecordBatch(4);
+  for (int i = 1; i <= 100; ++i) stats.RecordLatencyMs(double(i % 64));
+  StatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.requests, 10u);
+  EXPECT_NEAR(s.cache_hit_rate, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.avg_batch_size, 6.0, 1e-9);
+  EXPECT_GT(s.latency_p99_ms, s.latency_p50_ms);
+  EXPECT_GT(s.qps, 0.0);
+  EXPECT_FALSE(stats.Report().empty());
+  stats.Reset();
+  EXPECT_EQ(stats.Snapshot().requests, 0u);
+}
+
+// -------------------------------------------- end-to-end with a real model ---
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticSpec spec;
+    spec.n = 600;
+    spec.dim = 6;
+    db_ = std::make_unique<data::Database>(data::GenerateMixture(spec),
+                                           data::Metric::kEuclidean);
+    data::WorkloadSpec wspec;
+    wspec.num_queries = 25;
+    wspec.w = 6;
+    wspec.max_sel_fraction = 0.2;
+    wl_ = data::GenerateWorkload(*db_, wspec);
+    ctx_.db = db_.get();
+    ctx_.workload = &wl_;
+    ctx_.epochs = 6;
+    cfg_.input_dim = 6;
+    cfg_.tmax = wl_.tmax;
+    cfg_.num_control = 6;
+    cfg_.latent_dim = 3;
+    cfg_.ae_hidden = 16;
+    cfg_.tau_hidden = 20;
+    cfg_.p_hidden = 24;
+    cfg_.embed_h = 5;
+    cfg_.ae_pretrain_epochs = 2;
+    model_ = std::make_shared<core::SelNetCt>(cfg_);
+    model_->Fit(ctx_);
+  }
+
+  ServerConfig MakeServerConfig(bool batching, bool cache) {
+    ServerConfig scfg;
+    scfg.dim = 6;
+    scfg.enable_batching = batching;
+    scfg.enable_cache = cache;
+    scfg.scheduler.max_batch = 16;
+    scfg.scheduler.max_delay_ms = 0.5;
+    return scfg;
+  }
+
+  std::unique_ptr<data::Database> db_;
+  data::Workload wl_;
+  eval::TrainContext ctx_;
+  core::SelNetConfig cfg_;
+  std::shared_ptr<core::SelNetCt> model_;
+};
+
+TEST_F(ServeFixture, BatchedResultsIdenticalToUnbatchedPredict) {
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/false));
+  server.Publish(model_);
+  data::Batch b = data::MaterializeAll(wl_.queries, wl_.test);
+
+  std::vector<std::future<float>> futures;
+  for (size_t i = 0; i < b.x.rows(); ++i) {
+    futures.push_back(server.EstimateAsync(b.x.row(i), b.t(i, 0)));
+  }
+  // Reference: direct single-row Predict outside the serving stack.
+  for (size_t i = 0; i < b.x.rows(); ++i) {
+    Matrix x1 = b.x.RowSlice(i, i + 1);
+    Matrix t1 = b.t.RowSlice(i, i + 1);
+    float expected = model_->Predict(x1, t1)(0, 0);
+    EXPECT_EQ(futures[i].get(), expected) << "row " << i;
+  }
+  EXPECT_GT(server.stats().Snapshot().batches, 0u);
+}
+
+TEST_F(ServeFixture, RepeatQueryHitsCache) {
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/true));
+  server.Publish(model_);
+  const float* q = wl_.queries.row(0);
+  auto first = server.Estimate(q, 0.5f * wl_.tmax);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = server.Estimate(q, 0.5f * wl_.tmax);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.ValueOrDie(), second.ValueOrDie());
+  EXPECT_EQ(server.cache().hits(), 1u);
+  EXPECT_EQ(server.stats().Snapshot().cache_hits, 1u);
+}
+
+TEST_F(ServeFixture, EstimateWithoutModelIsNotFound) {
+  SelNetServer server(MakeServerConfig(true, true));
+  float x[6] = {0};
+  auto result = server.Estimate(x, 0.5f);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(ServeFixture, SweepIsMonotoneInThreshold) {
+  SelNetServer server(MakeServerConfig(true, true));
+  server.Publish(model_);
+  std::vector<float> ts;
+  for (int i = 0; i < 12; ++i) ts.push_back(wl_.tmax * float(i) / 11.0f);
+  auto sweep = server.EstimateSweep(wl_.queries.row(1), ts);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  const std::vector<float>& y = sweep.ValueOrDie();
+  ASSERT_EQ(y.size(), ts.size());
+  for (size_t i = 1; i < y.size(); ++i) {
+    EXPECT_GE(y[i] + 1e-3f, y[i - 1]) << "sweep not monotone at " << i;
+  }
+}
+
+TEST_F(ServeFixture, FoldCacheInvalidationRestoresExactPredictions) {
+  // Guards the inference-fusion cache contract: after parameters are mutated
+  // and restored (as Fit's best-epoch restore does), Predict must return
+  // exactly the original estimates — a stale cached fold would not.
+  data::Batch b = data::MaterializeAll(wl_.queries, wl_.test);
+  Matrix before = model_->Predict(b.x, b.t);  // Builds the fold cache.
+
+  std::vector<Matrix> snapshot;
+  for (const auto& p : model_->Params()) snapshot.push_back(p->value);
+  for (const auto& p : model_->Params()) {
+    p->value.Apply([](float v) { return v * 1.25f + 0.01f; });
+  }
+  model_->InvalidateInferenceCache();
+  Matrix perturbed = model_->Predict(b.x, b.t);
+
+  size_t i = 0;
+  for (const auto& p : model_->Params()) p->value = snapshot[i++];
+  model_->InvalidateInferenceCache();
+  Matrix after = model_->Predict(b.x, b.t);
+
+  bool any_diff = false;
+  for (size_t r = 0; r < before.size(); ++r) {
+    if (before.data()[r] != perturbed.data()[r]) any_diff = true;
+    EXPECT_EQ(before.data()[r], after.data()[r]) << "row " << r;
+  }
+  EXPECT_TRUE(any_diff) << "perturbation should have changed predictions";
+}
+
+TEST_F(ServeFixture, HotSwapUnderConcurrentLoadFailsNoQuery) {
+  // Acceptance criterion: zero failed queries during model republish.
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/false));
+  server.Publish(model_);
+
+  // A second, independently trained snapshot to alternate with.
+  std::string path = ::testing::TempDir() + "/serve_swap.selm";
+  ASSERT_TRUE(core::SaveModel(*model_, path).ok());
+  auto loaded = core::LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::shared_ptr<core::SelNetCt> other(loaded.MoveValueUnsafe());
+  std::remove(path.c_str());
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failed{0};
+  std::atomic<size_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(100 + c);
+      while (!stop.load()) {
+        size_t qi = static_cast<size_t>(
+            rng.UniformInt(0, int64_t(wl_.queries.rows()) - 1));
+        float t = wl_.tmax * float(rng.Uniform());
+        auto result = server.Estimate(wl_.queries.row(qi), t);
+        if (!result.ok() || !std::isfinite(result.ValueOrDie())) {
+          failed.fetch_add(1);
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+  // Republish aggressively while clients are querying.
+  for (int swap = 0; swap < 50; ++swap) {
+    server.Publish(swap % 2 == 0 ? other : model_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (auto& th : clients) th.join();
+
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_GE(server.stats().Snapshot().swaps, 51u);
+}
+
+}  // namespace
+}  // namespace selnet::serve

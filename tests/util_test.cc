@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "util/env.h"
 #include "util/rng.h"
@@ -128,6 +132,31 @@ TEST(ThreadPoolTest, WaitIsReusable) {
   pool.Submit([&count] { count.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultReturnsValue) {
+  ThreadPool pool(2);
+  std::future<int> sum = pool.SubmitWithResult([] { return 40 + 2; });
+  std::future<std::string> text =
+      pool.SubmitWithResult([] { return std::string("done"); });
+  EXPECT_EQ(sum.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPoolTest, SubmitWithResultPropagatesException) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.SubmitWithResult(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitWithResultManyConcurrent) {
+  ThreadPool pool(4);
+  std::vector<std::future<size_t>> futures;
+  for (size_t i = 0; i < 200; ++i) {
+    futures.push_back(pool.SubmitWithResult([i] { return i * i; }));
+  }
+  for (size_t i = 0; i < 200; ++i) EXPECT_EQ(futures[i].get(), i * i);
 }
 
 TEST(ParallelForTest, CoversRangeExactlyOnce) {
