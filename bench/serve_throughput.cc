@@ -1,7 +1,8 @@
 /// \file serve_throughput.cc
-/// \brief Serving throughput: batched scheduler vs one-request-at-a-time.
+/// \brief Serving throughput: batched scheduler vs one-request-at-a-time,
+/// plus the sweep workload (SweepCapable fast path vs fallbacks).
 ///
-/// Three configurations over the same request stream:
+/// Part 1 — scalar stream, three configurations:
 ///   unbatched — blocking single-row Predict per request (the baseline a
 ///               naive integration would ship);
 ///   batched   — the BatchScheduler coalescing concurrent requests into
@@ -9,9 +10,15 @@
 ///   batched+cache — same, with the sharded LRU in front, on a skewed
 ///               (hot-spot) request mix.
 ///
-/// Acceptance shape: batched QPS >= 2x unbatched QPS. Single-row prediction
-/// pays the full autograd graph construction per call; a 64-row batch pays
-/// it once, so the speedup is mostly amortized fixed cost plus wider GEMMs.
+/// Part 2 — threshold sweeps, K=16 thresholds per query:
+///   scalar x16   — 16 independent Estimate calls (16 single-row Predicts);
+///   row expansion — one Sweep request with the fast path disabled (one
+///               16-row batched Predict);
+///   fast path    — one Sweep request through SweepCapable: ONE control-point
+///               evaluation + 16 piecewise-linear lookups.
+///
+/// Acceptance shapes: batched QPS >= 2x unbatched QPS, and the fast path
+/// >= 3x faster per sweep than 16 independent scalar estimates.
 
 #include <atomic>
 #include <cstdio>
@@ -169,5 +176,76 @@ int main() {
   double speedup = base.qps > 0 ? bat.qps / base.qps : 0.0;
   std::printf("\nbatched vs unbatched speedup: %.2fx (acceptance: >= 2x) %s\n",
               speedup, speedup >= 2.0 ? "OK" : "BELOW TARGET");
-  return speedup >= 2.0 ? 0 : 1;
+
+  // ------------------------------------------------------ sweep workload ---
+  // Batching and caching are off so every mode measures pure compute on the
+  // caller thread: the comparison is 16 single-row Predicts vs one 16-row
+  // Predict vs one control-point evaluation + 16 PWL lookups.
+  bench::PrintBanner("Sweep workload: K=16 thresholds per query");
+  const size_t kThresholds = 16;
+  const size_t kSweeps = 300;
+
+  auto make_sweep_server = [&](bool fastpath) {
+    serve::ServerConfig scfg;
+    scfg.dim = db.dim();
+    scfg.enable_batching = false;
+    scfg.enable_cache = false;
+    scfg.enable_sweep_fastpath = fastpath;
+    auto server = std::make_unique<serve::SelNetServer>(scfg);
+    server->Publish(model);
+    return server;
+  };
+
+  std::vector<float> ts(kThresholds);
+  for (size_t i = 0; i < kThresholds; ++i) {
+    ts[i] = wl.tmax * float(i + 1) / float(kThresholds);
+  }
+  auto query_for = [&](size_t s) {
+    return wl.queries.row(s % wl.queries.rows());
+  };
+
+  auto scalar_server = make_sweep_server(false);
+  util::Stopwatch scalar_watch;
+  for (size_t s = 0; s < kSweeps; ++s) {
+    for (size_t i = 0; i < kThresholds; ++i) {
+      scalar_server->Estimate(query_for(s), ts[i]).ValueOrDie();
+    }
+  }
+  double scalar_us = scalar_watch.ElapsedMillis() * 1000.0 / double(kSweeps);
+
+  auto fallback_server = make_sweep_server(false);
+  util::Stopwatch fallback_watch;
+  for (size_t s = 0; s < kSweeps; ++s) {
+    fallback_server->Submit(serve::EstimateRequest::Sweep(query_for(s),
+                                                          db.dim(), ts))
+        .get();
+  }
+  double fallback_us =
+      fallback_watch.ElapsedMillis() * 1000.0 / double(kSweeps);
+
+  auto fast_server = make_sweep_server(true);
+  util::Stopwatch fast_watch;
+  for (size_t s = 0; s < kSweeps; ++s) {
+    fast_server->Submit(serve::EstimateRequest::Sweep(query_for(s), db.dim(),
+                                                      ts))
+        .get();
+  }
+  double fast_us = fast_watch.ElapsedMillis() * 1000.0 / double(kSweeps);
+
+  util::AsciiTable sweep_table({"mode", "us / sweep", "vs scalar x16"});
+  auto add_sweep = [&](const char* name, double us) {
+    sweep_table.AddRow({name, util::AsciiTable::Num(us, 1),
+                        util::AsciiTable::Num(scalar_us / us, 2)});
+  };
+  add_sweep("scalar x16 (16 Predicts)", scalar_us);
+  add_sweep("row expansion (1 batched Predict)", fallback_us);
+  add_sweep("fast path (1 control-point eval)", fast_us);
+  sweep_table.Print("sweep_workload");
+
+  double sweep_speedup = fast_us > 0 ? scalar_us / fast_us : 0.0;
+  std::printf(
+      "\nfast path vs 16 scalar estimates: %.2fx (acceptance: >= 3x) %s\n",
+      sweep_speedup, sweep_speedup >= 3.0 ? "OK" : "BELOW TARGET");
+
+  return (speedup >= 2.0 && sweep_speedup >= 3.0) ? 0 : 1;
 }

@@ -1,13 +1,16 @@
 /// \file serve_demo.cpp
 /// \brief End-to-end serving: train, save, publish, serve under concurrent
-/// clients, hot-swap an updated model mid-traffic, and read the stats.
+/// clients, hot-swap an updated model mid-traffic, A/B a baseline behind the
+/// same endpoint, and read the stats.
 ///
 ///   ./examples/serve_demo
 ///
 /// The flow mirrors a production deployment: an offline training job writes a
 /// SaveModel file; the server publishes it into its ModelRegistry; clients
-/// hit the batched estimate endpoint; the Section 5.4 update loop retrains on
-/// fresh inserts and republishes — all while queries stay in flight.
+/// submit EstimateRequests (scalar or whole threshold sweeps) to the batched
+/// endpoint; a KDE baseline is published under a second route for served A/B
+/// comparison; the Section 5.4 update loop retrains on fresh inserts and
+/// republishes — all while queries stay in flight.
 
 #include <atomic>
 #include <cstdio>
@@ -15,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/kde.h"
 #include "core/model_io.h"
 #include "core/selnet_ct.h"
 #include "core/updater.h"
@@ -72,14 +76,37 @@ int main() {
   std::printf("online: published model v%llu\n",
               (unsigned long long)version.ValueOrDie());
 
-  // 3. A monotone threshold sweep — one query, many thresholds, answered as
-  //    one coalesced batch. Consistency guarantees the column is sorted.
+  // 3. A monotone threshold sweep as ONE request object: SelNet is
+  //    SweepCapable, so the server answers all 8 thresholds from a single
+  //    control-point evaluation (one network forward + 8 PWL lookups).
+  //    Consistency guarantees the column is sorted.
   std::vector<float> ts;
   for (int i = 1; i <= 8; ++i) ts.push_back(wl.tmax * float(i) / 8.0f);
-  auto sweep = server.EstimateSweep(wl.queries.row(0), ts);
-  std::printf("\nthreshold sweep (query 0):\n%8s %12s\n", "t", "estimate");
+  serve::EstimateResponse sweep =
+      server.Submit(serve::EstimateRequest::Sweep(wl.queries.row(0), db.dim(),
+                                                  ts))
+          .get();
+  std::printf("\nthreshold sweep (query 0, fast_path=%d):\n%8s %12s\n",
+              int(sweep.fast_path), "t", "estimate");
   for (size_t i = 0; i < ts.size(); ++i) {
-    std::printf("%8.3f %12.1f\n", ts[i], sweep.ValueOrDie()[i]);
+    std::printf("%8.3f %12.1f\n", ts[i], sweep.estimates[i]);
+  }
+
+  // 3b. Served A/B comparison: publish a KDE baseline under a second route
+  //     and sweep both models through the same endpoint.
+  bl::KdeConfig kcfg;
+  kcfg.num_samples = 500;
+  auto kde = std::make_shared<bl::KdeEstimator>(kcfg);
+  kde->Fit(ctx);
+  server.Publish("kde", kde);
+  serve::EstimateResponse kde_sweep =
+      server.Submit(serve::EstimateRequest::Sweep(wl.queries.row(0), db.dim(),
+                                                  ts, "kde"))
+          .get();
+  std::printf("\nA/B sweep (query 0): %12s %12s\n", "SelNet", "KDE");
+  for (size_t i = 0; i < ts.size(); ++i) {
+    std::printf("t=%6.3f %12.1f %12.1f\n", ts[i], sweep.estimates[i],
+                kde_sweep.estimates[i]);
   }
 
   // 4. Concurrent clients hammer the endpoint while the update pipeline

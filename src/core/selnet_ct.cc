@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/pwl.h"
 #include "nn/optimizer.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -196,6 +197,16 @@ void SelNetCt::ControlPoints(const float* query, std::vector<float>* tau,
   size_t knots = heads.tau->cols();
   tau->assign(heads.tau->value.row(0), heads.tau->value.row(0) + knots);
   p->assign(heads.p->value.row(0), heads.p->value.row(0) + knots);
+}
+
+std::vector<float> SelNetCt::SweepEstimate(const float* x, const float* ts,
+                                           size_t count) {
+  std::vector<float> tau, p;
+  ControlPoints(x, &tau, &p);
+  PiecewiseLinear pwl(std::move(tau), std::move(p));
+  std::vector<float> out(count);
+  for (size_t i = 0; i < count; ++i) out[i] = pwl(ts[i]);
+  return out;
 }
 
 double SelNetCt::ValidationMae(const tensor::Matrix& queries,

@@ -45,8 +45,8 @@ struct SelNetConfig {
 };
 
 /// \brief The non-partitioned SelNet estimator.
-class SelNetCt : public eval::Estimator, public nn::Module,
-                 public IncrementalModel {
+class SelNetCt : public eval::Estimator, public eval::SweepCapable,
+                 public nn::Module, public IncrementalModel {
  public:
   explicit SelNetCt(const SelNetConfig& cfg);
 
@@ -69,6 +69,13 @@ class SelNetCt : public eval::Estimator, public nn::Module,
   /// \brief Learned control points for a single query (Figure 4).
   void ControlPoints(const float* query, std::vector<float>* tau,
                      std::vector<float>* p);
+
+  /// \brief SweepCapable: one control-point evaluation, then one PWL lookup
+  /// per threshold. Bit-identical to Predict row expansion (the inference
+  /// fold is batch-size invariant and PiecewiseLinear mirrors the gather
+  /// op's interpolation arithmetic exactly).
+  std::vector<float> SweepEstimate(const float* x, const float* ts,
+                                   size_t count) override;
 
   std::vector<ag::Var> Params() const override;
 

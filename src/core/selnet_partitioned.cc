@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/pwl.h"
 #include "nn/optimizer.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -276,6 +277,40 @@ tensor::Matrix SelNetPartitioned::Predict(const tensor::Matrix& x,
       global = global ? ag::Add(global, masked) : masked;
     }
     for (size_t r = 0; r < b; ++r) out(begin + r, 0) = global->value(r, 0);
+  }
+  return out;
+}
+
+std::vector<float> SelNetPartitioned::SweepEstimate(const float* x,
+                                                    const float* ts,
+                                                    size_t count) {
+  SEL_CHECK(structure_built_);
+  size_t k = heads_.size();
+  tensor::Matrix xm(1, cfg_.base.input_dim);
+  std::copy(x, x + cfg_.base.input_dim, xm.row(0));
+  ag::Var xb = ag::Constant(std::move(xm));
+  ag::Var input = ag::ConcatCols(xb, ae_.Encode(xb));
+  // One control-point evaluation per cluster, reused for every threshold.
+  std::vector<PiecewiseLinear> curves;
+  curves.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    ControlHeads::Out heads = heads_[c].ForwardInference(input);
+    size_t knots = heads.tau->cols();
+    curves.emplace_back(
+        std::vector<float>(heads.tau->value.row(0),
+                           heads.tau->value.row(0) + knots),
+        std::vector<float>(heads.p->value.row(0),
+                           heads.p->value.row(0) + knots));
+  }
+  std::vector<float> out(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<uint8_t> fc = part_.Intersects(x, ts[i]);
+    // Mirror Predict's masked accumulation: cluster order, float adds, and
+    // exact zeros for inactive clusters (knot values are non-negative, so
+    // Predict's 0 * yhat is +0.0f too).
+    float acc = 0.0f;
+    for (size_t c = 0; c < k; ++c) acc += fc[c] ? curves[c](ts[i]) : 0.0f;
+    out[i] = acc;
   }
   return out;
 }

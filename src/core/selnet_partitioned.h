@@ -30,8 +30,8 @@ struct PartitionedConfig {
 };
 
 /// \brief SelNet with data partitioning (the paper's headline model).
-class SelNetPartitioned : public eval::Estimator, public nn::Module,
-                          public IncrementalModel {
+class SelNetPartitioned : public eval::Estimator, public eval::SweepCapable,
+                          public nn::Module, public IncrementalModel {
  public:
   explicit SelNetPartitioned(const PartitionedConfig& cfg);
 
@@ -42,6 +42,14 @@ class SelNetPartitioned : public eval::Estimator, public nn::Module,
 
   tensor::Matrix Predict(const tensor::Matrix& x,
                          const tensor::Matrix& t) override;
+
+  /// \brief SweepCapable: every cluster's control-point heads run once for
+  /// the query; each threshold then costs one fc-indicator check plus one PWL
+  /// lookup per active cluster, accumulated in the same cluster order (and
+  /// float arithmetic) as Predict — so the sweep is bit-identical to row
+  /// expansion.
+  std::vector<float> SweepEstimate(const float* x, const float* ts,
+                                   size_t count) override;
 
   /// \brief Incremental learning after updates (Section 5.4): recomputes
   /// local labels against the current database and continues training until

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "data/database.h"
 #include "data/workload.h"
@@ -11,7 +13,11 @@
 ///
 /// Every model from the evaluation section — SelNet and its ablations plus the
 /// nine baselines — is an `Estimator`, so the bench harness can train and
-/// score them uniformly.
+/// score them uniformly, and the serving layer (`serve::Servable`) can put any
+/// of them behind the same endpoint. `SweepCapable` is an optional capability
+/// for estimators whose per-query estimate is an explicit piecewise-linear
+/// function of the threshold, unlocking the one-pass threshold-sweep fast
+/// path.
 
 namespace selnet::eval {
 
@@ -43,6 +49,32 @@ class Estimator {
   /// (B x 1); returns B x 1 non-negative estimates.
   virtual tensor::Matrix Predict(const tensor::Matrix& x,
                                  const tensor::Matrix& t) = 0;
+};
+
+/// \brief Optional capability: answer a whole threshold sweep for one query
+/// from a single control-point evaluation.
+///
+/// Estimators whose estimate for a fixed query is an explicit piecewise-linear
+/// function of t (SelNet's Equation 1) can expose that structure: the
+/// implementation runs its control-point heads once and answers each threshold
+/// with one PWL lookup, so a K-threshold sweep costs one network forward
+/// instead of K batched Predict rows.
+///
+/// Contract:
+///  * `SweepEstimate(x, ts, k)[i] == Predict(x replicated k times, ts)(i, 0)`
+///    for every i — bit-exact, not merely close. SelNet's inference path is
+///    batch-size invariant (the GEMM kernels keep one per-element accumulation
+///    order), which is what makes this achievable.
+///  * Thresholds need not be sorted; each is answered independently.
+///  * Must be safe to call concurrently with Predict and with itself (the
+///    serving layer invokes it from pool workers against a shared snapshot).
+class SweepCapable {
+ public:
+  virtual ~SweepCapable() = default;
+
+  /// \brief Estimates for one query `x` (d floats) at each of ts[0..count).
+  virtual std::vector<float> SweepEstimate(const float* x, const float* ts,
+                                           size_t count) = 0;
 };
 
 }  // namespace selnet::eval

@@ -23,69 +23,113 @@ BatchScheduler::BatchScheduler(const SchedulerConfig& cfg, BatchFn batch_fn,
 
 BatchScheduler::~BatchScheduler() { Shutdown(); }
 
-std::future<float> BatchScheduler::Submit(const float* x, float t,
-                                          uint64_t tag) {
-  Request req;
-  req.x.assign(x, x + cfg_.dim);
-  req.t = t;
-  req.tag = tag;
-  req.enqueued = std::chrono::steady_clock::now();
-  std::future<float> result = req.promise.get_future();
+void BatchScheduler::SubmitRow(std::string model, const float* x, float t,
+                               RowDoneFn done) {
+  SEL_CHECK(done != nullptr);
+  Row row;
+  row.model = std::move(model);
+  row.x.assign(x, x + cfg_.dim);
+  row.t = t;
+  row.done = std::move(done);
+  row.enqueued = std::chrono::steady_clock::now();
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stop_) {
-    req.promise.set_exception(std::make_exception_ptr(
-        std::runtime_error("BatchScheduler is shut down")));
-    return result;
+    lock.unlock();
+    row.done(0.0f,
+             std::make_exception_ptr(
+                 std::runtime_error("BatchScheduler is shut down")),
+             0.0);
+    return;
   }
-  pending_.push_back(std::move(req));
+  pending_.push_back(std::move(row));
   if (pending_.size() >= cfg_.max_batch) {
     DispatchLocked(&lock);
   } else if (pending_.size() == 1) {
     // Only the empty->non-empty transition needs to arm the flusher's delay
-    // timer; waking it per request would cost a futex wake on the hot path.
+    // timer; waking it per row would cost a futex wake on the hot path.
     work_cv_.notify_one();
   }
+}
+
+std::future<float> BatchScheduler::Submit(const float* x, float t,
+                                          uint64_t tag, std::string model) {
+  auto promise = std::make_shared<std::promise<float>>();
+  std::future<float> result = promise->get_future();
+  // `this` stays valid for the callback's lifetime: rows only complete while
+  // a flush is in flight, and Shutdown() (run by the destructor) waits for
+  // in-flight flushes to drain.
+  SubmitRow(std::move(model), x, t,
+            [this, promise, tag](float value, std::exception_ptr error,
+                                 double latency_ms) {
+              if (error) {
+                promise->set_exception(error);
+                return;
+              }
+              if (on_complete_) on_complete_(tag, value, latency_ms);
+              promise->set_value(value);
+            });
   return result;
 }
 
 void BatchScheduler::DispatchLocked(std::unique_lock<std::mutex>* lock) {
   if (pending_.empty()) return;
-  std::vector<Request> batch;
+  std::vector<Row> batch;
   batch.swap(pending_);
   ++in_flight_batches_;
   lock->unlock();
   // Wrapped in shared_ptr because std::function requires a copyable callable
-  // and Request holds a move-only promise.
-  auto shared_batch = std::make_shared<std::vector<Request>>(std::move(batch));
+  // and copying a full batch of query vectors per dispatch would be wasteful.
+  auto shared_batch = std::make_shared<std::vector<Row>>(std::move(batch));
   pool_->Submit([this, shared_batch] { RunBatch(std::move(*shared_batch)); });
   lock->lock();
 }
 
-void BatchScheduler::RunBatch(std::vector<Request> batch) {
-  tensor::Matrix x(batch.size(), cfg_.dim);
-  tensor::Matrix t(batch.size(), 1);
+void BatchScheduler::RunBatch(std::vector<Row> batch) {
+  // Group rows by model route, preserving first-appearance order. The common
+  // case is every row on one model; the linear scan over a handful of groups
+  // is cheaper than hashing per row.
+  std::vector<std::pair<const std::string*, std::vector<size_t>>> groups;
   for (size_t i = 0; i < batch.size(); ++i) {
-    std::copy(batch[i].x.begin(), batch[i].x.end(), x.row(i));
-    t(i, 0) = batch[i].t;
-  }
-  try {
-    tensor::Matrix y = batch_fn_(x, t);
-    SEL_CHECK_EQ(y.rows(), batch.size());
-    auto done = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (on_complete_) {
-        double latency_ms =
-            std::chrono::duration<double, std::milli>(done -
-                                                      batch[i].enqueued)
-                .count();
-        on_complete_(batch[i].tag, y(i, 0), latency_ms);
-      }
-      batch[i].promise.set_value(y(i, 0));
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+      return *g.first == batch[i].model;
+    });
+    if (it == groups.end()) {
+      groups.emplace_back(&batch[i].model, std::vector<size_t>{i});
+    } else {
+      it->second.push_back(i);
     }
-  } catch (...) {
-    std::exception_ptr err = std::current_exception();
-    for (auto& req : batch) req.promise.set_exception(err);
+  }
+
+  for (const auto& [model, rows] : groups) {
+    tensor::Matrix x(rows.size(), cfg_.dim);
+    tensor::Matrix t(rows.size(), 1);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = batch[rows[i]];
+      std::copy(row.x.begin(), row.x.end(), x.row(i));
+      t(i, 0) = row.t;
+    }
+    try {
+      tensor::Matrix y = batch_fn_(*model, x, t);
+      SEL_CHECK_EQ(y.rows(), rows.size());
+      auto done = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        Row& row = batch[rows[i]];
+        double latency_ms =
+            std::chrono::duration<double, std::milli>(done - row.enqueued)
+                .count();
+        row.done(y(i, 0), nullptr, latency_ms);
+      }
+    } catch (...) {
+      std::exception_ptr err = std::current_exception();
+      auto done = std::chrono::steady_clock::now();
+      for (size_t i : rows) {
+        double latency_ms = std::chrono::duration<double, std::milli>(
+                                done - batch[i].enqueued)
+                                .count();
+        batch[i].done(0.0f, err, latency_ms);
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -103,8 +147,8 @@ void BatchScheduler::FlusherLoop() {
   for (;;) {
     work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
     if (stop_ && pending_.empty()) return;
-    // Oldest request sets the deadline; flush when it expires or the batch
-    // fills (Submit dispatches full batches itself, so waking with an empty
+    // Oldest row sets the deadline; flush when it expires or the batch fills
+    // (SubmitRow dispatches full batches itself, so waking with an empty
     // queue just loops back to waiting).
     auto deadline = pending_.front().enqueued +
                     std::chrono::duration_cast<

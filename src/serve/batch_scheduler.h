@@ -6,6 +6,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -13,44 +14,60 @@
 #include "util/thread_pool.h"
 
 /// \file batch_scheduler.h
-/// \brief Request coalescing: many single (x, t) estimates -> few batched
-/// Predict calls.
+/// \brief Request coalescing: many single (x, t) rows -> few batched Predict
+/// calls, routed per model.
 ///
 /// Single-row SelNet prediction pays the full autograd-graph construction
 /// cost per call; batching B rows through one forward pass amortizes it and
 /// lets the GEMM kernels run at full width. The scheduler buffers incoming
-/// requests and flushes a batch when either `max_batch` requests are pending
-/// or the oldest pending request has waited `max_delay`. Flushed batches are
-/// dispatched to a util::ThreadPool via SubmitWithResult, so multiple batches
-/// can be in flight while the flusher keeps accepting requests.
+/// rows and flushes a batch when either `max_batch` rows are pending or the
+/// oldest pending row has waited `max_delay`. Flushed batches are dispatched
+/// to a util::ThreadPool via Submit, so multiple batches can be in flight
+/// while the flusher keeps accepting rows.
 ///
-/// The batch function is grabbed per flush, which is what makes hot-swap
-/// work: the server installs a function that resolves the current registry
-/// snapshot at flush time, so a republished model takes effect at the next
-/// batch boundary without failing in-flight requests.
+/// Rows carry a model route: a flush groups its rows by model name (in
+/// first-appearance order) and issues one batch function call per distinct
+/// model, so requests to different registry slots coalesce independently
+/// inside one flush window. The batch function resolves the model snapshot
+/// per call, which is what makes hot-swap work: a republished model takes
+/// effect at the next batch boundary without failing in-flight rows.
+///
+/// Two submission styles:
+///  * `SubmitRow` hands each row a completion callback — the server's
+///    request-object path uses this to aggregate K rows of one
+///    EstimateRequest without one promise per row;
+///  * `Submit` is the future-returning compatibility wrapper on top of it.
 
 namespace selnet::serve {
 
 /// \brief Batching policy.
 struct SchedulerConfig {
-  size_t dim = 0;            ///< Query dimensionality (required).
-  size_t max_batch = 64;     ///< Flush when this many requests are pending.
-  double max_delay_ms = 0.2; ///< Flush when the oldest request is this old.
+  /// Query dimensionality. Required for standalone use; SelNetServer treats 0
+  /// as "inherit ServerConfig::dim" and rejects any other mismatching value.
+  size_t dim = 0;
+  size_t max_batch = 64;     ///< Flush when this many rows are pending.
+  double max_delay_ms = 0.2; ///< Flush when the oldest row is this old.
   util::ThreadPool* pool = nullptr;  ///< Execution pool; null = Global().
 };
 
-/// \brief Coalesces single estimate requests into batched Predict calls.
+/// \brief Coalesces single estimate rows into batched Predict calls.
 class BatchScheduler {
  public:
-  /// Evaluates a B x dim query matrix and B x 1 thresholds into B x 1
-  /// estimates. Must be safe to call concurrently from pool workers.
-  using BatchFn =
-      std::function<tensor::Matrix(const tensor::Matrix& x,
-                                   const tensor::Matrix& t)>;
-  /// Observer invoked once per request after its batch completes, with the
-  /// request's tag, computed estimate, and queue+compute latency in
-  /// milliseconds (used for stats; cache fill happens inside the batch fn
-  /// where the model version is known).
+  /// Evaluates a B x dim query matrix and B x 1 thresholds against `model`
+  /// into B x 1 estimates. Must be safe to call concurrently from pool
+  /// workers. Throwing fails every row of that model group.
+  using BatchFn = std::function<tensor::Matrix(
+      const std::string& model, const tensor::Matrix& x,
+      const tensor::Matrix& t)>;
+  /// Per-row completion: the estimate (or the error that failed its batch)
+  /// plus queue+compute latency in milliseconds. Invoked from a pool worker.
+  using RowDoneFn =
+      std::function<void(float value, std::exception_ptr error,
+                         double latency_ms)>;
+  /// Observer invoked once per future-based request after its batch
+  /// completes, with the request's tag, computed estimate, and latency
+  /// (used for stats; cache fill happens inside the batch fn where the model
+  /// version is known).
   using CompletionFn =
       std::function<void(uint64_t tag, float value, double latency_ms)>;
 
@@ -61,12 +78,17 @@ class BatchScheduler {
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  /// \brief Enqueue one request; the future resolves when its batch runs.
-  /// `x` must point at `dim` floats (copied before returning). `tag` is
-  /// passed through to the completion observer.
-  std::future<float> Submit(const float* x, float t, uint64_t tag = 0);
+  /// \brief Enqueue one row routed to `model`; `done` fires when its batch
+  /// runs (immediately, with an error, if the scheduler is shut down). `x`
+  /// must point at `dim` floats (copied before returning).
+  void SubmitRow(std::string model, const float* x, float t, RowDoneFn done);
 
-  /// \brief Block until every request submitted so far has been answered.
+  /// \brief Future-returning wrapper over SubmitRow. `tag` is passed through
+  /// to the completion observer.
+  std::future<float> Submit(const float* x, float t, uint64_t tag = 0,
+                            std::string model = "");
+
+  /// \brief Block until every row submitted so far has been answered.
   void Drain();
 
   /// \brief Stop accepting work and drain; called by the destructor.
@@ -75,19 +97,20 @@ class BatchScheduler {
   const SchedulerConfig& config() const { return cfg_; }
 
  private:
-  struct Request {
+  struct Row {
+    std::string model;
     std::vector<float> x;
     float t = 0.0f;
-    uint64_t tag = 0;
-    std::promise<float> promise;
+    RowDoneFn done;
     std::chrono::steady_clock::time_point enqueued;
   };
 
   void FlusherLoop();
   /// Moves `pending_` out and dispatches it to the pool. Caller holds mu_.
   void DispatchLocked(std::unique_lock<std::mutex>* lock);
-  /// Runs one batch on a pool worker.
-  void RunBatch(std::vector<Request> batch);
+  /// Runs one flush on a pool worker: group rows by model, one batch fn call
+  /// per group.
+  void RunBatch(std::vector<Row> batch);
 
   SchedulerConfig cfg_;
   BatchFn batch_fn_;
@@ -97,7 +120,7 @@ class BatchScheduler {
   std::mutex mu_;
   std::condition_variable work_cv_;   ///< Wakes the flusher.
   std::condition_variable drain_cv_;  ///< Wakes Drain()/Shutdown().
-  std::vector<Request> pending_;
+  std::vector<Row> pending_;
   size_t in_flight_batches_ = 0;
   bool stop_ = false;
   std::thread flusher_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/model_io.h"
+#include "core/selnet_ct.h"
 
 namespace selnet::serve {
 
@@ -10,10 +11,11 @@ using util::Result;
 using util::Status;
 
 uint64_t ModelRegistry::Publish(const std::string& name,
-                                std::shared_ptr<core::SelNetCt> model) {
+                                std::shared_ptr<eval::Estimator> model) {
+  Servable servable(std::move(model));  // Capability cast outside the lock.
   std::lock_guard<std::mutex> lock(mu_);
   ModelHandle& slot = models_[name];
-  slot.model = std::move(model);
+  slot.model = std::move(servable);
   slot.version = next_version_++;
   slot.name = name;
   return slot.version;
@@ -23,8 +25,13 @@ Result<uint64_t> ModelRegistry::PublishFromFile(const std::string& name,
                                                 const std::string& path) {
   Result<std::unique_ptr<core::SelNetCt>> loaded = core::LoadModel(path);
   if (!loaded.ok()) return loaded.status();
-  return Publish(name,
-                 std::shared_ptr<core::SelNetCt>(loaded.MoveValueUnsafe()));
+  std::shared_ptr<core::SelNetCt> model(loaded.MoveValueUnsafe());
+  // A deserialized model's parameters were written wholesale; enforce the
+  // fold-cache contract at the publish boundary rather than trusting every
+  // loader path to have done it — a stale folded output layer would serve
+  // wrong estimates silently.
+  model->InvalidateInferenceCache();
+  return Publish(name, std::move(model));
 }
 
 Result<ModelHandle> ModelRegistry::Get(const std::string& name) const {

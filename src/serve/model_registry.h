@@ -7,30 +7,34 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/selnet_ct.h"
+#include "serve/servable.h"
 #include "util/status.h"
 
 /// \file model_registry.h
 /// \brief Named, versioned snapshots of trained estimators with atomic
 /// hot-swap.
 ///
-/// Serving threads call Get() and receive a shared_ptr snapshot; the updater
-/// path (core::UpdateManager retraining, or an offline training job writing a
-/// SaveModel file) calls Publish() with a replacement. Publication is one
-/// pointer swap under a mutex — in-flight queries keep the old snapshot alive
-/// through their shared_ptr until the last one drains, so a republish can
-/// never fail a query. Snapshots must be treated as immutable after
-/// Publish(): concurrent Predict is safe, concurrent Fit is not.
+/// The registry is estimator-agnostic: it stores any `eval::Estimator` behind
+/// a `Servable` wrapper, so SelNet variants and the baselines are served and
+/// A/B-compared through the same endpoint. Serving threads call Get() and
+/// receive a shared snapshot; the updater path (core::UpdateManager
+/// retraining, or an offline training job writing a SaveModel file) calls
+/// Publish() with a replacement. Publication is one pointer swap under a
+/// mutex — in-flight queries keep the old snapshot alive through their
+/// shared_ptr until the last one drains, so a republish can never fail a
+/// query. Snapshots must be treated as immutable after Publish(): concurrent
+/// Predict is safe, concurrent Fit is not.
 
 namespace selnet::serve {
 
-/// \brief One published snapshot: the model plus its registry version.
+/// \brief One published snapshot: the servable model plus its registry
+/// version. `model->` reaches the underlying eval::Estimator.
 struct ModelHandle {
-  std::shared_ptr<core::SelNetCt> model;
+  Servable model;
   uint64_t version = 0;  ///< Globally unique, monotonically increasing.
   std::string name;
 
-  explicit operator bool() const { return model != nullptr; }
+  explicit operator bool() const { return bool(model); }
 };
 
 /// \brief Thread-safe name -> versioned model snapshot map.
@@ -40,9 +44,11 @@ class ModelRegistry {
   /// version assigned to it. The registry takes shared ownership; the caller
   /// must not mutate the model afterwards.
   uint64_t Publish(const std::string& name,
-                   std::shared_ptr<core::SelNetCt> model);
+                   std::shared_ptr<eval::Estimator> model);
 
-  /// \brief Load a core::SaveModel file and publish it under `name`.
+  /// \brief Load a core::SaveModel file and publish it under `name`. The
+  /// loaded model's inference fold cache is invalidated before publication,
+  /// so a file-loaded model can never serve a stale folded output layer.
   util::Result<uint64_t> PublishFromFile(const std::string& name,
                                          const std::string& path);
 

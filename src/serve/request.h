@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file request.h
+/// \brief The serving protocol: EstimateRequest in, EstimateResponse out.
+///
+/// One request carries one query vector and one *or many* thresholds, plus an
+/// optional model route. This is the single entry shape for every serving
+/// pattern:
+///  * a scalar estimate is a request with one threshold — it joins the
+///    cross-request coalesced batch like before;
+///  * a threshold sweep is a request with K thresholds — answered in one pass
+///    through the SweepCapable fast path when the routed model supports it,
+///    or transparently row-expanded into the batch scheduler when it does
+///    not;
+///  * A/B serving is two requests differing only in `model`.
+///
+/// The request owns its data (`x` and `thresholds` are copied in), so the
+/// caller's buffers may be reused the moment Submit returns.
+
+namespace selnet::serve {
+
+/// \brief One estimation request: a query, 1..K thresholds, and a route.
+struct EstimateRequest {
+  /// Registry slot to answer from; empty routes to the server's default
+  /// model (`ServerConfig::model_name`).
+  std::string model;
+  /// The query vector; must hold exactly `ServerConfig::dim` floats.
+  std::vector<float> x;
+  /// Thresholds to estimate at; must be non-empty. When sorted ascending the
+  /// response column is guaranteed non-decreasing (the paper's consistency
+  /// guarantee, plus a running-max repair across cache-quantum artifacts).
+  std::vector<float> thresholds;
+  /// Opaque caller tag, echoed in the response.
+  uint64_t tag = 0;
+
+  /// \brief A single-threshold request (the scalar compatibility shape).
+  static EstimateRequest Point(const float* x, size_t dim, float t,
+                               std::string model = "") {
+    EstimateRequest req;
+    req.model = std::move(model);
+    req.x.assign(x, x + dim);
+    req.thresholds.assign(1, t);
+    return req;
+  }
+
+  /// \brief A threshold-sweep request; pass `ts` sorted ascending to get the
+  /// monotone-column guarantee.
+  static EstimateRequest Sweep(const float* x, size_t dim,
+                               std::vector<float> ts, std::string model = "") {
+    EstimateRequest req;
+    req.model = std::move(model);
+    req.x.assign(x, x + dim);
+    req.thresholds = std::move(ts);
+    return req;
+  }
+};
+
+/// \brief The answer to one EstimateRequest.
+struct EstimateResponse {
+  /// One estimate per requested threshold, in request order.
+  std::vector<float> estimates;
+  /// Registry slot that answered.
+  std::string model;
+  /// Model version the request was admitted against. Rows that miss the
+  /// cache resolve their snapshot at batch-flush time, so after a concurrent
+  /// republish individual estimates may come from a newer version.
+  uint64_t version = 0;
+  /// How many thresholds were answered from the cache.
+  uint32_t cache_hits = 0;
+  /// True when the SweepCapable control-point fast path answered the
+  /// uncached thresholds in one pass.
+  bool fast_path = false;
+  /// Echo of EstimateRequest::tag.
+  uint64_t tag = 0;
+};
+
+}  // namespace selnet::serve

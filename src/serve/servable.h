@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "eval/estimator.h"
+
+/// \file servable.h
+/// \brief Type erasure between the registry and the models it serves.
+///
+/// The serving stack speaks `eval::Estimator` — the exact interface the bench
+/// harness scores models through — so anything that can be evaluated can be
+/// served: SelNet-ct, the partitioned SelNet, and all nine baselines, behind
+/// one endpoint. `Servable` wraps the shared snapshot and resolves the
+/// optional `eval::SweepCapable` capability once at publish time (one
+/// dynamic_cast per Publish, zero per request).
+
+namespace selnet::serve {
+
+/// \brief A type-erased, capability-probed handle to a served estimator.
+class Servable {
+ public:
+  Servable() = default;
+  explicit Servable(std::shared_ptr<eval::Estimator> estimator)
+      : estimator_(std::move(estimator)),
+        sweep_(dynamic_cast<eval::SweepCapable*>(estimator_.get())) {}
+
+  eval::Estimator* get() const { return estimator_.get(); }
+  eval::Estimator* operator->() const { return estimator_.get(); }
+  eval::Estimator& operator*() const { return *estimator_; }
+  explicit operator bool() const { return estimator_ != nullptr; }
+
+  /// \brief True when the wrapped model can answer a threshold sweep from one
+  /// control-point evaluation (`eval::SweepCapable`).
+  bool sweep_capable() const { return sweep_ != nullptr; }
+
+  /// \brief The capability interface; null unless sweep_capable().
+  eval::SweepCapable* sweep() const { return sweep_; }
+
+ private:
+  std::shared_ptr<eval::Estimator> estimator_;
+  eval::SweepCapable* sweep_ = nullptr;  ///< Cached capability cast.
+};
+
+}  // namespace selnet::serve

@@ -28,6 +28,8 @@ void ServeStats::Reset() {
   cache_misses_.store(0, std::memory_order_relaxed);
   batches_.store(0, std::memory_order_relaxed);
   batched_requests_.store(0, std::memory_order_relaxed);
+  sweeps_.store(0, std::memory_order_relaxed);
+  sweep_fastpath_.store(0, std::memory_order_relaxed);
   swaps_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(lat_mu_);
   lat_next_ = 0;
@@ -54,6 +56,8 @@ StatsSnapshot ServeStats::Snapshot() const {
   s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.sweeps = sweeps_.load(std::memory_order_relaxed);
+  s.sweep_fastpath = sweep_fastpath_.load(std::memory_order_relaxed);
   s.swaps = swaps_.load(std::memory_order_relaxed);
 
   std::vector<double> samples;
@@ -93,6 +97,8 @@ std::string ServeStats::Report(const std::string& title) const {
   table.AddRow({"cache hit rate", util::AsciiTable::Num(s.cache_hit_rate, 4)});
   table.AddRow({"batches", std::to_string(s.batches)});
   table.AddRow({"avg batch size", util::AsciiTable::Num(s.avg_batch_size, 2)});
+  table.AddRow({"sweeps", std::to_string(s.sweeps)});
+  table.AddRow({"sweep fast-path", std::to_string(s.sweep_fastpath)});
   table.AddRow({"model swaps", std::to_string(s.swaps)});
   return title + "\n" + table.ToString();
 }

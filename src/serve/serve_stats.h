@@ -26,6 +26,8 @@ struct StatsSnapshot {
   uint64_t cache_misses = 0;
   uint64_t batches = 0;         ///< Batched Predict calls issued.
   uint64_t batched_requests = 0;  ///< Requests answered through batches.
+  uint64_t sweeps = 0;          ///< Multi-threshold requests submitted.
+  uint64_t sweep_fastpath = 0;  ///< Sweeps answered via SweepCapable.
   uint64_t swaps = 0;           ///< Model hot-swaps observed.
   double elapsed_seconds = 0.0;
   double qps = 0.0;
@@ -49,6 +51,12 @@ class ServeStats {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
   void RecordSwap() { swaps_.fetch_add(1, std::memory_order_relaxed); }
+  /// \brief One multi-threshold request; `fast_path` when the SweepCapable
+  /// control-point path answered it.
+  void RecordSweep(bool fast_path) {
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    if (fast_path) sweep_fastpath_.fetch_add(1, std::memory_order_relaxed);
+  }
   void RecordBatch(size_t batch_size);
   void RecordLatencyMs(double ms);
 
@@ -66,6 +74,8 @@ class ServeStats {
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<uint64_t> sweeps_{0};
+  std::atomic<uint64_t> sweep_fastpath_{0};
   std::atomic<uint64_t> swaps_{0};
 
   mutable std::mutex lat_mu_;

@@ -1,6 +1,8 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -12,162 +14,363 @@ namespace selnet::serve {
 using util::Result;
 using util::Status;
 
+/// Aggregation state for one in-flight EstimateRequest. Rows (or the sweep
+/// job) write disjoint estimate slots from pool workers; whoever completes
+/// the last slot finalizes the completion callback.
+struct SelNetServer::PendingResponse {
+  ResponseFn done;
+  EstimateResponse resp;
+  bool sorted = false;               ///< Thresholds ascending -> repair pass.
+  std::atomic<size_t> remaining{0};  ///< Outstanding scheduler rows.
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  void RecordError(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!error) error = std::move(e);
+  }
+
+  /// Invoke `done` exactly once: the first recorded error wins; otherwise
+  /// repair a sorted sweep to a non-decreasing column. The served estimator
+  /// is monotone, but cache hits may come from a quantized-neighbour query
+  /// and fallback rows may straddle a republish, either of which can dent
+  /// the column by a hair — the running max restores the documented
+  /// guarantee unconditionally.
+  void Finalize() {
+    {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (error) {
+        done(EstimateResponse{}, error);
+        return;
+      }
+    }
+    if (sorted) {
+      for (size_t i = 1; i < resp.estimates.size(); ++i) {
+        resp.estimates[i] = std::max(resp.estimates[i], resp.estimates[i - 1]);
+      }
+    }
+    done(std::move(resp), nullptr);
+  }
+};
+
 SelNetServer::SelNetServer(const ServerConfig& cfg)
     : cfg_(cfg), cache_(cfg.cache) {
-  SEL_CHECK(cfg_.dim > 0);
+  SEL_CHECK_MSG(cfg_.dim > 0, "ServerConfig.dim is required");
+  // Satellite of the dim-duplication fix: ServerConfig.dim is the single
+  // source of truth. A scheduler dim of 0 inherits it; anything else must
+  // already agree — silently overwriting a conflicting value hid bugs.
+  SEL_CHECK_MSG(
+      cfg_.scheduler.dim == 0 || cfg_.scheduler.dim == cfg_.dim,
+      "SchedulerConfig.dim conflicts with ServerConfig.dim; leave it 0");
+  cfg_.scheduler.dim = cfg_.dim;
+  pool_ = cfg_.scheduler.pool != nullptr ? cfg_.scheduler.pool
+                                         : &util::ThreadPool::Global();
   if (cfg_.enable_batching) {
-    SchedulerConfig sched_cfg = cfg_.scheduler;
-    sched_cfg.dim = cfg_.dim;
     scheduler_ = std::make_unique<BatchScheduler>(
-        sched_cfg,
-        [this](const tensor::Matrix& x, const tensor::Matrix& t) {
-          return PredictOnCurrent(x, t);
-        },
-        [this](uint64_t /*tag*/, float /*value*/, double latency_ms) {
-          stats_.RecordLatencyMs(latency_ms);
-        });
+        cfg_.scheduler,
+        [this](const std::string& model, const tensor::Matrix& x,
+               const tensor::Matrix& t) { return PredictOnModel(model, x, t); });
   }
 }
 
 SelNetServer::~SelNetServer() {
   if (scheduler_) scheduler_->Shutdown();
+  // Fast-path sweep jobs reference this object; wait for this server's own
+  // jobs (not the whole pool — it is typically shared).
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  sweep_cv_.wait(lock, [this] { return sweep_inflight_ == 0; });
 }
 
-uint64_t SelNetServer::Publish(std::shared_ptr<core::SelNetCt> model) {
-  uint64_t version = registry_.Publish(cfg_.model_name, std::move(model));
+uint64_t SelNetServer::Publish(std::shared_ptr<eval::Estimator> model) {
+  return Publish(cfg_.model_name, std::move(model));
+}
+
+uint64_t SelNetServer::Publish(const std::string& name,
+                               std::shared_ptr<eval::Estimator> model) {
+  uint64_t version = registry_.Publish(name, std::move(model));
   stats_.RecordSwap();
   return version;
 }
 
 Result<uint64_t> SelNetServer::PublishFromFile(const std::string& path) {
-  Result<uint64_t> version = registry_.PublishFromFile(cfg_.model_name, path);
+  return PublishFromFile(cfg_.model_name, path);
+}
+
+Result<uint64_t> SelNetServer::PublishFromFile(const std::string& name,
+                                               const std::string& path) {
+  Result<uint64_t> version = registry_.PublishFromFile(name, path);
   if (version.ok()) stats_.RecordSwap();
   return version;
 }
 
-tensor::Matrix SelNetServer::PredictOnCurrent(const tensor::Matrix& x,
-                                              const tensor::Matrix& t) {
-  Result<ModelHandle> handle = registry_.Get(cfg_.model_name);
-  if (!handle.ok()) {
-    throw std::runtime_error("SelNetServer: " + handle.status().ToString());
-  }
-  const ModelHandle& h = handle.ValueOrDie();
-  tensor::Matrix y = h.model->Predict(x, t);
+tensor::Matrix SelNetServer::PredictOnHandle(const ModelHandle& handle,
+                                             const tensor::Matrix& x,
+                                             const tensor::Matrix& t) {
+  tensor::Matrix y = handle.model->Predict(x, t);
   stats_.RecordBatch(x.rows());
   if (cfg_.enable_cache) {
     for (size_t i = 0; i < x.rows(); ++i) {
-      uint64_t key = cache_.MakeKey(h.version, x.row(i), cfg_.dim, t(i, 0));
+      uint64_t key =
+          cache_.MakeKey(handle.version, x.row(i), cfg_.dim, t(i, 0));
       cache_.Insert(key, y(i, 0));
     }
   }
   return y;
 }
 
-std::future<float> SelNetServer::EstimateAsync(const float* x, float t) {
-  stats_.RecordRequest();
-  if (cfg_.enable_cache) {
-    uint64_t version = registry_.VersionOf(cfg_.model_name);
-    if (version != 0) {
-      uint64_t key = cache_.MakeKey(version, x, cfg_.dim, t);
-      float cached = 0.0f;
-      if (cache_.Lookup(key, &cached)) {
-        stats_.RecordCacheHit();
-        std::promise<float> ready;
-        ready.set_value(cached);
-        return ready.get_future();
-      }
-      stats_.RecordCacheMiss();
-    }
+tensor::Matrix SelNetServer::PredictOnModel(const std::string& model,
+                                            const tensor::Matrix& x,
+                                            const tensor::Matrix& t) {
+  Result<ModelHandle> handle = registry_.Get(model);
+  if (!handle.ok()) {
+    throw std::runtime_error("SelNetServer: " + handle.status().ToString());
   }
-  if (scheduler_) return scheduler_->Submit(x, t);
+  return PredictOnHandle(handle.ValueOrDie(), x, t);
+}
 
-  // Unbatched path: one-row Predict inline (the throughput baseline).
-  std::promise<float> result;
-  std::future<float> future = result.get_future();
+void SelNetServer::RunSweepFastPath(
+    const std::shared_ptr<PendingResponse>& state, const EstimateRequest& req,
+    const ModelHandle& handle, const std::vector<size_t>& missing,
+    std::chrono::steady_clock::time_point enqueued) {
+  try {
+    std::vector<float> ts(missing.size());
+    for (size_t r = 0; r < missing.size(); ++r) {
+      ts[r] = req.thresholds[missing[r]];
+    }
+    std::vector<float> values =
+        handle.model.sweep()->SweepEstimate(req.x.data(), ts.data(), ts.size());
+    if (values.size() != missing.size()) {
+      // A SweepCapable contract violation is a bug in the *published model*,
+      // not a server invariant — fail the request, never the process.
+      throw std::runtime_error(
+          "SelNetServer: SweepEstimate on '" + handle.name + "' returned " +
+          std::to_string(values.size()) + " values for " +
+          std::to_string(missing.size()) + " thresholds");
+    }
+    // Latency from submit (pool queueing included), recorded undivided per
+    // threshold: every threshold waited the full wall time, exactly like
+    // scheduler rows record their full enqueue -> batch-done time.
+    double elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - enqueued)
+                            .count();
+    for (size_t r = 0; r < missing.size(); ++r) {
+      state->resp.estimates[missing[r]] = values[r];
+      if (cfg_.enable_cache) {
+        uint64_t key =
+            cache_.MakeKey(handle.version, req.x.data(), cfg_.dim, ts[r]);
+        cache_.Insert(key, values[r]);
+      }
+      stats_.RecordLatencyMs(elapsed_ms);
+    }
+  } catch (...) {
+    state->RecordError(std::current_exception());
+  }
+  state->Finalize();
+}
+
+std::future<EstimateResponse> SelNetServer::Submit(EstimateRequest req) {
+  auto promise = std::make_shared<std::promise<EstimateResponse>>();
+  std::future<EstimateResponse> result = promise->get_future();
+  SubmitWith(std::move(req),
+             [promise](EstimateResponse&& resp, std::exception_ptr error) {
+               if (error) {
+                 promise->set_exception(error);
+               } else {
+                 promise->set_value(std::move(resp));
+               }
+             });
+  return result;
+}
+
+void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
+  SEL_CHECK(done != nullptr);
+  // Malformed requests fail the request, never the process: this is client
+  // input, not a server invariant.
+  if (req.x.size() != cfg_.dim || req.thresholds.empty()) {
+    done(EstimateResponse{},
+         std::make_exception_ptr(std::invalid_argument(
+             "SelNetServer: EstimateRequest must carry ServerConfig.dim "
+             "floats in x (got " +
+             std::to_string(req.x.size()) + ", want " +
+             std::to_string(cfg_.dim) + ") and at least one threshold")));
+    return;
+  }
+  const size_t k = req.thresholds.size();
+  auto state = std::make_shared<PendingResponse>();
+  state->done = std::move(done);
+  state->resp.model =
+      req.model.empty() ? cfg_.model_name : std::move(req.model);
+  state->resp.estimates.assign(k, 0.0f);
+  state->resp.tag = req.tag;
+  state->sorted =
+      k > 1 && std::is_sorted(req.thresholds.begin(), req.thresholds.end());
+  const auto enqueued = std::chrono::steady_clock::now();
+
+  // One logical estimate per threshold: QPS and hit-rate stay comparable
+  // across request shapes.
+  for (size_t i = 0; i < k; ++i) stats_.RecordRequest();
+
+  // Pin the routed snapshot: the cache pre-pass, the fast path, and the
+  // unbatched fallback all answer against this version.
+  Result<ModelHandle> handle = registry_.Get(state->resp.model);
+  if (!handle.ok()) {
+    state->RecordError(std::make_exception_ptr(
+        std::runtime_error("SelNetServer: " + handle.status().ToString())));
+    state->Finalize();
+    return;
+  }
+  const ModelHandle& h = handle.ValueOrDie();
+  state->resp.version = h.version;
+
+  std::vector<size_t> missing;
+  missing.reserve(k);
+  if (cfg_.enable_cache) {
+    for (size_t i = 0; i < k; ++i) {
+      uint64_t key =
+          cache_.MakeKey(h.version, req.x.data(), cfg_.dim, req.thresholds[i]);
+      if (cache_.Lookup(key, &state->resp.estimates[i])) {
+        stats_.RecordCacheHit();
+        ++state->resp.cache_hits;
+      } else {
+        stats_.RecordCacheMiss();
+        missing.push_back(i);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) missing.push_back(i);
+  }
+
+  bool fast_path = cfg_.enable_sweep_fastpath && h.model.sweep_capable() &&
+                   missing.size() >= cfg_.sweep_fastpath_min;
+  if (k > 1) stats_.RecordSweep(fast_path);
+  if (missing.empty()) {
+    state->Finalize();
+    return;
+  }
+
+  if (fast_path) {
+    state->resp.fast_path = true;
+    if (scheduler_) {
+      // Off the caller's thread, like any other miss. shared_ptr wrappers
+      // because ThreadPool tasks must be copyable.
+      auto shared_req = std::make_shared<EstimateRequest>(std::move(req));
+      auto shared_missing =
+          std::make_shared<std::vector<size_t>>(std::move(missing));
+      {
+        std::lock_guard<std::mutex> lock(sweep_mu_);
+        ++sweep_inflight_;
+      }
+      pool_->Submit([this, state, shared_req, h, shared_missing, enqueued] {
+        RunSweepFastPath(state, *shared_req, h, *shared_missing, enqueued);
+        std::lock_guard<std::mutex> lock(sweep_mu_);
+        --sweep_inflight_;
+        sweep_cv_.notify_all();
+      });
+    } else {
+      RunSweepFastPath(state, req, h, missing, enqueued);
+    }
+    return;
+  }
+
+  if (scheduler_) {
+    // Row expansion: each missing threshold joins the cross-request
+    // coalesced batch (SubmitRow copies x before returning, so `req` may
+    // die). Rows resolve their snapshot at flush time; the sorted-sweep
+    // repair in Finalize absorbs any mid-sweep republish.
+    state->remaining.store(missing.size(), std::memory_order_relaxed);
+    for (size_t idx : missing) {
+      scheduler_->SubmitRow(
+          state->resp.model, req.x.data(), req.thresholds[idx],
+          [this, state, idx](float value, std::exception_ptr error,
+                             double latency_ms) {
+            if (error) {
+              state->RecordError(std::move(error));
+            } else {
+              state->resp.estimates[idx] = value;
+              stats_.RecordLatencyMs(latency_ms);
+            }
+            if (state->remaining.fetch_sub(1) == 1) state->Finalize();
+          });
+    }
+    return;
+  }
+
+  // Unbatched path: one Predict over the missing rows on the pinned
+  // snapshot, inline on the caller (the throughput baseline).
   util::Stopwatch watch;
   try {
-    tensor::Matrix xm(1, cfg_.dim);
-    std::copy(x, x + cfg_.dim, xm.row(0));
-    tensor::Matrix tm(1, 1);
-    tm(0, 0) = t;
-    tensor::Matrix y = PredictOnCurrent(xm, tm);
-    stats_.RecordLatencyMs(watch.ElapsedMillis());
-    result.set_value(y(0, 0));
+    tensor::Matrix xm(missing.size(), cfg_.dim);
+    tensor::Matrix tm(missing.size(), 1);
+    for (size_t r = 0; r < missing.size(); ++r) {
+      std::copy(req.x.begin(), req.x.end(), xm.row(r));
+      tm(r, 0) = req.thresholds[missing[r]];
+    }
+    tensor::Matrix y = PredictOnHandle(h, xm, tm);
+    // Undivided per threshold, consistent with the other paths: each
+    // threshold waited the whole Predict.
+    double elapsed_ms = watch.ElapsedMillis();
+    for (size_t r = 0; r < missing.size(); ++r) {
+      state->resp.estimates[missing[r]] = y(r, 0);
+      stats_.RecordLatencyMs(elapsed_ms);
+    }
   } catch (...) {
-    result.set_exception(std::current_exception());
+    state->RecordError(std::current_exception());
   }
-  return future;
+  state->Finalize();
+}
+
+std::future<float> SelNetServer::EstimateAsync(const float* x, float t) {
+  // A real promise-backed future (not a deferred adapter): wait_for/wait_until
+  // report ready as soon as the response lands, like the pre-request-object
+  // API did.
+  auto promise = std::make_shared<std::promise<float>>();
+  std::future<float> result = promise->get_future();
+  SubmitWith(EstimateRequest::Point(x, cfg_.dim, t),
+             [promise](EstimateResponse&& resp, std::exception_ptr error) {
+               if (error) {
+                 promise->set_exception(error);
+               } else {
+                 promise->set_value(resp.estimates[0]);
+               }
+             });
+  return result;
 }
 
 Result<float> SelNetServer::Estimate(const float* x, float t) {
-  if (registry_.VersionOf(cfg_.model_name) == 0) {
-    return Status::NotFound("no model published under '" + cfg_.model_name +
-                            "'");
-  }
   try {
-    return EstimateAsync(x, t).get();
+    EstimateResponse resp =
+        Submit(EstimateRequest::Point(x, cfg_.dim, t)).get();
+    return resp.estimates[0];
   } catch (const std::exception& e) {
+    if (registry_.VersionOf(cfg_.model_name) == 0) {
+      return Status::NotFound("no model published under '" + cfg_.model_name +
+                              "'");
+    }
     return Status::Internal(e.what());
   }
 }
 
 Result<std::vector<float>> SelNetServer::EstimateSweep(
     const float* x, const std::vector<float>& ts) {
-  // The whole sweep is pinned to ONE registry snapshot: answering thresholds
-  // from different versions across a concurrent republish could interleave
-  // two (individually monotone) estimators into a non-monotone result, and
-  // the header promises callers a non-decreasing column.
-  Result<ModelHandle> handle = registry_.Get(cfg_.model_name);
-  if (!handle.ok()) return handle.status();
-  const ModelHandle& h = handle.ValueOrDie();
-
-  std::vector<float> estimates(ts.size(), 0.0f);
-  std::vector<size_t> missing;
-  for (size_t i = 0; i < ts.size(); ++i) {
-    stats_.RecordRequest();
-    if (cfg_.enable_cache) {
-      uint64_t key = cache_.MakeKey(h.version, x, cfg_.dim, ts[i]);
-      if (cache_.Lookup(key, &estimates[i])) {
-        stats_.RecordCacheHit();
-        continue;
-      }
-      stats_.RecordCacheMiss();
+  if (ts.empty()) return std::vector<float>{};
+  try {
+    EstimateResponse resp = Submit(EstimateRequest::Sweep(x, cfg_.dim, ts)).get();
+    return std::move(resp.estimates);
+  } catch (const std::exception& e) {
+    if (registry_.VersionOf(cfg_.model_name) == 0) {
+      return Status::NotFound("no model published under '" + cfg_.model_name +
+                              "'");
     }
-    missing.push_back(i);
+    return Status::Internal(e.what());
   }
-  if (!missing.empty()) {
-    util::Stopwatch watch;
-    tensor::Matrix xm(missing.size(), cfg_.dim);
-    tensor::Matrix tm(missing.size(), 1);
-    for (size_t r = 0; r < missing.size(); ++r) {
-      std::copy(x, x + cfg_.dim, xm.row(r));
-      tm(r, 0) = ts[missing[r]];
-    }
-    tensor::Matrix y = h.model->Predict(xm, tm);
-    stats_.RecordBatch(missing.size());
-    double per_request_ms = watch.ElapsedMillis() / double(missing.size());
-    for (size_t r = 0; r < missing.size(); ++r) {
-      estimates[missing[r]] = y(r, 0);
-      if (cfg_.enable_cache) {
-        uint64_t key =
-            cache_.MakeKey(h.version, x, cfg_.dim, tm(r, 0));
-        cache_.Insert(key, y(r, 0));
-      }
-      stats_.RecordLatencyMs(per_request_ms);
-    }
-  }
-  // The pinned estimator is monotone, but cache hits may have been computed
-  // from a quantized-neighbor query (within one cache quantum), which can
-  // dent the column by a hair. Repair with a running max so the documented
-  // non-decreasing guarantee holds unconditionally.
-  for (size_t i = 1; i < estimates.size(); ++i) {
-    estimates[i] = std::max(estimates[i], estimates[i - 1]);
-  }
-  return estimates;
 }
 
 void SelNetServer::Drain() {
   if (scheduler_) scheduler_->Drain();
+  // Fast-path sweep jobs run directly on the pool; wait for this server's
+  // own jobs only (the pool is typically shared with other servers).
+  std::unique_lock<std::mutex> lock(sweep_mu_);
+  sweep_cv_.wait(lock, [this] { return sweep_inflight_ == 0; });
 }
 
 }  // namespace selnet::serve

@@ -1,51 +1,77 @@
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "serve/batch_scheduler.h"
 #include "serve/estimate_cache.h"
 #include "serve/model_registry.h"
+#include "serve/request.h"
 #include "serve/serve_stats.h"
 #include "util/status.h"
 
 /// \file server.h
 /// \brief SelNetServer: the serving facade tying registry, scheduler, cache
-/// and stats into one estimate endpoint.
+/// and stats into one request-object endpoint.
 ///
-/// Request path:
-///   Estimate(x, t)
-///     -> cache lookup on (current model version, quantized x, t)  [hit: done]
-///     -> BatchScheduler::Submit                                   [miss]
-///     -> batched Predict on the snapshot resolved at flush time
-///     -> completion hook fills the cache, future resolves.
+/// Request path — Submit(EstimateRequest) -> future<EstimateResponse>:
+///   1. resolve the routed registry slot and pin its snapshot;
+///   2. cache lookup per threshold on (version, quantized x, t); a fully
+///      cached request resolves immediately;
+///   3. remaining thresholds:
+///        * SweepCapable model and >= sweep_fastpath_min misses -> ONE
+///          control-point evaluation answers them all (K PWL lookups instead
+///          of K batched Predict rows), on a pool worker;
+///        * otherwise -> row expansion into the BatchScheduler, where the
+///          rows coalesce with other requests (any model mix; flushes group
+///          by route);
+///   4. completion fills the cache, repairs sorted sweeps to a non-decreasing
+///      column, and resolves the future.
 ///
-/// Hot-swap: Publish() installs a new snapshot in the registry. Batches
-/// resolve the snapshot when they flush, so in-flight requests finish on
-/// whichever version they were batched against and nothing fails mid-swap.
+/// `Estimate` / `EstimateAsync` / `EstimateSweep` are thin compatibility
+/// shims that build the corresponding request object.
+///
+/// Hot-swap: Publish() installs a new snapshot in the registry. Scheduler
+/// rows resolve their snapshot when their batch flushes, so in-flight rows
+/// finish on whichever version they were batched against and nothing fails
+/// mid-swap; fast-path sweeps run entirely on the snapshot pinned at submit.
 /// Cache keys embed the version, so a swap implicitly invalidates — stale
 /// entries stop matching and age out of the LRU.
 ///
-/// Consistency dividend (the paper's monotonicity guarantee): because the
-/// served estimator is monotone in t, cached estimates at nearby thresholds
-/// bound each other, and threshold-sweep clients can reuse one batch row per
-/// (x, t) pair without risking non-monotone artifacts across the sweep.
+/// Consistency dividend (the paper's monotonicity guarantee): because served
+/// estimators are monotone in t, a sorted sweep's response column is
+/// non-decreasing; the fast path gets this from the monotone PWL directly and
+/// the fallback applies a running-max repair across cache-quantum and
+/// mid-sweep-swap artifacts.
 
 namespace selnet::serve {
 
 /// \brief Serving configuration.
 struct ServerConfig {
-  size_t dim = 0;                    ///< Query dimensionality (required).
+  size_t dim = 0;  ///< Query dimensionality (required; the single source of
+                   ///  truth — scheduler.dim must be 0 ("inherit") or equal).
   std::string model_name = "default";  ///< Registry slot served by default.
-  SchedulerConfig scheduler;         ///< scheduler.dim is overwritten by dim.
+  SchedulerConfig scheduler;
   CacheConfig cache;
   bool enable_cache = true;
   bool enable_batching = true;  ///< false = direct per-request Predict
                                 ///  (the bench baseline).
+  /// Use the SweepCapable control-point path for multi-threshold requests
+  /// when the routed model supports it (off = always row-expand; the bench
+  /// uses this to measure the fallback).
+  bool enable_sweep_fastpath = true;
+  /// Minimum uncached thresholds before the fast path engages; below this a
+  /// scalar-shaped request batches better with its neighbours.
+  size_t sweep_fastpath_min = 2;
 };
 
-/// \brief A servable selectivity-estimation endpoint.
+/// \brief A servable, estimator-agnostic selectivity-estimation endpoint.
 class SelNetServer {
  public:
   explicit SelNetServer(const ServerConfig& cfg);
@@ -54,25 +80,48 @@ class SelNetServer {
   SelNetServer(const SelNetServer&) = delete;
   SelNetServer& operator=(const SelNetServer&) = delete;
 
-  /// \brief Publish a trained model under the configured name; returns the
-  /// assigned version. The caller must not mutate the model afterwards.
-  uint64_t Publish(std::shared_ptr<core::SelNetCt> model);
+  /// \brief Publish a trained estimator under the configured default name;
+  /// returns the assigned version. The caller must not mutate the model
+  /// afterwards. Any eval::Estimator serves — SelNet or a baseline.
+  uint64_t Publish(std::shared_ptr<eval::Estimator> model);
 
-  /// \brief Load a core::SaveModel file and publish it.
+  /// \brief Publish under an explicit registry slot, making served A/B
+  /// comparison a one-liner: route requests via EstimateRequest::model.
+  uint64_t Publish(const std::string& name,
+                   std::shared_ptr<eval::Estimator> model);
+
+  /// \brief Load a core::SaveModel file and publish it (default slot).
   util::Result<uint64_t> PublishFromFile(const std::string& path);
 
-  /// \brief Asynchronous estimate for one (x, t). `x` must hold dim floats.
-  /// The future throws if no model is published or serving fails.
+  /// \brief Load a core::SaveModel file and publish it under `name`.
+  util::Result<uint64_t> PublishFromFile(const std::string& name,
+                                         const std::string& path);
+
+  /// \brief Completion callback for SubmitWith: exactly one of the response
+  /// (success) or the exception (failure) is meaningful. May be invoked from
+  /// the caller's thread (cache hit, validation error, unbatched path) or a
+  /// pool worker.
+  using ResponseFn =
+      std::function<void(EstimateResponse&& response, std::exception_ptr error)>;
+
+  /// \brief The one entry point: submit a request carrying 1..K thresholds
+  /// and receive the response through `done`. A malformed request (wrong x
+  /// dimensionality, empty thresholds) or an absent route fails the request,
+  /// never the server.
+  void SubmitWith(EstimateRequest req, ResponseFn done);
+
+  /// \brief Future-returning wrapper over SubmitWith.
+  std::future<EstimateResponse> Submit(EstimateRequest req);
+
+  /// \brief Shim: asynchronous estimate for one (x, t). `x` must hold dim
+  /// floats. The future throws if no model is published or serving fails.
   std::future<float> EstimateAsync(const float* x, float t);
 
-  /// \brief Blocking estimate; NotFound when no model is published.
+  /// \brief Shim: blocking estimate; NotFound when no model is published.
   util::Result<float> Estimate(const float* x, float t);
 
-  /// \brief Monotone threshold sweep: estimates for one query at each of
-  /// `ts` (which must be sorted ascending for the guarantee to be
-  /// meaningful). The whole sweep is answered against a single pinned model
-  /// snapshot — even across a concurrent republish — so the consistency
-  /// guarantee makes the results non-decreasing, which callers may rely on.
+  /// \brief Shim: monotone threshold sweep — a Sweep request submitted and
+  /// awaited. With `ts` sorted ascending the result column is non-decreasing.
   util::Result<std::vector<float>> EstimateSweep(const float* x,
                                                  const std::vector<float>& ts);
 
@@ -87,15 +136,37 @@ class SelNetServer {
   std::string StatsReport() const { return stats_.Report(); }
 
  private:
-  /// Resolve the served snapshot and run one batched Predict on it.
-  tensor::Matrix PredictOnCurrent(const tensor::Matrix& x,
-                                  const tensor::Matrix& t);
+  struct PendingResponse;
+
+  /// Run one batched Predict on `handle`'s snapshot: stats + cache fill.
+  tensor::Matrix PredictOnHandle(const ModelHandle& handle,
+                                 const tensor::Matrix& x,
+                                 const tensor::Matrix& t);
+  /// Resolve `model` in the registry (throws on absence) and predict.
+  tensor::Matrix PredictOnModel(const std::string& model,
+                                const tensor::Matrix& x,
+                                const tensor::Matrix& t);
+  /// Answer `missing` thresholds of `req` through one SweepCapable pass.
+  /// `enqueued` is the submit time, so recorded latency includes pool queue
+  /// delay and stays comparable with scheduler-row latency.
+  void RunSweepFastPath(const std::shared_ptr<PendingResponse>& state,
+                        const EstimateRequest& req, const ModelHandle& handle,
+                        const std::vector<size_t>& missing,
+                        std::chrono::steady_clock::time_point enqueued);
 
   ServerConfig cfg_;
   ModelRegistry registry_;
   EstimateCache cache_;
   ServeStats stats_;
   std::unique_ptr<BatchScheduler> scheduler_;  ///< Null when batching is off.
+  util::ThreadPool* pool_;  ///< Fast-path sweep execution (batching on).
+
+  /// Fast-path jobs in flight on the (possibly shared) pool. Drain and the
+  /// destructor wait on this count, not on the whole pool — blocking on
+  /// another server's unrelated work would make Drain unbounded.
+  std::mutex sweep_mu_;
+  std::condition_variable sweep_cv_;
+  size_t sweep_inflight_ = 0;
 };
 
 }  // namespace selnet::serve

@@ -8,11 +8,15 @@
 #include <thread>
 #include <vector>
 
+#include "baselines/kde.h"
 #include "core/model_io.h"
+#include "core/selnet_partitioned.h"
 #include "data/synthetic.h"
 #include "serve/batch_scheduler.h"
 #include "serve/estimate_cache.h"
 #include "serve/model_registry.h"
+#include "serve/request.h"
+#include "serve/servable.h"
 #include "serve/serve_stats.h"
 #include "serve/server.h"
 
@@ -164,10 +168,28 @@ TEST(ModelRegistryTest, PublishFromMissingFileFails) {
             std::string::npos);
 }
 
+TEST(ModelRegistryTest, ServesAnyEstimatorAndProbesSweepCapability) {
+  ModelRegistry registry;
+  core::SelNetConfig cfg;
+  cfg.input_dim = 4;
+  cfg.tmax = 1.0f;
+  registry.Publish("selnet", std::make_shared<core::SelNetCt>(cfg));
+  registry.Publish("kde", std::make_shared<bl::KdeEstimator>());
+  auto selnet = registry.Get("selnet");
+  auto kde = registry.Get("kde");
+  ASSERT_TRUE(selnet.ok());
+  ASSERT_TRUE(kde.ok());
+  // The capability cast happens once at publish: SelNet exposes its control
+  // points, the KDE baseline transparently lacks the fast path.
+  EXPECT_TRUE(selnet.ValueOrDie().model.sweep_capable());
+  EXPECT_FALSE(kde.ValueOrDie().model.sweep_capable());
+  EXPECT_EQ(kde.ValueOrDie().model->Name(), "KDE");
+}
+
 // -------------------------------------------------------------- scheduler ---
 
 // Deterministic stand-in for Predict: y_i = sum(x_i) + 10 * t_i.
-Matrix FakePredict(const Matrix& x, const Matrix& t) {
+Matrix FakePredictRows(const Matrix& x, const Matrix& t) {
   Matrix y(x.rows(), 1);
   for (size_t i = 0; i < x.rows(); ++i) {
     float sum = 0.0f;
@@ -175,6 +197,12 @@ Matrix FakePredict(const Matrix& x, const Matrix& t) {
     y(i, 0) = sum + 10.0f * t(i, 0);
   }
   return y;
+}
+
+// Model-routed BatchFn over FakePredictRows (route ignored).
+Matrix FakePredict(const std::string& /*model*/, const Matrix& x,
+                   const Matrix& t) {
+  return FakePredictRows(x, t);
 }
 
 TEST(BatchSchedulerTest, AnswersMatchUnbatchedComputation) {
@@ -201,10 +229,11 @@ TEST(BatchSchedulerTest, CoalescesRequestsIntoFewerBatches) {
   cfg.max_batch = 16;
   cfg.max_delay_ms = 50.0;  // Large delay: batches close on max_batch.
   std::atomic<size_t> batches{0};
-  BatchScheduler scheduler(cfg, [&](const Matrix& x, const Matrix& t) {
-    batches.fetch_add(1);
-    return FakePredict(x, t);
-  });
+  BatchScheduler scheduler(
+      cfg, [&](const std::string&, const Matrix& x, const Matrix& t) {
+        batches.fetch_add(1);
+        return FakePredictRows(x, t);
+      });
   std::vector<std::future<float>> futures;
   for (int i = 0; i < 64; ++i) {
     float x[2] = {float(i), 0.0f};
@@ -261,9 +290,10 @@ TEST(BatchSchedulerTest, BatchFnExceptionPropagatesToFutures) {
   cfg.dim = 1;
   cfg.max_batch = 2;
   cfg.max_delay_ms = 1.0;
-  BatchScheduler scheduler(cfg, [](const Matrix&, const Matrix&) -> Matrix {
-    throw std::runtime_error("model exploded");
-  });
+  BatchScheduler scheduler(
+      cfg, [](const std::string&, const Matrix&, const Matrix&) -> Matrix {
+        throw std::runtime_error("model exploded");
+      });
   float x[1] = {0.0f};
   std::future<float> f = scheduler.Submit(x, 0.0f);
   scheduler.Drain();
@@ -278,6 +308,73 @@ TEST(BatchSchedulerTest, SubmitAfterShutdownFailsFuture) {
   float x[1] = {0.0f};
   std::future<float> f = scheduler.Submit(x, 0.0f);
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(BatchSchedulerTest, RowsAreGroupedByModelRoute) {
+  SchedulerConfig cfg;
+  cfg.dim = 1;
+  cfg.max_batch = 64;
+  cfg.max_delay_ms = 20.0;  // One flush holding rows for both models.
+  std::mutex mu;
+  std::vector<std::pair<std::string, size_t>> calls;  // (model, rows).
+  BatchScheduler scheduler(
+      cfg, [&](const std::string& model, const Matrix& x, const Matrix& t) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          calls.emplace_back(model, x.rows());
+        }
+        Matrix y = FakePredictRows(x, t);
+        if (model == "b") {
+          for (size_t i = 0; i < y.rows(); ++i) y(i, 0) += 1000.0f;
+        }
+        return y;
+      });
+  std::vector<std::future<float>> futures;
+  for (int i = 0; i < 10; ++i) {
+    float x[1] = {float(i)};
+    futures.push_back(
+        scheduler.Submit(x, 0.0f, 0, i % 2 == 0 ? "a" : "b"));
+  }
+  scheduler.Drain();
+  for (int i = 0; i < 10; ++i) {
+    float expected = float(i) + (i % 2 == 0 ? 0.0f : 1000.0f);
+    EXPECT_FLOAT_EQ(futures[i].get(), expected) << "row " << i;
+  }
+  // Interleaved submissions must coalesce into one batch fn call per model
+  // per flush, not one per row.
+  std::lock_guard<std::mutex> lock(mu);
+  size_t a_rows = 0, b_rows = 0;
+  for (const auto& [model, rows] : calls) {
+    ASSERT_TRUE(model == "a" || model == "b");
+    (model == "a" ? a_rows : b_rows) += rows;
+  }
+  EXPECT_EQ(a_rows, 5u);
+  EXPECT_EQ(b_rows, 5u);
+  EXPECT_LE(calls.size(), 10u);
+}
+
+TEST(BatchSchedulerTest, SubmitRowInvokesCallbackWithLatency) {
+  SchedulerConfig cfg;
+  cfg.dim = 2;
+  cfg.max_batch = 4;
+  cfg.max_delay_ms = 1.0;
+  BatchScheduler scheduler(cfg, FakePredict);
+  std::promise<float> value_promise;
+  std::atomic<double> latency{-1.0};
+  float x[2] = {2.0f, 3.0f};
+  scheduler.SubmitRow("", x, 0.5f,
+                      [&](float value, std::exception_ptr error,
+                          double latency_ms) {
+                        latency.store(latency_ms);
+                        if (error) {
+                          value_promise.set_exception(error);
+                        } else {
+                          value_promise.set_value(value);
+                        }
+                      });
+  scheduler.Drain();
+  EXPECT_FLOAT_EQ(value_promise.get_future().get(), 2.0f + 3.0f + 5.0f);
+  EXPECT_GE(latency.load(), 0.0);
 }
 
 // ------------------------------------------------------------------ stats ---
@@ -475,6 +572,281 @@ TEST_F(ServeFixture, HotSwapUnderConcurrentLoadFailsNoQuery) {
   EXPECT_EQ(failed.load(), 0u);
   EXPECT_GT(answered.load(), 0u);
   EXPECT_GE(server.stats().Snapshot().swaps, 51u);
+}
+
+// ------------------------------------------------- request-object serving ---
+
+TEST_F(ServeFixture, SweepFastPathBitIdenticalToRowExpansion) {
+  // Model level: one control-point evaluation + K PWL lookups must equal the
+  // K-row batched Predict bit-for-bit (the SweepCapable contract).
+  std::vector<float> ts;
+  for (int i = 0; i < 16; ++i) ts.push_back(wl_.tmax * float(i) / 15.0f);
+  const float* q = wl_.queries.row(2);
+  std::vector<float> fast = model_->SweepEstimate(q, ts.data(), ts.size());
+  Matrix xm(ts.size(), 6), tm(ts.size(), 1);
+  for (size_t r = 0; r < ts.size(); ++r) {
+    std::copy(q, q + 6, xm.row(r));
+    tm(r, 0) = ts[r];
+  }
+  Matrix expanded = model_->Predict(xm, tm);
+  ASSERT_EQ(fast.size(), ts.size());
+  for (size_t r = 0; r < ts.size(); ++r) {
+    EXPECT_EQ(fast[r], expanded(r, 0)) << "threshold " << ts[r];
+  }
+
+  // Server level: the same request answered through the fast path and
+  // through row-expansion fallback must agree exactly too.
+  ServerConfig fast_cfg = MakeServerConfig(/*batching=*/true, /*cache=*/false);
+  ServerConfig slow_cfg = fast_cfg;
+  slow_cfg.enable_sweep_fastpath = false;
+  SelNetServer fast_server(fast_cfg);
+  SelNetServer slow_server(slow_cfg);
+  fast_server.Publish(model_);
+  slow_server.Publish(model_);
+  EstimateResponse a =
+      fast_server.Submit(EstimateRequest::Sweep(q, 6, ts)).get();
+  EstimateResponse b =
+      slow_server.Submit(EstimateRequest::Sweep(q, 6, ts)).get();
+  EXPECT_TRUE(a.fast_path);
+  EXPECT_FALSE(b.fast_path);
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (size_t r = 0; r < a.estimates.size(); ++r) {
+    EXPECT_EQ(a.estimates[r], b.estimates[r]) << "threshold " << ts[r];
+  }
+  EXPECT_EQ(fast_server.stats().Snapshot().sweep_fastpath, 1u);
+  EXPECT_EQ(slow_server.stats().Snapshot().sweep_fastpath, 0u);
+}
+
+TEST_F(ServeFixture, PartitionedSweepEstimateMatchesPredict) {
+  core::PartitionedConfig pcfg;
+  pcfg.base = cfg_;
+  pcfg.partition.k = 2;
+  auto model = std::make_shared<core::SelNetPartitioned>(pcfg);
+  model->Fit(ctx_);
+  std::vector<float> ts;
+  for (int i = 0; i < 12; ++i) ts.push_back(wl_.tmax * float(i) / 11.0f);
+  const float* q = wl_.queries.row(4);
+  std::vector<float> fast = model->SweepEstimate(q, ts.data(), ts.size());
+  Matrix xm(ts.size(), 6), tm(ts.size(), 1);
+  for (size_t r = 0; r < ts.size(); ++r) {
+    std::copy(q, q + 6, xm.row(r));
+    tm(r, 0) = ts[r];
+  }
+  Matrix expanded = model->Predict(xm, tm);
+  for (size_t r = 0; r < ts.size(); ++r) {
+    EXPECT_EQ(fast[r], expanded(r, 0)) << "threshold " << ts[r];
+  }
+
+  // And it serves through the generic endpoint with the fast path engaged.
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/false));
+  server.Publish(model);
+  EstimateResponse resp =
+      server.Submit(EstimateRequest::Sweep(q, 6, ts)).get();
+  EXPECT_TRUE(resp.fast_path);
+  for (size_t r = 0; r < ts.size(); ++r) {
+    EXPECT_EQ(resp.estimates[r], expanded(r, 0));
+  }
+}
+
+TEST_F(ServeFixture, ServedKdeBaselineAnswersThroughSameEndpoint) {
+  // Acceptance criterion: a non-SelNet eval::Estimator served end-to-end
+  // through the same SelNetServer endpoint.
+  bl::KdeConfig kcfg;
+  kcfg.num_samples = 200;
+  auto kde = std::make_shared<bl::KdeEstimator>(kcfg);
+  kde->Fit(ctx_);
+
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/false));
+  server.Publish(model_);        // Default slot: SelNet.
+  server.Publish("kde", kde);    // Baseline slot, same endpoint.
+
+  const float* q = wl_.queries.row(3);
+  std::vector<float> ts;
+  for (int i = 1; i <= 8; ++i) ts.push_back(wl_.tmax * float(i) / 8.0f);
+
+  // Scalar through the KDE route matches direct KDE prediction.
+  Matrix x1(1, 6), t1(1, 1);
+  std::copy(q, q + 6, x1.row(0));
+  t1(0, 0) = ts[2];
+  float direct = kde->Predict(x1, t1)(0, 0);
+  EstimateResponse scalar =
+      server.Submit(EstimateRequest::Point(q, 6, ts[2], "kde")).get();
+  EXPECT_EQ(scalar.estimates[0], direct);
+  EXPECT_EQ(scalar.model, "kde");
+
+  // A sweep through the KDE route row-expands (no SweepCapable) but still
+  // returns a monotone column — KDE is a consistent estimator.
+  EstimateResponse sweep =
+      server.Submit(EstimateRequest::Sweep(q, 6, ts, "kde")).get();
+  EXPECT_FALSE(sweep.fast_path);
+  ASSERT_EQ(sweep.estimates.size(), ts.size());
+  for (size_t i = 1; i < sweep.estimates.size(); ++i) {
+    EXPECT_GE(sweep.estimates[i], sweep.estimates[i - 1]);
+  }
+
+  // A/B in one line each: same query, same thresholds, different route.
+  EstimateResponse selnet_resp =
+      server.Submit(EstimateRequest::Sweep(q, 6, ts)).get();
+  EXPECT_NE(selnet_resp.version, sweep.version);
+  EXPECT_EQ(selnet_resp.model, "default");
+  server.Drain();
+  EXPECT_GE(server.stats().Snapshot().sweeps, 2u);
+}
+
+TEST_F(ServeFixture, SweepMonotoneUnderConcurrentHotSwap) {
+  // Satellite: sorted sweeps must stay non-decreasing even while the model
+  // is republished aggressively mid-traffic (rows of one sweep may resolve
+  // against different versions; Finalize's repair absorbs the seam).
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/true));
+  server.Publish(model_);
+
+  std::string path = ::testing::TempDir() + "/serve_sweep_swap.selm";
+  ASSERT_TRUE(core::SaveModel(*model_, path).ok());
+  auto loaded = core::LoadModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::shared_ptr<core::SelNetCt> other(loaded.MoveValueUnsafe());
+  std::remove(path.c_str());
+
+  std::vector<float> ts;
+  for (int i = 0; i < 16; ++i) ts.push_back(wl_.tmax * float(i) / 15.0f);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> violations{0};
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> sweeps_done{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(200 + c);
+      while (!stop.load()) {
+        size_t qi = static_cast<size_t>(
+            rng.UniformInt(0, int64_t(wl_.queries.rows()) - 1));
+        try {
+          EstimateResponse resp =
+              server.Submit(EstimateRequest::Sweep(wl_.queries.row(qi), 6, ts))
+                  .get();
+          for (size_t i = 1; i < resp.estimates.size(); ++i) {
+            if (resp.estimates[i] < resp.estimates[i - 1]) {
+              violations.fetch_add(1);
+            }
+            if (!std::isfinite(resp.estimates[i])) failures.fetch_add(1);
+          }
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+        sweeps_done.fetch_add(1);
+      }
+    });
+  }
+  for (int swap = 0; swap < 40; ++swap) {
+    server.Publish(swap % 2 == 0 ? other : model_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  for (auto& th : clients) th.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(sweeps_done.load(), 0u);
+}
+
+TEST_F(ServeFixture, FullyCachedSweepResolvesWithoutModelWork) {
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/true));
+  server.Publish(model_);
+  std::vector<float> ts;
+  for (int i = 1; i <= 6; ++i) ts.push_back(wl_.tmax * float(i) / 6.0f);
+  const float* q = wl_.queries.row(5);
+  EstimateResponse first =
+      server.Submit(EstimateRequest::Sweep(q, 6, ts)).get();
+  EXPECT_EQ(first.cache_hits, 0u);
+  EstimateResponse second =
+      server.Submit(EstimateRequest::Sweep(q, 6, ts)).get();
+  EXPECT_EQ(second.cache_hits, ts.size());
+  EXPECT_FALSE(second.fast_path);  // Nothing was missing.
+  ASSERT_EQ(first.estimates.size(), second.estimates.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(first.estimates[i], second.estimates[i]);
+  }
+}
+
+TEST_F(ServeFixture, MalformedRequestFailsFutureNotServer) {
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/true));
+  server.Publish(model_);
+  // Wrong dimensionality and empty thresholds fail the request's future;
+  // the server keeps serving.
+  EstimateRequest bad_dim;
+  bad_dim.x.assign(3, 0.0f);  // dim is 6.
+  bad_dim.thresholds.assign(1, 0.5f);
+  EXPECT_THROW(server.Submit(std::move(bad_dim)).get(), std::invalid_argument);
+  EstimateRequest no_ts;
+  no_ts.x.assign(6, 0.0f);
+  EXPECT_THROW(server.Submit(std::move(no_ts)).get(), std::invalid_argument);
+  auto ok = server.Estimate(wl_.queries.row(0), 0.5f * wl_.tmax);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+// A SweepCapable implementation that violates its contract (returns count-1
+// values) — user-model bugs must fail the request, never the server.
+class BrokenSweepEstimator : public eval::Estimator,
+                             public eval::SweepCapable {
+ public:
+  std::string Name() const override { return "Broken"; }
+  bool IsConsistent() const override { return true; }
+  void Fit(const eval::TrainContext&) override {}
+  Matrix Predict(const Matrix& x, const Matrix&) override {
+    return Matrix(x.rows(), 1);
+  }
+  std::vector<float> SweepEstimate(const float*, const float*,
+                                   size_t count) override {
+    return std::vector<float>(count - 1, 0.0f);
+  }
+};
+
+TEST_F(ServeFixture, BrokenSweepCapableModelFailsRequestNotServer) {
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/false));
+  server.Publish(model_);
+  server.Publish("broken", std::make_shared<BrokenSweepEstimator>());
+  std::vector<float> ts = {0.1f, 0.2f, 0.3f, 0.4f};
+  const float* q = wl_.queries.row(0);
+  EXPECT_THROW(
+      server.Submit(EstimateRequest::Sweep(q, 6, ts, "broken")).get(),
+      std::runtime_error);
+  // The healthy route keeps answering.
+  auto ok = server.Estimate(q, 0.5f * wl_.tmax);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(ServeFixture, EstimateAsyncFutureReportsReady) {
+  // The shim must return a real future: wait_for eventually says ready (a
+  // deferred future would report deferred forever and break pollers).
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/false));
+  server.Publish(model_);
+  std::future<float> f = server.EstimateAsync(wl_.queries.row(0), 0.5f);
+  EXPECT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  EXPECT_TRUE(std::isfinite(f.get()));
+}
+
+TEST(ServerConfigTest, SchedulerDimInheritsFromServerDim) {
+  // Satellite: ServerConfig.dim is the single source of truth; 0 inherits.
+  ServerConfig cfg;
+  cfg.dim = 4;
+  cfg.enable_batching = true;
+  EXPECT_EQ(cfg.scheduler.dim, 0u);
+  SelNetServer server(cfg);
+  EXPECT_EQ(server.config().scheduler.dim, 4u);
+  // An explicitly matching value is also accepted.
+  ServerConfig same = cfg;
+  same.scheduler.dim = 4;
+  SelNetServer server2(same);
+  EXPECT_EQ(server2.config().scheduler.dim, 4u);
+}
+
+TEST(ServerConfigDeathTest, SchedulerDimMismatchAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ServerConfig cfg;
+  cfg.dim = 4;
+  cfg.scheduler.dim = 8;  // Conflicts: used to be silently overwritten.
+  EXPECT_DEATH({ SelNetServer server(cfg); }, "SchedulerConfig.dim");
 }
 
 }  // namespace
