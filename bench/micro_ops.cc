@@ -1,9 +1,18 @@
 /// \file micro_ops.cc
-/// \brief google-benchmark microbenchmarks for the hot kernels: GEMM,
+/// \brief google-benchmark microbenchmarks for the hot kernels: GEMM (per
+/// dispatched micro-kernel, with GFLOP/s), pack-cache hit/build cost,
 /// autograd round trips, PWL gather, cover-tree operations and single-query
 /// SelNet prediction latency.
+///
+/// Doubles as the CI kernel-dispatch smoke: with SELNET_REQUIRE_SIMD=1 the
+/// process exits non-zero unless runtime dispatch resolved a non-scalar
+/// micro-kernel (the SIMD matrix job runs this after ctest).
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "autograd/ops.h"
 #include "core/selnet_ct.h"
@@ -11,6 +20,8 @@
 #include "eval/suite.h"
 #include "index/cover_tree.h"
 #include "tensor/blas.h"
+#include "tensor/kernel_dispatch.h"
+#include "tensor/pack_cache.h"
 
 namespace {
 
@@ -140,6 +151,84 @@ void BM_ExactSelectivityScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactSelectivityScan)->Arg(2000)->Arg(8000);
 
+// items/s in the report = FLOP/s (items = 2mnk per iteration): read the
+// per-kernel GFLOP/s straight off the BM_GemmPackedKernel rows.
+void RunPackedKernelBench(benchmark::State& state, const std::string& kernel,
+                          size_t n) {
+  std::string prev = tensor::ActiveKernel().name;
+  tensor::SetActiveKernel(kernel);
+  util::Rng rng(12);
+  Matrix a = Matrix::Gaussian(n, n, &rng);
+  Matrix b = Matrix::Gaussian(n, n, &rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.Fill(0.0f);
+    tensor::GemmNNWithKernel(a, b, 1.0f, &c, tensor::GemmKernel::kPacked);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  tensor::SetActiveKernel(prev);
+}
+
+void BM_GemmPrepackedVsRepack(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bool cached = state.range(1) != 0;
+  util::Rng rng(13);
+  Matrix a = Matrix::Gaussian(64, n, &rng);
+  Matrix b = Matrix::Gaussian(n, n, &rng);
+  Matrix c(64, n);
+  tensor::PackCache cache;
+  for (auto _ : state) {
+    c.Fill(0.0f);
+    if (cached) {
+      tensor::GemmNNPrepacked(a, *cache.Get(b), 1.0f, &c);
+    } else {
+      tensor::GemmNNWithKernel(a, b, 1.0f, &c, tensor::GemmKernel::kPacked);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 64 * n * n);
+}
+BENCHMARK(BM_GemmPrepackedVsRepack)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using selnet::tensor::ActiveKernel;
+  using selnet::tensor::AvailableKernels;
+  for (const auto& kern : AvailableKernels()) {
+    for (size_t n : {128, 256}) {
+      std::string name = std::string("BM_GemmPackedKernel/") + kern.name + "/" +
+                         std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [kernel = std::string(kern.name), n](benchmark::State& st) {
+            RunPackedKernelBench(st, kernel, n);
+          });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::string available;
+  for (const auto& kern : AvailableKernels()) {
+    available += std::string(available.empty() ? "" : ",") + kern.name;
+  }
+  std::printf("gemm dispatch: active=%s available=[%s]\n", ActiveKernel().name,
+              available.c_str());
+  const char* require = std::getenv("SELNET_REQUIRE_SIMD");
+  if (require != nullptr && require[0] == '1' &&
+      std::string(ActiveKernel().name) == "scalar") {
+    std::fprintf(stderr,
+                 "SELNET_REQUIRE_SIMD=1 but dispatch picked the scalar "
+                 "kernel — SIMD variants missing from this build/host\n");
+    return 1;
+  }
+  return 0;
+}

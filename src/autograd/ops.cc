@@ -42,7 +42,19 @@ Var ElementwiseOp(const Var& a, const char* name, Fn fn, Dfn dfn) {
 Var MatMul(const Var& a, const Var& b) {
   SEL_CHECK_EQ(a->cols(), b->rows());
   Matrix out(a->rows(), b->cols());
-  tensor::Gemm(a->value, false, b->value, false, 1.0f, 0.0f, &out);
+  if (a->rows() >= tensor::kGemmPackMinRows && b->parents.empty() &&
+      tensor::PackCacheEnabled()) {
+    // Batched product against a leaf (a parameter or a cached folded
+    // constant): leaves persist across calls, so their packed panels are
+    // cached per weight version instead of repacked per call. Bit-identical
+    // to the Gemm path below — only the pack pass is skipped. `out` is
+    // zero-constructed, matching beta == 0.
+    std::shared_ptr<const tensor::PackedWeights> packed =
+        b->pack_cache.Get(b->value);
+    tensor::GemmNNPrepacked(a->value, *packed, 1.0f, &out);
+  } else {
+    tensor::Gemm(a->value, false, b->value, false, 1.0f, 0.0f, &out);
+  }
   return MakeNode(std::move(out), {a, b},
                   [](Node* self) {
                     Node* a = self->parents[0].get();

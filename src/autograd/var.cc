@@ -94,4 +94,8 @@ void ZeroGrad(const std::vector<Var>& params) {
   }
 }
 
+void InvalidatePackCaches(const std::vector<Var>& params) {
+  for (const auto& p : params) p->pack_cache.Invalidate();
+}
+
 }  // namespace selnet::ag

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "tensor/pack_cache.h"
 
 /// \file var.h
 /// \brief Reverse-mode automatic differentiation over matrices.
@@ -32,6 +33,13 @@ class Node {
   std::function<void(Node*)> backward;
   /// Op name, for debugging and error messages.
   const char* op = "leaf";
+
+  /// Version-keyed packed-weight panels for `value` when this node is the B
+  /// operand of a batched MatMul (weights and folded constants — leaves that
+  /// persist across calls). Filled lazily by ag::MatMul; anything that
+  /// mutates `value` in place must call pack_cache.Invalidate() — the
+  /// optimizers and parameter loaders do (see tensor/pack_cache.h).
+  tensor::PackCache pack_cache;
 
   size_t rows() const { return value.rows(); }
   size_t cols() const { return value.cols(); }
@@ -60,5 +68,10 @@ void Backward(const Var& root);
 
 /// \brief Zero the gradient buffers of `params`.
 void ZeroGrad(const std::vector<Var>& params);
+
+/// \brief Drop the packed-weight caches of `params`; required after mutating
+/// their values outside the optimizer/loader paths (which invalidate
+/// themselves). Thread-safe, cheap when nothing is cached.
+void InvalidatePackCaches(const std::vector<Var>& params);
 
 }  // namespace selnet::ag

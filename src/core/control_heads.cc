@@ -65,10 +65,13 @@ ControlHeads::Out ControlHeads::Forward(const ag::Var& input) const {
 std::shared_ptr<const ControlHeads::FoldedTail> ControlHeads::GetFoldedTail()
     const {
   std::shared_ptr<const FoldedTail> cached = std::atomic_load(&fold_cache_);
-  if (cached) return cached;
+  // Generation check at read time: a fold published by a builder that raced
+  // an invalidation carries a stale generation and is rebuilt instead of
+  // served (see FoldedTail::generation).
+  if (cached && cached->generation == fold_gen_.load()) return cached;
   // The generation is sampled before reading the weights; if an
   // invalidation lands during the build, the stale result is returned for
-  // this call (the caller raced the mutation anyway) but never published.
+  // this call (the caller raced the mutation anyway) but never served.
   uint64_t gen = fold_gen_.load();
   // The fold below is exact only because the output layer is linear.
   SEL_CHECK(p_net_.output_activation() == nn::Activation::kNone);
@@ -82,19 +85,22 @@ std::shared_ptr<const ControlHeads::FoldedTail> ControlHeads::GetFoldedTail()
   const tensor::Matrix& pw = pw_->value;                 // (L+2) x H
   const tensor::Matrix& pb = pb_->value;                 // 1 x (L+2)
   size_t groups = pw.rows(), h = pw.cols(), hidden = w4.rows();
-  auto fold = std::make_shared<FoldedTail>();
-  fold->wf = tensor::Matrix(hidden, groups);
+  tensor::Matrix wf(hidden, groups);
   for (size_t i = 0; i < hidden; ++i) {
     const float* w4_row = w4.row(i);
-    float* wf_row = fold->wf.row(i);
+    float* wf_row = wf.row(i);
     for (size_t g = 0; g < groups; ++g) {
       wf_row[g] = tensor::Dot(w4_row + g * h, pw.row(g), h);
     }
   }
-  fold->bf = tensor::Matrix(1, groups);
+  tensor::Matrix bf(1, groups);
   for (size_t g = 0; g < groups; ++g) {
-    fold->bf(0, g) = tensor::Dot(b4.data() + g * h, pw.row(g), h) + pb(0, g);
+    bf(0, g) = tensor::Dot(b4.data() + g * h, pw.row(g), h) + pb(0, g);
   }
+  auto fold = std::make_shared<FoldedTail>();
+  fold->wf = ag::Constant(std::move(wf));
+  fold->bf = ag::Constant(std::move(bf));
+  fold->generation = gen;
   std::shared_ptr<const FoldedTail> built = std::move(fold);
   if (fold_gen_.load() == gen) std::atomic_store(&fold_cache_, built);
   return built;
@@ -106,14 +112,17 @@ void ControlHeads::InvalidateInferenceCache() const {
   fold_gen_.fetch_add(1);
   std::atomic_store(&fold_cache_,
                     std::shared_ptr<const FoldedTail>(nullptr));
+  // Pack-cache generation rides the fold generation: any weight mutation
+  // that staled the fold also staled the packed panels of these parameters.
+  // (The folded tail's own pack dies with its Constant nodes above.)
+  if (pw_) ag::InvalidatePackCaches(Params());
 }
 
 ControlHeads::Out ControlHeads::ForwardInference(const ag::Var& input) const {
   ag::Var tau = ForwardTau(input);
   ag::Var a = p_net_.ForwardHidden(input);  // B x p_hidden
   std::shared_ptr<const FoldedTail> fold = GetFoldedTail();
-  ag::Var k_pre = ag::AddRowBroadcast(ag::MatMul(a, ag::Constant(fold->wf)),
-                                      ag::Constant(fold->bf));
+  ag::Var k_pre = ag::AddRowBroadcast(ag::MatMul(a, fold->wf), fold->bf);
   ag::Var p = ag::CumsumRows(ag::Relu(k_pre));
   return {tau, p};
 }

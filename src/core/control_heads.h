@@ -73,8 +73,12 @@ class ControlHeads : public nn::Module {
   /// to the unfused parameters).
   Out ForwardInference(const ag::Var& input) const;
 
-  /// \brief Drop the cached folded tail; the next ForwardInference rebuilds
-  /// it from the current parameter values. Thread-safe.
+  /// \brief Drop the cached folded tail AND every parameter's packed-weight
+  /// cache; the next ForwardInference rebuilds both from the current values.
+  /// One generation discipline covers both caches: anything that must
+  /// invalidate the fold (optimizer steps via the training loops,
+  /// core::LoadModel, ModelRegistry::PublishFromFile) thereby also
+  /// invalidates the packs. Thread-safe.
   void InvalidateInferenceCache() const;
 
   std::vector<ag::Var> Params() const override;
@@ -83,9 +87,18 @@ class ControlHeads : public nn::Module {
 
  private:
   /// Fused (p_net output layer . GroupedLinear) affine map for inference.
+  /// Held as constant Vars (not raw Matrices) so the SAME tape leaf is
+  /// reused across ForwardInference calls: its packed-weight cache
+  /// (ag::Node::pack_cache) then persists for the lifetime of the fold —
+  /// pack once per weight version, exactly like the fold itself.
   struct FoldedTail {
-    tensor::Matrix wf;  ///< p_hidden x (L+2).
-    tensor::Matrix bf;  ///< 1 x (L+2).
+    ag::Var wf;  ///< p_hidden x (L+2).
+    ag::Var bf;  ///< 1 x (L+2).
+    /// fold_gen_ value sampled before the weights were read; the hit path in
+    /// GetFoldedTail only serves a fold whose generation matches, so a
+    /// builder that raced an InvalidateInferenceCache() can never make a
+    /// stale fold servable even if it wins the publish race.
+    uint64_t generation = 0;
   };
 
   std::shared_ptr<const FoldedTail> GetFoldedTail() const;

@@ -77,12 +77,25 @@ class SelNetCt : public eval::Estimator, public eval::SweepCapable,
   std::vector<float> SweepEstimate(const float* x, const float* ts,
                                    size_t count) override;
 
+  /// \brief SweepCapable: the estimate-vs-threshold curve IS the control
+  /// points, so the serving layer may cache them per (version, query).
+  bool SupportsSweepCurve() const override { return true; }
+  bool SweepCurve(const float* x, std::vector<float>* tau,
+                  std::vector<float>* p) override {
+    ControlPoints(x, tau, p);
+    return true;
+  }
+
   std::vector<ag::Var> Params() const override;
 
   /// \brief Must be called after mutating parameter values outside the
   /// training loop (e.g. loading weights from disk) so the cached inference
-  /// fusion is rebuilt. The training loop invalidates automatically.
-  void InvalidateInferenceCache() const { heads_.InvalidateInferenceCache(); }
+  /// fusion AND the packed-weight caches are rebuilt. The training loop
+  /// invalidates automatically.
+  void InvalidateInferenceCache() const {
+    heads_.InvalidateInferenceCache();
+    ag::InvalidatePackCaches(ae_.Params());
+  }
 
   const SelNetConfig& config() const { return cfg_; }
 

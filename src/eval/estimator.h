@@ -75,6 +75,30 @@ class SweepCapable {
   /// \brief Estimates for one query `x` (d floats) at each of ts[0..count).
   virtual std::vector<float> SweepEstimate(const float* x, const float* ts,
                                            size_t count) = 0;
+
+  /// \brief True when SweepCurve can hand out control points — a static
+  /// capability the serving layer probes before attempting curve-cache
+  /// lookups, keeping hit/miss accounting exact. Default false: estimators
+  /// whose sweep is not a single PWL of t (e.g. the partitioned model, whose
+  /// partition-intersection mask depends on t) simply opt out.
+  virtual bool SupportsSweepCurve() const { return false; }
+
+  /// \brief Expose the query's entire estimate-vs-threshold curve as one
+  /// PWL: knot positions into `tau`, knot values into `p`. Must return true
+  /// whenever SupportsSweepCurve() does.
+  ///
+  /// When supported, evaluating core::PiecewiseLinear(tau, p) at any
+  /// threshold must be bit-identical to SweepEstimate — which lets the
+  /// serving layer cache the control points per (model version, query) and
+  /// answer repeat queries at NEW thresholds without touching the network
+  /// (serve::EstimateCache's curve table).
+  virtual bool SweepCurve(const float* x, std::vector<float>* tau,
+                          std::vector<float>* p) {
+    (void)x;
+    (void)tau;
+    (void)p;
+    return false;
+  }
 };
 
 }  // namespace selnet::eval

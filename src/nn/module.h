@@ -39,7 +39,10 @@ inline std::vector<tensor::Matrix> SnapshotParams(
 /// \brief Restore values captured by SnapshotParams (same order/shapes).
 inline void RestoreParams(const std::vector<ag::Var>& params,
                           const std::vector<tensor::Matrix>& snap) {
-  for (size_t i = 0; i < params.size(); ++i) params[i]->value = snap[i];
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = snap[i];
+    params[i]->pack_cache.Invalidate();  // Values replaced wholesale.
+  }
 }
 
 }  // namespace selnet::nn

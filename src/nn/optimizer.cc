@@ -42,6 +42,7 @@ void Sgd::Step() {
       for (size_t j = 0; j < p->value.size(); ++j) w[j] -= lr_ * g[j];
     }
   }
+  MarkParamsUpdated();
 }
 
 Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
@@ -81,6 +82,7 @@ void Adam::Step() {
       w[j] -= lr_ * upd;
     }
   }
+  MarkParamsUpdated();
 }
 
 }  // namespace selnet::nn

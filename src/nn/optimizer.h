@@ -29,6 +29,11 @@ class Optimizer {
   float lr() const { return lr_; }
 
  protected:
+  /// Must be called by every Step() after mutating parameter values: drops
+  /// the per-parameter packed-weight caches so no batched forward can serve
+  /// panels packed from pre-step weights (tensor/pack_cache.h).
+  void MarkParamsUpdated() { ag::InvalidatePackCaches(params_); }
+
   std::vector<ag::Var> params_;
   float lr_ = 1e-3f;
 };

@@ -99,6 +99,9 @@ Status ReadParamsPayload(std::FILE* f, const std::vector<ag::Var>& params,
                              std::to_string(i) + " (expected " +
                              std::to_string(n) + " floats)");
     }
+    // Values were overwritten wholesale; any cached packed panels are stale.
+    // (Callers still invalidate their fold caches — core::LoadModel does.)
+    p->pack_cache.Invalidate();
   }
   return Status::OK();
 }

@@ -10,8 +10,9 @@ namespace selnet::serve {
 EstimateCache::EstimateCache(const CacheConfig& cfg) : cfg_(cfg) {
   SEL_CHECK(cfg_.capacity > 0);
   size_t shards = std::max<size_t>(1, std::min(cfg_.shards, cfg_.capacity));
-  per_shard_capacity_ = (cfg_.capacity + shards - 1) / shards;
-  shards_ = std::vector<Shard>(shards);
+  scalars_.Init(cfg_.capacity, shards);
+  size_t curve_cap = std::max<size_t>(1, cfg_.curve_capacity);
+  curves_.Init(curve_cap, std::max<size_t>(1, std::min(cfg_.shards, curve_cap)));
 }
 
 namespace {
@@ -31,11 +32,14 @@ inline int64_t Quantize(float v, float quantum) {
   return static_cast<int64_t>(std::llround(double(v) / double(quantum)));
 }
 
+constexpr uint64_t kOffset = 14695981039346656037ULL;
+// Distinguishes curve keys from scalar keys built over the same inputs.
+constexpr uint64_t kCurveSalt = 0x9e3779b97f4a7c15ULL;
+
 }  // namespace
 
 uint64_t EstimateCache::MakeKey(uint64_t model_version, const float* x,
                                 size_t dim, float t) const {
-  constexpr uint64_t kOffset = 14695981039346656037ULL;
   uint64_t h = FnvMix(kOffset, model_version);
   h = FnvMix(h, static_cast<uint64_t>(dim));
   for (size_t i = 0; i < dim; ++i) {
@@ -45,53 +49,36 @@ uint64_t EstimateCache::MakeKey(uint64_t model_version, const float* x,
   return h;
 }
 
-bool EstimateCache::Lookup(uint64_t key, float* value) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return false;
+uint64_t EstimateCache::MakeCurveKey(uint64_t model_version, const float* x,
+                                     size_t dim) const {
+  uint64_t h = FnvMix(kOffset, kCurveSalt);
+  h = FnvMix(h, model_version);
+  h = FnvMix(h, static_cast<uint64_t>(dim));
+  for (size_t i = 0; i < dim; ++i) {
+    h = FnvMix(h, static_cast<uint64_t>(Quantize(x[i], cfg_.query_quantum)));
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  *value = it->second->second;
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return h;
+}
+
+bool EstimateCache::Lookup(uint64_t key, float* value) {
+  return scalars_.Lookup(key, value);
 }
 
 void EstimateCache::Insert(uint64_t key, float value) {
-  Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    it->second->second = value;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
-  }
-  if (shard.lru.size() >= per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-  shard.lru.emplace_front(key, value);
-  shard.index[key] = shard.lru.begin();
+  scalars_.Insert(key, value);
+}
+
+bool EstimateCache::LookupCurve(uint64_t key, CurveEntry* entry) {
+  return curves_.Lookup(key, entry);
+}
+
+void EstimateCache::InsertCurve(uint64_t key, CurveEntry entry) {
+  curves_.Insert(key, std::move(entry));
 }
 
 void EstimateCache::Clear() {
-  for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.lru.clear();
-    shard.index.clear();
-  }
-}
-
-size_t EstimateCache::size() const {
-  size_t total = 0;
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    total += shard.lru.size();
-  }
-  return total;
+  scalars_.Clear();
+  curves_.Clear();
 }
 
 }  // namespace selnet::serve

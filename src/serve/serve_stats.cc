@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "tensor/kernel_dispatch.h"
+#include "tensor/pack_cache.h"
 #include "util/table.h"
 
 namespace selnet::serve {
@@ -30,6 +32,8 @@ void ServeStats::Reset() {
   batched_requests_.store(0, std::memory_order_relaxed);
   sweeps_.store(0, std::memory_order_relaxed);
   sweep_fastpath_.store(0, std::memory_order_relaxed);
+  curve_hits_.store(0, std::memory_order_relaxed);
+  curve_misses_.store(0, std::memory_order_relaxed);
   swaps_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(lat_mu_);
   lat_next_ = 0;
@@ -58,7 +62,16 @@ StatsSnapshot ServeStats::Snapshot() const {
   s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   s.sweeps = sweeps_.load(std::memory_order_relaxed);
   s.sweep_fastpath = sweep_fastpath_.load(std::memory_order_relaxed);
+  s.curve_hits = curve_hits_.load(std::memory_order_relaxed);
+  s.curve_misses = curve_misses_.load(std::memory_order_relaxed);
   s.swaps = swaps_.load(std::memory_order_relaxed);
+  // Kernel-engine observability: which micro-kernel dispatch resolved to and
+  // how often the version-keyed pack cache spared a repack. Process-wide
+  // (the packs hang off shared model parameters, not one server).
+  tensor::PackStatsSnapshot pack = tensor::PackStats();
+  s.pack_hits = pack.hits;
+  s.pack_builds = pack.builds;
+  s.gemm_kernel = tensor::ActiveKernel().name;
 
   std::vector<double> samples;
   {
@@ -99,7 +112,12 @@ std::string ServeStats::Report(const std::string& title) const {
   table.AddRow({"avg batch size", util::AsciiTable::Num(s.avg_batch_size, 2)});
   table.AddRow({"sweeps", std::to_string(s.sweeps)});
   table.AddRow({"sweep fast-path", std::to_string(s.sweep_fastpath)});
+  table.AddRow({"curve-cache hits", std::to_string(s.curve_hits)});
+  table.AddRow({"curve-cache misses", std::to_string(s.curve_misses)});
   table.AddRow({"model swaps", std::to_string(s.swaps)});
+  table.AddRow({"gemm kernel", s.gemm_kernel});
+  table.AddRow({"pack-cache hits", std::to_string(s.pack_hits)});
+  table.AddRow({"pack builds", std::to_string(s.pack_builds)});
   return title + "\n" + table.ToString();
 }
 

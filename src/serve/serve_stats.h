@@ -28,7 +28,14 @@ struct StatsSnapshot {
   uint64_t batched_requests = 0;  ///< Requests answered through batches.
   uint64_t sweeps = 0;          ///< Multi-threshold requests submitted.
   uint64_t sweep_fastpath = 0;  ///< Sweeps answered via SweepCapable.
+  uint64_t curve_hits = 0;      ///< Sweeps answered from a cached PWL curve.
+  uint64_t curve_misses = 0;    ///< Curve-cache lookups that missed.
   uint64_t swaps = 0;           ///< Model hot-swaps observed.
+  /// Process-wide packed-weight cache counters (tensor::PackStats) at
+  /// snapshot time, plus the GEMM micro-kernel dispatch picked at startup.
+  uint64_t pack_hits = 0;
+  uint64_t pack_builds = 0;
+  std::string gemm_kernel;
   double elapsed_seconds = 0.0;
   double qps = 0.0;
   double cache_hit_rate = 0.0;  ///< hits / (hits + misses); 0 when unused.
@@ -57,6 +64,14 @@ class ServeStats {
     sweeps_.fetch_add(1, std::memory_order_relaxed);
     if (fast_path) sweep_fastpath_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// \brief One sweep-curve cache lookup (hit = PWL served, network skipped).
+  void RecordCurveLookup(bool hit) {
+    if (hit) {
+      curve_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      curve_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   void RecordBatch(size_t batch_size);
   void RecordLatencyMs(double ms);
 
@@ -76,6 +91,8 @@ class ServeStats {
   std::atomic<uint64_t> batched_requests_{0};
   std::atomic<uint64_t> sweeps_{0};
   std::atomic<uint64_t> sweep_fastpath_{0};
+  std::atomic<uint64_t> curve_hits_{0};
+  std::atomic<uint64_t> curve_misses_{0};
   std::atomic<uint64_t> swaps_{0};
 
   mutable std::mutex lat_mu_;

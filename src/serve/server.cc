@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/pwl.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -137,8 +138,36 @@ void SelNetServer::RunSweepFastPath(
     for (size_t r = 0; r < missing.size(); ++r) {
       ts[r] = req.thresholds[missing[r]];
     }
-    std::vector<float> values =
-        handle.model.sweep()->SweepEstimate(req.x.data(), ts.data(), ts.size());
+    // Sweep-curve cache: if this (version, query)'s PWL control points are
+    // cached — or the model can hand them to us — answer every threshold
+    // with local PWL lookups. On a hit the network is skipped entirely; the
+    // arithmetic mirrors SelNetCt::SweepEstimate, so values are bit-identical
+    // to the uncached fast path. Independent of the scalar cache flag; the
+    // capability is probed first so ServeStats and EstimateCache curve
+    // counters agree exactly.
+    std::vector<float> values;
+    if (cfg_.enable_curve_cache &&
+        handle.model.sweep()->SupportsSweepCurve()) {
+      uint64_t curve_key =
+          cache_.MakeCurveKey(handle.version, req.x.data(), cfg_.dim);
+      CurveEntry entry;
+      bool hit = cache_.LookupCurve(curve_key, &entry);
+      stats_.RecordCurveLookup(hit);
+      if (!hit &&
+          handle.model.sweep()->SweepCurve(req.x.data(), &entry.tau,
+                                           &entry.p)) {
+        cache_.InsertCurve(curve_key, entry);
+      }
+      if (!entry.tau.empty()) {
+        core::PiecewiseLinear pwl(std::move(entry.tau), std::move(entry.p));
+        values.resize(ts.size());
+        for (size_t r = 0; r < ts.size(); ++r) values[r] = pwl(ts[r]);
+      }
+    }
+    if (values.empty()) {
+      values =
+          handle.model.sweep()->SweepEstimate(req.x.data(), ts.data(), ts.size());
+    }
     if (values.size() != missing.size()) {
       // A SweepCapable contract violation is a bug in the *published model*,
       // not a server invariant — fail the request, never the process.

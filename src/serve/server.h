@@ -69,6 +69,15 @@ struct ServerConfig {
   /// Minimum uncached thresholds before the fast path engages; below this a
   /// scalar-shaped request batches better with its neighbours.
   size_t sweep_fastpath_min = 2;
+  /// Sweep-curve cache: store each query's whole PWL control-point set keyed
+  /// on (model version, quantized x) when the routed model reports
+  /// eval::SweepCapable::SupportsSweepCurve. A repeat query at NEW
+  /// thresholds then skips the network entirely — the server evaluates the
+  /// cached PWL, which is bit-identical to the model's own sweep path (same
+  /// quantized-neighbour caveat as the scalar cache). Independent of
+  /// `enable_cache` (it only feeds the sweep fast path); sized by
+  /// CacheConfig::curve_capacity.
+  bool enable_curve_cache = false;
 };
 
 /// \brief A servable, estimator-agnostic selectivity-estimation endpoint.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "tensor/kernel_dispatch.h"
+#include "util/thread_pool.h"
+
 namespace selnet::tensor {
 
 namespace {
@@ -59,82 +62,129 @@ void GemmNNBlocked(const Matrix& a, const Matrix& b, float alpha,
   GemmNNSaxpyRows(a, b, alpha, out, i);
 }
 
-// Batched kernel: BLIS-style. B is repacked once per call into 16-column
-// micro-panels laid out p-major, so the 4x16 register micro-kernel reads B
-// perfectly sequentially (prefetch-friendly) and each weight byte is
-// streamed once per 4 batch rows instead of once per row. This is the kernel
-// that makes batched serving pay on a single core: at m = 1 a forward pass
-// is bound by streaming the weight matrix, at m = 64 the stream is amortized
-// ~16-fold and the micro-kernel runs near FMA throughput.
+// Batched path: BLIS-style. B lives in 16-column micro-panels laid out
+// p-major (packed by the caller — once per weight version through a
+// PackCache, or per call into the bounded PackScratch arena), so the 4x16
+// micro-kernel reads B perfectly sequentially (prefetch-friendly) and each
+// weight byte is streamed once per 4 batch rows instead of once per row.
+// The micro-kernel itself is runtime-dispatched (scalar/AVX2/AVX-512/NEON;
+// see kernel_dispatch.h). This is the path that makes batched serving pay:
+// at m = 1 a forward pass is bound by streaming the weight matrix, at m = 64
+// the stream is amortized ~16-fold and the micro-kernel runs at full width.
 //
-// Rounding: for each C element the sum over p runs in ascending p order, the
-// same order as the saxpy kernels, so (with beta == 0) results are
+// Rounding: for each C element the sum over p runs in ascending p order with
+// two separately rounded ops per term, the same order as the saxpy kernels
+// and every dispatched ISA variant, so (with beta == 0) results are
 // bit-identical across kernels — batched serving returns exactly what a
 // single-row Predict would.
-void GemmNNPacked(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
-  size_t m = a.rows(), k = a.cols(), n = b.cols();
-  constexpr size_t kNr = 16;
-  size_t num_panels = (n + kNr - 1) / kNr;
-  thread_local std::vector<float> packed;
-  if (packed.size() < num_panels * k * kNr) {
-    packed.resize(num_panels * k * kNr);
-  }
-  for (size_t pa = 0; pa < num_panels; ++pa) {
-    size_t j0 = pa * kNr;
-    size_t jn = std::min(kNr, n - j0);
-    float* dst = packed.data() + pa * k * kNr;
-    for (size_t p = 0; p < k; ++p) {
-      const float* src = b.row(p) + j0;
-      for (size_t j = 0; j < jn; ++j) dst[p * kNr + j] = src[j];
-      for (size_t j = jn; j < kNr; ++j) dst[p * kNr + j] = 0.0f;
-    }
-  }
-  size_t i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const float* a0 = a.row(i);
-    const float* a1 = a.row(i + 1);
-    const float* a2 = a.row(i + 2);
-    const float* a3 = a.row(i + 3);
+
+// Rows [row_begin, row_end) of C += alpha * A * packed(B); row_end -
+// row_begin must be a multiple of kMicroRows (the caller peels the tail).
+void PackedRowBlocks(const Matrix& a, const float* packed, size_t n,
+                     float alpha, Matrix* out, size_t row_begin,
+                     size_t row_end) {
+  size_t k = a.cols();
+  size_t num_panels = (n + kPanelWidth - 1) / kPanelWidth;
+  const MicroKernelFn kernel = ActiveKernel().fn;
+  for (size_t i = row_begin; i + kMicroRows <= row_end; i += kMicroRows) {
     for (size_t pa = 0; pa < num_panels; ++pa) {
-      size_t j0 = pa * kNr;
-      size_t jn = std::min(kNr, n - j0);
-      const float* bp = packed.data() + pa * k * kNr;
-      float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
-      for (size_t p = 0; p < k; ++p) {
-        const float* b_row = bp + p * kNr;
-        float v0 = alpha * a0[p];
-        float v1 = alpha * a1[p];
-        float v2 = alpha * a2[p];
-        float v3 = alpha * a3[p];
-        for (size_t j = 0; j < kNr; ++j) {
-          float bv = b_row[j];
-          acc0[j] += v0 * bv;
-          acc1[j] += v1 * bv;
-          acc2[j] += v2 * bv;
-          acc3[j] += v3 * bv;
-        }
-      }
-      float* c0 = out->row(i) + j0;
-      float* c1 = out->row(i + 1) + j0;
-      float* c2 = out->row(i + 2) + j0;
-      float* c3 = out->row(i + 3) + j0;
-      for (size_t j = 0; j < jn; ++j) {
-        c0[j] += acc0[j];
-        c1[j] += acc1[j];
-        c2[j] += acc2[j];
-        c3[j] += acc3[j];
+      size_t j0 = pa * kPanelWidth;
+      size_t jn = std::min(kPanelWidth, n - j0);
+      const float* bp = packed + pa * k * kPanelWidth;
+      float acc[kMicroRows * kPanelWidth] = {};
+      kernel(a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3), k, alpha, bp,
+             acc);
+      for (size_t r = 0; r < kMicroRows; ++r) {
+        float* c = out->row(i + r) + j0;
+        const float* acc_r = acc + r * kPanelWidth;
+        for (size_t j = 0; j < jn; ++j) c[j] += acc_r[j];
       }
     }
   }
-  GemmNNSaxpyRows(a, b, alpha, out, i);
+}
+
+// Tail rows (fewer than kMicroRows) over the packed layout. Same per-element
+// sequence as the micro-kernel (and as the saxpy kernel: products of exact
+// zeros only ever add ±0 to a +0-seeded accumulation, which cannot change
+// the result for finite inputs).
+void PackedTailRows(const Matrix& a, const float* packed, size_t n,
+                    float alpha, Matrix* out, size_t row_begin,
+                    size_t row_end) {
+  size_t k = a.cols();
+  size_t num_panels = (n + kPanelWidth - 1) / kPanelWidth;
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const float* a_row = a.row(i);
+    for (size_t pa = 0; pa < num_panels; ++pa) {
+      size_t j0 = pa * kPanelWidth;
+      size_t jn = std::min(kPanelWidth, n - j0);
+      const float* bp = packed + pa * k * kPanelWidth;
+      float acc[kPanelWidth] = {};
+      for (size_t p = 0; p < k; ++p) {
+        const float* b_row = bp + p * kPanelWidth;
+        float v = alpha * a_row[p];
+        for (size_t j = 0; j < kPanelWidth; ++j) acc[j] += v * b_row[j];
+      }
+      float* c = out->row(i) + j0;
+      for (size_t j = 0; j < jn; ++j) c[j] += acc[j];
+    }
+  }
+}
+
+// How eagerly PackedCompute shards row blocks across the global pool.
+enum class Sharding {
+  kNever,      // Always serial (deterministic single-thread reference).
+  kByRowCount, // Shard at >= kGemmParallelMinRows rows (production auto).
+  kAlways,     // Shard any row count (tests exercise the decomposition).
+};
+
+// Serial or row-sharded run over an already packed B. Sharding splits whole
+// 4-row blocks across the global pool (disjoint C rows, identical per-block
+// arithmetic, so results do not depend on the schedule); ParallelFor falls
+// back to a serial loop on 1-thread hosts and inside pool workers — in
+// particular BatchScheduler flushes stay serial per flush, because the
+// scheduler's multi-core story is several flushes in flight across workers,
+// not intra-GEMM sharding (nested sharding could starve the fixed pool).
+// The sharded path serves direct large batched Predict calls on non-pool
+// threads: bulk scoring, eval sweeps, the server's unbatched fallback.
+void PackedCompute(const Matrix& a, const float* packed, size_t n, float alpha,
+                   Matrix* out, Sharding sharding) {
+  size_t m = a.rows();
+  size_t full = m - m % kMicroRows;
+  size_t num_blocks = full / kMicroRows;
+  bool shard = sharding == Sharding::kAlways ||
+               (sharding == Sharding::kByRowCount &&
+                m >= kGemmParallelMinRows &&
+                util::ThreadPool::Global().num_threads() > 1);
+  if (shard) {
+    util::ParallelFor(
+        0, num_blocks,
+        [&](size_t blk) {
+          PackedRowBlocks(a, packed, n, alpha, out, blk * kMicroRows,
+                          (blk + 1) * kMicroRows);
+        },
+        /*grain=*/2);
+  } else {
+    PackedRowBlocks(a, packed, n, alpha, out, 0, full);
+  }
+  PackedTailRows(a, packed, n, alpha, out, full, m);
+}
+
+// Cache-less packed GEMM: packs into the bounded thread-local arena.
+void GemmNNPacked(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
+                  Sharding sharding) {
+  size_t k = b.rows(), n = b.cols();
+  size_t num_panels = (n + kPanelWidth - 1) / kPanelWidth;
+  float* packed =
+      PackScratch::ThreadLocal().Acquire(num_panels * k * kPanelWidth);
+  PackBInto(b, packed);
+  PackedCompute(a, packed, n, alpha, out, sharding);
 }
 
 // C(m x n) += alpha * A(m x k) * B(k x n), row-major. Kernel choice by batch
 // size: packing pays for itself once B's stream is reused across >= ~8 rows.
 void GemmNN(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
-  constexpr size_t kPackMinRows = 16;
-  if (a.rows() >= kPackMinRows) {
-    GemmNNPacked(a, b, alpha, out);
+  if (a.rows() >= kGemmPackMinRows) {
+    GemmNNPacked(a, b, alpha, out, Sharding::kByRowCount);
   } else if (a.rows() >= 4) {
     GemmNNBlocked(a, b, alpha, out);
   } else {
@@ -177,6 +227,41 @@ void GemmTT(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
 }
 
 }  // namespace
+
+void GemmNNWithKernel(const Matrix& a, const Matrix& b, float alpha,
+                      Matrix* out, GemmKernel kernel) {
+  SEL_CHECK_EQ(a.cols(), b.rows());
+  SEL_CHECK_EQ(out->rows(), a.rows());
+  SEL_CHECK_EQ(out->cols(), b.cols());
+  switch (kernel) {
+    case GemmKernel::kAuto:
+      GemmNN(a, b, alpha, out);
+      break;
+    case GemmKernel::kSaxpy:
+      GemmNNSaxpyRows(a, b, alpha, out, 0);
+      break;
+    case GemmKernel::kBlocked:
+      GemmNNBlocked(a, b, alpha, out);
+      break;
+    case GemmKernel::kPacked:
+      GemmNNPacked(a, b, alpha, out, Sharding::kNever);
+      break;
+    case GemmKernel::kPackedParallel:
+      // Forced block sharding regardless of m, so tests exercise the
+      // decomposition even for small inputs.
+      GemmNNPacked(a, b, alpha, out, Sharding::kAlways);
+      break;
+  }
+}
+
+void GemmNNPrepacked(const Matrix& a, const PackedWeights& packed, float alpha,
+                     Matrix* out) {
+  SEL_CHECK_EQ(a.cols(), packed.k);
+  SEL_CHECK_EQ(out->rows(), a.rows());
+  SEL_CHECK_EQ(out->cols(), packed.n);
+  PackedCompute(a, packed.data.data(), packed.n, alpha, out,
+                Sharding::kByRowCount);
+}
 
 float Dot(const float* a, const float* b, size_t n) {
   float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;

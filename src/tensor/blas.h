@@ -1,21 +1,59 @@
 #pragma once
 
 #include "tensor/matrix.h"
+#include "tensor/pack_cache.h"
 
 /// \file blas.h
 /// \brief Hot numeric kernels over Matrix: GEMM variants, axpy, reductions.
 ///
-/// These are the only loops that matter for training throughput; they are
-/// written i-k-j (saxpy order) so the inner loop is a contiguous FMA stream
-/// that GCC vectorizes with AVX2.
+/// These are the only loops that matter for training and serving throughput.
+/// The NN GEMM is a small kernel engine: batch size picks between a saxpy
+/// loop (1-3 rows), a 4-row blocked kernel (4-15 rows), and a BLIS-style
+/// packed path (16+ rows) whose 4x16 micro-kernel is runtime-dispatched
+/// across scalar/AVX2/AVX-512/NEON implementations (kernel_dispatch.h) and
+/// sharded across cores above kGemmParallelMinRows. Weight packing is either
+/// cached per parameter version (pack_cache.h, via GemmNNPrepacked) or done
+/// into a bounded thread-local scratch arena.
+///
+/// Bit-identity: with beta == 0, every GemmNN path — any batch size, any
+/// dispatched ISA, any core count — keeps one per-element accumulation order
+/// (ascending k, two separately rounded ops per term), so results are
+/// bit-identical across kernels. Batched serving returns exactly what a
+/// single-row Predict would; see kernel_dispatch.h for how the SIMD variants
+/// uphold this.
 
 namespace selnet::tensor {
+
+/// \brief Row count at which GemmNN switches to the packed micro-kernel.
+inline constexpr size_t kGemmPackMinRows = 16;
+
+/// \brief Row count at which the packed path shards 4-row blocks across
+/// util::ParallelFor. Serial fallback on single-threaded hosts and inside
+/// pool workers — so BatchScheduler flushes stay serial per flush (their
+/// multi-core story is several flushes in flight across workers); the
+/// sharded path serves direct large batched Predicts on non-pool threads.
+inline constexpr size_t kGemmParallelMinRows = 128;
+
+/// \brief Forced kernel choice for GemmNNWithKernel (tests and benches pin
+/// each path; production code uses the batch-size auto dispatch).
+enum class GemmKernel { kAuto, kSaxpy, kBlocked, kPacked, kPackedParallel };
 
 /// \brief out = alpha * A(^T?) * B(^T?) + beta * out.
 ///
 /// `out` must be pre-shaped to the product shape; `beta == 0` overwrites.
 void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
           float alpha, float beta, Matrix* out);
+
+/// \brief out += alpha * A * B through an explicitly chosen NN kernel
+/// (callers zero `out` first for the plain product).
+void GemmNNWithKernel(const Matrix& a, const Matrix& b, float alpha,
+                      Matrix* out, GemmKernel kernel);
+
+/// \brief out += alpha * A * packed(B), skipping the pack pass entirely —
+/// the serving hot path, fed by a version-keyed PackCache snapshot.
+/// Bit-identical to GemmNNWithKernel(..., kPacked) on the unpacked B.
+void GemmNNPrepacked(const Matrix& a, const PackedWeights& packed, float alpha,
+                     Matrix* out);
 
 /// \brief C = A * B convenience wrapper.
 Matrix MatMul(const Matrix& a, const Matrix& b);

@@ -1,0 +1,118 @@
+#include "tensor/pack_cache.h"
+
+#include <algorithm>
+
+namespace selnet::tensor {
+
+namespace {
+std::atomic<uint64_t> g_pack_hits{0};
+std::atomic<uint64_t> g_pack_builds{0};
+std::atomic<uint64_t> g_pack_invalidations{0};
+std::atomic<bool> g_pack_cache_enabled{true};
+}  // namespace
+
+void PackBInto(const Matrix& b, float* dst) {
+  size_t k = b.rows(), n = b.cols();
+  size_t num_panels = (n + kPanelWidth - 1) / kPanelWidth;
+  for (size_t pa = 0; pa < num_panels; ++pa) {
+    size_t j0 = pa * kPanelWidth;
+    size_t jn = std::min(kPanelWidth, n - j0);
+    float* panel = dst + pa * k * kPanelWidth;
+    for (size_t p = 0; p < k; ++p) {
+      const float* src = b.row(p) + j0;
+      float* out = panel + p * kPanelWidth;
+      for (size_t j = 0; j < jn; ++j) out[j] = src[j];
+      for (size_t j = jn; j < kPanelWidth; ++j) out[j] = 0.0f;
+    }
+  }
+}
+
+void PackB(const Matrix& b, PackedWeights* out) {
+  out->k = b.rows();
+  out->n = b.cols();
+  out->num_panels = (b.cols() + kPanelWidth - 1) / kPanelWidth;
+  out->data.resize(out->num_panels * out->k * kPanelWidth);
+  PackBInto(b, out->data.data());
+}
+
+PackStatsSnapshot PackStats() {
+  PackStatsSnapshot s;
+  s.hits = g_pack_hits.load(std::memory_order_relaxed);
+  s.builds = g_pack_builds.load(std::memory_order_relaxed);
+  s.invalidations = g_pack_invalidations.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetPackStats() {
+  g_pack_hits.store(0, std::memory_order_relaxed);
+  g_pack_builds.store(0, std::memory_order_relaxed);
+  g_pack_invalidations.store(0, std::memory_order_relaxed);
+}
+
+void SetPackCacheEnabled(bool enabled) {
+  g_pack_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool PackCacheEnabled() {
+  return g_pack_cache_enabled.load(std::memory_order_relaxed);
+}
+
+std::shared_ptr<const PackedWeights> PackCache::Get(const Matrix& b) const {
+  if (PackCacheEnabled()) {
+    std::shared_ptr<const PackedWeights> cached = std::atomic_load(&cache_);
+    // Validity is decided HERE, not at publish time: the snapshot must carry
+    // the current generation (a builder preempted across an Invalidate() may
+    // publish a stale pack, but its stale generation makes it unservable)
+    // and the shape must match (guards the rare reuse of one slot for
+    // different-shaped values).
+    if (cached && cached->generation == gen_.load() &&
+        cached->k == b.rows() && cached->n == b.cols()) {
+      g_pack_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+  }
+  // Sample the generation BEFORE reading the weights: a build that raced a
+  // mutation+Invalidate() carries the pre-bump generation, so even if it
+  // wins the publish race below it can never be served (see the hit path).
+  uint64_t gen = gen_.load();
+  auto built = std::make_shared<PackedWeights>();
+  PackB(b, built.get());
+  built->generation = gen;
+  g_pack_builds.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const PackedWeights> result = std::move(built);
+  if (PackCacheEnabled() && gen_.load() == gen) {
+    std::atomic_store(&cache_, result);
+  }
+  return result;
+}
+
+void PackCache::Invalidate() const {
+  // Bump BEFORE clearing so an in-flight build observes the new generation
+  // and cannot republish a stale pack (same ordering as the fold cache).
+  gen_.fetch_add(1);
+  std::atomic_store(&cache_, std::shared_ptr<const PackedWeights>(nullptr));
+  g_pack_invalidations.fetch_add(1, std::memory_order_relaxed);
+}
+
+float* PackScratch::Acquire(size_t n) {
+  high_water_ = std::max(high_water_, n);
+  if (++calls_ >= kShrinkPeriod) {
+    // Re-fit to the demand actually seen this period; a one-off giant GEMM
+    // stops pinning its footprint within kShrinkPeriod calls.
+    if (high_water_ < buf_.capacity() / 2) {
+      buf_.resize(high_water_);
+      buf_.shrink_to_fit();
+    }
+    calls_ = 0;
+    high_water_ = n;
+  }
+  if (buf_.size() < n) buf_.resize(n);
+  return buf_.data();
+}
+
+PackScratch& PackScratch::ThreadLocal() {
+  thread_local PackScratch scratch;
+  return scratch;
+}
+
+}  // namespace selnet::tensor

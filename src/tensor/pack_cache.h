@@ -1,0 +1,130 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/kernel_dispatch.h"
+#include "tensor/matrix.h"
+
+/// \file pack_cache.h
+/// \brief Version-keyed cache of packed GEMM weight panels.
+///
+/// `GemmNN` above the packing threshold first repacks B's 16-column panels
+/// into a p-major layout the micro-kernel streams sequentially. Weights only
+/// change at update/publish boundaries, so repacking per call is pure waste
+/// on the serving path. A `PackCache` keys one immutable `PackedWeights`
+/// snapshot to a monotonically increasing generation — the exact discipline
+/// `core::ControlHeads` uses for its folded-tail cache (`fold_gen_`):
+///
+///  * readers `Get()` lock-free (atomic shared_ptr load); concurrent builds
+///    race harmlessly because packing is a pure function of B;
+///  * writers call `Invalidate()` after mutating the weights. The generation
+///    is bumped BEFORE the slot is cleared, so an in-flight build that
+///    sampled the old weights fails its generation check and never publishes
+///    a stale pack. Invalidation is wired through every point that mutates
+///    parameter values: `nn::Optimizer::Step`, `nn::LoadParams` /
+///    `core::LoadModel`, and `ControlHeads::InvalidateInferenceCache`
+///    (which `serve::ModelRegistry::PublishFromFile` triggers).
+///
+/// Callers that have no stable weight identity (transposed copies, transient
+/// activation products) instead pack into a bounded thread-local
+/// `PackScratch` arena.
+
+namespace selnet::tensor {
+
+/// \brief An immutable packed snapshot of one weight matrix B (k x n):
+/// ceil(n / kPanelWidth) panels, each k rows of kPanelWidth floats (p-major,
+/// zero-padded past column n).
+struct PackedWeights {
+  size_t k = 0;
+  size_t n = 0;
+  size_t num_panels = 0;
+  /// PackCache generation sampled before the weights were read; the hit path
+  /// serves a snapshot only while this matches the cache's current
+  /// generation, which closes the publish-after-invalidate race (a builder
+  /// preempted between its generation check and its store cannot make a
+  /// stale pack servable — readers see the generation mismatch and rebuild).
+  uint64_t generation = 0;
+  std::vector<float> data;
+
+  const float* panel(size_t pa) const {
+    return data.data() + pa * k * kPanelWidth;
+  }
+};
+
+/// \brief Pack B into `out` (resizing it); layout documented on
+/// PackedWeights. `dst` buffers from PackScratch use PackBInto.
+void PackB(const Matrix& b, PackedWeights* out);
+
+/// \brief Pack B into a raw buffer of at least
+/// ceil(n / kPanelWidth) * k * kPanelWidth floats (the PackScratch path).
+void PackBInto(const Matrix& b, float* dst);
+
+/// \brief Process-wide pack-cache observability counters (serve stats and
+/// tests read these; all relaxed atomics).
+struct PackStatsSnapshot {
+  uint64_t hits = 0;          ///< Get() served from the cached snapshot.
+  uint64_t builds = 0;        ///< Get() had to pack.
+  uint64_t invalidations = 0;
+};
+PackStatsSnapshot PackStats();
+void ResetPackStats();
+
+/// \brief Kill switch: when disabled, Get() packs fresh on every call (the
+/// pre-cache behavior). Benches use this for an honest cold-pack baseline;
+/// ops can flip it if a stale-pack bug is ever suspected in production.
+void SetPackCacheEnabled(bool enabled);
+bool PackCacheEnabled();
+
+/// \brief One weight matrix's version-keyed pack slot (see file comment).
+class PackCache {
+ public:
+  PackCache() = default;
+  PackCache(const PackCache&) = delete;
+  PackCache& operator=(const PackCache&) = delete;
+
+  /// \brief The packed panels for `b`, built lazily and cached until
+  /// Invalidate(). Thread-safe; the returned snapshot is immutable and
+  /// outlives any later invalidation.
+  std::shared_ptr<const PackedWeights> Get(const Matrix& b) const;
+
+  /// \brief Drop the cached pack; must follow any mutation of the weight
+  /// values this cache shadows. Thread-safe.
+  void Invalidate() const;
+
+  /// \brief Generation counter (bumps on every Invalidate).
+  uint64_t generation() const { return gen_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::shared_ptr<const PackedWeights> cache_;
+  mutable std::atomic<uint64_t> gen_{0};
+};
+
+/// \brief Bounded thread-local packing arena for cache-less GemmNN calls.
+///
+/// Replaces the unbounded `thread_local std::vector<float>` that grew
+/// monotonically with the largest B ever packed on a thread: capacity is
+/// re-fit to the observed high-water mark every `kShrinkPeriod` acquisitions,
+/// so one huge one-off GEMM no longer pins its footprint forever.
+class PackScratch {
+ public:
+  /// \brief A buffer of at least `n` floats, valid until the next Acquire on
+  /// this thread.
+  float* Acquire(size_t n);
+
+  size_t capacity() const { return buf_.capacity(); }
+
+  /// \brief Calling thread's arena (what GemmNN uses).
+  static PackScratch& ThreadLocal();
+
+  static constexpr size_t kShrinkPeriod = 64;
+
+ private:
+  std::vector<float> buf_;
+  size_t high_water_ = 0;  ///< Largest demand in the current period.
+  size_t calls_ = 0;
+};
+
+}  // namespace selnet::tensor

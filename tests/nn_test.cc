@@ -158,6 +158,90 @@ TEST(SerializeTest, MissingFileIsIOError) {
   EXPECT_EQ(st.code(), util::StatusCode::kIoError);
 }
 
+// ----------------------------------------------- packed-weight staleness ---
+
+// Batched forwards (>= tensor::kGemmPackMinRows rows) run against cached
+// packed weight panels; these tests pin the invalidation contract at every
+// value-mutation point. The reference is a raw Gemm on the current weights,
+// which is bit-identical to the prepacked path by the kernel contract — any
+// stale pack shows up as an exact-inequality failure.
+Matrix LinearReference(const Linear& lin, const Matrix& x) {
+  Matrix out(x.rows(), lin.out_dim());
+  tensor::Gemm(x, false, lin.weight()->value, false, 1.0f, 0.0f, &out);
+  tensor::AddRowVectorInPlace(&out, lin.bias()->value);
+  return out;
+}
+
+void ExpectExactlyEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_TRUE(a.SameShape(b));
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "flat index " << i;
+  }
+}
+
+TEST(PackInvalidationTest, OptimizerStepDropsStalePacks) {
+  util::Rng rng(21);
+  Linear lin(8, 8, &rng);
+  Matrix x = Matrix::Gaussian(tensor::kGemmPackMinRows, 8, &rng);
+  Matrix before = lin.Forward(ag::Constant(x))->value;  // Warms the pack.
+  ExpectExactlyEqual(before, LinearReference(lin, x));
+
+  Sgd sgd(lin.Params(), /*lr=*/0.5f);
+  for (const auto& p : lin.Params()) {
+    p->EnsureGrad();
+    p->grad.Fill(1.0f);
+  }
+  sgd.Step();
+  Matrix after_sgd = lin.Forward(ag::Constant(x))->value;
+  ExpectExactlyEqual(after_sgd, LinearReference(lin, x));
+
+  Adam adam(lin.Params(), /*lr=*/0.1f);
+  for (const auto& p : lin.Params()) p->grad.Fill(0.5f);
+  adam.Step();
+  Matrix after_adam = lin.Forward(ag::Constant(x))->value;
+  ExpectExactlyEqual(after_adam, LinearReference(lin, x));
+
+  // Sanity: the steps actually moved the weights.
+  EXPECT_NE(before(0, 0), after_sgd(0, 0));
+  EXPECT_NE(after_sgd(0, 0), after_adam(0, 0));
+}
+
+TEST(PackInvalidationTest, LoadParamsDropsStalePacks) {
+  util::Rng rng(22);
+  Linear lin(6, 10, &rng);
+  Linear other(6, 10, &rng);  // Different init, same shapes.
+  Matrix x = Matrix::Gaussian(tensor::kGemmPackMinRows, 6, &rng);
+  Matrix before = lin.Forward(ag::Constant(x))->value;  // Warms the pack.
+
+  const char* path = "pack_invalidation_params.bin";
+  ASSERT_TRUE(SaveParams(other.Params(), path).ok());
+  ASSERT_TRUE(LoadParams(path, lin.Params()).ok());
+  std::remove(path);
+
+  Matrix after = lin.Forward(ag::Constant(x))->value;
+  ExpectExactlyEqual(after, LinearReference(other, x));
+  EXPECT_NE(before(0, 0), after(0, 0));
+}
+
+TEST(PackInvalidationTest, RestoreParamsDropsStalePacks) {
+  util::Rng rng(23);
+  Linear lin(5, 7, &rng);
+  Matrix x = Matrix::Gaussian(tensor::kGemmPackMinRows, 5, &rng);
+  std::vector<Matrix> snap = SnapshotParams(lin.Params());
+  Matrix before = lin.Forward(ag::Constant(x))->value;  // Warms the pack.
+
+  for (const auto& p : lin.Params()) {
+    p->value.Apply([](float v) { return v * 2.0f + 0.1f; });
+    p->pack_cache.Invalidate();
+  }
+  Matrix perturbed = lin.Forward(ag::Constant(x))->value;
+  EXPECT_NE(before(0, 0), perturbed(0, 0));
+
+  RestoreParams(lin.Params(), snap);
+  Matrix after = lin.Forward(ag::Constant(x))->value;
+  ExpectExactlyEqual(after, before);
+}
+
 TEST(ModuleTest, SnapshotRestoreRoundTrip) {
   util::Rng rng(11);
   Mlp mlp({3, 4, 1}, &rng);

@@ -59,6 +59,45 @@ TEST(EstimateCacheTest, ModelVersionChangesKey) {
   EXPECT_NE(cache.MakeKey(1, x, 2, 0.3f), cache.MakeKey(2, x, 2, 0.3f));
 }
 
+TEST(EstimateCacheTest, CurveEntriesRoundTrip) {
+  EstimateCache cache;
+  float x[2] = {0.5f, 0.5f};
+  uint64_t key = cache.MakeCurveKey(7, x, 2);
+  EXPECT_NE(key, cache.MakeCurveKey(8, x, 2));  // Version-keyed.
+  CurveEntry entry;
+  EXPECT_FALSE(cache.LookupCurve(key, &entry));
+  cache.InsertCurve(key, CurveEntry{{0.0f, 0.5f, 1.0f}, {0.0f, 2.0f, 3.0f}});
+  ASSERT_TRUE(cache.LookupCurve(key, &entry));
+  EXPECT_EQ(entry.tau, (std::vector<float>{0.0f, 0.5f, 1.0f}));
+  EXPECT_EQ(entry.p, (std::vector<float>{0.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(cache.curve_hits(), 1u);
+  EXPECT_EQ(cache.curve_misses(), 1u);
+  EXPECT_EQ(cache.curve_size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.curve_size(), 0u);
+}
+
+TEST(EstimateCacheTest, CurveTableEvictsIndependently) {
+  CacheConfig cfg;
+  cfg.curve_capacity = 2;
+  cfg.shards = 1;
+  EstimateCache cache(cfg);
+  float x[1];
+  for (int i = 0; i < 3; ++i) {
+    x[0] = float(i);
+    cache.InsertCurve(cache.MakeCurveKey(1, x, 1),
+                      CurveEntry{{0.0f, 1.0f}, {0.0f, float(i)}});
+  }
+  EXPECT_EQ(cache.curve_size(), 2u);  // Oldest curve evicted.
+  CurveEntry entry;
+  x[0] = 0.0f;
+  EXPECT_FALSE(cache.LookupCurve(cache.MakeCurveKey(1, x, 1), &entry));
+  x[0] = 2.0f;
+  EXPECT_TRUE(cache.LookupCurve(cache.MakeCurveKey(1, x, 1), &entry));
+  // The scalar table is untouched by curve inserts.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 TEST(EstimateCacheTest, EvictsLeastRecentlyUsed) {
   CacheConfig cfg;
   cfg.capacity = 4;
@@ -824,6 +863,100 @@ TEST_F(ServeFixture, EstimateAsyncFutureReportsReady) {
   std::future<float> f = server.EstimateAsync(wl_.queries.row(0), 0.5f);
   EXPECT_EQ(f.wait_for(std::chrono::seconds(5)), std::future_status::ready);
   EXPECT_TRUE(std::isfinite(f.get()));
+}
+
+TEST_F(ServeFixture, RepublishAfterWeightMutationServesNoStalePacks) {
+  // The stale-pack regression: batched serving runs against version-keyed
+  // packed weight panels. After an in-place weight update + republish (the
+  // UpdateManager pattern), batched answers must be bit-identical to
+  // single-row Predict — which never touches the packed path — on the NEW
+  // weights. A stale pack would serve pre-update weights silently.
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/false));
+  server.Publish(model_);
+  data::Batch b = data::MaterializeAll(wl_.queries, wl_.test);
+  {
+    std::vector<std::future<float>> warm;
+    for (size_t i = 0; i < b.x.rows(); ++i) {
+      warm.push_back(server.EstimateAsync(b.x.row(i), b.t(i, 0)));
+    }
+    for (auto& f : warm) f.get();  // Packs are now warm for this version.
+  }
+
+  for (const auto& p : model_->Params()) {
+    p->value.Apply([](float v) { return v * 1.1f + 0.02f; });
+  }
+  model_->InvalidateInferenceCache();  // The update/publish boundary.
+  server.Publish(model_);
+
+  std::vector<std::future<float>> futures;
+  for (size_t i = 0; i < b.x.rows(); ++i) {
+    futures.push_back(server.EstimateAsync(b.x.row(i), b.t(i, 0)));
+  }
+  for (size_t i = 0; i < b.x.rows(); ++i) {
+    Matrix x1 = b.x.RowSlice(i, i + 1);
+    Matrix t1 = b.t.RowSlice(i, i + 1);
+    float expected = model_->Predict(x1, t1)(0, 0);
+    EXPECT_EQ(futures[i].get(), expected) << "stale pack at row " << i;
+  }
+}
+
+TEST_F(ServeFixture, CurveCacheAnswersNewThresholdsWithoutNetwork) {
+  ServerConfig scfg = MakeServerConfig(/*batching=*/false, /*cache=*/true);
+  scfg.enable_curve_cache = true;
+  SelNetServer server(scfg);
+  server.Publish(model_);
+  const float* q = wl_.queries.row(2);
+
+  std::vector<float> ts1, ts2;
+  for (int i = 1; i <= 4; ++i) {
+    ts1.push_back(wl_.tmax * float(i) / 5.0f);
+    ts2.push_back(wl_.tmax * (float(i) - 0.5f) / 5.0f);  // Disjoint from ts1.
+  }
+  auto first = server.EstimateSweep(q, ts1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(server.cache().curve_size(), 1u);  // Curve stored on the miss.
+
+  // New thresholds: every scalar-cache lookup misses, but the cached curve
+  // answers without touching the network — bit-identical to the model's own
+  // sweep path (same control points, same PWL arithmetic).
+  auto second = server.EstimateSweep(q, ts2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(server.cache().curve_hits(), 1u);
+  EXPECT_GE(server.stats().Snapshot().curve_hits, 1u);
+  std::vector<float> expected =
+      model_->SweepEstimate(q, ts2.data(), ts2.size());
+  ASSERT_EQ(second.ValueOrDie().size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(second.ValueOrDie()[i], expected[i]) << "threshold " << i;
+  }
+}
+
+TEST_F(ServeFixture, CurveCacheIsVersionKeyedAcrossHotSwap) {
+  ServerConfig scfg = MakeServerConfig(/*batching=*/false, /*cache=*/true);
+  scfg.enable_curve_cache = true;
+  SelNetServer server(scfg);
+  server.Publish(model_);
+  const float* q = wl_.queries.row(3);
+  std::vector<float> ts = {0.25f * wl_.tmax, 0.5f * wl_.tmax,
+                           0.75f * wl_.tmax};
+  auto before = server.EstimateSweep(q, ts);
+  ASSERT_TRUE(before.ok());
+
+  for (const auto& p : model_->Params()) {
+    p->value.Apply([](float v) { return v * 1.2f + 0.05f; });
+  }
+  model_->InvalidateInferenceCache();
+  server.Publish(model_);  // New version: old curve entries can never match.
+
+  auto after = server.EstimateSweep(q, ts);
+  ASSERT_TRUE(after.ok());
+  std::vector<float> expected = model_->SweepEstimate(q, ts.data(), ts.size());
+  bool any_diff = false;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(after.ValueOrDie()[i], expected[i]) << "threshold " << i;
+    if (after.ValueOrDie()[i] != before.ValueOrDie()[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "weight mutation should have changed the sweep";
 }
 
 TEST(ServerConfigTest, SchedulerDimInheritsFromServerDim) {

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "tensor/blas.h"
+#include "tensor/kernel_dispatch.h"
 #include "tensor/matrix.h"
+#include "tensor/pack_cache.h"
 #include "util/rng.h"
 
 namespace selnet::tensor {
@@ -179,6 +182,199 @@ TEST(BlasTest, DotAndSquaredL2) {
   std::vector<float> b = {5, 4, 3, 2, 1};
   EXPECT_FLOAT_EQ(Dot(a.data(), b.data(), 5), 35.0f);
   EXPECT_FLOAT_EQ(SquaredL2(a.data(), b.data(), 5), 16 + 4 + 0 + 4 + 16);
+}
+
+// ------------------------------------------------------- kernel engine ---
+
+// Pins the dispatched micro-kernel for a scope; restores the prior one.
+struct KernelGuard {
+  explicit KernelGuard(const char* name) : prev(ActiveKernel().name) {
+    EXPECT_TRUE(SetActiveKernel(name));
+  }
+  ~KernelGuard() { SetActiveKernel(prev); }
+  std::string prev;
+};
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_TRUE(a.SameShape(b)) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what << ": outputs are not bit-identical";
+}
+
+// Post-ReLU-like inputs: the saxpy/blocked kernels take their zero-skip
+// branches, the packed kernels do not — outputs must still match bitwise.
+Matrix ReluSparse(Matrix m) {
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (m.data()[i] < 0.3f) m.data()[i] = 0.0f;
+  }
+  return m;
+}
+
+TEST(KernelDispatchTest, ScalarAlwaysPresentAndOverridable) {
+  const std::vector<KernelInfo>& kernels = AvailableKernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_STREQ(kernels.front().name, "scalar");
+  EXPECT_FALSE(SetActiveKernel("no-such-isa"));
+  for (const KernelInfo& k : kernels) {
+    EXPECT_TRUE(SetActiveKernel(k.name)) << k.name;
+    EXPECT_STREQ(ActiveKernel().name, k.name);
+  }
+  SetActiveKernel("scalar");
+}
+
+// The acceptance contract: every GemmNN path — saxpy, blocked, packed under
+// every compiled-in ISA kernel, the parallel row-sharded path, and the
+// prepacked (cache-fed) path — produces bit-identical output.
+TEST(KernelDispatchTest, AllPathsBitIdenticalToPortablePacked) {
+  struct Shape {
+    size_t m, k, n;
+  };
+  // Odd shapes exercise the 4-row tail and the panel zero-padding.
+  const Shape shapes[] = {{17, 19, 23}, {32, 31, 16}, {64, 40, 48}, {5, 7, 90}};
+  for (const Shape& s : shapes) {
+    for (bool sparse : {false, true}) {
+      util::Rng rng(s.m * 7919 + s.k * 131 + s.n + (sparse ? 1 : 0));
+      Matrix a = Matrix::Gaussian(s.m, s.k, &rng);
+      if (sparse) a = ReluSparse(std::move(a));
+      Matrix b = Matrix::Gaussian(s.k, s.n, &rng);
+
+      Matrix ref(s.m, s.n);
+      {
+        KernelGuard guard("scalar");
+        GemmNNWithKernel(a, b, 1.0f, &ref, GemmKernel::kPacked);
+      }
+
+      for (GemmKernel path : {GemmKernel::kSaxpy, GemmKernel::kBlocked,
+                              GemmKernel::kPacked, GemmKernel::kPackedParallel,
+                              GemmKernel::kAuto}) {
+        Matrix out(s.m, s.n);
+        KernelGuard guard("scalar");
+        GemmNNWithKernel(a, b, 1.0f, &out, path);
+        ExpectBitIdentical(ref, out, "scalar path");
+      }
+
+      for (const KernelInfo& kern : AvailableKernels()) {
+        KernelGuard guard(kern.name);
+        Matrix packed_out(s.m, s.n);
+        GemmNNWithKernel(a, b, 1.0f, &packed_out, GemmKernel::kPacked);
+        ExpectBitIdentical(ref, packed_out, kern.name);
+
+        Matrix parallel_out(s.m, s.n);
+        GemmNNWithKernel(a, b, 1.0f, &parallel_out,
+                         GemmKernel::kPackedParallel);
+        ExpectBitIdentical(ref, parallel_out, kern.name);
+
+        PackCache cache;
+        Matrix prepacked_out(s.m, s.n);
+        GemmNNPrepacked(a, *cache.Get(b), 1.0f, &prepacked_out);
+        ExpectBitIdentical(ref, prepacked_out, kern.name);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, AlphaFlowsThroughEveryKernel) {
+  util::Rng rng(42);
+  Matrix a = Matrix::Gaussian(20, 9, &rng);
+  Matrix b = Matrix::Gaussian(9, 17, &rng);
+  Matrix ref(20, 17);
+  {
+    KernelGuard guard("scalar");
+    GemmNNWithKernel(a, b, -1.75f, &ref, GemmKernel::kPacked);
+  }
+  for (const KernelInfo& kern : AvailableKernels()) {
+    KernelGuard guard(kern.name);
+    Matrix out(20, 17);
+    GemmNNWithKernel(a, b, -1.75f, &out, GemmKernel::kPacked);
+    ExpectBitIdentical(ref, out, kern.name);
+  }
+}
+
+TEST(PackCacheTest, BuildsOncePerGenerationAndInvalidates) {
+  util::Rng rng(3);
+  Matrix b = Matrix::Gaussian(24, 33, &rng);
+  PackStatsSnapshot before = PackStats();
+  PackCache cache;
+  std::shared_ptr<const PackedWeights> p1 = cache.Get(b);
+  std::shared_ptr<const PackedWeights> p2 = cache.Get(b);
+  EXPECT_EQ(p1.get(), p2.get());  // Served from the cached snapshot.
+  PackStatsSnapshot mid = PackStats();
+  EXPECT_EQ(mid.builds - before.builds, 1u);
+  EXPECT_EQ(mid.hits - before.hits, 1u);
+
+  uint64_t gen = cache.generation();
+  cache.Invalidate();
+  EXPECT_GT(cache.generation(), gen);
+  std::shared_ptr<const PackedWeights> p3 = cache.Get(b);
+  EXPECT_NE(p1.get(), p3.get());  // Rebuilt after invalidation.
+  EXPECT_EQ(PackStats().builds - before.builds, 2u);
+
+  // Snapshots are immutable: the pre-invalidation pack is still intact.
+  EXPECT_EQ(p1->k, b.rows());
+  EXPECT_EQ(p1->n, b.cols());
+  EXPECT_EQ(p1->data, p3->data);
+}
+
+TEST(PackCacheTest, PackedLayoutZeroPadsPartialPanels) {
+  util::Rng rng(5);
+  Matrix b = Matrix::Gaussian(3, 18, &rng);  // 18 cols -> 16 + 2-wide panel.
+  PackedWeights pw;
+  PackB(b, &pw);
+  ASSERT_EQ(pw.num_panels, 2u);
+  for (size_t p = 0; p < 3; ++p) {
+    const float* panel1 = pw.panel(1) + p * kPanelWidth;
+    EXPECT_EQ(panel1[0], b(p, 16));
+    EXPECT_EQ(panel1[1], b(p, 17));
+    for (size_t j = 2; j < kPanelWidth; ++j) EXPECT_EQ(panel1[j], 0.0f);
+  }
+}
+
+TEST(PackCacheTest, DisableSwitchBypassesCaching) {
+  util::Rng rng(4);
+  Matrix b = Matrix::Gaussian(8, 8, &rng);
+  PackCache cache;
+  SetPackCacheEnabled(false);
+  PackStatsSnapshot before = PackStats();
+  cache.Get(b);
+  cache.Get(b);
+  EXPECT_EQ(PackStats().builds - before.builds, 2u);  // No reuse.
+  SetPackCacheEnabled(true);
+  cache.Get(b);
+  cache.Get(b);
+  EXPECT_EQ(PackStats().builds - before.builds, 3u);  // Cached again.
+}
+
+TEST(PackScratchTest, ArenaShrinksWhenDemandDrops) {
+  PackScratch arena;
+  const size_t big = 1 << 20;
+  arena.Acquire(big);
+  EXPECT_GE(arena.capacity(), big);
+  // A sustained period of small demand re-fits the arena: the one-off giant
+  // GEMM no longer pins a megabyte per thread (the old thread_local vector
+  // grew monotonically and never shrank).
+  for (size_t i = 0; i < 2 * PackScratch::kShrinkPeriod; ++i) {
+    arena.Acquire(256);
+  }
+  EXPECT_LT(arena.capacity(), big / 2);
+  EXPECT_GE(arena.capacity(), 256u);
+}
+
+TEST(PackScratchTest, GemmScratchPathShrinksToo) {
+  util::Rng rng(6);
+  // One 16 x 512 * 512 x 512 GEMM inflates the calling thread's arena...
+  Matrix big_a = Matrix::Gaussian(16, 512, &rng);
+  Matrix big_b = Matrix::Gaussian(512, 512, &rng);
+  Matrix big_out(16, 512);
+  GemmNNWithKernel(big_a, big_b, 1.0f, &big_out, GemmKernel::kPacked);
+  EXPECT_GE(PackScratch::ThreadLocal().capacity(), size_t{512} * 512);
+  // ...and a steady small workload deflates it again.
+  Matrix a = Matrix::Gaussian(16, 8, &rng);
+  Matrix b = Matrix::Gaussian(8, 8, &rng);
+  for (size_t i = 0; i < 2 * PackScratch::kShrinkPeriod; ++i) {
+    Matrix out(16, 8);
+    GemmNNWithKernel(a, b, 1.0f, &out, GemmKernel::kPacked);
+  }
+  EXPECT_LT(PackScratch::ThreadLocal().capacity(), size_t{512} * 512);
 }
 
 }  // namespace
