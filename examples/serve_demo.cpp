@@ -9,8 +9,9 @@
 /// SaveModel file; the server publishes it into its ModelRegistry; clients
 /// submit EstimateRequests (scalar or whole threshold sweeps) to the batched
 /// endpoint; a KDE baseline is published under a second route for served A/B
-/// comparison; the Section 5.4 update loop retrains on fresh inserts and
-/// republishes — all while queries stay in flight.
+/// comparison; and a LiveUpdatePipeline ingests insert batches, patches the
+/// shadow labels, retrains on drift and republishes — all while queries stay
+/// in flight on their pinned snapshots.
 
 #include <atomic>
 #include <cstdio>
@@ -25,6 +26,7 @@
 #include "data/synthetic.h"
 #include "data/workload.h"
 #include "serve/server.h"
+#include "serve/update_pipeline.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -109,8 +111,22 @@ int main() {
                 kde_sweep.estimates[i]);
   }
 
-  // 4. Concurrent clients hammer the endpoint while the update pipeline
-  //    retrains and republishes twice. No query fails across the swaps.
+  // 4. Live updates: attach the pipeline, then hammer the endpoint from
+  //    concurrent clients while insert batches stream in. The pipeline
+  //    patches its shadow labels per op, retrains a clone when MAE drift
+  //    trips, and hot-swaps the route — no query fails, nothing blocks.
+  serve::UpdatePipelineConfig ucfg;
+  ucfg.policy.mae_drift_fraction = 0.0;  // Always retrain in the demo.
+  ucfg.policy.max_epochs = 4;
+  // The demo clients saturate every core with a spin loop, which would
+  // starve an idle-class background thread outright; the nice fallback
+  // keeps the retrain visibly progressing while traffic flows. Production
+  // serving has scheduling gaps, so the default SCHED_IDLE is the better
+  // tail-latency choice there (see bench/serve_throughput part 4).
+  ucfg.background_idle_sched = false;
+  serve::LiveUpdatePipeline& pipeline =
+      server.AttachUpdatePipeline(ucfg, db, wl);
+
   std::atomic<bool> stop{false};
   std::atomic<size_t> ok_count{0}, fail_count{0};
   std::vector<std::thread> clients;
@@ -126,40 +142,36 @@ int main() {
     });
   }
 
-  // The updater works on its own copy loaded from the file; the serving
-  // snapshot is never mutated in place.
-  auto loaded = core::LoadModel(model_path);
-  if (!loaded.ok()) {
-    std::printf("reload failed: %s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
-  std::shared_ptr<core::SelNetCt> updating(loaded.MoveValueUnsafe());
-  core::UpdatePolicy policy;
-  policy.mae_drift_fraction = 0.0;  // Always retrain in the demo.
-  policy.max_epochs = 4;
-  core::UpdateManager updater(&db, &wl, updating.get(), ctx, policy);
-
+  util::Stopwatch watch;
   for (int round = 0; round < 2; ++round) {
+    // A mutating database: fresh objects arrive in batches. Submitting them
+    // costs one queue push; all heavy work happens on the pipeline thread.
     core::UpdateOp op;
     op.is_insert = true;
     tensor::Matrix fresh = data::DrawFromSameMixture(spec, 60, 900 + round);
     for (size_t i = 0; i < fresh.rows(); ++i) {
       op.vectors.emplace_back(fresh.row(i), fresh.row(i) + db.dim());
     }
-    util::Stopwatch watch;
-    core::UpdateResult result = updater.Apply(op);
-    // Ship the retrained weights the way an offline job would: write the
-    // file, then publish. PublishFromFile builds a fresh snapshot, so the
-    // updater's copy is never shared with serving threads.
-    core::SaveModel(*updating, model_path);
-    auto v = server.PublishFromFile(model_path);
-    std::printf(
-        "update round %d: +%zu inserts, retrained=%d (%zu epochs, "
-        "mae %.2f -> %.2f, %.0f ms), hot-swapped to v%llu\n",
-        round + 1, op.vectors.size(), int(result.retrained), result.epochs,
-        result.mae_before, result.mae_after, watch.ElapsedMillis(),
-        (unsigned long long)v.ValueOrDie());
+    pipeline.Submit(std::move(op));
   }
+  // Keep the clients hammering until at least one retrained version has been
+  // hot-swapped in mid-traffic, then let the rest of the queue drain.
+  while (pipeline.Snapshot().publishes == 0 && watch.ElapsedSeconds() < 60.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  pipeline.Flush();  // Demo only: wait so the printout below is final.
+
+  serve::UpdatePipelineState pstate = pipeline.Snapshot();
+  std::printf(
+      "\nlive updates: %llu ops (+%llu records) applied in %.0f ms, "
+      "%llu drift retrains (%llu epochs), republished %llu times "
+      "(now serving v%llu, MAE %.2f)\n",
+      (unsigned long long)pstate.ops_applied,
+      (unsigned long long)pstate.records_inserted, watch.ElapsedMillis(),
+      (unsigned long long)pstate.retrains_triggered,
+      (unsigned long long)pstate.epochs_run,
+      (unsigned long long)pstate.publishes,
+      (unsigned long long)pstate.last_published_version, pstate.last_mae);
 
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   stop.store(true);

@@ -170,6 +170,21 @@ size_t SelNetCt::IncrementalFit(const eval::TrainContext& ctx, size_t patience,
   return epochs;
 }
 
+std::unique_ptr<SelNetCt> SelNetCt::Clone() const {
+  auto clone = std::make_unique<SelNetCt>(cfg_);
+  std::vector<ag::Var> src = Params();
+  std::vector<ag::Var> dst = clone->Params();
+  SEL_CHECK_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+  // The construction above consumed rng draws for weight init; overwrite with
+  // the source's stream so the clone's continued training is bit-identical to
+  // what the source would have run (the shadow-retrain equivalence contract).
+  clone->rng_ = rng_;
+  clone->ae_pretrained_ = ae_pretrained_;
+  clone->InvalidateInferenceCache();
+  return clone;
+}
+
 tensor::Matrix SelNetCt::Predict(const tensor::Matrix& x,
                                  const tensor::Matrix& t) {
   SEL_CHECK_EQ(x.rows(), t.rows());

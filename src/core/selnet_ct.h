@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/control_heads.h"
@@ -66,6 +67,12 @@ class SelNetCt : public eval::Estimator, public eval::SweepCapable,
   size_t IncrementalFit(const eval::TrainContext& ctx, size_t patience = 3,
                         size_t max_epochs = 50);
 
+  /// \brief Deep copy: same config, parameter values, rng state and
+  /// pretraining flag, but entirely fresh autograd leaves — the clone and the
+  /// source share no mutable state, so one may train while the other serves.
+  /// The clone's inference/pack caches start invalidated.
+  std::unique_ptr<SelNetCt> Clone() const;
+
   /// \brief Learned control points for a single query (Figure 4).
   void ControlPoints(const float* query, std::vector<float>* tau,
                      std::vector<float>* p);
@@ -111,6 +118,9 @@ class SelNetCt : public eval::Estimator, public eval::SweepCapable,
   size_t RunIncrementalFit(const eval::TrainContext& ctx, size_t patience,
                            size_t max_epochs) override {
     return IncrementalFit(ctx, patience, max_epochs);
+  }
+  std::shared_ptr<eval::Estimator> CloneServable() const override {
+    return Clone();
   }
 
  private:

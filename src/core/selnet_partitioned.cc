@@ -244,6 +244,28 @@ size_t SelNetPartitioned::IncrementalFit(const eval::TrainContext& ctx,
   return epochs;
 }
 
+std::unique_ptr<SelNetPartitioned> SelNetPartitioned::Clone() const {
+  auto clone = std::make_unique<SelNetPartitioned>(cfg_);
+  clone->part_ = part_;
+  clone->cluster_ids_ = cluster_ids_;
+  clone->db_ = db_;
+  clone->structure_built_ = structure_built_;
+  clone->ae_pretrained_ = ae_pretrained_;
+  clone->local_y_ = local_y_;
+  clone->mask_ = mask_;
+  // Fresh heads (fresh autograd leaves); the init draws below are discarded
+  // when the rng stream is overwritten with the source's.
+  clone->heads_.reserve(heads_.size());
+  for (const auto& h : heads_) clone->heads_.emplace_back(h.config(), &clone->rng_);
+  std::vector<ag::Var> src = Params();
+  std::vector<ag::Var> dst = clone->Params();
+  SEL_CHECK_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) dst[i]->value = src[i]->value;
+  clone->rng_ = rng_;
+  clone->InvalidateInferenceCache();
+  return clone;
+}
+
 void SelNetPartitioned::AssignNewObject(size_t id, const float* vec) {
   SEL_CHECK(structure_built_);
   size_t cluster = part_.AssignObject(vec);

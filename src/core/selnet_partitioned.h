@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/control_heads.h"
@@ -60,6 +61,20 @@ class SelNetPartitioned : public eval::Estimator, public eval::SweepCapable,
   /// \brief Route a newly inserted database object to a partition.
   void AssignNewObject(size_t id, const float* vec);
 
+  /// \brief Deep copy: config, partitioning structure, cluster membership,
+  /// local labels/masks, parameter values and rng state — with entirely fresh
+  /// autograd leaves, so clone and source share no mutable state. The clone's
+  /// inference/pack caches start invalidated.
+  std::unique_ptr<SelNetPartitioned> Clone() const;
+
+  /// \brief Drop every local head's cached folded tail plus all packed-weight
+  /// caches (AE included). Must be called after mutating parameter values
+  /// outside the training loop; the training loop invalidates automatically.
+  void InvalidateInferenceCache() const {
+    for (const auto& h : heads_) h.InvalidateInferenceCache();
+    ag::InvalidatePackCaches(ae_.Params());
+  }
+
   std::vector<ag::Var> Params() const override;
 
   size_t num_partitions() const { return heads_.size(); }
@@ -75,6 +90,9 @@ class SelNetPartitioned : public eval::Estimator, public eval::SweepCapable,
   }
   void OnInsert(size_t id, const float* vec) override {
     AssignNewObject(id, vec);
+  }
+  std::shared_ptr<eval::Estimator> CloneServable() const override {
+    return Clone();
   }
 
  private:

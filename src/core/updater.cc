@@ -18,12 +18,13 @@ UpdateManager::UpdateManager(data::Database* db, data::Workload* workload,
 }
 
 void UpdateManager::PatchAllSplits(const float* vec, int delta) {
+  bool parallel = policy_.parallel_label_patch;
   data::PatchLabels(workload_->queries, workload_->metric, vec, delta,
-                    &workload_->train);
+                    &workload_->train, parallel);
   data::PatchLabels(workload_->queries, workload_->metric, vec, delta,
-                    &workload_->valid);
+                    &workload_->valid, parallel);
   data::PatchLabels(workload_->queries, workload_->metric, vec, delta,
-                    &workload_->test);
+                    &workload_->test, parallel);
 }
 
 UpdateResult UpdateManager::Apply(const UpdateOp& op) {

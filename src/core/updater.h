@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "data/database.h"
@@ -39,6 +40,20 @@ class IncrementalModel {
 
   /// \brief Called when an object leaves the database.
   virtual void OnDelete(size_t id) { (void)id; }
+
+  /// \brief Deep copy of the model (parameters, config, rng state) as a
+  /// servable estimator, or null when the model does not support cloning.
+  ///
+  /// Contract for implementers: the clone shares NO parameter storage with
+  /// the source (fresh autograd leaves, hence fresh packed-weight caches),
+  /// its inference fold caches are invalidated, and its rng state equals the
+  /// source's at clone time — so continuing training on the clone follows
+  /// the exact batch/shuffle stream the source would have. This is what lets
+  /// the live-update pipeline retrain a shadow copy and publish further
+  /// copies without ever touching a served snapshot.
+  virtual std::shared_ptr<eval::Estimator> CloneServable() const {
+    return nullptr;
+  }
 };
 
 /// \brief Update-policy knobs.
@@ -47,6 +62,13 @@ struct UpdatePolicy {
   double mae_drift_fraction = 0.10;
   size_t patience = 3;
   size_t max_epochs = 30;
+  /// Shard the per-record label patching over util::ParallelFor
+  /// (bit-identical to the serial pass). Right for synchronous foreground
+  /// use, where patching sits on the caller's critical path. Background
+  /// users sharing the pool with a serving stack (serve::LiveUpdatePipeline)
+  /// turn it off: fanning normal-priority patch chunks onto the serve pool
+  /// would defeat the pipeline thread's own low scheduling priority.
+  bool parallel_label_patch = true;
 };
 
 /// \brief One update operation: a batch of inserts or deletes.

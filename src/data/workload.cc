@@ -151,12 +151,22 @@ Workload GenerateBetaWorkload(const Database& db, const WorkloadSpec& spec,
 }
 
 void PatchLabels(const tensor::Matrix& queries, Metric metric, const float* vec,
-                 int delta, std::vector<QuerySample>* samples) {
+                 int delta, std::vector<QuerySample>* samples, bool parallel) {
   size_t dim = queries.cols();
-  for (auto& s : *samples) {
+  auto patch_one = [&](size_t i) {
+    QuerySample& s = (*samples)[i];
     float d = Distance(queries.row(s.query_id), vec, dim, metric);
     if (d <= s.t) s.y += static_cast<float>(delta);
+  };
+  if (!parallel) {
+    for (size_t i = 0; i < samples->size(); ++i) patch_one(i);
+    return;
   }
+  // Each sample's patch is independent (one distance test, one conditional
+  // add on its own label), so sharding the loop is bit-identical to the
+  // serial pass regardless of interleaving. The grain keeps small workloads
+  // on the calling thread.
+  util::ParallelFor(0, samples->size(), patch_one, /*grain=*/512);
 }
 
 void RelabelExact(const Database& db, const tensor::Matrix& queries,

@@ -56,8 +56,13 @@ Workload GenerateBetaWorkload(const Database& db, const WorkloadSpec& spec,
 
 /// \brief Patch labels after inserting (`delta`=+1) or deleting (`delta`=-1)
 /// the object `vec`; every sample whose query ball contains it is adjusted.
+/// With `parallel` the per-sample distance tests shard over util::ParallelFor
+/// (each sample is independent, so the result is bit-identical to the serial
+/// pass). Pass false from background threads that must not fan work onto the
+/// shared pool — the serving stack's update pipeline does.
 void PatchLabels(const tensor::Matrix& queries, Metric metric, const float* vec,
-                 int delta, std::vector<QuerySample>* samples);
+                 int delta, std::vector<QuerySample>* samples,
+                 bool parallel = true);
 
 /// \brief Recompute all labels exactly against the current database state.
 void RelabelExact(const Database& db, const tensor::Matrix& queries,

@@ -8,8 +8,73 @@
 
 namespace selnet::serve {
 
+namespace {
+
+double PercentileOf(std::vector<double>* sorted_inout, double p) {
+  if (sorted_inout->empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * (sorted_inout->size() - 1) + 0.5);
+  std::nth_element(sorted_inout->begin(), sorted_inout->begin() + idx,
+                   sorted_inout->end());
+  return (*sorted_inout)[idx];
+}
+
+}  // namespace
+
+// ------------------------------------------------------- LatencyReservoir ---
+
+LatencyReservoir::LatencyReservoir(size_t capacity)
+    : samples_(std::max<size_t>(1, capacity), 0.0) {}
+
+void LatencyReservoir::Record(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_[next_] = ms;
+  next_ = (next_ + 1) % samples_.size();
+  ++count_;
+}
+
+void LatencyReservoir::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  count_ = 0;
+}
+
+void LatencyReservoir::CopySamples(std::vector<double>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t filled = std::min<uint64_t>(count_, samples_.size());
+  out->assign(samples_.begin(), samples_.begin() + filled);
+}
+
+// ------------------------------------------------------------- RouteStats ---
+
+void ServeStats::RouteStats::Reset() {
+  requests_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  latency_.Reset();
+}
+
+RouteSnapshot ServeStats::RouteStats::Snapshot(const std::string& name) const {
+  RouteSnapshot s;
+  s.route = name;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = hits_.load(std::memory_order_relaxed);
+  s.cache_misses = misses_.load(std::memory_order_relaxed);
+  uint64_t lookups = s.cache_hits + s.cache_misses;
+  if (lookups > 0) s.cache_hit_rate = double(s.cache_hits) / double(lookups);
+  std::vector<double> samples;
+  latency_.CopySamples(&samples);
+  if (!samples.empty()) {
+    s.latency_p50_ms = PercentileOf(&samples, 0.50);
+    s.latency_p99_ms = PercentileOf(&samples, 0.99);
+  }
+  return s;
+}
+
+// -------------------------------------------------------------- ServeStats ---
+
 ServeStats::ServeStats(size_t reservoir_size)
-    : latencies_ms_(std::max<size_t>(1, reservoir_size), 0.0),
+    : route_reservoir_(std::max<size_t>(1, reservoir_size / 4)),
+      latency_(reservoir_size),
       start_(std::chrono::steady_clock::now()) {}
 
 void ServeStats::RecordBatch(size_t batch_size) {
@@ -17,11 +82,23 @@ void ServeStats::RecordBatch(size_t batch_size) {
   batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
 }
 
-void ServeStats::RecordLatencyMs(double ms) {
-  std::lock_guard<std::mutex> lock(lat_mu_);
-  latencies_ms_[lat_next_] = ms;
-  lat_next_ = (lat_next_ + 1) % latencies_ms_.size();
-  ++lat_count_;
+void ServeStats::RecordPipelinePublish() {
+  pipeline_publishes_.fetch_add(1, std::memory_order_relaxed);
+  int64_t ns;
+  {
+    std::lock_guard<std::mutex> lock(start_mu_);
+    ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+             .count();
+  }
+  last_publish_ns_.store(ns, std::memory_order_relaxed);
+}
+
+ServeStats::RouteStats* ServeStats::Route(const std::string& route) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  auto& slot = routes_[route];
+  if (!slot) slot = std::make_unique<RouteStats>(route_reservoir_);
+  return slot.get();
 }
 
 void ServeStats::Reset() {
@@ -35,23 +112,21 @@ void ServeStats::Reset() {
   curve_hits_.store(0, std::memory_order_relaxed);
   curve_misses_.store(0, std::memory_order_relaxed);
   swaps_.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(lat_mu_);
-  lat_next_ = 0;
-  lat_count_ = 0;
+  update_ops_.store(0, std::memory_order_relaxed);
+  update_ops_applied_.store(0, std::memory_order_relaxed);
+  retrains_.store(0, std::memory_order_relaxed);
+  retrain_epochs_.store(0, std::memory_order_relaxed);
+  pipeline_publishes_.store(0, std::memory_order_relaxed);
+  last_drift_.store(0.0, std::memory_order_relaxed);
+  last_publish_ns_.store(-1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    for (auto& [name, rs] : routes_) rs->Reset();
+  }
+  latency_.Reset();
+  std::lock_guard<std::mutex> lock(start_mu_);
   start_ = std::chrono::steady_clock::now();
 }
-
-namespace {
-
-double PercentileOf(std::vector<double>* sorted_inout, double p) {
-  if (sorted_inout->empty()) return 0.0;
-  size_t idx = static_cast<size_t>(p * (sorted_inout->size() - 1) + 0.5);
-  std::nth_element(sorted_inout->begin(), sorted_inout->begin() + idx,
-                   sorted_inout->end());
-  return (*sorted_inout)[idx];
-}
-
-}  // namespace
 
 StatsSnapshot ServeStats::Snapshot() const {
   StatsSnapshot s;
@@ -65,6 +140,12 @@ StatsSnapshot ServeStats::Snapshot() const {
   s.curve_hits = curve_hits_.load(std::memory_order_relaxed);
   s.curve_misses = curve_misses_.load(std::memory_order_relaxed);
   s.swaps = swaps_.load(std::memory_order_relaxed);
+  s.update_ops = update_ops_.load(std::memory_order_relaxed);
+  s.update_ops_applied = update_ops_applied_.load(std::memory_order_relaxed);
+  s.retrains = retrains_.load(std::memory_order_relaxed);
+  s.retrain_epochs = retrain_epochs_.load(std::memory_order_relaxed);
+  s.pipeline_publishes = pipeline_publishes_.load(std::memory_order_relaxed);
+  s.last_drift = last_drift_.load(std::memory_order_relaxed);
   // Kernel-engine observability: which micro-kernel dispatch resolved to and
   // how often the version-keyed pack cache spared a repack. Process-wide
   // (the packs hang off shared model parameters, not one server).
@@ -74,13 +155,16 @@ StatsSnapshot ServeStats::Snapshot() const {
   s.gemm_kernel = tensor::ActiveKernel().name;
 
   std::vector<double> samples;
+  latency_.CopySamples(&samples);
   {
-    std::lock_guard<std::mutex> lock(lat_mu_);
+    std::lock_guard<std::mutex> lock(start_mu_);
     s.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
             .count();
-    size_t filled = std::min<uint64_t>(lat_count_, latencies_ms_.size());
-    samples.assign(latencies_ms_.begin(), latencies_ms_.begin() + filled);
+  }
+  int64_t publish_ns = last_publish_ns_.load(std::memory_order_relaxed);
+  if (publish_ns >= 0) {
+    s.last_publish_age_s = s.elapsed_seconds - double(publish_ns) * 1e-9;
   }
   if (s.elapsed_seconds > 0) s.qps = double(s.requests) / s.elapsed_seconds;
   uint64_t lookups = s.cache_hits + s.cache_misses;
@@ -95,6 +179,17 @@ StatsSnapshot ServeStats::Snapshot() const {
     s.latency_p50_ms = PercentileOf(&samples, 0.50);
     s.latency_p99_ms = PercentileOf(&samples, 0.99);
   }
+  // Copy the stable (name, accumulator) pairs under the map lock, then do
+  // the percentile work after releasing it — Route() sits on the request
+  // admission path and must never wait behind a metrics scrape.
+  std::vector<std::pair<std::string, const RouteStats*>> route_ptrs;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    route_ptrs.reserve(routes_.size());
+    for (const auto& [name, rs] : routes_) route_ptrs.emplace_back(name, rs.get());
+  }
+  s.routes.reserve(route_ptrs.size());
+  for (const auto& [name, rs] : route_ptrs) s.routes.push_back(rs->Snapshot(name));
   return s;
 }
 
@@ -118,7 +213,35 @@ std::string ServeStats::Report(const std::string& title) const {
   table.AddRow({"gemm kernel", s.gemm_kernel});
   table.AddRow({"pack-cache hits", std::to_string(s.pack_hits)});
   table.AddRow({"pack builds", std::to_string(s.pack_builds)});
-  return title + "\n" + table.ToString();
+  std::string out = title + "\n" + table.ToString();
+
+  // Update-pipeline section: only once a pipeline has ingested anything.
+  if (s.update_ops > 0 || s.pipeline_publishes > 0) {
+    util::AsciiTable up({"update pipeline", "value"});
+    up.AddRow({"ops ingested", std::to_string(s.update_ops)});
+    up.AddRow({"ops applied", std::to_string(s.update_ops_applied)});
+    up.AddRow({"retrains triggered", std::to_string(s.retrains)});
+    up.AddRow({"retrain epochs", std::to_string(s.retrain_epochs)});
+    up.AddRow({"republishes", std::to_string(s.pipeline_publishes)});
+    up.AddRow({"last drift (MAE)", util::AsciiTable::Num(s.last_drift, 3)});
+    up.AddRow({"last publish age (s)",
+               util::AsciiTable::Num(s.last_publish_age_s, 2)});
+    out += "\n" + up.ToString();
+  }
+
+  // Per-route section: the one-report A/B view.
+  if (!s.routes.empty()) {
+    util::AsciiTable routes({"route", "requests", "p50 ms", "p99 ms",
+                             "hit rate"});
+    for (const auto& r : s.routes) {
+      routes.AddRow({r.route, std::to_string(r.requests),
+                     util::AsciiTable::Num(r.latency_p50_ms, 4),
+                     util::AsciiTable::Num(r.latency_p99_ms, 4),
+                     util::AsciiTable::Num(r.cache_hit_rate, 4)});
+    }
+    out += "\n" + routes.ToString();
+  }
+  return out;
 }
 
 }  // namespace selnet::serve

@@ -4,20 +4,36 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 /// \file serve_stats.h
 /// \brief Serving-side observability: request counters, latency percentiles,
-/// cache hit rate and batching efficiency.
+/// cache hit rate, batching efficiency, per-route breakdowns, and the
+/// live-update pipeline's progress.
 ///
 /// All recording paths are lock-light (atomics plus one short critical
 /// section for the latency reservoir) so stats collection never becomes the
-/// serving bottleneck. Rendering reuses util::AsciiTable for the same look as
-/// the bench harness output.
+/// serving bottleneck. Per-route accumulators are created on first use and
+/// addressed by stable pointer (`Route()`), so the serving hot path records
+/// through them without re-hashing the route name per threshold. Rendering
+/// reuses util::AsciiTable for the same look as the bench harness output.
 
 namespace selnet::serve {
+
+/// \brief Point-in-time per-route view: one row of the A/B report.
+struct RouteSnapshot {
+  std::string route;
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
 
 /// \brief Point-in-time view of the serving counters.
 struct StatsSnapshot {
@@ -31,6 +47,15 @@ struct StatsSnapshot {
   uint64_t curve_hits = 0;      ///< Sweeps answered from a cached PWL curve.
   uint64_t curve_misses = 0;    ///< Curve-cache lookups that missed.
   uint64_t swaps = 0;           ///< Model hot-swaps observed.
+  /// Live-update pipeline progress (zero unless a pipeline is attached).
+  uint64_t update_ops = 0;          ///< Ops accepted onto the ingest queue.
+  uint64_t update_ops_applied = 0;  ///< Ops fully applied to the shadow state.
+  uint64_t retrains = 0;            ///< Drift-triggered shadow retrains.
+  uint64_t retrain_epochs = 0;      ///< Total incremental epochs run.
+  uint64_t pipeline_publishes = 0;  ///< Republishes issued by the pipeline.
+  double last_drift = 0.0;          ///< MAE drift at the last drift check.
+  /// Seconds since the pipeline last republished; negative if it never has.
+  double last_publish_age_s = -1.0;
   /// Process-wide packed-weight cache counters (tensor::PackStats) at
   /// snapshot time, plus the GEMM micro-kernel dispatch picked at startup.
   uint64_t pack_hits = 0;
@@ -43,11 +68,61 @@ struct StatsSnapshot {
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_mean_ms = 0.0;
+  /// Per-route breakdown (route-name order); empty until a request resolves
+  /// against a registry slot.
+  std::vector<RouteSnapshot> routes;
+};
+
+/// \brief Fixed-size ring of the most recent latency samples (older ones are
+/// overwritten) with a copy-out for percentile estimation. One mutex per
+/// reservoir keeps recording lock-light; the global and per-route latency
+/// tracks share this one implementation.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity);
+
+  void Record(double ms);
+  void Reset();
+
+  /// \brief Copy the filled samples into `out` (replacing its contents).
+  void CopySamples(std::vector<double>* out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;  ///< Ring buffer.
+  size_t next_ = 0;              ///< Next write slot.
+  uint64_t count_ = 0;           ///< Total samples ever recorded.
 };
 
 /// \brief Thread-safe accumulator for serving metrics.
 class ServeStats {
  public:
+  /// \brief Per-route accumulator. Obtained once per request via Route();
+  /// the pointer stays valid for the ServeStats' lifetime (Reset zeroes, it
+  /// never erases), so completion callbacks may hold it across threads.
+  class RouteStats {
+   public:
+    explicit RouteStats(size_t reservoir_size) : latency_(reservoir_size) {}
+
+    void RecordRequests(uint64_t n) {
+      requests_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void RecordCache(bool hit) {
+      (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    }
+    void RecordLatencyMs(double ms) { latency_.Record(ms); }
+
+   private:
+    friend class ServeStats;
+    void Reset();
+    RouteSnapshot Snapshot(const std::string& name) const;
+
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    LatencyReservoir latency_;
+  };
+
   /// \param reservoir_size how many most-recent latency samples to keep for
   /// percentile estimation (ring buffer; older samples are overwritten).
   explicit ServeStats(size_t reservoir_size = 1 << 14);
@@ -73,14 +148,40 @@ class ServeStats {
     }
   }
   void RecordBatch(size_t batch_size);
-  void RecordLatencyMs(double ms);
+  void RecordLatencyMs(double ms) { latency_.Record(ms); }
 
-  /// \brief Reset every counter and restart the elapsed-time clock.
+  // Live-update pipeline progress (recorded by serve::LiveUpdatePipeline).
+  void RecordUpdateOps(uint64_t n) {
+    update_ops_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordUpdateApplied(uint64_t n) {
+    update_ops_applied_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// \brief One drift check: the observed drift, plus the retrain it did (or
+  /// did not, epochs == 0 and !retrained) trigger.
+  void RecordDriftCheck(double drift, bool retrained, size_t epochs) {
+    last_drift_.store(drift, std::memory_order_relaxed);
+    if (retrained) {
+      retrains_.fetch_add(1, std::memory_order_relaxed);
+      retrain_epochs_.fetch_add(epochs, std::memory_order_relaxed);
+    }
+  }
+  /// \brief The pipeline republished; stamps the publish timestamp.
+  void RecordPipelinePublish();
+
+  /// \brief Find-or-create the accumulator for `route`. The returned pointer
+  /// is stable until destruction (never invalidated by Reset).
+  RouteStats* Route(const std::string& route);
+
+  /// \brief Reset every counter and restart the elapsed-time clock. Route
+  /// accumulators are zeroed in place (outstanding Route() pointers stay
+  /// valid).
   void Reset();
 
   StatsSnapshot Snapshot() const;
 
-  /// \brief Render the snapshot as an AsciiTable block.
+  /// \brief Render the snapshot as an AsciiTable block; per-route and
+  /// update-pipeline sections appear when they have data.
   std::string Report(const std::string& title = "serving stats") const;
 
  private:
@@ -95,11 +196,24 @@ class ServeStats {
   std::atomic<uint64_t> curve_misses_{0};
   std::atomic<uint64_t> swaps_{0};
 
-  mutable std::mutex lat_mu_;
-  std::vector<double> latencies_ms_;  ///< Ring buffer of recent samples.
-  size_t lat_next_ = 0;               ///< Next write slot.
-  uint64_t lat_count_ = 0;            ///< Total samples ever recorded.
+  std::atomic<uint64_t> update_ops_{0};
+  std::atomic<uint64_t> update_ops_applied_{0};
+  std::atomic<uint64_t> retrains_{0};
+  std::atomic<uint64_t> retrain_epochs_{0};
+  std::atomic<uint64_t> pipeline_publishes_{0};
+  std::atomic<double> last_drift_{0.0};
+  /// Nanoseconds from start_ to the last pipeline publish; -1 = never.
+  std::atomic<int64_t> last_publish_ns_{-1};
 
+  size_t route_reservoir_;
+  mutable std::mutex routes_mu_;
+  /// std::map: stable iteration order for the report; unique_ptr: stable
+  /// RouteStats addresses across rehashing-free inserts.
+  std::map<std::string, std::unique_ptr<RouteStats>> routes_;
+
+  LatencyReservoir latency_;
+
+  mutable std::mutex start_mu_;  ///< Guards start_ (Reset rewrites it).
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/pwl.h"
+#include "serve/update_pipeline.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -75,6 +76,9 @@ SelNetServer::SelNetServer(const ServerConfig& cfg)
 }
 
 SelNetServer::~SelNetServer() {
+  // Stop the update pipeline first: its worker publishes into the registry
+  // and records stats, both of which must still be alive while it drains.
+  pipeline_.reset();
   if (scheduler_) scheduler_->Shutdown();
   // Fast-path sweep jobs reference this object; wait for this server's own
   // jobs (not the whole pool — it is typically shared).
@@ -104,6 +108,16 @@ Result<uint64_t> SelNetServer::PublishFromFile(const std::string& name,
   return version;
 }
 
+LiveUpdatePipeline& SelNetServer::AttachUpdatePipeline(
+    const UpdatePipelineConfig& cfg, const data::Database& db,
+    const data::Workload& workload) {
+  pipeline_.reset();  // Stop a previous pipeline before starting the next.
+  pipeline_ = std::make_unique<LiveUpdatePipeline>(this, cfg, db, workload);
+  return *pipeline_;
+}
+
+void SelNetServer::DetachUpdatePipeline() { pipeline_.reset(); }
+
 tensor::Matrix SelNetServer::PredictOnHandle(const ModelHandle& handle,
                                              const tensor::Matrix& x,
                                              const tensor::Matrix& t) {
@@ -132,7 +146,8 @@ tensor::Matrix SelNetServer::PredictOnModel(const std::string& model,
 void SelNetServer::RunSweepFastPath(
     const std::shared_ptr<PendingResponse>& state, const EstimateRequest& req,
     const ModelHandle& handle, const std::vector<size_t>& missing,
-    std::chrono::steady_clock::time_point enqueued) {
+    std::chrono::steady_clock::time_point enqueued,
+    ServeStats::RouteStats* route_stats) {
   try {
     std::vector<float> ts(missing.size());
     for (size_t r = 0; r < missing.size(); ++r) {
@@ -190,6 +205,7 @@ void SelNetServer::RunSweepFastPath(
         cache_.Insert(key, values[r]);
       }
       stats_.RecordLatencyMs(elapsed_ms);
+      route_stats->RecordLatencyMs(elapsed_ms);
     }
   } catch (...) {
     state->RecordError(std::current_exception());
@@ -251,6 +267,11 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
   const ModelHandle& h = handle.ValueOrDie();
   state->resp.version = h.version;
 
+  // Per-route accumulator: resolved once per request (stable pointer), only
+  // for routes that actually exist — a typo'd route cannot grow the map.
+  ServeStats::RouteStats* route_stats = stats_.Route(state->resp.model);
+  route_stats->RecordRequests(k);
+
   std::vector<size_t> missing;
   missing.reserve(k);
   if (cfg_.enable_cache) {
@@ -259,9 +280,11 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
           cache_.MakeKey(h.version, req.x.data(), cfg_.dim, req.thresholds[i]);
       if (cache_.Lookup(key, &state->resp.estimates[i])) {
         stats_.RecordCacheHit();
+        route_stats->RecordCache(true);
         ++state->resp.cache_hits;
       } else {
         stats_.RecordCacheMiss();
+        route_stats->RecordCache(false);
         missing.push_back(i);
       }
     }
@@ -289,14 +312,16 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
         std::lock_guard<std::mutex> lock(sweep_mu_);
         ++sweep_inflight_;
       }
-      pool_->Submit([this, state, shared_req, h, shared_missing, enqueued] {
-        RunSweepFastPath(state, *shared_req, h, *shared_missing, enqueued);
+      pool_->Submit([this, state, shared_req, h, shared_missing, enqueued,
+                     route_stats] {
+        RunSweepFastPath(state, *shared_req, h, *shared_missing, enqueued,
+                         route_stats);
         std::lock_guard<std::mutex> lock(sweep_mu_);
         --sweep_inflight_;
         sweep_cv_.notify_all();
       });
     } else {
-      RunSweepFastPath(state, req, h, missing, enqueued);
+      RunSweepFastPath(state, req, h, missing, enqueued, route_stats);
     }
     return;
   }
@@ -310,13 +335,14 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
     for (size_t idx : missing) {
       scheduler_->SubmitRow(
           state->resp.model, req.x.data(), req.thresholds[idx],
-          [this, state, idx](float value, std::exception_ptr error,
-                             double latency_ms) {
+          [this, state, idx, route_stats](float value, std::exception_ptr error,
+                                          double latency_ms) {
             if (error) {
               state->RecordError(std::move(error));
             } else {
               state->resp.estimates[idx] = value;
               stats_.RecordLatencyMs(latency_ms);
+              route_stats->RecordLatencyMs(latency_ms);
             }
             if (state->remaining.fetch_sub(1) == 1) state->Finalize();
           });
@@ -341,6 +367,7 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
     for (size_t r = 0; r < missing.size(); ++r) {
       state->resp.estimates[missing[r]] = y(r, 0);
       stats_.RecordLatencyMs(elapsed_ms);
+      route_stats->RecordLatencyMs(elapsed_ms);
     }
   } catch (...) {
     state->RecordError(std::current_exception());

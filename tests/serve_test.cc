@@ -19,6 +19,8 @@
 #include "serve/servable.h"
 #include "serve/serve_stats.h"
 #include "serve/server.h"
+#include "serve/update_pipeline.h"
+#include "util/stopwatch.h"
 
 namespace selnet::serve {
 namespace {
@@ -957,6 +959,213 @@ TEST_F(ServeFixture, CurveCacheIsVersionKeyedAcrossHotSwap) {
     if (after.ValueOrDie()[i] != before.ValueOrDie()[i]) any_diff = true;
   }
   EXPECT_TRUE(any_diff) << "weight mutation should have changed the sweep";
+}
+
+// ------------------------------------------------- live-update pipeline ---
+
+TEST_F(ServeFixture, PerRouteStatsSplitRequestsByModel) {
+  // Satellite: requests / latency / hit-rate per model route in ONE report,
+  // so served A/B experiments read cleanly.
+  bl::KdeConfig kcfg;
+  kcfg.num_samples = 150;
+  auto kde = std::make_shared<bl::KdeEstimator>(kcfg);
+  kde->Fit(ctx_);
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/true));
+  server.Publish(model_);
+  server.Publish("kde", kde);
+
+  const float* q = wl_.queries.row(0);
+  float t = 0.5f * wl_.tmax;
+  ASSERT_TRUE(server.Estimate(q, t).ok());
+  ASSERT_TRUE(server.Estimate(q, t).ok());  // Repeat: default-route cache hit.
+  std::vector<float> ts = {0.2f * wl_.tmax, 0.4f * wl_.tmax, 0.6f * wl_.tmax,
+                           0.8f * wl_.tmax};
+  server.Submit(EstimateRequest::Sweep(q, 6, ts, "kde")).get();
+  server.Drain();
+
+  StatsSnapshot s = server.stats().Snapshot();
+  ASSERT_EQ(s.routes.size(), 2u);  // Exactly the two served routes.
+  const RouteSnapshot* def = nullptr;
+  const RouteSnapshot* kde_route = nullptr;
+  for (const auto& r : s.routes) {
+    if (r.route == "default") def = &r;
+    if (r.route == "kde") kde_route = &r;
+  }
+  ASSERT_NE(def, nullptr);
+  ASSERT_NE(kde_route, nullptr);
+  EXPECT_EQ(def->requests, 2u);
+  EXPECT_EQ(def->cache_hits, 1u);
+  EXPECT_EQ(def->cache_misses, 1u);
+  EXPECT_NEAR(def->cache_hit_rate, 0.5, 1e-9);
+  EXPECT_GT(def->latency_p99_ms, 0.0);
+  EXPECT_EQ(kde_route->requests, 4u);
+  EXPECT_EQ(kde_route->cache_hits, 0u);
+  EXPECT_GT(kde_route->latency_p99_ms, 0.0);
+  // Global view still aggregates both routes.
+  EXPECT_EQ(s.requests, 6u);
+  // The rendered report carries both route rows.
+  std::string report = server.stats().Report();
+  EXPECT_NE(report.find("default"), std::string::npos);
+  EXPECT_NE(report.find("kde"), std::string::npos);
+  // Reset zeroes route accumulators in place (handles stay valid).
+  server.stats().Reset();
+  StatsSnapshot zeroed = server.stats().Snapshot();
+  ASSERT_EQ(zeroed.routes.size(), 2u);
+  for (const auto& r : zeroed.routes) EXPECT_EQ(r.requests, 0u);
+}
+
+TEST_F(ServeFixture, AttachPipelineRequiresServedIncrementalModel) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SelNetServer server(MakeServerConfig(true, false));
+  UpdatePipelineConfig ucfg;
+  // No model published at all -> attach aborts.
+  EXPECT_DEATH({ server.AttachUpdatePipeline(ucfg, *db_, wl_); },
+               "no model published");
+  // A served estimator without the IncrementalModel capability aborts too.
+  bl::KdeConfig kcfg;
+  kcfg.num_samples = 100;
+  auto kde = std::make_shared<bl::KdeEstimator>(kcfg);
+  kde->Fit(ctx_);
+  server.Publish(kde);
+  EXPECT_DEATH({ server.AttachUpdatePipeline(ucfg, *db_, wl_); },
+               "not incrementally trainable");
+}
+
+TEST_F(ServeFixture, PipelineIngestsAppliesAndRepublishes) {
+  // The basic ingest -> drift -> retrain -> republish loop, single-threaded
+  // observation: one drift-tripping op must bump the served version without
+  // the serving path ever being told.
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/false));
+  uint64_t v0 = server.Publish(model_);
+  UpdatePipelineConfig ucfg;
+  ucfg.policy.mae_drift_fraction = 0.05;
+  ucfg.policy.max_epochs = 2;
+  ucfg.policy.patience = 1;
+  LiveUpdatePipeline& pipeline = server.AttachUpdatePipeline(ucfg, *db_, wl_);
+
+  core::UpdateOp op;
+  op.is_insert = true;
+  const float* hot = wl_.queries.row(wl_.valid.front().query_id);
+  for (int i = 0; i < 150; ++i) op.vectors.emplace_back(hot, hot + 6);
+  ASSERT_TRUE(pipeline.Submit(op));
+  pipeline.Flush();
+
+  UpdatePipelineState state = pipeline.Snapshot();
+  EXPECT_EQ(state.ops_ingested, 1u);
+  EXPECT_EQ(state.ops_applied, 1u);
+  EXPECT_EQ(state.records_inserted, 150u);
+  EXPECT_EQ(state.retrains_triggered, 1u);
+  EXPECT_GT(state.epochs_run, 0u);
+  EXPECT_EQ(state.publishes, 1u);
+  EXPECT_GT(state.last_drift, 0.0);
+  EXPECT_TRUE(state.idle);
+  EXPECT_GT(server.registry().VersionOf("default"), v0);
+
+  StatsSnapshot s = server.stats().Snapshot();
+  EXPECT_EQ(s.update_ops, 1u);
+  EXPECT_EQ(s.update_ops_applied, 1u);
+  EXPECT_EQ(s.retrains, 1u);
+  EXPECT_GE(s.retrain_epochs, state.epochs_run);
+  EXPECT_EQ(s.pipeline_publishes, 1u);
+  EXPECT_GE(s.last_publish_age_s, 0.0);
+  // The pipeline section renders.
+  EXPECT_NE(server.stats().Report().find("ops ingested"), std::string::npos);
+
+  // Queries still answer on the new version, and the original model object
+  // was never touched (the pipeline trains clones only).
+  auto est = server.Estimate(wl_.queries.row(1), 0.5f * wl_.tmax);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_TRUE(std::isfinite(est.ValueOrDie()));
+}
+
+TEST_F(ServeFixture, PipelinePublishStormUnderSubmitLoadFailsNoQuery) {
+  // The acceptance storm: sustained mixed Submit traffic (scalars + sorted
+  // sweeps) while the pipeline ingests ops, retrains, and republishes N
+  // times. Zero failed queries; every sorted sweep stays non-decreasing
+  // across every swap.
+  SelNetServer server(MakeServerConfig(/*batching=*/true, /*cache=*/true));
+  server.Publish(model_);
+  UpdatePipelineConfig ucfg;
+  ucfg.policy.mae_drift_fraction = 0.0;  // Any upward drift retrains.
+  ucfg.policy.max_epochs = 1;            // Keep each retrain quick: the storm
+  ucfg.policy.patience = 1;              // measures swaps, not convergence.
+  LiveUpdatePipeline& pipeline = server.AttachUpdatePipeline(ucfg, *db_, wl_);
+
+  std::vector<float> ts;
+  for (int i = 0; i < 8; ++i) ts.push_back(wl_.tmax * float(i + 1) / 8.0f);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> violations{0};
+  std::atomic<size_t> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(300 + c);
+      while (!stop.load()) {
+        size_t qi = static_cast<size_t>(
+            rng.UniformInt(0, int64_t(wl_.queries.rows()) - 1));
+        try {
+          if (c == 0) {  // One client sweeps, two send scalars.
+            EstimateResponse resp =
+                server.Submit(EstimateRequest::Sweep(wl_.queries.row(qi), 6,
+                                                     ts))
+                    .get();
+            for (size_t i = 0; i < resp.estimates.size(); ++i) {
+              if (!std::isfinite(resp.estimates[i])) failures.fetch_add(1);
+              if (i > 0 && resp.estimates[i] < resp.estimates[i - 1]) {
+                violations.fetch_add(1);
+              }
+            }
+          } else {
+            float t = wl_.tmax * float(rng.Uniform());
+            auto est = server.Estimate(wl_.queries.row(qi), t);
+            if (!est.ok() || !std::isfinite(est.ValueOrDie())) {
+              failures.fetch_add(1);
+            }
+          }
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+        answered.fetch_add(1);
+        // Sustained traffic, not a spin loop: real clients have think time,
+        // and the gaps are what lets the SCHED_IDLE pipeline thread make
+        // progress when cores are scarce (TSan runs this on a loaded box).
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+
+  // Feed drift-tripping ops until the pipeline has republished >= 3 times.
+  const size_t kWantPublishes = 3;
+  util::Stopwatch deadline;
+  size_t fed = 0;
+  while (pipeline.Snapshot().publishes < kWantPublishes &&
+         deadline.ElapsedSeconds() < 60.0) {
+    // Duplicates of a VALID-split query inflate validation labels, so every
+    // op drifts the shadow MAE upward and (delta_U = 0) trips a retrain.
+    core::UpdateOp op;
+    op.is_insert = true;
+    const float* hot =
+        wl_.queries.row(wl_.valid[fed % wl_.valid.size()].query_id);
+    for (int i = 0; i < 40; ++i) op.vectors.emplace_back(hot, hot + 6);
+    if (pipeline.Submit(op)) ++fed;
+    pipeline.Flush();
+  }
+  stop.store(true);
+  for (auto& th : clients) th.join();
+  server.Drain();
+
+  UpdatePipelineState state = pipeline.Snapshot();
+  EXPECT_GE(state.publishes, kWantPublishes) << "fed " << fed << " ops";
+  EXPECT_GE(state.retrains_triggered, 1u);
+  EXPECT_EQ(state.ops_applied, fed);
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+  StatsSnapshot s = server.stats().Snapshot();
+  EXPECT_GE(s.swaps, 1u + kWantPublishes);  // Initial publish + the storm's.
+  EXPECT_EQ(s.pipeline_publishes, state.publishes);
 }
 
 TEST(ServerConfigTest, SchedulerDimInheritsFromServerDim) {

@@ -6,6 +6,8 @@
 #include "core/selnet_ct.h"
 #include "core/updater.h"
 #include "data/synthetic.h"
+#include "serve/server.h"
+#include "serve/update_pipeline.h"
 
 namespace selnet::core {
 namespace {
@@ -98,6 +100,125 @@ TEST_F(UpdaterFixture, SmallDriftDoesNotRetrain) {
   UpdateResult res = mgr.Apply(op);
   EXPECT_FALSE(res.retrained);
   EXPECT_EQ(res.epochs, 0u);
+}
+
+TEST_F(UpdaterFixture, ParallelPatchMatchesSerialReference) {
+  // PatchLabels shards the per-sample distance tests over the pool; every
+  // sample is independent, so the result must be bit-identical to an inline
+  // serial pass regardless of scheduling. The fixture's train split is
+  // smaller than the sharding grain (512), which would serial-fall-back —
+  // tile it past the grain so multi-core runs (the TSan CI job) actually
+  // drive the parallel path.
+  std::vector<data::QuerySample> parallel;
+  while (parallel.size() <= 1200) {
+    parallel.insert(parallel.end(), wl_.train.begin(), wl_.train.end());
+  }
+  std::vector<data::QuerySample> serial = parallel;
+  tensor::Matrix fresh = data::DrawFromSameMixture(spec_, 8, 77);
+  for (size_t r = 0; r < fresh.rows(); ++r) {
+    const float* vec = fresh.row(r);
+    size_t dim = wl_.queries.cols();
+    for (auto& s : serial) {
+      float d = data::Distance(wl_.queries.row(s.query_id), vec, dim,
+                               wl_.metric);
+      if (d <= s.t) s.y += 1.0f;
+    }
+    data::PatchLabels(wl_.queries, wl_.metric, vec, +1, &parallel);
+  }
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].y, parallel[i].y) << "sample " << i;
+  }
+}
+
+TEST_F(UpdaterFixture, CloneIsDeepAndPredictsIdentically) {
+  std::unique_ptr<SelNetCt> clone = model_->Clone();
+  data::Batch b = data::MaterializeAll(wl_.queries, wl_.test);
+  tensor::Matrix original = model_->Predict(b.x, b.t);
+  tensor::Matrix cloned = clone->Predict(b.x, b.t);
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original.data()[i], cloned.data()[i]) << "row " << i;
+  }
+  // Deep: mutating the source must not leak into the clone.
+  for (const auto& p : model_->Params()) {
+    p->value.Apply([](float v) { return v * 1.5f + 0.1f; });
+  }
+  model_->InvalidateInferenceCache();
+  tensor::Matrix after = clone->Predict(b.x, b.t);
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original.data()[i], after.data()[i]) << "row " << i;
+  }
+}
+
+TEST_F(UpdaterFixture, PipelineShadowRetrainMatchesDirectIncrementalFit) {
+  // The shadow-retrain equivalence contract: the pipeline's clone-retrain,
+  // fed the same ops, must land on exactly the parameters a direct
+  // UpdateManager incremental fit produces — Clone copies the rng stream, so
+  // the epoch shuffles, batches, and Adam trajectory coincide bit-for-bit.
+  UpdatePolicy policy;
+  policy.mae_drift_fraction = 0.05;
+  policy.max_epochs = 3;
+  policy.patience = 1;
+
+  UpdateOp op;
+  op.is_insert = true;
+  const float* hot = wl_.queries.row(wl_.valid.front().query_id);
+  for (int i = 0; i < 150; ++i) op.vectors.emplace_back(hot, hot + 6);
+
+  // Direct path: private copies of everything, synchronous Apply.
+  std::unique_ptr<SelNetCt> direct_model = model_->Clone();
+  data::Database direct_db = *db_;
+  data::Workload direct_wl = wl_;
+  eval::TrainContext ctx;  // db/workload are bound by the manager.
+  UpdateManager direct_mgr(&direct_db, &direct_wl, direct_model.get(), ctx,
+                           policy);
+  UpdateResult direct_res = direct_mgr.Apply(op);
+  ASSERT_TRUE(direct_res.retrained);
+  ASSERT_GT(direct_res.epochs, 0u);
+
+  // Pipeline path: publish an identical clone, attach, submit the same op.
+  serve::ServerConfig scfg;
+  scfg.dim = 6;
+  scfg.enable_batching = false;
+  scfg.enable_cache = false;
+  serve::SelNetServer server(scfg);
+  uint64_t v0 = server.Publish(std::shared_ptr<SelNetCt>(model_->Clone()));
+  serve::UpdatePipelineConfig ucfg;
+  ucfg.policy = policy;
+  serve::LiveUpdatePipeline& pipeline =
+      server.AttachUpdatePipeline(ucfg, *db_, wl_);
+  ASSERT_TRUE(pipeline.Submit(op));
+  pipeline.Flush();
+
+  serve::UpdatePipelineState state = pipeline.Snapshot();
+  EXPECT_EQ(state.ops_applied, 1u);
+  EXPECT_EQ(state.retrains_triggered, 1u);
+  EXPECT_EQ(state.epochs_run, direct_res.epochs);
+  EXPECT_EQ(state.publishes, 1u);
+  EXPECT_GT(state.last_published_version, v0);
+  EXPECT_EQ(server.registry().VersionOf("default"),
+            state.last_published_version);
+
+  std::vector<tensor::Matrix> shadow = pipeline.ShadowParamsSnapshot();
+  std::vector<ag::Var> direct_params = direct_model->Params();
+  ASSERT_EQ(shadow.size(), direct_params.size());
+  for (size_t p = 0; p < shadow.size(); ++p) {
+    ASSERT_EQ(shadow[p].size(), direct_params[p]->value.size());
+    for (size_t i = 0; i < shadow[p].size(); ++i) {
+      ASSERT_EQ(shadow[p].data()[i], direct_params[p]->value.data()[i])
+          << "param " << p << " element " << i;
+    }
+  }
+
+  // The PUBLISHED snapshot predicts exactly like the direct fit too.
+  data::Batch b = data::MaterializeAll(wl_.queries, wl_.test);
+  tensor::Matrix expected = direct_model->Predict(b.x, b.t);
+  auto handle = server.registry().Get("default");
+  ASSERT_TRUE(handle.ok());
+  tensor::Matrix served = handle.ValueOrDie().model->Predict(b.x, b.t);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected.data()[i], served.data()[i]) << "row " << i;
+  }
 }
 
 TEST_F(UpdaterFixture, MassiveUpdateTriggersRetraining) {
