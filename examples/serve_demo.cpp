@@ -3,7 +3,9 @@
 /// clients, hot-swap an updated model mid-traffic, A/B a baseline behind the
 /// same endpoint, and read the stats.
 ///
-///   ./examples/serve_demo
+///   ./examples/serve_demo                  # in-process walkthrough (below)
+///   ./examples/serve_demo server [port]    # sharded fleet + TCP frontend
+///   ./examples/serve_demo client <port> [host]   # wire client
 ///
 /// The flow mirrors a production deployment: an offline training job writes a
 /// SaveModel file; the server publishes it into its ModelRegistry; clients
@@ -12,6 +14,13 @@
 /// comparison; and a LiveUpdatePipeline ingests insert batches, patches the
 /// shadow labels, retrains on drift and republishes — all while queries stay
 /// in flight on their pinned snapshots.
+///
+/// `server` mode brings the scale-out stack up for real: a 2-shard
+/// ShardedRegistry (SelNet on one route, KDE on another, placed by the
+/// consistent-hash ring) behind a NetFrontend speaking line-delimited JSON.
+/// Run `client` from a second terminal — it sends a scalar request and a
+/// threshold sweep over the wire and prints both. Ctrl-C (or 60s idle)
+/// drains the server gracefully.
 
 #include <atomic>
 #include <cstdio>
@@ -19,20 +28,170 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
 #include "baselines/kde.h"
 #include "core/model_io.h"
 #include "core/selnet_ct.h"
 #include "core/updater.h"
 #include "data/synthetic.h"
 #include "data/workload.h"
+#include "serve/frontend.h"
 #include "serve/server.h"
+#include "serve/shard_router.h"
 #include "serve/update_pipeline.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
 using namespace selnet;
 
-int main() {
+namespace {
+
+/// Train the demo corpus + models once (shared by every mode).
+struct DemoWorld {
+  std::unique_ptr<data::Database> db;
+  data::Workload wl;
+  std::shared_ptr<core::SelNetCt> selnet;
+  std::shared_ptr<bl::KdeEstimator> kde;
+};
+
+DemoWorld BuildWorld() {
+  DemoWorld world;
+  data::SyntheticSpec spec;
+  spec.n = 3000;
+  spec.dim = 16;
+  spec.num_clusters = 8;
+  world.db = std::make_unique<data::Database>(data::GenerateMixture(spec),
+                                              data::Metric::kEuclidean);
+  data::WorkloadSpec wspec;
+  wspec.num_queries = 120;
+  wspec.w = 10;
+  wspec.max_sel_fraction = 0.1;
+  world.wl = data::GenerateWorkload(*world.db, wspec);
+
+  core::SelNetConfig cfg;
+  cfg.input_dim = world.db->dim();
+  cfg.tmax = world.wl.tmax;
+  cfg.num_control = 12;
+  eval::TrainContext ctx;
+  ctx.db = world.db.get();
+  ctx.workload = &world.wl;
+  ctx.epochs = 12;
+  world.selnet = std::make_shared<core::SelNetCt>(cfg);
+  world.selnet->Fit(ctx);
+
+  bl::KdeConfig kcfg;
+  kcfg.num_samples = 500;
+  world.kde = std::make_shared<bl::KdeEstimator>(kcfg);
+  world.kde->Fit(ctx);
+  return world;
+}
+
+std::atomic<bool> g_interrupted{false};
+void OnSigInt(int) { g_interrupted.store(true); }
+
+/// `serve_demo server [port]`: 2-shard fleet + JSON-over-TCP frontend.
+int RunServer(uint16_t port) {
+  std::printf("training demo models...\n");
+  DemoWorld world = BuildWorld();
+
+  serve::ShardedConfig scfg;
+  scfg.server.dim = world.db->dim();
+  scfg.num_shards = 2;
+  scfg.server.scheduler.max_batch = 64;
+  scfg.server.scheduler.max_delay_ms = 0.3;
+  serve::ShardedRegistry registry(scfg);
+  registry.Publish("selnet", world.selnet);
+  registry.Publish("kde", world.kde);
+
+  serve::FrontendConfig fcfg;
+  fcfg.port = port;
+  serve::NetFrontend frontend(fcfg, &registry);
+  if (!frontend.status().ok()) {
+    std::printf("frontend failed: %s\n", frontend.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "serving on 127.0.0.1:%u — routes: selnet (shard %zu), kde (shard "
+      "%zu); tmax=%.3f dim=%zu\n"
+      "try:  ./serve_demo client %u\n"
+      "serving for 60s (Ctrl-C drains early)...\n",
+      unsigned(frontend.port()), registry.ShardOf("selnet"),
+      registry.ShardOf("kde"), world.wl.tmax, world.db->dim(),
+      unsigned(frontend.port()));
+  std::signal(SIGINT, OnSigInt);
+  for (int tick = 0; tick < 600 && !g_interrupted.load(); ++tick) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  frontend.Stop();  // Graceful drain: accepted requests are answered.
+  std::printf("\n%s\n", registry.StatsReport().c_str());
+  return 0;
+}
+
+/// `serve_demo client <port> [host]`: one scalar + one sweep over the wire.
+int RunClient(const std::string& host, uint16_t port) {
+  serve::NetClient client;
+  util::Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::printf("connect failed: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  // The demo server's corpus is 16-dimensional with tmax ~= a few units; a
+  // mid-range query vector exercises both routes.
+  std::vector<float> x(16, 0.25f);
+  for (const std::string& route : {std::string("selnet"), std::string("kde")}) {
+    serve::EstimateRequest scalar =
+        serve::EstimateRequest::Point(x.data(), x.size(), 1.0f, route);
+    scalar.tag = 1;
+    auto resp = client.Roundtrip(scalar);
+    if (!resp.ok()) {
+      std::printf("[%s] scalar failed: %s\n", route.c_str(),
+                  resp.status().ToString().c_str());
+      continue;
+    }
+    std::printf("[%s] estimate(x, t=1.0) = %.2f (v%llu)\n", route.c_str(),
+                resp.ValueOrDie().estimates[0],
+                (unsigned long long)resp.ValueOrDie().version);
+
+    std::vector<float> ts;
+    for (int i = 1; i <= 8; ++i) ts.push_back(0.5f * float(i));
+    serve::EstimateRequest sweep =
+        serve::EstimateRequest::Sweep(x.data(), x.size(), ts, route);
+    sweep.tag = 2;
+    auto sresp = client.Roundtrip(sweep);
+    if (!sresp.ok()) {
+      std::printf("[%s] sweep failed: %s\n", route.c_str(),
+                  sresp.status().ToString().c_str());
+      continue;
+    }
+    std::printf("[%s] sweep (fast_path=%d):", route.c_str(),
+                int(sresp.ValueOrDie().fast_path));
+    for (float v : sresp.ValueOrDie().estimates) std::printf(" %.1f", v);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "server") == 0) {
+    return RunServer(argc >= 3 ? uint16_t(std::atoi(argv[2])) : 7979);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
+    if (argc < 3) {
+      std::printf("usage: serve_demo client <port> [host]\n");
+      return 1;
+    }
+    return RunClient(argc >= 4 ? argv[3] : "127.0.0.1",
+                     uint16_t(std::atoi(argv[2])));
+  }
   // 1. Offline: build data, train SelNet-ct, write a model file.
   data::SyntheticSpec spec;
   spec.n = 3000;

@@ -1,0 +1,424 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "serve/wire.h"
+
+namespace selnet::serve {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Client-safe text for a failed request's error reply.
+std::string ErrorText(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "request failed";
+  }
+}
+
+}  // namespace
+
+/// One accepted connection. The loop thread owns fd/rbuf; `mu` guards the
+/// fields that completion callbacks (pool workers) touch. Held by shared_ptr
+/// so a completion arriving after the connection died writes into a harmless
+/// orphan instead of freed memory.
+struct NetFrontend::Conn {
+  util::Fd fd;
+  std::string rbuf;  ///< Loop-thread only: bytes before the next '\n'.
+
+  std::mutex mu;
+  std::string wbuf;       ///< Serialized response lines awaiting the socket.
+  size_t wbuf_off = 0;    ///< Flushed prefix of wbuf.
+  size_t inflight = 0;    ///< Submitted, not yet completed.
+  bool closed = false;    ///< Loop dropped it; completions must discard.
+  bool close_after_flush = false;  ///< Oversize: deliver the error, then close.
+  bool stalled = false;   ///< Currently parked at the inflight cap.
+  bool orderly = false;   ///< Finished cleanly (EOF / server-initiated close),
+                          ///  not a peer reset — keeps the dropped counter
+                          ///  meaning what it says.
+};
+
+NetFrontend::NetFrontend(const FrontendConfig& cfg, SelNetServer* server)
+    : NetFrontend(cfg, [server](EstimateRequest req,
+                                SelNetServer::ResponseFn done) {
+        server->SubmitWith(std::move(req), std::move(done));
+      }) {}
+
+NetFrontend::NetFrontend(const FrontendConfig& cfg, ShardedRegistry* registry)
+    : NetFrontend(cfg, [registry](EstimateRequest req,
+                                  SelNetServer::ResponseFn done) {
+        registry->SubmitWith(std::move(req), std::move(done));
+      }) {}
+
+NetFrontend::NetFrontend(const FrontendConfig& cfg, SubmitFn submit)
+    : cfg_(cfg), submit_(std::move(submit)),
+      shared_(std::make_shared<Shared>()) {
+  bind_status_ = listener_.Listen(cfg_.bind_address, cfg_.port);
+  if (!shared_->wake.valid()) {
+    bind_status_ = Status::IOError("NetFrontend: wake pipe unavailable");
+  }
+  if (!bind_status_.ok()) return;
+  port_ = listener_.port();
+  loop_ = std::thread([this] { Loop(); });
+}
+
+NetFrontend::~NetFrontend() { Stop(); }
+
+Status NetFrontend::status() const { return bind_status_; }
+
+void NetFrontend::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_.load()) return;
+  stopping_.store(true);
+  shared_->wake.Notify();
+  if (loop_.joinable()) loop_.join();
+  stopped_.store(true);
+}
+
+FrontendStats NetFrontend::Stats() const {
+  FrontendStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_refused = refused_.load(std::memory_order_relaxed);
+  s.connections_dropped = dropped_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses = shared_->responses.load(std::memory_order_relaxed);
+  s.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  s.request_errors = shared_->request_errors.load(std::memory_order_relaxed);
+  s.oversized = oversized_.load(std::memory_order_relaxed);
+  s.backpressure_stalls = stalls_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NetFrontend::AcceptNew() {
+  for (;;) {
+    util::Fd conn_fd;
+    Result<bool> accepted = listener_.Accept(&conn_fd);
+    if (!accepted.ok() || !accepted.ValueOrDie()) return;
+    if (conns_.size() >= cfg_.max_connections || stopping_.load()) {
+      // Refuse by closing: the client sees EOF immediately instead of a
+      // connection that silently never answers.
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    util::SetNonBlocking(conn_fd.get());
+    util::SetNoDelay(conn_fd.get());
+    auto conn = std::make_shared<Conn>();
+    conn->fd = std::move(conn_fd);
+    conns_.push_back(std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
+                             std::string line) {
+  // Tolerate CRLF and blank keep-alive lines.
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  if (line.empty()) return;
+
+  EstimateRequest req;
+  Status parsed = ParseRequestLine(line, &req);
+  if (!parsed.ok()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    // Echo the tag even for a line that failed to parse (best-effort scan):
+    // a pipelining client correlates replies by tag and must not wait
+    // forever on a typo'd request.
+    uint64_t tag = ExtractTagBestEffort(line);
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->wbuf += SerializeError(parsed.message(), tag);
+    conn->wbuf += '\n';
+    return;
+  }
+
+  uint64_t tag = req.tag;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    ++conn->inflight;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // The completion may run on a pool worker, on the loop thread itself (a
+  // cache hit resolves inline under SubmitLine), or after this frontend is
+  // gone if Stop() timed out — so it captures only the shared Conn and the
+  // Shared block, never `this`, and takes no frontend lock.
+  auto conn_ref = conn;
+  auto shared = shared_;
+  submit_(std::move(req), [shared, conn_ref, tag](EstimateResponse&& resp,
+                                                  std::exception_ptr error) {
+    std::string out =
+        error ? SerializeError(ErrorText(error), tag) : SerializeResponse(resp);
+    if (error) shared->request_errors.fetch_add(1, std::memory_order_relaxed);
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_ref->mu);
+      if (conn_ref->inflight > 0) --conn_ref->inflight;
+      if (!conn_ref->closed) {
+        conn_ref->wbuf += out;
+        conn_ref->wbuf += '\n';
+        enqueued = true;
+      }
+    }
+    if (enqueued) shared->responses.fetch_add(1, std::memory_order_relaxed);
+    shared->wake.Notify();
+  });
+}
+
+void NetFrontend::RejectOversized(const std::shared_ptr<Conn>& conn) {
+  // A runaway writer, not a typo: deliver the error, drop whatever request
+  // bytes are buffered (later lines on this connection are not trusted),
+  // and close once the reply flushes. Requests this size are three orders
+  // of magnitude past any real query vector.
+  oversized_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->wbuf += SerializeError(
+      "wire: request line exceeds " + std::to_string(cfg_.max_line_bytes) +
+          " bytes",
+      0);
+  conn->wbuf += '\n';
+  conn->close_after_flush = true;
+  conn->rbuf.clear();
+}
+
+bool NetFrontend::HandleReadable(const std::shared_ptr<Conn>& conn,
+                                 bool read_socket) {
+  if (read_socket) {
+    char buf[16384];
+    // Bounded work per round: one connection cannot monopolize the loop.
+    for (int chunk = 0; chunk < 16; ++chunk) {
+      Result<int64_t> n = util::ReadSome(conn->fd.get(), buf, sizeof(buf));
+      if (!n.ok()) {
+        if (n.status().code() == util::StatusCode::kOutOfRange) {
+          break;  // EAGAIN.
+        }
+        return false;  // Peer reset.
+      }
+      if (n.ValueOrDie() == 0) {  // Orderly EOF.
+        conn->orderly = true;
+        return false;
+      }
+      conn->rbuf.append(buf, size_t(n.ValueOrDie()));
+      if (size_t(n.ValueOrDie()) < sizeof(buf)) break;
+    }
+  }
+
+  // A line that outgrew the cap without ever seeing its newline.
+  if (conn->rbuf.size() > cfg_.max_line_bytes &&
+      conn->rbuf.find('\n') == std::string::npos) {
+    RejectOversized(conn);
+    return true;  // Keep the conn until the error reply is flushed.
+  }
+
+  size_t start = 0;
+  for (;;) {
+    // Honor the inflight cap mid-buffer: leftover lines stay in rbuf and are
+    // re-scanned once responses drain (the poll loop stops reading, TCP
+    // pushes back on the peer).
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->inflight >= cfg_.max_inflight_per_conn ||
+          conn->wbuf.size() - conn->wbuf_off >=
+              cfg_.max_write_backlog_bytes) {
+        if (!conn->stalled) {
+          conn->stalled = true;
+          stalls_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      conn->stalled = false;
+    }
+    size_t nl = conn->rbuf.find('\n', start);
+    if (nl == std::string::npos) break;
+    if (nl - start > cfg_.max_line_bytes) {
+      RejectOversized(conn);  // Clears rbuf; nothing left to erase below.
+      return true;
+    }
+    std::string line = conn->rbuf.substr(start, nl - start);
+    start = nl + 1;
+    SubmitLine(conn, std::move(line));
+  }
+  conn->rbuf.erase(0, start);
+  return true;
+}
+
+bool NetFrontend::HandleWritable(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  while (conn->wbuf_off < conn->wbuf.size()) {
+    Result<int64_t> n =
+        util::WriteSome(conn->fd.get(), conn->wbuf.data() + conn->wbuf_off,
+                        conn->wbuf.size() - conn->wbuf_off);
+    if (!n.ok()) return false;  // EPIPE/reset: peer is gone.
+    if (n.ValueOrDie() == 0) break;  // Send buffer full; wait for POLLOUT.
+    conn->wbuf_off += size_t(n.ValueOrDie());
+  }
+  if (conn->wbuf_off == conn->wbuf.size()) {
+    conn->wbuf.clear();
+    conn->wbuf_off = 0;
+    // Close only once EARLIER requests' responses have also come back and
+    // flushed — accepted work is answered even on a connection being closed
+    // for a later oversized line. (inflight is read under the same mutex
+    // completions decrement it under; a decrement after this check wakes the
+    // poller, which re-runs HandleWritable and closes then.)
+    if (conn->close_after_flush && conn->inflight == 0) {
+      conn->orderly = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+void NetFrontend::CloseConn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closed = true;
+  }
+  conn->fd.Close();
+}
+
+bool NetFrontend::DrainComplete() {
+  for (const auto& conn : conns_) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->inflight > 0) return false;
+    if (conn->wbuf_off < conn->wbuf.size()) return false;
+  }
+  return true;
+}
+
+void NetFrontend::Loop() {
+  using Clock = std::chrono::steady_clock;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  for (;;) {
+    if (!draining && stopping_.load()) {
+      // Graceful drain: no new connections, no new request bytes; in-flight
+      // responses still compute and flush below.
+      draining = true;
+      drain_deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(cfg_.drain_timeout_s));
+      listener_.Close();
+    }
+    if (draining && (DrainComplete() || Clock::now() >= drain_deadline)) break;
+
+    std::vector<util::PollEntry> entries;
+    entries.reserve(conns_.size() + 2);
+    util::PollEntry wake_entry;
+    wake_entry.fd = shared_->wake.read_fd();
+    wake_entry.want_read = true;
+    entries.push_back(wake_entry);
+    size_t listener_slot = 0;
+    if (listener_.listening()) {
+      util::PollEntry le;
+      le.fd = listener_.fd();
+      le.want_read = true;
+      listener_slot = entries.size();
+      entries.push_back(le);
+    }
+    size_t conn_base = entries.size();
+    // Entries cover exactly the conns present NOW; AcceptNew below may
+    // append more, which are handled starting next round.
+    const size_t polled_conns = conns_.size();
+    for (const auto& conn : conns_) {
+      util::PollEntry ce;
+      ce.fd = conn->fd.get();
+      std::lock_guard<std::mutex> lock(conn->mu);
+      ce.want_read = !draining && !conn->close_after_flush &&
+                     conn->inflight < cfg_.max_inflight_per_conn &&
+                     conn->wbuf.size() - conn->wbuf_off <
+                         cfg_.max_write_backlog_bytes;
+      ce.want_write = conn->wbuf_off < conn->wbuf.size();
+      entries.push_back(ce);
+    }
+
+    Result<int> ready = util::Poll(&entries, draining ? 10 : 100);
+    if (!ready.ok()) break;  // poll() itself failing is unrecoverable here.
+    shared_->wake.Drain();
+    if (listener_.listening() && entries[listener_slot].readable) AcceptNew();
+
+    std::vector<std::shared_ptr<Conn>> alive;
+    alive.reserve(conns_.size());
+    for (size_t i = 0; i < polled_conns; ++i) {
+      const auto& conn = conns_[i];
+      const util::PollEntry& e = entries[conn_base + i];
+      bool keep = !e.error;
+      if (keep && e.readable) keep = HandleReadable(conn, /*read_socket=*/true);
+      // A stalled conn's buffered lines re-scan once responses drain —
+      // WITHOUT touching the socket, so the stop-reading backpressure holds
+      // (reading here would let a greedy client grow rbuf unboundedly).
+      if (keep && !e.readable && !conn->rbuf.empty()) {
+        keep = HandleReadable(conn, /*read_socket=*/false);
+      }
+      if (keep) keep = HandleWritable(conn);
+      if (keep) {
+        alive.push_back(conn);
+      } else {
+        // Only abnormal ends count as drops; an orderly client EOF or a
+        // server-initiated close is a healthy disconnect.
+        if (!conn->orderly) dropped_.fetch_add(1, std::memory_order_relaxed);
+        CloseConn(conn);
+      }
+    }
+    // Connections accepted this round (no poll entries yet).
+    for (size_t i = polled_conns; i < conns_.size(); ++i) {
+      alive.push_back(conns_[i]);
+    }
+    conns_.swap(alive);
+  }
+
+  listener_.Close();
+  for (const auto& conn : conns_) CloseConn(conn);
+  conns_.clear();
+}
+
+// -------------------------------------------------------------- NetClient ---
+
+Status NetClient::Connect(const std::string& address, uint16_t port) {
+  Result<util::Fd> fd = util::TcpConnect(address, port);
+  if (!fd.ok()) return fd.status();
+  fd_ = std::move(fd).ValueOrDie();
+  rbuf_.clear();
+  return Status::OK();
+}
+
+Status NetClient::SendRaw(const std::string& bytes) {
+  if (!fd_.valid()) return Status::Internal("NetClient: not connected");
+  return util::WriteAll(fd_.get(), bytes.data(), bytes.size());
+}
+
+Result<std::string> NetClient::ReadLine() {
+  if (!fd_.valid()) return Status::Internal("NetClient: not connected");
+  for (;;) {
+    size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = rbuf_.substr(0, nl);
+      rbuf_.erase(0, nl + 1);
+      return line;
+    }
+    char buf[4096];
+    Result<int64_t> n = util::ReadSome(fd_.get(), buf, sizeof(buf));
+    if (!n.ok()) return n.status();
+    if (n.ValueOrDie() == 0) {
+      return Status::IOError("NetClient: connection closed by server");
+    }
+    rbuf_.append(buf, size_t(n.ValueOrDie()));
+  }
+}
+
+Result<EstimateResponse> NetClient::Roundtrip(const EstimateRequest& req) {
+  SEL_RETURN_NOT_OK(SendRaw(SerializeRequest(req) + "\n"));
+  Result<std::string> line = ReadLine();
+  if (!line.ok()) return line.status();
+  EstimateResponse resp;
+  SEL_RETURN_NOT_OK(ParseResponseLine(line.ValueOrDie(), &resp));
+  return resp;
+}
+
+}  // namespace selnet::serve

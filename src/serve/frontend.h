@@ -1,0 +1,204 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/request.h"
+#include "serve/server.h"
+#include "serve/shard_router.h"
+#include "util/net.h"
+#include "util/status.h"
+
+/// \file frontend.h
+/// \brief NetFrontend: the network request layer over the serving stack.
+///
+/// Completes the serving story end to end:
+///
+///   client socket --> NetFrontend (poll loop) --> ShardedRegistry router
+///       --> shard's SelNetServer --> BatchScheduler --> batched kernel
+///       <-- EstimateResponse completion <-- (serialized) <-- write queue
+///
+/// Protocol: one JSON object per line (see wire.h). The frontend owns ONE
+/// event-loop thread multiplexing every connection through poll(); all model
+/// work happens on the serving pools — the loop only parses lines, submits
+/// requests, and flushes completed responses, so the wire layer adds
+/// microseconds, not milliseconds.
+///
+/// Backpressure, per connection: at most `max_inflight_per_conn` submitted
+/// requests may be unanswered at once. At the cap the loop simply stops
+/// READING that socket (its POLLIN interest is dropped); the kernel's TCP
+/// window then pushes back on the client. Responses drain -> reading
+/// resumes. One greedy client therefore cannot queue unbounded work into a
+/// shard, and well-behaved connections on the same frontend keep flowing.
+///
+/// Failure semantics (client input never kills the server):
+///   * malformed JSON / unknown field / bad shape -> {"error":...} reply,
+///     connection stays open;
+///   * unknown model route -> {"error":...} reply (the registry's NotFound
+///     text), connection stays open;
+///   * request line longer than `max_line_bytes` -> error reply, connection
+///     closed (a runaway writer, not a typo);
+///   * client disconnect with responses in flight -> completions for that
+///     connection are discarded under its lock; nothing dangles.
+///
+/// Shutdown: Stop() closes the listener, stops reading request bytes, waits
+/// up to `drain_timeout_s` for in-flight responses to be computed AND
+/// flushed to their sockets, then closes every connection and joins the
+/// loop. Accepted work is answered; nothing new is admitted.
+
+namespace selnet::serve {
+
+/// \brief Frontend policy knobs.
+struct FrontendConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read back via NetFrontend::port().
+  size_t max_connections = 128;    ///< Beyond this, accepts are refused.
+  size_t max_line_bytes = 1 << 20; ///< Oversized-request cutoff (1 MiB).
+  size_t max_inflight_per_conn = 128;  ///< Backpressure cap.
+  /// Second backpressure bound: stop reading a connection whose unflushed
+  /// response bytes exceed this (a client that sends but never reads would
+  /// otherwise grow the write queue without limit — inflight drains the
+  /// moment the backend answers, so the inflight cap alone cannot see it).
+  size_t max_write_backlog_bytes = 4 << 20;
+  double drain_timeout_s = 10.0;   ///< Stop() waits this long for in-flight.
+};
+
+/// \brief Point-in-time frontend counters.
+struct FrontendStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;  ///< Over max_connections.
+  uint64_t connections_dropped = 0;  ///< Peer reset / write failure (orderly
+                                     ///  client EOFs do not count).
+  uint64_t requests = 0;             ///< Lines successfully parsed+submitted.
+  uint64_t responses = 0;  ///< Responses completed and queued to their
+                           ///  socket (the peer may still vanish before the
+                           ///  bytes flush).
+  uint64_t parse_errors = 0;         ///< Malformed request lines.
+  uint64_t request_errors = 0;       ///< Submitted but failed (bad route…).
+  uint64_t oversized = 0;            ///< Lines over max_line_bytes.
+  uint64_t backpressure_stalls = 0;  ///< Times a conn hit the inflight cap.
+};
+
+/// \brief Line-delimited JSON-over-TCP frontend for one serving backend.
+class NetFrontend {
+ public:
+  /// Type-erased submit: both SelNetServer and ShardedRegistry fit.
+  using SubmitFn =
+      std::function<void(EstimateRequest, SelNetServer::ResponseFn)>;
+
+  /// \brief Serve a single server (no sharding).
+  NetFrontend(const FrontendConfig& cfg, SelNetServer* server);
+  /// \brief Serve a shard fleet (requests route by their model field).
+  NetFrontend(const FrontendConfig& cfg, ShardedRegistry* registry);
+  /// \brief Custom backend (tests).
+  NetFrontend(const FrontendConfig& cfg, SubmitFn submit);
+  ~NetFrontend();
+
+  NetFrontend(const NetFrontend&) = delete;
+  NetFrontend& operator=(const NetFrontend&) = delete;
+
+  /// \brief OK once the listener is bound and the loop is running; the bind
+  /// error otherwise (port in use, bad address…).
+  util::Status status() const;
+
+  /// \brief The bound port (resolves an ephemeral request).
+  uint16_t port() const { return port_; }
+
+  /// \brief Graceful drain + stop (idempotent; also run by the destructor).
+  void Stop();
+
+  FrontendStats Stats() const;
+
+ private:
+  struct Conn;
+
+  void Start();
+  void Loop();
+  void AcceptNew();
+  /// Parse+submit buffered lines for one connection, first pulling fresh
+  /// socket bytes when `read_socket` (false on the stalled-conn re-scan:
+  /// reading there would defeat the stop-reading backpressure). Returns
+  /// false when the connection is finished (EOF, oversize, error).
+  bool HandleReadable(const std::shared_ptr<Conn>& conn, bool read_socket);
+  /// Enqueue the oversized-line error reply and mark the conn to close once
+  /// it flushes (buffered request bytes are dropped).
+  void RejectOversized(const std::shared_ptr<Conn>& conn);
+  /// Flush as much of the write queue as the socket accepts. False = drop.
+  bool HandleWritable(const std::shared_ptr<Conn>& conn);
+  void SubmitLine(const std::shared_ptr<Conn>& conn, std::string line);
+  void CloseConn(const std::shared_ptr<Conn>& conn);
+  bool DrainComplete();
+
+  /// State that response completions touch. Held by shared_ptr and captured
+  /// into every completion: if Stop() times out with responses still in
+  /// flight, a late completion lands on this (and its Conn), never on a
+  /// destroyed frontend.
+  struct Shared {
+    util::WakePipe wake;
+    std::atomic<uint64_t> responses{0};
+    std::atomic<uint64_t> request_errors{0};
+  };
+
+  FrontendConfig cfg_;
+  SubmitFn submit_;
+  util::TcpListener listener_;
+  std::shared_ptr<Shared> shared_;
+  uint16_t port_ = 0;
+  util::Status bind_status_;
+
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::mutex stop_mu_;  ///< Serializes Stop() callers.
+
+  // Loop-thread counters.
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> refused_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> oversized_{0};
+  std::atomic<uint64_t> stalls_{0};
+
+  std::thread loop_;  ///< Started last.
+};
+
+/// \brief Minimal blocking client for the wire protocol (tests, the demo's
+/// client mode, and the bench harness).
+///
+/// One request at a time: Roundtrip writes a line and blocks for ONE
+/// response line. Pipelining clients should tag requests and speak the
+/// protocol directly (see wire.h).
+class NetClient {
+ public:
+  NetClient() = default;
+
+  util::Status Connect(const std::string& address, uint16_t port);
+  void Close() { fd_.Close(); }
+  bool connected() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  /// \brief Serialize, send, await and parse one response. A server-side
+  /// error reply surfaces as the returned Status.
+  util::Result<EstimateResponse> Roundtrip(const EstimateRequest& req);
+
+  /// \brief Send raw bytes (failure-path tests craft malformed lines).
+  util::Status SendRaw(const std::string& bytes);
+
+  /// \brief Block until one full line arrives (without the '\n').
+  util::Result<std::string> ReadLine();
+
+ private:
+  util::Fd fd_;
+  std::string rbuf_;  ///< Bytes past the last consumed line.
+};
+
+}  // namespace selnet::serve

@@ -244,4 +244,57 @@ std::string ServeStats::Report(const std::string& title) const {
   return out;
 }
 
+StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards) {
+  StatsSnapshot agg;
+  double mean_weighted = 0.0;
+  uint64_t mean_weight = 0;
+  for (const StatsSnapshot& s : shards) {
+    agg.requests += s.requests;
+    agg.cache_hits += s.cache_hits;
+    agg.cache_misses += s.cache_misses;
+    agg.batches += s.batches;
+    agg.batched_requests += s.batched_requests;
+    agg.sweeps += s.sweeps;
+    agg.sweep_fastpath += s.sweep_fastpath;
+    agg.curve_hits += s.curve_hits;
+    agg.curve_misses += s.curve_misses;
+    agg.swaps += s.swaps;
+    agg.update_ops += s.update_ops;
+    agg.update_ops_applied += s.update_ops_applied;
+    agg.retrains += s.retrains;
+    agg.retrain_epochs += s.retrain_epochs;
+    agg.pipeline_publishes += s.pipeline_publishes;
+    agg.qps += s.qps;
+    agg.elapsed_seconds = std::max(agg.elapsed_seconds, s.elapsed_seconds);
+    agg.latency_p50_ms = std::max(agg.latency_p50_ms, s.latency_p50_ms);
+    agg.latency_p99_ms = std::max(agg.latency_p99_ms, s.latency_p99_ms);
+    // Unlike the percentiles, the fleet mean IS computable from per-shard
+    // means: weight each by its request count.
+    mean_weighted += s.latency_mean_ms * double(s.requests);
+    mean_weight += s.requests;
+    if (s.last_publish_age_s >= 0.0 &&
+        (agg.last_publish_age_s < 0.0 ||
+         s.last_publish_age_s < agg.last_publish_age_s)) {
+      agg.last_publish_age_s = s.last_publish_age_s;
+      agg.last_drift = s.last_drift;
+    }
+    for (const RouteSnapshot& r : s.routes) agg.routes.push_back(r);
+    // Pack stats are process-wide; every shard reports the same numbers.
+    agg.pack_hits = s.pack_hits;
+    agg.pack_builds = s.pack_builds;
+    agg.gemm_kernel = s.gemm_kernel;
+  }
+  uint64_t lookups = agg.cache_hits + agg.cache_misses;
+  if (lookups > 0) {
+    agg.cache_hit_rate = double(agg.cache_hits) / double(lookups);
+  }
+  if (agg.batches > 0) {
+    agg.avg_batch_size = double(agg.batched_requests) / double(agg.batches);
+  }
+  if (mean_weight > 0) {
+    agg.latency_mean_ms = mean_weighted / double(mean_weight);
+  }
+  return agg;
+}
+
 }  // namespace selnet::serve

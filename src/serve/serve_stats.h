@@ -94,6 +94,14 @@ class LatencyReservoir {
   uint64_t count_ = 0;           ///< Total samples ever recorded.
 };
 
+/// \brief Merge per-shard snapshots into one fleet view (used by the sharded
+/// registry's report). Counters and QPS sum; hit/batch rates are recomputed
+/// from the summed counters; latency percentiles take the WORST shard —
+/// without raw samples a merged percentile would be a fiction, and the worst
+/// shard is the one a capacity planner cares about. Route rows concatenate:
+/// consistent hashing places each route on exactly one shard.
+StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards);
+
 /// \brief Thread-safe accumulator for serving metrics.
 class ServeStats {
  public:

@@ -1,0 +1,206 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "serve/update_pipeline.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace selnet::serve {
+
+using util::Result;
+
+// --------------------------------------------------------------- HashRing ---
+
+uint64_t HashRing::Hash(const std::string& s) {
+  // FNV-1a 64-bit with a murmur3 finalizer. FNV alone is stable but its
+  // high bits cluster badly on short sequential strings ("shard-0#1",
+  // "route/17"…) — measured 4-shard loads of 400/500/1000/100 — and ring
+  // balance lives entirely in the hash's uniformity; the finalizer's
+  // avalanche restores it. Not std::hash: placement is a wire-visible
+  // contract and must agree across binaries and library versions.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+HashRing::HashRing(size_t shards, size_t virtual_nodes)
+    : num_shards_(shards) {
+  SEL_CHECK_MSG(shards >= 1, "HashRing needs at least one shard");
+  size_t points = std::max<size_t>(1, virtual_nodes);
+  ring_.reserve(shards * points);
+  for (size_t s = 0; s < shards; ++s) {
+    for (size_t v = 0; v < points; ++v) {
+      ring_.push_back(Point{
+          Hash("shard-" + std::to_string(s) + "#" + std::to_string(v)),
+          uint32_t(s)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t HashRing::ShardOf(const std::string& route) const {
+  if (num_shards_ == 1) return 0;
+  uint64_t h = Hash(route);
+  // First ring point clockwise from the route's hash; wrap to the start.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), Point{h, 0});
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+// --------------------------------------------------------- ShardedRegistry ---
+
+ShardedRegistry::ShardedRegistry(const ShardedConfig& cfg)
+    : cfg_(cfg), ring_(std::max<size_t>(1, cfg.num_shards),
+                       cfg.virtual_nodes) {
+  SEL_CHECK_MSG(cfg_.server.scheduler.pool == nullptr,
+                "ShardedConfig.server.scheduler.pool must be null: each "
+                "shard owns its pool slice");
+  size_t shards = std::max<size_t>(1, cfg_.num_shards);
+  size_t threads = cfg_.threads_per_shard;
+  if (threads == 0) {
+    size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+    threads = std::max<size_t>(1, hw / shards);
+  }
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->pool = std::make_unique<util::ThreadPool>(threads);
+    ServerConfig scfg = cfg_.server;
+    scfg.scheduler.pool = shard->pool.get();
+    shard->server = std::make_unique<SelNetServer>(scfg);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedRegistry::~ShardedRegistry() {
+  // Servers first (each drains onto its pool), then the pools they used.
+  for (auto& shard : shards_) shard->server.reset();
+  for (auto& shard : shards_) shard->pool.reset();
+}
+
+size_t ShardedRegistry::ShardOf(const std::string& route) const {
+  return ring_.ShardOf(route.empty() ? cfg_.server.model_name : route);
+}
+
+const std::string& ShardedRegistry::EffectiveRoute(
+    const EstimateRequest& req) const {
+  return req.model.empty() ? cfg_.server.model_name : req.model;
+}
+
+uint64_t ShardedRegistry::Publish(std::shared_ptr<eval::Estimator> model) {
+  return Publish(cfg_.server.model_name, std::move(model));
+}
+
+uint64_t ShardedRegistry::Publish(const std::string& name,
+                                  std::shared_ptr<eval::Estimator> model) {
+  return shards_[ShardOf(name)]->server->Publish(name, std::move(model));
+}
+
+Result<uint64_t> ShardedRegistry::PublishFromFile(const std::string& name,
+                                                  const std::string& path) {
+  return shards_[ShardOf(name)]->server->PublishFromFile(name, path);
+}
+
+void ShardedRegistry::SubmitWith(EstimateRequest req,
+                                 SelNetServer::ResponseFn done) {
+  size_t shard = ShardOf(EffectiveRoute(req));
+  shards_[shard]->server->SubmitWith(std::move(req), std::move(done));
+}
+
+std::future<EstimateResponse> ShardedRegistry::Submit(EstimateRequest req) {
+  size_t shard = ShardOf(EffectiveRoute(req));
+  return shards_[shard]->server->Submit(std::move(req));
+}
+
+Result<float> ShardedRegistry::Estimate(const float* x, float t) {
+  return shards_[ShardOf("")]->server->Estimate(x, t);
+}
+
+LiveUpdatePipeline& ShardedRegistry::AttachUpdatePipeline(
+    const UpdatePipelineConfig& cfg, const data::Database& db,
+    const data::Workload& workload) {
+  const std::string& route =
+      cfg.model_name.empty() ? cfg_.server.model_name : cfg.model_name;
+  SelNetServer& shard = *shards_[ShardOf(route)]->server;
+  // Each SelNetServer holds ONE pipeline slot, and its AttachUpdatePipeline
+  // replaces whatever is there. Replacing the SAME route is the documented
+  // re-attach semantics; silently stopping a DIFFERENT route's pipeline just
+  // because the two routes hash to one shard would be a placement-dependent
+  // surprise — fail loudly instead.
+  LiveUpdatePipeline* existing = shard.update_pipeline();
+  SEL_CHECK_MSG(existing == nullptr || existing->route() == route,
+                "ShardedRegistry: shard already runs an update pipeline for "
+                "another route; one pipeline per shard");
+  return shard.AttachUpdatePipeline(cfg, db, workload);
+}
+
+void ShardedRegistry::Drain() {
+  for (auto& shard : shards_) shard->server->Drain();
+}
+
+std::vector<StatsSnapshot> ShardedRegistry::ShardSnapshots() const {
+  std::vector<StatsSnapshot> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    out.push_back(shard->server->stats().Snapshot());
+  }
+  return out;
+}
+
+StatsSnapshot ShardedRegistry::AggregateSnapshot() const {
+  return AggregateSnapshots(ShardSnapshots());
+}
+
+std::string ShardedRegistry::StatsReport() const {
+  std::vector<StatsSnapshot> snaps = ShardSnapshots();
+  util::AsciiTable table({"shard", "routes", "requests", "qps", "p50 ms",
+                          "p99 ms", "hit rate", "swaps"});
+  for (size_t s = 0; s < snaps.size(); ++s) {
+    table.AddRow({std::to_string(s), std::to_string(snaps[s].routes.size()),
+                  std::to_string(snaps[s].requests),
+                  util::AsciiTable::Num(snaps[s].qps, 1),
+                  util::AsciiTable::Num(snaps[s].latency_p50_ms, 4),
+                  util::AsciiTable::Num(snaps[s].latency_p99_ms, 4),
+                  util::AsciiTable::Num(snaps[s].cache_hit_rate, 4),
+                  std::to_string(snaps[s].swaps)});
+  }
+  StatsSnapshot agg = AggregateSnapshots(snaps);
+  table.AddRow({"total", std::to_string(agg.routes.size()),
+                std::to_string(agg.requests),
+                util::AsciiTable::Num(agg.qps, 1),
+                util::AsciiTable::Num(agg.latency_p50_ms, 4),
+                util::AsciiTable::Num(agg.latency_p99_ms, 4),
+                util::AsciiTable::Num(agg.cache_hit_rate, 4),
+                std::to_string(agg.swaps)});
+  std::string out = "sharded serving (" + std::to_string(shards_.size()) +
+                    " shards)\n" + table.ToString();
+  // Per-route placement: which shard owns what (the A/B view, sharded).
+  if (!agg.routes.empty()) {
+    util::AsciiTable routes({"route", "shard", "requests", "p50 ms", "p99 ms",
+                             "hit rate"});
+    for (size_t s = 0; s < snaps.size(); ++s) {
+      for (const auto& r : snaps[s].routes) {
+        routes.AddRow({r.route, std::to_string(s),
+                       std::to_string(r.requests),
+                       util::AsciiTable::Num(r.latency_p50_ms, 4),
+                       util::AsciiTable::Num(r.latency_p99_ms, 4),
+                       util::AsciiTable::Num(r.cache_hit_rate, 4)});
+      }
+    }
+    out += "\n" + routes.ToString();
+  }
+  return out;
+}
+
+}  // namespace selnet::serve

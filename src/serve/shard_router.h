@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "util/thread_pool.h"
+
+/// \file shard_router.h
+/// \brief Serving scale-out: consistent-hash routing of model routes across
+/// per-shard ModelRegistry + BatchScheduler pairs.
+///
+/// One SelNetServer scales until its scheduler pool saturates — then a hot
+/// route's batches queue behind every other route's. ShardedRegistry splits
+/// the route space across N shards, each a full serving stack (registry,
+/// scheduler, estimate cache, stats) with its OWN ThreadPool slice, so:
+///
+///   * a hot route saturates only its shard's workers — other shards keep
+///     their latency;
+///   * hot-swap stays shard-local: a route's republish swaps one pointer in
+///     one shard's registry, and version-keyed cache invalidation never
+///     crosses a shard boundary (each shard owns its cache);
+///   * LiveUpdatePipeline attaches per route, on the owning shard, so N
+///     routes can retrain concurrently (one pipeline per shard at a time —
+///     each SelNetServer holds one pipeline slot).
+///
+/// Routing is a consistent-hash ring (stable 64-bit FNV-1a, `virtual_nodes`
+/// points per shard): the shard owning a route depends only on (route name,
+/// shard count, virtual node count) — deterministic across processes and
+/// restarts, so a network client, the frontend, and an offline publisher all
+/// agree on placement without coordination, and growing the ring moves only
+/// ~1/N of the routes.
+///
+/// Requests with an empty `model` are resolved to the configured default
+/// route BEFORE hashing, so the default route lives on one well-defined
+/// shard rather than shard 0 by accident.
+
+namespace selnet::serve {
+
+/// \brief Deterministic consistent-hash ring: route name -> shard index.
+class HashRing {
+ public:
+  /// \param shards number of shards (>= 1).
+  /// \param virtual_nodes ring points per shard; more points = smoother
+  /// balance at slightly larger ring (128 keeps the max/mean route load
+  /// under ~1.3 for realistic route counts).
+  HashRing(size_t shards, size_t virtual_nodes = 128);
+
+  size_t ShardOf(const std::string& route) const;
+  size_t num_shards() const { return num_shards_; }
+
+  /// \brief Stable FNV-1a 64-bit hash (NOT std::hash: placement must agree
+  /// across binaries and libstdc++ versions).
+  static uint64_t Hash(const std::string& s);
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t shard;
+    bool operator<(const Point& o) const { return hash < o.hash; }
+  };
+
+  size_t num_shards_;
+  std::vector<Point> ring_;  ///< Sorted; binary-searched per lookup.
+};
+
+/// \brief Scale-out configuration: the per-shard server template plus the
+/// shard topology.
+struct ShardedConfig {
+  /// Template for every shard's SelNetServer (dim, scheduler policy, cache
+  /// sizing, sweep fast path…). `server.scheduler.pool` must stay null — each
+  /// shard gets its own pool; sharing one pool would reintroduce exactly the
+  /// cross-route starvation sharding removes.
+  ServerConfig server;
+  size_t num_shards = 2;
+  size_t virtual_nodes = 128;
+  /// Worker threads per shard pool (the shard's thread-pool slice). 0 =
+  /// max(1, hardware_concurrency / num_shards).
+  size_t threads_per_shard = 0;
+};
+
+/// \brief N per-shard serving stacks behind one consistent-hash router.
+///
+/// The public surface mirrors SelNetServer — Publish / Submit / Drain /
+/// AttachUpdatePipeline — so the frontend (and any embedding code) can treat
+/// "one server" and "a shard fleet" interchangeably.
+class ShardedRegistry {
+ public:
+  explicit ShardedRegistry(const ShardedConfig& cfg);
+  ~ShardedRegistry();
+
+  ShardedRegistry(const ShardedRegistry&) = delete;
+  ShardedRegistry& operator=(const ShardedRegistry&) = delete;
+
+  /// \brief The shard that owns `route` ("" = the default route).
+  size_t ShardOf(const std::string& route) const;
+
+  /// \brief Publish under the default route (on its owning shard).
+  uint64_t Publish(std::shared_ptr<eval::Estimator> model);
+
+  /// \brief Publish under `name` on its owning shard; returns the version
+  /// assigned by that shard's registry (version counters are shard-local).
+  uint64_t Publish(const std::string& name,
+                   std::shared_ptr<eval::Estimator> model);
+
+  /// \brief Load a core::SaveModel file and publish it under `name`.
+  util::Result<uint64_t> PublishFromFile(const std::string& name,
+                                         const std::string& path);
+
+  /// \brief Route by EstimateRequest::model and submit to the owning shard.
+  void SubmitWith(EstimateRequest req, SelNetServer::ResponseFn done);
+
+  /// \brief Future-returning wrapper over SubmitWith.
+  std::future<EstimateResponse> Submit(EstimateRequest req);
+
+  /// \brief Shim: blocking scalar estimate against the default route.
+  util::Result<float> Estimate(const float* x, float t);
+
+  /// \brief Attach a live-update pipeline for `cfg.model_name` on its owning
+  /// shard (see SelNetServer::AttachUpdatePipeline). One pipeline per shard:
+  /// re-attaching the same route replaces its pipeline, but attaching a
+  /// second route that happens to hash to an already-piped shard aborts
+  /// (placement-dependent silent clobbering would be worse).
+  LiveUpdatePipeline& AttachUpdatePipeline(const UpdatePipelineConfig& cfg,
+                                           const data::Database& db,
+                                           const data::Workload& workload);
+
+  /// \brief Block until every shard has answered everything it accepted.
+  void Drain();
+
+  size_t num_shards() const { return shards_.size(); }
+  SelNetServer& shard(size_t i) { return *shards_[i]->server; }
+  const HashRing& ring() const { return ring_; }
+  const ShardedConfig& config() const { return cfg_; }
+
+  /// \brief Per-shard snapshots, indexed by shard.
+  std::vector<StatsSnapshot> ShardSnapshots() const;
+
+  /// \brief Fleet-wide merged view (AggregateSnapshots of ShardSnapshots).
+  StatsSnapshot AggregateSnapshot() const;
+
+  /// \brief One report: a per-shard section (requests/QPS/p99/hit-rate per
+  /// shard) followed by the merged fleet totals.
+  std::string StatsReport() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<util::ThreadPool> pool;
+    std::unique_ptr<SelNetServer> server;
+  };
+
+  /// Resolve "" to the default route name (routing must hash the route the
+  /// shard's server will actually serve under).
+  const std::string& EffectiveRoute(const EstimateRequest& req) const;
+
+  ShardedConfig cfg_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace selnet::serve

@@ -1,0 +1,376 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace selnet::serve {
+
+using util::Status;
+
+namespace {
+
+/// Strict single-pass tokenizer over one protocol line. The protocol only
+/// ever nests one level (arrays of numbers inside the top object), so a full
+/// DOM is overkill — the parser walks the object once and dispatches on
+/// field name.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : s_(line) {}
+
+  Status Fail(const std::string& msg) const {
+    return Status::Invalid("wire: " + msg + " at byte " + std::to_string(i_));
+  }
+
+  void SkipSpace() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return i_ >= s_.size();
+  }
+
+  /// Parse a quoted string (escapes: \" \\ \/ \n \t \r \b \f; \uXXXX is
+  /// rejected — the protocol's strings are routes and error text, ASCII in
+  /// practice, and raw UTF-8 passes through unescaped).
+  Status String(std::string* out) {
+    SkipSpace();
+    if (i_ >= s_.size() || s_[i_] != '"') return Fail("expected string");
+    ++i_;
+    out->clear();
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char c = s_[i_++];
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (i_ >= s_.size()) return Fail("dangling escape");
+      char e = s_[i_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        default: return Fail("unsupported escape");
+      }
+    }
+    if (i_ >= s_.size()) return Fail("unterminated string");
+    ++i_;  // Closing quote.
+    return Status::OK();
+  }
+
+  /// The raw token of a JSON number: [-]digits[.digits][e[+-]digits].
+  Status NumberToken(const char** begin, const char** end) {
+    SkipSpace();
+    size_t start = i_;
+    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+    size_t digits = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+            s_[i_] == '+' || s_[i_] == '-')) {
+      ++i_;
+    }
+    if (i_ == digits) return Fail("expected number");
+    *begin = s_.data() + start;
+    *end = s_.data() + i_;
+    return Status::OK();
+  }
+
+  /// from_chars on the raw token: the shortest-round-trip decimal written by
+  /// AppendFloat parses back to the bit-identical float.
+  Status Float(float* out) {
+    const char* b = nullptr;
+    const char* e = nullptr;
+    SEL_RETURN_NOT_OK(NumberToken(&b, &e));
+    auto [ptr, ec] = std::from_chars(b, e, *out);
+    if (ec != std::errc() || ptr != e) return Fail("unparsable number");
+    return Status::OK();
+  }
+
+  Status Uint(uint64_t* out) {
+    const char* b = nullptr;
+    const char* e = nullptr;
+    SEL_RETURN_NOT_OK(NumberToken(&b, &e));
+    auto [ptr, ec] = std::from_chars(b, e, *out);
+    if (ec != std::errc() || ptr != e) {
+      return Fail("expected unsigned integer");
+    }
+    return Status::OK();
+  }
+
+  Status FloatArray(std::vector<float>* out) {
+    if (!Eat('[')) return Fail("expected array");
+    out->clear();
+    if (Eat(']')) return Status::OK();
+    for (;;) {
+      float v;
+      SEL_RETURN_NOT_OK(Float(&v));
+      out->push_back(v);
+      if (Eat(']')) return Status::OK();
+      if (!Eat(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status Bool(bool* out) {
+    SkipSpace();
+    if (s_.compare(i_, 4, "true") == 0) {
+      i_ += 4;
+      *out = true;
+      return Status::OK();
+    }
+    if (s_.compare(i_, 5, "false") == 0) {
+      i_ += 5;
+      *out = false;
+      return Status::OK();
+    }
+    return Fail("expected boolean");
+  }
+
+ private:
+  const std::string& s_;
+  size_t i_ = 0;
+};
+
+/// Walk `{ "key": <value>, ... }`, dispatching each field to `on_field`.
+template <typename FieldFn>
+Status ParseObject(LineParser* p, FieldFn on_field) {
+  if (!p->Eat('{')) return p->Fail("expected request object");
+  if (!p->Eat('}')) {
+    for (;;) {
+      std::string key;
+      SEL_RETURN_NOT_OK(p->String(&key));
+      if (!p->Eat(':')) return p->Fail("expected ':'");
+      SEL_RETURN_NOT_OK(on_field(key));
+      if (p->Eat('}')) break;
+      if (!p->Eat(',')) return p->Fail("expected ',' or '}'");
+    }
+  }
+  if (!p->AtEnd()) return p->Fail("trailing bytes after object");
+  return Status::OK();
+}
+
+}  // namespace
+
+void AppendFloat(std::string* out, float v) {
+  if (!std::isfinite(v)) {
+    out->append("null");  // Estimates are finite; keep the line valid JSON.
+    return;
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // 32 bytes always suffice for a shortest float.
+  out->append(buf, ptr);
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\t': out.append("\\t"); break;
+      case '\r': out.append("\\r"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+Status ParseRequestLine(const std::string& line, EstimateRequest* req) {
+  EstimateRequest parsed;
+  bool have_x = false;
+  bool have_ts = false;
+  LineParser p(line);
+  SEL_RETURN_NOT_OK(ParseObject(&p, [&](const std::string& key) -> Status {
+    if (key == "x") {
+      have_x = true;
+      return p.FloatArray(&parsed.x);
+    }
+    if (key == "thresholds") {
+      have_ts = true;
+      return p.FloatArray(&parsed.thresholds);
+    }
+    if (key == "model") return p.String(&parsed.model);
+    if (key == "tag") return p.Uint(&parsed.tag);
+    return p.Fail("unknown request field '" + key + "'");
+  }));
+  if (!have_x || parsed.x.empty()) {
+    return Status::Invalid("wire: request needs a non-empty \"x\" array");
+  }
+  if (!have_ts || parsed.thresholds.empty()) {
+    return Status::Invalid(
+        "wire: request needs a non-empty \"thresholds\" array");
+  }
+  *req = std::move(parsed);
+  return Status::OK();
+}
+
+std::string SerializeRequest(const EstimateRequest& req) {
+  JsonWriter w;
+  w.Field("x", req.x);
+  w.Field("thresholds", req.thresholds);
+  if (!req.model.empty()) w.Field("model", req.model);
+  if (req.tag != 0) w.Field("tag", req.tag);
+  return w.Finish();
+}
+
+std::string SerializeResponse(const EstimateResponse& resp) {
+  JsonWriter w;
+  w.Field("estimates", resp.estimates);
+  w.Field("model", resp.model);
+  w.Field("version", resp.version);
+  w.Field("cache_hits", uint64_t(resp.cache_hits));
+  w.Field("fast_path", resp.fast_path);
+  if (resp.tag != 0) w.Field("tag", resp.tag);
+  return w.Finish();
+}
+
+uint64_t ExtractTagBestEffort(const std::string& line) {
+  size_t pos = line.find("\"tag\"");
+  if (pos == std::string::npos) return 0;
+  pos += 5;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  if (pos >= line.size() || line[pos] != ':') return 0;
+  ++pos;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  uint64_t tag = 0;
+  auto [ptr, ec] =
+      std::from_chars(line.data() + pos, line.data() + line.size(), tag);
+  (void)ptr;
+  return ec == std::errc() ? tag : 0;
+}
+
+std::string SerializeError(const std::string& message, uint64_t tag) {
+  JsonWriter w;
+  w.Field("error", message);
+  if (tag != 0) w.Field("tag", tag);
+  return w.Finish();
+}
+
+Status ParseResponseLine(const std::string& line, EstimateResponse* resp) {
+  EstimateResponse parsed;
+  std::string error;
+  uint64_t cache_hits = 0;
+  LineParser p(line);
+  SEL_RETURN_NOT_OK(ParseObject(&p, [&](const std::string& key) -> Status {
+    if (key == "estimates") return p.FloatArray(&parsed.estimates);
+    if (key == "model") return p.String(&parsed.model);
+    if (key == "version") return p.Uint(&parsed.version);
+    if (key == "cache_hits") return p.Uint(&cache_hits);
+    if (key == "fast_path") {
+      bool b = false;
+      SEL_RETURN_NOT_OK(p.Bool(&b));
+      parsed.fast_path = b;
+      return Status::OK();
+    }
+    if (key == "tag") return p.Uint(&parsed.tag);
+    if (key == "error") return p.String(&error);
+    return p.Fail("unknown response field '" + key + "'");
+  }));
+  if (!error.empty()) return Status::Internal(error);
+  parsed.cache_hits = uint32_t(cache_hits);
+  *resp = std::move(parsed);
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- JsonWriter ---
+
+void JsonWriter::Key(const std::string& key) {
+  if (!first_) out_.push_back(',');
+  first_ = false;
+  out_.append(JsonQuote(key));
+  out_.push_back(':');
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key,
+                              const std::string& value) {
+  Key(key);
+  out_.append(JsonQuote(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, const char* value) {
+  return Field(key, std::string(value));
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, double value) {
+  Key(key);
+  if (!std::isfinite(value)) {
+    out_.append("null");
+    return *this;
+  }
+  char buf[40];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out_.append(buf, ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, uint64_t value) {
+  Key(key);
+  out_.append(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, bool value) {
+  Key(key);
+  out_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key,
+                              const std::vector<float>& values) {
+  Key(key);
+  out_.push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out_.push_back(',');
+    AppendFloat(&out_, values[i]);
+  }
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::RawField(const std::string& key,
+                                 const std::string& raw) {
+  Key(key);
+  out_.append(raw);
+  return *this;
+}
+
+std::string JsonWriter::Finish() {
+  out_.push_back('}');
+  return std::move(out_);
+}
+
+}  // namespace selnet::serve

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/status.h"
+
+/// \file wire.h
+/// \brief The network wire format: one JSON object per line, newline framed.
+///
+/// Request line (client -> server):
+///   {"x":[0.1,0.2],"thresholds":[0.5,0.8],"model":"default","tag":7}
+///     * `x` — required, the query vector (ServerConfig::dim floats);
+///     * `thresholds` — required, 1..K thresholds (sorted ascending buys the
+///       monotone-column guarantee, exactly like the in-process API);
+///     * `model` — optional registry route (default route when absent);
+///     * `tag` — optional uint64, echoed verbatim in the response. Responses
+///       on one connection may complete out of order under load; the tag is
+///       how a pipelining client matches them up.
+///
+/// Response line (server -> client):
+///   {"estimates":[...],"model":"default","version":3,"cache_hits":1,
+///    "fast_path":true,"tag":7}
+/// or, when the request failed (malformed JSON, unknown route, bad shape):
+///   {"error":"...","tag":7}
+///
+/// Floats travel as shortest-round-trip decimals (std::to_chars) and are
+/// parsed back with std::from_chars on the raw token, so a served estimate
+/// round-trips the wire BIT-IDENTICALLY — the frontend test diffs wire
+/// responses against in-process SelNetServer::Submit with EXPECT_EQ.
+///
+/// The parser is a strict, minimal JSON subset: one object of scalar /
+/// flat-array fields, no nesting deeper than the protocol needs, no
+/// comments, UTF-8 passed through opaquely. Unknown fields are rejected —
+/// a typo'd field name should fail loudly, not silently serve defaults.
+
+namespace selnet::serve {
+
+/// \brief Parse one request line. On error the returned Status carries a
+/// client-safe message (no server internals) and `req` is untouched.
+util::Status ParseRequestLine(const std::string& line, EstimateRequest* req);
+
+/// \brief Serialize a response (no trailing newline; the framing layer owns
+/// the '\n').
+std::string SerializeResponse(const EstimateResponse& resp);
+
+/// \brief Serialize an error reply for `tag` (no trailing newline).
+std::string SerializeError(const std::string& message, uint64_t tag);
+
+/// \brief Best-effort tag recovery from a line that FAILED ParseRequestLine
+/// (a raw scan for a `"tag":<digits>` field), so even the error reply for a
+/// malformed request can echo the client's correlation tag. Returns 0 when
+/// no tag is recoverable.
+uint64_t ExtractTagBestEffort(const std::string& line);
+
+/// \brief Serialize a request (client side; no trailing newline).
+std::string SerializeRequest(const EstimateRequest& req);
+
+/// \brief Parse one response line into `resp`; a wire-level error reply comes
+/// back as a kInternal status carrying the server's message.
+util::Status ParseResponseLine(const std::string& line,
+                               EstimateResponse* resp);
+
+/// \brief Append `v` to `out` as the shortest decimal that parses back to
+/// exactly `v` (std::to_chars; "nan"/"inf" are never produced by serving but
+/// render as null to stay valid JSON).
+void AppendFloat(std::string* out, float v);
+
+/// \brief Incremental JSON writer for flat objects — shared by the wire
+/// codec and the bench harness's machine-readable gate output.
+class JsonWriter {
+ public:
+  JsonWriter() { out_ = "{"; }
+
+  JsonWriter& Field(const std::string& key, const std::string& value);
+  JsonWriter& Field(const std::string& key, const char* value);
+  JsonWriter& Field(const std::string& key, double value);
+  JsonWriter& Field(const std::string& key, uint64_t value);
+  JsonWriter& Field(const std::string& key, bool value);
+  JsonWriter& Field(const std::string& key, const std::vector<float>& values);
+  /// \brief Embed `raw` verbatim (a nested object already serialized).
+  JsonWriter& RawField(const std::string& key, const std::string& raw);
+
+  /// \brief Close the object and return it.
+  std::string Finish();
+
+ private:
+  void Key(const std::string& key);
+
+  std::string out_;
+  bool first_ = true;
+};
+
+/// \brief Escape a string for embedding in a JSON document (adds quotes).
+std::string JsonQuote(const std::string& s);
+
+}  // namespace selnet::serve

@@ -1,0 +1,219 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace selnet::util {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + ::strerror(errno));
+}
+
+/// Parse a dotted-quad address into a sockaddr_in ("" = INADDR_ANY).
+Status MakeAddr(const std::string& address, uint16_t port,
+                sockaddr_in* out) {
+  ::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(port);
+  if (address.empty()) {
+    out->sin_addr.s_addr = htonl(INADDR_ANY);
+    return Status::OK();
+  }
+  if (::inet_pton(AF_INET, address.c_str(), &out->sin_addr) != 1) {
+    return Status::Invalid("net: unparsable IPv4 address '" + address + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("net: fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Errno("net: setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Status TcpListener::Listen(const std::string& address, uint16_t port,
+                           int backlog) {
+  sockaddr_in addr;
+  SEL_RETURN_NOT_OK(MakeAddr(address, port, &addr));
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("net: socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("net: bind " + address + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) return Errno("net: listen");
+  SEL_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  // Read the ephemeral port back so callers can Listen(addr, 0).
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return Errno("net: getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  fd_ = std::move(fd);
+  return Status::OK();
+}
+
+Result<bool> TcpListener::Accept(Fd* out) {
+  if (!fd_.valid()) return Status::Internal("net: Accept on closed listener");
+  int conn = ::accept(fd_.get(), nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return false;
+    }
+    return Errno("net: accept");
+  }
+  *out = Fd(conn);
+  return true;
+}
+
+Result<Fd> TcpConnect(const std::string& address, uint16_t port) {
+  sockaddr_in addr;
+  SEL_RETURN_NOT_OK(MakeAddr(address.empty() ? "127.0.0.1" : address, port,
+                             &addr));
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("net: socket");
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("net: connect " + address + ":" + std::to_string(port));
+  }
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+Result<int64_t> ReadSome(int fd, char* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return int64_t(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::OutOfRange("net: read would block");
+    }
+    return Errno("net: read");
+  }
+}
+
+Result<int64_t> WriteSome(int fd, const char* buf, size_t len) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return int64_t(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return int64_t(0);
+    return Errno("net: write");
+  }
+}
+
+Status WriteAll(int fd, const char* buf, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    Result<int64_t> n = WriteSome(fd, buf + off, len - off);
+    if (!n.ok()) return n.status();
+    if (n.ValueOrDie() == 0) {
+      // Blocking socket: a zero-length send means the peer is gone.
+      return Status::IOError("net: short write");
+    }
+    off += size_t(n.ValueOrDie());
+  }
+  return Status::OK();
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) == 0) {
+    read_end_ = Fd(fds[0]);
+    write_end_ = Fd(fds[1]);
+    SetNonBlocking(fds[0]);
+    SetNonBlocking(fds[1]);
+  }
+}
+
+void WakePipe::Notify() {
+  if (!write_end_.valid()) return;
+  char byte = 1;
+  // A full pipe means a wakeup is already pending — dropping this byte is
+  // fine, the poller will drain and re-scan everything.
+  [[maybe_unused]] ssize_t n = ::write(write_end_.get(), &byte, 1);
+}
+
+void WakePipe::Drain() {
+  if (!read_end_.valid()) return;
+  char buf[256];
+  while (::read(read_end_.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+Result<int> Poll(std::vector<PollEntry>* entries, int timeout_ms) {
+  std::vector<pollfd> fds(entries->size());
+  for (size_t i = 0; i < entries->size(); ++i) {
+    fds[i].fd = (*entries)[i].fd;
+    fds[i].events = 0;
+    if ((*entries)[i].want_read) fds[i].events |= POLLIN;
+    if ((*entries)[i].want_write) fds[i].events |= POLLOUT;
+    fds[i].revents = 0;
+  }
+  int ready;
+  for (;;) {
+    ready = ::poll(fds.data(), nfds_t(fds.size()), timeout_ms);
+    if (ready >= 0) break;
+    if (errno != EINTR) return Errno("net: poll");
+  }
+  for (size_t i = 0; i < entries->size(); ++i) {
+    // HUP counts as readable: the next read returns 0 and the caller sees a
+    // clean EOF instead of spinning on a dead descriptor.
+    (*entries)[i].readable = (fds[i].revents & (POLLIN | POLLHUP)) != 0;
+    (*entries)[i].writable = (fds[i].revents & POLLOUT) != 0;
+    (*entries)[i].error = (fds[i].revents & (POLLERR | POLLNVAL)) != 0;
+  }
+  return ready;
+}
+
+}  // namespace selnet::util

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file net.h
+/// \brief Minimal POSIX socket/poll wrapper for the serving frontend.
+///
+/// Just enough networking for a line-delimited request protocol on loopback
+/// or a trusted LAN: an RAII fd, a TCP listener, blocking connect for
+/// clients, and a poll() wrapper with a self-pipe wakeup so completion
+/// callbacks on pool workers can nudge the event loop. No TLS, no
+/// resolver — serving sits behind the query optimizer's trust boundary, and
+/// keeping this layer tiny keeps it auditable.
+
+namespace selnet::util {
+
+/// \brief RAII file descriptor (close on destruction; movable, not copyable).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// \brief Relinquish ownership without closing.
+  int Release();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Put a descriptor into non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// \brief Disable Nagle batching (one request line = one user-visible
+/// round-trip; latency beats byte packing here).
+Status SetNoDelay(int fd);
+
+/// \brief A listening TCP socket bound to `address:port`.
+///
+/// Pass port 0 to bind an ephemeral port and read it back via port() — the
+/// tests and the demo use this so parallel runs never collide.
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  /// \brief Bind + listen (SO_REUSEADDR, non-blocking).
+  Status Listen(const std::string& address, uint16_t port, int backlog = 64);
+
+  /// \brief Accept one pending connection into `out` (non-blocking: returns
+  /// false with OK status when no connection is waiting).
+  Result<bool> Accept(Fd* out);
+
+  uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+  bool listening() const { return fd_.valid(); }
+  void Close() { fd_.Close(); }
+
+ private:
+  Fd fd_;
+  uint16_t port_ = 0;
+};
+
+/// \brief Blocking TCP connect to `address:port` (client side).
+Result<Fd> TcpConnect(const std::string& address, uint16_t port);
+
+/// \brief Read up to `len` bytes. Returns the count (0 = orderly peer close),
+/// or -1 via Status when the socket would block (kOutOfRange) or failed.
+Result<int64_t> ReadSome(int fd, char* buf, size_t len);
+
+/// \brief Write up to `len` bytes, returning the count actually written
+/// (possibly 0 when the send buffer is full on a non-blocking socket).
+Result<int64_t> WriteSome(int fd, const char* buf, size_t len);
+
+/// \brief Write the whole buffer on a BLOCKING socket (client helper).
+Status WriteAll(int fd, const char* buf, size_t len);
+
+/// \brief Self-pipe wakeup: completion threads call Notify(), the poll loop
+/// includes read_fd() in its set and calls Drain() when it fires.
+class WakePipe {
+ public:
+  WakePipe();
+  ~WakePipe() = default;
+
+  WakePipe(const WakePipe&) = delete;
+  WakePipe& operator=(const WakePipe&) = delete;
+
+  /// \brief Wake the poller (async-signal-safe, never blocks: the pipe is
+  /// non-blocking and a full pipe already guarantees a pending wakeup).
+  void Notify();
+  /// \brief Consume every pending wakeup byte.
+  void Drain();
+
+  int read_fd() const { return read_end_.get(); }
+  bool valid() const { return read_end_.valid() && write_end_.valid(); }
+
+ private:
+  Fd read_end_;
+  Fd write_end_;
+};
+
+/// \brief One descriptor's poll() interest and result.
+struct PollEntry {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  bool readable = false;   ///< Out: POLLIN (or HUP/ERR, so reads see the EOF).
+  bool writable = false;   ///< Out: POLLOUT.
+  bool error = false;      ///< Out: POLLERR | POLLNVAL.
+};
+
+/// \brief poll() over `entries` with a millisecond timeout (-1 = infinite).
+/// Returns the number of ready descriptors (0 on timeout).
+Result<int> Poll(std::vector<PollEntry>* entries, int timeout_ms);
+
+}  // namespace selnet::util

@@ -1,0 +1,595 @@
+#include "serve/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/selnet_ct.h"
+#include "data/synthetic.h"
+#include "serve/update_pipeline.h"
+#include "serve/wire.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace selnet::serve {
+namespace {
+
+using tensor::Matrix;
+
+// ------------------------------------------------------------- wire codec ---
+
+TEST(WireTest, RequestRoundTripsBitIdentically) {
+  EstimateRequest req;
+  req.model = "route-a";
+  req.tag = 77;
+  util::Rng rng(3);
+  for (int i = 0; i < 16; ++i) req.x.push_back(float(rng.Uniform(-3.0, 3.0)));
+  for (int i = 0; i < 5; ++i) req.thresholds.push_back(float(rng.Uniform()));
+
+  EstimateRequest parsed;
+  ASSERT_TRUE(ParseRequestLine(SerializeRequest(req), &parsed).ok());
+  EXPECT_EQ(parsed.model, req.model);
+  EXPECT_EQ(parsed.tag, req.tag);
+  ASSERT_EQ(parsed.x.size(), req.x.size());
+  for (size_t i = 0; i < req.x.size(); ++i) {
+    EXPECT_EQ(parsed.x[i], req.x[i]) << "x[" << i << "]";  // Bit-exact.
+  }
+  ASSERT_EQ(parsed.thresholds.size(), req.thresholds.size());
+  for (size_t i = 0; i < req.thresholds.size(); ++i) {
+    EXPECT_EQ(parsed.thresholds[i], req.thresholds[i]);
+  }
+}
+
+TEST(WireTest, ResponseRoundTripsBitIdentically) {
+  EstimateResponse resp;
+  resp.model = "m";
+  resp.version = 9;
+  resp.cache_hits = 2;
+  resp.fast_path = true;
+  resp.tag = 5;
+  resp.estimates = {1.5f, 3.14159274f, 1e-30f, 123456.789f};
+
+  EstimateResponse parsed;
+  ASSERT_TRUE(ParseResponseLine(SerializeResponse(resp), &parsed).ok());
+  EXPECT_EQ(parsed.model, resp.model);
+  EXPECT_EQ(parsed.version, resp.version);
+  EXPECT_EQ(parsed.cache_hits, resp.cache_hits);
+  EXPECT_EQ(parsed.fast_path, resp.fast_path);
+  EXPECT_EQ(parsed.tag, resp.tag);
+  ASSERT_EQ(parsed.estimates.size(), resp.estimates.size());
+  for (size_t i = 0; i < resp.estimates.size(); ++i) {
+    EXPECT_EQ(parsed.estimates[i], resp.estimates[i]);
+  }
+}
+
+TEST(WireTest, MalformedLinesAreRejectedWithoutCrashing) {
+  EstimateRequest req;
+  const char* bad[] = {
+      "",
+      "not json",
+      "{",
+      "{}",
+      "[1,2,3]",
+      "{\"x\":[1,2]}",                          // Missing thresholds.
+      "{\"thresholds\":[0.5]}",                 // Missing x.
+      "{\"x\":[],\"thresholds\":[0.5]}",        // Empty x.
+      "{\"x\":[1],\"thresholds\":[]}",          // Empty thresholds.
+      "{\"x\":[1],\"thresholds\":[0.5]",        // Unterminated object.
+      "{\"x\":[1],\"thresholds\":[0.5]} junk",  // Trailing bytes.
+      "{\"x\":[1],\"thresholds\":[\"a\"]}",     // Wrong element type.
+      "{\"x\":[1],\"thresholds\":[0.5],\"bogus\":1}",  // Unknown field.
+      "{\"x\":[1],\"thresholds\":[0.5],\"tag\":-3}",   // Negative tag.
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseRequestLine(line, &req).ok()) << line;
+  }
+}
+
+TEST(WireTest, BestEffortTagRecoveryFromMalformedLines) {
+  EXPECT_EQ(ExtractTagBestEffort("{\"x\":[1],\"tag\": 42, junk"), 42u);
+  EXPECT_EQ(ExtractTagBestEffort("{\"tag\":7}"), 7u);
+  EXPECT_EQ(ExtractTagBestEffort("no tag here"), 0u);
+  EXPECT_EQ(ExtractTagBestEffort("{\"tag\":\"string\"}"), 0u);
+  EXPECT_EQ(ExtractTagBestEffort(""), 0u);
+}
+
+TEST(WireTest, ErrorReplyCarriesMessageAndTag) {
+  std::string line = SerializeError("no route named 'x'", 42);
+  EstimateResponse resp;
+  util::Status st = ParseResponseLine(line, &resp);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("no route named"), std::string::npos);
+}
+
+// ------------------------------------------------------------ net helpers ---
+
+// Cheap deterministic servable (no training): estimate = bias + sum(x) + t.
+class AffineEstimator : public eval::Estimator {
+ public:
+  explicit AffineEstimator(float bias) : bias_(bias) {}
+  std::string Name() const override { return "Affine"; }
+  bool IsConsistent() const override { return true; }
+  void Fit(const eval::TrainContext&) override {}
+  Matrix Predict(const Matrix& x, const Matrix& t) override {
+    Matrix y(x.rows(), 1);
+    for (size_t i = 0; i < x.rows(); ++i) {
+      float sum = bias_;
+      for (size_t j = 0; j < x.cols(); ++j) sum += x(i, j);
+      y(i, 0) = sum + t(i, 0);
+    }
+    return y;
+  }
+
+ private:
+  float bias_;
+};
+
+ServerConfig CheapServerConfig(size_t dim = 4) {
+  ServerConfig cfg;
+  cfg.dim = dim;
+  cfg.enable_cache = false;
+  cfg.scheduler.max_batch = 16;
+  cfg.scheduler.max_delay_ms = 0.2;
+  return cfg;
+}
+
+// -------------------------------------------------- frontend happy + fail ---
+
+class FrontendFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<SelNetServer>(CheapServerConfig());
+    server_->Publish(std::make_shared<AffineEstimator>(10.0f));
+    frontend_ = std::make_unique<NetFrontend>(FrontendConfig{}, server_.get());
+    ASSERT_TRUE(frontend_->status().ok())
+        << frontend_->status().ToString();
+    ASSERT_TRUE(client_.Connect("127.0.0.1", frontend_->port()).ok());
+  }
+
+  void TearDown() override {
+    client_.Close();
+    frontend_.reset();  // Frontend drains before the server dies.
+    server_.reset();
+  }
+
+  std::unique_ptr<SelNetServer> server_;
+  std::unique_ptr<NetFrontend> frontend_;
+  NetClient client_;
+};
+
+TEST_F(FrontendFixture, RoundTripMatchesInProcessSubmitBitIdentically) {
+  util::Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    EstimateRequest req;
+    for (int j = 0; j < 4; ++j) req.x.push_back(float(rng.Uniform()));
+    for (int j = 0; j <= i % 3; ++j) {
+      req.thresholds.push_back(float(rng.Uniform()));
+    }
+    req.tag = uint64_t(i + 1);
+
+    util::Result<EstimateResponse> wire = client_.Roundtrip(req);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    EstimateResponse direct = server_->Submit(req).get();
+    ASSERT_EQ(wire.ValueOrDie().estimates.size(), direct.estimates.size());
+    for (size_t k = 0; k < direct.estimates.size(); ++k) {
+      EXPECT_EQ(wire.ValueOrDie().estimates[k], direct.estimates[k])
+          << "request " << i << " threshold " << k;
+    }
+    EXPECT_EQ(wire.ValueOrDie().tag, req.tag);
+    EXPECT_EQ(wire.ValueOrDie().model, direct.model);
+  }
+  FrontendStats stats = frontend_->Stats();
+  EXPECT_EQ(stats.requests, 20u);
+  EXPECT_EQ(stats.responses, 20u);
+  EXPECT_EQ(stats.parse_errors, 0u);
+}
+
+TEST_F(FrontendFixture, MalformedJsonGetsErrorReplyAndConnectionSurvives) {
+  ASSERT_TRUE(client_.SendRaw("this is not json\n").ok());
+  util::Result<std::string> reply = client_.ReadLine();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply.ValueOrDie().find("\"error\""), std::string::npos);
+
+  // A malformed line with a recoverable tag gets the tag echoed, so a
+  // pipelining client can still correlate the failure.
+  ASSERT_TRUE(client_
+                  .SendRaw("{\"x\":[1],\"thresholds\":[0.5],\"tag\":9,"
+                           "\"bogus\":1}\n")
+                  .ok());
+  util::Result<std::string> tagged = client_.ReadLine();
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_NE(tagged.ValueOrDie().find("\"error\""), std::string::npos);
+  EXPECT_NE(tagged.ValueOrDie().find("\"tag\":9"), std::string::npos);
+
+  // Same connection still serves a valid request afterwards.
+  EstimateRequest req;
+  req.x = {0.0f, 0.0f, 0.0f, 0.0f};
+  req.thresholds = {1.0f};
+  util::Result<EstimateResponse> ok = client_.Roundtrip(req);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_FLOAT_EQ(ok.ValueOrDie().estimates[0], 11.0f);
+  EXPECT_GE(frontend_->Stats().parse_errors, 1u);
+}
+
+TEST_F(FrontendFixture, UnknownRouteGetsErrorReplyAndConnectionSurvives) {
+  EstimateRequest req;
+  req.model = "never-published";
+  req.x = {0.0f, 0.0f, 0.0f, 0.0f};
+  req.thresholds = {1.0f};
+  util::Result<EstimateResponse> bad = client_.Roundtrip(req);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("never-published"), std::string::npos);
+
+  req.model.clear();
+  util::Result<EstimateResponse> ok = client_.Roundtrip(req);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_GE(frontend_->Stats().request_errors, 1u);
+}
+
+TEST_F(FrontendFixture, WrongDimensionalityGetsErrorReply) {
+  EstimateRequest req;
+  req.x = {1.0f, 2.0f};  // Server dim is 4.
+  req.thresholds = {0.5f};
+  util::Result<EstimateResponse> bad = client_.Roundtrip(req);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("dim"), std::string::npos);
+}
+
+TEST(FrontendLimitsTest, OversizedPayloadIsRejectedThenClosed) {
+  SelNetServer server(CheapServerConfig());
+  server.Publish(std::make_shared<AffineEstimator>(0.0f));
+  FrontendConfig fcfg;
+  fcfg.max_line_bytes = 4096;
+  NetFrontend frontend(fcfg, &server);
+  ASSERT_TRUE(frontend.status().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend.port()).ok());
+
+  // A single line far past the cap (never sending its newline would also
+  // trip the no-newline guard; this exercises the framed-line path).
+  std::string huge = "{\"x\":[";
+  while (huge.size() < 3 * fcfg.max_line_bytes) huge += "0.125,";
+  huge += "0.125],\"thresholds\":[0.5]}\n";
+  ASSERT_TRUE(client.SendRaw(huge).ok());
+  util::Result<std::string> reply = client.ReadLine();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply.ValueOrDie().find("exceeds"), std::string::npos);
+  // The server closes after delivering the error.
+  util::Result<std::string> eof = client.ReadLine();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_GE(frontend.Stats().oversized, 1u);
+
+  // The frontend itself is fine: a fresh connection serves.
+  NetClient again;
+  ASSERT_TRUE(again.Connect("127.0.0.1", frontend.port()).ok());
+  EstimateRequest req;
+  req.x = {0.0f, 0.0f, 0.0f, 0.0f};
+  req.thresholds = {0.5f};
+  EXPECT_TRUE(again.Roundtrip(req).ok());
+}
+
+TEST(FrontendLimitsTest, ClientDisconnectMidResponseIsHarmless) {
+  SelNetServer server(CheapServerConfig());
+  server.Publish(std::make_shared<AffineEstimator>(0.0f));
+  NetFrontend frontend(FrontendConfig{}, &server);
+  ASSERT_TRUE(frontend.status().ok());
+
+  // Fire a burst of requests and vanish before reading any response.
+  {
+    NetClient rude;
+    ASSERT_TRUE(rude.Connect("127.0.0.1", frontend.port()).ok());
+    EstimateRequest req;
+    req.x = {0.1f, 0.1f, 0.1f, 0.1f};
+    req.thresholds = {0.5f};
+    std::string burst;
+    for (int i = 0; i < 50; ++i) burst += SerializeRequest(req) + "\n";
+    ASSERT_TRUE(rude.SendRaw(burst).ok());
+    rude.Close();  // Mid-response: completions land on a dead connection.
+  }
+  server.Drain();  // All submitted work completes against the closed conn.
+
+  // The frontend keeps serving new clients.
+  NetClient polite;
+  ASSERT_TRUE(polite.Connect("127.0.0.1", frontend.port()).ok());
+  EstimateRequest req;
+  req.x = {0.0f, 0.0f, 0.0f, 0.0f};
+  req.thresholds = {1.0f};
+  util::Result<EstimateResponse> ok = polite.Roundtrip(req);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_FLOAT_EQ(ok.ValueOrDie().estimates[0], 1.0f);
+}
+
+TEST(FrontendLimitsTest, GracefulDrainAnswersAcceptedRequests) {
+  SelNetServer server(CheapServerConfig());
+  server.Publish(std::make_shared<AffineEstimator>(3.0f));
+  auto frontend = std::make_unique<NetFrontend>(FrontendConfig{}, &server);
+  ASSERT_TRUE(frontend->status().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend->port()).ok());
+
+  EstimateRequest req;
+  req.x = {0.0f, 0.0f, 0.0f, 0.0f};
+  req.thresholds = {1.0f};
+  std::string burst;
+  for (int i = 0; i < 20; ++i) burst += SerializeRequest(req) + "\n";
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+
+  // Stop concurrently with the in-flight burst: every accepted request must
+  // still be answered before the socket closes.
+  std::thread stopper([&] { frontend->Stop(); });
+  size_t answered = 0;
+  for (;;) {
+    util::Result<std::string> line = client.ReadLine();
+    if (!line.ok()) break;  // Clean close after the drain.
+    EstimateResponse resp;
+    ASSERT_TRUE(ParseResponseLine(line.ValueOrDie(), &resp).ok());
+    EXPECT_FLOAT_EQ(resp.estimates[0], 4.0f);
+    ++answered;
+  }
+  stopper.join();
+  // The loop may not have read all 20 lines off the socket before Stop; the
+  // ones it DID submit must all have been answered and flushed.
+  FrontendStats stats = frontend->Stats();
+  EXPECT_EQ(answered, stats.requests);
+  EXPECT_EQ(stats.responses, stats.requests);
+}
+
+TEST(FrontendLimitsTest, BackpressureCapsPerConnectionInflight) {
+  SelNetServer server(CheapServerConfig());
+  server.Publish(std::make_shared<AffineEstimator>(0.0f));
+  FrontendConfig fcfg;
+  fcfg.max_inflight_per_conn = 4;
+  NetFrontend frontend(fcfg, &server);
+  ASSERT_TRUE(frontend.status().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend.port()).ok());
+
+  EstimateRequest req;
+  req.x = {0.1f, 0.1f, 0.1f, 0.1f};
+  req.thresholds = {0.5f};
+  std::string burst;
+  const int kBurst = 64;
+  for (int i = 0; i < kBurst; ++i) burst += SerializeRequest(req) + "\n";
+  ASSERT_TRUE(client.SendRaw(burst).ok());
+  // Every request is eventually answered despite the cap throttling reads.
+  for (int i = 0; i < kBurst; ++i) {
+    util::Result<std::string> line = client.ReadLine();
+    ASSERT_TRUE(line.ok()) << "response " << i;
+  }
+  EXPECT_GE(frontend.Stats().backpressure_stalls, 1u);
+}
+
+// ------------------------------- sharded serving over the wire + updates ---
+
+class NetShardFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticSpec spec;
+    spec.n = 400;
+    spec.dim = 4;
+    db_ = std::make_unique<data::Database>(data::GenerateMixture(spec),
+                                           data::Metric::kEuclidean);
+    data::WorkloadSpec wspec;
+    wspec.num_queries = 20;
+    wspec.w = 5;
+    wspec.max_sel_fraction = 0.2;
+    wl_ = data::GenerateWorkload(*db_, wspec);
+    ctx_.db = db_.get();
+    ctx_.workload = &wl_;
+    ctx_.epochs = 3;
+    cfg_.input_dim = 4;
+    cfg_.tmax = wl_.tmax;
+    cfg_.num_control = 5;
+    cfg_.latent_dim = 2;
+    cfg_.ae_hidden = 12;
+    cfg_.tau_hidden = 12;
+    cfg_.p_hidden = 16;
+    cfg_.embed_h = 4;
+    cfg_.ae_pretrain_epochs = 1;
+    model_ = std::make_shared<core::SelNetCt>(cfg_);
+    model_->Fit(ctx_);
+
+    ShardedConfig scfg;
+    scfg.server = CheapServerConfig(4);
+    scfg.num_shards = 2;
+    scfg.threads_per_shard = 1;
+    registry_ = std::make_unique<ShardedRegistry>(scfg);
+    frontend_ =
+        std::make_unique<NetFrontend>(FrontendConfig{}, registry_.get());
+    ASSERT_TRUE(frontend_->status().ok());
+  }
+
+  void TearDown() override {
+    frontend_.reset();
+    registry_.reset();
+  }
+
+  /// A route name owned by a different shard than `other`.
+  std::string RouteOnOtherShard(const std::string& other) {
+    for (int i = 0; i < 64; ++i) {
+      std::string cand = "alt" + std::to_string(i);
+      if (registry_->ShardOf(cand) != registry_->ShardOf(other)) return cand;
+    }
+    return "";
+  }
+
+  std::unique_ptr<data::Database> db_;
+  data::Workload wl_;
+  eval::TrainContext ctx_;
+  core::SelNetConfig cfg_;
+  std::shared_ptr<core::SelNetCt> model_;
+  std::unique_ptr<ShardedRegistry> registry_;
+  std::unique_ptr<NetFrontend> frontend_;
+};
+
+TEST_F(NetShardFixture, WireMatchesInProcessAcrossShards) {
+  registry_->Publish("a", model_);
+  std::string other = RouteOnOtherShard("a");
+  ASSERT_FALSE(other.empty());
+  registry_->Publish(other, model_);
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend_->port()).ok());
+  std::vector<float> ts;
+  for (int i = 1; i <= 5; ++i) ts.push_back(wl_.tmax * float(i) / 5.0f);
+  for (const std::string& route : {std::string("a"), other}) {
+    for (size_t q = 0; q < 5; ++q) {
+      EstimateRequest req =
+          EstimateRequest::Sweep(wl_.queries.row(q), 4, ts, route);
+      util::Result<EstimateResponse> wire = client.Roundtrip(req);
+      ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+      EstimateResponse direct = registry_->Submit(req).get();
+      ASSERT_EQ(wire.ValueOrDie().estimates.size(), direct.estimates.size());
+      for (size_t k = 0; k < direct.estimates.size(); ++k) {
+        EXPECT_EQ(wire.ValueOrDie().estimates[k], direct.estimates[k])
+            << route << " q" << q << " t" << k;
+      }
+    }
+  }
+}
+
+TEST_F(NetShardFixture, SweepStaysMonotoneAcrossHotSwapOnAnotherShard) {
+  registry_->Publish("primary", model_);
+  std::string other = RouteOnOtherShard("primary");
+  ASSERT_FALSE(other.empty());
+  registry_->Publish(other, model_);
+
+  std::vector<float> ts;
+  for (int i = 1; i <= 8; ++i) ts.push_back(wl_.tmax * float(i) / 8.0f);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> violations{0}, failures{0}, sweeps{0};
+  std::thread sweeper([&] {
+    NetClient client;
+    if (!client.Connect("127.0.0.1", frontend_->port()).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    util::Rng rng(5);
+    while (!stop.load()) {
+      size_t q = size_t(rng.UniformInt(0, int64_t(wl_.queries.rows()) - 1));
+      util::Result<EstimateResponse> resp = client.Roundtrip(
+          EstimateRequest::Sweep(wl_.queries.row(q), 4, ts, "primary"));
+      if (!resp.ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      const auto& est = resp.ValueOrDie().estimates;
+      for (size_t i = 1; i < est.size(); ++i) {
+        if (est[i] < est[i - 1]) violations.fetch_add(1);
+      }
+      sweeps.fetch_add(1);
+    }
+  });
+
+  // Hot-swap storm on BOTH shards: the sweeper's route republishes (its
+  // estimates may jump between versions but each sweep stays monotone), and
+  // the OTHER shard swaps too — proving a foreign shard's swap cannot
+  // corrupt this shard's in-flight sweeps or cache keys.
+  for (int swap = 0; swap < 6; ++swap) {
+    registry_->Publish(swap % 2 == 0 ? other : "primary",
+                       model_->CloneServable());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  while (sweeps.load() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  sweeper.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GE(sweeps.load(), 10u);
+}
+
+TEST_F(NetShardFixture, NetworkStormWithLivePipelineFailsNoQuery) {
+  // The PR 4 publish storm, extended end to end: wire -> router -> shard ->
+  // batched kernel, while the live-update pipeline retrains and republishes
+  // the served route. Zero failed queries, zero monotonicity violations.
+  const std::string route = "live";
+  registry_->Publish(route, model_);
+  UpdatePipelineConfig ucfg;
+  ucfg.model_name = route;
+  ucfg.policy.mae_drift_fraction = 0.0;
+  ucfg.policy.max_epochs = 1;
+  ucfg.policy.patience = 1;
+  LiveUpdatePipeline& pipeline =
+      registry_->AttachUpdatePipeline(ucfg, *db_, wl_);
+
+  std::vector<float> ts;
+  for (int i = 1; i <= 6; ++i) ts.push_back(wl_.tmax * float(i) / 6.0f);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0}, violations{0}, answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      NetClient client;
+      if (!client.Connect("127.0.0.1", frontend_->port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      util::Rng rng(600 + c);
+      while (!stop.load()) {
+        size_t q =
+            size_t(rng.UniformInt(0, int64_t(wl_.queries.rows()) - 1));
+        // One client sweeps, one sends scalars.
+        EstimateRequest req =
+            c == 0 ? EstimateRequest::Sweep(wl_.queries.row(q), 4, ts, route)
+                   : EstimateRequest::Point(wl_.queries.row(q), 4,
+                                            wl_.tmax * float(rng.Uniform()),
+                                            route);
+        util::Result<EstimateResponse> resp = client.Roundtrip(req);
+        if (!resp.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const auto& est = resp.ValueOrDie().estimates;
+        for (size_t i = 0; i < est.size(); ++i) {
+          if (!std::isfinite(est[i])) failures.fetch_add(1);
+          if (i > 0 && est[i] < est[i - 1]) violations.fetch_add(1);
+        }
+        answered.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+
+  // Feed drift-tripping ops until >= 2 republishes have hot-swapped the
+  // served route mid-traffic.
+  const uint64_t kWantPublishes = 2;
+  util::Stopwatch deadline;
+  size_t fed = 0;
+  while (pipeline.Snapshot().publishes < kWantPublishes &&
+         deadline.ElapsedSeconds() < 60.0) {
+    core::UpdateOp op;
+    op.is_insert = true;
+    const float* hot =
+        wl_.queries.row(wl_.valid[fed % wl_.valid.size()].query_id);
+    for (int i = 0; i < 40; ++i) op.vectors.emplace_back(hot, hot + 4);
+    if (pipeline.Submit(op)) ++fed;
+    pipeline.Flush();
+  }
+  while (answered.load() < 20 && deadline.ElapsedSeconds() < 60.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& th : clients) th.join();
+  registry_->Drain();
+
+  UpdatePipelineState state = pipeline.Snapshot();
+  EXPECT_GE(state.publishes, kWantPublishes);
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GE(answered.load(), 20u);
+  EXPECT_EQ(frontend_->Stats().request_errors, 0u);
+}
+
+}  // namespace
+}  // namespace selnet::serve
