@@ -35,14 +35,19 @@
 ///   vs the in-process path (reported, not gated — loopback latency is host
 ///   noise).
 ///
+/// Part 7 — tracing overhead: the batched scalar stream with stage tracing
+///   off vs sampling 1 request in 64. Sampled tracing must be cheap enough
+///   to leave on in production.
+///
 /// Acceptance shapes: batched QPS >= 1.7x unbatched QPS (was 2x before the
 /// kernel-engine PR; the UNBATCHED baseline then gained ~40% from the cached
 /// fold constants and pack-aware kernels, compressing the ratio while both
 /// absolute numbers improved), the fast path >= 3x faster per sweep than 16
 /// independent scalar estimates, warm-pack batched Predict >= 1.3x rows/s vs
-/// the cold-pack baseline, retrain-concurrent p99 <= 2x idle p99, and
-/// N-shard aggregate QPS >= 1.5x single-shard (gated only on >= 2 cores —
-/// shard pools cannot parallelize a single core).
+/// the cold-pack baseline, retrain-concurrent p99 <= 2x idle p99, N-shard
+/// aggregate QPS >= 1.5x single-shard (gated only on >= 2 cores — shard
+/// pools cannot parallelize a single core), and 1-in-64 sampled tracing
+/// costs <= 3% QPS vs tracing off.
 ///
 /// `--json PATH` additionally writes every gate and headline metric as one
 /// machine-readable JSON object — the CI bench-gate job archives it as the
@@ -592,8 +597,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ------------------------------------------------ tracing overhead gate ---
+  // The same batched scalar stream, once with stage tracing off and once
+  // sampling 1 request in 64 (the deployment default order of magnitude).
+  // Sampling must be cheap enough to leave on in production: <= 3% QPS.
+  // Best-of-2 runs per config — the gate measures the mechanism's cost, not
+  // single-core CI scheduler noise.
+  bench::PrintBanner("Tracing overhead: sampled 1-in-64 vs tracing off");
+  auto run_traced = [&](size_t sample_every) {
+    serve::ServerConfig scfg;
+    scfg.dim = db.dim();
+    scfg.enable_batching = true;
+    scfg.enable_cache = false;
+    scfg.scheduler.max_batch = 128;
+    scfg.scheduler.max_delay_ms = 0.3;
+    scfg.trace_sample_every = sample_every;
+    serve::SelNetServer server(scfg);
+    server.Publish(model);
+    double best = 0.0;
+    for (int rep = 0; rep < 2; ++rep) {
+      RunResult r =
+          DriveLoad(&server, wl, kRequests, kClients, kPipeline, 0.0);
+      best = std::max(best, r.qps);
+    }
+    return best;
+  };
+  double untraced_qps = run_traced(0);
+  double traced_qps = run_traced(64);
+
+  util::AsciiTable trace_table({"config", "QPS (best of 2)"});
+  trace_table.AddRow({"tracing off", util::AsciiTable::Num(untraced_qps, 0)});
+  trace_table.AddRow({"traced 1-in-64",
+                      util::AsciiTable::Num(traced_qps, 0)});
+  trace_table.Print("tracing_overhead");
+
+  double trace_ratio = untraced_qps > 0 ? traced_qps / untraced_qps : 0.0;
+  bool trace_ok = trace_ratio >= 0.97;
+  std::printf(
+      "\ntraced vs untraced QPS: %.3fx (acceptance: >= 0.97x, i.e. <= 3%% "
+      "overhead) %s\n",
+      trace_ratio, trace_ok ? "OK" : "BELOW TARGET");
+
   bool all_ok = speedup >= 1.7 && sweep_speedup >= 3.0 &&
-                pack_speedup >= 1.3 && live_ok && shard_ok;
+                pack_speedup >= 1.3 && live_ok && shard_ok && trace_ok;
 
   // ------------------------------------------------ machine-readable out ---
   if (!json_path.empty()) {
@@ -634,6 +680,13 @@ int main(int argc, char** argv) {
                        .Field("active", shard_gate_active)
                        .Field("pass", shard_ok)
                        .Finish());
+    gates.RawField("tracing_overhead",
+                   serve::JsonWriter()
+                       .Field("value", trace_ratio)
+                       .Field("threshold", 0.97)
+                       .Field("op", ">=")
+                       .Field("pass", trace_ok)
+                       .Finish());
 
     serve::JsonWriter metrics;
     metrics.Field("unbatched_qps", base.qps);
@@ -654,6 +707,8 @@ int main(int argc, char** argv) {
     metrics.Field("n_shard_qps", n_shard_qps);
     metrics.Field("wire_qps", wire_qps);
     metrics.Field("wire_roundtrips", wire_requests);
+    metrics.Field("untraced_qps", untraced_qps);
+    metrics.Field("traced_qps", traced_qps);
 
     serve::JsonWriter doc;
     doc.Field("bench", "serve_throughput");

@@ -106,6 +106,10 @@ int RunServer(uint16_t port) {
   scfg.num_shards = 2;
   scfg.server.scheduler.max_batch = 64;
   scfg.server.scheduler.max_delay_ms = 0.3;
+  // Stage-trace 1 request in 16: cheap enough to leave on (see
+  // bench/serve_throughput part 7) and enough samples for live per-stage
+  // percentiles in the digest below and in {"cmd":"stats"} replies.
+  scfg.server.trace_sample_every = 16;
   serve::ShardedRegistry registry(scfg);
   registry.Publish("selnet", world.selnet);
   registry.Publish("kde", world.kde);
@@ -120,7 +124,7 @@ int RunServer(uint16_t port) {
   std::printf(
       "serving on 127.0.0.1:%u — routes: selnet (shard %zu), kde (shard "
       "%zu); tmax=%.3f dim=%zu\n"
-      "try:  ./serve_demo client %u\n"
+      "try:  ./serve_demo client %u   (also sends {\"cmd\":\"stats\"})\n"
       "serving for 60s (Ctrl-C drains early)...\n",
       unsigned(frontend.port()), registry.ShardOf("selnet"),
       registry.ShardOf("kde"), world.wl.tmax, world.db->dim(),
@@ -128,6 +132,17 @@ int RunServer(uint16_t port) {
   std::signal(SIGINT, OnSigInt);
   for (int tick = 0; tick < 600 && !g_interrupted.load(); ++tick) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (tick % 50 == 49) {
+      // One-line digest every ~5s from the merged fleet snapshot — the same
+      // numbers a wire client gets from {"cmd":"stats"}.
+      serve::StatsSnapshot s = frontend.FleetSnapshot();
+      std::printf(
+          "[stats] %llu req, %.0f qps, p50 %.3f ms, p99 %.3f ms, hit rate "
+          "%.2f, traced %llu, slow %zu\n",
+          (unsigned long long)s.requests, s.qps, s.latency_p50_ms,
+          s.latency_p99_ms, s.cache_hit_rate, (unsigned long long)s.traced,
+          s.slow_requests.size());
+    }
   }
   frontend.Stop();  // Graceful drain: accepted requests are answered.
   std::printf("\n%s\n", registry.StatsReport().c_str());
@@ -174,6 +189,11 @@ int RunClient(const std::string& host, uint16_t port) {
                 int(sresp.ValueOrDie().fast_path));
     for (float v : sresp.ValueOrDie().estimates) std::printf(" %.1f", v);
     std::printf("\n");
+  }
+  // The admin plane rides the same connection: fleet stats as one JSON line.
+  auto stats = client.Admin("stats");
+  if (stats.ok()) {
+    std::printf("\n{\"cmd\":\"stats\"} -> %s\n", stats.ValueOrDie().c_str());
   }
   return 0;
 }

@@ -39,7 +39,7 @@ void BatchScheduler::SubmitRow(std::string model, const float* x, float t,
     row.done(0.0f,
              std::make_exception_ptr(
                  std::runtime_error("BatchScheduler is shut down")),
-             0.0);
+             RowTiming{});
     return;
   }
   pending_.push_back(std::move(row));
@@ -61,12 +61,12 @@ std::future<float> BatchScheduler::Submit(const float* x, float t,
   // in-flight flushes to drain.
   SubmitRow(std::move(model), x, t,
             [this, promise, tag](float value, std::exception_ptr error,
-                                 double latency_ms) {
+                                 const RowTiming& timing) {
               if (error) {
                 promise->set_exception(error);
                 return;
               }
-              if (on_complete_) on_complete_(tag, value, latency_ms);
+              if (on_complete_) on_complete_(tag, value, timing.latency_ms);
               promise->set_value(value);
             });
   return result;
@@ -109,25 +109,36 @@ void BatchScheduler::RunBatch(std::vector<Row> batch) {
       std::copy(row.x.begin(), row.x.end(), x.row(i));
       t(i, 0) = row.t;
     }
+    // Everything before this timestamp is queueing (scheduler buffering plus
+    // pool wait); everything after is the batched compute the row rode in.
+    auto compute_start = std::chrono::steady_clock::now();
+    auto timing_for = [&](const Row& row,
+                          std::chrono::steady_clock::time_point done) {
+      RowTiming timing;
+      timing.queue_ms = std::chrono::duration<double, std::milli>(
+                            compute_start - row.enqueued)
+                            .count();
+      timing.predict_ms =
+          std::chrono::duration<double, std::milli>(done - compute_start)
+              .count();
+      timing.latency_ms =
+          std::chrono::duration<double, std::milli>(done - row.enqueued)
+              .count();
+      return timing;
+    };
     try {
       tensor::Matrix y = batch_fn_(*model, x, t);
       SEL_CHECK_EQ(y.rows(), rows.size());
       auto done = std::chrono::steady_clock::now();
       for (size_t i = 0; i < rows.size(); ++i) {
         Row& row = batch[rows[i]];
-        double latency_ms =
-            std::chrono::duration<double, std::milli>(done - row.enqueued)
-                .count();
-        row.done(y(i, 0), nullptr, latency_ms);
+        row.done(y(i, 0), nullptr, timing_for(row, done));
       }
     } catch (...) {
       std::exception_ptr err = std::current_exception();
       auto done = std::chrono::steady_clock::now();
       for (size_t i : rows) {
-        double latency_ms = std::chrono::duration<double, std::milli>(
-                                done - batch[i].enqueued)
-                                .count();
-        batch[i].done(0.0f, err, latency_ms);
+        batch[i].done(0.0f, err, timing_for(batch[i], done));
       }
     }
   }

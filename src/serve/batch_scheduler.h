@@ -59,11 +59,19 @@ class BatchScheduler {
   using BatchFn = std::function<tensor::Matrix(
       const std::string& model, const tensor::Matrix& x,
       const tensor::Matrix& t)>;
+  /// Per-row timing, split at the moment the row's batch started computing:
+  /// `queue_ms` is scheduler buffering plus pool wait, `predict_ms` is the
+  /// batch-function call the row rode in, and `latency_ms` is their sum
+  /// (enqueue to completion).
+  struct RowTiming {
+    double latency_ms = 0.0;
+    double queue_ms = 0.0;
+    double predict_ms = 0.0;
+  };
   /// Per-row completion: the estimate (or the error that failed its batch)
-  /// plus queue+compute latency in milliseconds. Invoked from a pool worker.
-  using RowDoneFn =
-      std::function<void(float value, std::exception_ptr error,
-                         double latency_ms)>;
+  /// plus the row's split timing. Invoked from a pool worker.
+  using RowDoneFn = std::function<void(float value, std::exception_ptr error,
+                                       const RowTiming& timing)>;
   /// Observer invoked once per future-based request after its batch
   /// completes, with the request's tag, computed estimate, and latency
   /// (used for stats; cache fill happens inside the batch fn where the model

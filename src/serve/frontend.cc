@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "serve/wire.h"
+#include "util/logging.h"
 
 namespace selnet::serve {
 
@@ -46,20 +47,46 @@ struct NetFrontend::Conn {
                           ///  meaning what it says.
 };
 
+namespace {
+
+/// The delegating constructors build the whole Backend BEFORE the real
+/// constructor starts the loop thread — assigning hooks after delegation
+/// would race the already-running loop.
+NetFrontend::Backend ServerBackend(SelNetServer* server) {
+  NetFrontend::Backend b;
+  b.submit = [server](EstimateRequest req, SelNetServer::ResponseFn done) {
+    server->SubmitWith(std::move(req), std::move(done));
+  };
+  b.snapshot = [server] { return server->stats().Snapshot(); };
+  b.slow = [server] { return server->stats().SlowSpans(); };
+  b.trace_sample_every = server->config().trace_sample_every;
+  return b;
+}
+
+NetFrontend::Backend RegistryBackend(ShardedRegistry* registry) {
+  NetFrontend::Backend b;
+  b.submit = [registry](EstimateRequest req, SelNetServer::ResponseFn done) {
+    registry->SubmitWith(std::move(req), std::move(done));
+  };
+  b.snapshot = [registry] { return registry->AggregateSnapshot(); };
+  b.slow = [registry] { return registry->SlowSpans(); };
+  b.trace_sample_every = registry->config().server.trace_sample_every;
+  return b;
+}
+
+}  // namespace
+
 NetFrontend::NetFrontend(const FrontendConfig& cfg, SelNetServer* server)
-    : NetFrontend(cfg, [server](EstimateRequest req,
-                                SelNetServer::ResponseFn done) {
-        server->SubmitWith(std::move(req), std::move(done));
-      }) {}
+    : NetFrontend(cfg, ServerBackend(server)) {}
 
 NetFrontend::NetFrontend(const FrontendConfig& cfg, ShardedRegistry* registry)
-    : NetFrontend(cfg, [registry](EstimateRequest req,
-                                  SelNetServer::ResponseFn done) {
-        registry->SubmitWith(std::move(req), std::move(done));
-      }) {}
+    : NetFrontend(cfg, RegistryBackend(registry)) {}
 
 NetFrontend::NetFrontend(const FrontendConfig& cfg, SubmitFn submit)
-    : cfg_(cfg), submit_(std::move(submit)),
+    : NetFrontend(cfg, Backend{std::move(submit), nullptr, nullptr, 0}) {}
+
+NetFrontend::NetFrontend(const FrontendConfig& cfg, Backend backend)
+    : cfg_(cfg), backend_(std::move(backend)),
       shared_(std::make_shared<Shared>()) {
   bind_status_ = listener_.Listen(cfg_.bind_address, cfg_.port);
   if (!shared_->wake.valid()) {
@@ -94,7 +121,28 @@ FrontendStats NetFrontend::Stats() const {
   s.request_errors = shared_->request_errors.load(std::memory_order_relaxed);
   s.oversized = oversized_.load(std::memory_order_relaxed);
   s.backpressure_stalls = stalls_.load(std::memory_order_relaxed);
+  s.admin_requests = admin_requests_.load(std::memory_order_relaxed);
   return s;
+}
+
+StatsSnapshot NetFrontend::FleetSnapshot() const {
+  StatsSnapshot snap;
+  if (backend_.snapshot) snap = backend_.snapshot();
+  // The backend never sees encode (serialization happens in the completion,
+  // after the server closed the span); merge the frontend's own histogram
+  // into that stage so the wire view covers the full pipeline.
+  util::HistogramSnapshot encode = shared_->encode_hist.Snapshot();
+  if (!encode.empty()) {
+    if (snap.stage_hists.size() < kNumStages) {
+      snap.stage_hists.resize(kNumStages);
+    }
+    snap.stage_hists[size_t(Stage::kEncode)].Merge(encode);
+  }
+  return snap;
+}
+
+std::string NetFrontend::StatsJson() const {
+  return StatsToJson(FleetSnapshot());
 }
 
 void NetFrontend::AcceptNew() {
@@ -106,6 +154,8 @@ void NetFrontend::AcceptNew() {
       // Refuse by closing: the client sees EOF immediately instead of a
       // connection that silently never answers.
       refused_.fetch_add(1, std::memory_order_relaxed);
+      util::LogDebug("frontend: connection refused (%zu open, cap %zu)",
+                     conns_.size(), cfg_.max_connections);
       continue;
     }
     util::SetNonBlocking(conn_fd.get());
@@ -114,6 +164,52 @@ void NetFrontend::AcceptNew() {
     conn->fd = std::move(conn_fd);
     conns_.push_back(std::move(conn));
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    util::LogDebug("frontend: connection accepted (%zu open)", conns_.size());
+  }
+}
+
+void NetFrontend::HandleAdmin(const std::shared_ptr<Conn>& conn,
+                              const std::string& line) {
+  admin_requests_.fetch_add(1, std::memory_order_relaxed);
+  AdminRequest admin;
+  Status parsed = ParseAdminLine(line, &admin);
+  std::string reply;
+  if (!parsed.ok()) {
+    parse_errors_.fetch_add(1, std::memory_order_relaxed);
+    reply = SerializeError(parsed.message(), ExtractTagBestEffort(line));
+  } else if (admin.cmd == "stats") {
+    if (!backend_.snapshot) {
+      reply = SerializeError("wire: no stats backend attached", admin.tag);
+    } else {
+      JsonWriter w;
+      w.RawField("stats", StatsJson());
+      if (admin.tag != 0) w.Field("tag", admin.tag);
+      reply = w.Finish();
+    }
+  } else if (admin.cmd == "slow") {
+    if (!backend_.slow) {
+      reply = SerializeError("wire: no stats backend attached", admin.tag);
+    } else {
+      std::string spans = "[";
+      std::vector<SpanRecord> slow = backend_.slow();
+      for (size_t i = 0; i < slow.size(); ++i) {
+        if (i > 0) spans += ",";
+        spans += slow[i].ToJson();
+      }
+      spans += "]";
+      JsonWriter w;
+      w.RawField("slow", spans);
+      if (admin.tag != 0) w.Field("tag", admin.tag);
+      reply = w.Finish();
+    }
+  } else {
+    reply = SerializeError("wire: unknown admin cmd '" + admin.cmd + "'",
+                           admin.tag);
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (!conn->closed) {
+    conn->wbuf += reply;
+    conn->wbuf += '\n';
   }
 }
 
@@ -124,6 +220,22 @@ void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
     line.pop_back();
   }
   if (line.empty()) return;
+
+  // Admin plane: answered synchronously on the loop thread, off the estimate
+  // path — a metrics scrape never queues behind a batch.
+  if (LineLooksAdmin(line)) {
+    HandleAdmin(conn, line);
+    return;
+  }
+
+  // Decode-stage sampling: the frontend decides BEFORE parsing so the parse
+  // itself is on the span; the server honors an attached trace as-is.
+  std::shared_ptr<RequestTrace> trace;
+  if (backend_.trace_sample_every > 0 &&
+      trace_seq_++ % backend_.trace_sample_every == 0) {
+    trace = std::make_shared<RequestTrace>();
+  }
+  const auto decode_start = std::chrono::steady_clock::now();
 
   EstimateRequest req;
   Status parsed = ParseRequestLine(line, &req);
@@ -139,6 +251,14 @@ void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
     return;
   }
 
+  if (trace) {
+    trace->Observe(Stage::kDecode,
+                   std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - decode_start)
+                       .count());
+    req.trace = std::move(trace);
+  }
+
   uint64_t tag = req.tag;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
@@ -149,13 +269,25 @@ void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
   // The completion may run on a pool worker, on the loop thread itself (a
   // cache hit resolves inline under SubmitLine), or after this frontend is
   // gone if Stop() timed out — so it captures only the shared Conn and the
-  // Shared block, never `this`, and takes no frontend lock.
+  // Shared block, never `this`, and takes no frontend lock. The trace
+  // shared_ptr rides along so a sampled request's encode (serialization)
+  // time lands in the Shared encode histogram — the server has already
+  // closed and flushed the span by the time this runs.
   auto conn_ref = conn;
   auto shared = shared_;
-  submit_(std::move(req), [shared, conn_ref, tag](EstimateResponse&& resp,
-                                                  std::exception_ptr error) {
+  auto traced = req.trace;
+  backend_.submit(std::move(req), [shared, conn_ref, tag, traced](
+                              EstimateResponse&& resp,
+                              std::exception_ptr error) {
+    const auto encode_start = std::chrono::steady_clock::now();
     std::string out =
         error ? SerializeError(ErrorText(error), tag) : SerializeResponse(resp);
+    if (traced) {
+      shared->encode_hist.Record(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - encode_start)
+              .count());
+    }
     if (error) shared->request_errors.fetch_add(1, std::memory_order_relaxed);
     bool enqueued = false;
     {
@@ -178,6 +310,8 @@ void NetFrontend::RejectOversized(const std::shared_ptr<Conn>& conn) {
   // and close once the reply flushes. Requests this size are three orders
   // of magnitude past any real query vector.
   oversized_.fetch_add(1, std::memory_order_relaxed);
+  util::LogDebug("frontend: oversized request line rejected (cap %zu bytes)",
+                 cfg_.max_line_bytes);
   std::lock_guard<std::mutex> lock(conn->mu);
   conn->wbuf += SerializeError(
       "wire: request line exceeds " + std::to_string(cfg_.max_line_bytes) +
@@ -362,7 +496,12 @@ void NetFrontend::Loop() {
       } else {
         // Only abnormal ends count as drops; an orderly client EOF or a
         // server-initiated close is a healthy disconnect.
-        if (!conn->orderly) dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (!conn->orderly) {
+          dropped_.fetch_add(1, std::memory_order_relaxed);
+          util::LogDebug("frontend: connection dropped (peer reset)");
+        } else {
+          util::LogDebug("frontend: connection closed");
+        }
         CloseConn(conn);
       }
     }
@@ -410,6 +549,14 @@ Result<std::string> NetClient::ReadLine() {
     }
     rbuf_.append(buf, size_t(n.ValueOrDie()));
   }
+}
+
+Result<std::string> NetClient::Admin(const std::string& cmd, uint64_t tag) {
+  JsonWriter w;
+  w.Field("cmd", cmd);
+  if (tag != 0) w.Field("tag", tag);
+  SEL_RETURN_NOT_OK(SendRaw(w.Finish() + "\n"));
+  return ReadLine();
 }
 
 Result<EstimateResponse> NetClient::Roundtrip(const EstimateRequest& req) {

@@ -85,6 +85,7 @@ struct FrontendStats {
   uint64_t request_errors = 0;       ///< Submitted but failed (bad route…).
   uint64_t oversized = 0;            ///< Lines over max_line_bytes.
   uint64_t backpressure_stalls = 0;  ///< Times a conn hit the inflight cap.
+  uint64_t admin_requests = 0;       ///< {"cmd":...} lines answered.
 };
 
 /// \brief Line-delimited JSON-over-TCP frontend for one serving backend.
@@ -94,12 +95,28 @@ class NetFrontend {
   using SubmitFn =
       std::function<void(EstimateRequest, SelNetServer::ResponseFn)>;
 
+  /// \brief The type-erased serving backend: how to submit an estimate, how
+  /// to scrape a fleet StatsSnapshot ({"cmd":"stats"}), how to list retained
+  /// slow spans ({"cmd":"slow"}), and the trace-sampling rate the frontend
+  /// applies to wire requests (so the decode stage is captured before the
+  /// server sees the request). The snapshot/slow hooks may be null — admin
+  /// requests then get an error reply. Built fully-formed BEFORE the loop
+  /// thread starts, so the loop never races a half-initialized frontend.
+  struct Backend {
+    SubmitFn submit;
+    std::function<StatsSnapshot()> snapshot;
+    std::function<std::vector<SpanRecord>()> slow;
+    size_t trace_sample_every = 0;
+  };
+
   /// \brief Serve a single server (no sharding).
   NetFrontend(const FrontendConfig& cfg, SelNetServer* server);
   /// \brief Serve a shard fleet (requests route by their model field).
   NetFrontend(const FrontendConfig& cfg, ShardedRegistry* registry);
-  /// \brief Custom backend (tests).
+  /// \brief Custom submit-only backend (tests; no admin plane).
   NetFrontend(const FrontendConfig& cfg, SubmitFn submit);
+  /// \brief Fully custom backend.
+  NetFrontend(const FrontendConfig& cfg, Backend backend);
   ~NetFrontend();
 
   NetFrontend(const NetFrontend&) = delete;
@@ -116,6 +133,14 @@ class NetFrontend {
   void Stop();
 
   FrontendStats Stats() const;
+
+  /// \brief The backend's fleet StatsSnapshot with the frontend's own encode
+  /// histogram merged in — exactly what {"cmd":"stats"} serializes. Empty
+  /// snapshot when the backend has no snapshot hook.
+  StatsSnapshot FleetSnapshot() const;
+
+  /// \brief StatsToJson(FleetSnapshot()).
+  std::string StatsJson() const;
 
  private:
   struct Conn;
@@ -134,6 +159,8 @@ class NetFrontend {
   /// Flush as much of the write queue as the socket accepts. False = drop.
   bool HandleWritable(const std::shared_ptr<Conn>& conn);
   void SubmitLine(const std::shared_ptr<Conn>& conn, std::string line);
+  /// Answer one {"cmd":...} line synchronously on the loop thread.
+  void HandleAdmin(const std::shared_ptr<Conn>& conn, const std::string& line);
   void CloseConn(const std::shared_ptr<Conn>& conn);
   bool DrainComplete();
 
@@ -145,10 +172,14 @@ class NetFrontend {
     util::WakePipe wake;
     std::atomic<uint64_t> responses{0};
     std::atomic<uint64_t> request_errors{0};
+    /// Encode (response serialization) latency of TRACED requests. Lives
+    /// here because completions never touch the frontend itself; merged into
+    /// the fleet snapshot's encode stage at scrape time.
+    util::LatencyHistogram encode_hist;
   };
 
   FrontendConfig cfg_;
-  SubmitFn submit_;
+  Backend backend_;
   util::TcpListener listener_;
   std::shared_ptr<Shared> shared_;
   uint16_t port_ = 0;
@@ -167,6 +198,10 @@ class NetFrontend {
   std::atomic<uint64_t> parse_errors_{0};
   std::atomic<uint64_t> oversized_{0};
   std::atomic<uint64_t> stalls_{0};
+  std::atomic<uint64_t> admin_requests_{0};
+
+  /// Loop-thread-only position for 1-in-N decode-stage sampling.
+  uint64_t trace_seq_ = 0;
 
   std::thread loop_;  ///< Started last.
 };
@@ -192,6 +227,10 @@ class NetClient {
 
   /// \brief Send raw bytes (failure-path tests craft malformed lines).
   util::Status SendRaw(const std::string& bytes);
+
+  /// \brief One admin-plane round trip ({"cmd":<cmd>,"tag":<tag>}); returns
+  /// the server's raw JSON reply line.
+  util::Result<std::string> Admin(const std::string& cmd, uint64_t tag = 0);
 
   /// \brief Block until one full line arrives (without the '\n').
   util::Result<std::string> ReadLine();

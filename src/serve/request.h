@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +26,8 @@
 
 namespace selnet::serve {
 
+class RequestTrace;
+
 /// \brief One estimation request: a query, 1..K thresholds, and a route.
 struct EstimateRequest {
   /// Registry slot to answer from; empty routes to the server's default
@@ -38,6 +41,11 @@ struct EstimateRequest {
   std::vector<float> thresholds;
   /// Opaque caller tag, echoed in the response.
   uint64_t tag = 0;
+  /// Stage-trace span for a SAMPLED request (see trace.h); null for the
+  /// untraced majority. Set by the NetFrontend (wire requests, so the decode
+  /// stage is captured) or by SelNetServer::SubmitWith (in-process requests);
+  /// never serialized on the wire.
+  std::shared_ptr<RequestTrace> trace;
 
   /// \brief A single-threshold request (the scalar compatibility shape).
   static EstimateRequest Point(const float* x, size_t dim, float t,

@@ -1,47 +1,24 @@
 #include "serve/serve_stats.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "serve/wire.h"
 #include "tensor/kernel_dispatch.h"
 #include "tensor/pack_cache.h"
 #include "util/table.h"
 
 namespace selnet::serve {
 
-namespace {
-
-double PercentileOf(std::vector<double>* sorted_inout, double p) {
-  if (sorted_inout->empty()) return 0.0;
-  size_t idx = static_cast<size_t>(p * (sorted_inout->size() - 1) + 0.5);
-  std::nth_element(sorted_inout->begin(), sorted_inout->begin() + idx,
-                   sorted_inout->end());
-  return (*sorted_inout)[idx];
-}
-
-}  // namespace
-
-// ------------------------------------------------------- LatencyReservoir ---
-
-LatencyReservoir::LatencyReservoir(size_t capacity)
-    : samples_(std::max<size_t>(1, capacity), 0.0) {}
-
-void LatencyReservoir::Record(double ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  samples_[next_] = ms;
-  next_ = (next_ + 1) % samples_.size();
-  ++count_;
-}
-
-void LatencyReservoir::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  next_ = 0;
-  count_ = 0;
-}
-
-void LatencyReservoir::CopySamples(std::vector<double>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  size_t filled = std::min<uint64_t>(count_, samples_.size());
-  out->assign(samples_.begin(), samples_.begin() + filled);
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t n = sorted.size();
+  // Nearest-rank: the ceil(p * n)-th smallest sample, 1-based. The old
+  // `p * (n - 1) + 0.5` form overshot on small n (p99 of 3 samples picked
+  // the max's neighbor instead of the max).
+  size_t rank = size_t(std::ceil(p * double(n)));
+  rank = std::min(std::max<size_t>(rank, 1), n);
+  return sorted[rank - 1];
 }
 
 // ------------------------------------------------------------- RouteStats ---
@@ -61,25 +38,59 @@ RouteSnapshot ServeStats::RouteStats::Snapshot(const std::string& name) const {
   s.cache_misses = misses_.load(std::memory_order_relaxed);
   uint64_t lookups = s.cache_hits + s.cache_misses;
   if (lookups > 0) s.cache_hit_rate = double(s.cache_hits) / double(lookups);
-  std::vector<double> samples;
-  latency_.CopySamples(&samples);
-  if (!samples.empty()) {
-    s.latency_p50_ms = PercentileOf(&samples, 0.50);
-    s.latency_p99_ms = PercentileOf(&samples, 0.99);
+  util::HistogramSnapshot hist = latency_.Snapshot();
+  if (!hist.empty()) {
+    s.latency_p50_ms = hist.ValueAtQuantile(0.50);
+    s.latency_p99_ms = hist.ValueAtQuantile(0.99);
   }
   return s;
 }
 
 // -------------------------------------------------------------- ServeStats ---
 
-ServeStats::ServeStats(size_t reservoir_size)
-    : route_reservoir_(std::max<size_t>(1, reservoir_size / 4)),
-      latency_(reservoir_size),
-      start_(std::chrono::steady_clock::now()) {}
+ServeStats::ServeStats() : start_(std::chrono::steady_clock::now()) {}
 
 void ServeStats::RecordBatch(size_t batch_size) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
+}
+
+void ServeStats::ConfigureSlowTrace(double threshold_ms, size_t capacity) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_threshold_ms_ = threshold_ms;
+  slow_capacity_ = std::max<size_t>(1, capacity);
+  slow_.clear();
+  slow_next_ = 0;
+  slow_seen_ = 0;
+}
+
+void ServeStats::RecordSpan(const SpanRecord& span) {
+  for (size_t i = 0; i < kNumStages; ++i) {
+    if (span.stage_ms[i] > 0.0) stage_[i].Record(span.stage_ms[i]);
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  if (span.total_ms < slow_threshold_ms_) return;
+  if (slow_.size() < slow_capacity_) {
+    slow_.push_back(span);
+  } else {
+    slow_[slow_next_] = span;
+  }
+  slow_next_ = (slow_next_ + 1) % slow_capacity_;
+  ++slow_seen_;
+}
+
+std::vector<SpanRecord> ServeStats::SlowSpans() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(slow_.size());
+  if (slow_.size() < slow_capacity_) {
+    out = slow_;  // Ring has not wrapped: insertion order IS oldest-first.
+  } else {
+    for (size_t i = 0; i < slow_.size(); ++i) {
+      out.push_back(slow_[(slow_next_ + i) % slow_.size()]);
+    }
+  }
+  return out;
 }
 
 void ServeStats::RecordPipelinePublish() {
@@ -97,7 +108,7 @@ void ServeStats::RecordPipelinePublish() {
 ServeStats::RouteStats* ServeStats::Route(const std::string& route) {
   std::lock_guard<std::mutex> lock(routes_mu_);
   auto& slot = routes_[route];
-  if (!slot) slot = std::make_unique<RouteStats>(route_reservoir_);
+  if (!slot) slot = std::make_unique<RouteStats>();
   return slot.get();
 }
 
@@ -112,6 +123,7 @@ void ServeStats::Reset() {
   curve_hits_.store(0, std::memory_order_relaxed);
   curve_misses_.store(0, std::memory_order_relaxed);
   swaps_.store(0, std::memory_order_relaxed);
+  traced_.store(0, std::memory_order_relaxed);
   update_ops_.store(0, std::memory_order_relaxed);
   update_ops_applied_.store(0, std::memory_order_relaxed);
   retrains_.store(0, std::memory_order_relaxed);
@@ -124,6 +136,13 @@ void ServeStats::Reset() {
     for (auto& [name, rs] : routes_) rs->Reset();
   }
   latency_.Reset();
+  for (auto& h : stage_) h.Reset();
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_.clear();
+    slow_next_ = 0;
+    slow_seen_ = 0;
+  }
   std::lock_guard<std::mutex> lock(start_mu_);
   start_ = std::chrono::steady_clock::now();
 }
@@ -140,6 +159,7 @@ StatsSnapshot ServeStats::Snapshot() const {
   s.curve_hits = curve_hits_.load(std::memory_order_relaxed);
   s.curve_misses = curve_misses_.load(std::memory_order_relaxed);
   s.swaps = swaps_.load(std::memory_order_relaxed);
+  s.traced = traced_.load(std::memory_order_relaxed);
   s.update_ops = update_ops_.load(std::memory_order_relaxed);
   s.update_ops_applied = update_ops_applied_.load(std::memory_order_relaxed);
   s.retrains = retrains_.load(std::memory_order_relaxed);
@@ -154,8 +174,6 @@ StatsSnapshot ServeStats::Snapshot() const {
   s.pack_builds = pack.builds;
   s.gemm_kernel = tensor::ActiveKernel().name;
 
-  std::vector<double> samples;
-  latency_.CopySamples(&samples);
   {
     std::lock_guard<std::mutex> lock(start_mu_);
     s.elapsed_seconds =
@@ -172,13 +190,15 @@ StatsSnapshot ServeStats::Snapshot() const {
   if (s.batches > 0) {
     s.avg_batch_size = double(s.batched_requests) / double(s.batches);
   }
-  if (!samples.empty()) {
-    double sum = 0.0;
-    for (double v : samples) sum += v;
-    s.latency_mean_ms = sum / samples.size();
-    s.latency_p50_ms = PercentileOf(&samples, 0.50);
-    s.latency_p99_ms = PercentileOf(&samples, 0.99);
+  s.latency_hist = latency_.Snapshot();
+  if (!s.latency_hist.empty()) {
+    s.latency_p50_ms = s.latency_hist.ValueAtQuantile(0.50);
+    s.latency_p99_ms = s.latency_hist.ValueAtQuantile(0.99);
+    s.latency_mean_ms = s.latency_hist.MeanMs();
   }
+  s.stage_hists.reserve(kNumStages);
+  for (const auto& h : stage_) s.stage_hists.push_back(h.Snapshot());
+  s.slow_requests = SlowSpans();
   // Copy the stable (name, accumulator) pairs under the map lock, then do
   // the percentile work after releasing it — Route() sits on the request
   // admission path and must never wait behind a metrics scrape.
@@ -210,10 +230,42 @@ std::string ServeStats::Report(const std::string& title) const {
   table.AddRow({"curve-cache hits", std::to_string(s.curve_hits)});
   table.AddRow({"curve-cache misses", std::to_string(s.curve_misses)});
   table.AddRow({"model swaps", std::to_string(s.swaps)});
+  table.AddRow({"traced requests", std::to_string(s.traced)});
   table.AddRow({"gemm kernel", s.gemm_kernel});
   table.AddRow({"pack-cache hits", std::to_string(s.pack_hits)});
   table.AddRow({"pack builds", std::to_string(s.pack_builds)});
   std::string out = title + "\n" + table.ToString();
+
+  // Per-stage section: only once sampling has traced something.
+  bool any_stage = false;
+  for (const auto& h : s.stage_hists) any_stage |= !h.empty();
+  if (any_stage) {
+    util::AsciiTable st({"stage", "samples", "p50 ms", "p99 ms"});
+    for (size_t i = 0; i < s.stage_hists.size(); ++i) {
+      const auto& h = s.stage_hists[i];
+      if (h.empty()) continue;
+      st.AddRow({StageName(Stage(i)), std::to_string(h.count),
+                 util::AsciiTable::Num(h.ValueAtQuantile(0.50), 4),
+                 util::AsciiTable::Num(h.ValueAtQuantile(0.99), 4)});
+    }
+    out += "\n" + st.ToString();
+  }
+
+  // Slow-request section: full span breakdowns of traced outliers.
+  if (!s.slow_requests.empty()) {
+    util::AsciiTable slow({"slow request", "total ms", "decode", "route",
+                           "cache", "queue", "predict", "encode"});
+    for (const auto& span : s.slow_requests) {
+      std::vector<std::string> row;
+      row.push_back(span.route.empty() ? "(default)" : span.route);
+      row.push_back(util::AsciiTable::Num(span.total_ms, 3));
+      for (size_t i = 0; i < kNumStages; ++i) {
+        row.push_back(util::AsciiTable::Num(span.stage_ms[i], 3));
+      }
+      slow.AddRow(row);
+    }
+    out += "\n" + slow.ToString();
+  }
 
   // Update-pipeline section: only once a pipeline has ingested anything.
   if (s.update_ops > 0 || s.pipeline_publishes > 0) {
@@ -246,8 +298,10 @@ std::string ServeStats::Report(const std::string& title) const {
 
 StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards) {
   StatsSnapshot agg;
+  agg.stage_hists.resize(kNumStages);
   double mean_weighted = 0.0;
   uint64_t mean_weight = 0;
+  double worst_p50 = 0.0, worst_p99 = 0.0;
   for (const StatsSnapshot& s : shards) {
     agg.requests += s.requests;
     agg.cache_hits += s.cache_hits;
@@ -259,6 +313,7 @@ StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards) {
     agg.curve_hits += s.curve_hits;
     agg.curve_misses += s.curve_misses;
     agg.swaps += s.swaps;
+    agg.traced += s.traced;
     agg.update_ops += s.update_ops;
     agg.update_ops_applied += s.update_ops_applied;
     agg.retrains += s.retrains;
@@ -266,10 +321,15 @@ StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards) {
     agg.pipeline_publishes += s.pipeline_publishes;
     agg.qps += s.qps;
     agg.elapsed_seconds = std::max(agg.elapsed_seconds, s.elapsed_seconds);
-    agg.latency_p50_ms = std::max(agg.latency_p50_ms, s.latency_p50_ms);
-    agg.latency_p99_ms = std::max(agg.latency_p99_ms, s.latency_p99_ms);
-    // Unlike the percentiles, the fleet mean IS computable from per-shard
-    // means: weight each by its request count.
+    agg.latency_hist.Merge(s.latency_hist);
+    for (size_t i = 0; i < kNumStages && i < s.stage_hists.size(); ++i) {
+      agg.stage_hists[i].Merge(s.stage_hists[i]);
+    }
+    for (const SpanRecord& span : s.slow_requests) {
+      agg.slow_requests.push_back(span);
+    }
+    worst_p50 = std::max(worst_p50, s.latency_p50_ms);
+    worst_p99 = std::max(worst_p99, s.latency_p99_ms);
     mean_weighted += s.latency_mean_ms * double(s.requests);
     mean_weight += s.requests;
     if (s.last_publish_age_s >= 0.0 &&
@@ -291,10 +351,94 @@ StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards) {
   if (agg.batches > 0) {
     agg.avg_batch_size = double(agg.batched_requests) / double(agg.batches);
   }
-  if (mean_weight > 0) {
-    agg.latency_mean_ms = mean_weighted / double(mean_weight);
+  if (!agg.latency_hist.empty()) {
+    // The real fleet percentiles: quantiles of the bucket-merged histogram
+    // are the quantiles of the pooled per-shard samples (within the bucket
+    // error bound), because merge is a bucket-wise sum.
+    agg.latency_p50_ms = agg.latency_hist.ValueAtQuantile(0.50);
+    agg.latency_p99_ms = agg.latency_hist.ValueAtQuantile(0.99);
+    agg.latency_mean_ms = agg.latency_hist.MeanMs();
+  } else {
+    // Summary-only snapshots (no histogram data): fall back to worst-shard
+    // percentiles and the request-weighted mean.
+    agg.latency_p50_ms = worst_p50;
+    agg.latency_p99_ms = worst_p99;
+    if (mean_weight > 0) {
+      agg.latency_mean_ms = mean_weighted / double(mean_weight);
+    }
   }
   return agg;
+}
+
+std::string StatsToJson(const StatsSnapshot& s) {
+  JsonWriter w;
+  w.Field("requests", s.requests);
+  w.Field("qps", s.qps);
+  w.Field("elapsed_s", s.elapsed_seconds);
+  w.Field("cache_hits", s.cache_hits);
+  w.Field("cache_misses", s.cache_misses);
+  w.Field("cache_hit_rate", s.cache_hit_rate);
+  w.Field("batches", s.batches);
+  w.Field("avg_batch_size", s.avg_batch_size);
+  w.Field("sweeps", s.sweeps);
+  w.Field("sweep_fastpath", s.sweep_fastpath);
+  w.Field("curve_hits", s.curve_hits);
+  w.Field("curve_misses", s.curve_misses);
+  w.Field("swaps", s.swaps);
+  w.Field("traced", s.traced);
+  w.Field("pack_hits", s.pack_hits);
+  w.Field("pack_builds", s.pack_builds);
+  w.Field("gemm_kernel", s.gemm_kernel);
+  {
+    JsonWriter lat;
+    lat.Field("count", s.latency_hist.count);
+    lat.Field("p50_ms", s.latency_p50_ms);
+    lat.Field("p99_ms", s.latency_p99_ms);
+    lat.Field("mean_ms", s.latency_mean_ms);
+    w.RawField("latency", lat.Finish());
+  }
+  {
+    JsonWriter stages;
+    for (size_t i = 0; i < s.stage_hists.size(); ++i) {
+      const util::HistogramSnapshot& h = s.stage_hists[i];
+      JsonWriter st;
+      st.Field("count", h.count);
+      st.Field("p50_ms", h.ValueAtQuantile(0.50));
+      st.Field("p99_ms", h.ValueAtQuantile(0.99));
+      st.Field("mean_ms", h.MeanMs());
+      stages.RawField(StageName(Stage(i)), st.Finish());
+    }
+    w.RawField("stages", stages.Finish());
+  }
+  {
+    std::string routes = "[";
+    for (size_t i = 0; i < s.routes.size(); ++i) {
+      const RouteSnapshot& r = s.routes[i];
+      JsonWriter rw;
+      rw.Field("route", r.route);
+      rw.Field("requests", r.requests);
+      rw.Field("p50_ms", r.latency_p50_ms);
+      rw.Field("p99_ms", r.latency_p99_ms);
+      rw.Field("cache_hit_rate", r.cache_hit_rate);
+      if (i > 0) routes += ",";
+      routes += rw.Finish();
+    }
+    routes += "]";
+    w.RawField("routes", routes);
+  }
+  if (s.update_ops > 0 || s.pipeline_publishes > 0) {
+    JsonWriter up;
+    up.Field("ops", s.update_ops);
+    up.Field("ops_applied", s.update_ops_applied);
+    up.Field("retrains", s.retrains);
+    up.Field("retrain_epochs", s.retrain_epochs);
+    up.Field("publishes", s.pipeline_publishes);
+    up.Field("last_drift", s.last_drift);
+    up.Field("last_publish_age_s", s.last_publish_age_s);
+    w.RawField("update_pipeline", up.Finish());
+  }
+  w.Field("slow_requests", uint64_t(s.slow_requests.size()));
+  return w.Finish();
 }
 
 }  // namespace selnet::serve

@@ -10,17 +10,21 @@
 #include <string>
 #include <vector>
 
+#include "serve/trace.h"
+#include "util/histogram.h"
+
 /// \file serve_stats.h
-/// \brief Serving-side observability: request counters, latency percentiles,
-/// cache hit rate, batching efficiency, per-route breakdowns, and the
-/// live-update pipeline's progress.
+/// \brief Serving-side observability: request counters, latency histograms,
+/// cache hit rate, batching efficiency, per-stage spans, per-route
+/// breakdowns, and the live-update pipeline's progress.
 ///
-/// All recording paths are lock-light (atomics plus one short critical
-/// section for the latency reservoir) so stats collection never becomes the
-/// serving bottleneck. Per-route accumulators are created on first use and
-/// addressed by stable pointer (`Route()`), so the serving hot path records
-/// through them without re-hashing the route name per threshold. Rendering
-/// reuses util::AsciiTable for the same look as the bench harness output.
+/// All recording paths are lock-free (atomic counters plus the lock-free
+/// util::LatencyHistogram) so stats collection never becomes the serving
+/// bottleneck. Per-route accumulators are created on first use and addressed
+/// by stable pointer (`Route()`), so the serving hot path records through
+/// them without re-hashing the route name per threshold. Rendering reuses
+/// util::AsciiTable for the same look as the bench harness output;
+/// StatsToJson renders the same snapshot for the wire admin plane.
 
 namespace selnet::serve {
 
@@ -47,6 +51,7 @@ struct StatsSnapshot {
   uint64_t curve_hits = 0;      ///< Sweeps answered from a cached PWL curve.
   uint64_t curve_misses = 0;    ///< Curve-cache lookups that missed.
   uint64_t swaps = 0;           ///< Model hot-swaps observed.
+  uint64_t traced = 0;          ///< Requests that carried a sampled trace.
   /// Live-update pipeline progress (zero unless a pipeline is attached).
   uint64_t update_ops = 0;          ///< Ops accepted onto the ingest queue.
   uint64_t update_ops_applied = 0;  ///< Ops fully applied to the shadow state.
@@ -68,39 +73,43 @@ struct StatsSnapshot {
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_mean_ms = 0.0;
+  /// The full request-latency distribution (mergeable across shards); the
+  /// three summary fields above are computed from it when it is non-empty.
+  util::HistogramSnapshot latency_hist;
+  /// Per-stage latency distributions for SAMPLED requests, indexed by
+  /// serve::Stage (size kNumStages; entries stay empty for stages the
+  /// deployment never exercises, e.g. decode/encode without a frontend).
+  std::vector<util::HistogramSnapshot> stage_hists;
+  /// Most recent traced requests slower than the slow-trace threshold
+  /// (oldest first, bounded by ServeStats::ConfigureSlowTrace capacity).
+  std::vector<SpanRecord> slow_requests;
   /// Per-route breakdown (route-name order); empty until a request resolves
   /// against a registry slot.
   std::vector<RouteSnapshot> routes;
 };
 
-/// \brief Fixed-size ring of the most recent latency samples (older ones are
-/// overwritten) with a copy-out for percentile estimation. One mutex per
-/// reservoir keeps recording lock-light; the global and per-route latency
-/// tracks share this one implementation.
-class LatencyReservoir {
- public:
-  explicit LatencyReservoir(size_t capacity);
-
-  void Record(double ms);
-  void Reset();
-
-  /// \brief Copy the filled samples into `out` (replacing its contents).
-  void CopySamples(std::vector<double>* out) const;
-
- private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;  ///< Ring buffer.
-  size_t next_ = 0;              ///< Next write slot.
-  uint64_t count_ = 0;           ///< Total samples ever recorded.
-};
+/// \brief Nearest-rank percentile of an ASCENDING-sorted sample vector:
+/// the ceil(p * n)-th smallest sample (p in (0, 1]; p <= 0 returns the
+/// minimum). This is the reference the histogram's ValueAtQuantile
+/// approximates within its bucket error bound; bench code that still pools
+/// raw samples uses it directly.
+double PercentileOfSorted(const std::vector<double>& sorted, double p);
 
 /// \brief Merge per-shard snapshots into one fleet view (used by the sharded
 /// registry's report). Counters and QPS sum; hit/batch rates are recomputed
-/// from the summed counters; latency percentiles take the WORST shard —
-/// without raw samples a merged percentile would be a fiction, and the worst
-/// shard is the one a capacity planner cares about. Route rows concatenate:
-/// consistent hashing places each route on exactly one shard.
+/// from the summed counters; latency percentiles are computed from the
+/// bucket-wise MERGED histograms, so the fleet p50/p99 is the percentile of
+/// the pooled samples (within the histogram's relative-error bound), not a
+/// worst-shard guess. Hand-built snapshots without histogram data fall back
+/// to worst-shard percentiles and a request-weighted mean. Route rows
+/// concatenate: consistent hashing places each route on exactly one shard.
 StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards);
+
+/// \brief Render a snapshot as one flat-ish JSON object for the wire admin
+/// plane ({"cmd":"stats"}): counters, rates, latency percentiles, per-stage
+/// percentiles, and per-route rows. Stable field names; see
+/// src/serve/README.md for the schema.
+std::string StatsToJson(const StatsSnapshot& s);
 
 /// \brief Thread-safe accumulator for serving metrics.
 class ServeStats {
@@ -110,7 +119,7 @@ class ServeStats {
   /// never erases), so completion callbacks may hold it across threads.
   class RouteStats {
    public:
-    explicit RouteStats(size_t reservoir_size) : latency_(reservoir_size) {}
+    RouteStats() = default;
 
     void RecordRequests(uint64_t n) {
       requests_.fetch_add(n, std::memory_order_relaxed);
@@ -128,12 +137,10 @@ class ServeStats {
     std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
-    LatencyReservoir latency_;
+    util::LatencyHistogram latency_;
   };
 
-  /// \param reservoir_size how many most-recent latency samples to keep for
-  /// percentile estimation (ring buffer; older samples are overwritten).
-  explicit ServeStats(size_t reservoir_size = 1 << 14);
+  ServeStats();
 
   void RecordRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
   void RecordCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
@@ -157,6 +164,25 @@ class ServeStats {
   }
   void RecordBatch(size_t batch_size);
   void RecordLatencyMs(double ms) { latency_.Record(ms); }
+
+  /// \brief One stage observation from a sampled trace (frontends record
+  /// encode directly; the server flushes the rest via RecordSpan).
+  void RecordStage(Stage s, double ms) { stage_[size_t(s)].Record(ms); }
+
+  /// \brief One request admitted WITH a sampled trace attached.
+  void RecordTraced() { traced_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// \brief Configure the slow-request ring: traced requests whose total
+  /// exceeds `threshold_ms` keep their full span breakdown, bounded to the
+  /// most recent `capacity`. Clears the ring.
+  void ConfigureSlowTrace(double threshold_ms, size_t capacity);
+
+  /// \brief Flush one finished sampled span: every touched stage feeds its
+  /// stage histogram, and spans over the slow threshold enter the ring.
+  void RecordSpan(const SpanRecord& span);
+
+  /// \brief Copy out the retained slow spans, oldest first.
+  std::vector<SpanRecord> SlowSpans() const;
 
   // Live-update pipeline progress (recorded by serve::LiveUpdatePipeline).
   void RecordUpdateOps(uint64_t n) {
@@ -188,8 +214,8 @@ class ServeStats {
 
   StatsSnapshot Snapshot() const;
 
-  /// \brief Render the snapshot as an AsciiTable block; per-route and
-  /// update-pipeline sections appear when they have data.
+  /// \brief Render the snapshot as an AsciiTable block; per-route, per-stage,
+  /// slow-request, and update-pipeline sections appear when they have data.
   std::string Report(const std::string& title = "serving stats") const;
 
  private:
@@ -203,6 +229,7 @@ class ServeStats {
   std::atomic<uint64_t> curve_hits_{0};
   std::atomic<uint64_t> curve_misses_{0};
   std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> traced_{0};
 
   std::atomic<uint64_t> update_ops_{0};
   std::atomic<uint64_t> update_ops_applied_{0};
@@ -213,13 +240,21 @@ class ServeStats {
   /// Nanoseconds from start_ to the last pipeline publish; -1 = never.
   std::atomic<int64_t> last_publish_ns_{-1};
 
-  size_t route_reservoir_;
   mutable std::mutex routes_mu_;
   /// std::map: stable iteration order for the report; unique_ptr: stable
   /// RouteStats addresses across rehashing-free inserts.
   std::map<std::string, std::unique_ptr<RouteStats>> routes_;
 
-  LatencyReservoir latency_;
+  util::LatencyHistogram latency_;
+  util::LatencyHistogram stage_[kNumStages];
+
+  /// Slow-request ring (mutex-guarded: only sampled-and-slow spans pay it).
+  mutable std::mutex slow_mu_;
+  std::vector<SpanRecord> slow_;
+  size_t slow_next_ = 0;
+  uint64_t slow_seen_ = 0;
+  double slow_threshold_ms_ = 50.0;
+  size_t slow_capacity_ = 32;
 
   mutable std::mutex start_mu_;  ///< Guards start_ (Reset rewrites it).
   std::chrono::steady_clock::time_point start_;

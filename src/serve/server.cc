@@ -26,6 +26,10 @@ struct SelNetServer::PendingResponse {
   std::atomic<size_t> remaining{0};  ///< Outstanding scheduler rows.
   std::mutex err_mu;
   std::exception_ptr error;
+  /// Sampled-request span (null for the untraced majority); flushed into
+  /// `stats` when the request finalizes.
+  std::shared_ptr<RequestTrace> trace;
+  ServeStats* stats = nullptr;
 
   void RecordError(std::exception_ptr e) {
     std::lock_guard<std::mutex> lock(err_mu);
@@ -39,6 +43,13 @@ struct SelNetServer::PendingResponse {
   /// the column by a hair — the running max restores the documented
   /// guarantee unconditionally.
   void Finalize() {
+    // Close and flush the sampled span first: per-stage histograms plus the
+    // slow-request ring. Encode (frontend serialization) happens after this
+    // callback, so wire deployments account it in the frontend's own
+    // histogram and a slow span's encode column reads 0.
+    if (trace && stats != nullptr) {
+      stats->RecordSpan(trace->Finish(resp.model, resp.tag));
+    }
     {
       std::lock_guard<std::mutex> lock(err_mu);
       if (error) {
@@ -65,6 +76,7 @@ SelNetServer::SelNetServer(const ServerConfig& cfg)
       cfg_.scheduler.dim == 0 || cfg_.scheduler.dim == cfg_.dim,
       "SchedulerConfig.dim conflicts with ServerConfig.dim; leave it 0");
   cfg_.scheduler.dim = cfg_.dim;
+  stats_.ConfigureSlowTrace(cfg_.slow_trace_ms, cfg_.slow_trace_capacity);
   pool_ = cfg_.scheduler.pool != nullptr ? cfg_.scheduler.pool
                                          : &util::ThreadPool::Global();
   if (cfg_.enable_batching) {
@@ -148,6 +160,15 @@ void SelNetServer::RunSweepFastPath(
     const ModelHandle& handle, const std::vector<size_t>& missing,
     std::chrono::steady_clock::time_point enqueued,
     ServeStats::RouteStats* route_stats) {
+  // On the pooled path everything before this point was pool wait; that is
+  // the fast path's queue stage.
+  const auto compute_start = std::chrono::steady_clock::now();
+  if (state->trace) {
+    state->trace->Observe(
+        Stage::kQueue, std::chrono::duration<double, std::milli>(
+                           compute_start - enqueued)
+                           .count());
+  }
   try {
     std::vector<float> ts(missing.size());
     for (size_t r = 0; r < missing.size(); ++r) {
@@ -194,9 +215,15 @@ void SelNetServer::RunSweepFastPath(
     // Latency from submit (pool queueing included), recorded undivided per
     // threshold: every threshold waited the full wall time, exactly like
     // scheduler rows record their full enqueue -> batch-done time.
-    double elapsed_ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - enqueued)
-                            .count();
+    auto finished = std::chrono::steady_clock::now();
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(finished - enqueued).count();
+    if (state->trace) {
+      state->trace->Observe(
+          Stage::kPredict, std::chrono::duration<double, std::milli>(
+                               finished - compute_start)
+                               .count());
+    }
     for (size_t r = 0; r < missing.size(); ++r) {
       state->resp.estimates[missing[r]] = values[r];
       if (cfg_.enable_cache) {
@@ -241,6 +268,17 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
     return;
   }
   const size_t k = req.thresholds.size();
+  // Stage-trace sampling: wire requests may arrive with a trace the frontend
+  // attached (decode already recorded); otherwise sample 1-in-N here. The
+  // untraced majority pays exactly this one relaxed increment.
+  if (!req.trace && cfg_.trace_sample_every > 0 &&
+      trace_counter_.fetch_add(1, std::memory_order_relaxed) %
+              cfg_.trace_sample_every ==
+          0) {
+    req.trace = std::make_shared<RequestTrace>();
+  }
+  const bool traced = req.trace != nullptr;
+  if (traced) stats_.RecordTraced();
   auto state = std::make_shared<PendingResponse>();
   state->done = std::move(done);
   state->resp.model =
@@ -249,7 +287,14 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
   state->resp.tag = req.tag;
   state->sorted =
       k > 1 && std::is_sorted(req.thresholds.begin(), req.thresholds.end());
+  state->trace = req.trace;
+  state->stats = &stats_;
   const auto enqueued = std::chrono::steady_clock::now();
+  auto stage_ms_since = [](std::chrono::steady_clock::time_point from) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - from)
+        .count();
+  };
 
   // One logical estimate per threshold: QPS and hit-rate stay comparable
   // across request shapes.
@@ -271,10 +316,13 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
   // for routes that actually exist — a typo'd route cannot grow the map.
   ServeStats::RouteStats* route_stats = stats_.Route(state->resp.model);
   route_stats->RecordRequests(k);
+  if (traced) req.trace->Observe(Stage::kRoute, stage_ms_since(enqueued));
 
   std::vector<size_t> missing;
   missing.reserve(k);
   if (cfg_.enable_cache) {
+    const auto cache_start =
+        traced ? std::chrono::steady_clock::now() : enqueued;
     for (size_t i = 0; i < k; ++i) {
       uint64_t key =
           cache_.MakeKey(h.version, req.x.data(), cfg_.dim, req.thresholds[i]);
@@ -288,6 +336,7 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
         missing.push_back(i);
       }
     }
+    if (traced) req.trace->Observe(Stage::kCache, stage_ms_since(cache_start));
   } else {
     for (size_t i = 0; i < k; ++i) missing.push_back(i);
   }
@@ -336,13 +385,20 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
       scheduler_->SubmitRow(
           state->resp.model, req.x.data(), req.thresholds[idx],
           [this, state, idx, route_stats](float value, std::exception_ptr error,
-                                          double latency_ms) {
+                                          const BatchScheduler::RowTiming&
+                                              timing) {
             if (error) {
               state->RecordError(std::move(error));
             } else {
               state->resp.estimates[idx] = value;
-              stats_.RecordLatencyMs(latency_ms);
-              route_stats->RecordLatencyMs(latency_ms);
+              stats_.RecordLatencyMs(timing.latency_ms);
+              route_stats->RecordLatencyMs(timing.latency_ms);
+            }
+            if (state->trace) {
+              // Observe keeps the max across rows: the request's critical
+              // path through the scheduler.
+              state->trace->Observe(Stage::kQueue, timing.queue_ms);
+              state->trace->Observe(Stage::kPredict, timing.predict_ms);
             }
             if (state->remaining.fetch_sub(1) == 1) state->Finalize();
           });
@@ -364,6 +420,7 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
     // Undivided per threshold, consistent with the other paths: each
     // threshold waited the whole Predict.
     double elapsed_ms = watch.ElapsedMillis();
+    if (state->trace) state->trace->Observe(Stage::kPredict, elapsed_ms);
     for (size_t r = 0; r < missing.size(); ++r) {
       state->resp.estimates[missing[r]] = y(r, 0);
       stats_.RecordLatencyMs(elapsed_ms);

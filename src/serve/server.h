@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -81,6 +82,16 @@ struct ServerConfig {
   /// `enable_cache` (it only feeds the sweep fast path); sized by
   /// CacheConfig::curve_capacity.
   bool enable_curve_cache = false;
+  /// Stage-trace sampling: trace 1 in N requests end to end (0 = tracing
+  /// off). A request arriving WITH a trace already attached (the NetFrontend
+  /// samples wire requests itself, so the decode stage is captured) is
+  /// honored regardless of this rate.
+  size_t trace_sample_every = 0;
+  /// Traced requests slower than this keep their full span breakdown in the
+  /// bounded slow-request ring (ServeStats::SlowSpans, the {"cmd":"slow"}
+  /// admin request, and the Report() slow section).
+  double slow_trace_ms = 50.0;
+  size_t slow_trace_capacity = 32;  ///< Slow-ring length.
 };
 
 /// \brief A servable, estimator-agnostic selectivity-estimation endpoint.
@@ -202,6 +213,10 @@ class SelNetServer {
   std::mutex sweep_mu_;
   std::condition_variable sweep_cv_;
   size_t sweep_inflight_ = 0;
+
+  /// Round-robin position for 1-in-N trace sampling; the untraced majority
+  /// pays exactly this one relaxed increment.
+  std::atomic<uint64_t> trace_counter_{0};
 };
 
 }  // namespace selnet::serve

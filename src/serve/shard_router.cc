@@ -1,6 +1,7 @@
 #include "serve/shard_router.h"
 
 #include <algorithm>
+#include <iterator>
 #include <thread>
 #include <utility>
 
@@ -160,6 +161,16 @@ std::vector<StatsSnapshot> ShardedRegistry::ShardSnapshots() const {
 
 StatsSnapshot ShardedRegistry::AggregateSnapshot() const {
   return AggregateSnapshots(ShardSnapshots());
+}
+
+std::vector<SpanRecord> ShardedRegistry::SlowSpans() const {
+  std::vector<SpanRecord> out;
+  for (const auto& shard : shards_) {
+    std::vector<SpanRecord> spans = shard->server->stats().SlowSpans();
+    out.insert(out.end(), std::make_move_iterator(spans.begin()),
+               std::make_move_iterator(spans.end()));
+  }
+  return out;
 }
 
 std::string ShardedRegistry::StatsReport() const {

@@ -142,6 +142,9 @@ class ShardedRegistry {
   /// \brief Fleet-wide merged view (AggregateSnapshots of ShardSnapshots).
   StatsSnapshot AggregateSnapshot() const;
 
+  /// \brief Every shard's retained slow-request spans, shard order.
+  std::vector<SpanRecord> SlowSpans() const;
+
   /// \brief One report: a per-shard section (requests/QPS/p99/hit-rate per
   /// shard) followed by the merged fleet totals.
   std::string StatsReport() const;

@@ -236,6 +236,37 @@ Status ParseRequestLine(const std::string& line, EstimateRequest* req) {
   return Status::OK();
 }
 
+bool LineLooksAdmin(const std::string& line) {
+  // Skip the opening '{' and whitespace; an admin line leads with "cmd".
+  size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                             line[i] == '\r')) {
+    ++i;
+  }
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                             line[i] == '\r')) {
+    ++i;
+  }
+  return line.compare(i, 5, "\"cmd\"") == 0;
+}
+
+Status ParseAdminLine(const std::string& line, AdminRequest* req) {
+  AdminRequest parsed;
+  LineParser p(line);
+  SEL_RETURN_NOT_OK(ParseObject(&p, [&](const std::string& key) -> Status {
+    if (key == "cmd") return p.String(&parsed.cmd);
+    if (key == "tag") return p.Uint(&parsed.tag);
+    return p.Fail("unknown admin field '" + key + "'");
+  }));
+  if (parsed.cmd.empty()) {
+    return Status::Invalid("wire: admin request needs a \"cmd\" string");
+  }
+  *req = std::move(parsed);
+  return Status::OK();
+}
+
 std::string SerializeRequest(const EstimateRequest& req) {
   JsonWriter w;
   w.Field("x", req.x);

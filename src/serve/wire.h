@@ -26,6 +26,14 @@
 /// or, when the request failed (malformed JSON, unknown route, bad shape):
 ///   {"error":"...","tag":7}
 ///
+/// Admin line (client -> server), the metrics/admin plane:
+///   {"cmd":"stats","tag":7}   -> {"stats":{...fleet StatsSnapshot...},"tag":7}
+///   {"cmd":"slow","tag":7}    -> {"slow":[{...span...},...],"tag":7}
+/// `cmd` must be the FIRST field so the frontend can dispatch without
+/// attempting an estimate parse (LineLooksAdmin); unknown commands get the
+/// usual {"error":...} reply. Admin requests are answered synchronously on
+/// the frontend's poll loop — a stats scrape never queues behind estimates.
+///
 /// Floats travel as shortest-round-trip decimals (std::to_chars) and are
 /// parsed back with std::from_chars on the raw token, so a served estimate
 /// round-trips the wire BIT-IDENTICALLY — the frontend test diffs wire
@@ -41,6 +49,21 @@ namespace selnet::serve {
 /// \brief Parse one request line. On error the returned Status carries a
 /// client-safe message (no server internals) and `req` is untouched.
 util::Status ParseRequestLine(const std::string& line, EstimateRequest* req);
+
+/// \brief One metrics/admin-plane request ({"cmd":"stats"} / {"cmd":"slow"}).
+struct AdminRequest {
+  std::string cmd;
+  uint64_t tag = 0;
+};
+
+/// \brief Cheap pre-dispatch: does this line open with a `"cmd"` field? Used
+/// by the frontend to route admin lines away from the estimate parser without
+/// paying a failed parse per estimate request.
+bool LineLooksAdmin(const std::string& line);
+
+/// \brief Parse one admin line (strict: only `cmd` and `tag` are accepted;
+/// `cmd` is required).
+util::Status ParseAdminLine(const std::string& line, AdminRequest* req);
 
 /// \brief Serialize a response (no trailing newline; the framing layer owns
 /// the '\n').

@@ -1,0 +1,105 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace selnet::util {
+
+namespace {
+
+constexpr size_t kSubBits = 5;  // log2(LatencyHistogram::kSubBuckets).
+
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(uint64_t ticks) {
+  if (ticks > kMaxTicks) ticks = kMaxTicks;
+  if (ticks < kSubBuckets) return size_t(ticks);
+  // Shift so the value lands in [32, 64): the shift count is the octave, the
+  // shifted value's low 5 bits are the linear sub-bucket within it.
+  int msb = 63 - __builtin_clzll(ticks);
+  int exponent = msb - int(kSubBits);
+  return size_t(exponent + 1) * kSubBuckets +
+         size_t((ticks >> exponent) - kSubBuckets);
+}
+
+double LatencyHistogram::BucketLowMs(size_t index) {
+  uint64_t lo;
+  if (index < kSubBuckets) {
+    lo = index;
+  } else {
+    size_t exponent = index / kSubBuckets - 1;
+    lo = uint64_t(kSubBuckets + index % kSubBuckets) << exponent;
+  }
+  return double(lo) * 1e-3;
+}
+
+double LatencyHistogram::BucketHighMs(size_t index) {
+  uint64_t width = index < kSubBuckets
+                       ? 1
+                       : uint64_t(1) << (index / kSubBuckets - 1);
+  return BucketLowMs(index) + double(width) * 1e-3;
+}
+
+void LatencyHistogram::Record(double ms) {
+  if (!(ms > 0.0)) ms = 0.0;  // Negatives and NaN clamp to the first bucket.
+  double ticks_d = ms * 1e3 + 0.5;  // Round to the nearest microsecond tick.
+  uint64_t ticks = ticks_d >= double(kMaxTicks) ? kMaxTicks : uint64_t(ticks_d);
+  buckets_[BucketIndex(ticks)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ticks_.fetch_add(ticks, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ticks_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_ticks = sum_ticks_.load(std::memory_order_relaxed);
+  size_t last = 0;
+  uint64_t raw[kNumBuckets];
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    raw[i] = buckets_[i].load(std::memory_order_relaxed);
+    if (raw[i] != 0) last = i + 1;
+  }
+  s.buckets.assign(raw, raw + last);
+  return s;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.buckets.size() > buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum_ticks += other.sum_ticks;
+}
+
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = uint64_t(std::ceil(q * double(count)));
+  rank = std::min<uint64_t>(std::max<uint64_t>(rank, 1), count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return 0.5 * (LatencyHistogram::BucketLowMs(i) +
+                    LatencyHistogram::BucketHighMs(i));
+    }
+  }
+  // Unreachable when buckets/count agree; be graceful if they tore.
+  return LatencyHistogram::BucketHighMs(
+      buckets.empty() ? 0 : buckets.size() - 1);
+}
+
+double HistogramSnapshot::MeanMs() const {
+  return count == 0 ? 0.0 : double(sum_ticks) * 1e-3 / double(count);
+}
+
+}  // namespace selnet::util

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file histogram.h
+/// \brief Mergeable, lock-free latency histogram (HdrHistogram-style
+/// log-linear buckets).
+///
+/// Values are recorded in milliseconds and binned into microsecond "ticks":
+/// the first 32 buckets are exact (1us wide), and every subsequent octave
+/// [2^k, 2^(k+1)) ticks is split into 32 linear sub-buckets. That covers
+/// 1us .. ~67s (anything larger clamps into the top bucket) in 704 fixed
+/// buckets (~5.5 KiB of counters) with bounded relative error: a bucket's
+/// width is at most lo/32, so reporting the bucket midpoint is within
+/// ~1/64 (~1.6%) of the true value, plus the 0.5us tick-rounding — see
+/// HistogramSnapshot::kRelativeErrorBound.
+///
+/// Recording is one relaxed fetch_add on the bucket counter (plus count and
+/// sum), so any number of serving threads can record concurrently with no
+/// lock and no coordination; totals are exact regardless of interleaving.
+/// Histograms MERGE by summing bucket counts, which makes cross-shard
+/// percentiles real numbers instead of a worst-shard guess: the merged
+/// quantile is exactly the quantile of the pooled samples, up to the same
+/// per-bucket error bound.
+///
+/// Snapshot() copies the counters into a plain HistogramSnapshot (buckets
+/// trimmed to the last non-zero), which is what travels inside
+/// serve::StatsSnapshot and what AggregateSnapshots merges. A snapshot taken
+/// while recorders are active may be mid-update by a few counts (relaxed
+/// atomics, no global ordering); totals converge once recording quiesces.
+
+namespace selnet::util {
+
+/// \brief A point-in-time, copyable, mergeable histogram state.
+struct HistogramSnapshot {
+  /// Worst-case relative error of a reported quantile vs the true recorded
+  /// value (bucket half-width / value), excluding the 0.5us tick rounding.
+  static constexpr double kRelativeErrorBound = 1.0 / 32.0;
+
+  std::vector<uint64_t> buckets;  ///< Trimmed at the last non-zero bucket.
+  uint64_t count = 0;             ///< Total recorded samples.
+  uint64_t sum_ticks = 0;         ///< Sum of clamped microsecond ticks.
+
+  bool empty() const { return count == 0; }
+
+  /// \brief Bucket-wise sum with `other` (associative and commutative).
+  void Merge(const HistogramSnapshot& other);
+
+  /// \brief Nearest-rank quantile (q in (0, 1]): the midpoint of the bucket
+  /// holding the ceil(q * count)-th smallest sample, in milliseconds.
+  /// Returns 0 when empty.
+  double ValueAtQuantile(double q) const;
+
+  /// \brief Mean of the recorded samples in milliseconds (tick-quantized).
+  double MeanMs() const;
+};
+
+/// \brief Fixed-size, lock-free recording side (see file comment).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kSubBuckets = 32;  ///< Linear buckets per octave.
+  /// Ticks clamp here: (2^26 - 1) us ~= 67s, so the top bucket absorbs any
+  /// "minutes-stuck" outlier without widening the array.
+  static constexpr uint64_t kMaxTicks = (uint64_t(1) << 26) - 1;
+  static constexpr size_t kNumBuckets = 704;  ///< Index of kMaxTicks + 1.
+
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// \brief Record one latency (milliseconds; negatives clamp to 0).
+  /// Lock-free; safe from any thread.
+  void Record(double ms);
+
+  /// \brief Zero every counter. Not atomic with concurrent Record calls:
+  /// callers quiesce recording or accept a few stragglers, same contract as
+  /// the counter Reset in ServeStats.
+  void Reset();
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// \brief Copy out the current state (buckets trimmed).
+  HistogramSnapshot Snapshot() const;
+
+  /// \brief Shorthand: Snapshot().ValueAtQuantile(q).
+  double ValueAtQuantile(double q) const {
+    return Snapshot().ValueAtQuantile(q);
+  }
+
+  /// \brief Bucket index for a tick count (exposed for tests).
+  static size_t BucketIndex(uint64_t ticks);
+  /// \brief Inclusive lower bound of bucket `index`, in milliseconds.
+  static double BucketLowMs(size_t index);
+  /// \brief Exclusive upper bound of bucket `index`, in milliseconds.
+  static double BucketHighMs(size_t index);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ticks_{0};
+};
+
+}  // namespace selnet::util

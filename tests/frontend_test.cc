@@ -366,6 +366,142 @@ TEST(FrontendLimitsTest, BackpressureCapsPerConnectionInflight) {
   EXPECT_GE(frontend.Stats().backpressure_stalls, 1u);
 }
 
+// ----------------------------------------------------- admin plane (wire) ---
+
+TEST(AdminPlaneTest, StatsReplyCarriesPerStagePercentiles) {
+  ServerConfig scfg = CheapServerConfig();
+  scfg.trace_sample_every = 1;  // Trace every request...
+  scfg.slow_trace_ms = 0.0;     // ...and retain every span in the slow ring.
+  SelNetServer server(scfg);
+  server.Publish(std::make_shared<AffineEstimator>(1.0f));
+  NetFrontend frontend(FrontendConfig{}, &server);
+  ASSERT_TRUE(frontend.status().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend.port()).ok());
+
+  EstimateRequest req;
+  req.x = {0.0f, 0.0f, 0.0f, 0.0f};
+  req.thresholds = {0.5f};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.Roundtrip(req).ok()) << "request " << i;
+  }
+
+  util::Result<std::string> reply = client.Admin("stats", 31);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  const std::string& line = reply.ValueOrDie();
+  EXPECT_NE(line.find("\"stats\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"tag\":31"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"requests\":8"), std::string::npos) << line;
+  // Every stage the request actually crossed reports merged percentiles.
+  for (const char* stage :
+       {"\"decode\"", "\"route\"", "\"queue\"", "\"predict\"", "\"encode\""}) {
+    EXPECT_NE(line.find(stage), std::string::npos) << stage << " in " << line;
+  }
+  EXPECT_NE(line.find("\"p50_ms\""), std::string::npos);
+  EXPECT_NE(line.find("\"p99_ms\""), std::string::npos);
+
+  // The decode..predict stages were observed for all 8 traced requests.
+  StatsSnapshot snap = frontend.FleetSnapshot();
+  ASSERT_EQ(snap.stage_hists.size(), kNumStages);
+  EXPECT_EQ(snap.stage_hists[size_t(Stage::kDecode)].count, 8u);
+  EXPECT_EQ(snap.stage_hists[size_t(Stage::kPredict)].count, 8u);
+  // Encode is recorded AFTER the response is serialized: the 8th response
+  // was read back, so at least the first 7 have landed.
+  EXPECT_GE(snap.stage_hists[size_t(Stage::kEncode)].count, 7u);
+  EXPECT_EQ(snap.traced, 8u);
+
+  // {"cmd":"slow"} dumps the retained spans (threshold 0 keeps them all).
+  util::Result<std::string> slow = client.Admin("slow", 7);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_NE(slow.ValueOrDie().find("\"slow\":["), std::string::npos);
+  EXPECT_NE(slow.ValueOrDie().find("\"total_ms\""), std::string::npos);
+  EXPECT_NE(slow.ValueOrDie().find("\"tag\":7"), std::string::npos);
+
+  EXPECT_GE(frontend.Stats().admin_requests, 2u);
+}
+
+TEST(AdminPlaneTest, BadAdminLinesGetErrorRepliesAndConnectionSurvives) {
+  SelNetServer server(CheapServerConfig());
+  server.Publish(std::make_shared<AffineEstimator>(0.0f));
+  NetFrontend frontend(FrontendConfig{}, &server);
+  ASSERT_TRUE(frontend.status().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend.port()).ok());
+
+  // Unknown command.
+  util::Result<std::string> unknown = client.Admin("bogus", 3);
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_NE(unknown.ValueOrDie().find("\"error\""), std::string::npos);
+  EXPECT_NE(unknown.ValueOrDie().find("unknown admin cmd"), std::string::npos);
+  EXPECT_NE(unknown.ValueOrDie().find("\"tag\":3"), std::string::npos);
+
+  // Malformed admin line (looks like admin, fails strict parse).
+  ASSERT_TRUE(
+      client.SendRaw("{\"cmd\":\"stats\",\"junk\":1,\"tag\":5}\n").ok());
+  util::Result<std::string> mal = client.ReadLine();
+  ASSERT_TRUE(mal.ok());
+  EXPECT_NE(mal.ValueOrDie().find("\"error\""), std::string::npos);
+  EXPECT_NE(mal.ValueOrDie().find("\"tag\":5"), std::string::npos);
+
+  // Same connection still serves estimates and admin afterwards.
+  EstimateRequest req;
+  req.x = {0.0f, 0.0f, 0.0f, 0.0f};
+  req.thresholds = {1.0f};
+  ASSERT_TRUE(client.Roundtrip(req).ok());
+  util::Result<std::string> stats = client.Admin("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.ValueOrDie().find("\"stats\""), std::string::npos);
+}
+
+TEST(AdminPlaneTest, FleetStatsMergeHistogramsAcrossShards) {
+  ShardedConfig scfg;
+  scfg.server = CheapServerConfig(4);
+  scfg.server.trace_sample_every = 2;  // Sampled, not exhaustive.
+  scfg.num_shards = 2;
+  scfg.threads_per_shard = 1;
+  ShardedRegistry registry(scfg);
+  registry.Publish("a", std::make_shared<AffineEstimator>(0.0f));
+  std::string other;
+  for (int i = 0; i < 64 && other.empty(); ++i) {
+    std::string cand = "alt" + std::to_string(i);
+    if (registry.ShardOf(cand) != registry.ShardOf("a")) other = cand;
+  }
+  ASSERT_FALSE(other.empty());
+  registry.Publish(other, std::make_shared<AffineEstimator>(5.0f));
+
+  NetFrontend frontend(FrontendConfig{}, &registry);
+  ASSERT_TRUE(frontend.status().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend.port()).ok());
+
+  EstimateRequest req;
+  req.x = {0.1f, 0.1f, 0.1f, 0.1f};
+  req.thresholds = {0.5f};
+  for (int i = 0; i < 10; ++i) {
+    req.model = i % 2 == 0 ? "a" : other;
+    ASSERT_TRUE(client.Roundtrip(req).ok()) << "request " << i;
+  }
+  registry.Drain();
+
+  // The merged fleet snapshot pools both shards' latency histograms: the
+  // bucket counts sum to the fleet-wide request count — not a worst-shard
+  // summary.
+  StatsSnapshot fleet = frontend.FleetSnapshot();
+  EXPECT_EQ(fleet.requests, 10u);
+  EXPECT_EQ(fleet.latency_hist.count, 10u);
+  StatsSnapshot a = registry.shard(0).stats().Snapshot();
+  StatsSnapshot b = registry.shard(1).stats().Snapshot();
+  EXPECT_EQ(a.latency_hist.count + b.latency_hist.count, 10u);
+  EXPECT_GT(a.latency_hist.count, 0u);
+  EXPECT_GT(b.latency_hist.count, 0u);
+
+  util::Result<std::string> reply = client.Admin("stats");
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(reply.ValueOrDie().find("\"requests\":10"), std::string::npos)
+      << reply.ValueOrDie();
+  EXPECT_NE(reply.ValueOrDie().find("\"stages\""), std::string::npos);
+}
+
 // ------------------------------- sharded serving over the wire + updates ---
 
 class NetShardFixture : public ::testing::Test {

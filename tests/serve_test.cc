@@ -402,11 +402,15 @@ TEST(BatchSchedulerTest, SubmitRowInvokesCallbackWithLatency) {
   BatchScheduler scheduler(cfg, FakePredict);
   std::promise<float> value_promise;
   std::atomic<double> latency{-1.0};
+  std::atomic<double> queue_ms{-1.0};
+  std::atomic<double> predict_ms{-1.0};
   float x[2] = {2.0f, 3.0f};
   scheduler.SubmitRow("", x, 0.5f,
                       [&](float value, std::exception_ptr error,
-                          double latency_ms) {
-                        latency.store(latency_ms);
+                          const BatchScheduler::RowTiming& timing) {
+                        latency.store(timing.latency_ms);
+                        queue_ms.store(timing.queue_ms);
+                        predict_ms.store(timing.predict_ms);
                         if (error) {
                           value_promise.set_exception(error);
                         } else {
@@ -416,12 +420,16 @@ TEST(BatchSchedulerTest, SubmitRowInvokesCallbackWithLatency) {
   scheduler.Drain();
   EXPECT_FLOAT_EQ(value_promise.get_future().get(), 2.0f + 3.0f + 5.0f);
   EXPECT_GE(latency.load(), 0.0);
+  EXPECT_GE(queue_ms.load(), 0.0);
+  EXPECT_GE(predict_ms.load(), 0.0);
+  // The split is exhaustive: queue + predict spans the whole row latency.
+  EXPECT_NEAR(latency.load(), queue_ms.load() + predict_ms.load(), 1e-6);
 }
 
 // ------------------------------------------------------------------ stats ---
 
 TEST(ServeStatsTest, SnapshotAggregatesCounters) {
-  ServeStats stats(64);
+  ServeStats stats;
   for (int i = 0; i < 10; ++i) stats.RecordRequest();
   stats.RecordCacheHit();
   stats.RecordCacheMiss();
@@ -435,9 +443,62 @@ TEST(ServeStatsTest, SnapshotAggregatesCounters) {
   EXPECT_NEAR(s.avg_batch_size, 6.0, 1e-9);
   EXPECT_GT(s.latency_p99_ms, s.latency_p50_ms);
   EXPECT_GT(s.qps, 0.0);
+  EXPECT_EQ(s.latency_hist.count, 100u);
   EXPECT_FALSE(stats.Report().empty());
   stats.Reset();
   EXPECT_EQ(stats.Snapshot().requests, 0u);
+  EXPECT_TRUE(stats.Snapshot().latency_hist.empty());
+}
+
+TEST(ServeStatsTest, PercentileOfSortedUsesNearestRank) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(double(i));
+  // Nearest-rank: the ceil(p*n)-th smallest — never interpolated, never
+  // rounded past the end.
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 1.00), 100.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 0.001), 1.0);
+  std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(one, 0.99), 7.0);
+  std::vector<double> four{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(four, 0.50), 2.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(four, 0.75), 3.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(four, 0.76), 4.0);
+}
+
+TEST(ServeStatsTest, SpansFeedStageHistogramsAndSlowRing) {
+  ServeStats stats;
+  stats.ConfigureSlowTrace(/*threshold_ms=*/10.0, /*capacity=*/2);
+  SpanRecord fast;
+  fast.route = "a";
+  fast.total_ms = 1.0;
+  fast.stage_ms[size_t(Stage::kPredict)] = 0.8;
+  stats.RecordSpan(fast);
+  for (int i = 0; i < 3; ++i) {
+    SpanRecord slow;
+    slow.route = "a";
+    slow.tag = uint64_t(i + 1);
+    slow.total_ms = 20.0 + i;
+    slow.stage_ms[size_t(Stage::kQueue)] = 5.0;
+    slow.stage_ms[size_t(Stage::kPredict)] = 15.0 + i;
+    stats.RecordSpan(slow);
+  }
+  StatsSnapshot s = stats.Snapshot();
+  ASSERT_EQ(s.stage_hists.size(), kNumStages);
+  EXPECT_EQ(s.stage_hists[size_t(Stage::kPredict)].count, 4u);
+  EXPECT_EQ(s.stage_hists[size_t(Stage::kQueue)].count, 3u);
+  EXPECT_EQ(s.stage_hists[size_t(Stage::kDecode)].count, 0u);
+  // Ring capacity 2: the fast span never entered, the oldest slow span
+  // rotated out, and the survivors are oldest-first.
+  ASSERT_EQ(s.slow_requests.size(), 2u);
+  EXPECT_EQ(s.slow_requests[0].tag, 2u);
+  EXPECT_EQ(s.slow_requests[1].tag, 3u);
+  // StatsToJson carries the per-stage percentiles the admin plane serves.
+  std::string json = StatsToJson(s);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"predict\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
 }
 
 // -------------------------------------------- end-to-end with a real model ---

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -15,6 +16,7 @@
 #include "core/selnet_ct.h"
 #include "data/synthetic.h"
 #include "serve/update_pipeline.h"
+#include "util/histogram.h"
 #include "util/stopwatch.h"
 
 namespace selnet::serve {
@@ -245,7 +247,10 @@ TEST(ShardedRegistryTest, PerShardStatsAggregate) {
   EXPECT_NE(report.find("total"), std::string::npos);
 }
 
-TEST(AggregateSnapshotsTest, MeanIsRequestWeightedPercentilesWorstShard) {
+TEST(AggregateSnapshotsTest, SummaryOnlySnapshotsFallBackToWorstShard) {
+  // Hand-built snapshots with no histogram data (e.g. an external exporter)
+  // cannot produce a true merged percentile; the aggregate falls back to the
+  // worst shard and a request-weighted mean.
   StatsSnapshot a;
   a.requests = 10;
   a.latency_mean_ms = 1.0;
@@ -258,8 +263,54 @@ TEST(AggregateSnapshotsTest, MeanIsRequestWeightedPercentilesWorstShard) {
   EXPECT_EQ(agg.requests, 40u);
   // (1*10 + 5*30) / 40 — the fleet mean, not the worst shard's mean.
   EXPECT_DOUBLE_EQ(agg.latency_mean_ms, 4.0);
-  // Percentiles cannot be merged from summaries; worst shard is reported.
   EXPECT_DOUBLE_EQ(agg.latency_p99_ms, 9.0);
+}
+
+TEST(AggregateSnapshotsTest, MergedHistogramGivesPooledPercentiles) {
+  // Two shards with very different latency profiles. The fleet p99 must be
+  // the percentile of the POOLED samples (computed by bucket merge), not the
+  // worst shard's p99 — with 9:1 traffic skew toward the fast shard the two
+  // answers differ by an order of magnitude.
+  util::LatencyHistogram fast_hist;
+  util::LatencyHistogram slow_hist;
+  std::vector<double> pooled;
+  for (int i = 0; i < 990; ++i) {
+    double ms = 1.0 + 0.001 * i;  // Fast shard: ~1..2ms.
+    fast_hist.Record(ms);
+    pooled.push_back(ms);
+  }
+  for (int i = 0; i < 10; ++i) {
+    double ms = 50.0 + 1.0 * i;  // Slow shard: 50..59ms.
+    slow_hist.Record(ms);
+    pooled.push_back(ms);
+  }
+  StatsSnapshot a;
+  a.requests = 990;
+  a.latency_hist = fast_hist.Snapshot();
+  a.latency_p99_ms = a.latency_hist.ValueAtQuantile(0.99);
+  StatsSnapshot b;
+  b.requests = 10;
+  b.latency_hist = slow_hist.Snapshot();
+  b.latency_p99_ms = b.latency_hist.ValueAtQuantile(0.99);
+
+  StatsSnapshot agg = AggregateSnapshots({a, b});
+  EXPECT_EQ(agg.latency_hist.count, 1000u);
+
+  std::sort(pooled.begin(), pooled.end());
+  for (double q : {0.50, 0.90, 0.99}) {
+    double reference = PercentileOfSorted(pooled, q);
+    double merged = agg.latency_hist.ValueAtQuantile(q);
+    // Within the histogram's documented relative error bound (plus tick
+    // rounding slack).
+    EXPECT_NEAR(merged, reference,
+                reference * util::HistogramSnapshot::kRelativeErrorBound +
+                    0.002)
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(agg.latency_p99_ms, agg.latency_hist.ValueAtQuantile(0.99));
+  // The old worst-shard answer (slow shard's p99 ~= 60ms) would be ~10x the
+  // pooled p99 (~6ms boundary region); assert we are NOT reporting it.
+  EXPECT_LT(agg.latency_p99_ms, 0.9 * b.latency_p99_ms);
 }
 
 TEST(ShardedRegistryTest, HotSwapStaysShardLocal) {

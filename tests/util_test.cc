@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <future>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/env.h"
+#include "util/histogram.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/table.h"
@@ -198,6 +202,116 @@ TEST(EnvTest, DefaultScaleIsSane) {
 
 TEST(EnvTest, EnvIntFallsBack) {
   EXPECT_EQ(EnvInt("SELNET_THIS_VAR_DOES_NOT_EXIST", 123), 123);
+}
+
+TEST(HistogramTest, BucketIndexIsExactThenLogLinear) {
+  // First 32 buckets are exact 1us buckets.
+  for (uint64_t t = 0; t < 32; ++t) {
+    EXPECT_EQ(LatencyHistogram::BucketIndex(t), size_t(t));
+  }
+  // Octave boundaries are continuous: no gap, no overlap.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(31), 31u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(32), 32u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(63), 63u);
+  EXPECT_EQ(LatencyHistogram::BucketIndex(64), 64u);
+  // The clamp tick lands in the last bucket.
+  EXPECT_EQ(LatencyHistogram::BucketIndex(LatencyHistogram::kMaxTicks),
+            LatencyHistogram::kNumBuckets - 1);
+  // Monotone non-decreasing, steps of at most one, and every bucket's bounds
+  // actually contain its ticks.
+  size_t prev = 0;
+  for (uint64_t t = 1; t < (uint64_t(1) << 14); ++t) {
+    size_t idx = LatencyHistogram::BucketIndex(t);
+    ASSERT_GE(idx, prev);
+    ASSERT_LE(idx - prev, 1u);
+    double ms = double(t) * 1e-3;
+    ASSERT_GE(ms, LatencyHistogram::BucketLowMs(idx));
+    ASSERT_LT(ms, LatencyHistogram::BucketHighMs(idx));
+    prev = idx;
+  }
+}
+
+TEST(HistogramTest, QuantileWithinRelativeErrorBound) {
+  LatencyHistogram hist;
+  std::vector<double> values;
+  // Latencies spanning four decades: 5us .. ~300ms.
+  for (int i = 0; i < 400; ++i) {
+    double ms = 0.005 * std::pow(1.03, i);
+    values.push_back(ms);
+    hist.Record(ms);
+  }
+  std::sort(values.begin(), values.end());
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  for (double q : {0.10, 0.50, 0.90, 0.99, 1.00}) {
+    size_t rank = size_t(std::ceil(q * double(values.size())));
+    double truth = values[rank - 1];
+    // Bucket midpoint error + half-tick rounding slack.
+    double tol = truth * HistogramSnapshot::kRelativeErrorBound + 0.001;
+    EXPECT_NEAR(snap.ValueAtQuantile(q), truth, tol) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndPoolsCounts) {
+  LatencyHistogram ha, hb, hc;
+  for (int i = 0; i < 100; ++i) ha.Record(0.1 + 0.01 * i);
+  for (int i = 0; i < 50; ++i) hb.Record(5.0 + 0.1 * i);
+  for (int i = 0; i < 10; ++i) hc.Record(200.0 + i);
+  HistogramSnapshot a = ha.Snapshot(), b = hb.Snapshot(), c = hc.Snapshot();
+
+  HistogramSnapshot left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  HistogramSnapshot bc = b;     // a + (b + c)
+  bc.Merge(c);
+  HistogramSnapshot right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.count, 160u);
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.sum_ticks, right.sum_ticks);
+  EXPECT_EQ(left.buckets, right.buckets);
+  EXPECT_DOUBLE_EQ(left.ValueAtQuantile(0.99), right.ValueAtQuantile(0.99));
+  // The merged p99 must come from hc's range — a worst-shard max of the
+  // inputs' p50s could never see it.
+  EXPECT_GT(left.ValueAtQuantile(0.99), 150.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepExactTotals) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  LatencyHistogram hist;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(0.5 + 0.001 * ((t * kPerThread + i) % 977));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, uint64_t(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_TRUE(hist.Snapshot().empty());
+}
+
+TEST(HistogramTest, ClampsNegativeAndHugeValues) {
+  LatencyHistogram hist;
+  hist.Record(-3.0);       // clamps to 0 ticks
+  hist.Record(1e9);        // clamps into the top bucket
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets.size(), LatencyHistogram::kNumBuckets);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[LatencyHistogram::kNumBuckets - 1], 1u);
+  // The top-bucket clamp bounds the reported max at ~67s.
+  EXPECT_LT(snap.ValueAtQuantile(1.0), 70000.0);
 }
 
 }  // namespace
