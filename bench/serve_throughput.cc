@@ -58,6 +58,7 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -601,10 +602,14 @@ int main(int argc, char** argv) {
   // The same batched scalar stream, once with stage tracing off and once
   // sampling 1 request in 64 (the deployment default order of magnitude).
   // Sampling must be cheap enough to leave on in production: <= 3% QPS.
-  // Best-of-2 runs per config — the gate measures the mechanism's cost, not
-  // single-core CI scheduler noise.
+  // Both servers are built and warmed up front, then measurement reps
+  // INTERLEAVE (off, on, off, on) with best-of-2 per config. Running one
+  // config to completion before the other starts lets cache warmup and
+  // clock-speed drift land entirely on the second config — an earlier
+  // version of this gate recorded the traced server 1.2x FASTER than
+  // untraced purely from that ordering bias.
   bench::PrintBanner("Tracing overhead: sampled 1-in-64 vs tracing off");
-  auto run_traced = [&](size_t sample_every) {
+  auto make_traced_server = [&](size_t sample_every) {
     serve::ServerConfig scfg;
     scfg.dim = db.dim();
     scfg.enable_batching = true;
@@ -612,18 +617,28 @@ int main(int argc, char** argv) {
     scfg.scheduler.max_batch = 128;
     scfg.scheduler.max_delay_ms = 0.3;
     scfg.trace_sample_every = sample_every;
-    serve::SelNetServer server(scfg);
-    server.Publish(model);
-    double best = 0.0;
-    for (int rep = 0; rep < 2; ++rep) {
-      RunResult r =
-          DriveLoad(&server, wl, kRequests, kClients, kPipeline, 0.0);
-      best = std::max(best, r.qps);
-    }
-    return best;
+    auto server = std::make_unique<serve::SelNetServer>(scfg);
+    server->Publish(model);
+    return server;
   };
-  double untraced_qps = run_traced(0);
-  double traced_qps = run_traced(64);
+  auto untraced_server = make_traced_server(0);
+  auto traced_server = make_traced_server(64);
+  // One unmeasured warmup pass each, so first-touch costs bias neither side.
+  DriveLoad(untraced_server.get(), wl, kRequests / 4, kClients, kPipeline,
+            0.0);
+  DriveLoad(traced_server.get(), wl, kRequests / 4, kClients, kPipeline, 0.0);
+  double untraced_qps = 0.0;
+  double traced_qps = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    RunResult off =
+        DriveLoad(untraced_server.get(), wl, kRequests, kClients, kPipeline,
+                  0.0);
+    RunResult on =
+        DriveLoad(traced_server.get(), wl, kRequests, kClients, kPipeline,
+                  0.0);
+    untraced_qps = std::max(untraced_qps, off.qps);
+    traced_qps = std::max(traced_qps, on.qps);
+  }
 
   util::AsciiTable trace_table({"config", "QPS (best of 2)"});
   trace_table.AddRow({"tracing off", util::AsciiTable::Num(untraced_qps, 0)});

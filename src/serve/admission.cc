@@ -1,0 +1,74 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace selnet::serve {
+
+const char* ShedReasonName(ShedReason r) {
+  switch (r) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kQueueFull: return "queue_full";
+    case ShedReason::kPriorityShed: return "priority_shed";
+    case ShedReason::kDeadlineExpired: return "deadline_exceeded";
+    case ShedReason::kShutdown: return "shutdown";
+  }
+  return "none";
+}
+
+ShedReason ShedReasonFrom(std::exception_ptr error) {
+  if (!error) return ShedReason::kNone;
+  try {
+    std::rethrow_exception(error);
+  } catch (const OverloadError& e) {
+    return e.reason();
+  } catch (...) {
+    return ShedReason::kNone;
+  }
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig& cfg)
+    : cfg_(cfg) {
+  SEL_CHECK_MSG(cfg_.max_inflight > 0,
+                "AdmissionConfig.max_inflight must be positive");
+  if (cfg_.priority_watermarks.empty()) {
+    cfg_.priority_watermarks.push_back(1.0);
+  }
+  class_caps_.reserve(cfg_.priority_watermarks.size());
+  for (double w : cfg_.priority_watermarks) {
+    double clamped = std::min(std::max(w, 0.0), 1.0);
+    class_caps_.push_back(
+        size_t(std::floor(clamped * double(cfg_.max_inflight))));
+  }
+}
+
+const RoutePolicy& AdmissionController::PolicyFor(
+    const std::string& route) const {
+  auto it = cfg_.routes.find(route);
+  return it != cfg_.routes.end() ? it->second : cfg_.default_policy;
+}
+
+AdmissionController::Decision AdmissionController::Admit(
+    const std::string& route) {
+  const RoutePolicy& policy = PolicyFor(route);
+  size_t cls = std::min(policy.priority, class_caps_.size() - 1);
+  size_t cap = class_caps_[cls];
+  // Optimistic ticket: one fetch_add on the admit path; overload pays one
+  // more to hand it back. Transient over-counting from concurrent admits is
+  // at most #threads and only ever sheds EARLIER, never oversubscribes.
+  size_t prev = inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (prev < cap) return Decision{};
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  Decision d;
+  d.admitted = false;
+  // Past the FULL budget even the highest class would have shed; inside it,
+  // only this route's watermark was the binding constraint.
+  d.reason = prev >= class_caps_.front() ? ShedReason::kQueueFull
+                                         : ShedReason::kPriorityShed;
+  d.try_degrade = policy.allow_degrade;
+  return d;
+}
+
+}  // namespace selnet::serve

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+/// \file admission.h
+/// \brief Overload protection at the serving front door: per-route priority
+/// classes over one shared inflight budget, with typed shed reasons.
+///
+/// Every serving bench measures steady state; under a burst above capacity a
+/// server without admission control just grows queues until p99 is unbounded.
+/// The AdmissionController bounds the damage: each request takes an inflight
+/// ticket before touching any compute, and is shed with a TYPED error when
+/// its priority class's share of the budget is exhausted. Shedding is a
+/// correct answer for selectivity serving — the caller can fall back to a
+/// sampler estimate or the cached sweep curve (the degrade hook serves the
+/// latter automatically for routes that opt in).
+///
+/// Priority classes are watermarks over ONE budget, not separate queues:
+/// class 0 (highest) may fill the whole `max_inflight`, class 1 only
+/// `priority_watermarks[1] * max_inflight`, and so on. As load approaches
+/// the cap, low-priority routes shed first while high-priority routes keep
+/// their full budget — strict priority without a priority queue, so the
+/// admit path stays one atomic increment.
+///
+/// Shed taxonomy (stable wire strings in parentheses):
+///   * kQueueFull ("queue_full") — the whole budget is exhausted; even the
+///     highest class would have been shed;
+///   * kPriorityShed ("priority_shed") — budget remained, but this route's
+///     class watermark was reached (a higher-priority request would have
+///     been admitted);
+///   * kDeadlineExpired ("deadline_exceeded") — the request's deadline
+///     passed before Predict ran (at submit, or dropped at the batch
+///     boundary by the BatchScheduler);
+///   * kShutdown ("shutdown") — the serving stack is stopping.
+///
+/// One controller per SelNetServer: under a ShardedRegistry each shard owns
+/// its own budget, so a hot route saturating one shard sheds only there.
+
+namespace selnet::serve {
+
+/// \brief Why a request was rejected without being served.
+enum class ShedReason : size_t {
+  kNone = 0,         ///< Not shed (sentinel; never recorded).
+  kQueueFull,        ///< Inflight budget exhausted outright.
+  kPriorityShed,     ///< This route's priority watermark reached.
+  kDeadlineExpired,  ///< Deadline passed before Predict.
+  kShutdown,         ///< Serving stack stopping.
+};
+constexpr size_t kNumShedReasons = 5;
+
+/// \brief Stable lowercase reason name — the wire `code` string
+/// ("queue_full", "priority_shed", "deadline_exceeded", "shutdown").
+const char* ShedReasonName(ShedReason r);
+
+/// \brief The typed rejection: a runtime_error (so existing catch sites and
+/// future-based callers keep working) carrying the shed reason.
+class OverloadError : public std::runtime_error {
+ public:
+  OverloadError(ShedReason reason, const std::string& msg)
+      : std::runtime_error(msg), reason_(reason) {}
+
+  ShedReason reason() const { return reason_; }
+
+ private:
+  ShedReason reason_;
+};
+
+/// \brief The shed reason carried by `error`, or kNone when `error` is null
+/// or not an OverloadError (a rethrow/catch probe; call off the hot path).
+ShedReason ShedReasonFrom(std::exception_ptr error);
+
+/// \brief Per-route admission policy.
+struct RoutePolicy {
+  /// Priority class: 0 is highest. Clamped to the last watermark.
+  size_t priority = 0;
+  /// When shed, serve the version-keyed cached sweep curve instead of
+  /// rejecting (requires ServerConfig::enable_curve_cache and a warm curve;
+  /// falls back to the typed rejection otherwise).
+  bool allow_degrade = false;
+};
+
+/// \brief Admission policy: one inflight budget, watermarked per priority.
+struct AdmissionConfig {
+  /// Master switch; the default (off) leaves the serving path byte-for-byte
+  /// as before — no ticket, no release, no shed.
+  bool enabled = false;
+  /// The inflight budget: requests admitted and not yet completed.
+  size_t max_inflight = 256;
+  /// Fraction of `max_inflight` each priority class may fill; index =
+  /// priority. Must be non-increasing; class 0 should be 1.0.
+  std::vector<double> priority_watermarks = {1.0, 0.9, 0.75};
+  /// Per-route policies; routes not listed use `default_policy`.
+  std::map<std::string, RoutePolicy> routes;
+  RoutePolicy default_policy;
+};
+
+/// \brief Lock-free inflight ticketing with priority watermarks.
+///
+/// Admit() optimistically increments the inflight count and reverts when the
+/// caller's watermark was already reached, so the admit path is one
+/// fetch_add (plus one more on the revert path under overload). Release()
+/// must be called exactly once per ADMITTED request when it completes; the
+/// server wires this into the request's completion callback.
+class AdmissionController {
+ public:
+  struct Decision {
+    bool admitted = true;
+    ShedReason reason = ShedReason::kNone;
+    /// The route opted into degrade; the caller should try the cached-curve
+    /// answer before delivering the rejection.
+    bool try_degrade = false;
+  };
+
+  explicit AdmissionController(const AdmissionConfig& cfg);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// \brief Take an inflight ticket for `route`, or decide its shed reason.
+  Decision Admit(const std::string& route);
+
+  /// \brief Return an admitted request's ticket (exactly once per admit).
+  void Release() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  const AdmissionConfig& config() const { return cfg_; }
+
+  /// \brief The policy `route` resolves to (explicit entry or the default).
+  const RoutePolicy& PolicyFor(const std::string& route) const;
+
+ private:
+  AdmissionConfig cfg_;
+  /// Per-class admit cap, resolved once: watermark[i] * max_inflight.
+  std::vector<size_t> class_caps_;
+  std::atomic<size_t> inflight_{0};
+};
+
+}  // namespace selnet::serve

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/admission.h"
 #include "util/check.h"
 
 namespace selnet::serve {
@@ -24,7 +25,8 @@ BatchScheduler::BatchScheduler(const SchedulerConfig& cfg, BatchFn batch_fn,
 BatchScheduler::~BatchScheduler() { Shutdown(); }
 
 void BatchScheduler::SubmitRow(std::string model, const float* x, float t,
-                               RowDoneFn done) {
+                               RowDoneFn done,
+                               std::chrono::steady_clock::time_point deadline) {
   SEL_CHECK(done != nullptr);
   Row row;
   row.model = std::move(model);
@@ -32,13 +34,14 @@ void BatchScheduler::SubmitRow(std::string model, const float* x, float t,
   row.t = t;
   row.done = std::move(done);
   row.enqueued = std::chrono::steady_clock::now();
+  row.deadline = deadline;
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stop_) {
     lock.unlock();
     row.done(0.0f,
-             std::make_exception_ptr(
-                 std::runtime_error("BatchScheduler is shut down")),
+             std::make_exception_ptr(OverloadError(
+                 ShedReason::kShutdown, "BatchScheduler is shut down")),
              RowTiming{});
     return;
   }
@@ -102,15 +105,10 @@ void BatchScheduler::RunBatch(std::vector<Row> batch) {
   }
 
   for (const auto& [model, rows] : groups) {
-    tensor::Matrix x(rows.size(), cfg_.dim);
-    tensor::Matrix t(rows.size(), 1);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Row& row = batch[rows[i]];
-      std::copy(row.x.begin(), row.x.end(), x.row(i));
-      t(i, 0) = row.t;
-    }
     // Everything before this timestamp is queueing (scheduler buffering plus
     // pool wait); everything after is the batched compute the row rode in.
+    // It is also the deadline cut: rows already expired here are dropped
+    // before the matrices are built, so they never reach Predict.
     auto compute_start = std::chrono::steady_clock::now();
     auto timing_for = [&](const Row& row,
                           std::chrono::steady_clock::time_point done) {
@@ -126,18 +124,52 @@ void BatchScheduler::RunBatch(std::vector<Row> batch) {
               .count();
       return timing;
     };
+    auto expired_at = [&](const Row& row,
+                          std::chrono::steady_clock::time_point when) {
+      return row.deadline != std::chrono::steady_clock::time_point{} &&
+             row.deadline < when;
+    };
+    std::vector<size_t> live;
+    live.reserve(rows.size());
+    for (size_t i : rows) {
+      if (expired_at(batch[i], compute_start)) {
+        expired_rows_.fetch_add(1, std::memory_order_relaxed);
+        batch[i].done(
+            0.0f,
+            std::make_exception_ptr(OverloadError(
+                ShedReason::kDeadlineExpired,
+                "BatchScheduler: deadline expired before Predict")),
+            timing_for(batch[i], compute_start));
+      } else {
+        live.push_back(i);
+      }
+    }
+    if (live.empty()) continue;
+    tensor::Matrix x(live.size(), cfg_.dim);
+    tensor::Matrix t(live.size(), 1);
+    for (size_t i = 0; i < live.size(); ++i) {
+      const Row& row = batch[live[i]];
+      std::copy(row.x.begin(), row.x.end(), x.row(i));
+      t(i, 0) = row.t;
+    }
     try {
       tensor::Matrix y = batch_fn_(*model, x, t);
-      SEL_CHECK_EQ(y.rows(), rows.size());
+      SEL_CHECK_EQ(y.rows(), live.size());
       auto done = std::chrono::steady_clock::now();
-      for (size_t i = 0; i < rows.size(); ++i) {
-        Row& row = batch[rows[i]];
+      for (size_t i = 0; i < live.size(); ++i) {
+        Row& row = batch[live[i]];
+        // Invariant probe, same predicate and timestamp as the drop above:
+        // a row expired at the batch boundary must never have been in the
+        // live set. Stays 0 unless the filter regresses.
+        if (expired_at(row, compute_start)) {
+          expired_predicted_.fetch_add(1, std::memory_order_relaxed);
+        }
         row.done(y(i, 0), nullptr, timing_for(row, done));
       }
     } catch (...) {
       std::exception_ptr err = std::current_exception();
       auto done = std::chrono::steady_clock::now();
-      for (size_t i : rows) {
+      for (size_t i : live) {
         batch[i].done(0.0f, err, timing_for(batch[i], done));
       }
     }

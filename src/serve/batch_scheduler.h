@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -37,6 +39,17 @@
 ///    request-object path uses this to aggregate K rows of one
 ///    EstimateRequest without one promise per row;
 ///  * `Submit` is the future-returning compatibility wrapper on top of it.
+///
+/// Deadlines: a row may carry a steady-clock deadline. At the batch
+/// boundary — the `compute_start` timestamp that also splits queue vs
+/// predict time — expired rows are dropped from the group BEFORE the x/t
+/// matrices are built, and completed with a typed OverloadError
+/// (kDeadlineExpired). A deadline that expires DURING Predict still gets its
+/// computed value (the work was already spent); the guarantee is that no row
+/// already expired at the batch boundary ever reaches the model.
+/// `expired_rows()` counts the drops; `expired_predicted()` re-checks the
+/// live set against the same timestamp after Predict and must stay 0 — the
+/// scenario harness gates on it.
 
 namespace selnet::serve {
 
@@ -88,8 +101,11 @@ class BatchScheduler {
 
   /// \brief Enqueue one row routed to `model`; `done` fires when its batch
   /// runs (immediately, with an error, if the scheduler is shut down). `x`
-  /// must point at `dim` floats (copied before returning).
-  void SubmitRow(std::string model, const float* x, float t, RowDoneFn done);
+  /// must point at `dim` floats (copied before returning). A non-default
+  /// `deadline` marks the row droppable: expired at the batch boundary ->
+  /// completed with OverloadError(kDeadlineExpired) instead of predicted.
+  void SubmitRow(std::string model, const float* x, float t, RowDoneFn done,
+                 std::chrono::steady_clock::time_point deadline = {});
 
   /// \brief Future-returning wrapper over SubmitRow. `tag` is passed through
   /// to the completion observer.
@@ -104,6 +120,18 @@ class BatchScheduler {
 
   const SchedulerConfig& config() const { return cfg_; }
 
+  /// \brief Rows dropped (typed kDeadlineExpired) at a batch boundary.
+  uint64_t expired_rows() const {
+    return expired_rows_.load(std::memory_order_relaxed);
+  }
+  /// \brief Invariant probe: rows that were ALREADY expired at their batch
+  /// boundary yet rode a Predict anyway. Re-measured after every batch
+  /// against the same compute_start timestamp the drop used; always 0 unless
+  /// the drop filter regresses.
+  uint64_t expired_predicted() const {
+    return expired_predicted_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Row {
     std::string model;
@@ -111,6 +139,8 @@ class BatchScheduler {
     float t = 0.0f;
     RowDoneFn done;
     std::chrono::steady_clock::time_point enqueued;
+    /// Droppable-row deadline; the default epoch means none.
+    std::chrono::steady_clock::time_point deadline{};
   };
 
   void FlusherLoop();
@@ -132,6 +162,9 @@ class BatchScheduler {
   size_t in_flight_batches_ = 0;
   bool stop_ = false;
   std::thread flusher_;
+
+  std::atomic<uint64_t> expired_rows_{0};
+  std::atomic<uint64_t> expired_predicted_{0};
 };
 
 }  // namespace selnet::serve

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "serve/admission.h"
 #include "serve/wire.h"
 #include "util/logging.h"
 
@@ -280,8 +281,17 @@ void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
                               EstimateResponse&& resp,
                               std::exception_ptr error) {
     const auto encode_start = std::chrono::steady_clock::now();
-    std::string out =
-        error ? SerializeError(ErrorText(error), tag) : SerializeResponse(resp);
+    std::string out;
+    if (error) {
+      // Overload sheds carry a machine-readable code (the ShedReasonName)
+      // so clients get a typed rejection without string-matching messages.
+      ShedReason reason = ShedReasonFrom(error);
+      out = reason != ShedReason::kNone
+                ? SerializeError(ErrorText(error), ShedReasonName(reason), tag)
+                : SerializeError(ErrorText(error), tag);
+    } else {
+      out = SerializeResponse(resp);
+    }
     if (traced) {
       shared->encode_hist.Record(
           std::chrono::duration<double, std::milli>(
@@ -534,12 +544,36 @@ Status NetClient::SendRaw(const std::string& bytes) {
 
 Result<std::string> NetClient::ReadLine() {
   if (!fd_.valid()) return Status::Internal("NetClient: not connected");
+  // The receive bound covers the WHOLE line, anchored here: a server that
+  // trickles one byte per poll interval cannot stretch it.
+  const bool bounded = recv_timeout_ms_ > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(recv_timeout_ms_);
   for (;;) {
     size_t nl = rbuf_.find('\n');
     if (nl != std::string::npos) {
       std::string line = rbuf_.substr(0, nl);
       rbuf_.erase(0, nl + 1);
       return line;
+    }
+    if (bounded) {
+      auto remaining_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              deadline - std::chrono::steady_clock::now())
+                              .count();
+      if (remaining_ms <= 0) {
+        return Status::DeadlineExceeded("NetClient: no response within " +
+                                        std::to_string(recv_timeout_ms_) +
+                                        " ms");
+      }
+      // The socket is blocking; poll first so a silent server costs the
+      // remaining budget, not forever. A hangup falls through to ReadSome,
+      // which reports the EOF / reset as usual.
+      std::vector<util::PollEntry> entries(1);
+      entries[0].fd = fd_.get();
+      entries[0].want_read = true;
+      Result<int> ready = util::Poll(&entries, int(remaining_ms));
+      if (!ready.ok()) return ready.status();
+      if (!entries[0].readable && !entries[0].error) continue;
     }
     char buf[4096];
     Result<int64_t> n = util::ReadSome(fd_.get(), buf, sizeof(buf));

@@ -44,6 +44,11 @@
 ///     connection stays open;
 ///   * unknown model route -> {"error":...} reply (the registry's NotFound
 ///     text), connection stays open;
+///   * overload shed (admission rejection, expired deadline) -> structured
+///     {"error":...,"code":<shed reason>} reply, connection stays open. The
+///     shard's admission check runs synchronously inside the submit hook on
+///     this loop thread, right after decode — a shed request never touches a
+///     scheduler queue or a pool worker;
 ///   * request line longer than `max_line_bytes` -> error reply, connection
 ///     closed (a runaway writer, not a typo);
 ///   * client disconnect with responses in flight -> completions for that
@@ -221,6 +226,16 @@ class NetClient {
   bool connected() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
 
+  /// \brief Bound every subsequent receive: ReadLine (and the calls built on
+  /// it) returns kDeadlineExceeded if no full line arrives within `ms`
+  /// milliseconds of the call. 0 (the default) blocks forever. The clock
+  /// starts at each ReadLine entry, not per read() — a server trickling
+  /// bytes cannot extend it. On timeout the connection remains usable and
+  /// any partial line stays buffered; a late reply is picked up by the next
+  /// read (or discarded with Close()).
+  void set_recv_timeout_ms(int ms) { recv_timeout_ms_ = ms; }
+  int recv_timeout_ms() const { return recv_timeout_ms_; }
+
   /// \brief Serialize, send, await and parse one response. A server-side
   /// error reply surfaces as the returned Status.
   util::Result<EstimateResponse> Roundtrip(const EstimateRequest& req);
@@ -238,6 +253,7 @@ class NetClient {
  private:
   util::Fd fd_;
   std::string rbuf_;  ///< Bytes past the last consumed line.
+  int recv_timeout_ms_ = 0;  ///< 0 = no receive bound.
 };
 
 }  // namespace selnet::serve

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -41,6 +42,19 @@ struct EstimateRequest {
   std::vector<float> thresholds;
   /// Opaque caller tag, echoed in the response.
   uint64_t tag = 0;
+  /// Optional completion deadline on the STEADY monotonic clock (the
+  /// default-constructed epoch means "no deadline"). A request whose
+  /// deadline has passed is shed with a typed kDeadlineExpired error the
+  /// moment the serving stack notices — at submit, or at the batch boundary
+  /// before Predict (expired rows never reach the model). On the wire the
+  /// deadline travels as a RELATIVE `deadline_ms` budget, anchored to this
+  /// clock at decode time.
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// \brief True when a deadline was set.
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
   /// Stage-trace span for a SAMPLED request (see trace.h); null for the
   /// untraced majority. Set by the NetFrontend (wire requests, so the decode
   /// stage is captured) or by SelNetServer::SubmitWith (in-process requests);
@@ -86,6 +100,12 @@ struct EstimateResponse {
   bool fast_path = false;
   /// Echo of EstimateRequest::tag.
   uint64_t tag = 0;
+  /// True when the admission controller shed the request but the route opted
+  /// into degrade and the version-keyed cached sweep curve answered instead:
+  /// estimates came from local PWL lookups, not a fresh model evaluation
+  /// (bit-identical to the fast path for the cached version, but possibly a
+  /// version behind the latest publish).
+  bool degraded = false;
 };
 
 }  // namespace selnet::serve

@@ -27,6 +27,7 @@ void ServeStats::RouteStats::Reset() {
   requests_.store(0, std::memory_order_relaxed);
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  sheds_.store(0, std::memory_order_relaxed);
   latency_.Reset();
 }
 
@@ -36,6 +37,7 @@ RouteSnapshot ServeStats::RouteStats::Snapshot(const std::string& name) const {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.cache_hits = hits_.load(std::memory_order_relaxed);
   s.cache_misses = misses_.load(std::memory_order_relaxed);
+  s.sheds = sheds_.load(std::memory_order_relaxed);
   uint64_t lookups = s.cache_hits + s.cache_misses;
   if (lookups > 0) s.cache_hit_rate = double(s.cache_hits) / double(lookups);
   util::HistogramSnapshot hist = latency_.Snapshot();
@@ -124,6 +126,10 @@ void ServeStats::Reset() {
   curve_misses_.store(0, std::memory_order_relaxed);
   swaps_.store(0, std::memory_order_relaxed);
   traced_.store(0, std::memory_order_relaxed);
+  for (auto& shed : sheds_) shed.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+  deadline_rows_dropped_.store(0, std::memory_order_relaxed);
+  deadline_rows_predicted_.store(0, std::memory_order_relaxed);
   update_ops_.store(0, std::memory_order_relaxed);
   update_ops_applied_.store(0, std::memory_order_relaxed);
   retrains_.store(0, std::memory_order_relaxed);
@@ -160,6 +166,21 @@ StatsSnapshot ServeStats::Snapshot() const {
   s.curve_misses = curve_misses_.load(std::memory_order_relaxed);
   s.swaps = swaps_.load(std::memory_order_relaxed);
   s.traced = traced_.load(std::memory_order_relaxed);
+  s.shed_total = 0;
+  for (size_t i = 0; i < kNumShedReasons; ++i) {
+    s.sheds[i] = sheds_[i].load(std::memory_order_relaxed);
+    s.shed_total += s.sheds[i];
+  }
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.deadline_rows_dropped =
+      deadline_rows_dropped_.load(std::memory_order_relaxed);
+  s.deadline_rows_predicted =
+      deadline_rows_predicted_.load(std::memory_order_relaxed);
+  if (deadline_row_source_) {
+    auto [dropped, predicted] = deadline_row_source_();
+    s.deadline_rows_dropped += dropped;
+    s.deadline_rows_predicted += predicted;
+  }
   s.update_ops = update_ops_.load(std::memory_order_relaxed);
   s.update_ops_applied = update_ops_applied_.load(std::memory_order_relaxed);
   s.retrains = retrains_.load(std::memory_order_relaxed);
@@ -235,6 +256,25 @@ std::string ServeStats::Report(const std::string& title) const {
   table.AddRow({"pack-cache hits", std::to_string(s.pack_hits)});
   table.AddRow({"pack builds", std::to_string(s.pack_builds)});
   std::string out = title + "\n" + table.ToString();
+
+  // Overload section: only once something has been shed, degraded, or
+  // deadline-dropped.
+  if (s.shed_total > 0 || s.degraded > 0 || s.deadline_rows_dropped > 0 ||
+      s.deadline_rows_predicted > 0) {
+    util::AsciiTable ov({"overload", "value"});
+    for (size_t i = 1; i < kNumShedReasons; ++i) {
+      if (s.sheds[i] == 0) continue;
+      ov.AddRow({std::string("shed: ") + ShedReasonName(ShedReason(i)),
+                 std::to_string(s.sheds[i])});
+    }
+    ov.AddRow({"shed total", std::to_string(s.shed_total)});
+    ov.AddRow({"degraded (cached curve)", std::to_string(s.degraded)});
+    ov.AddRow({"deadline rows dropped",
+               std::to_string(s.deadline_rows_dropped)});
+    ov.AddRow({"deadline rows predicted",
+               std::to_string(s.deadline_rows_predicted)});
+    out += "\n" + ov.ToString();
+  }
 
   // Per-stage section: only once sampling has traced something.
   bool any_stage = false;
@@ -314,6 +354,13 @@ StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards) {
     agg.curve_misses += s.curve_misses;
     agg.swaps += s.swaps;
     agg.traced += s.traced;
+    for (size_t i = 0; i < kNumShedReasons && i < s.sheds.size(); ++i) {
+      agg.sheds[i] += s.sheds[i];
+    }
+    agg.shed_total += s.shed_total;
+    agg.degraded += s.degraded;
+    agg.deadline_rows_dropped += s.deadline_rows_dropped;
+    agg.deadline_rows_predicted += s.deadline_rows_predicted;
     agg.update_ops += s.update_ops;
     agg.update_ops_applied += s.update_ops_applied;
     agg.retrains += s.retrains;
@@ -386,6 +433,19 @@ std::string StatsToJson(const StatsSnapshot& s) {
   w.Field("curve_misses", s.curve_misses);
   w.Field("swaps", s.swaps);
   w.Field("traced", s.traced);
+  {
+    JsonWriter ov;
+    JsonWriter sheds;
+    for (size_t i = 1; i < kNumShedReasons && i < s.sheds.size(); ++i) {
+      sheds.Field(ShedReasonName(ShedReason(i)), s.sheds[i]);
+    }
+    ov.RawField("sheds", sheds.Finish());
+    ov.Field("shed_total", s.shed_total);
+    ov.Field("degraded", s.degraded);
+    ov.Field("deadline_rows_dropped", s.deadline_rows_dropped);
+    ov.Field("deadline_rows_predicted", s.deadline_rows_predicted);
+    w.RawField("overload", ov.Finish());
+  }
   w.Field("pack_hits", s.pack_hits);
   w.Field("pack_builds", s.pack_builds);
   w.Field("gemm_kernel", s.gemm_kernel);
@@ -417,6 +477,7 @@ std::string StatsToJson(const StatsSnapshot& s) {
       JsonWriter rw;
       rw.Field("route", r.route);
       rw.Field("requests", r.requests);
+      rw.Field("sheds", r.sheds);
       rw.Field("p50_ms", r.latency_p50_ms);
       rw.Field("p99_ms", r.latency_p99_ms);
       rw.Field("cache_hit_rate", r.cache_hit_rate);

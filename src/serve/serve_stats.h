@@ -4,12 +4,15 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "serve/admission.h"
 #include "serve/trace.h"
 #include "util/histogram.h"
 
@@ -34,6 +37,7 @@ struct RouteSnapshot {
   uint64_t requests = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t sheds = 0;  ///< Typed rejections charged to this route.
   double cache_hit_rate = 0.0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
@@ -52,6 +56,18 @@ struct StatsSnapshot {
   uint64_t curve_misses = 0;    ///< Curve-cache lookups that missed.
   uint64_t swaps = 0;           ///< Model hot-swaps observed.
   uint64_t traced = 0;          ///< Requests that carried a sampled trace.
+  /// Overload accounting: requests rejected with a typed error, indexed by
+  /// ShedReason (slot kNone stays 0), plus their sum.
+  std::vector<uint64_t> sheds = std::vector<uint64_t>(kNumShedReasons, 0);
+  uint64_t shed_total = 0;
+  /// Requests answered from the cached sweep curve after an admission shed
+  /// (EstimateResponse::degraded). Not counted in `sheds`.
+  uint64_t degraded = 0;
+  /// Scheduler rows dropped at a batch boundary for an expired deadline.
+  uint64_t deadline_rows_dropped = 0;
+  /// Invariant probe (BatchScheduler::expired_predicted): rows expired at
+  /// their batch boundary that reached Predict anyway. Must stay 0.
+  uint64_t deadline_rows_predicted = 0;
   /// Live-update pipeline progress (zero unless a pipeline is attached).
   uint64_t update_ops = 0;          ///< Ops accepted onto the ingest queue.
   uint64_t update_ops_applied = 0;  ///< Ops fully applied to the shadow state.
@@ -128,6 +144,7 @@ class ServeStats {
       (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
     }
     void RecordLatencyMs(double ms) { latency_.Record(ms); }
+    void RecordShed() { sheds_.fetch_add(1, std::memory_order_relaxed); }
 
    private:
     friend class ServeStats;
@@ -137,6 +154,7 @@ class ServeStats {
     std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> sheds_{0};
     util::LatencyHistogram latency_;
   };
 
@@ -171,6 +189,30 @@ class ServeStats {
 
   /// \brief One request admitted WITH a sampled trace attached.
   void RecordTraced() { traced_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// \brief One request rejected with a typed shed error (kNone ignored).
+  void RecordShed(ShedReason r) {
+    if (r == ShedReason::kNone) return;
+    sheds_[size_t(r)].fetch_add(1, std::memory_order_relaxed);
+  }
+  /// \brief One shed request answered from the cached sweep curve instead.
+  void RecordDegraded() { degraded_.fetch_add(1, std::memory_order_relaxed); }
+  /// \brief Scheduler rows dropped pre-Predict for an expired deadline.
+  void RecordExpiredRows(uint64_t n) {
+    deadline_rows_dropped_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// \brief Invariant violations: expired rows that reached Predict.
+  void RecordExpiredPredicted(uint64_t n) {
+    deadline_rows_predicted_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// \brief Register a live (dropped, predicted) deadline-row counter source
+  /// — the owning server points this at its BatchScheduler so Snapshot()
+  /// reflects scheduler drops without a push path. Set once before serving
+  /// starts; survives Reset() (the source's own counters are cumulative).
+  void SetDeadlineRowSource(
+      std::function<std::pair<uint64_t, uint64_t>()> source) {
+    deadline_row_source_ = std::move(source);
+  }
 
   /// \brief Configure the slow-request ring: traced requests whose total
   /// exceeds `threshold_ms` keep their full span breakdown, bounded to the
@@ -230,6 +272,11 @@ class ServeStats {
   std::atomic<uint64_t> curve_misses_{0};
   std::atomic<uint64_t> swaps_{0};
   std::atomic<uint64_t> traced_{0};
+  std::atomic<uint64_t> sheds_[kNumShedReasons] = {};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> deadline_rows_dropped_{0};
+  std::atomic<uint64_t> deadline_rows_predicted_{0};
+  std::function<std::pair<uint64_t, uint64_t>()> deadline_row_source_;
 
   std::atomic<uint64_t> update_ops_{0};
   std::atomic<uint64_t> update_ops_applied_{0};

@@ -30,6 +30,9 @@ struct SelNetServer::PendingResponse {
   /// `stats` when the request finalizes.
   std::shared_ptr<RequestTrace> trace;
   ServeStats* stats = nullptr;
+  /// Per-route accumulator (set once routing succeeded); deadline and
+  /// shutdown sheds surfacing through Finalize are charged here.
+  ServeStats::RouteStats* route_stats = nullptr;
 
   void RecordError(std::exception_ptr e) {
     std::lock_guard<std::mutex> lock(err_mu);
@@ -53,6 +56,13 @@ struct SelNetServer::PendingResponse {
     {
       std::lock_guard<std::mutex> lock(err_mu);
       if (error) {
+        // A typed overload failure (deadline expired in queue, scheduler
+        // shutdown) is a shed: one count per request, not per row.
+        ShedReason reason = ShedReasonFrom(error);
+        if (reason != ShedReason::kNone && stats != nullptr) {
+          stats->RecordShed(reason);
+          if (route_stats != nullptr) route_stats->RecordShed();
+        }
         done(EstimateResponse{}, error);
         return;
       }
@@ -79,11 +89,19 @@ SelNetServer::SelNetServer(const ServerConfig& cfg)
   stats_.ConfigureSlowTrace(cfg_.slow_trace_ms, cfg_.slow_trace_capacity);
   pool_ = cfg_.scheduler.pool != nullptr ? cfg_.scheduler.pool
                                          : &util::ThreadPool::Global();
+  if (cfg_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(cfg_.admission);
+  }
   if (cfg_.enable_batching) {
     scheduler_ = std::make_unique<BatchScheduler>(
         cfg_.scheduler,
         [this](const std::string& model, const tensor::Matrix& x,
                const tensor::Matrix& t) { return PredictOnModel(model, x, t); });
+    // Snapshot() folds the scheduler's deadline-row counters in live; the
+    // scheduler outlives every snapshot taken while serving.
+    stats_.SetDeadlineRowSource([sched = scheduler_.get()] {
+      return std::make_pair(sched->expired_rows(), sched->expired_predicted());
+    });
   }
 }
 
@@ -169,6 +187,15 @@ void SelNetServer::RunSweepFastPath(
                            compute_start - enqueued)
                            .count());
   }
+  // Same cut as the scheduler's batch boundary: a deadline that expired
+  // while this job waited for a pool worker sheds before any evaluation.
+  if (req.has_deadline() && req.deadline < compute_start) {
+    state->RecordError(std::make_exception_ptr(OverloadError(
+        ShedReason::kDeadlineExpired,
+        "SelNetServer: deadline expired before sweep evaluation")));
+    state->Finalize();
+    return;
+  }
   try {
     std::vector<float> ts(missing.size());
     for (size_t r = 0; r < missing.size(); ++r) {
@@ -240,6 +267,36 @@ void SelNetServer::RunSweepFastPath(
   state->Finalize();
 }
 
+bool SelNetServer::TryDegrade(const EstimateRequest& req,
+                              const std::string& route,
+                              const ResponseFn& done) {
+  if (!cfg_.enable_curve_cache) return false;
+  Result<ModelHandle> handle = registry_.Get(route);
+  if (!handle.ok()) return false;
+  const ModelHandle& h = handle.ValueOrDie();
+  uint64_t key = cache_.MakeCurveKey(h.version, req.x.data(), cfg_.dim);
+  CurveEntry entry;
+  bool hit = cache_.LookupCurve(key, &entry);
+  stats_.RecordCurveLookup(hit);
+  if (!hit || entry.tau.empty()) return false;
+  // Strictly a cache read + local PWL arithmetic: bit-identical to the
+  // curve-cached fast path for this version, but possibly a version behind
+  // the latest publish — that staleness is the degrade contract.
+  core::PiecewiseLinear pwl(std::move(entry.tau), std::move(entry.p));
+  EstimateResponse resp;
+  resp.model = route;
+  resp.version = h.version;
+  resp.tag = req.tag;
+  resp.degraded = true;
+  resp.estimates.resize(req.thresholds.size());
+  for (size_t i = 0; i < req.thresholds.size(); ++i) {
+    resp.estimates[i] = pwl(req.thresholds[i]);
+  }
+  stats_.RecordDegraded();
+  done(std::move(resp), nullptr);
+  return true;
+}
+
 std::future<EstimateResponse> SelNetServer::Submit(EstimateRequest req) {
   auto promise = std::make_shared<std::promise<EstimateResponse>>();
   std::future<EstimateResponse> result = promise->get_future();
@@ -266,6 +323,39 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
              std::to_string(req.x.size()) + ", want " +
              std::to_string(cfg_.dim) + ") and at least one threshold")));
     return;
+  }
+  // Overload gate, before any routing or compute. Order matters: a request
+  // whose deadline already passed must not consume an admission ticket.
+  if (req.has_deadline() && std::chrono::steady_clock::now() >= req.deadline) {
+    stats_.RecordShed(ShedReason::kDeadlineExpired);
+    done(EstimateResponse{},
+         std::make_exception_ptr(OverloadError(
+             ShedReason::kDeadlineExpired,
+             "SelNetServer: deadline already expired at submit")));
+    return;
+  }
+  if (admission_) {
+    // Effective route, resolved without touching the registry or the route
+    // map: sheds stay O(1) even under adversarial route names.
+    const std::string& route = req.model.empty() ? cfg_.model_name : req.model;
+    AdmissionController::Decision decision = admission_->Admit(route);
+    if (!decision.admitted) {
+      stats_.RecordShed(decision.reason);
+      if (decision.try_degrade && TryDegrade(req, route, done)) return;
+      done(EstimateResponse{},
+           std::make_exception_ptr(OverloadError(
+               decision.reason, std::string("SelNetServer: overloaded (") +
+                                    ShedReasonName(decision.reason) +
+                                    ") on route '" + route + "'")));
+      return;
+    }
+    // Hand the ticket back exactly once, on whichever thread completes the
+    // request (success, shed, or failure alike).
+    done = [this, inner = std::move(done)](EstimateResponse&& resp,
+                                           std::exception_ptr error) {
+      admission_->Release();
+      inner(std::move(resp), error);
+    };
   }
   const size_t k = req.thresholds.size();
   // Stage-trace sampling: wire requests may arrive with a trace the frontend
@@ -315,6 +405,7 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
   // Per-route accumulator: resolved once per request (stable pointer), only
   // for routes that actually exist — a typo'd route cannot grow the map.
   ServeStats::RouteStats* route_stats = stats_.Route(state->resp.model);
+  state->route_stats = route_stats;
   route_stats->RecordRequests(k);
   if (traced) req.trace->Observe(Stage::kRoute, stage_ms_since(enqueued));
 
@@ -401,7 +492,8 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
               state->trace->Observe(Stage::kPredict, timing.predict_ms);
             }
             if (state->remaining.fetch_sub(1) == 1) state->Finalize();
-          });
+          },
+          req.deadline);
     }
     return;
   }

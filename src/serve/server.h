@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/admission.h"
 #include "serve/batch_scheduler.h"
 #include "serve/estimate_cache.h"
 #include "serve/model_registry.h"
@@ -50,6 +51,19 @@
 /// non-decreasing; the fast path gets this from the monotone PWL directly and
 /// the fallback applies a running-max repair across cache-quantum and
 /// mid-sweep-swap artifacts.
+///
+/// Overload behavior (ServerConfig::admission, off by default): before any
+/// routing or compute, SubmitWith checks the request's deadline (already
+/// expired -> typed kDeadlineExpired shed) and asks the per-server
+/// AdmissionController for a ticket (priority-watermarked inflight budget;
+/// over budget -> typed kQueueFull / kPriorityShed). A shed route that opted
+/// into degrade may instead be answered from the version-keyed cached sweep
+/// curve — a local PWL evaluation, zero model compute, response marked
+/// `degraded`. Admitted requests release their ticket on completion, and
+/// their deadline rides along: the fast path re-checks it at compute start
+/// and the BatchScheduler drops expired rows at the batch boundary, so no
+/// expired row ever reaches Predict. Every shed is a typed OverloadError and
+/// lands in ServeStats per reason.
 
 namespace selnet::serve {
 
@@ -92,6 +106,9 @@ struct ServerConfig {
   /// admin request, and the Report() slow section).
   double slow_trace_ms = 50.0;
   size_t slow_trace_capacity = 32;  ///< Slow-ring length.
+  /// Overload admission control (AdmissionConfig::enabled = false keeps the
+  /// pre-admission behavior bit-for-bit: no ticket, no shed path).
+  AdmissionConfig admission;
 };
 
 /// \brief A servable, estimator-agnostic selectivity-estimation endpoint.
@@ -173,6 +190,8 @@ class SelNetServer {
   EstimateCache& cache() { return cache_; }
   ServeStats& stats() { return stats_; }
   const ServerConfig& config() const { return cfg_; }
+  /// \brief The admission controller, or null when admission is disabled.
+  AdmissionController* admission() { return admission_.get(); }
 
   std::string StatsReport() const { return stats_.Report(); }
 
@@ -196,11 +215,20 @@ class SelNetServer {
                         const std::vector<size_t>& missing,
                         std::chrono::steady_clock::time_point enqueued,
                         ServeStats::RouteStats* route_stats);
+  /// Degrade instead of shedding: answer `req` from the version-keyed cached
+  /// sweep curve (local PWL evaluation, zero model compute) when the curve
+  /// cache holds this query's control points. Returns false — caller sheds —
+  /// when the curve cache is off, the route is absent, or the curve is not
+  /// cached; never computes a fresh curve (that would be the compute the
+  /// shed is protecting).
+  bool TryDegrade(const EstimateRequest& req, const std::string& route,
+                  const ResponseFn& done);
 
   ServerConfig cfg_;
   ModelRegistry registry_;
   EstimateCache cache_;
   ServeStats stats_;
+  std::unique_ptr<AdmissionController> admission_;  ///< Null = admission off.
   std::unique_ptr<BatchScheduler> scheduler_;  ///< Null when batching is off.
   /// Destroyed before the scheduler: the pipeline's final republish must not
   /// outlive the serving machinery it publishes into.

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <utility>
@@ -223,6 +224,18 @@ Status ParseRequestLine(const std::string& line, EstimateRequest* req) {
     }
     if (key == "model") return p.String(&parsed.model);
     if (key == "tag") return p.Uint(&parsed.tag);
+    if (key == "deadline_ms") {
+      // Relative budget, anchored to the steady clock HERE (decode time) —
+      // the wire never carries an absolute timestamp. A non-positive budget
+      // yields an already-past deadline, shed before any compute.
+      float budget_ms = 0.0f;
+      SEL_RETURN_NOT_OK(p.Float(&budget_ms));
+      parsed.deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(budget_ms));
+      return Status::OK();
+    }
     return p.Fail("unknown request field '" + key + "'");
   }));
   if (!have_x || parsed.x.empty()) {
@@ -273,6 +286,16 @@ std::string SerializeRequest(const EstimateRequest& req) {
   w.Field("thresholds", req.thresholds);
   if (!req.model.empty()) w.Field("model", req.model);
   if (req.tag != 0) w.Field("tag", req.tag);
+  if (req.has_deadline()) {
+    // The budget REMAINING at serialization time; clamped so a deadline that
+    // expired client-side still crosses the wire as an expired (0) budget
+    // rather than a negative token.
+    double remaining_ms =
+        std::chrono::duration<double, std::milli>(
+            req.deadline - std::chrono::steady_clock::now())
+            .count();
+    w.Field("deadline_ms", remaining_ms > 0.0 ? remaining_ms : 0.0);
+  }
   return w.Finish();
 }
 
@@ -283,6 +306,8 @@ std::string SerializeResponse(const EstimateResponse& resp) {
   w.Field("version", resp.version);
   w.Field("cache_hits", uint64_t(resp.cache_hits));
   w.Field("fast_path", resp.fast_path);
+  // Written only when set: pre-degrade responses stay byte-identical.
+  if (resp.degraded) w.Field("degraded", true);
   if (resp.tag != 0) w.Field("tag", resp.tag);
   return w.Finish();
 }
@@ -303,8 +328,14 @@ uint64_t ExtractTagBestEffort(const std::string& line) {
 }
 
 std::string SerializeError(const std::string& message, uint64_t tag) {
+  return SerializeError(message, std::string(), tag);
+}
+
+std::string SerializeError(const std::string& message, const std::string& code,
+                           uint64_t tag) {
   JsonWriter w;
   w.Field("error", message);
+  if (!code.empty()) w.Field("code", code);
   if (tag != 0) w.Field("tag", tag);
   return w.Finish();
 }
@@ -312,6 +343,7 @@ std::string SerializeError(const std::string& message, uint64_t tag) {
 Status ParseResponseLine(const std::string& line, EstimateResponse* resp) {
   EstimateResponse parsed;
   std::string error;
+  std::string code;
   uint64_t cache_hits = 0;
   LineParser p(line);
   SEL_RETURN_NOT_OK(ParseObject(&p, [&](const std::string& key) -> Status {
@@ -325,11 +357,26 @@ Status ParseResponseLine(const std::string& line, EstimateResponse* resp) {
       parsed.fast_path = b;
       return Status::OK();
     }
+    if (key == "degraded") {
+      bool b = false;
+      SEL_RETURN_NOT_OK(p.Bool(&b));
+      parsed.degraded = b;
+      return Status::OK();
+    }
     if (key == "tag") return p.Uint(&parsed.tag);
     if (key == "error") return p.String(&error);
+    if (key == "code") return p.String(&code);
     return p.Fail("unknown response field '" + key + "'");
   }));
-  if (!error.empty()) return Status::Internal(error);
+  if (!error.empty()) {
+    // The `code` token types the failure; it deliberately mirrors
+    // ShedReasonName so clients never string-match the human message.
+    if (code == "deadline_exceeded") return Status::DeadlineExceeded(error);
+    if (code == "queue_full" || code == "priority_shed" || code == "shutdown") {
+      return Status::Unavailable(error);
+    }
+    return Status::Internal(error);
+  }
   parsed.cache_hits = uint32_t(cache_hits);
   *resp = std::move(parsed);
   return Status::OK();

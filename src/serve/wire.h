@@ -18,13 +18,24 @@
 ///     * `model` — optional registry route (default route when absent);
 ///     * `tag` — optional uint64, echoed verbatim in the response. Responses
 ///       on one connection may complete out of order under load; the tag is
-///       how a pipelining client matches them up.
+///       how a pipelining client matches them up;
+///     * `deadline_ms` — optional RELATIVE completion budget in milliseconds,
+///       anchored to the server's steady clock at decode time (wall clocks
+///       never cross the wire). A non-positive budget is already expired and
+///       sheds before any compute.
 ///
 /// Response line (server -> client):
 ///   {"estimates":[...],"model":"default","version":3,"cache_hits":1,
 ///    "fast_path":true,"tag":7}
-/// or, when the request failed (malformed JSON, unknown route, bad shape):
+/// plus `"degraded":true` when an overloaded route answered from the cached
+/// sweep curve instead of the model; or, when the request failed (malformed
+/// JSON, unknown route, bad shape):
 ///   {"error":"...","tag":7}
+/// Overload rejections additionally carry a machine-readable `code` — a
+/// ShedReasonName ("queue_full", "priority_shed", "deadline_exceeded",
+/// "shutdown") the client maps back to a typed Status without string-matching
+/// the human-readable message:
+///   {"error":"...","code":"queue_full","tag":7}
 ///
 /// Admin line (client -> server), the metrics/admin plane:
 ///   {"cmd":"stats","tag":7}   -> {"stats":{...fleet StatsSnapshot...},"tag":7}
@@ -72,6 +83,12 @@ std::string SerializeResponse(const EstimateResponse& resp);
 /// \brief Serialize an error reply for `tag` (no trailing newline).
 std::string SerializeError(const std::string& message, uint64_t tag);
 
+/// \brief Serialize a typed error reply: `code` is a machine-readable token
+/// (a ShedReasonName for overload sheds) emitted alongside the message;
+/// empty `code` degrades to the plain form.
+std::string SerializeError(const std::string& message, const std::string& code,
+                           uint64_t tag);
+
 /// \brief Best-effort tag recovery from a line that FAILED ParseRequestLine
 /// (a raw scan for a `"tag":<digits>` field), so even the error reply for a
 /// malformed request can echo the client's correlation tag. Returns 0 when
@@ -82,7 +99,10 @@ uint64_t ExtractTagBestEffort(const std::string& line);
 std::string SerializeRequest(const EstimateRequest& req);
 
 /// \brief Parse one response line into `resp`; a wire-level error reply comes
-/// back as a kInternal status carrying the server's message.
+/// back as a non-OK status carrying the server's message — typed by the
+/// reply's `code` when present (deadline_exceeded -> kDeadlineExceeded;
+/// queue_full / priority_shed / shutdown -> kUnavailable), kInternal
+/// otherwise.
 util::Status ParseResponseLine(const std::string& line,
                                EstimateResponse* resp);
 

@@ -13,6 +13,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kIoError: return "IOError";
     case StatusCode::kNotImplemented: return "NotImplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

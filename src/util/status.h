@@ -23,6 +23,8 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// \brief Lightweight status object: an `Ok` singleton or a code + message.
@@ -52,6 +54,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

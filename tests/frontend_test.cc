@@ -5,18 +5,23 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/selnet_ct.h"
 #include "data/synthetic.h"
+#include "serve/admission.h"
 #include "serve/update_pipeline.h"
 #include "serve/wire.h"
+#include "util/net.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace selnet::serve {
 namespace {
@@ -725,6 +730,223 @@ TEST_F(NetShardFixture, NetworkStormWithLivePipelineFailsNoQuery) {
   EXPECT_EQ(violations.load(), 0u);
   EXPECT_GE(answered.load(), 20u);
   EXPECT_EQ(frontend_->Stats().request_errors, 0u);
+}
+
+// -------------------------------------------------- overload on the wire ---
+
+/// Predict parks until Release(): pins the backend saturated so shed and
+/// deadline replies can be observed on the wire deterministically.
+class WireBlockingEstimator : public eval::Estimator {
+ public:
+  std::string Name() const override { return "WireBlocking"; }
+  bool IsConsistent() const override { return true; }
+  void Fit(const eval::TrainContext&) override {}
+  Matrix Predict(const Matrix& x, const Matrix&) override {
+    started_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return released_; });
+    Matrix y(x.rows(), 1);
+    for (size_t i = 0; i < x.rows(); ++i) y(i, 0) = 2.0f;
+    return y;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+  size_t started() const { return started_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+  std::atomic<size_t> started_{0};
+};
+
+TEST(FrontendOverloadTest, ShedAtDecodeWritesOneTypedErrorLine) {
+  ServerConfig scfg = CheapServerConfig();
+  scfg.admission.enabled = true;
+  scfg.admission.max_inflight = 1;
+  SelNetServer server(scfg);
+  auto blocking = std::make_shared<WireBlockingEstimator>();
+  server.Publish(blocking);
+  NetFrontend frontend(FrontendConfig{}, &server);
+  ASSERT_TRUE(frontend.status().ok());
+
+  NetClient occupant, shed;
+  ASSERT_TRUE(occupant.Connect("127.0.0.1", frontend.port()).ok());
+  ASSERT_TRUE(shed.Connect("127.0.0.1", frontend.port()).ok());
+
+  // The occupant's request takes the only admission ticket and parks inside
+  // Predict; its reply cannot arrive until Release().
+  EstimateRequest holder;
+  holder.x = {1.0f, 2.0f, 3.0f, 4.0f};
+  holder.thresholds = {0.5f};
+  holder.tag = 1;
+  ASSERT_TRUE(occupant.SendRaw(SerializeRequest(holder) + "\n").ok());
+  while (blocking->started() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The next decode sheds synchronously on the loop thread: one COMPLETE
+  // error line with the machine-readable reason and the client's tag —
+  // ReadLine only returns on '\n', so a full line proves no partial write.
+  ASSERT_TRUE(
+      shed.SendRaw(
+              "{\"x\":[1,1,1,1],\"thresholds\":[0.5],\"tag\":9}\n")
+          .ok());
+  util::Result<std::string> line = shed.ReadLine();
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_NE(line.ValueOrDie().find("\"code\":\"queue_full\""),
+            std::string::npos)
+      << line.ValueOrDie();
+  EXPECT_NE(line.ValueOrDie().find("\"tag\":9"), std::string::npos);
+  EstimateResponse parsed;
+  util::Status st = ParseResponseLine(line.ValueOrDie(), &parsed);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kUnavailable) << st.ToString();
+
+  // The typed-status mapping also works end to end through Roundtrip.
+  util::Result<EstimateResponse> rt = shed.Roundtrip(holder);
+  ASSERT_FALSE(rt.ok());
+  EXPECT_EQ(rt.status().code(), util::StatusCode::kUnavailable);
+
+  // The occupant was never harmed: its answer arrives after release.
+  blocking->Release();
+  util::Result<std::string> ok_line = occupant.ReadLine();
+  ASSERT_TRUE(ok_line.ok());
+  EXPECT_EQ(ok_line.ValueOrDie().find("\"error\""), std::string::npos)
+      << ok_line.ValueOrDie();
+  occupant.Close();
+  shed.Close();
+  frontend.Stop();
+}
+
+TEST(FrontendOverloadTest, DeadlineExpiredInQueueWritesTypedErrorLine) {
+  util::ThreadPool pool(1);  // One worker: queued batches wait their turn.
+  ServerConfig scfg = CheapServerConfig();
+  scfg.scheduler.pool = &pool;
+  SelNetServer server(scfg);
+  auto blocking = std::make_shared<WireBlockingEstimator>();
+  server.Publish(blocking);
+  NetFrontend frontend(FrontendConfig{}, &server);
+  ASSERT_TRUE(frontend.status().ok());
+
+  NetClient occupant, doomed;
+  ASSERT_TRUE(occupant.Connect("127.0.0.1", frontend.port()).ok());
+  ASSERT_TRUE(doomed.Connect("127.0.0.1", frontend.port()).ok());
+
+  ASSERT_TRUE(
+      occupant
+          .SendRaw("{\"x\":[1,1,1,1],\"thresholds\":[0.5],\"tag\":1}\n")
+          .ok());
+  while (blocking->started() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // This request's 20 ms budget is anchored at decode; it expires while its
+  // batch waits behind the parked one, and the row is dropped AT the batch
+  // boundary — the typed reply proves it never reached Predict.
+  ASSERT_TRUE(doomed
+                  .SendRaw("{\"x\":[2,2,2,2],\"thresholds\":[0.5],"
+                           "\"deadline_ms\":20,\"tag\":7}\n")
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  blocking->Release();
+
+  util::Result<std::string> line = doomed.ReadLine();
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_NE(line.ValueOrDie().find("\"code\":\"deadline_exceeded\""),
+            std::string::npos)
+      << line.ValueOrDie();
+  EXPECT_NE(line.ValueOrDie().find("\"tag\":7"), std::string::npos);
+  EstimateResponse parsed;
+  EXPECT_EQ(ParseResponseLine(line.ValueOrDie(), &parsed).code(),
+            util::StatusCode::kDeadlineExceeded);
+
+  util::Result<std::string> ok_line = occupant.ReadLine();
+  ASSERT_TRUE(ok_line.ok());
+  EXPECT_EQ(ok_line.ValueOrDie().find("\"error\""), std::string::npos);
+
+  // A non-positive budget is already expired at decode: typed shed, no
+  // compute, connection survives.
+  ASSERT_TRUE(doomed
+                  .SendRaw("{\"x\":[2,2,2,2],\"thresholds\":[0.5],"
+                           "\"deadline_ms\":0,\"tag\":8}\n")
+                  .ok());
+  line = doomed.ReadLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_NE(line.ValueOrDie().find("\"code\":\"deadline_exceeded\""),
+            std::string::npos);
+  EXPECT_EQ(server.stats().Snapshot().deadline_rows_predicted, 0u);
+
+  occupant.Close();
+  doomed.Close();
+  frontend.Stop();
+  server.Drain();
+}
+
+TEST(FrontendOverloadTest, RecvTimeoutAgainstSilentServerIsTyped) {
+  // A listener that accepts (at the kernel level) and never replies.
+  util::TcpListener silent;
+  ASSERT_TRUE(silent.Listen("127.0.0.1", 0).ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", silent.port()).ok());
+  client.set_recv_timeout_ms(50);
+  ASSERT_TRUE(client.SendRaw("{\"x\":[1],\"thresholds\":[0.5]}\n").ok());
+
+  auto start = std::chrono::steady_clock::now();
+  util::Result<std::string> line = client.ReadLine();
+  double waited_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), util::StatusCode::kDeadlineExceeded)
+      << line.status().ToString();
+  EXPECT_GE(waited_ms, 45.0);    // The full budget was honored...
+  EXPECT_LT(waited_ms, 5000.0);  // ...and it did not block forever.
+
+  // Timeout is not a connection error: the socket stays usable and a second
+  // bounded read times out the same way instead of reporting I/O failure.
+  EXPECT_EQ(client.ReadLine().status().code(),
+            util::StatusCode::kDeadlineExceeded);
+  client.Close();
+}
+
+TEST(FrontendOverloadTest, ServerKilledMidRoundtripSurfacesIoError) {
+  FrontendConfig fcfg;
+  fcfg.drain_timeout_s = 0.05;  // Stop() gives up on the parked response.
+  SelNetServer server(CheapServerConfig());
+  auto blocking = std::make_shared<WireBlockingEstimator>();
+  server.Publish(blocking);
+  auto frontend = std::make_unique<NetFrontend>(fcfg, &server);
+  ASSERT_TRUE(frontend->status().ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend->port()).ok());
+  client.set_recv_timeout_ms(5000);  // Upper bound so the test cannot hang.
+  ASSERT_TRUE(
+      client.SendRaw("{\"x\":[1,1,1,1],\"thresholds\":[0.5],\"tag\":3}\n")
+          .ok());
+  while (blocking->started() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Kill the server mid-roundtrip: the drain times out, the connection is
+  // closed, and the pending read surfaces a distinct I/O error — NOT a
+  // recv timeout and NOT a silent hang.
+  frontend->Stop();
+  util::Result<std::string> line = client.ReadLine();
+  ASSERT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), util::StatusCode::kIoError)
+      << line.status().ToString();
+
+  client.Close();
+  blocking->Release();  // Unblock the worker so teardown can drain.
+  frontend.reset();
+  server.Drain();
 }
 
 }  // namespace

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -12,6 +15,7 @@
 #include "core/model_io.h"
 #include "core/selnet_partitioned.h"
 #include "data/synthetic.h"
+#include "serve/admission.h"
 #include "serve/batch_scheduler.h"
 #include "serve/estimate_cache.h"
 #include "serve/model_registry.h"
@@ -1250,6 +1254,289 @@ TEST(ServerConfigDeathTest, SchedulerDimMismatchAborts) {
   cfg.dim = 4;
   cfg.scheduler.dim = 8;  // Conflicts: used to be silently overwritten.
   EXPECT_DEATH({ SelNetServer server(cfg); }, "SchedulerConfig.dim");
+}
+
+// ---------------------------------------------------- admission / overload ---
+
+/// Predict blocks until Release(): holds the serving pipeline saturated so
+/// admission and deadline behavior can be probed deterministically.
+class BlockingEstimator : public eval::Estimator {
+ public:
+  std::string Name() const override { return "Blocking"; }
+  bool IsConsistent() const override { return true; }
+  void Fit(const eval::TrainContext&) override {}
+  Matrix Predict(const Matrix& x, const Matrix&) override {
+    started_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return released_; });
+    Matrix y(x.rows(), 1);
+    for (size_t i = 0; i < x.rows(); ++i) y(i, 0) = 1.0f;
+    return y;
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+  size_t started() const { return started_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+  std::atomic<size_t> started_{0};
+};
+
+TEST(AdmissionControllerTest, WatermarksPartitionOneBudget) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.max_inflight = 4;
+  cfg.priority_watermarks = {1.0, 0.5};
+  cfg.routes["gold"] = RoutePolicy{0, false};
+  cfg.routes["bronze"] = RoutePolicy{1, false};
+  AdmissionController ctl(cfg);
+  // Class 1 sheds at 50% of the budget; class 0 fills all of it.
+  EXPECT_TRUE(ctl.Admit("bronze").admitted);
+  EXPECT_TRUE(ctl.Admit("bronze").admitted);
+  auto low = ctl.Admit("bronze");
+  EXPECT_FALSE(low.admitted);
+  EXPECT_EQ(low.reason, ShedReason::kPriorityShed);
+  EXPECT_TRUE(ctl.Admit("gold").admitted);
+  EXPECT_TRUE(ctl.Admit("gold").admitted);
+  auto full = ctl.Admit("gold");
+  EXPECT_FALSE(full.admitted);
+  EXPECT_EQ(full.reason, ShedReason::kQueueFull);
+  // Releases reopen the budget, lowest class last.
+  ctl.Release();
+  ctl.Release();
+  ctl.Release();
+  EXPECT_TRUE(ctl.Admit("bronze").admitted);
+  EXPECT_EQ(ctl.inflight(), 2u);
+  // An unconfigured route uses the default policy (class 0 here).
+  EXPECT_TRUE(ctl.Admit("unknown-route").admitted);
+}
+
+TEST(AdmissionServeTest, SaturationShedsTypedAndAccountsPerReason) {
+  ServerConfig cfg;
+  cfg.dim = 2;
+  cfg.enable_batching = true;
+  cfg.enable_cache = false;
+  cfg.scheduler.max_batch = 4;
+  cfg.scheduler.max_delay_ms = 0.1;
+  cfg.admission.enabled = true;
+  cfg.admission.max_inflight = 4;
+  cfg.admission.priority_watermarks = {1.0};
+  SelNetServer server(cfg);
+  auto blocking = std::make_shared<BlockingEstimator>();
+  server.Publish(blocking);
+
+  float x[2] = {0.1f, 0.2f};
+  std::vector<std::future<EstimateResponse>> admitted;
+  for (int i = 0; i < 4; ++i) {
+    admitted.push_back(server.Submit(EstimateRequest::Point(x, 2, 0.5f)));
+  }
+  // Budget exhausted: every further submit is a TYPED rejection, delivered
+  // synchronously (no scheduler queue, no pool worker).
+  for (int i = 0; i < 3; ++i) {
+    try {
+      server.Submit(EstimateRequest::Point(x, 2, 0.5f)).get();
+      FAIL() << "expected OverloadError";
+    } catch (const OverloadError& e) {
+      EXPECT_EQ(e.reason(), ShedReason::kQueueFull);
+    }
+  }
+  blocking->Release();
+  for (auto& f : admitted) {
+    EstimateResponse resp = f.get();
+    ASSERT_EQ(resp.estimates.size(), 1u);
+    EXPECT_EQ(resp.estimates[0], 1.0f);
+  }
+  server.Drain();
+
+  StatsSnapshot s = server.stats().Snapshot();
+  EXPECT_EQ(s.sheds[size_t(ShedReason::kQueueFull)], 3u);
+  EXPECT_EQ(s.shed_total, 3u);
+  EXPECT_EQ(s.degraded, 0u);
+  // Tickets were all handed back: the budget is whole again.
+  ASSERT_NE(server.admission(), nullptr);
+  EXPECT_EQ(server.admission()->inflight(), 0u);
+  // The admin plane serializes the same taxonomy.
+  std::string json = StatsToJson(s);
+  EXPECT_NE(json.find("\"overload\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_full\":3"), std::string::npos);
+}
+
+TEST(AdmissionServeTest, PriorityClassesShedLowBeforeHigh) {
+  ServerConfig cfg;
+  cfg.dim = 2;
+  cfg.enable_batching = true;
+  cfg.enable_cache = false;
+  cfg.scheduler.max_batch = 8;
+  cfg.scheduler.max_delay_ms = 0.1;
+  cfg.admission.enabled = true;
+  cfg.admission.max_inflight = 4;
+  cfg.admission.priority_watermarks = {1.0, 0.5};
+  cfg.admission.routes["gold"] = RoutePolicy{0, false};
+  cfg.admission.routes["bronze"] = RoutePolicy{1, false};
+  SelNetServer server(cfg);
+  auto blocking = std::make_shared<BlockingEstimator>();
+  server.Publish("gold", blocking);
+  server.Publish("bronze", blocking);
+
+  float x[2] = {0.3f, 0.4f};
+  std::vector<std::future<EstimateResponse>> admitted;
+  auto submit = [&](const std::string& route) {
+    return server.Submit(EstimateRequest::Point(x, 2, 0.5f, route));
+  };
+  // Low class fills to its 50% watermark, then sheds kPriorityShed while
+  // the high class still gets the rest of the budget.
+  admitted.push_back(submit("bronze"));
+  admitted.push_back(submit("bronze"));
+  try {
+    submit("bronze").get();
+    FAIL() << "expected OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_EQ(e.reason(), ShedReason::kPriorityShed);
+  }
+  admitted.push_back(submit("gold"));
+  admitted.push_back(submit("gold"));
+  try {
+    submit("gold").get();
+    FAIL() << "expected OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_EQ(e.reason(), ShedReason::kQueueFull);
+  }
+  blocking->Release();
+  for (auto& f : admitted) EXPECT_EQ(f.get().estimates[0], 1.0f);
+  server.Drain();
+
+  StatsSnapshot s = server.stats().Snapshot();
+  EXPECT_EQ(s.sheds[size_t(ShedReason::kPriorityShed)], 1u);
+  EXPECT_EQ(s.sheds[size_t(ShedReason::kQueueFull)], 1u);
+  EXPECT_EQ(s.shed_total, 2u);
+}
+
+TEST(AdmissionServeTest, ExpiredRowsDropBeforePredictWithTypedError) {
+  util::ThreadPool pool(1);  // One worker: batches execute strictly in order.
+  ServerConfig cfg;
+  cfg.dim = 2;
+  cfg.enable_batching = true;
+  cfg.enable_cache = false;
+  cfg.scheduler.max_batch = 8;
+  cfg.scheduler.max_delay_ms = 0.1;
+  cfg.scheduler.pool = &pool;
+  SelNetServer server(cfg);
+  auto blocking = std::make_shared<BlockingEstimator>();
+  server.Publish(blocking);
+
+  float x[2] = {0.5f, 0.6f};
+  // Request A occupies the only worker inside Predict.
+  auto blocked = server.Submit(EstimateRequest::Point(x, 2, 0.5f));
+  while (blocking->started() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Request B carries a deadline that expires while its batch waits behind
+  // A's. Its row must be dropped AT the batch boundary, never predicted.
+  EstimateRequest doomed = EstimateRequest::Point(x, 2, 0.5f);
+  doomed.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  auto expired = server.Submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  blocking->Release();
+
+  EXPECT_EQ(blocked.get().estimates[0], 1.0f);
+  try {
+    expired.get();
+    FAIL() << "expected OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_EQ(e.reason(), ShedReason::kDeadlineExpired);
+  }
+  server.Drain();
+  // Exactly one Predict ran: the expired row never reached the model.
+  EXPECT_EQ(blocking->started(), 1u);
+  StatsSnapshot s = server.stats().Snapshot();
+  EXPECT_EQ(s.deadline_rows_dropped, 1u);
+  EXPECT_EQ(s.deadline_rows_predicted, 0u);
+  EXPECT_EQ(s.sheds[size_t(ShedReason::kDeadlineExpired)], 1u);
+}
+
+TEST(AdmissionServeTest, AlreadyExpiredDeadlineShedsAtSubmit) {
+  ServerConfig cfg;
+  cfg.dim = 2;
+  cfg.enable_batching = true;
+  cfg.enable_cache = false;
+  SelNetServer server(cfg);
+  server.Publish(std::make_shared<BrokenSweepEstimator>());  // Never reached.
+
+  float x[2] = {0.0f, 0.0f};
+  EstimateRequest req = EstimateRequest::Point(x, 2, 0.5f);
+  req.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  try {
+    server.Submit(std::move(req)).get();
+    FAIL() << "expected OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_EQ(e.reason(), ShedReason::kDeadlineExpired);
+  }
+  StatsSnapshot s = server.stats().Snapshot();
+  EXPECT_EQ(s.sheds[size_t(ShedReason::kDeadlineExpired)], 1u);
+  // Shed before routing: the request never counted as served work.
+  EXPECT_EQ(s.requests, 0u);
+}
+
+TEST_F(ServeFixture, DegradedRouteServesCachedCurveBitIdentically) {
+  ServerConfig cfg = MakeServerConfig(/*batching=*/true, /*cache=*/false);
+  cfg.enable_curve_cache = true;
+  cfg.admission.enabled = true;
+  cfg.admission.max_inflight = 1;
+  cfg.admission.default_policy.allow_degrade = true;
+  SelNetServer server(cfg);
+  server.Publish(model_);
+  auto blocking = std::make_shared<BlockingEstimator>();
+  server.Publish("block", blocking);
+
+  const float* q = wl_.queries.row(0);
+  std::vector<float> ts = {0.2f * wl_.tmax, 0.5f * wl_.tmax, 0.8f * wl_.tmax};
+  // Prime: an admitted sweep populates the version-keyed curve cache.
+  EstimateResponse primed =
+      server.Submit(EstimateRequest::Sweep(q, 6, ts)).get();
+  EXPECT_FALSE(primed.degraded);
+
+  // Exhaust the budget (size 1) with a request parked inside Predict...
+  float xb[6] = {0};
+  auto blocked = server.Submit(EstimateRequest::Point(xb, 6, 0.5f, "block"));
+  while (blocking->started() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...so the next sweep is shed — and, because the route opted in and the
+  // curve is cached, answered DEGRADED: local PWL lookups, bit-identical to
+  // the primed fast-path answer, zero model compute.
+  EstimateResponse degraded =
+      server.Submit(EstimateRequest::Sweep(q, 6, ts)).get();
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.version, primed.version);
+  ASSERT_EQ(degraded.estimates.size(), primed.estimates.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(degraded.estimates[i], primed.estimates[i]) << "threshold " << i;
+  }
+
+  // A shed on a route whose curve is NOT cached still fails typed.
+  float other[6] = {9.0f, 9.0f, 9.0f, 9.0f, 9.0f, 9.0f};
+  try {
+    server.Submit(EstimateRequest::Sweep(other, 6, ts)).get();
+    FAIL() << "expected OverloadError";
+  } catch (const OverloadError& e) {
+    EXPECT_EQ(e.reason(), ShedReason::kQueueFull);
+  }
+
+  blocking->Release();
+  EXPECT_EQ(blocked.get().estimates[0], 1.0f);
+  server.Drain();
+  StatsSnapshot s = server.stats().Snapshot();
+  EXPECT_EQ(s.degraded, 1u);
+  EXPECT_EQ(s.sheds[size_t(ShedReason::kQueueFull)], 2u);
 }
 
 }  // namespace
