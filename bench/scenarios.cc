@@ -31,20 +31,34 @@
 ///           and vanish mid-response, while one well-behaved wire client
 ///           must keep getting answers; the frontend must survive to answer
 ///           a clean round-trip at the end.
+///   fault — fleet fault injection against R=2 replication over real
+///           `shard_node` child processes (the harness re-execs itself with
+///           a hidden flag to become one): SIGSTOP gray shard (alive TCP,
+///           no answers — only the recv-timeout failover path catches it),
+///           kill -9 of the primary replica mid-traffic, crash-then-rejoin
+///           with a state re-sync that must serve bit-identical answers,
+///           and a connection blackhole (bound listener that never answers).
+///           Gates: ZERO failed client queries through every fault, and the
+///           reborn process answers bit-identically to the pre-crash fleet.
+///           Not in the default scenario list — it forks child processes
+///           and owns its own CI job (BENCH_fault.json is its committed
+///           baseline).
 ///
 /// Flags: --json PATH (gate output), --smoke (short CI durations),
-/// --scenario NAME (repeatable; default = all).
+/// --scenario NAME (repeatable; default = burst+skew+drift+churn).
 
 #ifdef __linux__
 #include <sys/resource.h>
 #include <sys/syscall.h>
-#include <unistd.h>
 #endif
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,9 +78,12 @@
 #include "serve/admission.h"
 #include "serve/frontend.h"
 #include "serve/server.h"
+#include "serve/shard_node.h"
 #include "serve/shard_router.h"
 #include "serve/update_pipeline.h"
 #include "serve/wire.h"
+#include "util/backoff.h"
+#include "util/net.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -648,9 +665,11 @@ Report RunDrift(const ScenarioContext& ctx) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   });
+  util::Backoff poll({/*base_ms=*/1.0, /*cap_ms=*/20.0}, /*seed=*/11);
   while (pipeline.Snapshot().retrains_triggered == 0 &&
          pipeline.Snapshot().ops_applied < 50) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(poll.NextDelayMs()));
   }
 
   LoadResult storm = DriveOpenLoop(
@@ -823,9 +842,389 @@ Report RunChurn(const ScenarioContext& ctx) {
   return rep;
 }
 
+// ------------------------------------------------------- fault injection ---
+
+/// One `shard_node` child process: the harness re-execs its own binary with
+/// the hidden --shard-node-child flag, so the shard under test is a REAL
+/// separate process it can SIGKILL and SIGSTOP — in-process fault injection
+/// cannot produce a half-dead TCP peer.
+struct NodeProc {
+  pid_t pid = -1;
+  uint16_t port = 0;
+  std::string port_file;
+
+  bool ok() const { return pid > 0 && port != 0; }
+};
+
+std::string SelfExe() {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "";
+  buf[n] = '\0';
+  return buf;
+}
+
+/// Fork + exec a shard_node child; blocks until its port file appears (the
+/// write-then-rename handshake means "bound and serving"). `port` 0 asks the
+/// node for an ephemeral port, read back from the file; a nonzero port pins
+/// the reborn process to the crashed one's address.
+NodeProc SpawnNode(size_t dim, uint16_t port, int idx) {
+  NodeProc node;
+  node.port_file =
+      "selnet_fault_" + std::to_string(::getpid()) + "_" +
+      std::to_string(idx) + ".port";
+  std::remove(node.port_file.c_str());
+  std::string exe = SelfExe();
+  if (exe.empty()) return node;
+  std::string port_s = std::to_string(unsigned(port));
+  std::string dim_s = std::to_string(dim);
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl(exe.c_str(), exe.c_str(), "--shard-node-child",
+            node.port_file.c_str(), port_s.c_str(), dim_s.c_str(),
+            (char*)nullptr);
+    _exit(127);
+  }
+  if (pid < 0) return node;
+  node.pid = pid;
+  util::Backoff poll({/*base_ms=*/1.0, /*cap_ms=*/50.0}, /*seed=*/7);
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (Clock::now() < deadline) {
+    std::ifstream in(node.port_file);
+    unsigned p = 0;
+    if (in && (in >> p) && p != 0) {
+      node.port = uint16_t(p);
+      break;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(poll.NextDelayMs()));
+  }
+  return node;
+}
+
+/// Signal + reap. SIGKILL is the crash path (no goodbye on the wire);
+/// SIGTERM is the clean shutdown at scenario end.
+void ReapNode(NodeProc* node, int sig) {
+  if (node->pid <= 0) return;
+  ::kill(node->pid, sig);
+  int status = 0;
+  ::waitpid(node->pid, &status, 0);
+  node->pid = -1;
+  std::remove(node->port_file.c_str());
+}
+
+bool WaitForSlotHealth(serve::ShardedRegistry* reg, size_t slot,
+                       serve::ShardHealth want, double timeout_s) {
+  util::Backoff poll({/*base_ms=*/2.0, /*cap_ms=*/50.0}, /*seed=*/13);
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  while (Clock::now() < deadline) {
+    if (reg->slot_health(slot) == want) return true;
+    reg->NudgeHealth();
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(poll.NextDelayMs()));
+  }
+  return reg->slot_health(slot) == want;
+}
+
+/// First route name whose primary replica is `slot` (placement is a
+/// deterministic hash, so scan until one lands there).
+std::string RouteWithPrimary(const serve::ShardedRegistry& reg, size_t slot) {
+  for (int i = 0; i < 10000; ++i) {
+    std::string name = "fault-route-" + std::to_string(i);
+    if (reg.ShardOf(name) == slot) return name;
+  }
+  return "fault-route-0";
+}
+
+struct FaultTraffic {
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  std::vector<double> ms;
+};
+
+/// Closed-loop waves of `wave` concurrent submits against one route; fires
+/// `trigger` between two submissions once `trigger_at` requests are out —
+/// i.e. with a wave of requests genuinely in flight on the wire.
+FaultTraffic DriveFaultTraffic(serve::ShardedRegistry* reg,
+                               const data::Workload& wl,
+                               const std::string& route, size_t total,
+                               size_t wave, size_t trigger_at,
+                               const std::function<void()>& trigger,
+                               uint64_t seed) {
+  FaultTraffic out;
+  util::Rng rng(seed);
+  const size_t dim = wl.queries.cols();
+  const int64_t max_qi = int64_t(wl.queries.rows()) - 1;
+  bool fired = false;
+  size_t sent = 0;
+  while (sent < total) {
+    std::vector<std::pair<std::future<serve::EstimateResponse>,
+                          Clock::time_point>>
+        batch;
+    for (size_t i = 0; i < wave && sent < total; ++i, ++sent) {
+      if (!fired && trigger && sent >= trigger_at) {
+        trigger();
+        fired = true;
+      }
+      size_t qi = size_t(rng.UniformInt(0, max_qi));
+      float thr = wl.tmax * float(rng.UniformInt(1, 16)) / 16.0f;
+      batch.emplace_back(
+          reg->Submit(serve::EstimateRequest::Point(wl.queries.row(qi), dim,
+                                                    thr, route)),
+          Clock::now());
+    }
+    for (auto& [fut, t0] : batch) {
+      try {
+        fut.get();
+        ++out.ok;
+        out.ms.push_back(std::chrono::duration<double, std::milli>(
+                             Clock::now() - t0)
+                             .count());
+      } catch (const std::exception&) {
+        ++out.failed;
+      }
+    }
+  }
+  if (!fired && trigger) trigger();
+  return out;
+}
+
+Report RunFault(const ScenarioContext& ctx) {
+  bench::PrintBanner(
+      "scenario: fault (kill -9 / SIGSTOP / blackhole / rejoin, R=2)");
+  Report rep;
+  const data::Workload& wl = *ctx.wl;
+  const size_t dim = ctx.db->dim();
+
+  NodeProc node_a = SpawnNode(dim, 0, 0);
+  NodeProc node_b = SpawnNode(dim, 0, 1);
+  if (!node_a.ok() || !node_b.ok()) {
+    std::printf("  cannot spawn shard_node children (self exe '%s')\n",
+                SelfExe().c_str());
+    rep.AddGate("fault_fleet_admitted", 0.0, ">=", 1.0);
+    ReapNode(&node_a, SIGKILL);
+    ReapNode(&node_b, SIGKILL);
+    return rep;
+  }
+
+  // Fleet: 1 in-process shard + 2 shard_node processes, every route on 2
+  // replicas. Short recv timeout: the gray-shard phase pays it once per
+  // in-flight request before failover, so it IS the detection latency.
+  serve::ShardedConfig fcfg;
+  fcfg.server = BaseServerConfig(dim);
+  fcfg.num_shards = 1;
+  fcfg.threads_per_shard = 1;
+  fcfg.replication = 2;
+  fcfg.health_interval_ms = 25.0;
+  serve::RemoteShardConfig rcfg;
+  rcfg.address = "127.0.0.1";
+  rcfg.recv_timeout_ms = 300;
+  rcfg.admin_timeout_ms = 1000;
+  rcfg.port = node_a.port;
+  fcfg.remotes.push_back(rcfg);
+  rcfg.port = node_b.port;
+  fcfg.remotes.push_back(rcfg);
+  auto reg = std::make_unique<serve::ShardedRegistry>(fcfg);
+  const size_t kSlotA = 1;  // Slot 0 is the local shard.
+  const size_t kSlotB = 2;
+
+  double admitted =
+      (reg->slot_health(kSlotA) == serve::ShardHealth::kHealthy &&
+       reg->slot_health(kSlotB) == serve::ShardHealth::kHealthy)
+          ? 1.0
+          : 0.0;
+  rep.AddGate("fault_fleet_admitted", admitted, ">=", 1.0);
+  if (admitted < 1.0) {
+    std::printf("  fleet admission failed: A=%s B=%s\n",
+                serve::ShardHealthName(reg->slot_health(kSlotA)),
+                serve::ShardHealthName(reg->slot_health(kSlotB)));
+    reg.reset();
+    ReapNode(&node_a, SIGKILL);
+    ReapNode(&node_b, SIGKILL);
+    PrintGates(rep);
+    return rep;
+  }
+
+  // Victim route: primary on node A, second replica wherever the ring puts
+  // it — both stay serving, so every fault below has a live fallback.
+  const std::string route = RouteWithPrimary(*reg, kSlotA);
+  reg->Publish(route, ctx.model);
+
+  // Reference answers from the healthy fleet (wire floats round-trip
+  // shortest-form, so these are exact bits, not approximations).
+  const size_t kProbes = 10;
+  std::vector<serve::EstimateRequest> probes;
+  std::vector<float> reference;
+  for (size_t i = 0; i < kProbes; ++i) {
+    size_t qi = i % size_t(wl.queries.rows());
+    float thr = wl.tmax * float(i % 8 + 1) / 8.0f;
+    probes.push_back(
+        serve::EstimateRequest::Point(wl.queries.row(qi), dim, thr, route));
+  }
+  bool reference_ok = true;
+  for (const auto& p : probes) {
+    try {
+      reference.push_back(reg->Submit(p).get().estimates.at(0));
+    } catch (const std::exception& e) {
+      std::printf("  reference probe failed: %s\n", e.what());
+      reference_ok = false;
+      break;
+    }
+  }
+  rep.AddGate("fault_reference_served", reference_ok ? 1.0 : 0.0, ">=", 1.0);
+
+  const size_t kill_total = ctx.smoke ? 160 : 320;
+  const size_t gray_total = ctx.smoke ? 48 : 96;
+  const size_t base_total = ctx.smoke ? 80 : 160;
+
+  // Healthy baseline for the failover-latency ratio gate.
+  FaultTraffic baseline = DriveFaultTraffic(reg.get(), wl, route, base_total,
+                                            8, 0, nullptr, /*seed=*/83);
+  double base_p99 = Percentile(baseline.ms, 0.99);
+
+  // --- Phase 1: SIGSTOP gray shard. The process is alive and its TCP stack
+  // answers SYNs, so only the recv-timeout path can catch it: each in-flight
+  // request waits out recv_timeout_ms, fails over, and the first failure
+  // marks the slot suspect so later waves route around it.
+  FaultTraffic gray = DriveFaultTraffic(
+      reg.get(), wl, route, gray_total, 6, 6,
+      [&] { ::kill(node_a.pid, SIGSTOP); }, /*seed=*/89);
+  ::kill(node_a.pid, SIGCONT);
+  bool gray_readmitted =
+      WaitForSlotHealth(reg.get(), kSlotA, serve::ShardHealth::kHealthy, 15.0);
+  std::printf(
+      "  gray: %llu ok, %llu failed | slot A %s after SIGCONT\n",
+      (unsigned long long)gray.ok, (unsigned long long)gray.failed,
+      serve::ShardHealthName(reg->slot_health(kSlotA)));
+
+  // --- Phase 2: kill -9 the primary mid-traffic. The acceptance criterion:
+  // with R=2 not one client query may fail — the RST fails in-flight
+  // requests over to the surviving replica.
+  FaultTraffic kill9 = DriveFaultTraffic(
+      reg.get(), wl, route, kill_total, 8, kill_total / 3,
+      [&] { ReapNode(&node_a, SIGKILL); }, /*seed=*/97);
+  double kill9_p99 = Percentile(kill9.ms, 0.99);
+  std::printf("  kill9: %llu ok, %llu failed | p99 %.3f ms (baseline %.3f)\n",
+              (unsigned long long)kill9.ok, (unsigned long long)kill9.failed,
+              kill9_p99, base_p99);
+
+  // --- Phase 3: crash-then-rejoin. The reborn process binds the SAME port
+  // with an EMPTY registry; re-admission must re-publish from the retained
+  // bytes before traffic resumes, then serve bit-identical answers.
+  NodeProc reborn = SpawnNode(dim, node_a.port, 2);
+  bool rejoined =
+      reborn.ok() &&
+      WaitForSlotHealth(reg.get(), kSlotA, serve::ShardHealth::kHealthy, 15.0);
+  size_t identical = 0;
+  if (rejoined) {
+    serve::NetClient direct;
+    if (direct.Connect("127.0.0.1", reborn.port).ok()) {
+      direct.set_recv_timeout_ms(2000);
+      for (size_t i = 0; i < probes.size() && i < reference.size(); ++i) {
+        util::Result<serve::EstimateResponse> resp =
+            direct.Roundtrip(probes[i]);
+        if (resp.ok() && resp.ValueOrDie().estimates.size() == 1 &&
+            resp.ValueOrDie().estimates[0] == reference[i]) {
+          ++identical;
+        }
+      }
+      direct.Close();
+    }
+  }
+  double rejoin_identical =
+      (reference_ok && identical == reference.size()) ? 1.0 : 0.0;
+  std::printf("  rejoin: %s | %zu/%zu probes bit-identical\n",
+              rejoined ? "healthy" : "NOT healthy", identical,
+              reference.size());
+
+  reg->Drain();
+  reg.reset();
+  ReapNode(&reborn, SIGTERM);
+  ReapNode(&node_b, SIGTERM);
+
+  // --- Phase 4: connection blackhole. A bound listener that never accepts:
+  // connect() succeeds against the kernel backlog, then nothing ever
+  // answers. The admission probe must classify the endpoint dead (it never
+  // acks) and traffic must flow through the healthy replica untouched.
+  util::TcpListener hole;
+  util::Status hole_st = hole.Listen("127.0.0.1", 0);
+  FaultTraffic dark;
+  double hole_not_healthy = 0.0;
+  double dark_p99 = 0.0;
+  if (hole_st.ok()) {
+    serve::ShardedConfig bcfg;
+    bcfg.server = BaseServerConfig(dim);
+    bcfg.num_shards = 1;
+    bcfg.threads_per_shard = 1;
+    bcfg.replication = 2;
+    bcfg.health_interval_ms = 50.0;
+    serve::RemoteShardConfig hcfg;
+    hcfg.address = "127.0.0.1";
+    hcfg.port = hole.port();
+    hcfg.recv_timeout_ms = 200;
+    hcfg.admin_timeout_ms = 250;
+    bcfg.remotes.push_back(hcfg);
+    serve::ShardedRegistry dark_reg(bcfg);
+    std::string dark_route = RouteWithPrimary(dark_reg, 1);
+    dark_reg.Publish(dark_route, ctx.model);
+    dark = DriveFaultTraffic(&dark_reg, wl, dark_route,
+                             ctx.smoke ? 40 : 80, 8, 0, nullptr, /*seed=*/101);
+    dark_p99 = Percentile(dark.ms, 0.99);
+    hole_not_healthy =
+        dark_reg.slot_health(1) != serve::ShardHealth::kHealthy ? 1.0 : 0.0;
+    dark_reg.Drain();
+  } else {
+    std::printf("  blackhole listener unavailable: %s\n",
+                hole_st.ToString().c_str());
+  }
+  std::printf(
+      "  blackhole: %llu ok, %llu failed | p99 %.3f ms | hole slot %s\n",
+      (unsigned long long)dark.ok, (unsigned long long)dark.failed, dark_p99,
+      hole_not_healthy > 0 ? "quarantined" : "NOT quarantined");
+
+  rep.AddGate("fault_gray_failed_queries", double(gray.failed), "<=", 0.0);
+  rep.AddGate("fault_gray_readmitted", gray_readmitted ? 1.0 : 0.0, ">=", 1.0);
+  rep.AddGate("fault_kill9_failed_queries", double(kill9.failed), "<=", 0.0);
+  rep.AddGate("fault_rejoin_healthy", rejoined ? 1.0 : 0.0, ">=", 1.0);
+  rep.AddGate("fault_rejoin_bit_identical", rejoin_identical, ">=", 1.0);
+  rep.AddGate("fault_blackhole_failed_queries", double(dark.failed), "<=",
+              0.0);
+  rep.AddGate("fault_blackhole_quarantined", hole_not_healthy, ">=", 1.0);
+  // The failover tail vs the healthy baseline needs the local shard pool,
+  // the RemoteShard readers and the child processes actually in parallel;
+  // on one core the ratio measures timeslicing, not failover.
+  const bool multi_core = ctx.cores >= 2;
+  double p99_ratio = kill9_p99 / std::max(base_p99, 1.0);
+  rep.AddGate("fault_kill9_p99_vs_baseline", p99_ratio, "<=", 5.0, multi_core,
+              "needs >= 2 cores to run fleet and driver in parallel; " +
+                  std::to_string(ctx.cores) + " core(s) present");
+
+  rep.AddMetric("fault_baseline_p99_ms", base_p99);
+  rep.AddMetric("fault_kill9_p99_ms", kill9_p99);
+  rep.AddMetric("fault_kill9_ok", double(kill9.ok));
+  rep.AddMetric("fault_gray_ok", double(gray.ok));
+  rep.AddMetric("fault_blackhole_ok", double(dark.ok));
+  rep.AddMetric("fault_blackhole_p99_ms", dark_p99);
+  rep.AddMetric("fault_rejoin_probes_identical", double(identical));
+  PrintGates(rep);
+  return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden re-exec hook: `scenarios --shard-node-child PORT_FILE PORT DIM`
+  // becomes a real shard_node process — the fault scenario's children.
+  if (argc >= 5 && std::strcmp(argv[1], "--shard-node-child") == 0) {
+    serve::ShardNodeProcessOptions opts;
+    opts.port_file = argv[2];
+    opts.port = uint16_t(std::atoi(argv[3]));
+    opts.dim = size_t(std::atoi(argv[4]));
+    opts.threads = 1;
+    return serve::RunShardNodeProcess(opts);
+  }
   std::string json_path;
   bool smoke = false;
   std::vector<std::string> selected;
@@ -885,9 +1284,12 @@ int main(int argc, char** argv) {
       rep = RunDrift(ctx);
     } else if (name == "churn") {
       rep = RunChurn(ctx);
+    } else if (name == "fault") {
+      rep = RunFault(ctx);
     } else {
-      std::printf("unknown scenario: %s (have burst, skew, drift, churn)\n",
-                  name.c_str());
+      std::printf(
+          "unknown scenario: %s (have burst, skew, drift, churn, fault)\n",
+          name.c_str());
       return 2;
     }
     all.gates.insert(all.gates.end(), rep.gates.begin(), rep.gates.end());

@@ -6,6 +6,7 @@
 ///   ./examples/serve_demo                  # in-process walkthrough (below)
 ///   ./examples/serve_demo server [port]    # sharded fleet + TCP frontend
 ///   ./examples/serve_demo client <port> [host]   # wire client
+///   ./examples/serve_demo shard_node <port> [dim]  # one remote fleet shard
 ///
 /// The flow mirrors a production deployment: an offline training job writes a
 /// SaveModel file; the server publishes it into its ModelRegistry; clients
@@ -21,6 +22,13 @@
 /// Run `client` from a second terminal — it sends a scalar request and a
 /// threshold sweep over the wire and prints both. Ctrl-C (or 60s idle)
 /// drains the server gracefully.
+///
+/// `shard_node` mode runs ONE remote fleet shard: a full serving stack
+/// behind a frontend, started empty — a ShardedRegistry configured with this
+/// endpoint in `ShardedConfig::remotes` pushes model state to it over the
+/// checksummed state-transfer protocol and routes estimates to it through
+/// the replication/failover machinery (see src/serve/README.md, "Fleet").
+/// SIGTERM/Ctrl-C drains it; kill -9 it to watch the fleet fail over.
 
 #include <atomic>
 #include <cstdio>
@@ -44,6 +52,7 @@
 #include "data/workload.h"
 #include "serve/frontend.h"
 #include "serve/server.h"
+#include "serve/shard_node.h"
 #include "serve/shard_router.h"
 #include "serve/update_pipeline.h"
 #include "util/rng.h"
@@ -203,6 +212,16 @@ int RunClient(const std::string& host, uint16_t port) {
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "server") == 0) {
     return RunServer(argc >= 3 ? uint16_t(std::atoi(argv[2])) : 7979);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "shard_node") == 0) {
+    if (argc < 3) {
+      std::printf("usage: serve_demo shard_node <port> [dim]\n");
+      return 2;
+    }
+    serve::ShardNodeProcessOptions opts;
+    opts.port = uint16_t(std::atoi(argv[2]));
+    opts.dim = argc >= 4 ? size_t(std::atoi(argv[3])) : 16;
+    return serve::RunShardNodeProcess(opts);
   }
   if (argc >= 2 && std::strcmp(argv[1], "client") == 0) {
     if (argc < 3) {

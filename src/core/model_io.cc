@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "nn/serialize.h"
@@ -14,7 +15,9 @@ using util::Status;
 namespace {
 
 constexpr char kMagic[4] = {'S', 'E', 'L', 'M'};
-constexpr uint32_t kVersion = 1;
+/// v1: no checksums. v2: per-parameter CRC-32 (see nn/serialize.h).
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -87,62 +90,90 @@ const char* ReadConfig(std::FILE* f, SelNetConfig* cfg) {
   return nullptr;
 }
 
-}  // namespace
-
-Status SaveModel(const SelNetCt& model, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open for write: " + path);
-  if (std::fwrite(kMagic, 1, 4, f.get()) != 4 ||
-      !WriteScalar(f.get(), kVersion) || !WriteConfig(f.get(), model.config())) {
+Status SaveModelToFile(const SelNetCt& model, std::FILE* f,
+                       const std::string& path) {
+  if (std::fwrite(kMagic, 1, 4, f) != 4 || !WriteScalar(f, kVersion) ||
+      !WriteConfig(f, model.config())) {
     return Status::IOError("short write: " + path);
   }
-  std::vector<ag::Var> params = model.Params();
-  if (!WriteScalar<uint64_t>(f.get(), params.size())) {
-    return Status::IOError("short write: " + path);
-  }
-  for (const auto& p : params) {
-    if (!WriteScalar<uint64_t>(f.get(), p->value.rows()) ||
-        !WriteScalar<uint64_t>(f.get(), p->value.cols())) {
-      return Status::IOError("short write: " + path);
-    }
-    size_t n = p->value.size();
-    if (n > 0 && std::fwrite(p->value.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IOError("short write: " + path);
-    }
-  }
-  return Status::OK();
+  return nn::WriteParamsPayload(f, model.Params(), path);
 }
 
-Result<std::unique_ptr<SelNetCt>> LoadModel(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IOError("cannot open for read: " + path);
+Result<std::unique_ptr<SelNetCt>> LoadModelFromFile(std::FILE* f,
+                                                    const std::string& path) {
   char magic[4];
   uint32_t version = 0;
-  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+  if (std::fread(magic, 1, 4, f) != 4 ||
       std::memcmp(magic, kMagic, 4) != 0) {
     return Status::Invalid("model file '" + path +
                            "': bad magic (not a SaveModel file)");
   }
-  if (!ReadScalar(f.get(), &version)) {
+  if (!ReadScalar(f, &version)) {
     return Status::IOError("model file '" + path +
                            "': truncated before version field");
   }
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::Invalid("model file '" + path + "': unsupported version " +
                            std::to_string(version) + " (expected " +
+                           std::to_string(kMinVersion) + ".." +
                            std::to_string(kVersion) + ")");
   }
   SelNetConfig cfg;
-  if (const char* field = ReadConfig(f.get(), &cfg)) {
+  if (const char* field = ReadConfig(f, &cfg)) {
     return Status::IOError("model file '" + path +
                            "': truncated config (failed reading field '" +
                            field + "')");
   }
   auto model = std::make_unique<SelNetCt>(cfg);
-  SEL_RETURN_NOT_OK(
-      nn::ReadParamsPayload(f.get(), model->Params(), "model file", path));
+  SEL_RETURN_NOT_OK(nn::ReadParamsPayload(f, model->Params(), "model file",
+                                          path,
+                                          /*checksummed=*/version >= 2));
   model->InvalidateInferenceCache();  // Params were overwritten wholesale.
   return model;
+}
+
+}  // namespace
+
+Status SaveModel(const SelNetCt& model, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  return SaveModelToFile(model, f.get(), path);
+}
+
+Result<std::unique_ptr<SelNetCt>> LoadModel(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  return LoadModelFromFile(f.get(), path);
+}
+
+Result<std::string> SaveModelBytes(const SelNetCt& model) {
+  char* buf = nullptr;
+  size_t len = 0;
+  std::FILE* f = ::open_memstream(&buf, &len);
+  if (f == nullptr) return Status::IOError("open_memstream failed");
+  Status st = SaveModelToFile(model, f, "<memory>");
+  std::fclose(f);  // Flushes buf/len.
+  std::string bytes;
+  if (buf != nullptr) {
+    if (st.ok()) bytes.assign(buf, len);
+    ::free(buf);
+  }
+  SEL_RETURN_NOT_OK(st);
+  return bytes;
+}
+
+Result<std::unique_ptr<SelNetCt>> LoadModelBytes(const std::string& bytes,
+                                                 const std::string& origin) {
+  // fmemopen in "rb" mode never writes through the pointer; the const_cast
+  // only satisfies its C signature.
+  std::FILE* f = ::fmemopen(const_cast<char*>(bytes.data()), bytes.size(),
+                            "rb");
+  if (f == nullptr) {
+    return Status::IOError("fmemopen failed for " + origin + " (" +
+                           std::to_string(bytes.size()) + " bytes)");
+  }
+  FilePtr closer(f);
+  return LoadModelFromFile(f, origin);
 }
 
 }  // namespace selnet::core

@@ -5,13 +5,18 @@
 #include <cstring>
 #include <memory>
 
+#include "util/crc32.h"
+
 namespace selnet::nn {
 
 using util::Status;
 
 namespace {
 constexpr char kMagic[4] = {'S', 'E', 'L', 'N'};
-constexpr uint32_t kVersion = 1;
+/// v1: no checksums. v2: each parameter is followed by a CRC-32 of its
+/// header + data. Writers emit v2; readers accept both.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -19,6 +24,16 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// CRC over one parameter's wire image: rows, cols, then the float data —
+/// so a corrupted *header* (wrong shape leading the reader astray) is caught
+/// by the same check as corrupted values.
+uint32_t ParamCrc(uint64_t rows, uint64_t cols, const float* data, size_t n) {
+  uint32_t crc = util::Crc32(&rows, sizeof(rows));
+  crc = util::Crc32(&cols, sizeof(cols), crc);
+  return util::Crc32(data, n * sizeof(float), crc);
+}
+
 }  // namespace
 
 Status SaveParams(const std::vector<ag::Var>& params, const std::string& path) {
@@ -28,15 +43,26 @@ Status SaveParams(const std::vector<ag::Var>& params, const std::string& path) {
     return Status::IOError("short write: " + path);
   }
   uint32_t version = kVersion;
+  if (std::fwrite(&version, sizeof(version), 1, f.get()) != 1) {
+    return Status::IOError("short write: " + path);
+  }
+  return WriteParamsPayload(f.get(), params, path);
+}
+
+Status WriteParamsPayload(std::FILE* f, const std::vector<ag::Var>& params,
+                          const std::string& path) {
   uint64_t count = params.size();
-  std::fwrite(&version, sizeof(version), 1, f.get());
-  std::fwrite(&count, sizeof(count), 1, f.get());
+  if (std::fwrite(&count, sizeof(count), 1, f) != 1) {
+    return Status::IOError("short write: " + path);
+  }
   for (const auto& p : params) {
     uint64_t rows = p->value.rows(), cols = p->value.cols();
-    std::fwrite(&rows, sizeof(rows), 1, f.get());
-    std::fwrite(&cols, sizeof(cols), 1, f.get());
     size_t n = p->value.size();
-    if (n > 0 && std::fwrite(p->value.data(), sizeof(float), n, f.get()) != n) {
+    uint32_t crc = ParamCrc(rows, cols, p->value.data(), n);
+    if (std::fwrite(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fwrite(&cols, sizeof(cols), 1, f) != 1 ||
+        (n > 0 && std::fwrite(p->value.data(), sizeof(float), n, f) != n) ||
+        std::fwrite(&crc, sizeof(crc), 1, f) != 1) {
       return Status::IOError("short write: " + path);
     }
   }
@@ -57,16 +83,19 @@ Status LoadParams(const std::string& path, const std::vector<ag::Var>& params) {
     return Status::IOError("params file '" + path +
                            "': truncated before version field");
   }
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::Invalid("params file '" + path + "': unsupported version " +
                            std::to_string(version) + " (expected " +
+                           std::to_string(kMinVersion) + ".." +
                            std::to_string(kVersion) + ")");
   }
-  return ReadParamsPayload(f.get(), params, "params file", path);
+  return ReadParamsPayload(f.get(), params, "params file", path,
+                           /*checksummed=*/version >= 2);
 }
 
 Status ReadParamsPayload(std::FILE* f, const std::vector<ag::Var>& params,
-                         const char* file_kind, const std::string& path) {
+                         const char* file_kind, const std::string& path,
+                         bool checksummed) {
   std::string where = std::string(file_kind) + " '" + path + "'";
   uint64_t count = 0;
   if (std::fread(&count, sizeof(count), 1, f) != 1) {
@@ -79,6 +108,7 @@ Status ReadParamsPayload(std::FILE* f, const std::vector<ag::Var>& params,
   }
   for (size_t i = 0; i < params.size(); ++i) {
     const auto& p = params[i];
+    long start = std::ftell(f);  // Where this parameter's record begins.
     uint64_t rows = 0, cols = 0;
     if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
         std::fread(&cols, sizeof(cols), 1, f) != 1) {
@@ -98,6 +128,21 @@ Status ReadParamsPayload(std::FILE* f, const std::vector<ag::Var>& params,
       return Status::IOError(where + ": truncated data of parameter " +
                              std::to_string(i) + " (expected " +
                              std::to_string(n) + " floats)");
+    }
+    if (checksummed) {
+      uint32_t stored = 0;
+      if (std::fread(&stored, sizeof(stored), 1, f) != 1) {
+        return Status::IOError(where + ": truncated checksum of parameter " +
+                               std::to_string(i));
+      }
+      uint32_t computed = ParamCrc(rows, cols, p->value.data(), n);
+      if (stored != computed) {
+        return Status::IOError(
+            where + ": checksum mismatch for parameter " + std::to_string(i) +
+            " at byte offset " + std::to_string(start) +
+            " (stored crc32 " + std::to_string(stored) + ", computed " +
+            std::to_string(computed) + ") — the file is corrupt");
+      }
     }
     // Values were overwritten wholesale; any cached packed panels are stale.
     // (Callers still invalidate their fold caches — core::LoadModel does.)

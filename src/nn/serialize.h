@@ -11,27 +11,44 @@
 /// \brief Binary (de)serialization of parameter lists.
 ///
 /// Format: magic "SELN", u32 version, u64 count, then per matrix
-/// u64 rows, u64 cols, rows*cols little-endian floats. Model classes persist
-/// their `Params()` vectors in declaration order.
+/// u64 rows, u64 cols, rows*cols little-endian floats, and (since v2) a u32
+/// CRC-32 of that parameter's header + data. Model classes persist their
+/// `Params()` vectors in declaration order.
+///
+/// The per-parameter checksum (rather than one whole-file digest) is what
+/// makes corruption *diagnosable*: a flipped bit fails with the parameter
+/// index and the byte offset where the damage sits, not just "file bad".
+/// Version 1 files (no checksums) still load.
 
 namespace selnet::nn {
 
-/// \brief Write `params` values to `path`.
+/// \brief Write `params` values to `path` (current version, checksummed).
 util::Status SaveParams(const std::vector<ag::Var>& params,
                         const std::string& path);
 
 /// \brief Read values from `path` into `params` (shapes must match exactly).
+/// On any non-OK return the parameter values are unspecified — callers must
+/// discard the model rather than serve it (core::LoadModel does).
 util::Status LoadParams(const std::string& path,
                         const std::vector<ag::Var>& params);
 
-/// \brief Read a count-prefixed parameter payload (u64 count, then per
-/// parameter u64 rows, u64 cols, float data) from an open file into
-/// `params`, validating count and shapes. Shared by LoadParams and
+/// \brief Write a count-prefixed checksummed parameter payload (u64 count,
+/// then per parameter u64 rows, u64 cols, float data, u32 CRC-32) to an open
+/// file. Shared by SaveParams and core::SaveModel.
+util::Status WriteParamsPayload(std::FILE* f,
+                                const std::vector<ag::Var>& params,
+                                const std::string& path);
+
+/// \brief Read a count-prefixed parameter payload from an open file into
+/// `params`, validating count, shapes, and (when `checksummed`, i.e. the
+/// enclosing file is v2+) each parameter's CRC-32. Shared by LoadParams and
 /// core::LoadModel; `file_kind` ("params file", "model file") prefixes the
-/// error messages, which name `path`, the failing parameter index, and the
-/// expected-vs-found shapes.
+/// error messages, which name `path`, the failing parameter index, the
+/// expected-vs-found shapes, and — for checksum failures — the byte offset
+/// where the corrupt parameter starts.
 util::Status ReadParamsPayload(std::FILE* f,
                                const std::vector<ag::Var>& params,
-                               const char* file_kind, const std::string& path);
+                               const char* file_kind, const std::string& path,
+                               bool checksummed);
 
 }  // namespace selnet::nn

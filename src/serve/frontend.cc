@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "serve/admission.h"
+#include "serve/state_transfer.h"
 #include "serve/wire.h"
+#include "util/base64.h"
 #include "util/logging.h"
 
 namespace selnet::serve {
@@ -46,6 +48,11 @@ struct NetFrontend::Conn {
   bool orderly = false;   ///< Finished cleanly (EOF / server-initiated close),
                           ///  not a peer reset — keeps the dropped counter
                           ///  meaning what it says.
+
+  /// In-progress state transfer on this connection (loop-thread only, like
+  /// rbuf). Dies with the connection: a sender that vanishes mid-transfer
+  /// leaks nothing and publishes nothing.
+  TransferAssembler xfer;
 };
 
 namespace {
@@ -60,6 +67,9 @@ NetFrontend::Backend ServerBackend(SelNetServer* server) {
   };
   b.snapshot = [server] { return server->stats().Snapshot(); };
   b.slow = [server] { return server->stats().SlowSpans(); };
+  b.install = [server](const std::string& model, const std::string& bytes) {
+    return server->PublishFromBytes(model, bytes, "state transfer");
+  };
   b.trace_sample_every = server->config().trace_sample_every;
   return b;
 }
@@ -71,6 +81,9 @@ NetFrontend::Backend RegistryBackend(ShardedRegistry* registry) {
   };
   b.snapshot = [registry] { return registry->AggregateSnapshot(); };
   b.slow = [registry] { return registry->SlowSpans(); };
+  b.install = [registry](const std::string& model, const std::string& bytes) {
+    return registry->PublishFromBytes(model, bytes, "state transfer");
+  };
   b.trace_sample_every = registry->config().server.trace_sample_every;
   return b;
 }
@@ -203,6 +216,17 @@ void NetFrontend::HandleAdmin(const std::shared_ptr<Conn>& conn,
       if (admin.tag != 0) w.Field("tag", admin.tag);
       reply = w.Finish();
     }
+  } else if (admin.cmd == "health") {
+    // Liveness probe for failover layers: answered on the loop thread, so a
+    // healthy-but-busy backend still acks (gray shards are detected by DATA
+    // timeouts, not by this).
+    JsonWriter w;
+    w.Field("ok", true);
+    if (admin.tag != 0) w.Field("tag", admin.tag);
+    reply = w.Finish();
+  } else if (admin.cmd == "xfer_begin" || admin.cmd == "xfer_frame" ||
+             admin.cmd == "xfer_commit") {
+    reply = HandleTransfer(conn, admin);
   } else {
     reply = SerializeError("wire: unknown admin cmd '" + admin.cmd + "'",
                            admin.tag);
@@ -212,6 +236,55 @@ void NetFrontend::HandleAdmin(const std::shared_ptr<Conn>& conn,
     conn->wbuf += reply;
     conn->wbuf += '\n';
   }
+}
+
+std::string NetFrontend::HandleTransfer(const std::shared_ptr<Conn>& conn,
+                                        const AdminRequest& admin) {
+  if (!backend_.install) {
+    return SerializeError("wire: backend does not accept state transfers",
+                          admin.tag);
+  }
+  Status st;
+  uint64_t version = 0;
+  bool committed = false;
+  if (admin.cmd == "xfer_begin") {
+    st = conn->xfer.Begin(admin.model, admin.size, admin.frames);
+  } else if (admin.cmd == "xfer_frame") {
+    Result<std::string> raw = util::Base64Decode(admin.data);
+    if (!raw.ok()) {
+      conn->xfer.Abort();
+      st = raw.status();
+    } else {
+      st = conn->xfer.AddFrame(admin.seq, uint32_t(admin.crc),
+                               raw.ValueOrDie());
+    }
+  } else {  // xfer_commit
+    Result<std::string> bytes =
+        conn->xfer.Commit(admin.model, uint32_t(admin.crc));
+    if (!bytes.ok()) {
+      st = bytes.status();
+    } else {
+      // Deserialize + publish on the loop thread: a model install is a
+      // publish-time event (milliseconds, not per-request), and running it
+      // here keeps the single-writer registry discipline trivially intact.
+      Result<uint64_t> v = backend_.install(admin.model, bytes.ValueOrDie());
+      if (v.ok()) {
+        version = v.ValueOrDie();
+        committed = true;
+        util::LogDebug("frontend: state transfer installed route '%s' v%llu",
+                       admin.model.c_str(),
+                       static_cast<unsigned long long>(version));
+      } else {
+        st = v.status();
+      }
+    }
+  }
+  if (!st.ok()) return SerializeError(st.message(), admin.tag);
+  JsonWriter w;
+  w.Field("ok", true);
+  if (committed) w.Field("version", version);
+  if (admin.tag != 0) w.Field("tag", admin.tag);
+  return w.Finish();
 }
 
 void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
@@ -534,7 +607,15 @@ Status NetClient::Connect(const std::string& address, uint16_t port) {
   if (!fd.ok()) return fd.status();
   fd_ = std::move(fd).ValueOrDie();
   rbuf_.clear();
+  address_ = address;
+  port_ = port;
   return Status::OK();
+}
+
+Status NetClient::Reconnect() {
+  if (port_ == 0) return Status::Internal("NetClient: never connected");
+  fd_.Close();
+  return Connect(address_, port_);
 }
 
 Status NetClient::SendRaw(const std::string& bytes) {

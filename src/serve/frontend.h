@@ -61,6 +61,8 @@
 
 namespace selnet::serve {
 
+struct AdminRequest;
+
 /// \brief Frontend policy knobs.
 struct FrontendConfig {
   std::string bind_address = "127.0.0.1";
@@ -111,6 +113,13 @@ class NetFrontend {
     SubmitFn submit;
     std::function<StatsSnapshot()> snapshot;
     std::function<std::vector<SpanRecord>()> slow;
+    /// Install a state-transferred model (the xfer_commit admin command):
+    /// deserialize SaveModel-format bytes and publish under the route,
+    /// returning the assigned version. Null = transfers are rejected (the
+    /// default for submit-only test backends).
+    std::function<util::Result<uint64_t>(const std::string& model,
+                                         const std::string& bytes)>
+        install;
     size_t trace_sample_every = 0;
   };
 
@@ -166,6 +175,10 @@ class NetFrontend {
   void SubmitLine(const std::shared_ptr<Conn>& conn, std::string line);
   /// Answer one {"cmd":...} line synchronously on the loop thread.
   void HandleAdmin(const std::shared_ptr<Conn>& conn, const std::string& line);
+  /// One xfer_* state-transfer step against this connection's assembler;
+  /// returns the reply line (ack or error).
+  std::string HandleTransfer(const std::shared_ptr<Conn>& conn,
+                             const AdminRequest& admin);
   void CloseConn(const std::shared_ptr<Conn>& conn);
   bool DrainComplete();
 
@@ -222,6 +235,13 @@ class NetClient {
   NetClient() = default;
 
   util::Status Connect(const std::string& address, uint16_t port);
+
+  /// \brief Drop the connection (if any) and dial the last Connect address
+  /// again, discarding any half-read line. kUnavailable when the peer is not
+  /// accepting (safe to retry after backoff — see util/backoff.h), kIoError
+  /// otherwise. The caller owns the retry loop and its delays.
+  util::Status Reconnect();
+
   void Close() { fd_.Close(); }
   bool connected() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
@@ -254,6 +274,8 @@ class NetClient {
   util::Fd fd_;
   std::string rbuf_;  ///< Bytes past the last consumed line.
   int recv_timeout_ms_ = 0;  ///< 0 = no receive bound.
+  std::string address_;      ///< Last Connect target, for Reconnect.
+  uint16_t port_ = 0;
 };
 
 }  // namespace selnet::serve

@@ -34,6 +34,33 @@ Result<uint64_t> ModelRegistry::PublishFromFile(const std::string& name,
   return Publish(name, std::move(model));
 }
 
+Result<uint64_t> ModelRegistry::PublishFromBytes(const std::string& name,
+                                                 const std::string& bytes,
+                                                 const std::string& origin) {
+  Result<std::unique_ptr<core::SelNetCt>> loaded =
+      core::LoadModelBytes(bytes, origin);
+  if (!loaded.ok()) return loaded.status();
+  std::shared_ptr<core::SelNetCt> model(loaded.MoveValueUnsafe());
+  model->InvalidateInferenceCache();  // Same contract as PublishFromFile.
+  return Publish(name, std::move(model));
+}
+
+Result<std::string> ModelRegistry::SnapshotBytes(const std::string& name) const {
+  Result<ModelHandle> handle = Get(name);
+  if (!handle.ok()) return handle.status();
+  // Snapshots are immutable after Publish, so reading the parameters here is
+  // safe against concurrent Predict.
+  const auto* model =
+      dynamic_cast<const core::SelNetCt*>(handle.ValueOrDie().model.get());
+  if (model == nullptr) {
+    return Status::NotImplemented(
+        "route '" + name +
+        "' serves a model without SaveModel support; it cannot replicate to "
+        "a remote shard");
+  }
+  return core::SaveModelBytes(*model);
+}
+
 Result<ModelHandle> ModelRegistry::Get(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = models_.find(name);

@@ -52,6 +52,18 @@ class ModelRegistry {
   util::Result<uint64_t> PublishFromFile(const std::string& name,
                                          const std::string& path);
 
+  /// \brief Deserialize core::SaveModel-format `bytes` (a state transfer)
+  /// and publish under `name`; `origin` names the byte source in errors.
+  util::Result<uint64_t> PublishFromBytes(const std::string& name,
+                                          const std::string& bytes,
+                                          const std::string& origin);
+
+  /// \brief Serialize the snapshot currently published under `name` to
+  /// core::SaveModel-format bytes (the state-transfer payload). NotFound if
+  /// absent; kNotImplemented when the route serves a model that has no
+  /// SaveModel support (only SelNet-ct replicates today).
+  util::Result<std::string> SnapshotBytes(const std::string& name) const;
+
   /// \brief Current snapshot for `name`, or NotFound.
   util::Result<ModelHandle> Get(const std::string& name) const;
 

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+#include "util/net.h"
+#include "util/status.h"
+
+/// \file remote_shard.h
+/// \brief Client-side proxy for one shard served by another process: the
+/// SelNetServer Submit contract spoken over a pipelined wire connection.
+///
+/// A ShardedRegistry slot can be an in-process SelNetServer or a RemoteShard
+/// pointed at a `shard_node` process — the ring routes to both through the
+/// same SubmitWith shape, so replication and failover (shard_router.h) never
+/// care where a replica actually runs.
+///
+/// Two connections, two disciplines:
+///
+///   * The DATA connection is pipelined: every SubmitWith serializes the
+///     request with an internal correlation tag, appends it to the socket,
+///     and returns; one reader thread matches response lines back to pending
+///     completions by tag. Responses may arrive out of order (the remote
+///     scheduler batches across requests) — the tag map is the order.
+///     The caller's own tag is restored before its completion fires.
+///   * The CONTROL path (PublishBytes, HealthCheck) dials a fresh blocking
+///     connection per call. Publishes are rare, and dialing doubles as the
+///     reachability probe the health loop wants anyway.
+///
+/// Failure taxonomy, delivered through the completion's exception_ptr so the
+/// replication layer can decide retry-vs-fail without string matching:
+///
+///   * RemoteError(kUnavailable) — never sent (no data connection, or the
+///     remote shed it with queue_full/priority_shed/shutdown). Always safe
+///     to retry on another replica.
+///   * RemoteError(kIoError) — the connection died with the request in
+///     flight; the remote MAY have executed it. Estimates are pure reads, so
+///     the failover layer retries these too; non-idempotent callers must not.
+///   * RemoteError(kDeadlineExceeded) — no response within
+///     `recv_timeout_ms`; the shard is gray (alive TCP-wise, not answering).
+///     The request's own deadline still has budget, so retry elsewhere.
+///   * OverloadError(kDeadlineExpired) — the REQUEST's deadline passed
+///     (locally, or shed by the remote admission controller). Matches what
+///     an in-process SelNetServer throws, so callers see one taxonomy
+///     whether the shard is local or remote. No retry can help.
+///
+/// Every accepted SubmitWith fires its completion exactly once: a timed-out
+/// entry is erased from the tag map when its error is delivered, so the late
+/// reply (if one ever arrives) finds no entry and is discarded.
+
+namespace selnet::serve {
+
+/// \brief Typed wire/transport failure, carrying the util::StatusCode the
+/// failover layer keys its retry decision on.
+class RemoteError : public std::runtime_error {
+ public:
+  RemoteError(util::StatusCode code, const std::string& msg)
+      : std::runtime_error(msg), code_(code) {}
+
+  util::StatusCode code() const { return code_; }
+
+ private:
+  util::StatusCode code_;
+};
+
+/// \brief Where the remote shard lives and how long to wait for it.
+struct RemoteShardConfig {
+  std::string address = "127.0.0.1";
+  uint16_t port = 0;
+  /// Data-path response bound per request: a submitted estimate with no
+  /// response after this long fails with RemoteError(kDeadlineExceeded)
+  /// (gray-shard detector). <= 0 disables the bound — only the request's own
+  /// deadline then applies.
+  int recv_timeout_ms = 2000;
+  /// Control-path bound (publish acks, health probes).
+  int admin_timeout_ms = 5000;
+};
+
+/// \brief One remote shard endpoint: pipelined data connection + per-call
+/// control connections, presenting the SelNetServer submit contract.
+class RemoteShard {
+ public:
+  explicit RemoteShard(const RemoteShardConfig& cfg);
+  ~RemoteShard();
+
+  RemoteShard(const RemoteShard&) = delete;
+  RemoteShard& operator=(const RemoteShard&) = delete;
+
+  const RemoteShardConfig& config() const { return cfg_; }
+
+  /// \brief "address:port", for error messages and the fleet report.
+  std::string endpoint() const;
+
+  /// \brief (Re)dial the data connection and start its reader. Any previous
+  /// connection is torn down first (its in-flight requests fail with
+  /// kIoError). kUnavailable when the peer is not accepting.
+  util::Status Connect();
+
+  /// \brief Drop the data connection; every pending completion fires with
+  /// RemoteError(kIoError). Idempotent. Control calls still work.
+  void CloseData();
+
+  /// \brief True between a successful Connect and the first transport
+  /// failure (or CloseData). A false here fails SubmitWith immediately with
+  /// kUnavailable — the failover layer owns reconnect policy.
+  bool data_up() const { return data_up_.load(std::memory_order_acquire); }
+
+  /// \brief Pipelined submit (the SelNetServer::SubmitWith contract). The
+  /// completion fires exactly once, from this thread (immediate failure) or
+  /// the reader thread (response, timeout, connection loss).
+  void SubmitWith(EstimateRequest req, SelNetServer::ResponseFn done);
+
+  /// \brief Ship SaveModel-format bytes and publish them under `name` on the
+  /// remote (state_transfer.h over a fresh control connection); returns the
+  /// version the remote registry assigned.
+  util::Result<uint64_t> PublishBytes(const std::string& name,
+                                      const std::string& bytes);
+
+  /// \brief Dial + {"cmd":"health"} round trip, bounded by admin_timeout_ms.
+  util::Status HealthCheck();
+
+  /// \brief Requests currently awaiting a response (tests, fleet report).
+  size_t pending() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    SelNetServer::ResponseFn done;
+    uint64_t caller_tag = 0;
+    /// Earliest of the request's own deadline and the recv-timeout bound
+    /// (epoch = unbounded).
+    Clock::time_point expires{};
+    /// The expiry above IS the request's deadline — deliver OverloadError,
+    /// not a retryable timeout.
+    bool expiry_is_request_deadline = false;
+  };
+
+  void ReaderLoop();
+  /// Match one response line to its pending entry and complete it.
+  void HandleLine(const std::string& line);
+  /// Fail every pending entry with RemoteError(code, msg) and mark the data
+  /// path down. Callbacks run outside the lock.
+  void FailAllPending(util::StatusCode code, const std::string& msg);
+
+  RemoteShardConfig cfg_;
+
+  mutable std::mutex mu_;  ///< pending_, next_tag_, fd_ lifecycle.
+  std::mutex write_mu_;    ///< Serializes request writes (framing).
+  util::Fd fd_;
+  std::map<uint64_t, Pending> pending_;
+  uint64_t next_tag_ = 1;  ///< Internal wire tags; 0 means "untagged" on the
+                           ///  wire, so it is never issued.
+  bool reader_stop_ = false;
+
+  std::atomic<bool> data_up_{false};
+  util::WakePipe wake_;  ///< Submit -> reader: recompute the poll deadline.
+  std::thread reader_;
+};
+
+}  // namespace selnet::serve

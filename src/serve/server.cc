@@ -138,6 +138,14 @@ Result<uint64_t> SelNetServer::PublishFromFile(const std::string& name,
   return version;
 }
 
+Result<uint64_t> SelNetServer::PublishFromBytes(const std::string& name,
+                                                const std::string& bytes,
+                                                const std::string& origin) {
+  Result<uint64_t> version = registry_.PublishFromBytes(name, bytes, origin);
+  if (version.ok()) stats_.RecordSwap();
+  return version;
+}
+
 LiveUpdatePipeline& SelNetServer::AttachUpdatePipeline(
     const UpdatePipelineConfig& cfg, const data::Database& db,
     const data::Workload& workload) {

@@ -137,6 +137,18 @@ class SelNetServer {
   util::Result<uint64_t> PublishFromFile(const std::string& name,
                                          const std::string& path);
 
+  /// \brief Deserialize SaveModel-format bytes (a state transfer) and
+  /// publish under `name`; `origin` names the byte source in errors.
+  util::Result<uint64_t> PublishFromBytes(const std::string& name,
+                                          const std::string& bytes,
+                                          const std::string& origin);
+
+  /// \brief The served snapshot of `name` as SaveModel-format bytes — the
+  /// state-transfer payload for replicating this route to a remote shard.
+  util::Result<std::string> SnapshotModelBytes(const std::string& name) const {
+    return registry_.SnapshotBytes(name);
+  }
+
   /// \brief Completion callback for SubmitWith: exactly one of the response
   /// (success) or the exception (failure) is meaningful. May be invoked from
   /// the caller's thread (cache hit, validation error, unbatched path) or a

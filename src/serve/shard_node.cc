@@ -1,0 +1,98 @@
+#include "serve/shard_node.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace selnet::serve {
+
+ShardNode::ShardNode(const ShardNodeConfig& cfg) {
+  SEL_CHECK_MSG(cfg.server.scheduler.pool == nullptr,
+                "ShardNodeConfig.server.scheduler.pool must be null: the "
+                "node owns its pool");
+  size_t threads = cfg.threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+  ServerConfig scfg = cfg.server;
+  scfg.scheduler.pool = pool_.get();
+  server_ = std::make_unique<SelNetServer>(scfg);
+  frontend_ = std::make_unique<NetFrontend>(cfg.frontend, server_.get());
+}
+
+ShardNode::~ShardNode() {
+  Stop();
+  // Frontend first (no new work), then the server (drains onto the pool),
+  // then the pool it used.
+  frontend_.reset();
+  server_.reset();
+  pool_.reset();
+}
+
+void ShardNode::Stop() {
+  if (frontend_) frontend_->Stop();
+  if (server_) server_->Drain();
+}
+
+namespace {
+
+volatile std::sig_atomic_t g_shard_node_stop = 0;
+
+void HandleStopSignal(int) { g_shard_node_stop = 1; }
+
+}  // namespace
+
+int RunShardNodeProcess(const ShardNodeProcessOptions& opts) {
+  ShardNodeConfig cfg;
+  cfg.server.dim = opts.dim;
+  cfg.frontend.bind_address = opts.bind_address;
+  cfg.frontend.port = opts.port;
+  cfg.threads = opts.threads;
+
+  ShardNode node(cfg);
+  util::Status st = node.status();
+  if (!st.ok()) {
+    std::fprintf(stderr, "shard_node: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  g_shard_node_stop = 0;
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStopSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  if (!opts.port_file.empty()) {
+    // Write-then-rename: the parent never reads a half-written port, and the
+    // file's existence itself means "bound and serving".
+    std::string tmp = opts.port_file + ".tmp";
+    FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "shard_node: cannot write %s\n", tmp.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", unsigned(node.port()));
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), opts.port_file.c_str()) != 0) {
+      std::fprintf(stderr, "shard_node: cannot rename %s\n", tmp.c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr, "shard_node: serving on %s:%u (dim=%zu)\n",
+               opts.bind_address.c_str(), unsigned(node.port()), opts.dim);
+  while (g_shard_node_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  node.Stop();
+  std::fprintf(stderr, "shard_node: stopped\n");
+  return 0;
+}
+
+}  // namespace selnet::serve

@@ -1,10 +1,15 @@
 #include "serve/shard_router.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <exception>
 #include <iterator>
 #include <thread>
 #include <utility>
 
+#include "core/model_io.h"
+#include "core/selnet_ct.h"
+#include "serve/admission.h"
 #include "serve/update_pipeline.h"
 #include "util/check.h"
 #include "util/table.h"
@@ -12,6 +17,7 @@
 namespace selnet::serve {
 
 using util::Result;
+using util::Status;
 
 // --------------------------------------------------------------- HashRing ---
 
@@ -59,11 +65,46 @@ size_t HashRing::ShardOf(const std::string& route) const {
   return it->shard;
 }
 
+std::vector<size_t> HashRing::ReplicasOf(const std::string& route,
+                                         size_t r) const {
+  r = std::min(std::max<size_t>(1, r), num_shards_);
+  std::vector<size_t> out;
+  out.reserve(r);
+  if (num_shards_ == 1 || r == 1) {
+    out.push_back(ShardOf(route));
+    return out;
+  }
+  uint64_t h = Hash(route);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), Point{h, 0});
+  // Walk clockwise collecting DISTINCT shards; the first is ShardOf by
+  // construction, so replica sets always extend the primary placement.
+  for (size_t steps = 0; steps < ring_.size() && out.size() < r; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    size_t shard = it->shard;
+    if (std::find(out.begin(), out.end(), shard) == out.end()) {
+      out.push_back(shard);
+    }
+    ++it;
+  }
+  return out;
+}
+
+const char* ShardHealthName(ShardHealth h) {
+  switch (h) {
+    case ShardHealth::kHealthy:   return "healthy";
+    case ShardHealth::kSuspect:   return "suspect";
+    case ShardHealth::kDead:      return "dead";
+    case ShardHealth::kResyncing: return "resyncing";
+  }
+  return "unknown";
+}
+
 // --------------------------------------------------------- ShardedRegistry ---
 
 ShardedRegistry::ShardedRegistry(const ShardedConfig& cfg)
-    : cfg_(cfg), ring_(std::max<size_t>(1, cfg.num_shards),
-                       cfg.virtual_nodes) {
+    : cfg_(cfg),
+      ring_(std::max<size_t>(1, cfg.num_shards) + cfg.remotes.size(),
+            cfg.virtual_nodes) {
   SEL_CHECK_MSG(cfg_.server.scheduler.pool == nullptr,
                 "ShardedConfig.server.scheduler.pool must be null: each "
                 "shard owns its pool slice");
@@ -82,9 +123,36 @@ ShardedRegistry::ShardedRegistry(const ShardedConfig& cfg)
     shard->server = std::make_unique<SelNetServer>(scfg);
     shards_.push_back(std::move(shard));
   }
+  remotes_.reserve(cfg_.remotes.size());
+  for (const RemoteShardConfig& rcfg : cfg_.remotes) {
+    auto remote = std::make_unique<Remote>();
+    remote->shard = std::make_unique<RemoteShard>(rcfg);
+    remotes_.push_back(std::move(remote));
+  }
+  // Admit reachable remotes synchronously so a fleet whose nodes are already
+  // up serves from the first request; the rest stay dead until the health
+  // loop brings them in.
+  for (size_t i = 0; i < remotes_.size(); ++i) {
+    Status st = AdmitRemote(i);
+    remotes_[i]->health.store(
+        int(st.ok() ? ShardHealth::kHealthy : ShardHealth::kDead),
+        std::memory_order_release);
+  }
+  if (!remotes_.empty()) {
+    health_ = std::thread(&ShardedRegistry::HealthLoop, this);
+  }
 }
 
 ShardedRegistry::~ShardedRegistry() {
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_stop_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_.joinable()) health_.join();
+  // Fail every remote's in-flight completions while the failover chain can
+  // still land retries on live slots.
+  for (auto& remote : remotes_) remote->shard->CloseData();
   // Servers first (each drains onto its pool), then the pools they used.
   for (auto& shard : shards_) shard->server.reset();
   for (auto& shard : shards_) shard->pool.reset();
@@ -94,9 +162,46 @@ size_t ShardedRegistry::ShardOf(const std::string& route) const {
   return ring_.ShardOf(route.empty() ? cfg_.server.model_name : route);
 }
 
+std::vector<size_t> ShardedRegistry::ReplicasOf(
+    const std::string& route) const {
+  return ring_.ReplicasOf(route.empty() ? cfg_.server.model_name : route,
+                          std::max<size_t>(1, cfg_.replication));
+}
+
 const std::string& ShardedRegistry::EffectiveRoute(
     const EstimateRequest& req) const {
   return req.model.empty() ? cfg_.server.model_name : req.model;
+}
+
+ShardHealth ShardedRegistry::slot_health(size_t slot) const {
+  if (IsLocalSlot(slot)) return ShardHealth::kHealthy;
+  return ShardHealth(remotes_[slot - shards_.size()]->health.load(
+      std::memory_order_acquire));
+}
+
+void ShardedRegistry::NudgeHealth() {
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_nudge_ = true;
+  }
+  health_cv_.notify_all();
+}
+
+void ShardedRegistry::MarkSuspect(size_t slot) {
+  if (IsLocalSlot(slot)) return;
+  Remote& remote = *remotes_[slot - shards_.size()];
+  int expected = int(ShardHealth::kHealthy);
+  if (remote.health.compare_exchange_strong(expected,
+                                            int(ShardHealth::kSuspect),
+                                            std::memory_order_acq_rel)) {
+    NudgeHealth();
+  }
+}
+
+void ShardedRegistry::StorePublishedBytes(const std::string& name,
+                                          const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  published_bytes_[name] = bytes;
 }
 
 uint64_t ShardedRegistry::Publish(std::shared_ptr<eval::Estimator> model) {
@@ -105,27 +210,308 @@ uint64_t ShardedRegistry::Publish(std::shared_ptr<eval::Estimator> model) {
 
 uint64_t ShardedRegistry::Publish(const std::string& name,
                                   std::shared_ptr<eval::Estimator> model) {
-  return shards_[ShardOf(name)]->server->Publish(name, std::move(model));
+  std::vector<size_t> replicas = ReplicasOf(name);
+  // Serialize once when the fleet has remote slots: remote replicas receive
+  // bytes over state transfer, and the SAME bytes are retained so a crashed
+  // replica can be re-synced. Models without SaveModel support (anything
+  // that is not a SelNetCt) replicate to local slots only.
+  std::string bytes;
+  bool have_bytes = false;
+  if (!remotes_.empty()) {
+    if (const auto* ct = dynamic_cast<const core::SelNetCt*>(model.get())) {
+      auto serialized = core::SaveModelBytes(*ct);
+      if (serialized.ok()) {
+        bytes = serialized.MoveValueUnsafe();
+        have_bytes = true;
+        StorePublishedBytes(name, bytes);
+      }
+    }
+  }
+  uint64_t primary_version = 0;
+  for (size_t k = 0; k < replicas.size(); ++k) {
+    size_t slot = replicas[k];
+    if (IsLocalSlot(slot)) {
+      uint64_t v = shards_[slot]->server->Publish(name, model);
+      if (k == 0) primary_version = v;
+    } else if (have_bytes) {
+      auto v = remote_shard(slot).PublishBytes(name, bytes);
+      if (!v.ok()) {
+        MarkSuspect(slot);  // The health loop re-syncs it from the bytes.
+        continue;
+      }
+      if (k == 0) primary_version = v.ValueOrDie();
+    }
+  }
+  return primary_version;
 }
 
 Result<uint64_t> ShardedRegistry::PublishFromFile(const std::string& name,
                                                   const std::string& path) {
-  return shards_[ShardOf(name)]->server->PublishFromFile(name, path);
+  if (remotes_.empty() && cfg_.replication <= 1) {
+    return shards_[ShardOf(name)]->server->PublishFromFile(name, path);
+  }
+  // Fleet mode: the file's raw bytes ARE the replication payload.
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open model file " + path);
+  }
+  std::string bytes;
+  char buf[64 << 10];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("cannot read model file " + path);
+  return PublishFromBytes(name, bytes, path);
+}
+
+Result<uint64_t> ShardedRegistry::PublishFromBytes(const std::string& name,
+                                                   const std::string& bytes,
+                                                   const std::string& origin) {
+  std::vector<size_t> replicas = ReplicasOf(name);
+  // The FIRST replica that accepts decides the call: a publish must not be
+  // blocked by one dead replica (the health loop re-syncs it from the
+  // retained bytes), but genuinely bad bytes fail on every replica and so
+  // fail the call — nothing is retained for them.
+  bool accepted = false;
+  uint64_t version = 0;
+  Status last_error = Status::Internal("no replicas");
+  for (size_t slot : replicas) {
+    Result<uint64_t> v =
+        IsLocalSlot(slot)
+            ? shards_[slot]->server->PublishFromBytes(name, bytes, origin)
+            : remote_shard(slot).PublishBytes(name, bytes);
+    if (!v.ok()) {
+      last_error = v.status();
+      MarkSuspect(slot);  // No-op for local slots.
+      continue;
+    }
+    if (!accepted) {
+      accepted = true;
+      version = v.ValueOrDie();
+      if (!remotes_.empty()) StorePublishedBytes(name, bytes);
+    }
+  }
+  if (!accepted) return last_error;
+  return version;
 }
 
 void ShardedRegistry::SubmitWith(EstimateRequest req,
                                  SelNetServer::ResponseFn done) {
-  size_t shard = ShardOf(EffectiveRoute(req));
-  shards_[shard]->server->SubmitWith(std::move(req), std::move(done));
+  std::vector<size_t> replicas = OrderedReplicas(EffectiveRoute(req));
+  if (replicas.size() == 1 && IsLocalSlot(replicas[0])) {
+    // Pre-fleet fast path: no request copy, no failover frame.
+    shards_[replicas[0]]->server->SubmitWith(std::move(req), std::move(done));
+    return;
+  }
+  auto fo = std::make_shared<Failover>();
+  fo->req = std::move(req);
+  fo->done = std::move(done);
+  fo->replicas = std::move(replicas);
+  TryReplica(fo, 0, nullptr);
+}
+
+namespace {
+
+/// Does this failure mean "another replica might answer"? Transport-level
+/// RemoteErrors only: kUnavailable (never sent), kIoError (possibly
+/// completed — estimates are pure reads, so re-asking is safe), and
+/// kDeadlineExceeded (the RECV bound, a gray shard; the request's own
+/// deadline is checked separately). Server-side verdicts (bad shape,
+/// overload sheds, unknown route) are deterministic or final — no retry.
+bool RetryableTransportError(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const RemoteError& e) {
+    switch (e.code()) {
+      case util::StatusCode::kUnavailable:
+      case util::StatusCode::kIoError:
+      case util::StatusCode::kDeadlineExceeded:
+        return true;
+      default:
+        return false;
+    }
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::vector<size_t> ShardedRegistry::OrderedReplicas(
+    const std::string& route) const {
+  std::vector<size_t> ring_order =
+      ring_.ReplicasOf(route, std::max<size_t>(1, cfg_.replication));
+  if (ring_order.size() <= 1) return ring_order;
+  std::vector<size_t> out;
+  out.reserve(ring_order.size());
+  for (size_t slot : ring_order) {
+    if (slot_health(slot) == ShardHealth::kHealthy) out.push_back(slot);
+  }
+  for (size_t slot : ring_order) {
+    if (slot_health(slot) != ShardHealth::kHealthy) out.push_back(slot);
+  }
+  return out;
+}
+
+void ShardedRegistry::SlotSubmit(size_t slot, EstimateRequest req,
+                                 SelNetServer::ResponseFn done) {
+  if (IsLocalSlot(slot)) {
+    shards_[slot]->server->SubmitWith(std::move(req), std::move(done));
+  } else {
+    remotes_[slot - shards_.size()]->shard->SubmitWith(std::move(req),
+                                                       std::move(done));
+  }
+}
+
+void ShardedRegistry::TryReplica(const std::shared_ptr<Failover>& fo,
+                                 size_t idx, std::exception_ptr last_error) {
+  if (idx >= fo->replicas.size()) {
+    EstimateResponse resp;
+    resp.tag = fo->req.tag;
+    if (!last_error) {
+      last_error = std::make_exception_ptr(RemoteError(
+          util::StatusCode::kUnavailable,
+          "route \"" + fo->req.model + "\": no replica answered"));
+    }
+    fo->done(std::move(resp), last_error);
+    return;
+  }
+  if (idx > 0 && fo->req.has_deadline() &&
+      Clock::now() >= fo->req.deadline) {
+    EstimateResponse resp;
+    resp.tag = fo->req.tag;
+    fo->done(std::move(resp),
+             std::make_exception_ptr(OverloadError(
+                 ShedReason::kDeadlineExpired,
+                 "deadline exhausted during replica failover")));
+    return;
+  }
+  size_t slot = fo->replicas[idx];
+  EstimateRequest attempt = fo->req;  // Retries need the original intact.
+  SlotSubmit(slot, std::move(attempt),
+             [this, fo, idx, slot](EstimateResponse&& resp,
+                                   std::exception_ptr error) {
+               if (error == nullptr) {
+                 fo->done(std::move(resp), nullptr);
+                 return;
+               }
+               if (RetryableTransportError(error)) {
+                 MarkSuspect(slot);
+                 TryReplica(fo, idx + 1, error);
+                 return;
+               }
+               fo->done(std::move(resp), error);
+             });
 }
 
 std::future<EstimateResponse> ShardedRegistry::Submit(EstimateRequest req) {
-  size_t shard = ShardOf(EffectiveRoute(req));
-  return shards_[shard]->server->Submit(std::move(req));
+  auto promise = std::make_shared<std::promise<EstimateResponse>>();
+  std::future<EstimateResponse> fut = promise->get_future();
+  SubmitWith(std::move(req),
+             [promise](EstimateResponse&& resp, std::exception_ptr error) {
+               if (error) {
+                 promise->set_exception(error);
+               } else {
+                 promise->set_value(std::move(resp));
+               }
+             });
+  return fut;
 }
 
 Result<float> ShardedRegistry::Estimate(const float* x, float t) {
-  return shards_[ShardOf("")]->server->Estimate(x, t);
+  size_t primary = ShardOf("");
+  if (IsLocalSlot(primary) && cfg_.replication <= 1) {
+    return shards_[primary]->server->Estimate(x, t);
+  }
+  std::future<EstimateResponse> fut =
+      Submit(EstimateRequest::Point(x, cfg_.server.dim, t));
+  try {
+    EstimateResponse resp = fut.get();
+    if (resp.estimates.empty()) {
+      return Status::Internal("empty estimate response");
+    }
+    return resp.estimates[0];
+  } catch (const RemoteError& e) {
+    return Status(e.code(), e.what());
+  } catch (const OverloadError& e) {
+    return Status::Unavailable(e.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+}
+
+void ShardedRegistry::HealthLoop() {
+  std::unique_lock<std::mutex> lock(health_mu_);
+  while (!health_stop_) {
+    health_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(
+            std::max(1.0, cfg_.health_interval_ms)),
+        [this] { return health_stop_ || health_nudge_; });
+    bool forced = health_nudge_;  // A nudge overrides per-slot backoff gates.
+    health_nudge_ = false;
+    if (health_stop_) return;
+    lock.unlock();
+    Clock::time_point now = Clock::now();
+    for (size_t i = 0; i < remotes_.size(); ++i) {
+      Remote& remote = *remotes_[i];
+      auto h = ShardHealth(remote.health.load(std::memory_order_acquire));
+      if (h == ShardHealth::kHealthy) continue;
+      if (!forced && remote.not_before != Clock::time_point{} &&
+          now < remote.not_before) {
+        continue;
+      }
+      Status st = AdmitRemote(i);
+      if (st.ok()) {
+        remote.health.store(int(ShardHealth::kHealthy),
+                            std::memory_order_release);
+        remote.backoff.Reset();
+        remote.not_before = {};
+      } else {
+        remote.health.store(int(ShardHealth::kDead),
+                            std::memory_order_release);
+        remote.not_before =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    remote.backoff.NextDelayMs()));
+      }
+    }
+    lock.lock();
+  }
+}
+
+Status ShardedRegistry::AdmitRemote(size_t i) {
+  Remote& remote = *remotes_[i];
+  RemoteShard& shard = *remote.shard;
+  // Tear down whatever data connection is left (a gray shard's connection
+  // may still be "up" TCP-wise). Safe here: this runs on the health loop or
+  // the constructor, never on the shard's own reader thread.
+  shard.CloseData();
+  SEL_RETURN_NOT_OK(shard.HealthCheck());
+  remote.health.store(int(ShardHealth::kResyncing), std::memory_order_release);
+  // Re-publish every route this slot replicates. A restarted shard_node is
+  // EMPTY — re-admitting without this would serve NotFound from a "healthy"
+  // replica. Publishing is idempotent on content (versions bump, estimates
+  // stay bit-identical), so a surviving process just gets a redundant swap.
+  size_t slot = shards_.size() + i;
+  std::vector<std::pair<std::string, std::string>> owned;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    for (const auto& [route, bytes] : published_bytes_) {
+      std::vector<size_t> replicas = ReplicasOf(route);
+      if (std::find(replicas.begin(), replicas.end(), slot) !=
+          replicas.end()) {
+        owned.emplace_back(route, bytes);
+      }
+    }
+  }
+  for (const auto& [route, bytes] : owned) {
+    auto v = shard.PublishBytes(route, bytes);
+    if (!v.ok()) return v.status();
+  }
+  return shard.Connect();
 }
 
 LiveUpdatePipeline& ShardedRegistry::AttachUpdatePipeline(
@@ -210,6 +596,20 @@ std::string ShardedRegistry::StatsReport() const {
       }
     }
     out += "\n" + routes.ToString();
+  }
+  // Fleet view: remote replicas and their failover state.
+  if (!remotes_.empty()) {
+    util::AsciiTable fleet({"slot", "endpoint", "health", "pending"});
+    for (size_t i = 0; i < remotes_.size(); ++i) {
+      const Remote& r = *remotes_[i];
+      fleet.AddRow({std::to_string(shards_.size() + i), r.shard->endpoint(),
+                    ShardHealthName(ShardHealth(
+                        r.health.load(std::memory_order_acquire))),
+                    std::to_string(r.shard->pending())});
+    }
+    out += "\nremote replicas (replication R=" +
+           std::to_string(std::max<size_t>(1, cfg_.replication)) + ")\n" +
+           fleet.ToString();
   }
   return out;
 }

@@ -1,12 +1,20 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "serve/remote_shard.h"
 #include "serve/server.h"
+#include "util/backoff.h"
 #include "util/thread_pool.h"
 
 /// \file shard_router.h
@@ -37,6 +45,28 @@
 /// Requests with an empty `model` are resolved to the configured default
 /// route BEFORE hashing, so the default route lives on one well-defined
 /// shard rather than shard 0 by accident.
+///
+/// Fleet mode (PR 8): the slot list may extend past the in-process shards
+/// with REMOTE shards — `shard_node` processes reached through RemoteShard
+/// proxies — and each route may be replicated onto `replication` distinct
+/// ring successors:
+///
+///   * Submit routes to the route's primary replica first; a transport-level
+///     failure (connection refused, connection lost mid-stream, response
+///     timeout) marks that replica suspect and retries the next replica,
+///     bounded by the request's own deadline. Estimates are pure reads, so
+///     retrying a possibly-completed request is safe by construction.
+///   * Publish fans out to every replica of the route — local replicas get
+///     the model object, remote replicas get the serialized SaveModel bytes
+///     over the state-transfer protocol — and the bytes are retained as the
+///     re-sync source of truth.
+///   * A health loop probes non-healthy remotes on a decorrelated-jitter
+///     backoff schedule (failover itself never sleeps — the next replica is
+///     a different endpoint). The failover state machine per remote is
+///     healthy -> suspect (data-path failure) -> dead (probe failed) ->
+///     resyncing (probe OK; republishing owned routes) -> healthy. A
+///     restarted `shard_node` comes back EMPTY, so re-admission always
+///     re-publishes from the retained bytes before traffic resumes.
 
 namespace selnet::serve {
 
@@ -50,6 +80,12 @@ class HashRing {
   HashRing(size_t shards, size_t virtual_nodes = 128);
 
   size_t ShardOf(const std::string& route) const;
+
+  /// \brief The `r` distinct shards serving `route`: its primary (== ShardOf)
+  /// followed by the next r-1 distinct ring successors clockwise. `r` is
+  /// clamped to [1, num_shards]. Deterministic, like ShardOf.
+  std::vector<size_t> ReplicasOf(const std::string& route, size_t r) const;
+
   size_t num_shards() const { return num_shards_; }
 
   /// \brief Stable FNV-1a 64-bit hash (NOT std::hash: placement must agree
@@ -80,7 +116,25 @@ struct ShardedConfig {
   /// Worker threads per shard pool (the shard's thread-pool slice). 0 =
   /// max(1, hardware_concurrency / num_shards).
   size_t threads_per_shard = 0;
+  /// R-way replication: each route lives on its primary slot plus the next
+  /// R-1 distinct ring successors (clamped to the slot count). 1 = the
+  /// pre-fleet behavior, byte for byte.
+  size_t replication = 1;
+  /// Remote shard endpoints (shard_node processes), appended to the slot
+  /// list AFTER the `num_shards` local slots: remote endpoint i is slot
+  /// `num_shards + i` on the ring.
+  std::vector<RemoteShardConfig> remotes;
+  /// Health-loop tick for probing non-healthy remotes (the probe schedule
+  /// itself adds decorrelated-jitter backoff per endpoint on top).
+  double health_interval_ms = 100.0;
 };
+
+/// \brief Remote-replica failover state machine (see the file comment).
+enum class ShardHealth { kHealthy, kSuspect, kDead, kResyncing };
+
+/// \brief Stable lowercase state name ("healthy", "suspect", "dead",
+/// "resyncing") for reports and tests.
+const char* ShardHealthName(ShardHealth h);
 
 /// \brief N per-shard serving stacks behind one consistent-hash router.
 ///
@@ -98,6 +152,10 @@ class ShardedRegistry {
   /// \brief The shard that owns `route` ("" = the default route).
   size_t ShardOf(const std::string& route) const;
 
+  /// \brief The route's replica slots, primary first ("" = default route);
+  /// size = min(cfg.replication, num_slots).
+  std::vector<size_t> ReplicasOf(const std::string& route) const;
+
   /// \brief Publish under the default route (on its owning shard).
   uint64_t Publish(std::shared_ptr<eval::Estimator> model);
 
@@ -109,6 +167,12 @@ class ShardedRegistry {
   /// \brief Load a core::SaveModel file and publish it under `name`.
   util::Result<uint64_t> PublishFromFile(const std::string& name,
                                          const std::string& path);
+
+  /// \brief Deserialize SaveModel-format bytes (a state transfer) and
+  /// publish under `name` on its owning shard.
+  util::Result<uint64_t> PublishFromBytes(const std::string& name,
+                                          const std::string& bytes,
+                                          const std::string& origin);
 
   /// \brief Route by EstimateRequest::model and submit to the owning shard.
   void SubmitWith(EstimateRequest req, SelNetServer::ResponseFn done);
@@ -131,8 +195,21 @@ class ShardedRegistry {
   /// \brief Block until every shard has answered everything it accepted.
   void Drain();
 
+  /// \brief LOCAL in-process shard count (the pre-fleet meaning).
   size_t num_shards() const { return shards_.size(); }
+  /// \brief Total ring slots: local shards + remote endpoints.
+  size_t num_slots() const { return shards_.size() + remotes_.size(); }
   SelNetServer& shard(size_t i) { return *shards_[i]->server; }
+  /// \brief True when `slot` is an in-process shard (always serving).
+  bool IsLocalSlot(size_t slot) const { return slot < shards_.size(); }
+  /// \brief The RemoteShard proxy behind slot `slot` (must be remote).
+  RemoteShard& remote_shard(size_t slot) {
+    return *remotes_[slot - shards_.size()]->shard;
+  }
+  /// \brief Failover state of a slot (local slots are always healthy).
+  ShardHealth slot_health(size_t slot) const;
+  /// \brief Wake the health loop now (tests; after restarting a node).
+  void NudgeHealth();
   const HashRing& ring() const { return ring_; }
   const ShardedConfig& config() const { return cfg_; }
 
@@ -150,18 +227,74 @@ class ShardedRegistry {
   std::string StatsReport() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Shard {
     std::unique_ptr<util::ThreadPool> pool;
     std::unique_ptr<SelNetServer> server;
+  };
+
+  /// One remote endpoint's proxy + failover state. `health` is the only
+  /// cross-thread field; backoff/not_before belong to the health loop.
+  struct Remote {
+    std::unique_ptr<RemoteShard> shard;
+    std::atomic<int> health{int(ShardHealth::kDead)};
+    util::Backoff backoff{{/*base_ms=*/20.0, /*cap_ms=*/2000.0}};
+    Clock::time_point not_before{};
+  };
+
+  /// In-flight failover chain for one submitted request: the request copy
+  /// (retries need the original), the ordered replica slots, the caller's
+  /// completion. Heap-shared because each attempt's callback may fire on a
+  /// pool worker, a RemoteShard reader, or the submitting thread.
+  struct Failover {
+    EstimateRequest req;
+    SelNetServer::ResponseFn done;
+    std::vector<size_t> replicas;
   };
 
   /// Resolve "" to the default route name (routing must hash the route the
   /// shard's server will actually serve under).
   const std::string& EffectiveRoute(const EstimateRequest& req) const;
 
+  /// Replicas of `route`, healthy slots first (stable: primary-first within
+  /// each class). Unhealthy slots stay in the list as last resorts — a dead
+  /// remote fails a submit in microseconds, and it may have just come back.
+  std::vector<size_t> OrderedReplicas(const std::string& route) const;
+
+  /// Submit attempt `idx` of the chain; on a retryable failure marks the
+  /// slot suspect and recurses to `idx + 1` (bounded by the request
+  /// deadline).
+  void TryReplica(const std::shared_ptr<Failover>& fo, size_t idx,
+                  std::exception_ptr last_error);
+  void SlotSubmit(size_t slot, EstimateRequest req,
+                  SelNetServer::ResponseFn done);
+  /// Data-path failure: healthy -> suspect + health-loop nudge. Never blocks
+  /// (teardown happens on the health loop — completions may be running on
+  /// the very reader thread CloseData would join).
+  void MarkSuspect(size_t slot);
+
+  void HealthLoop();
+  /// Probe + re-admit one remote: health check, re-publish every owned route
+  /// from the retained bytes, reconnect the data path.
+  util::Status AdmitRemote(size_t i);
+  /// Retain `bytes` as route's re-sync source of truth.
+  void StorePublishedBytes(const std::string& name, const std::string& bytes);
+
   ShardedConfig cfg_;
   HashRing ring_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Remote>> remotes_;
+
+  /// route -> last published SaveModel bytes; what a rejoining replica gets.
+  mutable std::mutex publish_mu_;
+  std::map<std::string, std::string> published_bytes_;
+
+  std::mutex health_mu_;
+  std::condition_variable health_cv_;
+  bool health_stop_ = false;
+  bool health_nudge_ = false;
+  std::thread health_;  ///< Running iff remotes were configured.
 };
 
 }  // namespace selnet::serve

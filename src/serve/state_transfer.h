@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file state_transfer.h
+/// \brief Framed, checksummed model-state transfer between serving processes.
+///
+/// Publishing to a remote shard ships the model itself: the EXACT bytes
+/// core::SaveModelBytes produces (the SaveModel file format, config +
+/// checksummed parameters) travel over the admin plane as a sequence of
+/// base64 frames, each carrying its own CRC-32, with a whole-payload CRC-32
+/// verified at commit. Because the wire carries the file format verbatim, a
+/// shard restored from a transfer serves BIT-IDENTICAL answers to one that
+/// loaded the same model from disk — the property the failover tests pin.
+///
+/// Wire sequence (sender -> receiver, each line acked before the next):
+///
+///   {"cmd":"xfer_begin","model":"r","size":N,"frames":K}
+///   {"cmd":"xfer_frame","seq":0,"crc":C0,"data":"<base64>"}
+///   ...
+///   {"cmd":"xfer_frame","seq":K-1,"crc":...,"data":"..."}
+///   {"cmd":"xfer_commit","model":"r","crc":W}   -> {"ok":true,"version":V}
+///
+/// Failure handling is receiver-side and per-connection: a frame whose CRC
+/// or sequence number disagrees aborts the transfer (the sender sees a typed
+/// error ack and must restart from xfer_begin); a connection that dies
+/// mid-transfer discards the partial state with it. Nothing is published
+/// until the commit's whole-payload checksum passes, so a receiver can never
+/// serve a torn model.
+
+namespace selnet::serve {
+
+class NetClient;
+
+/// \brief Frame size for SendModelState. 48 KiB of raw bytes stays — after
+/// the 4/3 base64 expansion plus JSON framing — comfortably inside the
+/// frontend's 1 MiB line cap, with room for the cap to shrink 10x before
+/// transfers notice.
+constexpr size_t kDefaultFrameBytes = 48 << 10;
+
+/// \brief One transfer frame: `data` holds RAW payload bytes (base64 only on
+/// the wire), `crc` their CRC-32.
+struct TransferFrame {
+  uint64_t seq = 0;
+  uint32_t crc = 0;
+  std::string data;
+};
+
+/// \brief Split `bytes` into checksummed frames of at most `frame_bytes`.
+std::vector<TransferFrame> BuildFrames(const std::string& bytes,
+                                       size_t frame_bytes = kDefaultFrameBytes);
+
+/// \brief Serialize the admin lines of the transfer sequence (no trailing
+/// newline; exposed for the harness's fault-injection variants).
+std::string SerializeXferBegin(const std::string& model, uint64_t size,
+                               uint64_t frames, uint64_t tag = 0);
+std::string SerializeXferFrame(const TransferFrame& frame, uint64_t tag = 0);
+std::string SerializeXferCommit(const std::string& model, uint32_t whole_crc,
+                                uint64_t tag = 0);
+
+/// \brief Receiver-side reassembly of one transfer. One instance per
+/// connection (a transfer never spans connections); not thread-safe — the
+/// frontend drives it from its loop thread only.
+class TransferAssembler {
+ public:
+  /// \brief Start a transfer (implicitly aborting any in-progress one — the
+  /// sender gave up on it, or is retrying after a failure).
+  util::Status Begin(const std::string& model, uint64_t size, uint64_t frames);
+
+  /// \brief Append frame `seq` after verifying its CRC. Frames must arrive
+  /// in order — the admin plane is a single TCP stream, so a gap means a
+  /// sender bug, not reordering. Any failure aborts the transfer.
+  util::Status AddFrame(uint64_t seq, uint32_t crc, const std::string& data);
+
+  /// \brief Verify frame count, byte count, and the whole-payload CRC, then
+  /// hand the assembled bytes out (the transfer ends either way).
+  util::Result<std::string> Commit(const std::string& model,
+                                   uint32_t whole_crc);
+
+  void Abort();
+  bool active() const { return active_; }
+  const std::string& model() const { return model_; }
+
+ private:
+  bool active_ = false;
+  std::string model_;
+  uint64_t expect_size_ = 0;
+  uint64_t expect_frames_ = 0;
+  uint64_t next_seq_ = 0;
+  std::string buf_;
+};
+
+/// \brief Sender-side driver: push `bytes` as route `model` over a connected
+/// blocking client, awaiting each ack. Returns the version the receiver
+/// published (via `*version` when non-null). A kUnavailable /kIoError status
+/// means the transfer must restart from scratch on a fresh connection.
+util::Status SendModelState(NetClient* client, const std::string& model,
+                            const std::string& bytes,
+                            uint64_t* version = nullptr,
+                            size_t frame_bytes = kDefaultFrameBytes);
+
+}  // namespace selnet::serve

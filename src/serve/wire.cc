@@ -271,12 +271,45 @@ Status ParseAdminLine(const std::string& line, AdminRequest* req) {
   SEL_RETURN_NOT_OK(ParseObject(&p, [&](const std::string& key) -> Status {
     if (key == "cmd") return p.String(&parsed.cmd);
     if (key == "tag") return p.Uint(&parsed.tag);
+    if (key == "model") return p.String(&parsed.model);
+    if (key == "data") return p.String(&parsed.data);
+    if (key == "seq") return p.Uint(&parsed.seq);
+    if (key == "crc") return p.Uint(&parsed.crc);
+    if (key == "size") return p.Uint(&parsed.size);
+    if (key == "frames") return p.Uint(&parsed.frames);
     return p.Fail("unknown admin field '" + key + "'");
   }));
   if (parsed.cmd.empty()) {
     return Status::Invalid("wire: admin request needs a \"cmd\" string");
   }
   *req = std::move(parsed);
+  return Status::OK();
+}
+
+Status ParseAckLine(const std::string& line, uint64_t* version) {
+  bool ok = false;
+  std::string error;
+  std::string code;
+  uint64_t ver = 0;
+  uint64_t tag = 0;
+  LineParser p(line);
+  SEL_RETURN_NOT_OK(ParseObject(&p, [&](const std::string& key) -> Status {
+    if (key == "ok") return p.Bool(&ok);
+    if (key == "version") return p.Uint(&ver);
+    if (key == "tag") return p.Uint(&tag);
+    if (key == "error") return p.String(&error);
+    if (key == "code") return p.String(&code);
+    return p.Fail("unknown ack field '" + key + "'");
+  }));
+  if (!error.empty()) {
+    if (code == "deadline_exceeded") return Status::DeadlineExceeded(error);
+    if (code == "queue_full" || code == "priority_shed" || code == "shutdown") {
+      return Status::Unavailable(error);
+    }
+    return Status::Internal(error);
+  }
+  if (!ok) return Status::Internal("wire: ack line without ok or error");
+  if (version != nullptr) *version = ver;
   return Status::OK();
 }
 

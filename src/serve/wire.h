@@ -40,10 +40,18 @@
 /// Admin line (client -> server), the metrics/admin plane:
 ///   {"cmd":"stats","tag":7}   -> {"stats":{...fleet StatsSnapshot...},"tag":7}
 ///   {"cmd":"slow","tag":7}    -> {"slow":[{...span...},...],"tag":7}
+///   {"cmd":"health","tag":7}  -> {"ok":true,"tag":7}
 /// `cmd` must be the FIRST field so the frontend can dispatch without
 /// attempting an estimate parse (LineLooksAdmin); unknown commands get the
 /// usual {"error":...} reply. Admin requests are answered synchronously on
 /// the frontend's poll loop — a stats scrape never queues behind estimates.
+///
+/// State transfer (see state_transfer.h) rides the admin plane as three
+/// commands, each answered with an {"ok":true,...} ack or an error:
+///   {"cmd":"xfer_begin","model":"r","size":N,"frames":K,"tag":t}
+///   {"cmd":"xfer_frame","seq":i,"crc":C,"data":"<base64>","tag":t}
+///   {"cmd":"xfer_commit","model":"r","crc":W,"tag":t}
+/// The commit ack carries the published version: {"ok":true,"version":V}.
 ///
 /// Floats travel as shortest-round-trip decimals (std::to_chars) and are
 /// parsed back with std::from_chars on the raw token, so a served estimate
@@ -61,10 +69,19 @@ namespace selnet::serve {
 /// client-safe message (no server internals) and `req` is untouched.
 util::Status ParseRequestLine(const std::string& line, EstimateRequest* req);
 
-/// \brief One metrics/admin-plane request ({"cmd":"stats"} / {"cmd":"slow"}).
+/// \brief One metrics/admin-plane request ({"cmd":"stats"} / {"cmd":"slow"} /
+/// {"cmd":"health"} / the xfer_* state-transfer family).
 struct AdminRequest {
   std::string cmd;
   uint64_t tag = 0;
+  // State-transfer fields; zero/empty except on xfer_* commands.
+  std::string model;   ///< Target route (xfer_begin / xfer_commit).
+  std::string data;    ///< Base64 frame payload (xfer_frame).
+  uint64_t seq = 0;    ///< Frame index (xfer_frame).
+  uint64_t crc = 0;    ///< Frame CRC-32 (xfer_frame) / whole-payload CRC-32
+                       ///  (xfer_commit).
+  uint64_t size = 0;   ///< Total payload bytes (xfer_begin).
+  uint64_t frames = 0; ///< Total frame count (xfer_begin).
 };
 
 /// \brief Cheap pre-dispatch: does this line open with a `"cmd"` field? Used
@@ -72,9 +89,15 @@ struct AdminRequest {
 /// paying a failed parse per estimate request.
 bool LineLooksAdmin(const std::string& line);
 
-/// \brief Parse one admin line (strict: only `cmd` and `tag` are accepted;
-/// `cmd` is required).
+/// \brief Parse one admin line (strict: only the AdminRequest fields are
+/// accepted; `cmd` is required).
 util::Status ParseAdminLine(const std::string& line, AdminRequest* req);
+
+/// \brief Parse an admin ack line. {"ok":true,...} -> OK (with `*version`
+/// filled from an optional "version" field when non-null); an {"error":...}
+/// reply maps to a typed Status exactly like ParseResponseLine; a line that
+/// is neither is kInternal.
+util::Status ParseAckLine(const std::string& line, uint64_t* version = nullptr);
 
 /// \brief Serialize a response (no trailing newline; the framing layer owns
 /// the '\n').

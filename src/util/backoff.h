@@ -1,0 +1,76 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+/// \file backoff.h
+/// \brief Decorrelated-jitter exponential backoff (the AWS architecture-blog
+/// variant): each delay is drawn uniformly from [base, prev * multiplier],
+/// capped.
+///
+/// Why decorrelated jitter and not plain exponential: when a shard process
+/// dies, every client that had requests in flight hits the retry path at the
+/// same instant. Deterministic exponential backoff keeps them synchronized —
+/// wave after wave of simultaneous reconnects (the thundering herd the
+/// backoff was supposed to prevent). Drawing each delay from a range keyed
+/// on the PREVIOUS delay decorrelates the herd within a couple of rounds
+/// while preserving the exponential envelope.
+///
+/// The generator is seeded, so tests get reproducible delay sequences:
+/// `Backoff(cfg, seed)` with a fixed seed always yields the same schedule.
+/// Callers own the sleep — the helper only computes delays — which keeps it
+/// usable from poll loops (as a timeout) as well as blocking retry loops.
+
+namespace selnet::util {
+
+/// \brief Backoff policy knobs. Defaults suit a LAN reconnect: first retry
+/// within ~5 ms, settling under the 500 ms cap after a few failures.
+struct BackoffConfig {
+  double base_ms = 5.0;    ///< Minimum (and first) delay.
+  double cap_ms = 500.0;   ///< Upper bound on any delay.
+  double multiplier = 3.0; ///< Range growth: next in [base, prev * this].
+};
+
+/// \brief One retry loop's delay schedule. Not thread-safe; make one per
+/// retrying connection/loop.
+class Backoff {
+ public:
+  explicit Backoff(const BackoffConfig& cfg = BackoffConfig(),
+                   uint64_t seed = 1)
+      : cfg_(cfg), rng_(seed), prev_ms_(cfg.base_ms) {}
+
+  /// \brief The next delay in milliseconds. First call returns base_ms
+  /// exactly (an immediate-ish first retry is almost always right — the
+  /// common failure is a refused connect that resolves on the next attempt);
+  /// subsequent calls jitter inside the growing envelope.
+  double NextDelayMs() {
+    ++attempts_;
+    if (attempts_ == 1) {
+      prev_ms_ = cfg_.base_ms;
+      return prev_ms_;
+    }
+    double hi = std::min(cfg_.cap_ms, prev_ms_ * cfg_.multiplier);
+    prev_ms_ = rng_.Uniform(cfg_.base_ms, std::max(cfg_.base_ms, hi));
+    return prev_ms_;
+  }
+
+  /// \brief Forget the failure streak (call after a success, so the next
+  /// failure starts from base again).
+  void Reset() {
+    attempts_ = 0;
+    prev_ms_ = cfg_.base_ms;
+  }
+
+  size_t attempts() const { return attempts_; }
+  const BackoffConfig& config() const { return cfg_; }
+
+ private:
+  BackoffConfig cfg_;
+  Rng rng_;
+  double prev_ms_;
+  size_t attempts_ = 0;
+};
+
+}  // namespace selnet::util

@@ -1,0 +1,86 @@
+#include "util/base64.h"
+
+#include <cstdint>
+
+namespace selnet::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Reverse alphabet: value, or -1 (invalid), or -2 ('=').
+struct DecodeTable {
+  int8_t t[256];
+  DecodeTable() {
+    for (int i = 0; i < 256; ++i) t[i] = -1;
+    for (int i = 0; i < 64; ++i) {
+      t[static_cast<unsigned char>(kAlphabet[i])] = int8_t(i);
+    }
+    t[static_cast<unsigned char>('=')] = -2;
+  }
+};
+
+}  // namespace
+
+std::string Base64Encode(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::string out;
+  out.reserve((len + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= len; i += 3) {
+    uint32_t v = uint32_t(p[i]) << 16 | uint32_t(p[i + 1]) << 8 | p[i + 2];
+    out.push_back(kAlphabet[v >> 18]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+  }
+  size_t rem = len - i;
+  if (rem == 1) {
+    uint32_t v = uint32_t(p[i]) << 16;
+    out.push_back(kAlphabet[v >> 18]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    uint32_t v = uint32_t(p[i]) << 16 | uint32_t(p[i + 1]) << 8;
+    out.push_back(kAlphabet[v >> 18]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(const std::string& s) {
+  static const DecodeTable table;
+  if (s.size() % 4 != 0) {
+    return Status::Invalid("base64: length " + std::to_string(s.size()) +
+                           " is not a multiple of 4");
+  }
+  std::string out;
+  out.reserve(s.size() / 4 * 3);
+  for (size_t i = 0; i < s.size(); i += 4) {
+    int8_t a = table.t[static_cast<unsigned char>(s[i])];
+    int8_t b = table.t[static_cast<unsigned char>(s[i + 1])];
+    int8_t c = table.t[static_cast<unsigned char>(s[i + 2])];
+    int8_t d = table.t[static_cast<unsigned char>(s[i + 3])];
+    bool last = i + 4 == s.size();
+    // Padding may only appear as the last one or two characters.
+    if (a < 0 || b < 0 || (c == -1) || (d == -1) ||
+        (c == -2 && d != -2) || ((c == -2 || d == -2) && !last)) {
+      return Status::Invalid("base64: invalid character or padding at byte " +
+                             std::to_string(i));
+    }
+    uint32_t v = uint32_t(a) << 18 | uint32_t(b) << 12;
+    out.push_back(char(v >> 16));
+    if (c == -2) continue;
+    v |= uint32_t(c) << 6;
+    out.push_back(char((v >> 8) & 0xFF));
+    if (d == -2) continue;
+    v |= uint32_t(d);
+    out.push_back(char(v & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace selnet::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+/// \file base64.h
+/// \brief Standard (RFC 4648) base64, used to embed binary model-state
+/// frames in the line-delimited JSON wire protocol. The 33% size overhead is
+/// acceptable for state transfer (a publish-time event, not per-request);
+/// inventing a binary framing layer just for it would complicate every
+/// reader of the protocol.
+
+namespace selnet::util {
+
+/// \brief Encode `len` bytes at `data` (with '=' padding).
+std::string Base64Encode(const void* data, size_t len);
+
+inline std::string Base64Encode(const std::string& s) {
+  return Base64Encode(s.data(), s.size());
+}
+
+/// \brief Decode a padded base64 string. Rejects characters outside the
+/// alphabet and misplaced padding — a corrupted frame must fail loudly here,
+/// before its CRC is even consulted.
+Result<std::string> Base64Decode(const std::string& s);
+
+}  // namespace selnet::util

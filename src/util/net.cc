@@ -122,7 +122,18 @@ Result<Fd> TcpConnect(const std::string& address, uint16_t port) {
   if (!fd.valid()) return Errno("net: socket");
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    return Errno("net: connect " + address + ":" + std::to_string(port));
+    std::string what =
+        "net: connect " + address + ":" + std::to_string(port) + ": " +
+        ::strerror(errno);
+    // A peer that is not there (yet) is kUnavailable — the request was never
+    // sent, so a failover layer may retry another replica (or the same one
+    // after backoff) with no idempotency concern. Anything else stays a
+    // generic kIoError.
+    if (errno == ECONNREFUSED || errno == EHOSTUNREACH ||
+        errno == ENETUNREACH || errno == ETIMEDOUT || errno == ECONNABORTED) {
+      return Status::Unavailable(what);
+    }
+    return Status::IOError(what);
   }
   SetNoDelay(fd.get());
   return fd;

@@ -73,7 +73,10 @@ class TcpListener {
   uint16_t port_ = 0;
 };
 
-/// \brief Blocking TCP connect to `address:port` (client side).
+/// \brief Blocking TCP connect to `address:port` (client side). A peer that
+/// is not accepting (ECONNREFUSED and friends) comes back as kUnavailable —
+/// nothing was sent, so retrying is always safe; other failures are
+/// kIoError. Failover layers key their retry policy on that distinction.
 Result<Fd> TcpConnect(const std::string& address, uint16_t port);
 
 /// \brief Read up to `len` bytes. Returns the count (0 = orderly peer close),

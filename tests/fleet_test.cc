@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_io.h"
+#include "core/selnet_ct.h"
+#include "data/synthetic.h"
+#include "serve/frontend.h"
+#include "serve/remote_shard.h"
+#include "serve/shard_node.h"
+#include "serve/shard_router.h"
+#include "serve/wire.h"
+#include "util/backoff.h"
+
+/// Fleet invariants (PR 8): R-way replication across local + remote slots,
+/// failover that loses nothing when a replica dies mid-traffic, and
+/// crash-then-rejoin re-sync that serves bit-identical answers.
+
+namespace selnet::serve {
+namespace {
+
+constexpr size_t kDim = 6;
+
+/// One tiny trained SelNet-ct, trained ONCE for the whole suite; tests share
+/// its serialized bytes (training dominates test wall-clock otherwise).
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticSpec spec;
+    spec.n = 400;
+    spec.dim = kDim;
+    db_ = new data::Database(data::GenerateMixture(spec),
+                             data::Metric::kEuclidean);
+    data::WorkloadSpec wspec;
+    wspec.num_queries = 15;
+    wspec.w = kDim;
+    wspec.max_sel_fraction = 0.2;
+    wl_ = new data::Workload(data::GenerateWorkload(*db_, wspec));
+    eval::TrainContext ctx;
+    ctx.db = db_;
+    ctx.workload = wl_;
+    ctx.epochs = 4;
+    core::SelNetConfig cfg;
+    cfg.input_dim = kDim;
+    cfg.tmax = wl_->tmax;
+    cfg.num_control = 6;
+    cfg.latent_dim = 3;
+    cfg.ae_hidden = 16;
+    cfg.tau_hidden = 20;
+    cfg.p_hidden = 24;
+    cfg.embed_h = 5;
+    cfg.ae_pretrain_epochs = 1;
+    model_ = new core::SelNetCt(cfg);
+    model_->Fit(ctx);
+    auto bytes = core::SaveModelBytes(*model_);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    bytes_ = new std::string(bytes.MoveValueUnsafe());
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete bytes_;
+    delete wl_;
+    delete db_;
+    model_ = nullptr;
+    bytes_ = nullptr;
+    wl_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static std::vector<float> Query() {
+    return std::vector<float>(wl_->queries.row(0), wl_->queries.row(0) + kDim);
+  }
+
+  static std::vector<float> SortedThresholds(size_t k) {
+    std::vector<float> ts(k);
+    for (size_t i = 0; i < k; ++i) {
+      ts[i] = wl_->tmax * float(i + 1) / float(k + 1);
+    }
+    return ts;
+  }
+
+  static ShardNodeConfig NodeConfig(uint16_t port = 0) {
+    ShardNodeConfig cfg;
+    cfg.server.dim = kDim;
+    cfg.frontend.port = port;
+    cfg.frontend.drain_timeout_s = 0.2;
+    cfg.threads = 1;
+    return cfg;
+  }
+
+  /// Registry: one local shard + one remote node, every route on both.
+  static ShardedConfig FleetConfig(uint16_t node_port) {
+    ShardedConfig cfg;
+    cfg.server.dim = kDim;
+    cfg.num_shards = 1;
+    cfg.threads_per_shard = 1;
+    cfg.replication = 2;
+    RemoteShardConfig remote;
+    remote.port = node_port;
+    remote.recv_timeout_ms = 500;
+    remote.admin_timeout_ms = 2000;
+    cfg.remotes.push_back(remote);
+    cfg.health_interval_ms = 20.0;
+    return cfg;
+  }
+
+  /// A route name whose ring primary is `slot` (deterministic hash scan).
+  static std::string RouteOwnedBy(const ShardedRegistry& reg, size_t slot) {
+    for (int i = 0; i < 100000; ++i) {
+      std::string route = "route-" + std::to_string(i);
+      if (reg.ShardOf(route) == slot) return route;
+    }
+    ADD_FAILURE() << "no route hashes to slot " << slot;
+    return "";
+  }
+
+  static bool WaitForHealth(ShardedRegistry& reg, size_t slot,
+                            ShardHealth want, double timeout_s = 10.0) {
+    util::Backoff poll({/*base_ms=*/2.0, /*cap_ms=*/50.0}, /*seed=*/5);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(timeout_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (reg.slot_health(slot) == want) return true;
+      reg.NudgeHealth();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(poll.NextDelayMs()));
+    }
+    return reg.slot_health(slot) == want;
+  }
+
+  static data::Database* db_;
+  static data::Workload* wl_;
+  static core::SelNetCt* model_;
+  static std::string* bytes_;
+};
+
+data::Database* FleetTest::db_ = nullptr;
+data::Workload* FleetTest::wl_ = nullptr;
+core::SelNetCt* FleetTest::model_ = nullptr;
+std::string* FleetTest::bytes_ = nullptr;
+
+TEST(HashRingReplicas, DistinctPrimaryFirstAndClamped) {
+  HashRing ring(5, 64);
+  for (int i = 0; i < 50; ++i) {
+    std::string route = "model/" + std::to_string(i);
+    std::vector<size_t> reps = ring.ReplicasOf(route, 3);
+    ASSERT_EQ(reps.size(), 3u);
+    EXPECT_EQ(reps[0], ring.ShardOf(route));
+    EXPECT_NE(reps[0], reps[1]);
+    EXPECT_NE(reps[0], reps[2]);
+    EXPECT_NE(reps[1], reps[2]);
+    // Deterministic: same inputs, same placement.
+    EXPECT_EQ(reps, ring.ReplicasOf(route, 3));
+    // r=1 degenerates to the primary; r past the shard count clamps.
+    EXPECT_EQ(ring.ReplicasOf(route, 1),
+              std::vector<size_t>{ring.ShardOf(route)});
+    EXPECT_EQ(ring.ReplicasOf(route, 99).size(), 5u);
+  }
+}
+
+TEST_F(FleetTest, RemoteShardServesBitIdenticalSweeps) {
+  ShardNode node(NodeConfig());
+  ASSERT_TRUE(node.status().ok()) << node.status().ToString();
+
+  // Reference: a pure-local single-shard stack serving the same bytes.
+  ShardedConfig local_cfg;
+  local_cfg.server.dim = kDim;
+  local_cfg.num_shards = 1;
+  local_cfg.threads_per_shard = 1;
+  ShardedRegistry local(local_cfg);
+  auto lv = local.PublishFromBytes("m", *bytes_, "fleet test");
+  ASSERT_TRUE(lv.ok()) << lv.status().ToString();
+
+  RemoteShardConfig rcfg;
+  rcfg.port = node.port();
+  RemoteShard remote(rcfg);
+  auto rv = remote.PublishBytes("m", *bytes_);
+  ASSERT_TRUE(rv.ok()) << rv.status().ToString();
+  ASSERT_TRUE(remote.Connect().ok());
+
+  std::vector<float> q = Query();
+  std::vector<float> ts = SortedThresholds(9);
+  EstimateRequest req = EstimateRequest::Sweep(q.data(), kDim, ts, "m");
+  req.tag = 42;
+
+  std::promise<EstimateResponse> got;
+  remote.SubmitWith(req, [&](EstimateResponse&& resp, std::exception_ptr err) {
+    if (err) {
+      got.set_exception(err);
+    } else {
+      got.set_value(std::move(resp));
+    }
+  });
+  EstimateResponse over_wire = got.get_future().get();
+  EstimateResponse in_process = local.Submit(req).get();
+
+  EXPECT_EQ(over_wire.tag, 42u);  // Internal wire tags never leak out.
+  ASSERT_EQ(over_wire.estimates.size(), ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    // Bit-identical across the wire (shortest-round-trip float encoding).
+    EXPECT_EQ(over_wire.estimates[i], in_process.estimates[i]) << i;
+    if (i > 0) {
+      EXPECT_GE(over_wire.estimates[i], over_wire.estimates[i - 1])
+          << "sweep monotonicity broken at " << i;
+    }
+  }
+  EXPECT_EQ(remote.pending(), 0u);
+}
+
+TEST_F(FleetTest, ReplicaDeathMidBatchLosesNoRequests) {
+  auto node = std::make_unique<ShardNode>(NodeConfig());
+  ASSERT_TRUE(node->status().ok());
+
+  ShardedRegistry reg(FleetConfig(node->port()));
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy));
+
+  // A route whose PRIMARY is the remote slot: its traffic rides the wire
+  // until the node dies, then must fail over to the local replica.
+  std::string route = RouteOwnedBy(reg, 1);
+  auto version = reg.PublishFromBytes(route, *bytes_, "fleet test");
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+
+  std::vector<float> q = Query();
+  std::vector<float> ts = SortedThresholds(5);
+  auto make_req = [&] {
+    EstimateRequest req = EstimateRequest::Sweep(q.data(), kDim, ts, route);
+    return req;
+  };
+
+  // Reference answer, computed before any failure.
+  EstimateResponse reference = reg.Submit(make_req()).get();
+  ASSERT_EQ(reference.estimates.size(), ts.size());
+
+  constexpr size_t kBefore = 10, kInflight = 10, kAfter = 20;
+  size_t completed = 0;
+  auto check = [&](EstimateResponse resp) {
+    ASSERT_EQ(resp.estimates.size(), ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) {
+      // Same bytes on every replica => the answer does not depend on which
+      // replica computed it.
+      EXPECT_EQ(resp.estimates[i], reference.estimates[i]);
+    }
+    ++completed;
+  };
+
+  for (size_t i = 0; i < kBefore; ++i) check(reg.Submit(make_req()).get());
+
+  // Kill the primary with a batch in flight; every future must still
+  // complete exactly once, successfully (std::promise aborts on a double
+  // set, so "exactly once" is structurally enforced).
+  std::vector<std::future<EstimateResponse>> inflight;
+  for (size_t i = 0; i < kInflight; ++i) {
+    inflight.push_back(reg.Submit(make_req()));
+  }
+  node.reset();  // Connection drops; unanswered requests surface as kIoError
+                 // inside the router and retry on the local replica.
+  for (auto& fut : inflight) check(fut.get());
+
+  for (size_t i = 0; i < kAfter; ++i) check(reg.Submit(make_req()).get());
+
+  EXPECT_EQ(completed, kBefore + kInflight + kAfter);
+  EXPECT_NE(reg.slot_health(1), ShardHealth::kHealthy)
+      << "dead replica still marked healthy";
+}
+
+TEST_F(FleetTest, CrashedReplicaRejoinsAndServesBitIdenticalAfterResync) {
+  auto node = std::make_unique<ShardNode>(NodeConfig());
+  ASSERT_TRUE(node->status().ok());
+  uint16_t port = node->port();
+
+  ShardedRegistry reg(FleetConfig(port));
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy));
+
+  // LOCAL-primary route: publishing keeps working while the remote is down
+  // (the primary answers; the dead secondary is repaired by re-sync).
+  std::string route = RouteOwnedBy(reg, 0);
+  ASSERT_TRUE(reg.PublishFromBytes(route, *bytes_, "fleet test").ok());
+
+  std::vector<float> q = Query();
+  std::vector<float> ts = SortedThresholds(7);
+  EstimateRequest req = EstimateRequest::Sweep(q.data(), kDim, ts, route);
+  EstimateResponse reference = reg.Submit(req).get();
+
+  // Crash the node, then run a publish storm while it is down: every
+  // publish must succeed (local primary) and the retained bytes stay the
+  // re-sync source of truth.
+  node.reset();
+  for (int i = 0; i < 3; ++i) {
+    auto v = reg.PublishFromBytes(route, *bytes_, "storm");
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+  }
+
+  // Restart on the same port; the health loop must probe, re-sync the
+  // route, reconnect, and mark the slot healthy again.
+  node = std::make_unique<ShardNode>(NodeConfig(port));
+  ASSERT_TRUE(node->status().ok()) << node->status().ToString();
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy))
+      << "restarted node was not re-admitted";
+
+  // Ask the REBORN node directly (bypassing the router) — after re-sync it
+  // must hold the model and answer bit-identically to the local replica.
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", node->port()).ok());
+  client.set_recv_timeout_ms(2000);
+  auto direct = client.Roundtrip(req);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_EQ(direct.ValueOrDie().estimates.size(), ts.size());
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(direct.ValueOrDie().estimates[i], reference.estimates[i]) << i;
+  }
+}
+
+TEST_F(FleetTest, HealthStateMachineAdmitsLateStartingNode) {
+  // Reserve a port, then close the listener so the registry's first probes
+  // hit connection-refused: the slot must start dead, not healthy.
+  uint16_t port = 0;
+  {
+    util::TcpListener probe;
+    ASSERT_TRUE(probe.Listen("127.0.0.1", 0).ok());
+    port = probe.port();
+  }
+
+  ShardedRegistry reg(FleetConfig(port));
+  EXPECT_NE(reg.slot_health(1), ShardHealth::kHealthy);
+
+  std::string route = RouteOwnedBy(reg, 1);  // Remote-primary route.
+  ASSERT_TRUE(reg.PublishFromBytes(route, *bytes_, "fleet test").ok())
+      << "publish must succeed through the surviving replica";
+
+  // Traffic before the node exists: served by the local replica.
+  std::vector<float> q = Query();
+  std::vector<float> ts = SortedThresholds(4);
+  EstimateRequest req = EstimateRequest::Sweep(q.data(), kDim, ts, route);
+  EstimateResponse before = reg.Submit(req).get();
+  ASSERT_EQ(before.estimates.size(), ts.size());
+
+  // Node comes up late; the health loop admits it AND ships the route's
+  // bytes before marking it healthy.
+  ShardNode node(NodeConfig(port));
+  ASSERT_TRUE(node.status().ok()) << node.status().ToString();
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy));
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", node.port()).ok());
+  client.set_recv_timeout_ms(2000);
+  auto direct = client.Roundtrip(req);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  for (size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(direct.ValueOrDie().estimates[i], before.estimates[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace selnet::serve

@@ -18,6 +18,7 @@
 #include "serve/admission.h"
 #include "serve/update_pipeline.h"
 #include "serve/wire.h"
+#include "util/backoff.h"
 #include "util/net.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -639,8 +640,10 @@ TEST_F(NetShardFixture, SweepStaysMonotoneAcrossHotSwapOnAnotherShard) {
                        model_->CloneServable());
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+  util::Backoff poll({/*base_ms=*/1.0, /*cap_ms=*/20.0}, /*seed=*/7);
   while (sweeps.load() < 10) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(poll.NextDelayMs()));
   }
   stop.store(true);
   sweeper.join();
@@ -717,8 +720,10 @@ TEST_F(NetShardFixture, NetworkStormWithLivePipelineFailsNoQuery) {
     if (pipeline.Submit(op)) ++fed;
     pipeline.Flush();
   }
+  util::Backoff poll({/*base_ms=*/1.0, /*cap_ms=*/20.0}, /*seed=*/7);
   while (answered.load() < 20 && deadline.ElapsedSeconds() < 60.0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(poll.NextDelayMs()));
   }
   stop.store(true);
   for (auto& th : clients) th.join();

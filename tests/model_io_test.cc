@@ -118,6 +118,70 @@ TEST_F(ModelIoFixture, TruncatedFileRejected) {
   std::remove(path.c_str());
 }
 
+TEST_F(ModelIoFixture, FlippedParameterByteFailsWithOffset) {
+  SelNetCt model(cfg_);
+  std::string path = ::testing::TempDir() + "/flip.selm";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  // Flip one bit near the end of the file — inside the last parameter's
+  // data or its CRC; either way the checksum check must localize it.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -6, SEEK_END), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(c ^ 0x10, f);
+  std::fclose(f);
+  auto loaded = LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("byte offset"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoFixture, ByteBufferRoundTripMatchesFileFormat) {
+  SelNetCt model(cfg_);
+  model.Fit(ctx_);
+  auto bytes = SaveModelBytes(model);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+
+  // The in-memory encoding IS the file encoding, byte for byte — the state
+  // transfer path cannot drift from what SaveModel persists.
+  std::string path = ::testing::TempDir() + "/bytes.selm";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string file_bytes(bytes.ValueOrDie().size() + 16, '\0');
+  size_t n = std::fread(&file_bytes[0], 1, file_bytes.size(), f);
+  std::fclose(f);
+  file_bytes.resize(n);
+  EXPECT_EQ(file_bytes, bytes.ValueOrDie());
+  std::remove(path.c_str());
+
+  auto restored = LoadModelBytes(bytes.ValueOrDie(), "unit test buffer");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  data::Batch b = data::MaterializeAll(wl_.queries, wl_.test);
+  Matrix ya = model.Predict(b.x, b.t);
+  Matrix yb = restored.ValueOrDie()->Predict(b.x, b.t);
+  for (size_t i = 0; i < ya.size(); ++i) {
+    // Bit-identical, not just close: failover correctness rests on this.
+    EXPECT_EQ(ya.data()[i], yb.data()[i]);
+  }
+
+  // Corrupt transfer bytes are rejected with the origin named.
+  std::string corrupt = bytes.ValueOrDie();
+  corrupt[corrupt.size() - 6] ^= 0x04;
+  auto bad = LoadModelBytes(corrupt, "unit test buffer");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("unit test buffer"),
+            std::string::npos)
+      << bad.status().ToString();
+}
+
 TEST(CsvTest, EscapesSpecialCharacters) {
   EXPECT_EQ(util::CsvWriter::Escape("plain"), "plain");
   EXPECT_EQ(util::CsvWriter::Escape("a,b"), "\"a,b\"");

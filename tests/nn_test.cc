@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 
 #include "nn/autoencoder.h"
@@ -156,6 +158,86 @@ TEST(SerializeTest, MissingFileIsIOError) {
   Mlp a({2, 2}, &rng);
   util::Status st = LoadParams("/nonexistent/dir/params.bin", a.Params());
   EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+}
+
+TEST(SerializeTest, FlippedByteFailsWithParameterAndOffset) {
+  util::Rng rng(11);
+  Mlp a({4, 6, 2}, &rng);
+  Mlp b({4, 6, 2}, &rng);
+  std::string path = ::testing::TempDir() + "/params_flip.bin";
+  ASSERT_TRUE(SaveParams(a.Params(), path).ok());
+
+  // Flip one bit inside parameter 0's float data. Layout: 4 magic + 4
+  // version + 8 count = 16, then parameter 0's record (16-byte shape header
+  // + floats + crc) starting at offset 16.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 16 + 16 + 2, SEEK_SET), 0);
+  int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+
+  util::Status st = LoadParams(path, b.Params());
+  EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+  // The error localizes the damage: path, parameter index, byte offset.
+  EXPECT_NE(st.message().find(path), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find("checksum mismatch for parameter 0"),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("byte offset 16"), std::string::npos)
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedChecksumIsIOError) {
+  util::Rng rng(12);
+  Mlp a({3, 2}, &rng);
+  std::string path = ::testing::TempDir() + "/params_trunc.bin";
+  ASSERT_TRUE(SaveParams(a.Params(), path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 2), 0);  // Clip the final CRC.
+  util::Status st = LoadParams(path, a.Params());
+  EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+  EXPECT_NE(st.message().find("truncated"), std::string::npos)
+      << st.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, Version1FilesWithoutChecksumsStillLoad) {
+  util::Rng rng(13);
+  Mlp a({4, 6, 2}, &rng);
+  Mlp b({4, 6, 2}, &rng);  // different init
+  std::string path = ::testing::TempDir() + "/params_v1.bin";
+  // Hand-write the pre-checksum v1 format.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("SELN", 1, 4, f);
+  uint32_t version = 1;
+  std::fwrite(&version, sizeof(version), 1, f);
+  auto pa = a.Params();
+  uint64_t count = pa.size();
+  std::fwrite(&count, sizeof(count), 1, f);
+  for (const auto& p : pa) {
+    uint64_t rows = p->value.rows(), cols = p->value.cols();
+    std::fwrite(&rows, sizeof(rows), 1, f);
+    std::fwrite(&cols, sizeof(cols), 1, f);
+    std::fwrite(p->value.data(), sizeof(float), p->value.size(), f);
+  }
+  std::fclose(f);
+
+  ASSERT_TRUE(LoadParams(path, b.Params()).ok());
+  auto pb = b.Params();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (size_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_EQ(pa[i]->value.data()[j], pb[i]->value.data()[j]);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 // ----------------------------------------------- packed-weight staleness ---

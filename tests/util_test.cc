@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/backoff.h"
+#include "util/crc32.h"
 #include "util/env.h"
 #include "util/histogram.h"
 #include "util/rng.h"
@@ -312,6 +314,50 @@ TEST(HistogramTest, ClampsNegativeAndHugeValues) {
   EXPECT_EQ(snap.buckets[LatencyHistogram::kNumBuckets - 1], 1u);
   // The top-bucket clamp bounds the reported max at ~67s.
   EXPECT_LT(snap.ValueAtQuantile(1.0), 70000.0);
+}
+
+TEST(BackoffTest, FirstDelayIsBaseThenJittersWithinEnvelope) {
+  BackoffConfig cfg;
+  cfg.base_ms = 5.0;
+  cfg.cap_ms = 100.0;
+  cfg.multiplier = 3.0;
+  Backoff backoff(cfg, /*seed=*/42);
+  double prev = backoff.NextDelayMs();
+  EXPECT_DOUBLE_EQ(prev, cfg.base_ms);
+  for (int i = 0; i < 50; ++i) {
+    double envelope = std::min(cfg.cap_ms, prev * cfg.multiplier);
+    double d = backoff.NextDelayMs();
+    EXPECT_GE(d, cfg.base_ms);
+    EXPECT_LE(d, std::max(cfg.base_ms, envelope));
+    prev = d;
+  }
+  EXPECT_EQ(backoff.attempts(), 51u);
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  Backoff a(BackoffConfig(), 7), b(BackoffConfig(), 7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextDelayMs(), b.NextDelayMs());
+  }
+  a.Reset();
+  EXPECT_EQ(a.attempts(), 0u);
+  EXPECT_DOUBLE_EQ(a.NextDelayMs(), a.config().base_ms);
+}
+
+TEST(Crc32Test, MatchesKnownVectorAndChunksCompose) {
+  // The classic IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Chunked computation must equal one-shot.
+  const std::string data = "selectivity estimation over the wire";
+  uint32_t whole = Crc32(data.data(), data.size());
+  uint32_t part = Crc32(data.data(), 10);
+  part = Crc32(data.data() + 10, data.size() - 10, part);
+  EXPECT_EQ(part, whole);
+  // A single flipped bit changes the checksum.
+  std::string corrupt = data;
+  corrupt[7] ^= 0x20;
+  EXPECT_NE(Crc32(corrupt.data(), corrupt.size()), whole);
 }
 
 }  // namespace
