@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "serve/admission.h"
+#include "serve/remote_shard.h"
 #include "serve/state_transfer.h"
 #include "serve/wire.h"
 #include "util/base64.h"
@@ -25,6 +26,22 @@ std::string ErrorText(std::exception_ptr error) {
     return e.what();
   } catch (...) {
     return "request failed";
+  }
+}
+
+/// True when the failure is a typed route-not-found. Serialized with code
+/// "not_found" so a remote router can tell "this replica doesn't hold the
+/// route" (retryable: another replica may) from a deterministic request
+/// failure — without string-matching the message.
+bool IsNotFound(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const RouteNotFoundError&) {
+    return true;
+  } catch (const RemoteError& e) {
+    return e.code() == util::StatusCode::kNotFound;
+  } catch (...) {
+    return false;
   }
 }
 
@@ -191,7 +208,29 @@ void NetFrontend::HandleAdmin(const std::shared_ptr<Conn>& conn,
   if (!parsed.ok()) {
     parse_errors_.fetch_add(1, std::memory_order_relaxed);
     reply = SerializeError(parsed.message(), ExtractTagBestEffort(line));
-  } else if (admin.cmd == "stats") {
+  } else {
+    try {
+      reply = DispatchAdmin(conn, admin);
+    } catch (const std::exception& e) {
+      // Admin input is client bytes off an open port; an exception out of a
+      // handler (allocation failure on a hostile size, a parser edge) must
+      // fail THIS command, not unwind through the loop thread and terminate
+      // the process.
+      reply = SerializeError(
+          std::string("wire: admin command failed: ") + e.what(), admin.tag);
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (!conn->closed) {
+    conn->wbuf += reply;
+    conn->wbuf += '\n';
+  }
+}
+
+std::string NetFrontend::DispatchAdmin(const std::shared_ptr<Conn>& conn,
+                                       const AdminRequest& admin) {
+  std::string reply;
+  if (admin.cmd == "stats") {
     if (!backend_.snapshot) {
       reply = SerializeError("wire: no stats backend attached", admin.tag);
     } else {
@@ -231,11 +270,7 @@ void NetFrontend::HandleAdmin(const std::shared_ptr<Conn>& conn,
     reply = SerializeError("wire: unknown admin cmd '" + admin.cmd + "'",
                            admin.tag);
   }
-  std::lock_guard<std::mutex> lock(conn->mu);
-  if (!conn->closed) {
-    conn->wbuf += reply;
-    conn->wbuf += '\n';
-  }
+  return reply;
 }
 
 std::string NetFrontend::HandleTransfer(const std::shared_ptr<Conn>& conn,
@@ -357,11 +392,16 @@ void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
     std::string out;
     if (error) {
       // Overload sheds carry a machine-readable code (the ShedReasonName)
-      // so clients get a typed rejection without string-matching messages.
+      // so clients get a typed rejection without string-matching messages;
+      // unknown routes carry "not_found" for the same reason.
       ShedReason reason = ShedReasonFrom(error);
-      out = reason != ShedReason::kNone
-                ? SerializeError(ErrorText(error), ShedReasonName(reason), tag)
-                : SerializeError(ErrorText(error), tag);
+      if (reason != ShedReason::kNone) {
+        out = SerializeError(ErrorText(error), ShedReasonName(reason), tag);
+      } else if (IsNotFound(error)) {
+        out = SerializeError(ErrorText(error), "not_found", tag);
+      } else {
+        out = SerializeError(ErrorText(error), tag);
+      }
     } else {
       out = SerializeResponse(resp);
     }

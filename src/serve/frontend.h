@@ -175,6 +175,11 @@ class NetFrontend {
   void SubmitLine(const std::shared_ptr<Conn>& conn, std::string line);
   /// Answer one {"cmd":...} line synchronously on the loop thread.
   void HandleAdmin(const std::shared_ptr<Conn>& conn, const std::string& line);
+  /// Route one parsed admin command to its handler; returns the reply line.
+  /// HandleAdmin wraps this in a catch so a throwing handler fails the
+  /// command, never the loop thread.
+  std::string DispatchAdmin(const std::shared_ptr<Conn>& conn,
+                            const AdminRequest& admin);
   /// One xfer_* state-transfer step against this connection's assembler;
   /// returns the reply line (ack or error).
   std::string HandleTransfer(const std::shared_ptr<Conn>& conn,

@@ -50,13 +50,19 @@ void RemoteShard::CloseData() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     reader_stop_ = true;
-    // shutdown (not close) so the descriptor number stays reserved until the
-    // reader has joined — the reader polls the raw fd outside the lock.
+    // shutdown (not close) so the descriptor number stays reserved until
+    // every user is done — the reader polls the raw fd outside the lock, and
+    // a SubmitWith may be mid-WriteAll under write_mu_.
     if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
   }
   wake_.Notify();
   if (reader_.joinable()) reader_.join();
   {
+    // write_mu_ too: closing while a writer holds the raw descriptor would
+    // let a concurrent open (the health loop's control dials) reuse the fd
+    // number and receive the request bytes. Order write_mu_ -> mu_, same as
+    // the write path.
+    std::lock_guard<std::mutex> wlock(write_mu_);
     std::lock_guard<std::mutex> lock(mu_);
     fd_.Close();
   }
@@ -97,17 +103,17 @@ void RemoteShard::SubmitWith(EstimateRequest req,
   }
 
   uint64_t wire_tag = 0;
-  int raw_fd = -1;
+  bool registered = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (data_up_.load(std::memory_order_relaxed) && fd_.valid()) {
-      raw_fd = fd_.get();
       wire_tag = next_tag_++;
       entry.done = std::move(done);
       pending_.emplace(wire_tag, std::move(entry));
+      registered = true;
     }
   }
-  if (raw_fd < 0) {
+  if (!registered) {
     EstimateResponse resp;
     resp.tag = req.tag;
     done(std::move(resp),
@@ -122,8 +128,18 @@ void RemoteShard::SubmitWith(EstimateRequest req,
   line += '\n';
   Status wrote;
   {
-    std::lock_guard<std::mutex> lock(write_mu_);
-    wrote = util::WriteAll(raw_fd, line.data(), line.size());
+    // write_mu_ serializes writers AND pins the descriptor: CloseData closes
+    // fd_ only while holding write_mu_, so re-fetching the fd here (not
+    // before the lock) guarantees it cannot be closed — and its number
+    // reused by a concurrent dial — for the duration of the write.
+    std::lock_guard<std::mutex> wlock(write_mu_);
+    int raw_fd = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fd_.valid() && !reader_stop_) raw_fd = fd_.get();
+    }
+    wrote = raw_fd < 0 ? Status::IOError("data connection closed")
+                       : util::WriteAll(raw_fd, line.data(), line.size());
   }
   if (!wrote.ok()) {
     // Take the entry back (unless the reader already failed it) and report
@@ -280,6 +296,13 @@ void RemoteShard::HandleLine(const std::string& line) {
       // replica may have capacity.
       error = std::make_exception_ptr(
           RemoteError(StatusCode::kUnavailable, st.message()));
+      break;
+    case StatusCode::kNotFound:
+      // This replica doesn't hold the route (restarted and awaiting
+      // re-sync, or the route replicates to local slots only) — another
+      // replica may. The failover layer retries these.
+      error = std::make_exception_ptr(
+          RemoteError(StatusCode::kNotFound, st.message()));
       break;
     default:
       // Deterministic request failure (bad shape, unknown route): a retry

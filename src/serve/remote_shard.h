@@ -46,6 +46,10 @@
 ///   * RemoteError(kDeadlineExceeded) — no response within
 ///     `recv_timeout_ms`; the shard is gray (alive TCP-wise, not answering).
 ///     The request's own deadline still has budget, so retry elsewhere.
+///   * RemoteError(kNotFound) — the shard answered but doesn't hold the
+///     route (restarted and awaiting re-sync, or a route replicated to
+///     local slots only). Another replica may hold it — retryable, but the
+///     shard itself is healthy (no suspect marking).
 ///   * OverloadError(kDeadlineExpired) — the REQUEST's deadline passed
 ///     (locally, or shed by the remote admission controller). Matches what
 ///     an in-process SelNetServer throws, so callers see one taxonomy
@@ -153,7 +157,11 @@ class RemoteShard {
   RemoteShardConfig cfg_;
 
   mutable std::mutex mu_;  ///< pending_, next_tag_, fd_ lifecycle.
-  std::mutex write_mu_;    ///< Serializes request writes (framing).
+  /// Serializes request writes (framing) and pins fd_ across one write:
+  /// CloseData closes the descriptor only under this lock, so a writer that
+  /// re-validates fd_ while holding it can never race a close (or a reused
+  /// fd number). Lock order where both are held: write_mu_ -> mu_.
+  std::mutex write_mu_;
   util::Fd fd_;
   std::map<uint64_t, Pending> pending_;
   uint64_t next_tag_ = 1;  ///< Internal wire tags; 0 means "untagged" on the

@@ -402,8 +402,13 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
   // unbatched fallback all answer against this version.
   Result<ModelHandle> handle = registry_.Get(state->resp.model);
   if (!handle.ok()) {
-    state->RecordError(std::make_exception_ptr(
-        std::runtime_error("SelNetServer: " + handle.status().ToString())));
+    if (handle.status().code() == util::StatusCode::kNotFound) {
+      state->RecordError(std::make_exception_ptr(RouteNotFoundError(
+          "SelNetServer: " + handle.status().message())));
+    } else {
+      state->RecordError(std::make_exception_ptr(
+          std::runtime_error("SelNetServer: " + handle.status().ToString())));
+    }
     state->Finalize();
     return;
   }

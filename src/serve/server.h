@@ -7,6 +7,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -109,6 +110,17 @@ struct ServerConfig {
   /// Overload admission control (AdmissionConfig::enabled = false keeps the
   /// pre-admission behavior bit-for-bit: no ticket, no shed path).
   AdmissionConfig admission;
+};
+
+/// \brief Typed "no model published under this route" submit failure.
+/// Distinct from a generic runtime_error so the frontend can serialize it
+/// with code "not_found" — the replication layer treats a remote replica's
+/// not_found as retryable (a restarted shard awaiting re-sync, or a route
+/// replicated to local slots only, may still be served by another replica),
+/// which a string match could never do safely.
+class RouteNotFoundError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// \brief A servable, estimator-agnostic selectivity-estimation endpoint.

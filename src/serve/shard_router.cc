@@ -12,6 +12,7 @@
 #include "serve/admission.h"
 #include "serve/update_pipeline.h"
 #include "util/check.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 namespace selnet::serve {
@@ -226,23 +227,49 @@ uint64_t ShardedRegistry::Publish(const std::string& name,
         StorePublishedBytes(name, bytes);
       }
     }
+    if (!have_bytes) {
+      // Loud, not silent: the ring may still place this route's primary on
+      // a remote slot, which will answer not_found (the failover chain then
+      // falls through to the local replicas that do hold it).
+      util::LogInfo(
+          "shard_router: route '%s': model cannot serialize for state "
+          "transfer; replicating to local slots only (remote replicas will "
+          "answer not_found and failover falls through)",
+          name.c_str());
+    }
   }
-  uint64_t primary_version = 0;
-  for (size_t k = 0; k < replicas.size(); ++k) {
-    size_t slot = replicas[k];
+  // The returned version is the FIRST replica that accepted — the primary
+  // when it is healthy. A failed remote primary falls back to the next
+  // accepting replica (mirroring PublishFromBytes) instead of returning a
+  // meaningless 0 alongside successful secondaries.
+  uint64_t version = 0;
+  bool have_version = false;
+  for (size_t slot : replicas) {
     if (IsLocalSlot(slot)) {
       uint64_t v = shards_[slot]->server->Publish(name, model);
-      if (k == 0) primary_version = v;
+      if (!have_version) {
+        version = v;
+        have_version = true;
+      }
     } else if (have_bytes) {
       auto v = remote_shard(slot).PublishBytes(name, bytes);
       if (!v.ok()) {
         MarkSuspect(slot);  // The health loop re-syncs it from the bytes.
         continue;
       }
-      if (k == 0) primary_version = v.ValueOrDie();
+      if (!have_version) {
+        version = v.ValueOrDie();
+        have_version = true;
+      }
     }
   }
-  return primary_version;
+  if (!have_version) {
+    util::LogInfo(
+        "shard_router: publish of route '%s' reached no replica; returning "
+        "version 0 (the health loop re-syncs remotes from retained bytes)",
+        name.c_str());
+  }
+  return version;
 }
 
 Result<uint64_t> ShardedRegistry::PublishFromFile(const std::string& name,
@@ -313,13 +340,23 @@ void ShardedRegistry::SubmitWith(EstimateRequest req,
 
 namespace {
 
-/// Does this failure mean "another replica might answer"? Transport-level
-/// RemoteErrors only: kUnavailable (never sent), kIoError (possibly
-/// completed — estimates are pure reads, so re-asking is safe), and
+/// How a failed attempt steers the failover chain.
+enum class RetryClass {
+  kFinal,        ///< Deterministic verdict (bad shape, overload shed).
+  kNextReplica,  ///< Another replica might answer; this one is healthy.
+  kMarkSuspect,  ///< Another replica might answer; this one looks down/gray.
+};
+
+/// Typed RemoteErrors only: kUnavailable (never sent) / kIoError (possibly
+/// completed — estimates are pure reads, so re-asking is safe) /
 /// kDeadlineExceeded (the RECV bound, a gray shard; the request's own
-/// deadline is checked separately). Server-side verdicts (bad shape,
-/// overload sheds, unknown route) are deterministic or final — no retry.
-bool RetryableTransportError(const std::exception_ptr& error) {
+/// deadline is checked separately) mark the replica suspect and move on.
+/// kNotFound means THAT replica doesn't hold the route — a rejoining shard
+/// awaiting re-sync, or a route that replicates to local slots only — while
+/// another replica may; the replica itself answered promptly, so it stays
+/// healthy (marking it suspect would tear down its data connection on every
+/// request to such a route). Anything else is deterministic or final.
+RetryClass ClassifyFailure(const std::exception_ptr& error) {
   try {
     std::rethrow_exception(error);
   } catch (const RemoteError& e) {
@@ -327,12 +364,14 @@ bool RetryableTransportError(const std::exception_ptr& error) {
       case util::StatusCode::kUnavailable:
       case util::StatusCode::kIoError:
       case util::StatusCode::kDeadlineExceeded:
-        return true;
+        return RetryClass::kMarkSuspect;
+      case util::StatusCode::kNotFound:
+        return RetryClass::kNextReplica;
       default:
-        return false;
+        return RetryClass::kFinal;
     }
   } catch (...) {
-    return false;
+    return RetryClass::kFinal;
   }
 }
 
@@ -396,8 +435,9 @@ void ShardedRegistry::TryReplica(const std::shared_ptr<Failover>& fo,
                  fo->done(std::move(resp), nullptr);
                  return;
                }
-               if (RetryableTransportError(error)) {
-                 MarkSuspect(slot);
+               RetryClass rc = ClassifyFailure(error);
+               if (rc != RetryClass::kFinal) {
+                 if (rc == RetryClass::kMarkSuspect) MarkSuspect(slot);
                  TryReplica(fo, idx + 1, error);
                  return;
                }
@@ -534,6 +574,20 @@ LiveUpdatePipeline& ShardedRegistry::AttachUpdatePipeline(
 
 void ShardedRegistry::Drain() {
   for (auto& shard : shards_) shard->server->Drain();
+  if (remotes_.empty()) return;
+  // Remote in-flight requests complete on their reader threads (a reply, a
+  // recv-timeout expiry, or a connection loss all fire the completion), so
+  // waiting on pending() converges; the bound covers a remote configured
+  // with no recv timeout and requests with no deadline.
+  Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             std::max(0.0, cfg_.drain_remote_timeout_ms)));
+  for (auto& remote : remotes_) {
+    while (remote->shard->pending() > 0 && Clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
 }
 
 std::vector<StatsSnapshot> ShardedRegistry::ShardSnapshots() const {

@@ -127,6 +127,11 @@ struct ShardedConfig {
   /// Health-loop tick for probing non-healthy remotes (the probe schedule
   /// itself adds decorrelated-jitter backoff per endpoint on top).
   double health_interval_ms = 100.0;
+  /// Upper bound on how long Drain() waits for requests still in flight on
+  /// remote replicas (local shards drain unconditionally). Pending remote
+  /// entries normally resolve within their recv timeout / request deadline;
+  /// this caps the wait when neither bound is configured.
+  double drain_remote_timeout_ms = 5000.0;
 };
 
 /// \brief Remote-replica failover state machine (see the file comment).
@@ -159,8 +164,12 @@ class ShardedRegistry {
   /// \brief Publish under the default route (on its owning shard).
   uint64_t Publish(std::shared_ptr<eval::Estimator> model);
 
-  /// \brief Publish under `name` on its owning shard; returns the version
-  /// assigned by that shard's registry (version counters are shard-local).
+  /// \brief Publish under `name` to every replica of the route; returns the
+  /// version assigned by the first replica that accepted (the primary when
+  /// healthy — version counters are shard-local), or 0 when no replica
+  /// accepted. Models that cannot serialize (not a SelNetCt) replicate to
+  /// local slots only; remote replicas then answer not_found for the route
+  /// and failover falls through to the local copies.
   uint64_t Publish(const std::string& name,
                    std::shared_ptr<eval::Estimator> model);
 
@@ -192,7 +201,9 @@ class ShardedRegistry {
                                            const data::Database& db,
                                            const data::Workload& workload);
 
-  /// \brief Block until every shard has answered everything it accepted.
+  /// \brief Block until every local shard has answered everything it
+  /// accepted, then wait — bounded by `drain_remote_timeout_ms` — for
+  /// requests still pending on remote replicas to complete.
   void Drain();
 
   /// \brief LOCAL in-process shard count (the pre-fleet meaning).

@@ -73,13 +73,31 @@ Status TransferAssembler::Begin(const std::string& model, uint64_t size,
   if (frames == 0) {
     return Status::Invalid("state transfer: xfer_begin needs >= 1 frame");
   }
+  // `size` and `frames` are sender-supplied bytes off an open port: bound
+  // them BEFORE any allocation sized by them, and reply with a typed error
+  // (std::length_error out of an unchecked reserve would terminate the
+  // process instead).
+  if (size > max_bytes_) {
+    return Status::Invalid("state transfer: announced size " +
+                           std::to_string(size) + " exceeds the " +
+                           std::to_string(max_bytes_) + "-byte limit");
+  }
+  if (frames > std::max<uint64_t>(1, size)) {
+    return Status::Invalid(
+        "state transfer: announced " + std::to_string(frames) +
+        " frames for " + std::to_string(size) +
+        " bytes (frames carry at least one byte each)");
+  }
   active_ = true;
   model_ = model;
   expect_size_ = size;
   expect_frames_ = frames;
   next_seq_ = 0;
   buf_.clear();
-  buf_.reserve(size);
+  // Capacity hint only — memory materializes as verified frames arrive (and
+  // AddFrame caps growth at expect_size_), so a sender claiming a large size
+  // commits us to nothing up front.
+  buf_.reserve(size_t(std::min<uint64_t>(size, uint64_t(kDefaultFrameBytes) * 16)));
   return Status::OK();
 }
 

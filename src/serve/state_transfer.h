@@ -42,6 +42,14 @@ class NetClient;
 /// transfers notice.
 constexpr size_t kDefaultFrameBytes = 48 << 10;
 
+/// \brief Ceiling on one transfer's announced payload size. The admin line's
+/// `size` is attacker-controlled input on an open TCP port, so Begin must
+/// reject it with a typed error rather than attempt the allocation — a
+/// 2^64-1 claim would otherwise throw out of buf_.reserve and take the
+/// whole serving process down. 1 GiB is ~3 orders of magnitude above any
+/// real SaveModel payload here.
+constexpr uint64_t kMaxTransferBytes = 1ull << 30;
+
 /// \brief One transfer frame: `data` holds RAW payload bytes (base64 only on
 /// the wire), `crc` their CRC-32.
 struct TransferFrame {
@@ -85,12 +93,18 @@ class TransferAssembler {
   bool active() const { return active_; }
   const std::string& model() const { return model_; }
 
+  /// \brief Override the per-transfer payload ceiling (tests; embedders with
+  /// bigger models).
+  void set_max_bytes(uint64_t max_bytes) { max_bytes_ = max_bytes; }
+  uint64_t max_bytes() const { return max_bytes_; }
+
  private:
   bool active_ = false;
   std::string model_;
   uint64_t expect_size_ = 0;
   uint64_t expect_frames_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t max_bytes_ = kMaxTransferBytes;
   std::string buf_;
 };
 

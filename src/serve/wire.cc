@@ -306,6 +306,7 @@ Status ParseAckLine(const std::string& line, uint64_t* version) {
     if (code == "queue_full" || code == "priority_shed" || code == "shutdown") {
       return Status::Unavailable(error);
     }
+    if (code == "not_found") return Status::NotFound(error);
     return Status::Internal(error);
   }
   if (!ok) return Status::Internal("wire: ack line without ok or error");
@@ -408,6 +409,7 @@ Status ParseResponseLine(const std::string& line, EstimateResponse* resp) {
     if (code == "queue_full" || code == "priority_shed" || code == "shutdown") {
       return Status::Unavailable(error);
     }
+    if (code == "not_found") return Status::NotFound(error);
     return Status::Internal(error);
   }
   parsed.cache_hits = uint32_t(cache_hits);

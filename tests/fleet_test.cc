@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -10,10 +11,12 @@
 #include "core/model_io.h"
 #include "core/selnet_ct.h"
 #include "data/synthetic.h"
+#include "eval/estimator.h"
 #include "serve/frontend.h"
 #include "serve/remote_shard.h"
 #include "serve/shard_node.h"
 #include "serve/shard_router.h"
+#include "serve/state_transfer.h"
 #include "serve/wire.h"
 #include "util/backoff.h"
 
@@ -314,6 +317,101 @@ TEST_F(FleetTest, CrashedReplicaRejoinsAndServesBitIdenticalAfterResync) {
   for (size_t i = 0; i < ts.size(); ++i) {
     EXPECT_EQ(direct.ValueOrDie().estimates[i], reference.estimates[i]) << i;
   }
+}
+
+TEST(TransferAssemblerLimits, HostileAnnouncementsAreTypedRejections) {
+  TransferAssembler a;
+  // A 2^64-1 announced size must be rejected BEFORE any allocation sized by
+  // it — an unchecked buf_.reserve would throw std::length_error out of the
+  // frontend loop thread and terminate the whole serving process.
+  util::Status huge =
+      a.Begin("r", std::numeric_limits<uint64_t>::max(), 1);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.message().find("exceeds"), std::string::npos);
+  EXPECT_FALSE(a.active());
+  // More frames than bytes cannot come from a real sender (frames are
+  // non-empty except the single frame of an empty payload).
+  EXPECT_FALSE(a.Begin("r", 4, 6).ok());
+  EXPECT_FALSE(a.active());
+  // The ceiling is configurable; the boundary is accepted, one past is not.
+  a.set_max_bytes(16);
+  EXPECT_TRUE(a.Begin("r", 16, 1).ok());
+  EXPECT_FALSE(a.Begin("r", 17, 1).ok());
+}
+
+TEST_F(FleetTest, HostileTransferOverWireGetsErrorReplyAndNodeSurvives) {
+  ShardNode node(NodeConfig());
+  ASSERT_TRUE(node.status().ok()) << node.status().ToString();
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", node.port()).ok());
+  client.set_recv_timeout_ms(2000);
+  // One hostile admin line from any TCP client: the reply must be a typed
+  // error, not a dead process.
+  ASSERT_TRUE(client
+                  .SendRaw("{\"cmd\":\"xfer_begin\",\"model\":\"r\","
+                           "\"size\":18446744073709551615,\"frames\":1}\n")
+                  .ok());
+  auto reply = client.ReadLine();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  util::Status st = ParseAckLine(reply.ValueOrDie());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("exceeds"), std::string::npos);
+
+  // The same connection (and the node) keeps serving: a real transfer then
+  // succeeds end to end.
+  uint64_t version = 0;
+  util::Status sent = SendModelState(&client, "m", *bytes_, &version);
+  ASSERT_TRUE(sent.ok()) << sent.ToString();
+  EXPECT_GE(version, 1u);
+}
+
+/// Minimal non-SelNetCt estimator: it cannot serialize for state transfer,
+/// so Publish replicates it to local slots only.
+class ConstantEstimator : public eval::Estimator {
+ public:
+  explicit ConstantEstimator(float value) : value_(value) {}
+  std::string Name() const override { return "Constant"; }
+  bool IsConsistent() const override { return true; }
+  void Fit(const eval::TrainContext&) override {}
+  tensor::Matrix Predict(const tensor::Matrix& x,
+                         const tensor::Matrix&) override {
+    tensor::Matrix y(x.rows(), 1);
+    for (size_t i = 0; i < x.rows(); ++i) y(i, 0) = value_;
+    return y;
+  }
+
+ private:
+  float value_;
+};
+
+TEST_F(FleetTest, LocalOnlyRouteWithRemotePrimaryFailsOverToLocalReplica) {
+  ShardNode node(NodeConfig());
+  ASSERT_TRUE(node.status().ok());
+  ShardedRegistry reg(FleetConfig(node.port()));
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy));
+
+  // Primary on the REMOTE slot, but the model cannot ship there (not a
+  // SelNetCt) — it lives on the local replica only.
+  std::string route = RouteOwnedBy(reg, 1);
+  uint64_t version =
+      reg.Publish(route, std::make_shared<ConstantEstimator>(0.25f));
+  // The publish reached the local replica; returning the primary's 0 would
+  // make success indistinguishable from total failure.
+  EXPECT_GE(version, 1u);
+
+  // The remote primary answers a typed not_found; the failover chain must
+  // fall through to the local replica instead of failing the request.
+  std::vector<float> q = Query();
+  EstimateResponse resp =
+      reg.Submit(EstimateRequest::Point(q.data(), kDim, wl_->tmax * 0.5f,
+                                        route))
+          .get();
+  ASSERT_EQ(resp.estimates.size(), 1u);
+  EXPECT_EQ(resp.estimates[0], 0.25f);
+  // A replica that answered (promptly) that it lacks the route is healthy —
+  // not_found must not tear down its data connection.
+  EXPECT_EQ(reg.slot_health(1), ShardHealth::kHealthy);
 }
 
 TEST_F(FleetTest, HealthStateMachineAdmitsLateStartingNode) {
