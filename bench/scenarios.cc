@@ -43,6 +43,14 @@
 ///           Not in the default scenario list — it forks child processes
 ///           and owns its own CI job (BENCH_fault.json is its committed
 ///           baseline).
+///   metrics — fleet telemetry smoke: boots a 1-local + 1-remote fleet (a
+///           real `shard_node` child), drives traced traffic through both
+///           replicas, forces a remote-stats scrape, then fetches
+///           `{"cmd":"metrics"}` and `{"cmd":"events"}` over the wire from
+///           the coordinator AND the node and lints the expositions
+///           (`util::LintExposition` — empty or malformed output is a
+///           failed gate). Not in the default list — it forks a child
+///           process and owns its own CI job.
 ///
 /// Flags: --json PATH (gate output), --smoke (short CI durations),
 /// --scenario NAME (repeatable; default = burst+skew+drift+churn).
@@ -80,9 +88,11 @@
 #include "serve/server.h"
 #include "serve/shard_node.h"
 #include "serve/shard_router.h"
+#include "serve/trace.h"
 #include "serve/update_pipeline.h"
 #include "serve/wire.h"
 #include "util/backoff.h"
+#include "util/metrics.h"
 #include "util/net.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -1212,6 +1222,159 @@ Report RunFault(const ScenarioContext& ctx) {
   return rep;
 }
 
+// --------------------------------------------------------- metrics smoke ---
+
+/// Fleet telemetry smoke: a 1-local + 1-remote fleet (real `shard_node`
+/// child) serves traced traffic, then BOTH telemetry planes are scraped
+/// over the wire — `{"cmd":"metrics"}` text exposition and
+/// `{"cmd":"events"}` — from the coordinator and from the node, and linted.
+/// `util::LintExposition` rejects an EMPTY page as well as a malformed one,
+/// so a silently-dead metrics plane fails the gate, not just a crashed
+/// process.
+Report RunMetrics(const ScenarioContext& ctx) {
+  bench::PrintBanner(
+      "scenario: metrics (fleet telemetry smoke over the wire)");
+  Report rep;
+  const data::Workload& wl = *ctx.wl;
+  const size_t dim = ctx.db->dim();
+
+  NodeProc node = SpawnNode(dim, 0, 9);
+  if (!node.ok()) {
+    std::printf("  cannot spawn shard_node child (self exe '%s')\n",
+                SelfExe().c_str());
+    rep.AddGate("metrics_fleet_admitted", 0.0, ">=", 1.0);
+    ReapNode(&node, SIGKILL);
+    PrintGates(rep);
+    return rep;
+  }
+
+  serve::ShardedConfig fcfg;
+  fcfg.server = BaseServerConfig(dim);
+  fcfg.num_shards = 1;
+  fcfg.threads_per_shard = 1;
+  fcfg.replication = 2;
+  fcfg.health_interval_ms = 25.0;
+  fcfg.scrape_interval_ms = 25.0;
+  fcfg.node_id = "scenario-coordinator";
+  serve::RemoteShardConfig rcfg;
+  rcfg.address = "127.0.0.1";
+  rcfg.port = node.port;
+  rcfg.recv_timeout_ms = 1000;
+  rcfg.admin_timeout_ms = 2000;
+  fcfg.remotes.push_back(rcfg);
+  auto reg = std::make_unique<serve::ShardedRegistry>(fcfg);
+  const bool admitted =
+      WaitForSlotHealth(reg.get(), 1, serve::ShardHealth::kHealthy, 10.0);
+  rep.AddGate("metrics_fleet_admitted", admitted ? 1.0 : 0.0, ">=", 1.0);
+  if (!admitted) {
+    reg.reset();
+    ReapNode(&node, SIGKILL);
+    PrintGates(rep);
+    return rep;
+  }
+
+  // One route primary on the remote (cross-process trace propagation), one
+  // on the local shard; 1-in-4 requests carry an explicit trace.
+  const std::string remote_route = RouteWithPrimary(*reg, 1);
+  const std::string local_route = RouteWithPrimary(*reg, 0);
+  reg->Publish(remote_route, ctx.model);
+  reg->Publish(local_route, ctx.model);
+  util::Rng rng(77);
+  uint64_t served = 0;
+  uint64_t failed = 0;
+  for (int i = 0; i < 64; ++i) {
+    size_t qi = size_t(rng.UniformInt(0, int64_t(wl.queries.rows()) - 1));
+    float thr = wl.tmax * float(rng.UniformInt(1, 16)) / 16.0f;
+    serve::EstimateRequest req = serve::EstimateRequest::Point(
+        wl.queries.row(qi), dim, thr, (i % 2) ? remote_route : local_route);
+    if (i % 4 == 0) req.trace = std::make_shared<serve::RequestTrace>();
+    try {
+      reg->Submit(std::move(req)).get();
+      ++served;
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  rep.AddGate("metrics_traffic_failed", double(failed), "<=", 0.0);
+  reg->ScrapeNow();  // Deterministic merge: don't race the 25 ms tick.
+
+  double lint_ok = 0.0;
+  double node_lint_ok = 0.0;
+  double series_ok = 0.0;
+  double events_ok = 0.0;
+  double merged_ok = 0.0;
+  double expo_bytes = 0.0;
+  serve::NetFrontend frontend(serve::FrontendConfig{}, reg.get());
+  if (!frontend.status().ok()) {
+    std::printf("  coordinator frontend unavailable: %s\n",
+                frontend.status().ToString().c_str());
+  } else {
+    serve::NetClient client;
+    if (client.Connect("127.0.0.1", frontend.port()).ok()) {
+      auto text = client.Metrics(1);
+      if (text.ok()) {
+        const std::string& expo = text.ValueOrDie();
+        expo_bytes = double(expo.size());
+        util::Status lint = util::LintExposition(expo);
+        lint_ok = lint.ok() ? 1.0 : 0.0;
+        if (!lint.ok()) {
+          std::printf("  exposition lint: %s\n", lint.ToString().c_str());
+        }
+        const char* needles[] = {"selnet_requests_total", "selnet_slot_health",
+                                 "selnet_scrape_total",
+                                 "node=\"scenario-coordinator\""};
+        series_ok = 1.0;
+        for (const char* n : needles) {
+          if (expo.find(n) == std::string::npos) {
+            std::printf("  missing series: %s\n", n);
+            series_ok = 0.0;
+          }
+        }
+      } else {
+        std::printf("  metrics fetch failed: %s\n",
+                    text.status().ToString().c_str());
+      }
+      auto events = client.Admin("events", 2);
+      events_ok = events.ok() && events.ValueOrDie().find("\"kind\":\"health\"") !=
+                                     std::string::npos
+                      ? 1.0
+                      : 0.0;
+    }
+    // The node's own plane, scraped directly — a shard_node must expose a
+    // valid page too, or fleet dashboards only ever see the coordinator.
+    serve::NetClient node_client;
+    if (node_client.Connect("127.0.0.1", node.port).ok()) {
+      auto ntext = node_client.Metrics(3);
+      node_lint_ok =
+          ntext.ok() && util::LintExposition(ntext.ValueOrDie()).ok() ? 1.0
+                                                                      : 0.0;
+    }
+  }
+  serve::StatsSnapshot snap = reg->AggregateSnapshot();
+  bool merged = snap.requests >= served && snap.slots.size() == 2 &&
+                !snap.slots[1].node_id.empty();
+  merged_ok = merged ? 1.0 : 0.0;
+  if (!merged) {
+    std::printf("  merge check: requests=%llu (served %llu) slots=%zu\n",
+                (unsigned long long)snap.requests, (unsigned long long)served,
+                snap.slots.size());
+  }
+
+  rep.AddGate("metrics_exposition_lint", lint_ok, ">=", 1.0);
+  rep.AddGate("metrics_node_exposition_lint", node_lint_ok, ">=", 1.0);
+  rep.AddGate("metrics_fleet_series_present", series_ok, ">=", 1.0);
+  rep.AddGate("metrics_events_nonempty", events_ok, ">=", 1.0);
+  rep.AddGate("metrics_scrape_merged", merged_ok, ">=", 1.0);
+  rep.AddMetric("metrics_exposition_bytes", expo_bytes);
+  rep.AddMetric("metrics_requests_served", double(served));
+
+  reg->Drain();
+  reg.reset();
+  ReapNode(&node, SIGTERM);
+  PrintGates(rep);
+  return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1286,9 +1449,12 @@ int main(int argc, char** argv) {
       rep = RunChurn(ctx);
     } else if (name == "fault") {
       rep = RunFault(ctx);
+    } else if (name == "metrics") {
+      rep = RunMetrics(ctx);
     } else {
       std::printf(
-          "unknown scenario: %s (have burst, skew, drift, churn, fault)\n",
+          "unknown scenario: %s (have burst, skew, drift, churn, fault, "
+          "metrics)\n",
           name.c_str());
       return 2;
     }

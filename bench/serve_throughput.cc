@@ -39,6 +39,13 @@
 ///   off vs sampling 1 request in 64. Sampled tracing must be cheap enough
 ///   to leave on in production.
 ///
+/// Part 8 — fleet telemetry overhead: a 1-local + 1-remote fleet
+///   (replication 2, 8 routes) driven twice — telemetry off vs the full
+///   observability plane on (1-in-16 wire-traced requests, a 25 ms
+///   remote-stats scrape tick, and a sidecar polling the merged snapshot +
+///   text exposition like an external scraper). Same interleaved best-of-2
+///   discipline as part 7.
+///
 /// Acceptance shapes: batched QPS >= 1.7x unbatched QPS (was 2x before the
 /// kernel-engine PR; the UNBATCHED baseline then gained ~40% from the cached
 /// fold constants and pack-aware kernels, compressing the ratio while both
@@ -46,14 +53,18 @@
 /// independent scalar estimates, warm-pack batched Predict >= 1.3x rows/s vs
 /// the cold-pack baseline, retrain-concurrent p99 <= 2x idle p99, N-shard
 /// aggregate QPS >= 1.5x single-shard (gated only on >= 2 cores — shard
-/// pools cannot parallelize a single core), and 1-in-64 sampled tracing
-/// costs <= 3% QPS vs tracing off.
+/// pools cannot parallelize a single core), 1-in-64 sampled tracing costs
+/// <= 3% QPS vs tracing off, and the full fleet telemetry plane (traced +
+/// scraped) costs <= 3% QPS vs telemetry off (gated on >= 2 cores — the
+/// plane's scrape/scraper threads need spare cores to not timeslice the
+/// data path).
 ///
 /// `--json PATH` additionally writes every gate and headline metric as one
 /// machine-readable JSON object — the CI bench-gate job archives it as the
 /// perf trajectory (BENCH_serve.json is the committed baseline).
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -64,12 +75,15 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/model_io.h"
 #include "core/selnet_ct.h"
 #include "data/synthetic.h"
 #include "data/workload.h"
 #include "serve/frontend.h"
 #include "serve/server.h"
+#include "serve/shard_node.h"
 #include "serve/shard_router.h"
+#include "serve/trace.h"
 #include "serve/update_pipeline.h"
 #include "serve/wire.h"
 #include "tensor/kernel_dispatch.h"
@@ -152,7 +166,7 @@ RunResult DriveLoad(serve::SelNetServer* server, const data::Workload& wl,
 double DriveShardLoad(serve::ShardedRegistry* reg, const data::Workload& wl,
                       const std::vector<std::string>& routes,
                       size_t total_requests, size_t num_clients,
-                      size_t pipeline) {
+                      size_t pipeline, size_t trace_every = 0) {
   std::atomic<size_t> remaining{total_requests};
   util::Stopwatch watch;
   std::vector<std::thread> clients;
@@ -162,6 +176,7 @@ double DriveShardLoad(serve::ShardedRegistry* reg, const data::Workload& wl,
       std::vector<std::future<serve::EstimateResponse>> in_flight;
       in_flight.reserve(pipeline);
       size_t rr = c;  // Stagger route round-robin across clients.
+      size_t sent = 0;
       for (;;) {
         size_t batch = 0;
         while (batch < pipeline) {
@@ -172,9 +187,15 @@ double DriveShardLoad(serve::ShardedRegistry* reg, const data::Workload& wl,
           }
           size_t qi = size_t(rng.UniformInt(0, int64_t(wl.queries.rows()) - 1));
           float t = wl.tmax * float(rng.UniformInt(1, 16)) / 16.0f;
-          in_flight.push_back(reg->Submit(serve::EstimateRequest::Point(
+          serve::EstimateRequest req = serve::EstimateRequest::Point(
               wl.queries.row(qi), wl.queries.cols(), t,
-              routes[rr++ % routes.size()])));
+              routes[rr++ % routes.size()]);
+          // 1-in-N wire tracing: a remote primary then times its own stages
+          // and the stage block rides back with the response.
+          if (trace_every != 0 && ++sent % trace_every == 0) {
+            req.trace = std::make_shared<serve::RequestTrace>();
+          }
+          in_flight.push_back(reg->Submit(std::move(req)));
           ++batch;
         }
         for (auto& f : in_flight) f.get();
@@ -653,8 +674,157 @@ int main(int argc, char** argv) {
       "overhead) %s\n",
       trace_ratio, trace_ok ? "OK" : "BELOW TARGET");
 
+  // ------------------------------------------- fleet telemetry overhead ---
+  // What the PR-9 observability plane costs when ALL of it is on at once:
+  // a 1-local + 1-remote fleet (replication 2) serving the same 8 routes,
+  // once with telemetry off and once with 1-in-16 requests wire-traced, a
+  // 25 ms remote-stats scrape tick, and a sidecar thread polling the merged
+  // snapshot + text exposition like an external Prometheus scraper. Both
+  // fleets are built and warmed up front; measurement reps interleave
+  // (off, on, off, on) with best-of-2 per config, per the part-7 fix.
+  bench::PrintBanner("Fleet telemetry: traced + scraped vs telemetry off");
+  double fleet_plain_qps = 0.0;
+  double fleet_telemetry_qps = 0.0;
+  double fleet_telemetry_ratio = 0.0;
+  bool fleet_gate_active = false;
+  bool fleet_telemetry_ok = true;
+  {
+    auto fleet_bytes = core::SaveModelBytes(*model);
+    auto make_node = [&] {
+      serve::ShardNodeConfig ncfg;
+      ncfg.server.dim = db.dim();
+      ncfg.server.enable_cache = false;
+      ncfg.server.scheduler.max_batch = 128;
+      ncfg.server.scheduler.max_delay_ms = 0.3;
+      ncfg.threads = 1;
+      return std::make_unique<serve::ShardNode>(ncfg);
+    };
+    auto make_fleet = [&](uint16_t port, bool telemetry) {
+      serve::ShardedConfig scfg;
+      scfg.server.dim = db.dim();
+      scfg.server.enable_cache = false;
+      scfg.server.scheduler.max_batch = 128;
+      scfg.server.scheduler.max_delay_ms = 0.3;
+      scfg.num_shards = 1;
+      scfg.threads_per_shard = 1;
+      scfg.replication = 2;
+      serve::RemoteShardConfig remote;
+      remote.port = port;
+      remote.recv_timeout_ms = 5000;
+      scfg.remotes.push_back(remote);
+      scfg.health_interval_ms = 20.0;
+      scfg.scrape_interval_ms = telemetry ? 25.0 : 0.0;
+      if (telemetry) scfg.node_id = "bench-coordinator";
+      return std::make_unique<serve::ShardedRegistry>(scfg);
+    };
+    auto wait_healthy = [&](serve::ShardedRegistry* reg) {
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (std::chrono::steady_clock::now() < deadline &&
+             reg->slot_health(1) != serve::ShardHealth::kHealthy) {
+        reg->NudgeHealth();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return reg->slot_health(1) == serve::ShardHealth::kHealthy;
+    };
+    auto node_plain = make_node();
+    auto node_telemetry = make_node();
+    bool fleet_up = fleet_bytes.ok() && node_plain->status().ok() &&
+                    node_telemetry->status().ok();
+    const std::string model_bytes =
+        fleet_bytes.ok() ? fleet_bytes.MoveValueUnsafe() : std::string();
+    std::unique_ptr<serve::ShardedRegistry> plain_reg;
+    std::unique_ptr<serve::ShardedRegistry> telemetry_reg;
+    if (fleet_up) {
+      plain_reg = make_fleet(node_plain->port(), /*telemetry=*/false);
+      telemetry_reg = make_fleet(node_telemetry->port(), /*telemetry=*/true);
+      fleet_up = wait_healthy(plain_reg.get()) &&
+                 wait_healthy(telemetry_reg.get());
+      for (const auto& route : routes) {
+        fleet_up =
+            fleet_up &&
+            plain_reg->PublishFromBytes(route, model_bytes, "bench").ok() &&
+            telemetry_reg->PublishFromBytes(route, model_bytes, "bench").ok();
+      }
+    }
+    if (!fleet_up) {
+      // Environment failure (port bind, serialization), not a perf result:
+      // report and leave the gate inactive rather than failing the bench.
+      std::printf("fleet telemetry bench unavailable on this host\n");
+    } else {
+      const size_t kFleetRequests = kRequests / 2;
+      // Sidecar scraper: the merged fleet snapshot + full text exposition,
+      // polled every 25 ms — but only while a telemetry run is measured, so
+      // the plain runs don't share the bill.
+      std::atomic<bool> sidecar_stop{false};
+      std::atomic<bool> sidecar_active{false};
+      std::thread sidecar([&] {
+        while (!sidecar_stop.load()) {
+          if (sidecar_active.load()) {
+            (void)telemetry_reg->AggregateSnapshot();
+            (void)telemetry_reg->MetricsText();
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+      });
+      DriveShardLoad(plain_reg.get(), wl, routes, kFleetRequests / 4,
+                     kClients, kPipeline);
+      sidecar_active.store(true);
+      DriveShardLoad(telemetry_reg.get(), wl, routes, kFleetRequests / 4,
+                     kClients, kPipeline, /*trace_every=*/16);
+      sidecar_active.store(false);
+      for (int rep = 0; rep < 2; ++rep) {
+        double off = DriveShardLoad(plain_reg.get(), wl, routes,
+                                    kFleetRequests, kClients, kPipeline);
+        sidecar_active.store(true);
+        double on = DriveShardLoad(telemetry_reg.get(), wl, routes,
+                                   kFleetRequests, kClients, kPipeline,
+                                   /*trace_every=*/16);
+        sidecar_active.store(false);
+        fleet_plain_qps = std::max(fleet_plain_qps, off);
+        fleet_telemetry_qps = std::max(fleet_telemetry_qps, on);
+      }
+      sidecar_stop.store(true);
+      sidecar.join();
+
+      // The ratio only means something if the plane actually ran: the merged
+      // view must carry the remote node's scraped identity.
+      serve::StatsSnapshot agg = telemetry_reg->AggregateSnapshot();
+      std::string remote_node = "(not scraped)";
+      for (const auto& sl : agg.slots) {
+        if (sl.kind == "remote" && !sl.node_id.empty()) remote_node = sl.node_id;
+      }
+      util::AsciiTable fleet_table({"config", "QPS (best of 2)"});
+      fleet_table.AddRow({"telemetry off",
+                          util::AsciiTable::Num(fleet_plain_qps, 0)});
+      fleet_table.AddRow({"traced 1-in-16 + scraped",
+                          util::AsciiTable::Num(fleet_telemetry_qps, 0)});
+      fleet_table.Print("fleet_telemetry");
+      std::printf("merged snapshot: %llu requests across %zu slots, remote "
+                  "node \"%s\"\n",
+                  (unsigned long long)agg.requests, agg.slots.size(),
+                  remote_node.c_str());
+
+      // The plane's threads (scrape tick, sidecar scraper, RemoteShard
+      // readers) are designed to ride spare cores; on one core the ratio
+      // measures timeslicing, not telemetry cost — same policy as the
+      // N-shard gate.
+      fleet_gate_active = cores >= 2;
+      fleet_telemetry_ratio =
+          fleet_plain_qps > 0 ? fleet_telemetry_qps / fleet_plain_qps : 0.0;
+      fleet_telemetry_ok = !fleet_gate_active || fleet_telemetry_ratio >= 0.97;
+      std::printf(
+          "\ntraced+scraped vs telemetry-off QPS: %.3fx (acceptance: >= "
+          "0.97x on >= 2 cores; %zu core(s) -> gate %s) %s\n",
+          fleet_telemetry_ratio, cores,
+          fleet_gate_active ? "active" : "skipped",
+          fleet_telemetry_ok ? "OK" : "BELOW TARGET");
+    }
+  }
+
   bool all_ok = speedup >= 1.7 && sweep_speedup >= 3.0 &&
-                pack_speedup >= 1.3 && live_ok && shard_ok && trace_ok;
+                pack_speedup >= 1.3 && live_ok && shard_ok && trace_ok &&
+                fleet_telemetry_ok;
 
   // ------------------------------------------------ machine-readable out ---
   if (!json_path.empty()) {
@@ -702,6 +872,14 @@ int main(int argc, char** argv) {
                        .Field("op", ">=")
                        .Field("pass", trace_ok)
                        .Finish());
+    gates.RawField("fleet_telemetry_overhead",
+                   serve::JsonWriter()
+                       .Field("value", fleet_telemetry_ratio)
+                       .Field("threshold", 0.97)
+                       .Field("op", ">=")
+                       .Field("active", fleet_gate_active)
+                       .Field("pass", fleet_telemetry_ok)
+                       .Finish());
 
     serve::JsonWriter metrics;
     metrics.Field("unbatched_qps", base.qps);
@@ -724,6 +902,8 @@ int main(int argc, char** argv) {
     metrics.Field("wire_roundtrips", wire_requests);
     metrics.Field("untraced_qps", untraced_qps);
     metrics.Field("traced_qps", traced_qps);
+    metrics.Field("fleet_plain_qps", fleet_plain_qps);
+    metrics.Field("fleet_telemetry_qps", fleet_telemetry_qps);
 
     serve::JsonWriter doc;
     doc.Field("bench", "serve_throughput");

@@ -7,6 +7,7 @@
 ///   ./examples/serve_demo server [port]    # sharded fleet + TCP frontend
 ///   ./examples/serve_demo client <port> [host]   # wire client
 ///   ./examples/serve_demo shard_node <port> [dim]  # one remote fleet shard
+///   ./examples/serve_demo metrics <port> [host]  # dump {"cmd":"metrics"}
 ///
 /// The flow mirrors a production deployment: an offline training job writes a
 /// SaveModel file; the server publishes it into its ModelRegistry; clients
@@ -55,6 +56,7 @@
 #include "serve/shard_node.h"
 #include "serve/shard_router.h"
 #include "serve/update_pipeline.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -142,8 +144,10 @@ int RunServer(uint16_t port) {
   for (int tick = 0; tick < 600 && !g_interrupted.load(); ++tick) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     if (tick % 50 == 49) {
-      // One-line digest every ~5s from the merged fleet snapshot — the same
-      // numbers a wire client gets from {"cmd":"stats"}.
+      // Digest every ~5s from the merged fleet snapshot — the same numbers a
+      // wire client gets from {"cmd":"stats"}, plus the control-plane
+      // counters behind {"cmd":"metrics"}: per-replica health and the
+      // failover / state-transfer totals.
       serve::StatsSnapshot s = frontend.FleetSnapshot();
       std::printf(
           "[stats] %llu req, %.0f qps, p50 %.3f ms, p99 %.3f ms, hit rate "
@@ -151,6 +155,21 @@ int RunServer(uint16_t port) {
           (unsigned long long)s.requests, s.qps, s.latency_p50_ms,
           s.latency_p99_ms, s.cache_hit_rate, (unsigned long long)s.traced,
           s.slow_requests.size());
+      std::string replicas;
+      for (const serve::SlotSnapshot& sl : s.slots) {
+        replicas += " " + sl.endpoint + "=" + sl.health;
+      }
+      util::MetricsRegistry& m = registry.metrics();
+      std::printf(
+          "[fleet]%s | failover %llu/%llu ok, transitions %llu, "
+          "transfer tx %lluB, scrapes %llu\n",
+          replicas.c_str(),
+          (unsigned long long)m.CounterTotal("selnet_failover_successes_total"),
+          (unsigned long long)m.CounterTotal("selnet_failover_attempts_total"),
+          (unsigned long long)m.CounterTotal(
+              "selnet_health_transitions_total"),
+          (unsigned long long)m.CounterTotal("selnet_transfer_tx_bytes_total"),
+          (unsigned long long)m.CounterTotal("selnet_scrape_total"));
     }
   }
   frontend.Stop();  // Graceful drain: accepted requests are answered.
@@ -207,6 +226,29 @@ int RunClient(const std::string& host, uint16_t port) {
   return 0;
 }
 
+/// `serve_demo metrics <port> [host]`: fetch and print the Prometheus-style
+/// exposition plus the event ring — what a scraper sidecar would pull.
+int RunMetrics(const std::string& host, uint16_t port) {
+  serve::NetClient client;
+  util::Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    std::printf("connect failed: %s\n", connected.ToString().c_str());
+    return 1;
+  }
+  client.set_recv_timeout_ms(5000);
+  auto text = client.Metrics();
+  if (!text.ok()) {
+    std::printf("metrics failed: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(text.ValueOrDie().c_str(), stdout);
+  auto events = client.Admin("events");
+  if (events.ok()) {
+    std::printf("\n# events\n%s\n", events.ValueOrDie().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,6 +272,14 @@ int main(int argc, char** argv) {
     }
     return RunClient(argc >= 4 ? argv[3] : "127.0.0.1",
                      uint16_t(std::atoi(argv[2])));
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "metrics") == 0) {
+    if (argc < 3) {
+      std::printf("usage: serve_demo metrics <port> [host]\n");
+      return 1;
+    }
+    return RunMetrics(argc >= 4 ? argv[3] : "127.0.0.1",
+                      uint16_t(std::atoi(argv[2])));
   }
   // 1. Offline: build data, train SelNet-ct, write a model file.
   data::SyntheticSpec spec;

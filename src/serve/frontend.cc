@@ -91,6 +91,12 @@ NetFrontend::Backend ServerBackend(SelNetServer* server) {
   return b;
 }
 
+NetFrontend::Backend SubmitOnlyBackend(NetFrontend::SubmitFn submit) {
+  NetFrontend::Backend b;
+  b.submit = std::move(submit);
+  return b;
+}
+
 NetFrontend::Backend RegistryBackend(ShardedRegistry* registry) {
   NetFrontend::Backend b;
   b.submit = [registry](EstimateRequest req, SelNetServer::ResponseFn done) {
@@ -102,6 +108,9 @@ NetFrontend::Backend RegistryBackend(ShardedRegistry* registry) {
     return registry->PublishFromBytes(model, bytes, "state transfer");
   };
   b.trace_sample_every = registry->config().server.trace_sample_every;
+  b.metrics = [registry] { return registry->MetricsText(); };
+  b.events = [registry] { return registry->EventsJson(); };
+  b.node_id = registry->config().node_id;
   return b;
 }
 
@@ -114,7 +123,7 @@ NetFrontend::NetFrontend(const FrontendConfig& cfg, ShardedRegistry* registry)
     : NetFrontend(cfg, RegistryBackend(registry)) {}
 
 NetFrontend::NetFrontend(const FrontendConfig& cfg, SubmitFn submit)
-    : NetFrontend(cfg, Backend{std::move(submit), nullptr, nullptr, 0}) {}
+    : NetFrontend(cfg, SubmitOnlyBackend(std::move(submit))) {}
 
 NetFrontend::NetFrontend(const FrontendConfig& cfg, Backend backend)
     : cfg_(cfg), backend_(std::move(backend)),
@@ -125,6 +134,11 @@ NetFrontend::NetFrontend(const FrontendConfig& cfg, Backend backend)
   }
   if (!bind_status_.ok()) return;
   port_ = listener_.port();
+  if (backend_.node_id.empty()) {
+    // Default process identity: the bound endpoint. A shard_node's scraped
+    // snapshot then names itself without any extra configuration.
+    backend_.node_id = cfg_.bind_address + ":" + std::to_string(port_);
+  }
   loop_ = std::thread([this] { Loop(); });
 }
 
@@ -153,6 +167,10 @@ FrontendStats NetFrontend::Stats() const {
   s.oversized = oversized_.load(std::memory_order_relaxed);
   s.backpressure_stalls = stalls_.load(std::memory_order_relaxed);
   s.admin_requests = admin_requests_.load(std::memory_order_relaxed);
+  s.transfer_frames = xfer_frames_.load(std::memory_order_relaxed);
+  s.transfer_bytes = xfer_bytes_.load(std::memory_order_relaxed);
+  s.transfer_crc_rejections = xfer_crc_rejects_.load(std::memory_order_relaxed);
+  s.transfer_installs = xfer_installs_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -169,11 +187,56 @@ StatsSnapshot NetFrontend::FleetSnapshot() const {
     }
     snap.stage_hists[size_t(Stage::kEncode)].Merge(encode);
   }
+  if (snap.node_id.empty()) snap.node_id = backend_.node_id;
   return snap;
 }
 
 std::string NetFrontend::StatsJson() const {
   return StatsToJson(FleetSnapshot());
+}
+
+std::string NetFrontend::MetricsText() const {
+  std::string text;
+  if (backend_.snapshot) text += RenderStatsExposition(FleetSnapshot());
+  const FrontendStats fs = Stats();
+  auto counter = [&text](const char* name, const char* labels, uint64_t v) {
+    text += name;
+    text += labels;
+    text += ' ';
+    text += std::to_string(v);
+    text += '\n';
+  };
+  text += "# TYPE selnet_frontend_connections_total counter\n";
+  counter("selnet_frontend_connections_total", "{event=\"accepted\"}",
+          fs.connections_accepted);
+  counter("selnet_frontend_connections_total", "{event=\"refused\"}",
+          fs.connections_refused);
+  counter("selnet_frontend_connections_total", "{event=\"dropped\"}",
+          fs.connections_dropped);
+  text += "# TYPE selnet_frontend_requests_total counter\n";
+  counter("selnet_frontend_requests_total", "", fs.requests);
+  text += "# TYPE selnet_frontend_responses_total counter\n";
+  counter("selnet_frontend_responses_total", "", fs.responses);
+  text += "# TYPE selnet_frontend_parse_errors_total counter\n";
+  counter("selnet_frontend_parse_errors_total", "", fs.parse_errors);
+  text += "# TYPE selnet_frontend_request_errors_total counter\n";
+  counter("selnet_frontend_request_errors_total", "", fs.request_errors);
+  text += "# TYPE selnet_frontend_backpressure_stalls_total counter\n";
+  counter("selnet_frontend_backpressure_stalls_total", "",
+          fs.backpressure_stalls);
+  text += "# TYPE selnet_frontend_admin_requests_total counter\n";
+  counter("selnet_frontend_admin_requests_total", "", fs.admin_requests);
+  text += "# TYPE selnet_transfer_rx_frames_total counter\n";
+  counter("selnet_transfer_rx_frames_total", "", fs.transfer_frames);
+  text += "# TYPE selnet_transfer_rx_bytes_total counter\n";
+  counter("selnet_transfer_rx_bytes_total", "", fs.transfer_bytes);
+  text += "# TYPE selnet_transfer_rx_crc_rejections_total counter\n";
+  counter("selnet_transfer_rx_crc_rejections_total", "",
+          fs.transfer_crc_rejections);
+  text += "# TYPE selnet_transfer_installs_total counter\n";
+  counter("selnet_transfer_installs_total", "", fs.transfer_installs);
+  if (backend_.metrics) text += backend_.metrics();
+  return text;
 }
 
 void NetFrontend::AcceptNew() {
@@ -263,6 +326,28 @@ std::string NetFrontend::DispatchAdmin(const std::shared_ptr<Conn>& conn,
     w.Field("ok", true);
     if (admin.tag != 0) w.Field("tag", admin.tag);
     reply = w.Finish();
+  } else if (admin.cmd == "metrics") {
+    // The multi-line exposition text travels as ONE JSON string value;
+    // JsonQuote escapes the newlines and NetClient::Metrics restores them.
+    JsonWriter w;
+    w.Field("metrics", MetricsText());
+    if (admin.tag != 0) w.Field("tag", admin.tag);
+    reply = w.Finish();
+  } else if (admin.cmd == "events") {
+    if (!backend_.events) {
+      reply = SerializeError("wire: no event ring attached", admin.tag);
+    } else {
+      JsonWriter w;
+      w.RawField("events", backend_.events());
+      if (admin.tag != 0) w.Field("tag", admin.tag);
+      reply = w.Finish();
+    }
+  } else if (admin.cmd == "stats_wire") {
+    if (!backend_.snapshot) {
+      reply = SerializeError("wire: no stats backend attached", admin.tag);
+    } else {
+      reply = SerializeStatsWire(FleetSnapshot(), admin.tag);
+    }
   } else if (admin.cmd == "xfer_begin" || admin.cmd == "xfer_frame" ||
              admin.cmd == "xfer_commit") {
     reply = HandleTransfer(conn, admin);
@@ -290,8 +375,13 @@ std::string NetFrontend::HandleTransfer(const std::shared_ptr<Conn>& conn,
       conn->xfer.Abort();
       st = raw.status();
     } else {
+      const size_t frame_bytes = raw.ValueOrDie().size();
       st = conn->xfer.AddFrame(admin.seq, uint32_t(admin.crc),
                                raw.ValueOrDie());
+      if (st.ok()) {
+        xfer_frames_.fetch_add(1, std::memory_order_relaxed);
+        xfer_bytes_.fetch_add(frame_bytes, std::memory_order_relaxed);
+      }
     }
   } else {  // xfer_commit
     Result<std::string> bytes =
@@ -306,6 +396,7 @@ std::string NetFrontend::HandleTransfer(const std::shared_ptr<Conn>& conn,
       if (v.ok()) {
         version = v.ValueOrDie();
         committed = true;
+        xfer_installs_.fetch_add(1, std::memory_order_relaxed);
         util::LogDebug("frontend: state transfer installed route '%s' v%llu",
                        admin.model.c_str(),
                        static_cast<unsigned long long>(version));
@@ -314,7 +405,15 @@ std::string NetFrontend::HandleTransfer(const std::shared_ptr<Conn>& conn,
       }
     }
   }
-  if (!st.ok()) return SerializeError(st.message(), admin.tag);
+  if (!st.ok()) {
+    // The assembler types both the per-frame and whole-payload checksum
+    // failures kIoError; everything else on this path (bad base64, ordering,
+    // size lies) is kInvalidArgument.
+    if (st.code() == util::StatusCode::kIoError) {
+      xfer_crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return SerializeError(st.message(), admin.tag);
+  }
   JsonWriter w;
   w.Field("ok", true);
   if (committed) w.Field("version", version);
@@ -360,6 +459,11 @@ void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
     return;
   }
 
+  // A wire-requested trace ("trace":true) is honored regardless of the
+  // sampling counter: the caller — a coordinator propagating its own sampled
+  // span, or a debugging client — wants THIS request timed, and gets the
+  // span's stage block back in the response.
+  if (!trace && req.wire_trace) trace = std::make_shared<RequestTrace>();
   if (trace) {
     trace->Observe(Stage::kDecode,
                    std::chrono::duration<double, std::milli>(
@@ -385,7 +489,8 @@ void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
   auto conn_ref = conn;
   auto shared = shared_;
   auto traced = req.trace;
-  backend_.submit(std::move(req), [shared, conn_ref, tag, traced](
+  const bool wire_traced = req.wire_trace;
+  backend_.submit(std::move(req), [shared, conn_ref, tag, traced, wire_traced](
                               EstimateResponse&& resp,
                               std::exception_ptr error) {
     const auto encode_start = std::chrono::steady_clock::now();
@@ -403,6 +508,18 @@ void NetFrontend::SubmitLine(const std::shared_ptr<Conn>& conn,
         out = SerializeError(ErrorText(error), tag);
       }
     } else {
+      if (wire_traced && traced) {
+        // The caller asked for the stage block: snapshot the span (the
+        // server has already flushed its own copy) and ship every stage —
+        // encode is structurally 0 (the block is serialized inside encode),
+        // and the remote stages are 0 unless this process itself remoted
+        // the request onward.
+        SpanRecord span = traced->Finish(resp.model, tag);
+        resp.stage_ms.assign(kNumStages, 0.0f);
+        for (size_t i = 0; i < kNumStages; ++i) {
+          resp.stage_ms[i] = float(span.stage_ms[i]);
+        }
+      }
       out = SerializeResponse(resp);
     }
     if (traced) {
@@ -712,6 +829,18 @@ Result<std::string> NetClient::Admin(const std::string& cmd, uint64_t tag) {
   if (tag != 0) w.Field("tag", tag);
   SEL_RETURN_NOT_OK(SendRaw(w.Finish() + "\n"));
   return ReadLine();
+}
+
+Result<std::string> NetClient::Metrics(uint64_t tag) {
+  Result<std::string> line = Admin("metrics", tag);
+  if (!line.ok()) return line.status();
+  return ParseMetricsReply(line.ValueOrDie());
+}
+
+Result<StatsSnapshot> NetClient::StatsWire(uint64_t tag) {
+  Result<std::string> line = Admin("stats_wire", tag);
+  if (!line.ok()) return line.status();
+  return ParseStatsWireLine(line.ValueOrDie());
 }
 
 Result<EstimateResponse> NetClient::Roundtrip(const EstimateRequest& req) {

@@ -93,6 +93,11 @@ struct FrontendStats {
   uint64_t oversized = 0;            ///< Lines over max_line_bytes.
   uint64_t backpressure_stalls = 0;  ///< Times a conn hit the inflight cap.
   uint64_t admin_requests = 0;       ///< {"cmd":...} lines answered.
+  // Receiver-side state-transfer counters (the xfer_* admin family).
+  uint64_t transfer_frames = 0;    ///< Frames accepted (CRC verified).
+  uint64_t transfer_bytes = 0;     ///< Decoded payload bytes accepted.
+  uint64_t transfer_crc_rejections = 0;  ///< Frame / whole-payload CRC fails.
+  uint64_t transfer_installs = 0;  ///< xfer_commit publishes that stuck.
 };
 
 /// \brief Line-delimited JSON-over-TCP frontend for one serving backend.
@@ -121,6 +126,18 @@ class NetFrontend {
                                          const std::string& bytes)>
         install;
     size_t trace_sample_every = 0;
+    /// Prometheus-style registry text appended to the {"cmd":"metrics"}
+    /// reply — a coordinator's health/failover/transfer series
+    /// (ShardedRegistry::MetricsText). Null = the reply carries only the
+    /// snapshot-derived and frontend-level series.
+    std::function<std::string()> metrics;
+    /// JSON array body for {"cmd":"events"} (the coordinator's health /
+    /// transfer flight recorder). Null = the command gets an error reply.
+    std::function<std::string()> events;
+    /// Node identity stamped into FleetSnapshot when the backend's snapshot
+    /// does not already carry one (plain SelNetServer backends; a
+    /// ShardedRegistry stamps its own configured node_id).
+    std::string node_id;
   };
 
   /// \brief Serve a single server (no sharding).
@@ -155,6 +172,12 @@ class NetFrontend {
 
   /// \brief StatsToJson(FleetSnapshot()).
   std::string StatsJson() const;
+
+  /// \brief The full {"cmd":"metrics"} exposition text: the fleet snapshot
+  /// rendered Prometheus-style (RenderStatsExposition), the frontend's own
+  /// selnet_frontend_* / selnet_transfer_rx_* series, and the backend's
+  /// registry text when the hook is set. Passes util::LintExposition.
+  std::string MetricsText() const;
 
  private:
   struct Conn;
@@ -222,6 +245,10 @@ class NetFrontend {
   std::atomic<uint64_t> oversized_{0};
   std::atomic<uint64_t> stalls_{0};
   std::atomic<uint64_t> admin_requests_{0};
+  std::atomic<uint64_t> xfer_frames_{0};
+  std::atomic<uint64_t> xfer_bytes_{0};
+  std::atomic<uint64_t> xfer_crc_rejects_{0};
+  std::atomic<uint64_t> xfer_installs_{0};
 
   /// Loop-thread-only position for 1-in-N decode-stage sampling.
   uint64_t trace_seq_ = 0;
@@ -271,6 +298,14 @@ class NetClient {
   /// \brief One admin-plane round trip ({"cmd":<cmd>,"tag":<tag>}); returns
   /// the server's raw JSON reply line.
   util::Result<std::string> Admin(const std::string& cmd, uint64_t tag = 0);
+
+  /// \brief Fetch the server's Prometheus-style exposition text
+  /// ({"cmd":"metrics"}), newlines restored from the JSON transport.
+  util::Result<std::string> Metrics(uint64_t tag = 0);
+
+  /// \brief Fetch and parse the flat machine-scrape snapshot
+  /// ({"cmd":"stats_wire"}) — what a coordinator's scrape tick calls.
+  util::Result<StatsSnapshot> StatsWire(uint64_t tag = 0);
 
   /// \brief Block until one full line arrives (without the '\n').
   util::Result<std::string> ReadLine();

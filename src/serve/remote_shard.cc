@@ -93,6 +93,8 @@ void RemoteShard::SubmitWith(EstimateRequest req,
   Clock::time_point now = Clock::now();
   Pending entry;
   entry.caller_tag = req.tag;
+  entry.trace = req.trace;
+  entry.sent = now;
   if (cfg_.recv_timeout_ms > 0) {
     entry.expires = now + std::chrono::milliseconds(cfg_.recv_timeout_ms);
   }
@@ -269,6 +271,8 @@ void RemoteShard::HandleLine(const std::string& line) {
                               // nothing can be waiting on it.
   SelNetServer::ResponseFn cb;
   uint64_t caller_tag = 0;
+  std::shared_ptr<RequestTrace> trace;
+  Clock::time_point sent{};
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pending_.find(wire_tag);
@@ -277,9 +281,33 @@ void RemoteShard::HandleLine(const std::string& line) {
                                        // reply so it fires exactly once.
     cb = std::move(it->second.done);
     caller_tag = it->second.caller_tag;
+    trace = std::move(it->second.trace);
+    sent = it->second.sent;
     pending_.erase(it);
   }
   resp.tag = caller_tag;
+  if (trace) {
+    // Attribute the hop: the remote's own queue/predict time (from its
+    // stage block) becomes the remote_* stages, and remote_wire is the
+    // whole caller-observed round trip — floored at the remote's share so
+    // remote_queue + remote_predict <= remote_wire holds even against
+    // clock granularity noise.
+    double wire_ms = std::chrono::duration<double, std::milli>(
+                         Clock::now() - sent)
+                         .count();
+    double remote_share = 0.0;
+    if (resp.stage_ms.size() >= kNumLocalStages) {
+      double rq = double(resp.stage_ms[size_t(Stage::kQueue)]);
+      double rp = double(resp.stage_ms[size_t(Stage::kPredict)]);
+      remote_share = rq + rp;
+      trace->Observe(Stage::kRemoteQueue, rq);
+      trace->Observe(Stage::kRemotePredict, rp);
+    }
+    trace->Observe(Stage::kRemoteWire, std::max(wire_ms, remote_share));
+  }
+  // The block is coordinator-internal: it merged into the trace above and
+  // must not leak into the caller-visible response.
+  resp.stage_ms.clear();
   if (st.ok()) {
     cb(std::move(resp), nullptr);
     return;
@@ -330,6 +358,13 @@ Status RemoteShard::HealthCheck() {
   client.set_recv_timeout_ms(cfg_.admin_timeout_ms);
   SEL_ASSIGN_OR_RETURN(std::string reply, client.Admin("health"));
   return ParseAckLine(reply);
+}
+
+Result<StatsSnapshot> RemoteShard::ScrapeStats() {
+  NetClient client;
+  SEL_RETURN_NOT_OK(client.Connect(cfg_.address, cfg_.port));
+  client.set_recv_timeout_ms(cfg_.admin_timeout_ms);
+  return client.StatsWire();
 }
 
 }  // namespace selnet::serve

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "serve/serve_stats.h"
 #include "serve/server.h"
 #include "util/net.h"
 #include "util/status.h"
@@ -130,6 +132,11 @@ class RemoteShard {
   /// \brief Dial + {"cmd":"health"} round trip, bounded by admin_timeout_ms.
   util::Status HealthCheck();
 
+  /// \brief Dial + {"cmd":"stats_wire"} round trip: the remote's flat
+  /// machine-scrape snapshot (counters + encoded histograms), for the
+  /// coordinator's scrape tick to bucket-merge into the fleet view.
+  util::Result<StatsSnapshot> ScrapeStats();
+
   /// \brief Requests currently awaiting a response (tests, fleet report).
   size_t pending() const;
 
@@ -145,6 +152,12 @@ class RemoteShard {
     /// The expiry above IS the request's deadline — deliver OverloadError,
     /// not a retryable timeout.
     bool expiry_is_request_deadline = false;
+    /// The caller's trace, when this request is sampled: the remote's
+    /// stage_ms block merges into it as the remote_* stages at completion.
+    std::shared_ptr<RequestTrace> trace;
+    /// Submit time — the remote_wire stage is completion minus this, the
+    /// whole hop as the caller observed it.
+    Clock::time_point sent{};
   };
 
   void ReaderLoop();

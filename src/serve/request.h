@@ -57,9 +57,19 @@ struct EstimateRequest {
   }
   /// Stage-trace span for a SAMPLED request (see trace.h); null for the
   /// untraced majority. Set by the NetFrontend (wire requests, so the decode
-  /// stage is captured) or by SelNetServer::SubmitWith (in-process requests);
-  /// never serialized on the wire.
+  /// stage is captured) or by SelNetServer::SubmitWith (in-process requests).
+  /// The trace OBJECT never crosses the wire — a traced request serializes a
+  /// `"trace":true` flag instead (see `wire_trace`), and the remote's
+  /// response carries a per-stage timing block back.
   std::shared_ptr<RequestTrace> trace;
+  /// True when the WIRE asked for tracing (`"trace":true` on the request
+  /// line, the caller's `tag` doubling as its trace id): the frontend
+  /// attaches a trace regardless of its sampling counter and returns the
+  /// span's stage block in the response so the caller can attribute this
+  /// process's share of the latency. Set by ParseRequestLine; serialized by
+  /// SerializeRequest (also implied when `trace` is non-null — RemoteShard
+  /// propagates a sampled trace downstream this way).
+  bool wire_trace = false;
 
   /// \brief A single-threshold request (the scalar compatibility shape).
   static EstimateRequest Point(const float* x, size_t dim, float t,
@@ -106,6 +116,14 @@ struct EstimateResponse {
   /// (bit-identical to the fast path for the cached version, but possibly a
   /// version behind the latest publish).
   bool degraded = false;
+  /// Per-stage timing block for a WIRE-TRACED request (`"trace":true`): the
+  /// answering frontend's span, one float per serve::Stage in enum order
+  /// (the remote stages stay 0 — a shard_node reports only its own view;
+  /// encode is also 0 since the block is serialized inside encode). Empty
+  /// for untraced requests. RemoteShard consumes and STRIPS this before the
+  /// caller's completion fires — it merges into the caller's RequestTrace,
+  /// it is not part of the caller-visible response.
+  std::vector<float> stage_ms;
 };
 
 }  // namespace selnet::serve

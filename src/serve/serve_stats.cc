@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "serve/wire.h"
 #include "tensor/kernel_dispatch.h"
@@ -293,8 +294,11 @@ std::string ServeStats::Report(const std::string& title) const {
 
   // Slow-request section: full span breakdowns of traced outliers.
   if (!s.slow_requests.empty()) {
-    util::AsciiTable slow({"slow request", "total ms", "decode", "route",
-                           "cache", "queue", "predict", "encode"});
+    std::vector<std::string> headers = {"slow request", "total ms"};
+    for (size_t i = 0; i < kNumStages; ++i) {
+      headers.push_back(StageName(Stage(i)));
+    }
+    util::AsciiTable slow(headers);
     for (const auto& span : s.slow_requests) {
       std::vector<std::string> row;
       row.push_back(span.route.empty() ? "(default)" : span.route);
@@ -419,6 +423,8 @@ StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards) {
 
 std::string StatsToJson(const StatsSnapshot& s) {
   JsonWriter w;
+  if (!s.node_id.empty()) w.Field("node", s.node_id);
+  if (s.uptime_s > 0.0) w.Field("uptime_s", s.uptime_s);
   w.Field("requests", s.requests);
   w.Field("qps", s.qps);
   w.Field("elapsed_s", s.elapsed_seconds);
@@ -498,8 +504,149 @@ std::string StatsToJson(const StatsSnapshot& s) {
     up.Field("last_publish_age_s", s.last_publish_age_s);
     w.RawField("update_pipeline", up.Finish());
   }
+  if (!s.slots.empty()) {
+    std::string slots = "[";
+    for (size_t i = 0; i < s.slots.size(); ++i) {
+      const SlotSnapshot& sl = s.slots[i];
+      JsonWriter sw;
+      sw.Field("slot", uint64_t(sl.slot));
+      sw.Field("kind", sl.kind);
+      sw.Field("endpoint", sl.endpoint);
+      sw.Field("health", sl.health);
+      if (!sl.node_id.empty()) sw.Field("node", sl.node_id);
+      if (sl.uptime_s > 0.0) sw.Field("uptime_s", sl.uptime_s);
+      if (sl.scrape_age_s >= 0.0) sw.Field("scrape_age_s", sl.scrape_age_s);
+      if (sl.kind == "remote") sw.Field("pending", sl.pending);
+      if (i > 0) slots += ",";
+      slots += sw.Finish();
+    }
+    slots += "]";
+    w.RawField("slots", slots);
+  }
   w.Field("slow_requests", uint64_t(s.slow_requests.size()));
   return w.Finish();
+}
+
+namespace {
+
+void AppendSample(std::string& out, const std::string& name,
+                  const std::string& labels, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += name + labels + " " + buf + "\n";
+}
+
+void AppendSample(std::string& out, const std::string& name,
+                  const std::string& labels, uint64_t value) {
+  out += name + labels + " " + std::to_string(value) + "\n";
+}
+
+std::string ExpositionLabel(const std::string& key, const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') escaped += '\\';
+    if (c == '\n') {
+      escaped += "\\n";
+      continue;
+    }
+    escaped += c;
+  }
+  return "{" + key + "=\"" + escaped + "\"}";
+}
+
+void AppendSummary(std::string& out, const std::string& name,
+                   const std::string& label_key, const std::string& label_val,
+                   const util::HistogramSnapshot& h) {
+  std::string base =
+      label_val.empty() ? "" : label_key + "=\"" + label_val + "\",";
+  AppendSample(out, name, "{" + base + "quantile=\"0.5\"}",
+               h.ValueAtQuantile(0.50));
+  AppendSample(out, name, "{" + base + "quantile=\"0.99\"}",
+               h.ValueAtQuantile(0.99));
+  std::string plain =
+      label_val.empty() ? "" : ExpositionLabel(label_key, label_val);
+  AppendSample(out, name + "_sum", plain,
+               static_cast<double>(h.sum_ticks) / 1000.0);
+  AppendSample(out, name + "_count", plain, h.count);
+}
+
+}  // namespace
+
+std::string RenderStatsExposition(const StatsSnapshot& s) {
+  std::string out;
+  out += "# TYPE selnet_requests_total counter\n";
+  AppendSample(out, "selnet_requests_total", "", s.requests);
+  out += "# TYPE selnet_cache_hits_total counter\n";
+  AppendSample(out, "selnet_cache_hits_total", "", s.cache_hits);
+  out += "# TYPE selnet_cache_misses_total counter\n";
+  AppendSample(out, "selnet_cache_misses_total", "", s.cache_misses);
+  out += "# TYPE selnet_batches_total counter\n";
+  AppendSample(out, "selnet_batches_total", "", s.batches);
+  out += "# TYPE selnet_sweeps_total counter\n";
+  AppendSample(out, "selnet_sweeps_total", "", s.sweeps);
+  out += "# TYPE selnet_traced_total counter\n";
+  AppendSample(out, "selnet_traced_total", "", s.traced);
+  out += "# TYPE selnet_model_swaps_total counter\n";
+  AppendSample(out, "selnet_model_swaps_total", "", s.swaps);
+  out += "# TYPE selnet_sheds_total counter\n";
+  for (size_t i = 1; i < kNumShedReasons && i < s.sheds.size(); ++i) {
+    AppendSample(out, "selnet_sheds_total",
+                 ExpositionLabel("reason", ShedReasonName(ShedReason(i))),
+                 s.sheds[i]);
+  }
+  out += "# TYPE selnet_degraded_total counter\n";
+  AppendSample(out, "selnet_degraded_total", "", s.degraded);
+  out += "# TYPE selnet_deadline_rows_dropped_total counter\n";
+  AppendSample(out, "selnet_deadline_rows_dropped_total", "",
+               s.deadline_rows_dropped);
+  out += "# TYPE selnet_uptime_seconds gauge\n";
+  AppendSample(out, "selnet_uptime_seconds", "",
+               s.uptime_s > 0.0 ? s.uptime_s : s.elapsed_seconds);
+  out += "# TYPE selnet_latency_ms summary\n";
+  AppendSummary(out, "selnet_latency_ms", "", "", s.latency_hist);
+  bool any_stage = false;
+  for (const auto& h : s.stage_hists) any_stage |= !h.empty();
+  if (any_stage) {
+    out += "# TYPE selnet_stage_latency_ms summary\n";
+    for (size_t i = 0; i < s.stage_hists.size() && i < kNumStages; ++i) {
+      if (s.stage_hists[i].empty()) continue;
+      AppendSummary(out, "selnet_stage_latency_ms", "stage",
+                    StageName(Stage(i)), s.stage_hists[i]);
+    }
+  }
+  if (!s.routes.empty()) {
+    // Replicated routes appear in more than one snapshot of a merged fleet
+    // view (local shard + remote scrape): sum per route name so no series
+    // is emitted twice.
+    std::map<std::string, uint64_t> per_route;
+    for (const RouteSnapshot& r : s.routes) {
+      per_route[r.route.empty() ? "(default)" : r.route] += r.requests;
+    }
+    out += "# TYPE selnet_route_requests_total counter\n";
+    for (const auto& [route, requests] : per_route) {
+      AppendSample(out, "selnet_route_requests_total",
+                   ExpositionLabel("route", route), requests);
+    }
+  }
+  if (!s.slots.empty()) {
+    out += "# TYPE selnet_slot_health gauge\n";
+    for (const SlotSnapshot& sl : s.slots) {
+      std::string labels = "{slot=\"" + std::to_string(sl.slot) +
+                           "\",kind=\"" + sl.kind + "\",endpoint=\"" +
+                           sl.endpoint + "\",state=\"" + sl.health + "\"";
+      if (!sl.node_id.empty()) labels += ",node=\"" + sl.node_id + "\"";
+      labels += "}";
+      AppendSample(out, "selnet_slot_health", labels, uint64_t(1));
+    }
+    out += "# TYPE selnet_slot_scrape_age_seconds gauge\n";
+    for (const SlotSnapshot& sl : s.slots) {
+      if (sl.kind != "remote") continue;
+      AppendSample(out, "selnet_slot_scrape_age_seconds",
+                   ExpositionLabel("endpoint", sl.endpoint), sl.scrape_age_s);
+    }
+  }
+  return out;
 }
 
 }  // namespace selnet::serve

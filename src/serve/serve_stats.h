@@ -31,6 +31,22 @@
 
 namespace selnet::serve {
 
+/// \brief Per-ring-slot identity and health, carried by the AGGREGATE
+/// snapshot a coordinator serves from {"cmd":"stats"} — this is what lets a
+/// scraper distinguish local shards from remote replicas, and live remotes
+/// from ones whose last scrape went stale.
+struct SlotSnapshot {
+  size_t slot = 0;
+  std::string kind;      ///< "local" or "remote".
+  std::string endpoint;  ///< "host:port" for remotes, "shard-<i>" locally.
+  std::string health;    ///< ShardHealthName; local shards are "healthy".
+  std::string node_id;   ///< Remote's self-reported process identity.
+  double uptime_s = 0.0;     ///< Remote's self-reported uptime.
+  double scrape_age_s = -1.0;  ///< Age of the merged remote scrape; -1 =
+                               ///  none held (never scraped or TTL-dropped).
+  uint64_t pending = 0;  ///< In-flight requests awaiting the remote.
+};
+
 /// \brief Point-in-time per-route view: one row of the A/B report.
 struct RouteSnapshot {
   std::string route;
@@ -102,6 +118,15 @@ struct StatsSnapshot {
   /// Per-route breakdown (route-name order); empty until a request resolves
   /// against a registry slot.
   std::vector<RouteSnapshot> routes;
+  /// Process identity of the node this snapshot describes ("" until a
+  /// frontend or registry stamps it). An AGGREGATE snapshot carries the
+  /// coordinator's id; the per-slot rows below carry the remotes' own.
+  std::string node_id;
+  /// Seconds this node's serving stack has been up (0 until stamped).
+  double uptime_s = 0.0;
+  /// Fleet placement: one row per ring slot (locals then remotes). Only
+  /// aggregate snapshots fill this; single-shard snapshots leave it empty.
+  std::vector<SlotSnapshot> slots;
 };
 
 /// \brief Nearest-rank percentile of an ASCENDING-sorted sample vector:
@@ -123,9 +148,18 @@ StatsSnapshot AggregateSnapshots(const std::vector<StatsSnapshot>& shards);
 
 /// \brief Render a snapshot as one flat-ish JSON object for the wire admin
 /// plane ({"cmd":"stats"}): counters, rates, latency percentiles, per-stage
-/// percentiles, and per-route rows. Stable field names; see
+/// percentiles, per-route rows, node identity, and (for aggregate fleet
+/// snapshots) per-slot health rows. Stable field names; see
 /// src/serve/README.md for the schema.
 std::string StatsToJson(const StatsSnapshot& s);
+
+/// \brief Render the serving snapshot as Prometheus text exposition
+/// (counters, shed reasons per label, latency + per-stage summaries,
+/// per-route requests, per-slot health enums). `{"cmd":"metrics"}` serves
+/// this concatenated with the control-plane registry's RenderText(); every
+/// line passes util::LintExposition. Metric names are prefixed
+/// `selnet_` — see the README's reference table.
+std::string RenderStatsExposition(const StatsSnapshot& s);
 
 /// \brief Thread-safe accumulator for serving metrics.
 class ServeStats {

@@ -10,7 +10,9 @@
 #include "core/model_io.h"
 #include "core/selnet_ct.h"
 #include "serve/admission.h"
+#include "serve/state_transfer.h"
 #include "serve/update_pipeline.h"
+#include "serve/wire.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -135,9 +137,7 @@ ShardedRegistry::ShardedRegistry(const ShardedConfig& cfg)
   // loop brings them in.
   for (size_t i = 0; i < remotes_.size(); ++i) {
     Status st = AdmitRemote(i);
-    remotes_[i]->health.store(
-        int(st.ok() ? ShardHealth::kHealthy : ShardHealth::kDead),
-        std::memory_order_release);
+    SetRemoteHealth(i, st.ok() ? ShardHealth::kHealthy : ShardHealth::kDead);
   }
   if (!remotes_.empty()) {
     health_ = std::thread(&ShardedRegistry::HealthLoop, this);
@@ -190,12 +190,66 @@ void ShardedRegistry::NudgeHealth() {
 
 void ShardedRegistry::MarkSuspect(size_t slot) {
   if (IsLocalSlot(slot)) return;
-  Remote& remote = *remotes_[slot - shards_.size()];
+  size_t i = slot - shards_.size();
+  Remote& remote = *remotes_[i];
   int expected = int(ShardHealth::kHealthy);
   if (remote.health.compare_exchange_strong(expected,
                                             int(ShardHealth::kSuspect),
                                             std::memory_order_acq_rel)) {
+    RecordTransition(i, ShardHealth::kHealthy, ShardHealth::kSuspect);
     NudgeHealth();
+  }
+}
+
+void ShardedRegistry::SetRemoteHealth(size_t i, ShardHealth to) {
+  Remote& remote = *remotes_[i];
+  auto from = ShardHealth(
+      remote.health.exchange(int(to), std::memory_order_acq_rel));
+  if (from != to) RecordTransition(i, from, to);
+}
+
+void ShardedRegistry::RecordTransition(size_t i, ShardHealth from,
+                                       ShardHealth to) {
+  Remote& remote = *remotes_[i];
+  {
+    std::lock_guard<std::mutex> lock(remote.scrape_mu);
+    remote.state_since = Clock::now();
+  }
+  const std::string ep = remote.shard->endpoint();
+  metrics_
+      .GetCounter("selnet_health_transitions_total",
+                  {{"endpoint", ep},
+                   {"from", ShardHealthName(from)},
+                   {"to", ShardHealthName(to)}})
+      ->Increment();
+  events_.Push("health", ep, ShardHealthName(from), ShardHealthName(to));
+}
+
+void ShardedRegistry::RecordPublishResult(size_t slot, bool accepted,
+                                          size_t bytes_sent) {
+  const std::string replica =
+      IsLocalSlot(slot) ? "shard-" + std::to_string(slot)
+                        : remotes_[slot - shards_.size()]->shard->endpoint();
+  metrics_
+      .GetCounter("selnet_publish_replica_total",
+                  {{"replica", replica},
+                   {"result", accepted ? "accept" : "reject"}})
+      ->Increment();
+  if (!accepted) {
+    events_.Push("publish", replica, "", "reject");
+    return;
+  }
+  if (bytes_sent > 0) {
+    // A remote accept rode the state-transfer protocol: count the shipped
+    // volume (frames = how SendModelState chunks the payload).
+    metrics_
+        .GetCounter("selnet_transfer_tx_bytes_total", {{"replica", replica}})
+        ->Increment(bytes_sent);
+    metrics_
+        .GetCounter("selnet_transfer_tx_frames_total", {{"replica", replica}})
+        ->Increment((bytes_sent + kDefaultFrameBytes - 1) / kDefaultFrameBytes);
+    events_.Push("transfer", replica, "",
+                 std::to_string(bytes_sent) + " bytes");
   }
 }
 
@@ -247,6 +301,7 @@ uint64_t ShardedRegistry::Publish(const std::string& name,
   for (size_t slot : replicas) {
     if (IsLocalSlot(slot)) {
       uint64_t v = shards_[slot]->server->Publish(name, model);
+      RecordPublishResult(slot, /*accepted=*/true, /*bytes_sent=*/0);
       if (!have_version) {
         version = v;
         have_version = true;
@@ -254,9 +309,11 @@ uint64_t ShardedRegistry::Publish(const std::string& name,
     } else if (have_bytes) {
       auto v = remote_shard(slot).PublishBytes(name, bytes);
       if (!v.ok()) {
+        RecordPublishResult(slot, /*accepted=*/false, /*bytes_sent=*/0);
         MarkSuspect(slot);  // The health loop re-syncs it from the bytes.
         continue;
       }
+      RecordPublishResult(slot, /*accepted=*/true, bytes.size());
       if (!have_version) {
         version = v.ValueOrDie();
         have_version = true;
@@ -308,6 +365,8 @@ Result<uint64_t> ShardedRegistry::PublishFromBytes(const std::string& name,
         IsLocalSlot(slot)
             ? shards_[slot]->server->PublishFromBytes(name, bytes, origin)
             : remote_shard(slot).PublishBytes(name, bytes);
+    RecordPublishResult(slot, v.ok(),
+                        v.ok() && !IsLocalSlot(slot) ? bytes.size() : 0);
     if (!v.ok()) {
       last_error = v.status();
       MarkSuspect(slot);  // No-op for local slots.
@@ -375,6 +434,26 @@ RetryClass ClassifyFailure(const std::exception_ptr& error) {
   }
 }
 
+/// Stable label value for the failover attempt counter — the same taxonomy
+/// ClassifyFailure keys on, one token per failure flavor.
+const char* FailureReasonName(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const RemoteError& e) {
+    switch (e.code()) {
+      case util::StatusCode::kUnavailable:       return "unavailable";
+      case util::StatusCode::kIoError:           return "io_error";
+      case util::StatusCode::kDeadlineExceeded:  return "recv_timeout";
+      case util::StatusCode::kNotFound:          return "not_found";
+      default:                                   return "internal";
+    }
+  } catch (const OverloadError&) {
+    return "overload";
+  } catch (...) {
+    return "other";
+  }
+}
+
 }  // namespace
 
 std::vector<size_t> ShardedRegistry::OrderedReplicas(
@@ -432,9 +511,25 @@ void ShardedRegistry::TryReplica(const std::shared_ptr<Failover>& fo,
              [this, fo, idx, slot](EstimateResponse&& resp,
                                    std::exception_ptr error) {
                if (error == nullptr) {
+                 if (idx > 0) {
+                   // The request survived a failover: idx replicas were
+                   // walked past before this one answered.
+                   metrics_.GetCounter("selnet_failover_successes_total")
+                       ->Increment();
+                   metrics_
+                       .GetCounter("selnet_failover_replicas_walked_total")
+                       ->Increment(idx);
+                   events_.Push("failover", EffectiveRoute(fo->req),
+                                "slot " + std::to_string(fo->replicas[0]),
+                                "slot " + std::to_string(slot));
+                 }
                  fo->done(std::move(resp), nullptr);
                  return;
                }
+               metrics_
+                   .GetCounter("selnet_failover_attempts_total",
+                               {{"reason", FailureReasonName(error)}})
+                   ->Increment();
                RetryClass rc = ClassifyFailure(error);
                if (rc != RetryClass::kFinal) {
                  if (rc == RetryClass::kMarkSuspect) MarkSuspect(slot);
@@ -502,15 +597,20 @@ void ShardedRegistry::HealthLoop() {
           now < remote.not_before) {
         continue;
       }
+      Clock::time_point probe_start = Clock::now();
       Status st = AdmitRemote(i);
+      metrics_
+          .GetSummary("selnet_health_probe_ms",
+                      {{"endpoint", remote.shard->endpoint()}})
+          ->Record(std::chrono::duration<double, std::milli>(Clock::now() -
+                                                             probe_start)
+                       .count());
       if (st.ok()) {
-        remote.health.store(int(ShardHealth::kHealthy),
-                            std::memory_order_release);
+        SetRemoteHealth(i, ShardHealth::kHealthy);
         remote.backoff.Reset();
         remote.not_before = {};
       } else {
-        remote.health.store(int(ShardHealth::kDead),
-                            std::memory_order_release);
+        SetRemoteHealth(i, ShardHealth::kDead);
         remote.not_before =
             Clock::now() +
             std::chrono::duration_cast<Clock::duration>(
@@ -518,8 +618,50 @@ void ShardedRegistry::HealthLoop() {
                     remote.backoff.NextDelayMs()));
       }
     }
+    // Scrape tick: piggybacks on the health cadence (so the effective scrape
+    // period is max(scrape_interval_ms, health_interval_ms)), touching only
+    // HEALTHY remotes — probing the sick ones is the job above.
+    if (cfg_.scrape_interval_ms > 0) {
+      Clock::time_point snow = Clock::now();
+      if (next_scrape_ == Clock::time_point{} || snow >= next_scrape_) {
+        ScrapeNow();
+        next_scrape_ =
+            snow + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           cfg_.scrape_interval_ms));
+      }
+    }
     lock.lock();
   }
+}
+
+void ShardedRegistry::ScrapeRemote(size_t i) {
+  Remote& remote = *remotes_[i];
+  if (ShardHealth(remote.health.load(std::memory_order_acquire)) !=
+      ShardHealth::kHealthy) {
+    return;
+  }
+  const std::string ep = remote.shard->endpoint();
+  Result<StatsSnapshot> snap = remote.shard->ScrapeStats();
+  if (!snap.ok()) {
+    // Best-effort: the fleet view just ages; actual failure handling belongs
+    // to the health machinery (the data path or next probe will notice).
+    metrics_
+        .GetCounter("selnet_scrape_total",
+                    {{"endpoint", ep}, {"result", "error"}})
+        ->Increment();
+    return;
+  }
+  metrics_
+      .GetCounter("selnet_scrape_total", {{"endpoint", ep}, {"result", "ok"}})
+      ->Increment();
+  std::lock_guard<std::mutex> lock(remote.scrape_mu);
+  remote.scrape = snap.MoveValueUnsafe();
+  remote.scrape_at = Clock::now();
+}
+
+void ShardedRegistry::ScrapeNow() {
+  for (size_t i = 0; i < remotes_.size(); ++i) ScrapeRemote(i);
 }
 
 Status ShardedRegistry::AdmitRemote(size_t i) {
@@ -530,7 +672,7 @@ Status ShardedRegistry::AdmitRemote(size_t i) {
   // the constructor, never on the shard's own reader thread.
   shard.CloseData();
   SEL_RETURN_NOT_OK(shard.HealthCheck());
-  remote.health.store(int(ShardHealth::kResyncing), std::memory_order_release);
+  SetRemoteHealth(i, ShardHealth::kResyncing);
   // Re-publish every route this slot replicates. A restarted shard_node is
   // EMPTY — re-admitting without this would serve NotFound from a "healthy"
   // replica. Publishing is idempotent on content (versions bump, estimates
@@ -549,6 +691,7 @@ Status ShardedRegistry::AdmitRemote(size_t i) {
   }
   for (const auto& [route, bytes] : owned) {
     auto v = shard.PublishBytes(route, bytes);
+    RecordPublishResult(slot, v.ok(), v.ok() ? bytes.size() : 0);
     if (!v.ok()) return v.status();
   }
   return shard.Connect();
@@ -600,7 +743,97 @@ std::vector<StatsSnapshot> ShardedRegistry::ShardSnapshots() const {
 }
 
 StatsSnapshot ShardedRegistry::AggregateSnapshot() const {
-  return AggregateSnapshots(ShardSnapshots());
+  std::vector<StatsSnapshot> snaps = ShardSnapshots();
+  const Clock::time_point now = Clock::now();
+  std::vector<SlotSnapshot> slots;
+  slots.reserve(num_slots());
+  const double local_uptime_s =
+      std::chrono::duration<double>(now - start_).count();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    SlotSnapshot slot;
+    slot.slot = s;
+    slot.kind = "local";
+    slot.endpoint = "in-process";
+    slot.health = ShardHealthName(ShardHealth::kHealthy);
+    slot.node_id = cfg_.node_id;
+    slot.uptime_s = local_uptime_s;
+    slots.push_back(std::move(slot));
+  }
+  // Fold in each remote's cached scrape: bucket-merging its histograms with
+  // the local shards' gives TRUE pooled fleet percentiles (histogram merge
+  // is associative — see util/histogram.h). A scrape older than the TTL is
+  // still shown in the slot table (age-stamped) but excluded from the
+  // merged counters, so a long-dead node cannot freeze the fleet view.
+  for (size_t i = 0; i < remotes_.size(); ++i) {
+    const Remote& remote = *remotes_[i];
+    SlotSnapshot slot;
+    slot.slot = shards_.size() + i;
+    slot.kind = "remote";
+    slot.endpoint = remote.shard->endpoint();
+    slot.health = ShardHealthName(
+        ShardHealth(remote.health.load(std::memory_order_acquire)));
+    slot.pending = remote.shard->pending();
+    {
+      std::lock_guard<std::mutex> lock(remote.scrape_mu);
+      if (remote.scrape_at != Clock::time_point{}) {
+        const double age_ms =
+            std::chrono::duration<double, std::milli>(now - remote.scrape_at)
+                .count();
+        slot.scrape_age_s = age_ms / 1000.0;
+        slot.node_id = remote.scrape.node_id;
+        slot.uptime_s = remote.scrape.uptime_s;
+        if (cfg_.scrape_ttl_ms <= 0 || age_ms <= cfg_.scrape_ttl_ms) {
+          snaps.push_back(remote.scrape);
+        }
+      }
+    }
+    slots.push_back(std::move(slot));
+  }
+  StatsSnapshot agg = AggregateSnapshots(snaps);
+  agg.node_id = cfg_.node_id;
+  agg.uptime_s = local_uptime_s;
+  agg.slots = std::move(slots);
+  return agg;
+}
+
+std::string ShardedRegistry::MetricsText() const {
+  // Refresh the time-in-state gauges right before rendering — Gauge is
+  // set-based, and "how long in the current state" only has a value at
+  // observation time. Which state it is lives in the snapshot's slot table
+  // (selnet_slot_health); this series is just the clock.
+  const Clock::time_point now = Clock::now();
+  for (size_t i = 0; i < remotes_.size(); ++i) {
+    const Remote& remote = *remotes_[i];
+    Clock::time_point since;
+    {
+      std::lock_guard<std::mutex> lock(remote.scrape_mu);
+      since = remote.state_since;
+    }
+    if (since == Clock::time_point{}) since = start_;
+    metrics_
+        .GetGauge("selnet_slot_state_seconds",
+                  {{"endpoint", remote.shard->endpoint()}})
+        ->Set(std::chrono::duration<double>(now - since).count());
+  }
+  return metrics_.RenderText();
+}
+
+std::string ShardedRegistry::EventsJson() const {
+  std::vector<util::Event> events = events_.Snapshot();
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ",";
+    JsonWriter w;
+    w.Field("seq", events[i].seq);
+    w.Field("unix_ms", uint64_t(events[i].unix_ms));
+    w.Field("kind", events[i].kind);
+    w.Field("target", events[i].target);
+    if (!events[i].from.empty()) w.Field("from", events[i].from);
+    w.Field("to", events[i].to);
+    out += w.Finish();
+  }
+  out += "]";
+  return out;
 }
 
 std::vector<SpanRecord> ShardedRegistry::SlowSpans() const {
@@ -651,19 +884,57 @@ std::string ShardedRegistry::StatsReport() const {
     }
     out += "\n" + routes.ToString();
   }
-  // Fleet view: remote replicas and their failover state.
+  // Fleet view: remote replicas, their failover state, and how fresh the
+  // coordinator's view of each one is.
   if (!remotes_.empty()) {
-    util::AsciiTable fleet({"slot", "endpoint", "health", "pending"});
+    const Clock::time_point now = Clock::now();
+    util::AsciiTable fleet({"slot", "endpoint", "health", "in state s",
+                            "scrape age s", "node", "pending"});
     for (size_t i = 0; i < remotes_.size(); ++i) {
       const Remote& r = *remotes_[i];
-      fleet.AddRow({std::to_string(shards_.size() + i), r.shard->endpoint(),
-                    ShardHealthName(ShardHealth(
-                        r.health.load(std::memory_order_acquire))),
-                    std::to_string(r.shard->pending())});
+      Clock::time_point since;
+      double scrape_age_s = -1.0;
+      std::string node;
+      {
+        std::lock_guard<std::mutex> lock(r.scrape_mu);
+        since = r.state_since;
+        if (r.scrape_at != Clock::time_point{}) {
+          scrape_age_s =
+              std::chrono::duration<double>(now - r.scrape_at).count();
+          node = r.scrape.node_id;
+        }
+      }
+      if (since == Clock::time_point{}) since = start_;
+      fleet.AddRow(
+          {std::to_string(shards_.size() + i), r.shard->endpoint(),
+           ShardHealthName(
+               ShardHealth(r.health.load(std::memory_order_acquire))),
+           util::AsciiTable::Num(
+               std::chrono::duration<double>(now - since).count(), 1),
+           scrape_age_s < 0 ? "never" : util::AsciiTable::Num(scrape_age_s, 1),
+           node.empty() ? "-" : node, std::to_string(r.shard->pending())});
     }
     out += "\nremote replicas (replication R=" +
            std::to_string(std::max<size_t>(1, cfg_.replication)) + ")\n" +
            fleet.ToString();
+    // The failover/transfer story in one line (summed over labels).
+    out += "fleet counters: transitions=" +
+           std::to_string(metrics_.CounterTotal(
+               "selnet_health_transitions_total")) +
+           " failover_attempts=" +
+           std::to_string(
+               metrics_.CounterTotal("selnet_failover_attempts_total")) +
+           " failover_successes=" +
+           std::to_string(
+               metrics_.CounterTotal("selnet_failover_successes_total")) +
+           " publishes=" +
+           std::to_string(
+               metrics_.CounterTotal("selnet_publish_replica_total")) +
+           " transfer_tx_bytes=" +
+           std::to_string(
+               metrics_.CounterTotal("selnet_transfer_tx_bytes_total")) +
+           " scrapes=" +
+           std::to_string(metrics_.CounterTotal("selnet_scrape_total")) + "\n";
   }
   return out;
 }

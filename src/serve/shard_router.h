@@ -15,6 +15,7 @@
 #include "serve/remote_shard.h"
 #include "serve/server.h"
 #include "util/backoff.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 /// \file shard_router.h
@@ -132,6 +133,19 @@ struct ShardedConfig {
   /// entries normally resolve within their recv timeout / request deadline;
   /// this caps the wait when neither bound is configured.
   double drain_remote_timeout_ms = 5000.0;
+  /// Remote-stats scrape tick: at this cadence the health loop fetches
+  /// {"cmd":"stats_wire"} from each HEALTHY remote and caches the snapshot;
+  /// AggregateSnapshot bucket-merges the cached scrapes with the local
+  /// shards' so fleet percentiles pool every process's histograms. <= 0
+  /// disables the tick (ScrapeNow still works).
+  double scrape_interval_ms = 1000.0;
+  /// A cached scrape older than this is STALE: still shown (age-stamped) in
+  /// the slot table, but dropped from the merged fleet counters/histograms
+  /// so a long-dead node cannot freeze the fleet view.
+  double scrape_ttl_ms = 10000.0;
+  /// Process identity stamped into snapshots and the slot table ("" = none;
+  /// shard_node processes default to "host:port" of their frontend).
+  std::string node_id;
 };
 
 /// \brief Remote-replica failover state machine (see the file comment).
@@ -237,6 +251,25 @@ class ShardedRegistry {
   /// shard) followed by the merged fleet totals.
   std::string StatsReport() const;
 
+  /// \brief Scrape every healthy remote's stats_wire snapshot NOW,
+  /// synchronously (tests; the demo digest). The periodic tick calls the
+  /// same path from the health loop.
+  void ScrapeNow();
+
+  /// \brief Control-plane registry: health transitions, failover attempts,
+  /// publish fan-out verdicts, transfer volume, scrape outcomes.
+  util::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// \brief Flight recorder of health/failover/transfer events.
+  const util::EventRing& events() const { return events_; }
+
+  /// \brief Registry exposition text with the per-slot time-in-state gauges
+  /// refreshed; what the frontend appends to {"cmd":"metrics"}.
+  std::string MetricsText() const;
+
+  /// \brief The event ring as a JSON array (the {"cmd":"events"} body).
+  std::string EventsJson() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -245,13 +278,21 @@ class ShardedRegistry {
     std::unique_ptr<SelNetServer> server;
   };
 
-  /// One remote endpoint's proxy + failover state. `health` is the only
-  /// cross-thread field; backoff/not_before belong to the health loop.
+  /// One remote endpoint's proxy + failover state. `health` is the
+  /// cross-thread hot field; backoff/not_before belong to the health loop;
+  /// the scrape cache and state clock live under their own mutex (read by
+  /// snapshot/metrics scrapers, written by the health loop and transition
+  /// recording).
   struct Remote {
     std::unique_ptr<RemoteShard> shard;
     std::atomic<int> health{int(ShardHealth::kDead)};
     util::Backoff backoff{{/*base_ms=*/20.0, /*cap_ms=*/2000.0}};
     Clock::time_point not_before{};
+
+    mutable std::mutex scrape_mu;
+    StatsSnapshot scrape;          ///< Last stats_wire fetch (scrape_mu).
+    Clock::time_point scrape_at{}; ///< When; epoch = never scraped.
+    Clock::time_point state_since{}; ///< Entered current health state.
   };
 
   /// In-flight failover chain for one submitted request: the request copy
@@ -291,6 +332,17 @@ class ShardedRegistry {
   util::Status AdmitRemote(size_t i);
   /// Retain `bytes` as route's re-sync source of truth.
   void StorePublishedBytes(const std::string& name, const std::string& bytes);
+  /// Store remote `i`'s new health state (skipping no-op changes), stamp
+  /// state_since, bump the transition counter, and record the event.
+  void SetRemoteHealth(size_t i, ShardHealth to);
+  /// Stamp state_since and record one observed `from -> to` transition in
+  /// the counter + event ring (the caller already swapped the state).
+  void RecordTransition(size_t i, ShardHealth from, ShardHealth to);
+  /// Count one publish-fan-out verdict for `slot`; a remote accept also adds
+  /// the shipped bytes/frames to the transfer_tx counters.
+  void RecordPublishResult(size_t slot, bool accepted, size_t bytes_sent);
+  /// Fetch + cache one remote's stats_wire snapshot (best-effort).
+  void ScrapeRemote(size_t i);
 
   ShardedConfig cfg_;
   HashRing ring_;
@@ -306,6 +358,11 @@ class ShardedRegistry {
   bool health_stop_ = false;
   bool health_nudge_ = false;
   std::thread health_;  ///< Running iff remotes were configured.
+
+  const Clock::time_point start_ = Clock::now();  ///< For uptime_s.
+  mutable util::MetricsRegistry metrics_;
+  util::EventRing events_{256};
+  Clock::time_point next_scrape_{};  ///< Health-loop-only scrape gate.
 };
 
 }  // namespace selnet::serve

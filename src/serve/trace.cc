@@ -12,6 +12,9 @@ const char* StageName(Stage s) {
     case Stage::kQueue: return "queue";
     case Stage::kPredict: return "predict";
     case Stage::kEncode: return "encode";
+    case Stage::kRemoteQueue: return "remote_queue";
+    case Stage::kRemotePredict: return "remote_predict";
+    case Stage::kRemoteWire: return "remote_wire";
   }
   return "unknown";
 }

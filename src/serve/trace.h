@@ -10,12 +10,21 @@
 /// \file trace.h
 /// \brief Per-request stage tracing: where a request's wall time goes.
 ///
-/// A request crosses six stages end to end:
+/// A request crosses six local stages end to end:
 ///
 ///   decode -> route -> cache -> queue -> predict -> encode
 ///   (wire     (registry (per-     (scheduler (batch     (response
 ///    parse)    resolve)  threshold wait /     compute /   serialize,
 ///                        lookups)  pool wait) sweep eval) frontend only)
+///
+/// Three REMOTE stages attribute the hop when a replica in another process
+/// served the request (fleet mode): the remote `shard_node` reports its own
+/// queue/predict time in the response's stage block, which RemoteShard
+/// merges into the caller's trace as remote_queue / remote_predict, and
+/// remote_wire is the whole caller-observed round trip for that hop — so
+/// remote_wire - (remote_queue + remote_predict) is the residual wire +
+/// framing + remote decode/encode cost, and remote_queue + remote_predict
+/// <= remote_wire by construction.
 ///
 /// Tracing is SAMPLED: ServerConfig::trace_sample_every picks 1-in-N
 /// requests (the NetFrontend applies the same rate to wire requests so the
@@ -39,11 +48,18 @@ enum class Stage : size_t {
   kDecode = 0,  ///< Wire line -> EstimateRequest (frontend only).
   kRoute,       ///< Registry/shard resolve + snapshot pin.
   kCache,       ///< Per-threshold cache pre-pass.
-  kQueue,       ///< Scheduler queue / pool wait before compute started.
-  kPredict,     ///< Batched Predict / sweep evaluation.
-  kEncode,      ///< Response serialization (frontend only).
+  kQueue,          ///< Scheduler queue / pool wait before compute started.
+  kPredict,        ///< Batched Predict / sweep evaluation.
+  kEncode,         ///< Response serialization (frontend only).
+  kRemoteQueue,    ///< Queue stage reported by the remote replica.
+  kRemotePredict,  ///< Predict stage reported by the remote replica.
+  kRemoteWire,     ///< Whole remote round trip as the caller observed it.
 };
-constexpr size_t kNumStages = 6;
+constexpr size_t kNumStages = 9;
+/// Stages a single process observes about itself (the remote stages exist
+/// only on the caller side of a cross-process hop). A shard_node's wire
+/// stage block carries this prefix of the span.
+constexpr size_t kNumLocalStages = 6;
 
 /// \brief Stable lowercase stage name ("decode", "route", ...).
 const char* StageName(Stage s);

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace selnet::serve {
 
 using util::Status;
@@ -236,6 +238,7 @@ Status ParseRequestLine(const std::string& line, EstimateRequest* req) {
               std::chrono::duration<double, std::milli>(budget_ms));
       return Status::OK();
     }
+    if (key == "trace") return p.Bool(&parsed.wire_trace);
     return p.Fail("unknown request field '" + key + "'");
   }));
   if (!have_x || parsed.x.empty()) {
@@ -330,6 +333,9 @@ std::string SerializeRequest(const EstimateRequest& req) {
             .count();
     w.Field("deadline_ms", remaining_ms > 0.0 ? remaining_ms : 0.0);
   }
+  // A caller-side sampled trace propagates as a flag: the remote attaches
+  // its own RequestTrace and reports the stage block back in the response.
+  if (req.wire_trace || req.trace) w.Field("trace", true);
   return w.Finish();
 }
 
@@ -342,6 +348,8 @@ std::string SerializeResponse(const EstimateResponse& resp) {
   w.Field("fast_path", resp.fast_path);
   // Written only when set: pre-degrade responses stay byte-identical.
   if (resp.degraded) w.Field("degraded", true);
+  // Wire-traced requests only: the answering process's per-stage span.
+  if (!resp.stage_ms.empty()) w.Field("stage_ms", resp.stage_ms);
   if (resp.tag != 0) w.Field("tag", resp.tag);
   return w.Finish();
 }
@@ -397,6 +405,7 @@ Status ParseResponseLine(const std::string& line, EstimateResponse* resp) {
       parsed.degraded = b;
       return Status::OK();
     }
+    if (key == "stage_ms") return p.FloatArray(&parsed.stage_ms);
     if (key == "tag") return p.Uint(&parsed.tag);
     if (key == "error") return p.String(&error);
     if (key == "code") return p.String(&code);
@@ -415,6 +424,148 @@ Status ParseResponseLine(const std::string& line, EstimateResponse* resp) {
   parsed.cache_hits = uint32_t(cache_hits);
   *resp = std::move(parsed);
   return Status::OK();
+}
+
+// ------------------------------------------------------- stats_wire codec ---
+
+std::string SerializeStatsWire(const StatsSnapshot& s, uint64_t tag) {
+  JsonWriter w;
+  if (!s.node_id.empty()) w.Field("node", s.node_id);
+  double uptime = s.uptime_s > 0.0 ? s.uptime_s : s.elapsed_seconds;
+  w.Field("uptime_s", uptime);
+  w.Field("requests", s.requests);
+  w.Field("cache_hits", s.cache_hits);
+  w.Field("cache_misses", s.cache_misses);
+  w.Field("batches", s.batches);
+  w.Field("batched_requests", s.batched_requests);
+  w.Field("sweeps", s.sweeps);
+  w.Field("sweep_fastpath", s.sweep_fastpath);
+  w.Field("curve_hits", s.curve_hits);
+  w.Field("curve_misses", s.curve_misses);
+  w.Field("swaps", s.swaps);
+  w.Field("traced", s.traced);
+  for (size_t i = 1; i < kNumShedReasons && i < s.sheds.size(); ++i) {
+    if (s.sheds[i] == 0) continue;
+    w.Field(std::string("shed_") + ShedReasonName(ShedReason(i)), s.sheds[i]);
+  }
+  w.Field("degraded", s.degraded);
+  w.Field("deadline_rows_dropped", s.deadline_rows_dropped);
+  w.Field("deadline_rows_predicted", s.deadline_rows_predicted);
+  w.Field("qps", s.qps);
+  w.Field("elapsed_s", s.elapsed_seconds);
+  w.Field("hist_latency", util::EncodeHistogramSnapshot(s.latency_hist));
+  for (size_t i = 0; i < s.stage_hists.size() && i < kNumStages; ++i) {
+    if (s.stage_hists[i].empty()) continue;
+    w.Field(std::string("hist_stage_") + StageName(Stage(i)),
+            util::EncodeHistogramSnapshot(s.stage_hists[i]));
+  }
+  if (tag != 0) w.Field("tag", tag);
+  return w.Finish();
+}
+
+util::Result<StatsSnapshot> ParseStatsWireLine(const std::string& line) {
+  StatsSnapshot s;
+  s.stage_hists.resize(kNumStages);
+  std::string error;
+  std::string code;
+  LineParser p(line);
+  auto parse_float = [&p](double* out) -> Status {
+    float v = 0.0f;
+    SEL_RETURN_NOT_OK(p.Float(&v));
+    *out = double(v);
+    return Status::OK();
+  };
+  auto parse_hist = [&p](util::HistogramSnapshot* out) -> Status {
+    std::string text;
+    SEL_RETURN_NOT_OK(p.String(&text));
+    auto decoded = util::DecodeHistogramSnapshot(text);
+    if (!decoded.ok()) return decoded.status();
+    *out = std::move(decoded).ValueOrDie();
+    return Status::OK();
+  };
+  uint64_t tag = 0;
+  Status st = ParseObject(&p, [&](const std::string& key) -> Status {
+    if (key == "node") return p.String(&s.node_id);
+    if (key == "uptime_s") return parse_float(&s.uptime_s);
+    if (key == "requests") return p.Uint(&s.requests);
+    if (key == "cache_hits") return p.Uint(&s.cache_hits);
+    if (key == "cache_misses") return p.Uint(&s.cache_misses);
+    if (key == "batches") return p.Uint(&s.batches);
+    if (key == "batched_requests") return p.Uint(&s.batched_requests);
+    if (key == "sweeps") return p.Uint(&s.sweeps);
+    if (key == "sweep_fastpath") return p.Uint(&s.sweep_fastpath);
+    if (key == "curve_hits") return p.Uint(&s.curve_hits);
+    if (key == "curve_misses") return p.Uint(&s.curve_misses);
+    if (key == "swaps") return p.Uint(&s.swaps);
+    if (key == "traced") return p.Uint(&s.traced);
+    if (key.rfind("shed_", 0) == 0) {
+      std::string reason = key.substr(5);
+      for (size_t i = 1; i < kNumShedReasons; ++i) {
+        if (reason == ShedReasonName(ShedReason(i))) {
+          return p.Uint(&s.sheds[i]);
+        }
+      }
+      return p.Fail("unknown shed reason '" + reason + "'");
+    }
+    if (key == "degraded") return p.Uint(&s.degraded);
+    if (key == "deadline_rows_dropped") return p.Uint(&s.deadline_rows_dropped);
+    if (key == "deadline_rows_predicted") {
+      return p.Uint(&s.deadline_rows_predicted);
+    }
+    if (key == "qps") return parse_float(&s.qps);
+    if (key == "elapsed_s") return parse_float(&s.elapsed_seconds);
+    if (key == "hist_latency") return parse_hist(&s.latency_hist);
+    if (key.rfind("hist_stage_", 0) == 0) {
+      std::string stage = key.substr(11);
+      for (size_t i = 0; i < kNumStages; ++i) {
+        if (stage == StageName(Stage(i))) return parse_hist(&s.stage_hists[i]);
+      }
+      return p.Fail("unknown stage '" + stage + "'");
+    }
+    if (key == "tag") return p.Uint(&tag);
+    if (key == "error") return p.String(&error);
+    if (key == "code") return p.String(&code);
+    return p.Fail("unknown stats_wire field '" + key + "'");
+  });
+  if (!st.ok()) return st;
+  if (!error.empty()) return Status::Internal(error);
+  for (uint64_t shed : s.sheds) s.shed_total += shed;
+  if (!s.latency_hist.empty()) {
+    s.latency_p50_ms = s.latency_hist.ValueAtQuantile(0.50);
+    s.latency_p99_ms = s.latency_hist.ValueAtQuantile(0.99);
+    s.latency_mean_ms = s.latency_hist.MeanMs();
+  }
+  uint64_t lookups = s.cache_hits + s.cache_misses;
+  if (lookups > 0) s.cache_hit_rate = double(s.cache_hits) / double(lookups);
+  if (s.batches > 0) {
+    s.avg_batch_size = double(s.batched_requests) / double(s.batches);
+  }
+  return s;
+}
+
+util::Result<std::string> ParseMetricsReply(const std::string& line) {
+  std::string metrics;
+  std::string error;
+  std::string code;
+  uint64_t tag = 0;
+  bool have_metrics = false;
+  LineParser p(line);
+  Status st = ParseObject(&p, [&](const std::string& key) -> Status {
+    if (key == "metrics") {
+      have_metrics = true;
+      return p.String(&metrics);
+    }
+    if (key == "tag") return p.Uint(&tag);
+    if (key == "error") return p.String(&error);
+    if (key == "code") return p.String(&code);
+    return p.Fail("unknown metrics field '" + key + "'");
+  });
+  if (!st.ok()) return st;
+  if (!error.empty()) return Status::Internal(error);
+  if (!have_metrics) {
+    return Status::Internal("wire: metrics reply without metrics or error");
+  }
+  return metrics;
 }
 
 // ------------------------------------------------------------- JsonWriter ---

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "serve/request.h"
+#include "serve/serve_stats.h"
 #include "util/status.h"
 
 /// \file wire.h
@@ -22,11 +23,21 @@
 ///     * `deadline_ms` — optional RELATIVE completion budget in milliseconds,
 ///       anchored to the server's steady clock at decode time (wall clocks
 ///       never cross the wire). A non-positive budget is already expired and
-///       sheds before any compute.
+///       sheds before any compute;
+///     * `trace` — optional bool. `true` asks the server to stage-trace THIS
+///       request regardless of its sampling counter and return the timing
+///       block below; the caller's `tag` doubles as the trace id. This is
+///       how a coordinator's sampled trace propagates to the remote replica
+///       that actually served the request.
 ///
 /// Response line (server -> client):
 ///   {"estimates":[...],"model":"default","version":3,"cache_hits":1,
 ///    "fast_path":true,"tag":7}
+/// A wire-traced request's response additionally carries
+/// `"stage_ms":[...]` — one float per serve::Stage in enum order, the
+/// answering process's own span (its remote stages and encode are 0).
+/// RemoteShard merges this block into the caller's RequestTrace as the
+/// remote_queue / remote_predict stages and strips it from the response.
 /// plus `"degraded":true` when an overloaded route answered from the cached
 /// sweep curve instead of the model; or, when the request failed (malformed
 /// JSON, unknown route, bad shape):
@@ -41,6 +52,19 @@
 ///   {"cmd":"stats","tag":7}   -> {"stats":{...fleet StatsSnapshot...},"tag":7}
 ///   {"cmd":"slow","tag":7}    -> {"slow":[{...span...},...],"tag":7}
 ///   {"cmd":"health","tag":7}  -> {"ok":true,"tag":7}
+///   {"cmd":"metrics","tag":7} -> {"metrics":"<Prometheus text>","tag":7}
+///     (the exposition text travels as ONE JSON string — JsonQuote escapes
+///      the newlines; NetClient::Metrics() unescapes them back)
+///   {"cmd":"events","tag":7}  -> {"events":[{...},...],"tag":7}
+///     (the coordinator's health/transfer flight-recorder ring)
+///   {"cmd":"stats_wire","tag":7} -> a FLAT machine-parseable snapshot: the
+///     counters as plain uint fields plus every histogram as one compact
+///     string token (util::EncodeHistogramSnapshot) — this is what a
+///     coordinator's scrape tick fetches from each remote and bucket-merges
+///     into the fleet view (the nested {"cmd":"stats"} reply is for humans
+///     and external scrapers; the strict LineParser cannot walk it).
+///     Per-route rows do NOT cross this wire — a remote's routes fold into
+///     the fleet totals, not the per-route table.
 /// `cmd` must be the FIRST field so the frontend can dispatch without
 /// attempting an estimate parse (LineLooksAdmin); unknown commands get the
 /// usual {"error":...} reply. Admin requests are answered synchronously on
@@ -128,6 +152,21 @@ std::string SerializeRequest(const EstimateRequest& req);
 /// otherwise.
 util::Status ParseResponseLine(const std::string& line,
                                EstimateResponse* resp);
+
+/// \brief Serialize the flat machine-scrape form of a snapshot (the
+/// {"cmd":"stats_wire"} reply body, tag included when non-zero). Counters
+/// become plain uint fields; each histogram becomes one compact string
+/// token. Per-route rows, slow spans, and slot tables are NOT carried —
+/// they fold into totals or stay local.
+std::string SerializeStatsWire(const StatsSnapshot& s, uint64_t tag);
+
+/// \brief Parse a stats_wire reply back into a snapshot (untrusted input:
+/// malformed histograms or unknown fields are typed errors, never a crash).
+util::Result<StatsSnapshot> ParseStatsWireLine(const std::string& line);
+
+/// \brief Extract the exposition text from a {"metrics":"..."} reply (or the
+/// typed error the server sent instead).
+util::Result<std::string> ParseMetricsReply(const std::string& line);
 
 /// \brief Append `v` to `out` as the shortest decimal that parses back to
 /// exactly `v` (std::to_chars; "nan"/"inf" are never produced by serving but

@@ -1,0 +1,405 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+namespace selnet::util {
+
+namespace {
+
+/// Label values travel inside double quotes in the exposition format; the
+/// format's own escaping covers backslash, quote and newline.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+MetricLabels SortedLabels(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+MetricsRegistry::Series* MetricsRegistry::Resolve(const std::string& name,
+                                                  MetricLabels labels,
+                                                  Kind kind) {
+  Key key{name, SortedLabels(std::move(labels))};
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    auto s = std::make_unique<Series>();
+    s->kind = kind;
+    s->labels = key.second;
+    switch (kind) {
+      case Kind::kCounter:
+        s->counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        s->gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kSummary:
+        s->summary = std::make_unique<LatencyHistogram>();
+        break;
+    }
+    it = series_.emplace(std::move(key), std::move(s)).first;
+  }
+  return it->second.get();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     MetricLabels labels) {
+  return Resolve(name, std::move(labels), Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 MetricLabels labels) {
+  return Resolve(name, std::move(labels), Kind::kGauge)->gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetSummary(const std::string& name,
+                                              MetricLabels labels) {
+  return Resolve(name, std::move(labels), Kind::kSummary)->summary.get();
+}
+
+uint64_t MetricsRegistry::CounterTotal(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t total = 0;
+  for (const auto& [key, s] : series_) {
+    if (key.first == name && s->kind == Kind::kCounter)
+      total += s->counter->Value();
+  }
+  return total;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  std::string last_name;  // series_ is ordered by name: one TYPE line each.
+  for (const auto& [key, s] : series_) {
+    const std::string& name = key.first;
+    if (name != last_name) {
+      out += "# TYPE " + name + " ";
+      switch (s->kind) {
+        case Kind::kCounter:
+          out += "counter";
+          break;
+        case Kind::kGauge:
+          out += "gauge";
+          break;
+        case Kind::kSummary:
+          out += "summary";
+          break;
+      }
+      out += "\n";
+      last_name = name;
+    }
+    switch (s->kind) {
+      case Kind::kCounter:
+        out += name + RenderLabels(s->labels) + " " +
+               std::to_string(s->counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += name + RenderLabels(s->labels) + " " +
+               FormatNumber(s->gauge->Value()) + "\n";
+        break;
+      case Kind::kSummary: {
+        HistogramSnapshot snap = s->summary->Snapshot();
+        for (double q : {0.5, 0.99}) {
+          MetricLabels with_q = s->labels;
+          with_q.emplace_back("quantile", q == 0.5 ? "0.5" : "0.99");
+          out += name + RenderLabels(with_q) + " " +
+                 FormatNumber(snap.ValueAtQuantile(q)) + "\n";
+        }
+        out += name + "_sum" + RenderLabels(s->labels) + " " +
+               FormatNumber(static_cast<double>(snap.sum_ticks) / 1000.0) +
+               "\n";
+        out += name + "_count" + RenderLabels(s->labels) + " " +
+               std::to_string(snap.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void EventRing::Push(const std::string& kind, const std::string& target,
+                     const std::string& from, const std::string& to) {
+  Event e;
+  e.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count();
+  e.kind = kind;
+  e.target = target;
+  e.from = from;
+  e.to = to;
+  std::lock_guard<std::mutex> lk(mu_);
+  e.seq = next_seq_++;
+  ring_.push_back(std::move(e));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<Event> EventRing::Snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<Event>(ring_.begin(), ring_.end());
+}
+
+uint64_t EventRing::TotalPushed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_seq_;
+}
+
+namespace {
+
+bool ValidMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ValidNumber(const std::string& s) {
+  if (s.empty()) return false;
+  if (s == "NaN" || s == "+Inf" || s == "-Inf") return true;
+  double v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+/// A sample name resolves to the metric whose TYPE line must precede it:
+/// `foo_sum` / `foo_count` belong to summary `foo` when `foo` is typed.
+std::string BaseMetricOf(const std::string& sample,
+                         const std::set<std::string>& typed) {
+  if (typed.count(sample)) return sample;
+  for (const char* suffix : {"_sum", "_count", "_bucket"}) {
+    size_t n = std::string(suffix).size();
+    if (sample.size() > n &&
+        sample.compare(sample.size() - n, n, suffix) == 0) {
+      std::string base = sample.substr(0, sample.size() - n);
+      if (typed.count(base)) return base;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+Status LintExposition(const std::string& text) {
+  if (text.empty()) return Status::Invalid("exposition: empty output");
+  std::set<std::string> typed;        // names with a # TYPE line seen.
+  std::set<std::string> sampled;      // base names with >= 1 sample seen.
+  std::set<std::string> series_seen;  // full "name{labels}" identities.
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) {
+      if (pos >= text.size()) break;  // trailing newline
+      continue;
+    }
+    auto fail = [&](const std::string& why) {
+      return Status::Invalid("exposition line " + std::to_string(line_no) +
+                             ": " + why + ": " + line);
+    };
+    if (line[0] == '#') {
+      if (line.rfind("# HELP ", 0) == 0) continue;
+      if (line.rfind("# TYPE ", 0) != 0) return fail("unknown comment form");
+      std::string rest = line.substr(7);
+      size_t sp = rest.find(' ');
+      if (sp == std::string::npos) return fail("TYPE missing kind");
+      std::string name = rest.substr(0, sp);
+      std::string kind = rest.substr(sp + 1);
+      if (!ValidMetricName(name)) return fail("bad metric name in TYPE");
+      if (kind != "counter" && kind != "gauge" && kind != "summary" &&
+          kind != "histogram" && kind != "untyped")
+        return fail("bad kind in TYPE");
+      if (typed.count(name)) return fail("duplicate TYPE for metric");
+      if (sampled.count(name)) return fail("TYPE after first sample");
+      typed.insert(name);
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return fail("no value");
+    std::string name = line.substr(0, name_end);
+    if (!ValidMetricName(name)) return fail("bad metric name");
+    size_t value_start;
+    std::string series_id = name;
+    if (line[name_end] == '{') {
+      size_t close = name_end + 1;
+      bool in_quote = false;
+      for (; close < line.size(); ++close) {
+        char c = line[close];
+        if (in_quote) {
+          if (c == '\\') {
+            ++close;  // skip escaped char
+            continue;
+          }
+          if (c == '"') in_quote = false;
+        } else if (c == '"') {
+          in_quote = true;
+        } else if (c == '}') {
+          break;
+        }
+      }
+      if (close >= line.size()) return fail("unterminated label set");
+      // Validate the label pairs: k="v" separated by commas.
+      std::string body = line.substr(name_end + 1, close - name_end - 1);
+      size_t lp = 0;
+      while (lp < body.size()) {
+        size_t eq = body.find('=', lp);
+        if (eq == std::string::npos) return fail("label missing '='");
+        std::string lname = body.substr(lp, eq - lp);
+        if (!ValidMetricName(lname)) return fail("bad label name");
+        if (eq + 1 >= body.size() || body[eq + 1] != '"')
+          return fail("label value not quoted");
+        size_t vp = eq + 2;
+        while (vp < body.size()) {
+          if (body[vp] == '\\') {
+            vp += 2;
+            continue;
+          }
+          if (body[vp] == '"') break;
+          ++vp;
+        }
+        if (vp >= body.size()) return fail("unterminated label value");
+        lp = vp + 1;
+        if (lp < body.size()) {
+          if (body[lp] != ',') return fail("expected ',' between labels");
+          ++lp;
+        }
+      }
+      series_id += "{" + body + "}";
+      if (close + 1 >= line.size() || line[close + 1] != ' ')
+        return fail("no space before value");
+      value_start = close + 2;
+    } else {
+      value_start = name_end + 1;
+    }
+    std::string value = line.substr(value_start);
+    if (!ValidNumber(value)) return fail("bad sample value");
+    std::string base = BaseMetricOf(name, typed);
+    if (base.empty()) return fail("sample without preceding TYPE");
+    sampled.insert(base);
+    if (series_seen.count(series_id)) return fail("duplicate series");
+    series_seen.insert(series_id);
+    if (pos > text.size()) break;
+  }
+  if (series_seen.empty()) return Status::Invalid("exposition: no samples");
+  return Status::OK();
+}
+
+std::string EncodeHistogramSnapshot(const HistogramSnapshot& s) {
+  std::string out = std::to_string(s.count) + ";" +
+                    std::to_string(s.sum_ticks) + ";";
+  bool first = true;
+  for (size_t i = 0; i < s.buckets.size(); ++i) {
+    if (s.buckets[i] == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(i) + ":" + std::to_string(s.buckets[i]);
+  }
+  return out;
+}
+
+namespace {
+
+Result<uint64_t> ParseU64(const std::string& s, size_t begin, size_t end) {
+  uint64_t v = 0;
+  if (begin >= end) return Status::Invalid("histogram: empty number");
+  auto [p, ec] = std::from_chars(s.data() + begin, s.data() + end, v);
+  if (ec != std::errc() || p != s.data() + end)
+    return Status::Invalid("histogram: bad number '" +
+                           s.substr(begin, end - begin) + "'");
+  return v;
+}
+
+}  // namespace
+
+Result<HistogramSnapshot> DecodeHistogramSnapshot(const std::string& text) {
+  HistogramSnapshot s;
+  size_t sep1 = text.find(';');
+  if (sep1 == std::string::npos)
+    return Status::Invalid("histogram: missing count");
+  size_t sep2 = text.find(';', sep1 + 1);
+  if (sep2 == std::string::npos)
+    return Status::Invalid("histogram: missing sum");
+  Result<uint64_t> count = ParseU64(text, 0, sep1);
+  if (!count.ok()) return count.status();
+  s.count = count.ValueOrDie();
+  Result<uint64_t> sum = ParseU64(text, sep1 + 1, sep2);
+  if (!sum.ok()) return sum.status();
+  s.sum_ticks = sum.ValueOrDie();
+  size_t pos = sep2 + 1;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    size_t colon = text.find(':', pos);
+    if (colon == std::string::npos || colon >= comma)
+      return Status::Invalid("histogram: bad bucket entry");
+    Result<uint64_t> idx = ParseU64(text, pos, colon);
+    if (!idx.ok()) return idx.status();
+    Result<uint64_t> cnt = ParseU64(text, colon + 1, comma);
+    if (!cnt.ok()) return cnt.status();
+    if (idx.ValueOrDie() >= LatencyHistogram::kNumBuckets)
+      return Status::Invalid("histogram: bucket index out of range");
+    if (idx.ValueOrDie() >= s.buckets.size())
+      s.buckets.resize(idx.ValueOrDie() + 1, 0);
+    s.buckets[idx.ValueOrDie()] = cnt.ValueOrDie();
+    if (comma != text.size() && comma + 1 == text.size())
+      return Status::Invalid("histogram: trailing comma");
+    pos = comma + 1;
+  }
+  return s;
+}
+
+}  // namespace selnet::util

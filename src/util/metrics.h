@@ -1,0 +1,174 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/status.h"
+
+/// \file metrics.h
+/// \brief Labeled counter/gauge/summary registry with Prometheus-style text
+/// exposition, plus a bounded event ring (flight recorder).
+///
+/// The serving stack's per-request numbers live in serve::ServeStats — this
+/// registry is for the CONTROL plane: health-state transitions, failover
+/// retries, publish fan-out verdicts, state-transfer volume. Those events are
+/// rare (hertz, not kilohertz), so the registry optimizes for exposition
+/// fidelity over write throughput: series resolution takes a mutex once
+/// (callers cache the returned handle, which is stable for the registry's
+/// lifetime), while the cached handle's Increment/Set is a single relaxed
+/// atomic — safe from any thread, including the data-path completion that
+/// marks a replica suspect.
+///
+/// Exposition (`RenderText`) follows the Prometheus text format:
+///
+///   # TYPE selnet_health_transitions_total counter
+///   selnet_health_transitions_total{endpoint="h:p",from="healthy",
+///                                   to="suspect"} 3
+///
+/// Summaries render as `name{quantile="..."}` samples plus `name_sum` /
+/// `name_count`, backed by the same log-linear util::LatencyHistogram the
+/// serving path records into (values in milliseconds). `LintExposition`
+/// checks the grammar — every `# TYPE` precedes its first sample, no
+/// duplicate series — and is shared by the unit tests and the CI smoke.
+///
+/// EventRing is the "what happened, in order" companion: a bounded deque of
+/// wall-clock-stamped transitions (kind + target + from→to), overwriting
+/// oldest-first, so a coordinator can answer "what did the fleet do in the
+/// last minute" without logs.
+
+namespace selnet::util {
+
+/// \brief One monotonically increasing series. Handle is valid for the
+/// registry's lifetime; Increment is lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief One instantaneous-value series (doubles; Set overwrites).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Sorted label pairs; the series identity is (name, labels).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Labeled metric registry with text exposition.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief Resolve (create on first use) a counter series. The pointer is
+  /// stable until the registry dies; cache it off the hot path.
+  Counter* GetCounter(const std::string& name, MetricLabels labels = {});
+
+  /// \brief Resolve a gauge series.
+  Gauge* GetGauge(const std::string& name, MetricLabels labels = {});
+
+  /// \brief Resolve a summary series (a mergeable latency histogram;
+  /// Record() milliseconds on it).
+  LatencyHistogram* GetSummary(const std::string& name,
+                               MetricLabels labels = {});
+
+  /// \brief Sum of every counter sample sharing `name` (tests, digests).
+  uint64_t CounterTotal(const std::string& name) const;
+
+  /// \brief Prometheus text exposition of every series, deterministically
+  /// ordered (name, then label set). One `# TYPE` per metric name, before
+  /// its first sample.
+  std::string RenderText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kSummary };
+  struct Series {
+    Kind kind;
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> summary;
+  };
+  /// Key: name, then the rendered label set (sorted pairs).
+  using Key = std::pair<std::string, MetricLabels>;
+
+  Series* Resolve(const std::string& name, MetricLabels labels, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Series>> series_;
+};
+
+/// \brief One flight-recorder entry: a state transition (or any discrete
+/// occurrence) with a wall-clock stamp and a monotone sequence number.
+struct Event {
+  uint64_t seq = 0;      ///< Monotone per ring; gaps mean overwritten events.
+  int64_t unix_ms = 0;   ///< Wall clock, milliseconds since the epoch.
+  std::string kind;      ///< e.g. "health", "transfer".
+  std::string target;    ///< e.g. the endpoint or route the event is about.
+  std::string from;      ///< Prior state ("" when not a transition).
+  std::string to;        ///< New state / verdict.
+};
+
+/// \brief Bounded, thread-safe ring of recent events (oldest overwritten).
+class EventRing {
+ public:
+  explicit EventRing(size_t capacity = 256) : capacity_(capacity) {}
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  void Push(const std::string& kind, const std::string& target,
+            const std::string& from, const std::string& to);
+
+  /// \brief Oldest-to-newest copy of the retained events.
+  std::vector<Event> Snapshot() const;
+
+  /// \brief Events ever pushed (>= Snapshot().size(); the gap is what the
+  /// ring overwrote).
+  uint64_t TotalPushed() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t next_seq_ = 0;
+  std::deque<Event> ring_;
+};
+
+/// \brief Validate Prometheus text-exposition output: every non-comment line
+/// matches `name{label="value",...} number`, each metric name's `# TYPE`
+/// line precedes its first sample, no series (name + label set) appears
+/// twice. `_sum` / `_count` / `{quantile=...}` samples attach to their
+/// summary's TYPE line. Returns the first violation.
+Status LintExposition(const std::string& text);
+
+/// \brief Compact single-token encoding of a HistogramSnapshot —
+/// "count;sum_ticks;idx:cnt,idx:cnt,..." (sparse, decimal) — safe to carry
+/// as a JSON string value on the flat admin wire.
+std::string EncodeHistogramSnapshot(const HistogramSnapshot& s);
+
+/// \brief Inverse of EncodeHistogramSnapshot; typed error on malformed input
+/// (wire data is untrusted).
+Result<HistogramSnapshot> DecodeHistogramSnapshot(const std::string& text);
+
+}  // namespace selnet::util

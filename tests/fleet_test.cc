@@ -454,5 +454,267 @@ TEST_F(FleetTest, HealthStateMachineAdmitsLateStartingNode) {
   }
 }
 
+TEST_F(FleetTest, TracedRemoteRequestMergesRemoteStagesIntoCallerTrace) {
+  ShardNode node(NodeConfig());
+  ASSERT_TRUE(node.status().ok());
+  ShardedRegistry reg(FleetConfig(node.port()));
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy));
+
+  std::string route = RouteOwnedBy(reg, 1);  // Remote-primary route.
+  ASSERT_TRUE(reg.PublishFromBytes(route, *bytes_, "fleet test").ok());
+
+  std::vector<float> q = Query();
+  std::vector<float> ts = SortedThresholds(5);
+  EstimateRequest req = EstimateRequest::Sweep(q.data(), kDim, ts, route);
+  auto trace = std::make_shared<RequestTrace>();
+  req.trace = trace;
+
+  EstimateResponse resp = reg.Submit(std::move(req)).get();
+  ASSERT_EQ(resp.estimates.size(), ts.size());
+  // The remote's stage block is consumed by the trace merge, never leaked to
+  // the caller's response.
+  EXPECT_TRUE(resp.stage_ms.empty());
+
+  SpanRecord span = trace->Finish(route, 0);
+  double remote_queue = span.stage_ms[size_t(Stage::kRemoteQueue)];
+  double remote_predict = span.stage_ms[size_t(Stage::kRemotePredict)];
+  double remote_wire = span.stage_ms[size_t(Stage::kRemoteWire)];
+  // The remote actually measured its stages (the trace flag crossed the
+  // wire), and the caller-observed hop bounds the remote's own share.
+  EXPECT_GT(remote_queue, 0.0);
+  EXPECT_GT(remote_predict, 0.0);
+  EXPECT_GT(remote_wire, 0.0);
+  EXPECT_LE(remote_queue + remote_predict, remote_wire + 1e-9);
+}
+
+TEST_F(FleetTest, KilledPrimaryBumpsFailoverCountersAndEventRing) {
+  auto node = std::make_unique<ShardNode>(NodeConfig());
+  ASSERT_TRUE(node->status().ok());
+  uint16_t port = node->port();
+
+  ShardedRegistry reg(FleetConfig(port));
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy));
+  std::string endpoint = "127.0.0.1:" + std::to_string(port);
+
+  std::string route = RouteOwnedBy(reg, 1);  // Traffic rides the wire.
+  ASSERT_TRUE(reg.PublishFromBytes(route, *bytes_, "fleet test").ok());
+
+  std::vector<float> q = Query();
+  std::vector<float> ts = SortedThresholds(5);
+  auto make_req = [&] {
+    return EstimateRequest::Sweep(q.data(), kDim, ts, route);
+  };
+  EstimateResponse reference = reg.Submit(make_req()).get();
+  ASSERT_EQ(reference.estimates.size(), ts.size());
+
+  util::MetricsRegistry& metrics = reg.metrics();
+  uint64_t successes_before =
+      metrics.CounterTotal("selnet_failover_successes_total");
+
+  // Kill the primary with requests in flight: every query must still answer
+  // (zero client-visible failures). The in-flight batch may legitimately
+  // finish before the kill lands, so the deterministic counter check rides
+  // on the POST-kill submits below, which must walk past the dead primary.
+  std::vector<std::future<EstimateResponse>> inflight;
+  for (int i = 0; i < 8; ++i) inflight.push_back(reg.Submit(make_req()));
+  node.reset();
+  size_t completed = 0;
+  auto check = [&](EstimateResponse resp) {
+    ASSERT_EQ(resp.estimates.size(), ts.size());
+    for (size_t i = 0; i < ts.size(); ++i) {
+      EXPECT_EQ(resp.estimates[i], reference.estimates[i]);
+    }
+    ++completed;
+  };
+  for (auto& fut : inflight) check(fut.get());  // get() throws on a loss.
+  for (int i = 0; i < 4; ++i) check(reg.Submit(make_req()).get());
+  EXPECT_EQ(completed, 12u);
+
+  uint64_t attempts = metrics.CounterTotal("selnet_failover_attempts_total");
+  uint64_t successes = metrics.CounterTotal("selnet_failover_successes_total");
+  uint64_t walked =
+      metrics.CounterTotal("selnet_failover_replicas_walked_total");
+  EXPECT_GT(attempts, 0u) << "replica failures must be counted by reason";
+  EXPECT_GT(successes, successes_before)
+      << "requests that answered on a later replica must count as rescued";
+  EXPECT_GE(walked, successes - successes_before)
+      << "each rescue walked at least one replica";
+
+  // Let the health loop actually observe the death (probe failure) before
+  // the node returns; restarting faster legitimately short-circuits the
+  // machine to suspect -> resyncing, which is not what this test is about.
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kDead));
+
+  // Restart on the same port and wait for re-admission: the flight recorder
+  // must show the full lifecycle for this endpoint, in order, exactly
+  // suspect -> dead -> resyncing -> healthy after the kill.
+  node = std::make_unique<ShardNode>(NodeConfig(port));
+  ASSERT_TRUE(node->status().ok());
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy));
+
+  std::vector<util::Event> events = reg.events().Snapshot();
+  std::vector<std::pair<std::string, std::string>> health_path;
+  for (const util::Event& e : events) {
+    if (e.kind == "health" && e.target == endpoint) {
+      health_path.emplace_back(e.from, e.to);
+    }
+  }
+  // Startup admission contributes dead->resyncing->healthy; the kill+rejoin
+  // is the last four transitions.
+  ASSERT_GE(health_path.size(), 4u);
+  std::vector<std::pair<std::string, std::string>> tail(
+      health_path.end() - 4, health_path.end());
+  std::vector<std::pair<std::string, std::string>> want = {
+      {"healthy", "suspect"},
+      {"suspect", "dead"},
+      {"dead", "resyncing"},
+      {"resyncing", "healthy"},
+  };
+  EXPECT_EQ(tail, want);
+  // Every ring transition is also a counter sample — the two views of the
+  // same machine must agree.
+  EXPECT_GE(metrics.CounterTotal("selnet_health_transitions_total"),
+            health_path.size());
+}
+
+TEST_F(FleetTest, ScrapeMergePoolsRemoteHistogramsAndStampsSlots) {
+  ShardNode node(NodeConfig());
+  ASSERT_TRUE(node.status().ok());
+  ShardedConfig cfg = FleetConfig(node.port());
+  cfg.node_id = "coordinator";
+  cfg.scrape_interval_ms = 0.0;  // Manual ScrapeNow only: deterministic.
+  ShardedRegistry reg(cfg);
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy));
+
+  std::string remote_route = RouteOwnedBy(reg, 1);
+  std::string local_route = RouteOwnedBy(reg, 0);
+  ASSERT_TRUE(reg.PublishFromBytes(remote_route, *bytes_, "fleet").ok());
+  ASSERT_TRUE(reg.PublishFromBytes(local_route, *bytes_, "fleet").ok());
+
+  std::vector<float> q = Query();
+  std::vector<float> ts = SortedThresholds(5);
+  constexpr size_t kRemoteReqs = 6, kLocalReqs = 4;
+  for (size_t i = 0; i < kRemoteReqs; ++i) {
+    reg.Submit(EstimateRequest::Sweep(q.data(), kDim, ts, remote_route)).get();
+  }
+  for (size_t i = 0; i < kLocalReqs; ++i) {
+    reg.Submit(EstimateRequest::Sweep(q.data(), kDim, ts, local_route)).get();
+  }
+
+  // Ground truth: scrape the node directly, bypassing the registry.
+  NetClient direct;
+  ASSERT_TRUE(direct.Connect("127.0.0.1", node.port()).ok());
+  direct.set_recv_timeout_ms(2000);
+  auto remote_res = direct.StatsWire();
+  ASSERT_TRUE(remote_res.ok()) << remote_res.status().ToString();
+  const StatsSnapshot& remote_snap = remote_res.ValueOrDie();
+  EXPECT_GT(remote_snap.requests, 0u);
+  EXPECT_GT(remote_snap.latency_hist.count, 0u);
+  EXPECT_FALSE(remote_snap.node_id.empty());
+  EXPECT_GT(remote_snap.uptime_s, 0.0);
+
+  uint64_t local_requests = 0, local_latency = 0;
+  for (const StatsSnapshot& s : reg.ShardSnapshots()) {
+    local_requests += s.requests;
+    local_latency += s.latency_hist.count;
+  }
+  EXPECT_GT(local_requests, 0u);
+
+  reg.ScrapeNow();
+  StatsSnapshot agg = reg.AggregateSnapshot();
+  // The fleet view pools local + remote: counters sum, and the latency
+  // histogram is the bucket-merge of both sides (true pooled percentiles,
+  // not a worst-shard guess). Traffic has stopped, so the direct scrape and
+  // the registry's own agree exactly.
+  EXPECT_EQ(agg.requests, local_requests + remote_snap.requests);
+  EXPECT_EQ(agg.latency_hist.count, local_latency + remote_snap.latency_hist.count);
+  EXPECT_EQ(agg.node_id, "coordinator");
+
+  ASSERT_EQ(agg.slots.size(), 2u);
+  EXPECT_EQ(agg.slots[0].kind, "local");
+  EXPECT_EQ(agg.slots[1].kind, "remote");
+  EXPECT_EQ(agg.slots[1].endpoint,
+            "127.0.0.1:" + std::to_string(node.port()));
+  EXPECT_EQ(agg.slots[1].health, "healthy");
+  // The remote self-reports its identity; the scrape carried it over.
+  EXPECT_EQ(agg.slots[1].node_id, remote_snap.node_id);
+  EXPECT_GE(agg.slots[1].scrape_age_s, 0.0);
+
+  // A scrape past its TTL is dropped from the merge (stale truth is worse
+  // than missing truth), though the slot row still shows the endpoint.
+  ShardedConfig stale_cfg = FleetConfig(node.port());
+  stale_cfg.scrape_interval_ms = 0.0;
+  stale_cfg.scrape_ttl_ms = 0.001;
+  ShardedRegistry stale(stale_cfg);
+  ASSERT_TRUE(WaitForHealth(stale, 1, ShardHealth::kHealthy));
+  stale.ScrapeNow();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  StatsSnapshot dropped = stale.AggregateSnapshot();
+  EXPECT_EQ(dropped.requests, 0u)
+      << "an expired scrape must not leak remote counters into the merge";
+  ASSERT_EQ(dropped.slots.size(), 2u);
+  EXPECT_EQ(dropped.slots[1].health, "healthy");
+}
+
+TEST_F(FleetTest, MetricsAndEventsServeOverTheWire) {
+  ShardNode node(NodeConfig());
+  ASSERT_TRUE(node.status().ok());
+  ShardedConfig cfg = FleetConfig(node.port());
+  cfg.node_id = "coordinator";
+  ShardedRegistry reg(cfg);
+  ASSERT_TRUE(WaitForHealth(reg, 1, ShardHealth::kHealthy));
+
+  // Local-primary route: the submit lands on the coordinator's own shard, so
+  // the aggregate carries it without waiting for a scrape tick.
+  std::string route = RouteOwnedBy(reg, 0);
+  ASSERT_TRUE(reg.PublishFromBytes(route, *bytes_, "fleet").ok());
+  std::vector<float> q = Query();
+  std::vector<float> ts = SortedThresholds(5);
+  reg.Submit(EstimateRequest::Sweep(q.data(), kDim, ts, route)).get();
+
+  FrontendConfig fcfg;
+  fcfg.drain_timeout_s = 0.2;
+  NetFrontend frontend(fcfg, &reg);
+  ASSERT_TRUE(frontend.status().ok()) << frontend.status().ToString();
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", frontend.port()).ok());
+  client.set_recv_timeout_ms(2000);
+
+  // {"cmd":"metrics"}: one lint-clean Prometheus exposition combining the
+  // snapshot-derived series, the frontend's own, and the registry's.
+  auto metrics = client.Metrics(/*tag=*/7);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  const std::string& text = metrics.ValueOrDie();
+  util::Status lint = util::LintExposition(text);
+  EXPECT_TRUE(lint.ok()) << lint.ToString() << "\n" << text;
+  for (const char* needle :
+       {"selnet_requests_total", "selnet_slot_health",
+        "selnet_frontend_admin_requests_total",
+        "selnet_health_transitions_total", "selnet_publish_replica_total",
+        "selnet_uptime_seconds"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "metrics text missing " << needle;
+  }
+  EXPECT_NE(text.find("node=\"coordinator\""), std::string::npos)
+      << "slot rows must carry the coordinator identity";
+
+  // {"cmd":"events"}: the flight recorder, as a JSON array — startup
+  // admission of the remote is already on it.
+  auto events_reply = client.Admin("events", /*tag=*/8);
+  ASSERT_TRUE(events_reply.ok()) << events_reply.status().ToString();
+  EXPECT_NE(events_reply.ValueOrDie().find("\"kind\":\"health\""),
+            std::string::npos);
+  EXPECT_NE(events_reply.ValueOrDie().find("\"to\":\"healthy\""),
+            std::string::npos);
+
+  // {"cmd":"stats_wire"} against the coordinator frontend round-trips the
+  // aggregate (this is what a higher-tier scraper would consume).
+  auto wire_snap = client.StatsWire(/*tag=*/9);
+  ASSERT_TRUE(wire_snap.ok()) << wire_snap.status().ToString();
+  EXPECT_GE(wire_snap.ValueOrDie().requests, 1u);
+  EXPECT_EQ(wire_snap.ValueOrDie().node_id, "coordinator");
+}
+
 }  // namespace
 }  // namespace selnet::serve

@@ -14,6 +14,7 @@
 #include "util/crc32.h"
 #include "util/env.h"
 #include "util/histogram.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/table.h"
@@ -342,6 +343,164 @@ TEST(BackoffTest, SameSeedSameSchedule) {
   a.Reset();
   EXPECT_EQ(a.attempts(), 0u);
   EXPECT_DOUBLE_EQ(a.NextDelayMs(), a.config().base_ms);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndSeriesKeyOnLabels) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("selnet_test_total", {{"shard", "0"}});
+  Counter* b = reg.GetCounter("selnet_test_total", {{"shard", "1"}});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, reg.GetCounter("selnet_test_total", {{"shard", "0"}}));
+  a->Increment(3);
+  b->Increment();
+  EXPECT_EQ(a->Value(), 3u);
+  EXPECT_EQ(reg.CounterTotal("selnet_test_total"), 4u);
+  EXPECT_EQ(reg.CounterTotal("selnet_absent_total"), 0u);
+  reg.GetGauge("selnet_depth")->Set(2.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("selnet_depth")->Value(), 2.5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentResolveAndIncrementIsExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Half the threads re-resolve every iteration (registry mutex), half
+      // cache the handle (the documented hot-path pattern); totals must agree
+      // either way.
+      Counter* cached =
+          reg.GetCounter("selnet_spin_total", {{"mode", "cached"}});
+      for (int i = 0; i < kPerThread; ++i) {
+        if (t % 2 == 0) {
+          cached->Increment();
+        } else {
+          reg.GetCounter("selnet_spin_total", {{"mode", "resolve"}})
+              ->Increment();
+        }
+        reg.GetSummary("selnet_spin_ms")->Record(0.01 * (i % 97));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.CounterTotal("selnet_spin_total"),
+            uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(reg.GetSummary("selnet_spin_ms")->Count(),
+            uint64_t(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, RenderTextPassesLintAndOrdersSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("selnet_b_total", {{"to", "dead"}, {"from", "suspect"}})
+      ->Increment(2);
+  reg.GetCounter("selnet_b_total", {{"to", "suspect"}, {"from", "healthy"}})
+      ->Increment();
+  reg.GetGauge("selnet_a_seconds", {{"endpoint", "h:1"}})->Set(1.5);
+  reg.GetSummary("selnet_probe_ms", {{"endpoint", "h:1"}})->Record(0.42);
+  std::string text = reg.RenderText();
+  EXPECT_TRUE(LintExposition(text).ok()) << LintExposition(text).ToString();
+  // One TYPE line per name, before its first sample.
+  EXPECT_NE(text.find("# TYPE selnet_b_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE selnet_a_seconds gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE selnet_probe_ms summary"), std::string::npos);
+  EXPECT_LT(text.find("# TYPE selnet_b_total"), text.find("selnet_b_total{"));
+  // Summaries expose quantiles plus _sum/_count.
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("selnet_probe_ms_count{endpoint=\"h:1\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsLintTest, RejectsMalformedExposition) {
+  EXPECT_FALSE(LintExposition("selnet_x_total 1\n").ok())
+      << "sample without a TYPE line must fail";
+  EXPECT_FALSE(
+      LintExposition("# TYPE selnet_x_total counter\n"
+                     "selnet_x_total 1\nselnet_x_total 2\n")
+          .ok())
+      << "duplicate series must fail";
+  EXPECT_FALSE(LintExposition("# TYPE selnet_x_total counter\n"
+                              "selnet_x_total{oops} 1\n")
+                   .ok())
+      << "bad label grammar must fail";
+  EXPECT_FALSE(LintExposition("# TYPE selnet_x_total counter\n"
+                              "selnet_x_total not-a-number\n")
+                   .ok())
+      << "non-numeric value must fail";
+  // Empty output fails too — the CI smoke treats "no samples" as a broken
+  // metrics plane, not a healthy idle one.
+  EXPECT_FALSE(LintExposition("").ok());
+  EXPECT_FALSE(LintExposition("# TYPE selnet_x_total counter\n").ok())
+      << "TYPE with no samples must fail";
+}
+
+TEST(EventRingTest, BoundsRetentionAndKeepsMonotoneSeq) {
+  EventRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.Push("health", "ep" + std::to_string(i), "healthy", "suspect");
+  }
+  EXPECT_EQ(ring.TotalPushed(), 10u);
+  std::vector<Event> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-to-newest, contiguous sequence numbers, newest == last pushed.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+  EXPECT_EQ(events.back().target, "ep9");
+  EXPECT_EQ(events.front().target, "ep6");
+  EXPECT_GT(events.back().unix_ms, 0);
+}
+
+TEST(EventRingTest, ConcurrentPushersNeverExceedCapacity) {
+  EventRing ring(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < 500; ++i) {
+        ring.Push("k", "t" + std::to_string(t), "", std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ring.TotalPushed(), 2000u);
+  std::vector<Event> events = ring.Snapshot();
+  EXPECT_EQ(events.size(), 16u);
+  std::set<uint64_t> seqs;
+  for (const Event& e : events) seqs.insert(e.seq);
+  EXPECT_EQ(seqs.size(), events.size()) << "sequence numbers must be unique";
+}
+
+TEST(HistogramCodecTest, RoundTripsSnapshotsExactly) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 300; ++i) hist.Record(0.01 * std::pow(1.04, i));
+  HistogramSnapshot snap = hist.Snapshot();
+  auto decoded = DecodeHistogramSnapshot(EncodeHistogramSnapshot(snap));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const HistogramSnapshot& d = decoded.ValueOrDie();
+  EXPECT_EQ(d.count, snap.count);
+  EXPECT_EQ(d.sum_ticks, snap.sum_ticks);
+  EXPECT_EQ(d.buckets, snap.buckets);
+  EXPECT_DOUBLE_EQ(d.ValueAtQuantile(0.99), snap.ValueAtQuantile(0.99));
+
+  // Empty snapshots survive the trip too (remote shard with no traffic yet).
+  HistogramSnapshot empty;
+  auto empty_rt = DecodeHistogramSnapshot(EncodeHistogramSnapshot(empty));
+  ASSERT_TRUE(empty_rt.ok());
+  EXPECT_TRUE(empty_rt.ValueOrDie().empty());
+}
+
+TEST(HistogramCodecTest, RejectsMalformedTokens) {
+  EXPECT_FALSE(DecodeHistogramSnapshot("").ok());
+  EXPECT_FALSE(DecodeHistogramSnapshot("abc").ok());
+  EXPECT_FALSE(DecodeHistogramSnapshot("5;100;9999999:5").ok())
+      << "bucket index beyond kNumBuckets must fail";
+  EXPECT_FALSE(DecodeHistogramSnapshot("5;100;3:").ok());
+  EXPECT_FALSE(DecodeHistogramSnapshot("5;100;3:2,").ok())
+      << "trailing comma must fail";
+  // Count/bucket skew is tolerated: a scrape can catch a live histogram
+  // between the bucket write and the count bump (quantiles degrade
+  // gracefully), so the decoder must not reject torn-but-parseable data.
+  EXPECT_TRUE(DecodeHistogramSnapshot("5;100;3:2").ok());
 }
 
 TEST(Crc32Test, MatchesKnownVectorAndChunksCompose) {
