@@ -55,6 +55,44 @@ void BatchScheduler::SubmitRow(std::string model, const float* x, float t,
   }
 }
 
+void BatchScheduler::SubmitRows(std::vector<Row> rows) {
+  if (rows.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (Row& row : rows) {
+    SEL_CHECK(row.done != nullptr);
+    row.enqueued = now;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) {
+    lock.unlock();
+    auto err = std::make_exception_ptr(
+        OverloadError(ShedReason::kShutdown, "BatchScheduler is shut down"));
+    for (Row& row : rows) row.done(0.0f, err, RowTiming{});
+    return;
+  }
+  const bool was_empty = pending_.empty();
+  std::vector<Row> rejected;
+  for (Row& row : rows) {
+    // DispatchLocked drops the lock around the pool handoff, so Shutdown can
+    // slip in mid-call: re-check and fail the remainder like SubmitRow would.
+    if (stop_) {
+      rejected.push_back(std::move(row));
+      continue;
+    }
+    pending_.push_back(std::move(row));
+    if (pending_.size() >= cfg_.max_batch) DispatchLocked(&lock);
+  }
+  // One wake at most, and only on the empty->non-empty transition — the same
+  // delay-timer arming rule as SubmitRow.
+  if (was_empty && !pending_.empty()) work_cv_.notify_one();
+  lock.unlock();
+  if (!rejected.empty()) {
+    auto err = std::make_exception_ptr(
+        OverloadError(ShedReason::kShutdown, "BatchScheduler is shut down"));
+    for (Row& row : rejected) row.done(0.0f, err, RowTiming{});
+  }
+}
+
 std::future<float> BatchScheduler::Submit(const float* x, float t,
                                           uint64_t tag, std::string model) {
   auto promise = std::make_shared<std::promise<float>>();

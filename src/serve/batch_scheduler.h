@@ -92,6 +92,19 @@ class BatchScheduler {
   using CompletionFn =
       std::function<void(uint64_t tag, float value, double latency_ms)>;
 
+  /// One buffered row. Public so a batched producer (SelNetServer::
+  /// SubmitMany decoding a whole read round of wire frames) can build rows
+  /// up front and hand them over in one SubmitRows call.
+  struct Row {
+    std::string model;
+    std::vector<float> x;
+    float t = 0.0f;
+    RowDoneFn done;
+    std::chrono::steady_clock::time_point enqueued;
+    /// Droppable-row deadline; the default epoch means none.
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
   BatchScheduler(const SchedulerConfig& cfg, BatchFn batch_fn,
                  CompletionFn on_complete = nullptr);
   ~BatchScheduler();
@@ -106,6 +119,14 @@ class BatchScheduler {
   /// completed with OverloadError(kDeadlineExpired) instead of predicted.
   void SubmitRow(std::string model, const float* x, float t, RowDoneFn done,
                  std::chrono::steady_clock::time_point deadline = {});
+
+  /// \brief Enqueue many rows under ONE lock acquisition: the batched-decode
+  /// path's amortization (a frontend read round that decoded N frames pays
+  /// one mutex + at most one flusher wake instead of N of each). Each row's
+  /// `done` must be set; `enqueued` is stamped here with a single shared
+  /// clock sample. Full batches dispatch inline, exactly as if the rows had
+  /// arrived through SubmitRow one at a time.
+  void SubmitRows(std::vector<Row> rows);
 
   /// \brief Future-returning wrapper over SubmitRow. `tag` is passed through
   /// to the completion observer.
@@ -133,16 +154,6 @@ class BatchScheduler {
   }
 
  private:
-  struct Row {
-    std::string model;
-    std::vector<float> x;
-    float t = 0.0f;
-    RowDoneFn done;
-    std::chrono::steady_clock::time_point enqueued;
-    /// Droppable-row deadline; the default epoch means none.
-    std::chrono::steady_clock::time_point deadline{};
-  };
-
   void FlusherLoop();
   /// Moves `pending_` out and dispatches it to the pool. Caller holds mu_.
   void DispatchLocked(std::unique_lock<std::mutex>* lock);

@@ -14,6 +14,8 @@
 #include "serve/request.h"
 #include "serve/server.h"
 #include "serve/shard_router.h"
+#include "serve/wire.h"
+#include "serve/wire_binary.h"
 #include "util/net.h"
 #include "util/status.h"
 
@@ -22,15 +24,25 @@
 ///
 /// Completes the serving story end to end:
 ///
-///   client socket --> NetFrontend (poll loop) --> ShardedRegistry router
+///   client socket --> NetFrontend (poll loops) --> ShardedRegistry router
 ///       --> shard's SelNetServer --> BatchScheduler --> batched kernel
 ///       <-- EstimateResponse completion <-- (serialized) <-- write queue
 ///
-/// Protocol: one JSON object per line (see wire.h). The frontend owns ONE
-/// event-loop thread multiplexing every connection through poll(); all model
-/// work happens on the serving pools — the loop only parses lines, submits
-/// requests, and flushes completed responses, so the wire layer adds
-/// microseconds, not milliseconds.
+/// Protocol: every connection starts as one JSON object per line (wire.h);
+/// a hello exchange may switch it to the length-prefixed binary framing
+/// (wire_binary.h) — both framings carry the same commands and error
+/// taxonomy, and mixed JSON/binary connections coexist on one frontend.
+/// The frontend owns `num_loops` event-loop threads, each multiplexing its
+/// share of the connections through poll(); all model work happens on the
+/// serving pools — a loop only parses requests, submits them, and flushes
+/// completed responses, so the wire layer adds microseconds, not
+/// milliseconds. With one loop (the default) behavior is exactly the
+/// single-threaded frontend's. With more, either loop 0 accepts and deals
+/// connections round-robin to the others (the sharded-acceptor default) or,
+/// with `so_reuseport`, every loop owns its own SO_REUSEPORT listener and
+/// the kernel balances accepts. Binary estimate frames decoded in one read
+/// round are submitted as ONE SelNetServer::SubmitMany batch, so a
+/// pipelining client's burst pays one scheduler lock, not one per request.
 ///
 /// Backpressure, per connection: at most `max_inflight_per_conn` submitted
 /// requests may be unanswered at once. At the cap the loop simply stops
@@ -76,6 +88,16 @@ struct FrontendConfig {
   /// moment the backend answers, so the inflight cap alone cannot see it).
   size_t max_write_backlog_bytes = 4 << 20;
   double drain_timeout_s = 10.0;   ///< Stop() waits this long for in-flight.
+  /// Event-loop threads. 1 (the default) is the classic single-threaded
+  /// frontend. More loops split the connections: each conn is owned by
+  /// exactly one loop for its whole life, so every per-conn invariant
+  /// (ordering, backpressure, drain) is still single-threaded.
+  size_t num_loops = 1;
+  /// With num_loops > 1: give every loop its own SO_REUSEPORT listener on
+  /// the same port (kernel balances accepts) instead of the default sharded
+  /// acceptor (loop 0 accepts and deals round-robin). Ignored when the
+  /// platform lacks SO_REUSEPORT — the frontend falls back to the acceptor.
+  bool so_reuseport = false;
 };
 
 /// \brief Point-in-time frontend counters.
@@ -116,6 +138,11 @@ class NetFrontend {
   /// thread starts, so the loop never races a half-initialized frontend.
   struct Backend {
     SubmitFn submit;
+    /// Optional batched submit: a whole read-round of decoded requests
+    /// enqueued under ONE scheduler lock (SelNetServer::SubmitMany). Null =
+    /// the frontend falls back to per-request `submit`. Per-request
+    /// semantics (admission, deadlines, errors) are identical either way.
+    std::function<void(std::vector<SelNetServer::Submission>)> submit_many;
     std::function<StatsSnapshot()> snapshot;
     std::function<std::vector<SpanRecord>()> slow;
     /// Install a state-transferred model (the xfer_commit admin command):
@@ -182,25 +209,86 @@ class NetFrontend {
  private:
   struct Conn;
 
+  /// Per-loop state that response completions touch. Held by shared_ptr and
+  /// captured (via its Conn) into every completion: if Stop() times out with
+  /// responses still in flight, a late completion lands on this, never on a
+  /// destroyed frontend.
+  struct LoopShared {
+    util::WakePipe wake;
+    /// Wake-arming: the loop sets `armed` just before polling; a completion
+    /// only pays the pipe-write syscall if it observes (and clears) the
+    /// armed flag. A burst of completions then costs ONE wakeup, not one
+    /// syscall per response.
+    std::atomic<bool> armed{false};
+    /// Completion-side wakeup (see `armed`).
+    void Wake() {
+      if (armed.exchange(false, std::memory_order_acq_rel)) wake.Notify();
+    }
+  };
+
+  /// One event loop: its thread, its connections, and (acceptor loop or
+  /// SO_REUSEPORT mode) its listener. Everything here except `shared` and
+  /// the handoff queue is touched only by the owning loop thread.
+  struct LoopState {
+    size_t index = 0;
+    util::TcpListener listener;  ///< Valid on loop 0, or on all with reuseport.
+    std::shared_ptr<LoopShared> shared;
+    std::vector<std::shared_ptr<Conn>> conns;
+    /// Connections accepted by another loop, awaiting adoption (sharded
+    /// acceptor mode). Producer: loop 0. Consumer: this loop, each round.
+    std::mutex handoff_mu;
+    std::vector<std::shared_ptr<Conn>> handoff;
+    /// Loop-thread-only position for 1-in-N decode-stage sampling.
+    uint64_t trace_seq = 0;
+    std::thread thread;  ///< Started last.
+  };
+
   void Start();
-  void Loop();
-  void AcceptNew();
-  /// Parse+submit buffered lines for one connection, first pulling fresh
+  void Loop(LoopState* loop);
+  void AcceptNew(LoopState* loop);
+  /// Parse+submit buffered input for one connection, first pulling fresh
   /// socket bytes when `read_socket` (false on the stalled-conn re-scan:
-  /// reading there would defeat the stop-reading backpressure). Returns
-  /// false when the connection is finished (EOF, oversize, error).
-  bool HandleReadable(const std::shared_ptr<Conn>& conn, bool read_socket);
+  /// reading there would defeat the stop-reading backpressure). Dispatches
+  /// on the connection's negotiated framing, re-dispatching mid-buffer when
+  /// a hello flips it. Returns false when the connection is finished (EOF,
+  /// oversize, error).
+  bool HandleReadable(LoopState* loop, const std::shared_ptr<Conn>& conn,
+                      bool read_socket);
+  /// Consume complete JSON lines from the read buffer. False = close.
+  bool ProcessJsonBuffer(LoopState* loop, const std::shared_ptr<Conn>& conn);
+  /// Consume complete binary frames from the read buffer, batching decoded
+  /// estimate rows into one backend submit. False = close.
+  bool ProcessBinaryBuffer(LoopState* loop, const std::shared_ptr<Conn>& conn);
   /// Enqueue the oversized-line error reply and mark the conn to close once
   /// it flushes (buffered request bytes are dropped).
   void RejectOversized(const std::shared_ptr<Conn>& conn);
   /// Flush as much of the write queue as the socket accepts. False = drop.
   bool HandleWritable(const std::shared_ptr<Conn>& conn);
-  void SubmitLine(const std::shared_ptr<Conn>& conn, std::string line);
-  /// Answer one {"cmd":...} line synchronously on the loop thread.
+  void SubmitLine(LoopState* loop, const std::shared_ptr<Conn>& conn,
+                  std::string line);
+  /// Decode one binary estimate frame and append its submission to `batch`
+  /// (or queue an error frame on decode failure).
+  void SubmitFrame(LoopState* loop, const std::shared_ptr<Conn>& conn,
+                   const FrameHeader& hdr, const char* payload,
+                   std::chrono::steady_clock::time_point now,
+                   std::vector<SelNetServer::Submission>* batch);
+  /// Hand a read-round's decoded requests to the backend: one SubmitMany
+  /// when the hook is set, per-request submits otherwise.
+  void FlushBatch(std::vector<SelNetServer::Submission> batch);
+  /// Build the completion that serializes + enqueues one response in the
+  /// connection's negotiated framing.
+  SelNetServer::ResponseFn MakeCompletion(
+      const std::shared_ptr<Conn>& conn, uint64_t tag, WireProto proto,
+      std::shared_ptr<RequestTrace> traced, bool wire_traced);
+  /// Answer one {"cmd":...} line synchronously on the loop thread (JSON
+  /// framing: reply + '\n' onto the write queue).
   void HandleAdmin(const std::shared_ptr<Conn>& conn, const std::string& line);
+  /// Parse + dispatch one admin line, returning the reply line (no
+  /// newline/framing) — shared by both framings. A throwing handler fails
+  /// the command, never the loop thread.
+  std::string AdminReplyFor(const std::shared_ptr<Conn>& conn,
+                            const std::string& line);
   /// Route one parsed admin command to its handler; returns the reply line.
-  /// HandleAdmin wraps this in a catch so a throwing handler fails the
-  /// command, never the loop thread.
   std::string DispatchAdmin(const std::shared_ptr<Conn>& conn,
                             const AdminRequest& admin);
   /// One xfer_* state-transfer step against this connection's assembler;
@@ -208,14 +296,16 @@ class NetFrontend {
   std::string HandleTransfer(const std::shared_ptr<Conn>& conn,
                              const AdminRequest& admin);
   void CloseConn(const std::shared_ptr<Conn>& conn);
-  bool DrainComplete();
+  bool DrainComplete(LoopState* loop);
 
-  /// State that response completions touch. Held by shared_ptr and captured
-  /// into every completion: if Stop() times out with responses still in
-  /// flight, a late completion lands on this (and its Conn), never on a
-  /// destroyed frontend.
+  FrontendConfig cfg_;
+  Backend backend_;
+  uint16_t port_ = 0;
+  util::Status bind_status_;
+
+  /// Frontend-wide counters completions touch (conn-agnostic; per-conn
+  /// completion state lives in each Conn's LoopShared).
   struct Shared {
-    util::WakePipe wake;
     std::atomic<uint64_t> responses{0};
     std::atomic<uint64_t> request_errors{0};
     /// Encode (response serialization) latency of TRACED requests. Lives
@@ -223,20 +313,15 @@ class NetFrontend {
     /// the fleet snapshot's encode stage at scrape time.
     util::LatencyHistogram encode_hist;
   };
-
-  FrontendConfig cfg_;
-  Backend backend_;
-  util::TcpListener listener_;
   std::shared_ptr<Shared> shared_;
-  uint16_t port_ = 0;
-  util::Status bind_status_;
 
-  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<LoopState>> loops_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
   std::mutex stop_mu_;  ///< Serializes Stop() callers.
 
-  // Loop-thread counters.
+  // Loop-thread counters (atomic: with num_loops > 1 several loops bump
+  // them; Stats() reads them from anywhere).
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> refused_{0};
   std::atomic<uint64_t> dropped_{0};
@@ -249,19 +334,50 @@ class NetFrontend {
   std::atomic<uint64_t> xfer_bytes_{0};
   std::atomic<uint64_t> xfer_crc_rejects_{0};
   std::atomic<uint64_t> xfer_installs_{0};
+  /// Live connection count across all loops (max_connections is global).
+  std::atomic<size_t> conn_count_{0};
+  /// Sharded-acceptor round-robin cursor (loop 0 only, atomic for safety).
+  std::atomic<uint64_t> accept_rr_{0};
+  /// True when every loop owns a SO_REUSEPORT listener (accepts stay on the
+  /// accepting loop); false = loop 0 deals connections round-robin.
+  bool per_loop_listeners_ = false;
+};
 
-  /// Loop-thread-only position for 1-in-N decode-stage sampling.
-  uint64_t trace_seq_ = 0;
+/// \brief One typed request for NetClient::Call — the versioned client
+/// surface. `cmd` selects the command (wire.h registry); kEstimate reads
+/// `estimate`, everything else reads the relevant `admin` fields (tag, the
+/// xfer_* transfer fields…). The negotiated framing is applied underneath.
+struct ClientCall {
+  Command cmd = Command::kEstimate;
+  EstimateRequest estimate;
+  AdminRequest admin;
+};
 
-  std::thread loop_;  ///< Started last.
+/// \brief The typed reply for NetClient::Call. Which fields are meaningful
+/// depends on the command: kEstimate fills `estimate`; admin commands fill
+/// `body` (the raw reply line) and, where the reply has structure, `text`
+/// (kMetrics exposition), `stats` (kStatsWire), or `version` (ack replies —
+/// health, xfer_commit). Server-side errors surface as the returned Status
+/// (StatusFromWireError taxonomy), never as a reply field.
+struct ClientReply {
+  EstimateResponse estimate;
+  std::string body;
+  std::string text;
+  StatsSnapshot stats;
+  uint64_t version = 0;
 };
 
 /// \brief Minimal blocking client for the wire protocol (tests, the demo's
 /// client mode, and the bench harness).
 ///
-/// One request at a time: Roundtrip writes a line and blocks for ONE
-/// response line. Pipelining clients should tag requests and speak the
-/// protocol directly (see wire.h).
+/// One request at a time: Call (and the legacy wrappers on it) writes one
+/// request and blocks for ONE reply. Pipelining clients should use
+/// ClientChannel (client_channel.h), which correlates tagged out-of-order
+/// replies on one connection.
+///
+/// A fresh connection speaks JSON lines; Hello() negotiates the binary
+/// framing when the server supports it and falls back to JSON against older
+/// servers (the unknown-cmd error reply leaves the connection open).
 class NetClient {
  public:
   NetClient() = default;
@@ -288,34 +404,66 @@ class NetClient {
   void set_recv_timeout_ms(int ms) { recv_timeout_ms_ = ms; }
   int recv_timeout_ms() const { return recv_timeout_ms_; }
 
+  /// \brief Negotiate the wire framing for this connection. Sends the hello
+  /// line; on a binary ack every subsequent Call/Roundtrip/Admin speaks
+  /// binary frames. An older server's unknown-cmd error reply is a clean
+  /// JSON fallback (OK status, proto() stays kJson); only transport
+  /// failures return non-OK. Reconnect resets the framing to JSON.
+  util::Status Hello(WireProto preferred = WireProto::kBinary,
+                     uint8_t max_version = kWireVersion);
+
+  /// \brief The framing this connection currently speaks.
+  WireProto proto() const { return proto_; }
+
+  /// \brief ONE typed round trip: serialize `call` in the negotiated
+  /// framing, send, await and parse the reply. This is the client surface —
+  /// Roundtrip/Admin/Metrics/StatsWire below are thin wrappers kept for
+  /// existing callers.
+  util::Result<ClientReply> Call(const ClientCall& call);
+
   /// \brief Serialize, send, await and parse one response. A server-side
-  /// error reply surfaces as the returned Status.
+  /// error reply surfaces as the returned Status. Wrapper over Call.
   util::Result<EstimateResponse> Roundtrip(const EstimateRequest& req);
 
-  /// \brief Send raw bytes (failure-path tests craft malformed lines).
+  /// \brief Send raw bytes (failure-path tests craft malformed input).
   util::Status SendRaw(const std::string& bytes);
 
   /// \brief One admin-plane round trip ({"cmd":<cmd>,"tag":<tag>}); returns
-  /// the server's raw JSON reply line.
+  /// the server's raw JSON reply line — even an error reply (failure-path
+  /// tests assert on it). On a binary connection the line rides inside an
+  /// admin frame; unknown command names pass through untouched.
   util::Result<std::string> Admin(const std::string& cmd, uint64_t tag = 0);
 
   /// \brief Fetch the server's Prometheus-style exposition text
   /// ({"cmd":"metrics"}), newlines restored from the JSON transport.
+  /// Wrapper over Call.
   util::Result<std::string> Metrics(uint64_t tag = 0);
 
   /// \brief Fetch and parse the flat machine-scrape snapshot
   /// ({"cmd":"stats_wire"}) — what a coordinator's scrape tick calls.
+  /// Wrapper over Call.
   util::Result<StatsSnapshot> StatsWire(uint64_t tag = 0);
 
   /// \brief Block until one full line arrives (without the '\n').
   util::Result<std::string> ReadLine();
 
+  /// \brief Block until one full binary frame arrives; returns its payload
+  /// with the header in `*hdr`. Same timeout contract as ReadLine.
+  util::Result<std::string> ReadFrame(FrameHeader* hdr);
+
  private:
+  /// Fill rbuf_ until `need` buffered bytes exist (frame reads).
+  util::Status FillBuffer(size_t need);
+  /// One admin round trip in the negotiated framing; returns the reply line.
+  util::Result<std::string> AdminRoundtrip(const std::string& line,
+                                           uint64_t tag);
+
   util::Fd fd_;
-  std::string rbuf_;  ///< Bytes past the last consumed line.
+  std::string rbuf_;  ///< Bytes past the last consumed line/frame.
   int recv_timeout_ms_ = 0;  ///< 0 = no receive bound.
   std::string address_;      ///< Last Connect target, for Reconnect.
   uint16_t port_ = 0;
+  WireProto proto_ = WireProto::kJson;  ///< Negotiated framing (Hello).
 };
 
 }  // namespace selnet::serve

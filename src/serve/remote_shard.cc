@@ -1,13 +1,5 @@
 #include "serve/remote_shard.h"
 
-#include <sys/socket.h>
-
-#include <algorithm>
-#include <exception>
-#include <utility>
-#include <vector>
-
-#include "serve/admission.h"
 #include "serve/frontend.h"
 #include "serve/state_transfer.h"
 #include "serve/wire.h"
@@ -16,331 +8,21 @@ namespace selnet::serve {
 
 using util::Result;
 using util::Status;
-using util::StatusCode;
 
-RemoteShard::RemoteShard(const RemoteShardConfig& cfg) : cfg_(cfg) {}
+ClientChannelConfig RemoteShard::ChannelConfig(const RemoteShardConfig& cfg) {
+  ClientChannelConfig ch;
+  ch.address = cfg.address;
+  ch.port = cfg.port;
+  ch.preferred_proto = cfg.data_proto;
+  ch.recv_timeout_ms = cfg.recv_timeout_ms;
+  ch.hello_timeout_ms = cfg.admin_timeout_ms;
+  return ch;
+}
+
+RemoteShard::RemoteShard(const RemoteShardConfig& cfg)
+    : cfg_(cfg), channel_(ChannelConfig(cfg)) {}
 
 RemoteShard::~RemoteShard() { CloseData(); }
-
-std::string RemoteShard::endpoint() const {
-  return cfg_.address + ":" + std::to_string(cfg_.port);
-}
-
-size_t RemoteShard::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pending_.size();
-}
-
-Status RemoteShard::Connect() {
-  CloseData();
-  auto fd = util::TcpConnect(cfg_.address, cfg_.port);
-  if (!fd.ok()) return fd.status();
-  util::SetNoDelay(fd.ValueOrDie().get());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    fd_ = fd.MoveValueUnsafe();
-    reader_stop_ = false;
-  }
-  data_up_.store(true, std::memory_order_release);
-  reader_ = std::thread(&RemoteShard::ReaderLoop, this);
-  return Status::OK();
-}
-
-void RemoteShard::CloseData() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    reader_stop_ = true;
-    // shutdown (not close) so the descriptor number stays reserved until
-    // every user is done — the reader polls the raw fd outside the lock, and
-    // a SubmitWith may be mid-WriteAll under write_mu_.
-    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
-  }
-  wake_.Notify();
-  if (reader_.joinable()) reader_.join();
-  {
-    // write_mu_ too: closing while a writer holds the raw descriptor would
-    // let a concurrent open (the health loop's control dials) reuse the fd
-    // number and receive the request bytes. Order write_mu_ -> mu_, same as
-    // the write path.
-    std::lock_guard<std::mutex> wlock(write_mu_);
-    std::lock_guard<std::mutex> lock(mu_);
-    fd_.Close();
-  }
-  FailAllPending(StatusCode::kIoError,
-                 endpoint() + ": data connection closed");
-}
-
-void RemoteShard::FailAllPending(StatusCode code, const std::string& msg) {
-  data_up_.store(false, std::memory_order_release);
-  std::vector<Pending> taken;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    taken.reserve(pending_.size());
-    for (auto& [tag, entry] : pending_) taken.push_back(std::move(entry));
-    pending_.clear();
-  }
-  if (taken.empty()) return;
-  auto error = std::make_exception_ptr(RemoteError(code, msg));
-  for (auto& entry : taken) {
-    EstimateResponse resp;
-    resp.tag = entry.caller_tag;
-    entry.done(std::move(resp), error);
-  }
-}
-
-void RemoteShard::SubmitWith(EstimateRequest req,
-                             SelNetServer::ResponseFn done) {
-  Clock::time_point now = Clock::now();
-  Pending entry;
-  entry.caller_tag = req.tag;
-  entry.trace = req.trace;
-  entry.sent = now;
-  if (cfg_.recv_timeout_ms > 0) {
-    entry.expires = now + std::chrono::milliseconds(cfg_.recv_timeout_ms);
-  }
-  if (req.has_deadline() &&
-      (entry.expires == Clock::time_point{} || req.deadline < entry.expires)) {
-    entry.expires = req.deadline;
-    entry.expiry_is_request_deadline = true;
-  }
-
-  uint64_t wire_tag = 0;
-  bool registered = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (data_up_.load(std::memory_order_relaxed) && fd_.valid()) {
-      wire_tag = next_tag_++;
-      entry.done = std::move(done);
-      pending_.emplace(wire_tag, std::move(entry));
-      registered = true;
-    }
-  }
-  if (!registered) {
-    EstimateResponse resp;
-    resp.tag = req.tag;
-    done(std::move(resp),
-         std::make_exception_ptr(RemoteError(
-             StatusCode::kUnavailable, endpoint() + ": no data connection")));
-    return;
-  }
-
-  req.tag = wire_tag;  // Internal correlation tag; the caller's tag is
-                       // restored from the pending entry at completion.
-  std::string line = SerializeRequest(req);
-  line += '\n';
-  Status wrote;
-  {
-    // write_mu_ serializes writers AND pins the descriptor: CloseData closes
-    // fd_ only while holding write_mu_, so re-fetching the fd here (not
-    // before the lock) guarantees it cannot be closed — and its number
-    // reused by a concurrent dial — for the duration of the write.
-    std::lock_guard<std::mutex> wlock(write_mu_);
-    int raw_fd = -1;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (fd_.valid() && !reader_stop_) raw_fd = fd_.get();
-    }
-    wrote = raw_fd < 0 ? Status::IOError("data connection closed")
-                       : util::WriteAll(raw_fd, line.data(), line.size());
-  }
-  if (!wrote.ok()) {
-    // Take the entry back (unless the reader already failed it) and report
-    // the transport loss; the reader will notice the dead socket itself.
-    SelNetServer::ResponseFn cb;
-    uint64_t caller_tag = 0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = pending_.find(wire_tag);
-      if (it != pending_.end()) {
-        cb = std::move(it->second.done);
-        caller_tag = it->second.caller_tag;
-        pending_.erase(it);
-      }
-    }
-    data_up_.store(false, std::memory_order_release);
-    if (cb) {
-      EstimateResponse resp;
-      resp.tag = caller_tag;
-      cb(std::move(resp),
-         std::make_exception_ptr(RemoteError(
-             StatusCode::kIoError,
-             endpoint() + ": send failed (" + wrote.message() + ")")));
-    }
-    return;
-  }
-  // Nudge the reader so its poll deadline accounts for this entry's expiry.
-  wake_.Notify();
-}
-
-void RemoteShard::ReaderLoop() {
-  std::string rbuf;
-  char buf[16 << 10];
-  for (;;) {
-    int raw_fd = -1;
-    int timeout_ms = -1;
-    std::vector<Pending> expired;
-    {
-      Clock::time_point now = Clock::now();
-      Clock::time_point next{};
-      std::lock_guard<std::mutex> lock(mu_);
-      if (reader_stop_) return;
-      raw_fd = fd_.get();
-      for (auto it = pending_.begin(); it != pending_.end();) {
-        const Clock::time_point& e = it->second.expires;
-        if (e != Clock::time_point{} && e <= now) {
-          expired.push_back(std::move(it->second));
-          it = pending_.erase(it);
-        } else {
-          if (e != Clock::time_point{} &&
-              (next == Clock::time_point{} || e < next)) {
-            next = e;
-          }
-          ++it;
-        }
-      }
-      if (next != Clock::time_point{}) {
-        auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                      next - now)
-                      .count();
-        timeout_ms = int(std::clamp<long long>(ms + 1, 1, 60'000));
-      }
-    }
-    for (auto& entry : expired) {
-      EstimateResponse resp;
-      resp.tag = entry.caller_tag;
-      std::exception_ptr error;
-      if (entry.expiry_is_request_deadline) {
-        // Mirrors the in-process shed: the request itself ran out of time.
-        error = std::make_exception_ptr(OverloadError(
-            ShedReason::kDeadlineExpired,
-            endpoint() + ": deadline expired awaiting the remote shard"));
-      } else {
-        error = std::make_exception_ptr(RemoteError(
-            StatusCode::kDeadlineExceeded,
-            endpoint() + ": no response within " +
-                std::to_string(cfg_.recv_timeout_ms) + "ms (shard suspect)"));
-      }
-      entry.done(std::move(resp), error);
-    }
-
-    std::vector<util::PollEntry> entries(2);
-    entries[0].fd = raw_fd;
-    entries[0].want_read = true;
-    entries[1].fd = wake_.read_fd();
-    entries[1].want_read = true;
-    auto polled = util::Poll(&entries, timeout_ms);
-    if (!polled.ok()) {
-      FailAllPending(StatusCode::kIoError,
-                     endpoint() + ": poll failed (" +
-                         polled.status().message() + ")");
-      return;
-    }
-    if (entries[1].readable) wake_.Drain();
-    if (!entries[0].readable && !entries[0].error) continue;
-
-    auto n = util::ReadSome(raw_fd, buf, sizeof buf);
-    if (!n.ok()) {
-      if (n.status().code() == StatusCode::kOutOfRange) continue;  // EAGAIN
-      FailAllPending(StatusCode::kIoError,
-                     endpoint() + ": read failed (" + n.status().message() +
-                         ")");
-      return;
-    }
-    int64_t got = n.ValueOrDie();
-    if (got == 0) {
-      FailAllPending(StatusCode::kIoError,
-                     endpoint() + ": connection closed by shard");
-      return;
-    }
-    rbuf.append(buf, size_t(got));
-    size_t start = 0;
-    size_t nl;
-    while ((nl = rbuf.find('\n', start)) != std::string::npos) {
-      HandleLine(rbuf.substr(start, nl - start));
-      start = nl + 1;
-    }
-    rbuf.erase(0, start);
-  }
-}
-
-void RemoteShard::HandleLine(const std::string& line) {
-  EstimateResponse resp;
-  Status st = ParseResponseLine(line, &resp);
-  uint64_t wire_tag = st.ok() ? resp.tag : ExtractTagBestEffort(line);
-  if (wire_tag == 0) return;  // Untagged line — we tag every request, so
-                              // nothing can be waiting on it.
-  SelNetServer::ResponseFn cb;
-  uint64_t caller_tag = 0;
-  std::shared_ptr<RequestTrace> trace;
-  Clock::time_point sent{};
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = pending_.find(wire_tag);
-    if (it == pending_.end()) return;  // Expired earlier; its completion
-                                       // already fired — discard the late
-                                       // reply so it fires exactly once.
-    cb = std::move(it->second.done);
-    caller_tag = it->second.caller_tag;
-    trace = std::move(it->second.trace);
-    sent = it->second.sent;
-    pending_.erase(it);
-  }
-  resp.tag = caller_tag;
-  if (trace) {
-    // Attribute the hop: the remote's own queue/predict time (from its
-    // stage block) becomes the remote_* stages, and remote_wire is the
-    // whole caller-observed round trip — floored at the remote's share so
-    // remote_queue + remote_predict <= remote_wire holds even against
-    // clock granularity noise.
-    double wire_ms = std::chrono::duration<double, std::milli>(
-                         Clock::now() - sent)
-                         .count();
-    double remote_share = 0.0;
-    if (resp.stage_ms.size() >= kNumLocalStages) {
-      double rq = double(resp.stage_ms[size_t(Stage::kQueue)]);
-      double rp = double(resp.stage_ms[size_t(Stage::kPredict)]);
-      remote_share = rq + rp;
-      trace->Observe(Stage::kRemoteQueue, rq);
-      trace->Observe(Stage::kRemotePredict, rp);
-    }
-    trace->Observe(Stage::kRemoteWire, std::max(wire_ms, remote_share));
-  }
-  // The block is coordinator-internal: it merged into the trace above and
-  // must not leak into the caller-visible response.
-  resp.stage_ms.clear();
-  if (st.ok()) {
-    cb(std::move(resp), nullptr);
-    return;
-  }
-  std::exception_ptr error;
-  switch (st.code()) {
-    case StatusCode::kDeadlineExceeded:
-      // The remote admission controller shed it — same taxonomy as local.
-      error = std::make_exception_ptr(
-          OverloadError(ShedReason::kDeadlineExpired, st.message()));
-      break;
-    case StatusCode::kUnavailable:
-      // queue_full / priority_shed / shutdown: never served; another
-      // replica may have capacity.
-      error = std::make_exception_ptr(
-          RemoteError(StatusCode::kUnavailable, st.message()));
-      break;
-    case StatusCode::kNotFound:
-      // This replica doesn't hold the route (restarted and awaiting
-      // re-sync, or the route replicates to local slots only) — another
-      // replica may. The failover layer retries these.
-      error = std::make_exception_ptr(
-          RemoteError(StatusCode::kNotFound, st.message()));
-      break;
-    default:
-      // Deterministic request failure (bad shape, unknown route): a retry
-      // would fail the same way.
-      error = std::make_exception_ptr(
-          RemoteError(StatusCode::kInternal, st.message()));
-      break;
-  }
-  cb(std::move(resp), error);
-}
 
 Result<uint64_t> RemoteShard::PublishBytes(const std::string& name,
                                            const std::string& bytes) {

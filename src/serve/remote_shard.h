@@ -1,18 +1,11 @@
 #pragma once
 
-#include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <stdexcept>
 #include <string>
-#include <thread>
 
+#include "serve/client_channel.h"
 #include "serve/serve_stats.h"
 #include "serve/server.h"
-#include "util/net.h"
 #include "util/status.h"
 
 /// \file remote_shard.h
@@ -26,15 +19,16 @@
 ///
 /// Two connections, two disciplines:
 ///
-///   * The DATA connection is pipelined: every SubmitWith serializes the
-///     request with an internal correlation tag, appends it to the socket,
-///     and returns; one reader thread matches response lines back to pending
-///     completions by tag. Responses may arrive out of order (the remote
-///     scheduler batches across requests) — the tag map is the order.
-///     The caller's own tag is restored before its completion fires.
-///   * The CONTROL path (PublishBytes, HealthCheck) dials a fresh blocking
-///     connection per call. Publishes are rare, and dialing doubles as the
-///     reachability probe the health loop wants anyway.
+///   * The DATA connection is a ClientChannel (client_channel.h): pipelined,
+///     tag-correlated, binary-framed when the peer acks the hello (JSON
+///     fallback against older shard_nodes, so mixed fleets interoperate
+///     during rollout). Responses may arrive out of order — the tag map is
+///     the order; the caller's own tag is restored before its completion
+///     fires.
+///   * The CONTROL path (PublishBytes, HealthCheck, ScrapeStats) dials a
+///     fresh blocking connection per call. Publishes are rare, and dialing
+///     doubles as the reachability probe the health loop wants anyway.
+///     State transfer stays on JSON lines — it is publish-time traffic.
 ///
 /// Failure taxonomy, delivered through the completion's exception_ptr so the
 /// replication layer can decide retry-vs-fail without string matching:
@@ -63,19 +57,6 @@
 
 namespace selnet::serve {
 
-/// \brief Typed wire/transport failure, carrying the util::StatusCode the
-/// failover layer keys its retry decision on.
-class RemoteError : public std::runtime_error {
- public:
-  RemoteError(util::StatusCode code, const std::string& msg)
-      : std::runtime_error(msg), code_(code) {}
-
-  util::StatusCode code() const { return code_; }
-
- private:
-  util::StatusCode code_;
-};
-
 /// \brief Where the remote shard lives and how long to wait for it.
 struct RemoteShardConfig {
   std::string address = "127.0.0.1";
@@ -87,6 +68,9 @@ struct RemoteShardConfig {
   int recv_timeout_ms = 2000;
   /// Control-path bound (publish acks, health probes).
   int admin_timeout_ms = 5000;
+  /// Data-path framing to ask for at Connect. Binary by default; the hello
+  /// falls back to JSON against shard_nodes that predate negotiation.
+  WireProto data_proto = WireProto::kBinary;
 };
 
 /// \brief One remote shard endpoint: pipelined data connection + per-call
@@ -102,26 +86,32 @@ class RemoteShard {
   const RemoteShardConfig& config() const { return cfg_; }
 
   /// \brief "address:port", for error messages and the fleet report.
-  std::string endpoint() const;
+  std::string endpoint() const { return channel_.endpoint(); }
 
-  /// \brief (Re)dial the data connection and start its reader. Any previous
-  /// connection is torn down first (its in-flight requests fail with
-  /// kIoError). kUnavailable when the peer is not accepting.
-  util::Status Connect();
+  /// \brief (Re)dial the data connection, negotiate framing, and start its
+  /// reader. Any previous connection is torn down first (its in-flight
+  /// requests fail with kIoError). kUnavailable when the peer is not
+  /// accepting.
+  util::Status Connect() { return channel_.Connect(); }
 
   /// \brief Drop the data connection; every pending completion fires with
   /// RemoteError(kIoError). Idempotent. Control calls still work.
-  void CloseData();
+  void CloseData() { channel_.Close(); }
 
   /// \brief True between a successful Connect and the first transport
   /// failure (or CloseData). A false here fails SubmitWith immediately with
   /// kUnavailable — the failover layer owns reconnect policy.
-  bool data_up() const { return data_up_.load(std::memory_order_acquire); }
+  bool data_up() const { return channel_.up(); }
+
+  /// \brief The framing the data connection negotiated (while up).
+  WireProto data_proto() const { return channel_.proto(); }
 
   /// \brief Pipelined submit (the SelNetServer::SubmitWith contract). The
   /// completion fires exactly once, from this thread (immediate failure) or
   /// the reader thread (response, timeout, connection loss).
-  void SubmitWith(EstimateRequest req, SelNetServer::ResponseFn done);
+  void SubmitWith(EstimateRequest req, SelNetServer::ResponseFn done) {
+    channel_.Call(std::move(req), std::move(done));
+  }
 
   /// \brief Ship SaveModel-format bytes and publish them under `name` on the
   /// remote (state_transfer.h over a fresh control connection); returns the
@@ -138,52 +128,13 @@ class RemoteShard {
   util::Result<StatsSnapshot> ScrapeStats();
 
   /// \brief Requests currently awaiting a response (tests, fleet report).
-  size_t pending() const;
+  size_t pending() const { return channel_.pending(); }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
-  struct Pending {
-    SelNetServer::ResponseFn done;
-    uint64_t caller_tag = 0;
-    /// Earliest of the request's own deadline and the recv-timeout bound
-    /// (epoch = unbounded).
-    Clock::time_point expires{};
-    /// The expiry above IS the request's deadline — deliver OverloadError,
-    /// not a retryable timeout.
-    bool expiry_is_request_deadline = false;
-    /// The caller's trace, when this request is sampled: the remote's
-    /// stage_ms block merges into it as the remote_* stages at completion.
-    std::shared_ptr<RequestTrace> trace;
-    /// Submit time — the remote_wire stage is completion minus this, the
-    /// whole hop as the caller observed it.
-    Clock::time_point sent{};
-  };
-
-  void ReaderLoop();
-  /// Match one response line to its pending entry and complete it.
-  void HandleLine(const std::string& line);
-  /// Fail every pending entry with RemoteError(code, msg) and mark the data
-  /// path down. Callbacks run outside the lock.
-  void FailAllPending(util::StatusCode code, const std::string& msg);
+  static ClientChannelConfig ChannelConfig(const RemoteShardConfig& cfg);
 
   RemoteShardConfig cfg_;
-
-  mutable std::mutex mu_;  ///< pending_, next_tag_, fd_ lifecycle.
-  /// Serializes request writes (framing) and pins fd_ across one write:
-  /// CloseData closes the descriptor only under this lock, so a writer that
-  /// re-validates fd_ while holding it can never race a close (or a reused
-  /// fd number). Lock order where both are held: write_mu_ -> mu_.
-  std::mutex write_mu_;
-  util::Fd fd_;
-  std::map<uint64_t, Pending> pending_;
-  uint64_t next_tag_ = 1;  ///< Internal wire tags; 0 means "untagged" on the
-                           ///  wire, so it is never issued.
-  bool reader_stop_ = false;
-
-  std::atomic<bool> data_up_{false};
-  util::WakePipe wake_;  ///< Submit -> reader: recompute the poll deadline.
-  std::thread reader_;
+  ClientChannel channel_;
 };
 
 }  // namespace selnet::serve

@@ -320,6 +320,20 @@ std::future<EstimateResponse> SelNetServer::Submit(EstimateRequest req) {
 }
 
 void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
+  SubmitOne(std::move(req), std::move(done), nullptr);
+}
+
+void SelNetServer::SubmitMany(std::vector<Submission> batch) {
+  std::vector<BatchScheduler::Row> rows;
+  for (Submission& s : batch) {
+    SubmitOne(std::move(s.req), std::move(s.done),
+              scheduler_ ? &rows : nullptr);
+  }
+  if (!rows.empty()) scheduler_->SubmitRows(std::move(rows));
+}
+
+void SelNetServer::SubmitOne(EstimateRequest req, ResponseFn done,
+                             std::vector<BatchScheduler::Row>* row_sink) {
   SEL_CHECK(done != nullptr);
   // Malformed requests fail the request, never the process: this is client
   // input, not a server invariant.
@@ -486,27 +500,39 @@ void SelNetServer::SubmitWith(EstimateRequest req, ResponseFn done) {
     // repair in Finalize absorbs any mid-sweep republish.
     state->remaining.store(missing.size(), std::memory_order_relaxed);
     for (size_t idx : missing) {
-      scheduler_->SubmitRow(
-          state->resp.model, req.x.data(), req.thresholds[idx],
-          [this, state, idx, route_stats](float value, std::exception_ptr error,
-                                          const BatchScheduler::RowTiming&
-                                              timing) {
-            if (error) {
-              state->RecordError(std::move(error));
-            } else {
-              state->resp.estimates[idx] = value;
-              stats_.RecordLatencyMs(timing.latency_ms);
-              route_stats->RecordLatencyMs(timing.latency_ms);
-            }
-            if (state->trace) {
-              // Observe keeps the max across rows: the request's critical
-              // path through the scheduler.
-              state->trace->Observe(Stage::kQueue, timing.queue_ms);
-              state->trace->Observe(Stage::kPredict, timing.predict_ms);
-            }
-            if (state->remaining.fetch_sub(1) == 1) state->Finalize();
-          },
-          req.deadline);
+      auto row_done = [this, state, idx, route_stats](
+                          float value, std::exception_ptr error,
+                          const BatchScheduler::RowTiming& timing) {
+        if (error) {
+          state->RecordError(std::move(error));
+        } else {
+          state->resp.estimates[idx] = value;
+          stats_.RecordLatencyMs(timing.latency_ms);
+          route_stats->RecordLatencyMs(timing.latency_ms);
+        }
+        if (state->trace) {
+          // Observe keeps the max across rows: the request's critical
+          // path through the scheduler.
+          state->trace->Observe(Stage::kQueue, timing.queue_ms);
+          state->trace->Observe(Stage::kPredict, timing.predict_ms);
+        }
+        if (state->remaining.fetch_sub(1) == 1) state->Finalize();
+      };
+      if (row_sink != nullptr) {
+        // Batched producer: buffer the row; the caller hands the whole
+        // batch to the scheduler in one SubmitRows.
+        BatchScheduler::Row row;
+        row.model = state->resp.model;
+        row.x = req.x;
+        row.t = req.thresholds[idx];
+        row.done = std::move(row_done);
+        row.deadline = req.deadline;
+        row_sink->push_back(std::move(row));
+      } else {
+        scheduler_->SubmitRow(state->resp.model, req.x.data(),
+                              req.thresholds[idx], std::move(row_done),
+                              req.deadline);
+      }
     }
     return;
   }

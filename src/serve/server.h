@@ -174,6 +174,20 @@ class SelNetServer {
   /// never the server.
   void SubmitWith(EstimateRequest req, ResponseFn done);
 
+  /// \brief One request + its completion, for the batched entry point.
+  struct Submission {
+    EstimateRequest req;
+    ResponseFn done;
+  };
+
+  /// \brief Submit many requests at once (the frontend's batched-decode
+  /// path: one read round of binary frames arrives as one call). Semantics
+  /// are identical to per-request SubmitWith — validation, admission, cache,
+  /// and fast path all run per request — but every scheduler row the batch
+  /// produces is enqueued under ONE scheduler lock acquisition with at most
+  /// one flusher wake, instead of one per row.
+  void SubmitMany(std::vector<Submission> batch);
+
   /// \brief Future-returning wrapper over SubmitWith.
   std::future<EstimateResponse> Submit(EstimateRequest req);
 
@@ -221,6 +235,12 @@ class SelNetServer {
 
  private:
   struct PendingResponse;
+
+  /// The SubmitWith body, parameterized over where scheduler rows go:
+  /// null sink = straight into the scheduler (SubmitWith); non-null =
+  /// appended for the caller to hand over in one SubmitRows (SubmitMany).
+  void SubmitOne(EstimateRequest req, ResponseFn done,
+                 std::vector<BatchScheduler::Row>* row_sink);
 
   /// Run one batched Predict on `handle`'s snapshot: stats + cache fill.
   tensor::Matrix PredictOnHandle(const ModelHandle& handle,

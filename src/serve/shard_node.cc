@@ -53,6 +53,7 @@ int RunShardNodeProcess(const ShardNodeProcessOptions& opts) {
   cfg.server.dim = opts.dim;
   cfg.frontend.bind_address = opts.bind_address;
   cfg.frontend.port = opts.port;
+  cfg.frontend.num_loops = opts.net_loops;
   cfg.threads = opts.threads;
 
   ShardNode node(cfg);

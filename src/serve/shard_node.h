@@ -80,6 +80,10 @@ struct ShardNodeProcessOptions {
   /// handshake, immune to the race of polling a port that is not up yet.
   std::string port_file;
   size_t threads = 1;
+  /// Frontend poll loops (FrontendConfig::num_loops). 1 keeps the classic
+  /// single-loop node; >1 shards connections across loops for wire-bound
+  /// shards.
+  size_t net_loops = 1;
 };
 
 /// \brief Run one ShardNode until SIGTERM/SIGINT; returns a process exit

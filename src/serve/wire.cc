@@ -174,6 +174,56 @@ Status ParseObject(LineParser* p, FieldFn on_field) {
 
 }  // namespace
 
+// ------------------------------------------------------- command registry ---
+
+const char* WireProtoName(WireProto proto) {
+  return proto == WireProto::kBinary ? "binary" : "json";
+}
+
+namespace {
+
+/// The one place a command's wire name and version live. Order matches the
+/// enum so FindCommand(Command) is an index.
+constexpr CommandInfo kCommands[kNumCommands] = {
+    {Command::kEstimate, "estimate", 1},
+    {Command::kHello, "hello", 1},
+    {Command::kStats, "stats", 1},
+    {Command::kSlow, "slow", 1},
+    {Command::kHealth, "health", 1},
+    {Command::kMetrics, "metrics", 1},
+    {Command::kEvents, "events", 1},
+    {Command::kStatsWire, "stats_wire", 1},
+    {Command::kXferBegin, "xfer_begin", 1},
+    {Command::kXferFrame, "xfer_frame", 1},
+    {Command::kXferCommit, "xfer_commit", 1},
+};
+
+}  // namespace
+
+const CommandInfo* FindCommand(const std::string& name) {
+  for (const CommandInfo& info : kCommands) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+const CommandInfo* FindCommand(Command cmd) {
+  const size_t i = size_t(cmd);
+  return i < kNumCommands ? &kCommands[i] : nullptr;
+}
+
+Status StatusFromWireError(const std::string& code,
+                           const std::string& message) {
+  // The `code` token types the failure; it deliberately mirrors
+  // ShedReasonName so clients never string-match the human message.
+  if (code == "deadline_exceeded") return Status::DeadlineExceeded(message);
+  if (code == "queue_full" || code == "priority_shed" || code == "shutdown") {
+    return Status::Unavailable(message);
+  }
+  if (code == "not_found") return Status::NotFound(message);
+  return Status::Internal(message);
+}
+
 void AppendFloat(std::string* out, float v) {
   if (!std::isfinite(v)) {
     out->append("null");  // Estimates are finite; keep the line valid JSON.
@@ -280,6 +330,8 @@ Status ParseAdminLine(const std::string& line, AdminRequest* req) {
     if (key == "crc") return p.Uint(&parsed.crc);
     if (key == "size") return p.Uint(&parsed.size);
     if (key == "frames") return p.Uint(&parsed.frames);
+    if (key == "proto") return p.String(&parsed.proto);
+    if (key == "max_version") return p.Uint(&parsed.max_version);
     return p.Fail("unknown admin field '" + key + "'");
   }));
   if (parsed.cmd.empty()) {
@@ -287,6 +339,55 @@ Status ParseAdminLine(const std::string& line, AdminRequest* req) {
   }
   *req = std::move(parsed);
   return Status::OK();
+}
+
+std::string SerializeAdminRequest(const AdminRequest& req) {
+  JsonWriter w;
+  w.Field("cmd", req.cmd);
+  if (!req.model.empty()) w.Field("model", req.model);
+  if (!req.data.empty()) w.Field("data", req.data);
+  if (req.seq != 0) w.Field("seq", req.seq);
+  if (req.crc != 0) w.Field("crc", req.crc);
+  if (req.size != 0) w.Field("size", req.size);
+  if (req.frames != 0) w.Field("frames", req.frames);
+  if (!req.proto.empty()) w.Field("proto", req.proto);
+  if (req.max_version != 0) w.Field("max_version", req.max_version);
+  if (req.tag != 0) w.Field("tag", req.tag);
+  return w.Finish();
+}
+
+std::string SerializeHello(WireProto preferred, uint8_t max_version) {
+  AdminRequest hello;
+  hello.cmd = "hello";
+  hello.proto = WireProtoName(preferred);
+  hello.max_version = max_version;
+  return SerializeAdminRequest(hello);
+}
+
+util::Result<HelloResult> ParseHelloReply(const std::string& line) {
+  bool ok = false;
+  std::string proto;
+  std::string error;
+  std::string code;
+  uint64_t version = 0;
+  uint64_t tag = 0;
+  LineParser p(line);
+  SEL_RETURN_NOT_OK(ParseObject(&p, [&](const std::string& key) -> Status {
+    if (key == "ok") return p.Bool(&ok);
+    if (key == "proto") return p.String(&proto);
+    if (key == "version") return p.Uint(&version);
+    if (key == "tag") return p.Uint(&tag);
+    if (key == "error") return p.String(&error);
+    if (key == "code") return p.String(&code);
+    return p.Fail("unknown hello field '" + key + "'");
+  }));
+  if (!error.empty()) return StatusFromWireError(code, error);
+  if (!ok) return Status::Internal("wire: hello reply without ok or error");
+  HelloResult result;
+  result.proto = proto == "binary" ? WireProto::kBinary : WireProto::kJson;
+  result.version =
+      uint8_t(version == 0 || version > kWireVersion ? 1 : version);
+  return result;
 }
 
 Status ParseAckLine(const std::string& line, uint64_t* version) {
@@ -304,14 +405,7 @@ Status ParseAckLine(const std::string& line, uint64_t* version) {
     if (key == "code") return p.String(&code);
     return p.Fail("unknown ack field '" + key + "'");
   }));
-  if (!error.empty()) {
-    if (code == "deadline_exceeded") return Status::DeadlineExceeded(error);
-    if (code == "queue_full" || code == "priority_shed" || code == "shutdown") {
-      return Status::Unavailable(error);
-    }
-    if (code == "not_found") return Status::NotFound(error);
-    return Status::Internal(error);
-  }
+  if (!error.empty()) return StatusFromWireError(code, error);
   if (!ok) return Status::Internal("wire: ack line without ok or error");
   if (version != nullptr) *version = ver;
   return Status::OK();
@@ -411,16 +505,7 @@ Status ParseResponseLine(const std::string& line, EstimateResponse* resp) {
     if (key == "code") return p.String(&code);
     return p.Fail("unknown response field '" + key + "'");
   }));
-  if (!error.empty()) {
-    // The `code` token types the failure; it deliberately mirrors
-    // ShedReasonName so clients never string-match the human message.
-    if (code == "deadline_exceeded") return Status::DeadlineExceeded(error);
-    if (code == "queue_full" || code == "priority_shed" || code == "shutdown") {
-      return Status::Unavailable(error);
-    }
-    if (code == "not_found") return Status::NotFound(error);
-    return Status::Internal(error);
-  }
+  if (!error.empty()) return StatusFromWireError(code, error);
   parsed.cache_hits = uint32_t(cache_hits);
   *resp = std::move(parsed);
   return Status::OK();

@@ -9,7 +9,20 @@
 #include "util/status.h"
 
 /// \file wire.h
-/// \brief The network wire format: one JSON object per line, newline framed.
+/// \brief The network wire format: the JSON text protocol (one object per
+/// line, newline framed), plus the command registry and protocol-negotiation
+/// types shared with the binary framing in wire_binary.h.
+///
+/// Two framings, one protocol. Every connection starts in JSON mode; a
+/// client that wants the binary framing sends one hello line
+/// ({"cmd":"hello","proto":"binary","max_version":1}) and, on an
+/// {"ok":true,"proto":"binary","version":1} ack, both directions switch to
+/// the length-prefixed frames of wire_binary.h. A server that predates the
+/// hello command answers with the usual unknown-cmd error and keeps the
+/// connection open, so a new client falls back to JSON — mixed fleets
+/// interop during rollout. JSON stays fully supported as the negotiated
+/// debug/compat mode; the command set, error taxonomy, and bit-exact float
+/// contract are identical across both framings.
 ///
 /// Request line (client -> server):
 ///   {"x":[0.1,0.2],"thresholds":[0.5,0.8],"model":"default","tag":7}
@@ -89,6 +102,55 @@
 
 namespace selnet::serve {
 
+/// \brief Highest protocol version this build speaks. Version 1 covers the
+/// whole command set below plus the binary framing; the hello exchange picks
+/// min(client max, server max) per connection.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// \brief The framing a connection speaks (selected by the hello exchange;
+/// JSON until negotiated otherwise).
+enum class WireProto : uint8_t {
+  kJson = 0,    ///< Line-delimited JSON (the debug/compat mode).
+  kBinary = 1,  ///< Length-prefixed frames (wire_binary.h).
+};
+
+const char* WireProtoName(WireProto proto);
+
+/// \brief Every command the protocol knows, shared by the JSON dispatcher,
+/// the binary framing, and the typed client surface. Adding a command means
+/// adding an enumerator here plus a row in the registry table in wire.cc —
+/// the frontend dispatches through an exhaustive switch, so a missing
+/// handler is a compile-time warning, not a silent unknown-cmd error.
+enum class Command : uint8_t {
+  kEstimate = 0,  ///< The data plane (not a {"cmd":...} line; listed so the
+                  ///  typed client Call() surface covers both planes).
+  kHello,         ///< Protocol negotiation (proto + max_version).
+  kStats,         ///< Human/scraper-facing nested fleet snapshot.
+  kSlow,          ///< Retained slow-request spans.
+  kHealth,        ///< Liveness ack.
+  kMetrics,       ///< Prometheus-style exposition text.
+  kEvents,        ///< Coordinator flight-recorder ring.
+  kStatsWire,     ///< Flat machine-scrape snapshot (coordinator merge).
+  kXferBegin,     ///< State transfer: announce size/frames.
+  kXferFrame,     ///< State transfer: one CRC'd base64 frame.
+  kXferCommit,    ///< State transfer: verify + publish.
+};
+inline constexpr size_t kNumCommands = 11;
+
+/// \brief One registry row: the wire name and the protocol version that
+/// introduced the command (a peer negotiated below it must not send it).
+struct CommandInfo {
+  Command cmd;
+  const char* name;
+  uint8_t since_version;
+};
+
+/// \brief Look a command up by wire name; null for unknown commands (the
+/// caller owns the unknown-cmd error so its text can echo the name).
+const CommandInfo* FindCommand(const std::string& name);
+/// \brief The registry row for `cmd` (never null; the table is exhaustive).
+const CommandInfo* FindCommand(Command cmd);
+
 /// \brief Parse one request line. On error the returned Status carries a
 /// client-safe message (no server internals) and `req` is untouched.
 util::Status ParseRequestLine(const std::string& line, EstimateRequest* req);
@@ -106,7 +168,38 @@ struct AdminRequest {
                        ///  (xfer_commit).
   uint64_t size = 0;   ///< Total payload bytes (xfer_begin).
   uint64_t frames = 0; ///< Total frame count (xfer_begin).
+  // Negotiation fields; empty/zero except on hello.
+  std::string proto;        ///< Requested framing ("binary" / "json").
+  uint64_t max_version = 0; ///< Highest version the client speaks (0 = 1).
 };
+
+/// \brief Serialize an admin request (client side; no trailing newline).
+/// Only the fields the command uses are emitted, so a hand-written line and
+/// this serializer produce the same bytes.
+std::string SerializeAdminRequest(const AdminRequest& req);
+
+/// \brief The negotiated outcome of a hello exchange.
+struct HelloResult {
+  WireProto proto = WireProto::kJson;
+  uint8_t version = 1;
+};
+
+/// \brief Build the hello line requesting `preferred` framing.
+std::string SerializeHello(WireProto preferred,
+                           uint8_t max_version = kWireVersion);
+
+/// \brief Parse the server's hello ack. An {"error":...} reply (an old
+/// server that predates hello) surfaces as the typed error Status — callers
+/// treat any error as "speak JSON" and keep the connection.
+util::Result<HelloResult> ParseHelloReply(const std::string& line);
+
+/// \brief Map a wire error `code` token + message to the typed Status every
+/// parser on the client side hands back: deadline_exceeded ->
+/// kDeadlineExceeded; queue_full / priority_shed / shutdown -> kUnavailable;
+/// not_found -> kNotFound; anything else -> kInternal. One mapping for the
+/// JSON and binary framings — the taxonomy is the protocol, not the framing.
+util::Status StatusFromWireError(const std::string& code,
+                                 const std::string& message);
 
 /// \brief Cheap pre-dispatch: does this line open with a `"cmd"` field? Used
 /// by the frontend to route admin lines away from the estimate parser without

@@ -77,13 +77,23 @@ Status SetNoDelay(int fd) {
 }
 
 Status TcpListener::Listen(const std::string& address, uint16_t port,
-                           int backlog) {
+                           int backlog, bool reuse_port) {
   sockaddr_in addr;
   SEL_RETURN_NOT_OK(MakeAddr(address, port, &addr));
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return Errno("net: socket");
   int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+        0) {
+      return Errno("net: setsockopt(SO_REUSEPORT)");
+    }
+#else
+    return Status::NotImplemented("net: SO_REUSEPORT unsupported here");
+#endif
+  }
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     return Errno("net: bind " + address + ":" + std::to_string(port));
   }

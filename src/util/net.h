@@ -56,8 +56,12 @@ class TcpListener {
  public:
   TcpListener() = default;
 
-  /// \brief Bind + listen (SO_REUSEADDR, non-blocking).
-  Status Listen(const std::string& address, uint16_t port, int backlog = 64);
+  /// \brief Bind + listen (SO_REUSEADDR, non-blocking). With `reuse_port`,
+  /// SO_REUSEPORT is set before bind so several listeners can share one
+  /// port and the kernel load-balances accepts across them — the
+  /// multi-loop frontend's per-loop-listener mode.
+  Status Listen(const std::string& address, uint16_t port, int backlog = 64,
+                bool reuse_port = false);
 
   /// \brief Accept one pending connection into `out` (non-blocking: returns
   /// false with OK status when no connection is waiting).
